@@ -1,0 +1,16 @@
+//! Criterion bench for E12 (extension): flat vs hierarchical topology
+//! under fabric churn.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use drcf_bench::e12_hierarchy::{run_flat, run_hierarchical};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bus_hierarchy");
+    g.sample_size(10);
+    g.bench_function("flat", |b| b.iter(|| run_flat(2048)));
+    g.bench_function("hierarchical", |b| b.iter(|| run_hierarchical(2048)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Criterion bench for E5 (§5.3): one context-switch cost measurement at
+//! representative small/large points.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drcf_bench::e5_ctx_switch::measure_switch_cost;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ctx_switch_sweep");
+    g.sample_size(10);
+    for words in [64u64, 1024, 4096] {
+        g.bench_with_input(BenchmarkId::from_parameter(words), &words, |b, &w| {
+            b.iter(|| measure_switch_cost(w, 1, 2).switch_cost_ns)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

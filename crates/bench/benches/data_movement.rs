@@ -1,0 +1,23 @@
+//! Criterion bench for E13 (extension): the three data-movement modes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drcf_bench::e13_data_movement::run_point;
+use drcf_soc::prelude::SocCopyMode;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("data_movement");
+    g.sample_size(10);
+    for (name, mode) in [
+        ("cpu_direct", SocCopyMode::CpuDirect),
+        ("cpu_relay", SocCopyMode::CpuViaMemory),
+        ("dma", SocCopyMode::Dma),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &mode, |b, &m| {
+            b.iter(|| run_point(128, m, false).makespan_ns)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

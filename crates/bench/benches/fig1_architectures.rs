@@ -1,0 +1,23 @@
+//! Criterion bench for E1 (paper Fig. 1): simulate the same workload on
+//! the fixed-accelerator SoC vs the DRCF SoC.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use drcf_bench::e1_architectures::run_pair;
+use drcf_soc::prelude::wireless_receiver;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_architectures");
+    g.sample_size(10);
+    let w = wireless_receiver(4, 64);
+    g.bench_function("fixed_vs_drcf", |b| {
+        b.iter(|| {
+            let (fixed, folded) = run_pair(&w);
+            assert!(fixed.ok && folded.ok);
+            (fixed.makespan, folded.makespan)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion bench for E2 (paper Fig. 2): measure the whole
+//! implementation-style ladder.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use drcf_bench::e2_efficiency::measure_ladder;
+use drcf_soc::prelude::wireless_receiver;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_efficiency");
+    g.sample_size(10);
+    let w = wireless_receiver(2, 64);
+    g.bench_function("style_ladder", |b| {
+        b.iter(|| {
+            let pts = measure_ladder(&w);
+            assert_eq!(pts.len(), 5);
+            pts.last().unwrap().mops_per_mw
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Criterion bench for E3 (paper Fig. 3): a full flow iteration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use drcf_bench::e3_flow::run_flow;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_flow");
+    g.sample_size(10);
+    g.bench_function("full_iteration", |b| {
+        b.iter(|| {
+            let a = run_flow();
+            assert!(a.mapped.ok);
+            a.measured_switch_cost_ns
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench for E4 (paper Fig. 4): the four-phase transformation
+//! plus one equivalence simulation per side.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use drcf_bench::e4_transform::{equivalence_script, run_design};
+use drcf_core::prelude::{morphosys, FabricGeometry};
+use drcf_transform::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_transform");
+    g.sample_size(10);
+    let design = example_design(3);
+    let opts = TemplateOptions::new(morphosys(), FabricGeometry::new(64_000, 1));
+    g.bench_function("transform_only", |b| {
+        b.iter(|| {
+            transform_design(
+                &design,
+                &["hwa0", "hwa1", "hwa2"],
+                &opts,
+                ConfigTransport::SharedInterfaceBus { split_transactions: true },
+            )
+            .unwrap()
+        })
+    });
+    let transformed = transform_design(
+        &design,
+        &["hwa0", "hwa1", "hwa2"],
+        &opts,
+        ConfigTransport::SharedInterfaceBus { split_transactions: true },
+    )
+    .unwrap();
+    g.bench_function("equivalence_run", |b| {
+        b.iter(|| {
+            let (a, _, _) = run_design(&design, equivalence_script());
+            let (x, _, _) = run_design(&transformed.design, equivalence_script());
+            assert_eq!(a, x);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Simulator-throughput microbench: raw event rate of the kernel and the
+//! full bus stack (the substrate's own performance, not a paper figure).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use drcf_kernel::prelude::*;
+
+struct TimerChain {
+    remaining: u64,
+}
+impl Component for TimerChain {
+    fn handle(&mut self, api: &mut Api<'_>, msg: Msg) {
+        match msg.kind {
+            MsgKind::Start => api.timer_in(SimDuration::ns(1), 0),
+            MsgKind::Timer(_) if self.remaining > 0 => {
+                self.remaining -= 1;
+                api.timer_in(SimDuration::ns(1), 0);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    const EVENTS: u64 = 100_000;
+    let mut g = c.benchmark_group("kernel_throughput");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(EVENTS));
+    g.bench_function("timer_chain_100k", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new();
+            sim.add("chain", TimerChain { remaining: EVENTS });
+            assert_eq!(sim.run(), StopReason::Quiescent);
+            sim.metrics().dispatched
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Criterion bench for E6 (§5.3): memory-organization comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use drcf_bench::e6_mem_org::{org_cases, run_org};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mem_organizations");
+    g.sample_size(10);
+    for (name, path, dual) in org_cases() {
+        let path2 = path.clone();
+        g.bench_function(name, move |b| {
+            b.iter(|| run_org(name, path2.clone(), dual).makespan_ns)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

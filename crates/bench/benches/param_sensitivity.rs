@@ -1,0 +1,18 @@
+//! Criterion bench for E11 (§5.5/§6): parameter-sensitivity sweep points.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drcf_bench::e11_sensitivity::run_scaled;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("param_sensitivity");
+    g.sample_size(10);
+    for scale in [50u64, 100, 150] {
+        g.bench_with_input(BenchmarkId::from_parameter(scale), &scale, |b, &s| {
+            b.iter(|| run_scaled(s, 100).makespan_ns)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

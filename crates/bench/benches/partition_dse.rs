@@ -1,0 +1,24 @@
+//! Criterion bench for E9 (§5.1): exhaustive partitioning exploration
+//! (parallel subset sweep + Pareto extraction).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use drcf_core::prelude::morphosys;
+use drcf_dse::prelude::*;
+use drcf_soc::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("partition_dse");
+    g.sample_size(10);
+    let w = wireless_receiver(2, 32);
+    g.bench_function("all_subsets_with_pareto", |b| {
+        b.iter(|| {
+            let outcomes = explore_partitions(&w, &SocSpec::default(), &morphosys(), 2);
+            let records: Vec<RunRecord> = outcomes.iter().map(|o| o.record.clone()).collect();
+            pareto_front(&records, &[objectives::makespan, objectives::area]).len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

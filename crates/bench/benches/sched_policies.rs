@@ -1,0 +1,18 @@
+//! Criterion bench for E10: context-scheduling policy ladder.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drcf_bench::e10_scheduling::{policies, run_policy};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sched_policies");
+    g.sample_size(10);
+    for p in policies() {
+        g.bench_with_input(BenchmarkId::from_parameter(p.name), &p, |b, p| {
+            b.iter(|| run_policy(p).makespan_ns)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion bench for E7 (§5.4-3): the deadlock grid — all four
+//! bus-mode x config-path cases.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use drcf_bench::e7_deadlock::{run_case, PathFlavor};
+use drcf_bus::prelude::BusMode;
+use drcf_kernel::prelude::StopReason;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("split_vs_blocking");
+    g.sample_size(10);
+    g.bench_function("deadlock_grid", |b| {
+        b.iter(|| {
+            let (dead, _) = run_case(BusMode::Blocking, PathFlavor::SharedBus);
+            assert!(matches!(dead, StopReason::Deadlock { .. }));
+            let (ok, _) = run_case(BusMode::Split, PathFlavor::SharedBus);
+            assert_eq!(ok, StopReason::Quiescent);
+            let (ok2, _) = run_case(BusMode::Blocking, PathFlavor::Dedicated);
+            assert_eq!(ok2, StopReason::Quiescent);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

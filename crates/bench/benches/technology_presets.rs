@@ -1,0 +1,20 @@
+//! Criterion bench for E8 (Chapter 3): the same workload on each
+//! technology preset.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drcf_bench::e8_technologies::run_tech;
+use drcf_core::prelude::all_presets;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("technology_presets");
+    g.sample_size(10);
+    for tech in all_presets() {
+        g.bench_with_input(BenchmarkId::from_parameter(tech.name), &tech, |b, t| {
+            b.iter(|| run_tech(t).makespan_ns)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

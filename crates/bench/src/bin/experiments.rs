@@ -1,0 +1,19 @@
+//! Regenerate every experiment table and print it.
+//!
+//! `cargo run --release -p drcf-bench --bin experiments [--markdown] [ids...]`
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let markdown = args.iter().any(|a| a == "--markdown");
+    let ids: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    for r in drcf_bench::run_all() {
+        if !ids.is_empty() && !ids.iter().any(|i| i.eq_ignore_ascii_case(&r.id)) {
+            continue;
+        }
+        if markdown {
+            print!("{}", r.render_markdown());
+        } else {
+            print!("{}", r.render());
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Shared experiment plumbing.
+
+use drcf_dse::prelude::Table;
+
+/// One experiment's rendered outcome.
+#[derive(Debug, Clone, Default)]
+pub struct ExperimentResult {
+    /// Experiment id (E1..E11).
+    pub id: String,
+    /// What paper artifact it regenerates.
+    pub title: String,
+    /// Result tables.
+    pub tables: Vec<Table>,
+    /// Headline findings, one sentence each.
+    pub summary: Vec<String>,
+}
+
+impl ExperimentResult {
+    /// New, empty result.
+    pub fn new(id: &str, title: &str) -> Self {
+        ExperimentResult {
+            id: id.to_string(),
+            title: title.to_string(),
+            ..Default::default()
+        }
+    }
+
+    /// Render everything as plain text.
+    pub fn render(&self) -> String {
+        let mut out = format!("\n######## {} — {} ########\n\n", self.id, self.title);
+        for t in &self.tables {
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+        for s in &self.summary {
+            out.push_str("  * ");
+            out.push_str(s);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render tables as markdown (for EXPERIMENTS.md).
+    pub fn render_markdown(&self) -> String {
+        let mut out = format!("### {} — {}\n\n", self.id, self.title);
+        for t in &self.tables {
+            out.push_str(&t.render_markdown());
+            out.push('\n');
+        }
+        for s in &self.summary {
+            out.push_str("- ");
+            out.push_str(s);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Round to 1 decimal for stable table output.
+pub fn r1(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Round to 2 decimals.
+pub fn r2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Ratio with guard.
+pub fn ratio(a: f64, b: f64) -> f64 {
+    if b == 0.0 {
+        f64::INFINITY
+    } else {
+        a / b
+    }
+}

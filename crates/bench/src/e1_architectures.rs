@@ -1,0 +1,112 @@
+//! E1 — Fig. 1: conventional SoC (a) vs. SoC with a DRCF (b).
+//!
+//! The same wireless-receiver application runs on both architectures; the
+//! reconfigurable one trades time-multiplexing (reconfiguration) overhead
+//! for silicon area.
+
+use drcf_core::prelude::*;
+use drcf_dse::prelude::*;
+use drcf_soc::prelude::*;
+
+use crate::common::{r1, r2, ratio, ExperimentResult};
+
+/// Build the Fig. 1(b) mapping for a workload, folding every accelerator
+/// into a fabric sized for the largest one.
+pub fn fig1b_mapping(workload: &Workload, tech: Technology, margin: f64) -> Mapping {
+    let names: Vec<String> = workload.accels.iter().map(|a| a.name.clone()).collect();
+    Mapping::Drcf {
+        geometry: size_fabric(workload, &names, margin, 1),
+        candidates: names,
+        technology: tech,
+        config_path: SocConfigPath::SystemBus,
+        scheduler: SchedulerConfig::default(),
+        overlap_load_exec: false,
+    }
+}
+
+/// Run both architectures for one workload; returns (fixed, folded).
+pub fn run_pair(workload: &Workload) -> (RunMetrics, RunMetrics) {
+    let fixed = run_soc(build_soc(workload, &SocSpec::default()).expect("fig1a build")).0;
+    let spec = SocSpec {
+        mapping: fig1b_mapping(workload, morphosys(), 1.1),
+        ..SocSpec::default()
+    };
+    let folded = run_soc(build_soc(workload, &spec).expect("fig1b build")).0;
+    (fixed, folded)
+}
+
+/// Execute E1.
+pub fn run() -> ExperimentResult {
+    let mut res = ExperimentResult::new(
+        "E1",
+        "Fig. 1 — typical SoC vs. SoC with dynamically reconfigurable fabric",
+    );
+    let mut t = Table::new(
+        "wireless receiver, 4 frames x 64 samples",
+        &[
+            "architecture",
+            "makespan",
+            "area(kgate)",
+            "bus util",
+            "switches",
+            "config words",
+            "reconfig ovh",
+        ],
+    );
+    let w = wireless_receiver(4, 64);
+    let (fixed, folded) = run_pair(&w);
+    for (name, m) in [("Fig1a fixed accelerators", &fixed), ("Fig1b DRCF", &folded)] {
+        t.row(vec![
+            name.to_string(),
+            fmt_ns(m.makespan.as_ns_f64()),
+            r1(m.area_gates as f64 / 1000.0),
+            fmt_pct(m.bus_utilization),
+            m.switches.to_string(),
+            m.config_words.to_string(),
+            fmt_pct(m.reconfig_overhead),
+        ]);
+    }
+    res.tables.push(t);
+
+    let area_saving = 1.0
+        - ratio(
+            folded.area_gates as f64,
+            fixed.area_gates as f64,
+        );
+    let slowdown = ratio(
+        folded.makespan.as_ns_f64(),
+        fixed.makespan.as_ns_f64(),
+    );
+    res.summary.push(format!(
+        "folding the three accelerators into one fabric saves {} of accelerator area at a {}x makespan cost",
+        fmt_pct(area_saving),
+        r2(slowdown)
+    ));
+    assert!(fixed.ok && folded.ok, "both architectures must complete");
+    assert!(folded.area_gates < fixed.area_gates);
+    assert!(folded.makespan >= fixed.makespan);
+    res
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_shape_holds() {
+        let r = run();
+        assert_eq!(r.tables.len(), 1);
+        assert_eq!(r.tables[0].rows.len(), 2);
+        assert_eq!(r.summary.len(), 1);
+    }
+
+    #[test]
+    fn drcf_tradeoff_holds_across_workloads() {
+        for w in [wireless_receiver(2, 32), video_pipeline(2, 64)] {
+            let (fixed, folded) = run_pair(&w);
+            assert!(fixed.ok && folded.ok, "{}", w.name);
+            assert!(folded.area_gates < fixed.area_gates, "{}", w.name);
+            assert!(folded.switches > 0, "{}", w.name);
+        }
+    }
+}

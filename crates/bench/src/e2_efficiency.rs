@@ -1,0 +1,272 @@
+//! E2 — Fig. 2: flexibility vs. implementation efficiency.
+//!
+//! The figure places architectural styles on a ladder from general-purpose
+//! processors (0.1–1 MIPS/mW) through DSPs, ASIPs and reconfigurable
+//! fabrics to dedicated hardware (100–1000 MOPS/mW), with a "factor of
+//! 100–1000" between the endpoints and a question mark on the
+//! reconfiguration overhead. We regenerate the ladder by running the same
+//! kernel set under each style:
+//!
+//! * software styles execute the kernels on the CPU with a
+//!   style-dependent cycle penalty over dedicated hardware;
+//! * the reconfigurable style is the DRCF architecture (its
+//!   reconfiguration overhead measured, not assumed);
+//! * the ASIC style is the fixed-accelerator architecture.
+
+use drcf_dse::prelude::*;
+use drcf_soc::prelude::*;
+
+use crate::common::{r1, ratio, ExperimentResult};
+use crate::e1_architectures::fig1b_mapping;
+
+/// An architectural style of Fig. 2.
+#[derive(Debug, Clone)]
+pub struct Style {
+    /// Name in the figure.
+    pub name: &'static str,
+    /// Cycle penalty over dedicated hardware for kernel work (software
+    /// styles only).
+    pub cycle_penalty: Option<u64>,
+    /// Average power while computing, mW.
+    pub power_mw: f64,
+}
+
+/// The ladder, least to most efficient.
+pub fn styles() -> Vec<Style> {
+    // Penalties are in CPU cycles (the CPU clocks at 300 MHz vs the
+    // accelerators' 100 MHz, so a cycle penalty of 180 is a 60x wall-clock
+    // penalty over dedicated hardware).
+    vec![
+        Style {
+            name: "GPP (instruction set)",
+            cycle_penalty: Some(180),
+            power_mw: 1500.0,
+        },
+        Style {
+            name: "DSP",
+            cycle_penalty: Some(36),
+            power_mw: 700.0,
+        },
+        Style {
+            name: "ASIP",
+            cycle_penalty: Some(12),
+            power_mw: 350.0,
+        },
+        Style {
+            name: "Reconfigurable (DRCF)",
+            cycle_penalty: None,
+            power_mw: 160.0,
+        },
+        Style {
+            name: "Dedicated HW (ASIC)",
+            cycle_penalty: None,
+            power_mw: 75.0,
+        },
+    ]
+}
+
+/// Replace hardware tasks with software tasks whose cycle count is the
+/// kernel's hardware cycles times `penalty` (the software rendering of the
+/// same computation).
+pub fn soften(workload: &Workload, penalty: u64) -> Workload {
+    let mut g = TaskGraph::new();
+    for t in &workload.graph.tasks {
+        let kind = match &t.kind {
+            TaskKind::Software { cycles } => TaskKind::Software { cycles: *cycles },
+            TaskKind::Hardware {
+                accel,
+                input_words,
+                ..
+            } => {
+                let k = workload
+                    .accels
+                    .iter()
+                    .find(|a| &a.name == accel)
+                    .expect("workload accel");
+                TaskKind::Software {
+                    cycles: k.kind.compute_cycles(*input_words as u64) * penalty,
+                }
+            }
+        };
+        g.add(&t.name, kind, t.deps.clone());
+    }
+    Workload {
+        name: format!("{}+soft{penalty}", workload.name),
+        graph: g,
+        accels: vec![], // no hardware at all
+    }
+}
+
+/// Total reference operations: kernel compute cycles on dedicated HW.
+pub fn reference_ops(workload: &Workload) -> u64 {
+    workload
+        .graph
+        .tasks
+        .iter()
+        .filter_map(|t| match &t.kind {
+            TaskKind::Hardware {
+                accel, input_words, ..
+            } => workload
+                .accels
+                .iter()
+                .find(|a| &a.name == accel)
+                .map(|a| a.kind.compute_cycles(*input_words as u64)),
+            _ => None,
+        })
+        .sum()
+}
+
+/// One style's measured point.
+#[derive(Debug, Clone)]
+pub struct StylePoint {
+    /// Style name.
+    pub name: &'static str,
+    /// Measured makespan, ns.
+    pub makespan_ns: f64,
+    /// Power assumption, mW.
+    pub power_mw: f64,
+    /// MOPS (reference ops / time).
+    pub mops: f64,
+    /// Efficiency, MOPS/mW.
+    pub mops_per_mw: f64,
+    /// Reconfiguration overhead fraction (reconfigurable style only).
+    pub reconfig_overhead: f64,
+}
+
+/// Measure the whole ladder for a workload.
+pub fn measure_ladder(workload: &Workload) -> Vec<StylePoint> {
+    let ops = reference_ops(workload) as f64;
+    styles()
+        .into_iter()
+        .map(|style| {
+            let (makespan_ns, reconfig) = match (style.name, style.cycle_penalty) {
+                (_, Some(penalty)) => {
+                    let soft = soften(workload, penalty);
+                    let (m, _) = run_soc(build_soc(&soft, &SocSpec::default()).expect("soft"));
+                    assert!(m.ok);
+                    (m.makespan.as_ns_f64(), 0.0)
+                }
+                ("Reconfigurable (DRCF)", None) => {
+                    let spec = SocSpec {
+                        mapping: fig1b_mapping(
+                            workload,
+                            drcf_core::prelude::morphosys(),
+                            1.1,
+                        ),
+                        ..SocSpec::default()
+                    };
+                    let (m, _) = run_soc(build_soc(workload, &spec).expect("drcf"));
+                    assert!(m.ok);
+                    (m.makespan.as_ns_f64(), m.reconfig_overhead)
+                }
+                _ => {
+                    let (m, _) = run_soc(build_soc(workload, &SocSpec::default()).expect("asic"));
+                    assert!(m.ok);
+                    (m.makespan.as_ns_f64(), 0.0)
+                }
+            };
+            let mops = ops / (makespan_ns / 1000.0); // ops per µs = MOPS
+            StylePoint {
+                name: style.name,
+                makespan_ns,
+                power_mw: style.power_mw,
+                mops,
+                mops_per_mw: mops / style.power_mw,
+                reconfig_overhead: reconfig,
+            }
+        })
+        .collect()
+}
+
+/// Execute E2.
+pub fn run() -> ExperimentResult {
+    let mut res = ExperimentResult::new(
+        "E2",
+        "Fig. 2 — flexibility vs. implementation efficiency ladder",
+    );
+    let w = wireless_receiver(3, 128);
+    let points = measure_ladder(&w);
+    let mut t = Table::new(
+        "wireless receiver, 3 frames x 128 samples",
+        &[
+            "style",
+            "makespan",
+            "power(mW)",
+            "MOPS",
+            "MOPS/mW",
+            "vs GPP",
+            "reconfig ovh",
+        ],
+    );
+    let base = points[0].mops_per_mw;
+    for p in &points {
+        t.row(vec![
+            p.name.to_string(),
+            fmt_ns(p.makespan_ns),
+            r1(p.power_mw),
+            r1(p.mops),
+            format!("{:.3}", p.mops_per_mw),
+            format!("{:.0}x", ratio(p.mops_per_mw, base)),
+            fmt_pct(p.reconfig_overhead),
+        ]);
+    }
+    res.tables.push(t);
+
+    // The figure's qualitative claims.
+    for w2 in points.windows(2) {
+        assert!(
+            w2[1].mops_per_mw > w2[0].mops_per_mw,
+            "ladder must be monotone: {} !< {}",
+            w2[0].name,
+            w2[1].name
+        );
+    }
+    let asic_vs_gpp = ratio(points.last().unwrap().mops_per_mw, base);
+    assert!(
+        (50.0..=5000.0).contains(&asic_vs_gpp),
+        "ASIC/GPP efficiency gap {asic_vs_gpp} outside the figure's order of magnitude"
+    );
+    let drcf = &points[3];
+    res.summary.push(format!(
+        "efficiency ladder is monotone; dedicated hardware is {:.0}x more efficient than the GPP (figure claims 100-1000x)",
+        asic_vs_gpp
+    ));
+    res.summary.push(format!(
+        "the figure's 'reconfiguration overhead ?' measures as {} of runtime for this workload",
+        fmt_pct(drcf.reconfig_overhead)
+    ));
+    res
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softened_workload_is_pure_software() {
+        let w = wireless_receiver(1, 32);
+        let s = soften(&w, 10);
+        assert!(s.accels.is_empty());
+        assert!(s
+            .graph
+            .tasks
+            .iter()
+            .all(|t| matches!(t.kind, TaskKind::Software { .. })));
+        assert_eq!(s.graph.tasks.len(), w.graph.tasks.len());
+    }
+
+    #[test]
+    fn reference_ops_counts_kernels_only() {
+        let w = wireless_receiver(1, 32);
+        assert!(reference_ops(&w) > 0);
+        let s = soften(&w, 10);
+        assert_eq!(reference_ops(&s), 0);
+    }
+
+    #[test]
+    fn e2_ladder_is_monotone() {
+        let r = run();
+        assert_eq!(r.tables[0].rows.len(), 5);
+        assert_eq!(r.summary.len(), 2);
+    }
+}

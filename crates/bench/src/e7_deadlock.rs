@@ -1,0 +1,168 @@
+//! E7 — §5.4, limitation 3: the blocking-bus deadlock.
+//!
+//! "If this is not the case, a data transfer to a component in DRCF would
+//! block the bus until the transfer is completed and the DRCF could not
+//! load a new context, since the bus is already blocked. This results in
+//! deadlock of the bus."
+//!
+//! The experiment runs the same single-access system across a bus-mode ×
+//! config-path grid: the deadlock appears exactly when the interface bus
+//! is blocking *and* the configuration shares it — and every mitigation
+//! the paper permits (split transactions, a dedicated configuration path)
+//! removes it.
+
+use drcf_bus::prelude::*;
+use drcf_core::prelude::*;
+use drcf_dse::prelude::*;
+use drcf_kernel::prelude::*;
+
+use crate::common::ExperimentResult;
+use crate::e4_transform::ScriptProbe;
+
+/// Configuration-path flavor under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathFlavor {
+    /// Config over the same system bus.
+    SharedBus,
+    /// Config over a dedicated port.
+    Dedicated,
+}
+
+/// Build and run; returns the stop reason and the simulated end time.
+pub fn run_case(mode: BusMode, flavor: PathFlavor) -> (StopReason, SimTime) {
+    let mut sim = Simulator::new();
+    let mut map = AddressMap::new();
+    map.add(0x0000, 0x0FFF, 2).unwrap();
+    map.add(0x8000, 0x800F, 3).unwrap();
+    sim.add(
+        "probe",
+        ScriptProbe::new(1, vec![(BusOp::Write, 0x8000, 1)]),
+    );
+    sim.add(
+        "bus",
+        Bus::new(
+            BusConfig {
+                mode,
+                ..BusConfig::default()
+            },
+            map,
+        ),
+    );
+    sim.add(
+        "mem",
+        Memory::new(MemoryConfig {
+            size_words: 0x1000,
+            dual_port: true,
+            ..MemoryConfig::default()
+        }),
+    );
+    let path = match flavor {
+        PathFlavor::SharedBus => ConfigPath::SystemBus {
+            bus: 1,
+            priority: 3,
+            burst: 16,
+        },
+        PathFlavor::Dedicated => ConfigPath::DirectPort { memory: 2 },
+    };
+    sim.add(
+        "drcf",
+        Drcf::new(
+            DrcfConfig {
+                clock_mhz: 100,
+                config_path: path,
+                scheduler: SchedulerConfig::default(),
+                overlap_load_exec: false,
+            },
+            vec![Context::new(
+                Box::new(RegisterFile::new("ctx", 0x8000, 16, 1)),
+                ContextParams {
+                    config_addr: 0x100,
+                    config_size_words: 256,
+                    ..ContextParams::default()
+                },
+            )],
+        ),
+    );
+    let reason = sim.run();
+    (reason, sim.now())
+}
+
+/// Execute E7.
+pub fn run() -> ExperimentResult {
+    let mut res = ExperimentResult::new(
+        "E7",
+        "§5.4 limitation 3 — bus deadlock with blocking calls vs. the permitted fixes",
+    );
+    let mut t = Table::new(
+        "single suspended call during a context load",
+        &["bus mode", "config path", "outcome", "end time"],
+    );
+    let cases = [
+        (BusMode::Blocking, PathFlavor::SharedBus),
+        (BusMode::Blocking, PathFlavor::Dedicated),
+        (BusMode::Split, PathFlavor::SharedBus),
+        (BusMode::Split, PathFlavor::Dedicated),
+    ];
+    let mut outcomes = Vec::new();
+    for (mode, flavor) in cases {
+        let (reason, end) = run_case(mode, flavor);
+        outcomes.push((mode, flavor, reason));
+        t.row(vec![
+            format!("{mode:?}"),
+            format!("{flavor:?}"),
+            format!("{reason:?}"),
+            format!("{end}"),
+        ]);
+    }
+    res.tables.push(t);
+
+    // Exactly one case deadlocks: blocking bus + shared config path.
+    for (mode, flavor, reason) in &outcomes {
+        let should_deadlock =
+            *mode == BusMode::Blocking && *flavor == PathFlavor::SharedBus;
+        if should_deadlock {
+            assert!(
+                matches!(reason, StopReason::Deadlock { .. }),
+                "expected deadlock for {mode:?}/{flavor:?}, got {reason:?}"
+            );
+        } else {
+            assert_eq!(
+                *reason,
+                StopReason::Quiescent,
+                "{mode:?}/{flavor:?} must complete"
+            );
+        }
+    }
+    res.summary.push(
+        "the deadlock occurs exactly when the context-memory bus is the blocking interface bus; \
+         split transactions or a dedicated configuration path (the paper's own conditions) remove it"
+            .to_string(),
+    );
+    res.summary.push(
+        "the kernel reports it as StopReason::Deadlock with the outstanding-transaction count — \
+         quiescence and deadlock are distinguishable states, not a hung simulation"
+            .to_string(),
+    );
+    res
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_blocking_shared_deadlocks() {
+        let (r, _) = run_case(BusMode::Blocking, PathFlavor::SharedBus);
+        assert!(matches!(r, StopReason::Deadlock { pending } if pending >= 2));
+        let (r, _) = run_case(BusMode::Blocking, PathFlavor::Dedicated);
+        assert_eq!(r, StopReason::Quiescent);
+        let (r, _) = run_case(BusMode::Split, PathFlavor::SharedBus);
+        assert_eq!(r, StopReason::Quiescent);
+    }
+
+    #[test]
+    fn e7_table_has_four_cases() {
+        let r = run();
+        assert_eq!(r.tables[0].rows.len(), 4);
+    }
+}

@@ -1,0 +1,62 @@
+//! # drcf-bench — experiment harnesses
+//!
+//! One module per reproduced paper artifact (figure or quantitative
+//! claim); each `run()` returns rendered tables plus one-line findings and
+//! *asserts the qualitative shape* the paper claims (who wins, what is
+//! monotone, where the deadlock appears). The `experiments` binary prints
+//! everything; the criterion benches in `benches/` time the underlying
+//! simulations.
+//!
+//! | module | paper artifact |
+//! |--------|----------------|
+//! | [`e1_architectures`] | Fig. 1 — SoC (a) vs DRCF SoC (b) |
+//! | [`e2_efficiency`]    | Fig. 2 — flexibility vs efficiency ladder |
+//! | [`e3_flow`]          | Fig. 3 — the ADRIATIC design flow |
+//! | [`e4_transform`]     | Fig. 4 + §5.2 listings — the transformation |
+//! | [`e5_ctx_switch`]    | §5.3 — context-switch cost model |
+//! | [`e6_mem_org`]       | §5.3 — memory organizations |
+//! | [`e7_deadlock`]      | §5.4(3) — the blocking-bus deadlock |
+//! | [`e8_technologies`]  | Ch. 3 — technology presets |
+//! | [`e9_partition`]     | §5.1 — partitioning rules vs exploration |
+//! | [`e10_scheduling`]   | MorphoSys/Maestre scheduling policies |
+//! | [`e11_sensitivity`]  | §5.5/§6 — parameter-accuracy sensitivity |
+//! | [`e12_hierarchy`]    | §4 extension — hierarchical bus topologies |
+//! | [`e13_data_movement`]| Fig. 1 extension — CPU vs DMA data movement |
+
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod e1_architectures;
+pub mod e2_efficiency;
+pub mod e3_flow;
+pub mod e4_transform;
+pub mod e5_ctx_switch;
+pub mod e6_mem_org;
+pub mod e7_deadlock;
+pub mod e8_technologies;
+pub mod e9_partition;
+pub mod e10_scheduling;
+pub mod e11_sensitivity;
+pub mod e12_hierarchy;
+pub mod e13_data_movement;
+
+use common::ExperimentResult;
+
+/// Run every experiment, in paper order.
+pub fn run_all() -> Vec<ExperimentResult> {
+    vec![
+        e1_architectures::run(),
+        e2_efficiency::run(),
+        e3_flow::run(),
+        e4_transform::run(),
+        e5_ctx_switch::run(),
+        e6_mem_org::run(),
+        e7_deadlock::run(),
+        e8_technologies::run(),
+        e9_partition::run(),
+        e10_scheduling::run(),
+        e11_sensitivity::run(),
+        e12_hierarchy::run(),
+        e13_data_movement::run(),
+    ]
+}

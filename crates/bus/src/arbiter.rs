@@ -1,0 +1,265 @@
+//! Bus arbitration policies.
+//!
+//! The arbiter picks which pending request gets the bus when it goes idle.
+//! Three classic policies are provided: fixed priority, round-robin, and
+//! TDMA. All are deterministic.
+
+use drcf_kernel::prelude::{ComponentId, SimDuration, SimTime};
+
+/// Summary of one queued request, as seen by the arbiter.
+#[derive(Debug, Clone, Copy)]
+pub struct Candidate {
+    /// Requesting master.
+    pub master: ComponentId,
+    /// Request priority.
+    pub priority: u8,
+    /// Monotone arrival order (smaller = earlier).
+    pub arrival: u64,
+    /// True when this is the response phase of a split transaction;
+    /// responses outrank fresh requests in every policy so split buses
+    /// drain rather than starve.
+    pub is_response: bool,
+}
+
+/// An arbitration policy.
+pub trait Arbiter: 'static {
+    /// Choose one of `candidates` (returning its index), or `None` to leave
+    /// the bus idle this round (TDMA outside the owner's slot). `candidates`
+    /// is never empty.
+    fn pick(&mut self, now: SimTime, candidates: &[Candidate]) -> Option<usize>;
+
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Selects pending responses before requests; among the given subset,
+/// applies `key` and takes the minimum. Returns the winning index.
+fn pick_min_by<K: Ord>(candidates: &[Candidate], key: impl Fn(&Candidate) -> K) -> usize {
+    let responses_exist = candidates.iter().any(|c| c.is_response);
+    candidates
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| !responses_exist || c.is_response)
+        .min_by_key(|(_, c)| key(c))
+        .map(|(i, _)| i)
+        .expect("candidates nonempty")
+}
+
+/// Fixed priority: highest `priority` wins; ties broken by arrival order.
+#[derive(Debug, Default)]
+pub struct PriorityArbiter;
+
+impl Arbiter for PriorityArbiter {
+    fn pick(&mut self, _now: SimTime, candidates: &[Candidate]) -> Option<usize> {
+        Some(pick_min_by(candidates, |c| {
+            (std::cmp::Reverse(c.priority), c.arrival)
+        }))
+    }
+    fn name(&self) -> &'static str {
+        "priority"
+    }
+}
+
+/// Round-robin over masters: the master that was granted least recently
+/// wins; brand-new masters count as least recent.
+#[derive(Debug, Default)]
+pub struct RoundRobinArbiter {
+    /// grant counter per master, in discovery order.
+    history: Vec<(ComponentId, u64)>,
+    grants: u64,
+}
+
+impl RoundRobinArbiter {
+    fn last_grant(&self, m: ComponentId) -> u64 {
+        self.history
+            .iter()
+            .find(|&&(id, _)| id == m)
+            .map(|&(_, g)| g)
+            .unwrap_or(0)
+    }
+
+    fn note_grant(&mut self, m: ComponentId) {
+        self.grants += 1;
+        let g = self.grants;
+        if let Some(e) = self.history.iter_mut().find(|e| e.0 == m) {
+            e.1 = g;
+        } else {
+            self.history.push((m, g));
+        }
+    }
+}
+
+impl Arbiter for RoundRobinArbiter {
+    fn pick(&mut self, _now: SimTime, candidates: &[Candidate]) -> Option<usize> {
+        let idx = pick_min_by(candidates, |c| (self.last_grant(c.master), c.arrival));
+        self.note_grant(candidates[idx].master);
+        Some(idx)
+    }
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+}
+
+/// TDMA: time is divided into fixed slots, each owned by one master; a
+/// request is granted only in its owner's slot. Responses are always
+/// granted (they already own the transaction).
+#[derive(Debug)]
+pub struct TdmaArbiter {
+    /// Slot owners, cycled in order.
+    pub owners: Vec<ComponentId>,
+    /// Slot length.
+    pub slot: SimDuration,
+}
+
+impl TdmaArbiter {
+    /// New TDMA schedule.
+    pub fn new(owners: Vec<ComponentId>, slot: SimDuration) -> Self {
+        assert!(!owners.is_empty(), "TDMA needs at least one slot owner");
+        assert!(!slot.is_zero(), "TDMA slot must be nonzero");
+        TdmaArbiter { owners, slot }
+    }
+
+    /// Which master owns the bus at `now`.
+    pub fn owner_at(&self, now: SimTime) -> ComponentId {
+        let slot_idx = (now.as_fs() / self.slot.as_fs()) as usize % self.owners.len();
+        self.owners[slot_idx]
+    }
+}
+
+impl Arbiter for TdmaArbiter {
+    fn pick(&mut self, now: SimTime, candidates: &[Candidate]) -> Option<usize> {
+        if candidates.iter().any(|c| c.is_response) {
+            return Some(pick_min_by(candidates, |c| c.arrival));
+        }
+        let owner = self.owner_at(now);
+        candidates
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.master == owner)
+            .min_by_key(|(_, c)| c.arrival)
+            .map(|(i, _)| i)
+    }
+    fn name(&self) -> &'static str {
+        "tdma"
+    }
+}
+
+/// Arbiter selection for configuration structs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArbiterKind {
+    /// [`PriorityArbiter`].
+    Priority,
+    /// [`RoundRobinArbiter`].
+    RoundRobin,
+    /// [`TdmaArbiter`] with the given owners and slot.
+    Tdma {
+        /// Slot owners in rotation order.
+        owners: Vec<ComponentId>,
+        /// Slot duration.
+        slot: SimDuration,
+    },
+}
+
+impl ArbiterKind {
+    /// Instantiate the policy.
+    pub fn build(&self) -> Box<dyn Arbiter> {
+        match self {
+            ArbiterKind::Priority => Box::new(PriorityArbiter),
+            ArbiterKind::RoundRobin => Box::new(RoundRobinArbiter::default()),
+            ArbiterKind::Tdma { owners, slot } => {
+                Box::new(TdmaArbiter::new(owners.clone(), *slot))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(master: ComponentId, priority: u8, arrival: u64) -> Candidate {
+        Candidate {
+            master,
+            priority,
+            arrival,
+            is_response: false,
+        }
+    }
+
+    #[test]
+    fn priority_prefers_higher_then_earlier() {
+        let mut a = PriorityArbiter;
+        let c = vec![cand(1, 0, 0), cand(2, 5, 1), cand(3, 5, 2)];
+        assert_eq!(a.pick(SimTime::ZERO, &c), Some(1));
+    }
+
+    #[test]
+    fn responses_outrank_requests() {
+        let mut a = PriorityArbiter;
+        let mut c = vec![cand(1, 200, 0), cand(2, 0, 1)];
+        c[1].is_response = true;
+        assert_eq!(a.pick(SimTime::ZERO, &c), Some(1));
+    }
+
+    #[test]
+    fn round_robin_alternates_between_masters() {
+        let mut a = RoundRobinArbiter::default();
+        let c = vec![cand(1, 0, 0), cand(2, 0, 1)];
+        let first = a.pick(SimTime::ZERO, &c).unwrap();
+        assert_eq!(first, 0, "earlier arrival wins among unseen masters");
+        // Master 1 was just granted; master 2 must win now.
+        let second = a.pick(SimTime::ZERO, &c).unwrap();
+        assert_eq!(second, 1);
+        // And back to master 1.
+        let third = a.pick(SimTime::ZERO, &c).unwrap();
+        assert_eq!(third, 0);
+    }
+
+    #[test]
+    fn round_robin_fairness_bound() {
+        // Over many rounds with both masters always pending, grants differ
+        // by at most one.
+        let mut a = RoundRobinArbiter::default();
+        let c = vec![cand(1, 0, 0), cand(2, 0, 1)];
+        let mut counts = [0u32; 2];
+        for _ in 0..101 {
+            let w = a.pick(SimTime::ZERO, &c).unwrap();
+            counts[w] += 1;
+        }
+        assert!(counts[0].abs_diff(counts[1]) <= 1, "{counts:?}");
+    }
+
+    #[test]
+    fn tdma_grants_only_slot_owner() {
+        let mut a = TdmaArbiter::new(vec![10, 20], SimDuration::ns(100));
+        let c = vec![cand(10, 0, 0), cand(20, 0, 1)];
+        // t = 50ns: slot 0, owner 10.
+        assert_eq!(a.pick(SimTime::ZERO + SimDuration::ns(50), &c), Some(0));
+        // t = 150ns: slot 1, owner 20.
+        assert_eq!(a.pick(SimTime::ZERO + SimDuration::ns(150), &c), Some(1));
+        // t = 250ns: wraps to owner 10.
+        assert_eq!(a.pick(SimTime::ZERO + SimDuration::ns(250), &c), Some(0));
+        // Owner absent -> idle.
+        let only20 = vec![cand(20, 0, 0)];
+        assert_eq!(a.pick(SimTime::ZERO, &only20), None);
+    }
+
+    #[test]
+    fn tdma_always_lets_responses_through() {
+        let mut a = TdmaArbiter::new(vec![10], SimDuration::ns(10));
+        let mut c = vec![cand(99, 0, 0)];
+        c[0].is_response = true;
+        assert_eq!(a.pick(SimTime::ZERO, &c), Some(0));
+    }
+
+    #[test]
+    fn kind_builds_the_right_policy() {
+        assert_eq!(ArbiterKind::Priority.build().name(), "priority");
+        assert_eq!(ArbiterKind::RoundRobin.build().name(), "round-robin");
+        let k = ArbiterKind::Tdma {
+            owners: vec![1],
+            slot: SimDuration::ns(5),
+        };
+        assert_eq!(k.build().name(), "tdma");
+    }
+}

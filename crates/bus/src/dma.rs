@@ -1,0 +1,479 @@
+//! DMA controller.
+//!
+//! Moves blocks of words from a source to a destination address by
+//! mastering the bus with burst transactions, like the DMA controllers in
+//! both of the paper's reference architectures (Fig. 1) and MorphoSys's
+//! context/frame transfer engine. Programmable two ways:
+//!
+//! * over the bus, through four registers (SRC, DST, LEN, CTRL) — how a CPU
+//!   model kicks off a transfer;
+//! * by a direct [`DmaProgram`] message — how another component (e.g. a
+//!   testbench) requests a transfer.
+//!
+//! On completion the programmer receives a [`DmaDone`].
+
+use drcf_kernel::prelude::*;
+
+use crate::interfaces::MasterPort;
+use crate::protocol::{Addr, BusOp, BusResponse, SlaveAccess, SlaveReply, Word};
+
+/// Register offsets from the DMA's base address.
+pub mod regs {
+    /// Source address register.
+    pub const SRC: u64 = 0;
+    /// Destination address register.
+    pub const DST: u64 = 1;
+    /// Length (words) register.
+    pub const LEN: u64 = 2;
+    /// Control/status: write 1 to start (poll CTRL for DONE), write
+    /// [`super::ctrl::START_IRQ`] to start with a completion notification
+    /// ([`super::DmaDone`]) sent to the programming master. Reads back
+    /// 0 = idle, 1 = busy, 2 = done.
+    pub const CTRL: u64 = 3;
+}
+
+/// CTRL write commands.
+pub mod ctrl {
+    /// Start; completion is observed by polling CTRL.
+    pub const START: u64 = 1;
+    /// Start; completion additionally raises a `DmaDone` message to the
+    /// master that wrote the register (interrupt-style).
+    pub const START_IRQ: u64 = 3;
+}
+
+/// Status codes readable from the CTRL register.
+pub mod status {
+    /// No transfer programmed.
+    pub const IDLE: u64 = 0;
+    /// Transfer in progress.
+    pub const BUSY: u64 = 1;
+    /// Last transfer completed.
+    pub const DONE: u64 = 2;
+}
+
+/// Direct programming message.
+#[derive(Debug, Clone)]
+pub struct DmaProgram {
+    /// Source start address.
+    pub src: Addr,
+    /// Destination start address.
+    pub dst: Addr,
+    /// Words to move.
+    pub words: u64,
+    /// Component to notify on completion.
+    pub notify: ComponentId,
+    /// Tag echoed in the completion message.
+    pub tag: u64,
+}
+
+/// Completion notification.
+#[derive(Debug, Clone, Copy)]
+pub struct DmaDone {
+    /// Tag from the program.
+    pub tag: u64,
+    /// Words moved.
+    pub words: u64,
+}
+
+/// DMA parameters.
+#[derive(Debug, Clone)]
+pub struct DmaConfig {
+    /// Register block base address.
+    pub base: Addr,
+    /// Largest burst per bus transaction.
+    pub max_burst: usize,
+    /// Bus priority of DMA transactions.
+    pub priority: u8,
+}
+
+impl Default for DmaConfig {
+    fn default() -> Self {
+        DmaConfig {
+            base: 0xD000,
+            max_burst: 16,
+            priority: 2,
+        }
+    }
+}
+
+enum State {
+    Idle,
+    /// A read burst is in flight.
+    Reading,
+    /// A write burst is in flight.
+    Writing,
+}
+
+/// The DMA controller component.
+pub struct Dma {
+    cfg: DmaConfig,
+    regs: [Word; 4],
+    port: MasterPort,
+    state: State,
+    remaining: u64,
+    cur_src: Addr,
+    cur_dst: Addr,
+    notify: Option<(ComponentId, u64)>,
+    /// Total words moved across all transfers.
+    pub words_moved: u64,
+    /// Completed transfers.
+    pub transfers: u64,
+}
+
+impl Dma {
+    /// New controller mastering `bus`.
+    pub fn new(cfg: DmaConfig, bus: ComponentId) -> Self {
+        let priority = cfg.priority;
+        Dma {
+            cfg,
+            regs: [0; 4],
+            port: MasterPort::new(bus, priority),
+            state: State::Idle,
+            remaining: 0,
+            cur_src: 0,
+            cur_dst: 0,
+            notify: None,
+            words_moved: 0,
+            transfers: 0,
+        }
+    }
+
+    /// Register block base.
+    pub fn base(&self) -> Addr {
+        self.cfg.base
+    }
+
+    /// Register block top (inclusive).
+    pub fn high(&self) -> Addr {
+        self.cfg.base + 3
+    }
+
+    fn start(&mut self, api: &mut Api<'_>, src: Addr, dst: Addr, words: u64) {
+        if words == 0 {
+            self.regs[regs::CTRL as usize] = status::DONE;
+            self.finish(api);
+            return;
+        }
+        self.remaining = words;
+        self.cur_src = src;
+        self.cur_dst = dst;
+        self.regs[regs::CTRL as usize] = status::BUSY;
+        self.issue_read(api);
+    }
+
+    fn issue_read(&mut self, api: &mut Api<'_>) {
+        let burst = (self.remaining as usize).min(self.cfg.max_burst);
+        self.port.read(api, self.cur_src, burst);
+        self.state = State::Reading;
+    }
+
+    fn finish(&mut self, api: &mut Api<'_>) {
+        self.state = State::Idle;
+        self.transfers += 1;
+        if let Some((target, tag)) = self.notify.take() {
+            let words = self.regs[regs::LEN as usize];
+            api.send(target, DmaDone { tag, words }, Delay::Delta);
+        }
+    }
+
+    fn on_response(&mut self, api: &mut Api<'_>, resp: BusResponse) {
+        if !resp.is_ok() {
+            api.log(
+                Severity::Error,
+                format!("DMA transaction failed at {:#x}: {:?}", resp.addr, resp.status),
+            );
+            self.regs[regs::CTRL as usize] = status::IDLE;
+            self.finish(api);
+            return;
+        }
+        match self.state {
+            State::Reading => {
+                let n = resp.data.len() as u64;
+                let dst = self.cur_dst;
+                self.port.write(api, dst, resp.data);
+                self.cur_src += n;
+                self.cur_dst += n;
+                self.remaining -= n;
+                self.words_moved += n;
+                self.state = State::Writing;
+            }
+            State::Writing => {
+                if self.remaining > 0 {
+                    self.issue_read(api);
+                } else {
+                    self.regs[regs::CTRL as usize] = status::DONE;
+                    self.finish(api);
+                }
+            }
+            State::Idle => {
+                api.log(Severity::Warning, "DMA response while idle".to_string());
+            }
+        }
+    }
+
+    fn on_slave_access(&mut self, api: &mut Api<'_>, access: SlaveAccess) {
+        use crate::protocol::{BusStatus, BusRequest};
+        let req: &BusRequest = &access.req;
+        let mut status_code = BusStatus::Ok;
+        let mut data = Vec::new();
+        let off = req.addr.wrapping_sub(self.cfg.base);
+        if off > 3 || req.burst != 1 {
+            status_code = BusStatus::SlaveError;
+        } else {
+            match req.op {
+                BusOp::Read => data.push(self.regs[off as usize]),
+                BusOp::Write => {
+                    let v = req.data[0];
+                    self.regs[off as usize] = v;
+                    if off == regs::CTRL && v != 0 && matches!(self.state, State::Idle) {
+                        if v == ctrl::START_IRQ {
+                            // Interrupt-style completion to the programmer.
+                            self.notify = Some((req.master, 0));
+                        }
+                        let (src, dst, len) = (
+                            self.regs[regs::SRC as usize],
+                            self.regs[regs::DST as usize],
+                            self.regs[regs::LEN as usize],
+                        );
+                        self.start(api, src, dst, len);
+                    }
+                }
+            }
+        }
+        let resp = BusResponse {
+            id: req.id,
+            op: req.op,
+            addr: req.addr,
+            status: status_code,
+            data,
+        };
+        // Register access takes one bus-clock-ish cycle; modeled as 10 ns.
+        api.send_in(
+            access.bus,
+            SlaveReply {
+                resp,
+                master: access.req.master,
+            },
+            SimDuration::ns(10),
+        );
+    }
+}
+
+impl Component for Dma {
+    fn handle(&mut self, api: &mut Api<'_>, msg: Msg) {
+        let msg = match self.port.take_response(api, msg) {
+            Ok(resp) => {
+                self.on_response(api, resp);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.user::<SlaveAccess>() {
+            Ok(access) => {
+                self.on_slave_access(api, access);
+                return;
+            }
+            Err(m) => m,
+        };
+        if let Ok(prog) = msg.user::<DmaProgram>() {
+            if matches!(self.state, State::Idle) {
+                self.notify = Some((prog.notify, prog.tag));
+                self.regs[regs::SRC as usize] = prog.src;
+                self.regs[regs::DST as usize] = prog.dst;
+                self.regs[regs::LEN as usize] = prog.words;
+                self.start(api, prog.src, prog.dst, prog.words);
+            } else {
+                api.log(
+                    Severity::Warning,
+                    "DMA program rejected: controller busy".to_string(),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::{Bus, BusConfig};
+    use crate::map::AddressMap;
+    use crate::memory::{Memory, MemoryConfig};
+
+    /// Build: driver(0) -> bus(1); memory(2) holds both src and dst
+    /// regions; dma(3).
+    fn build() -> Simulator {
+        let mut sim = Simulator::new();
+        let mut map = AddressMap::new();
+        map.add(0x0000, 0x0FFF, 2).unwrap(); // memory
+        map.add(0xD000, 0xD003, 3).unwrap(); // DMA registers
+        sim.add(
+            "driver",
+            FnComponent::new(move |api, msg| {
+                match &msg.kind {
+                    MsgKind::Start => {
+                        api.send(
+                            3,
+                            DmaProgram {
+                                src: 0x000,
+                                dst: 0x800,
+                                words: 40,
+                                notify: 0,
+                                tag: 5,
+                            },
+                            Delay::Delta,
+                        );
+                        api.obligation_begin();
+                    }
+                    _ => {
+                        if msg.user_ref::<DmaDone>().is_some() {
+                            api.obligation_end();
+                        }
+                    }
+                }
+            }),
+        );
+        sim.add("bus", Bus::new(BusConfig::default(), map));
+        let mut mem = Memory::new(MemoryConfig {
+            size_words: 0x1000,
+            ..MemoryConfig::default()
+        });
+        for i in 0..40 {
+            mem.poke(i, 1000 + i);
+        }
+        sim.add("mem", mem);
+        sim.add("dma", Dma::new(DmaConfig::default(), 1));
+        sim
+    }
+
+    #[test]
+    fn dma_copies_a_block() {
+        let mut sim = build();
+        assert_eq!(sim.run(), StopReason::Quiescent);
+        let mem = sim.get::<Memory>(2);
+        for i in 0..40u64 {
+            assert_eq!(mem.peek(0x800 + i), Some(1000 + i), "word {i}");
+        }
+        let dma = sim.get::<Dma>(3);
+        assert_eq!(dma.words_moved, 40);
+        assert_eq!(dma.transfers, 1);
+        // 40 words at max_burst 16 -> bursts of 16,16,8 -> 3 reads + 3 writes.
+        assert_eq!(dma.port.issued, 6);
+        assert_eq!(dma.port.completed, 6);
+    }
+
+    #[test]
+    fn dma_programmable_via_registers() {
+        let mut sim = Simulator::new();
+        let mut map = AddressMap::new();
+        map.add(0x0000, 0x0FFF, 2).unwrap();
+        map.add(0xD000, 0xD003, 3).unwrap();
+        // A register-programming master: writes SRC/DST/LEN/CTRL then polls
+        // CTRL until DONE.
+        struct Prog {
+            port: MasterPort,
+            step: usize,
+            pub done_seen: bool,
+        }
+        impl Component for Prog {
+            fn handle(&mut self, api: &mut Api<'_>, msg: Msg) {
+                match &msg.kind {
+                    MsgKind::Start => {
+                        self.port.write(api, 0xD000 + regs::SRC, vec![0x10]);
+                    }
+                    _ => {
+                        if let Ok(resp) = self.port.take_response(api, msg) {
+                            assert!(resp.is_ok());
+                            self.step += 1;
+                            match self.step {
+                                1 => {
+                                    self.port.write(api, 0xD000 + regs::DST, vec![0x400]);
+                                }
+                                2 => {
+                                    self.port.write(api, 0xD000 + regs::LEN, vec![8]);
+                                }
+                                3 => {
+                                    self.port.write(api, 0xD000 + regs::CTRL, vec![1]);
+                                }
+                                _ => {
+                                    // Poll status.
+                                    if resp.op == BusOp::Read
+                                        && resp.data == vec![status::DONE]
+                                    {
+                                        self.done_seen = true;
+                                    } else {
+                                        self.port.read(api, 0xD000 + regs::CTRL, 1);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        sim.add(
+            "prog",
+            Prog {
+                port: MasterPort::new(1, 0),
+                step: 0,
+                done_seen: false,
+            },
+        );
+        sim.add("bus", Bus::new(BusConfig::default(), map));
+        let mut mem = Memory::new(MemoryConfig {
+            size_words: 0x1000,
+            ..MemoryConfig::default()
+        });
+        for i in 0..8 {
+            mem.poke(0x10 + i, 7 + i);
+        }
+        sim.add("mem", mem);
+        sim.add("dma", Dma::new(DmaConfig::default(), 1));
+        assert_eq!(sim.run(), StopReason::Quiescent);
+        assert!(sim.get::<Prog>(0).done_seen, "CTRL never read back DONE");
+        let mem = sim.get::<Memory>(2);
+        for i in 0..8u64 {
+            assert_eq!(mem.peek(0x400 + i), Some(7 + i));
+        }
+    }
+
+    #[test]
+    fn zero_length_transfer_completes_immediately() {
+        let mut sim = Simulator::new();
+        let mut map = AddressMap::new();
+        map.add(0x0000, 0x0FFF, 2).unwrap();
+        map.add(0xD000, 0xD003, 3).unwrap();
+        let done = std::rc::Rc::new(std::cell::Cell::new(false));
+        let d2 = done.clone();
+        sim.add(
+            "driver",
+            FnComponent::new(move |api, msg| match &msg.kind {
+                MsgKind::Start => {
+                    api.obligation_begin();
+                    api.send(
+                        3,
+                        DmaProgram {
+                            src: 0,
+                            dst: 0,
+                            words: 0,
+                            notify: 0,
+                            tag: 1,
+                        },
+                        Delay::Delta,
+                    );
+                }
+                _ => {
+                    if msg.user_ref::<DmaDone>().is_some() {
+                        d2.set(true);
+                        api.obligation_end();
+                    }
+                }
+            }),
+        );
+        sim.add("bus", Bus::new(BusConfig::default(), map));
+        sim.add("mem", Memory::new(MemoryConfig::default()));
+        sim.add("dma", Dma::new(DmaConfig::default(), 1));
+        assert_eq!(sim.run(), StopReason::Quiescent);
+        assert!(done.get());
+        assert_eq!(sim.get::<Dma>(3).words_moved, 0);
+    }
+}

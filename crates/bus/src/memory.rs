@@ -1,0 +1,387 @@
+//! Memory models.
+//!
+//! [`Memory`] is a word-addressed RAM with configurable first-word latency
+//! and per-word burst cost. It serves two kinds of traffic:
+//!
+//! * **bus port** — [`SlaveAccess`] messages from a [`crate::bus::Bus`];
+//! * **direct port** — [`DirectReadReq`] messages, modeling a dedicated
+//!   point-to-point connection (e.g. a configuration-memory port feeding a
+//!   reconfigurable fabric without crossing the system bus).
+//!
+//! With `dual_port = false` the two ports contend for the single internal
+//! port; with `dual_port = true` they proceed independently. This is the
+//! knob behind the paper's §5.3 remark that the methodology "may be used to
+//! measure the effects of different memory organizations ... to the total
+//! system performance" (experiment E6).
+
+use drcf_kernel::prelude::*;
+
+use crate::interfaces::apply_request;
+use crate::interfaces::BusSlaveModel;
+use crate::protocol::{Addr, BusOp, DirectReadDone, DirectReadReq, SlaveAccess, SlaveReply, Word};
+
+/// Memory timing/organization parameters.
+#[derive(Debug, Clone)]
+pub struct MemoryConfig {
+    /// First claimed address (word units).
+    pub base: Addr,
+    /// Capacity in words.
+    pub size_words: usize,
+    /// Memory clock in MHz.
+    pub clock_mhz: u64,
+    /// Cycles to the first word of a read.
+    pub read_latency: u64,
+    /// Cycles to accept the first word of a write.
+    pub write_latency: u64,
+    /// Additional cycles per burst word after the first.
+    pub per_word: u64,
+    /// True: the direct port is independent of the bus port (dual-ported
+    /// RAM, like the Virtex-II Pro 18 Kbit block dual-port BRAM).
+    pub dual_port: bool,
+}
+
+impl Default for MemoryConfig {
+    fn default() -> Self {
+        MemoryConfig {
+            base: 0,
+            size_words: 64 * 1024,
+            clock_mhz: 100,
+            read_latency: 2,
+            write_latency: 1,
+            per_word: 1,
+            dual_port: false,
+        }
+    }
+}
+
+impl MemoryConfig {
+    /// Service cycles for a burst access.
+    pub fn service_cycles(&self, op: BusOp, burst: usize) -> u64 {
+        let first = match op {
+            BusOp::Read => self.read_latency,
+            BusOp::Write => self.write_latency,
+        };
+        first + burst.saturating_sub(1) as u64 * self.per_word
+    }
+}
+
+/// Counters a memory accumulates.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MemoryStats {
+    /// Bus-port read transactions.
+    pub reads: u64,
+    /// Bus-port write transactions.
+    pub writes: u64,
+    /// Words read over the bus port.
+    pub words_read: u64,
+    /// Words written over the bus port.
+    pub words_written: u64,
+    /// Direct-port read transactions.
+    pub direct_reads: u64,
+    /// Words streamed over the direct port.
+    pub direct_words: u64,
+}
+
+/// The RAM component.
+pub struct Memory {
+    cfg: MemoryConfig,
+    data: Vec<Word>,
+    bus_busy_until: SimTime,
+    direct_busy_until: SimTime,
+    /// Accumulated statistics.
+    pub stats: MemoryStats,
+}
+
+impl Memory {
+    /// New zero-initialized memory.
+    pub fn new(cfg: MemoryConfig) -> Self {
+        let data = vec![0; cfg.size_words];
+        Memory {
+            cfg,
+            data,
+            bus_busy_until: SimTime::ZERO,
+            direct_busy_until: SimTime::ZERO,
+            stats: MemoryStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MemoryConfig {
+        &self.cfg
+    }
+
+    /// Direct (zero-time, test-only) peek.
+    pub fn peek(&self, addr: Addr) -> Option<Word> {
+        self.data.get((addr.checked_sub(self.cfg.base)?) as usize).copied()
+    }
+
+    /// Direct (zero-time, test-only) poke.
+    pub fn poke(&mut self, addr: Addr, v: Word) {
+        let i = (addr - self.cfg.base) as usize;
+        self.data[i] = v;
+    }
+
+    /// Preload a block of words starting at `addr`.
+    pub fn load(&mut self, addr: Addr, words: &[Word]) {
+        let start = (addr - self.cfg.base) as usize;
+        self.data[start..start + words.len()].copy_from_slice(words);
+    }
+
+    fn schedule_on_port(
+        now: SimTime,
+        busy_until: &mut SimTime,
+        service: SimDuration,
+    ) -> SimDuration {
+        let start = (*busy_until).max(now);
+        let done = start + service;
+        *busy_until = done;
+        done.since(now)
+    }
+}
+
+impl BusSlaveModel for Memory {
+    fn low_addr(&self) -> Addr {
+        self.cfg.base
+    }
+    fn high_addr(&self) -> Addr {
+        self.cfg.base + self.cfg.size_words as u64 - 1
+    }
+    fn read(&mut self, addr: Addr) -> Result<Word, ()> {
+        self.data
+            .get((addr.checked_sub(self.cfg.base).ok_or(())?) as usize)
+            .copied()
+            .ok_or(())
+    }
+    fn write(&mut self, addr: Addr, data: Word) -> Result<(), ()> {
+        let i = (addr.checked_sub(self.cfg.base).ok_or(())?) as usize;
+        match self.data.get_mut(i) {
+            Some(w) => {
+                *w = data;
+                Ok(())
+            }
+            None => Err(()),
+        }
+    }
+    fn access_cycles(&self, op: BusOp, _addr: Addr, burst: usize) -> u64 {
+        self.cfg.service_cycles(op, burst)
+    }
+    fn model_name(&self) -> &str {
+        "memory"
+    }
+}
+
+impl Component for Memory {
+    fn handle(&mut self, api: &mut Api<'_>, msg: Msg) {
+        // Bus port.
+        let msg = match msg.user::<SlaveAccess>() {
+            Ok(access) => {
+                let resp = apply_request(self, &access.req);
+                match access.req.op {
+                    BusOp::Read => {
+                        self.stats.reads += 1;
+                        self.stats.words_read += access.req.burst as u64;
+                    }
+                    BusOp::Write => {
+                        self.stats.writes += 1;
+                        self.stats.words_written += access.req.burst as u64;
+                    }
+                }
+                let cycles = self.cfg.service_cycles(access.req.op, access.req.burst);
+                let service = SimDuration::cycles_at_mhz(cycles, self.cfg.clock_mhz);
+                let delay =
+                    Self::schedule_on_port(api.now(), &mut self.bus_busy_until, service);
+                api.send_in(
+                    access.bus,
+                    SlaveReply {
+                        resp,
+                        master: access.req.master,
+                    },
+                    delay,
+                );
+                return;
+            }
+            Err(m) => m,
+        };
+        // Direct port.
+        if let Ok(req) = msg.user::<DirectReadReq>() {
+            self.stats.direct_reads += 1;
+            self.stats.direct_words += req.words as u64;
+            let cycles = self.cfg.service_cycles(BusOp::Read, req.words);
+            let service = SimDuration::cycles_at_mhz(cycles, self.cfg.clock_mhz);
+            let delay = if self.cfg.dual_port {
+                Self::schedule_on_port(api.now(), &mut self.direct_busy_until, service)
+            } else {
+                // Single internal port: direct traffic contends with the
+                // bus port.
+                Self::schedule_on_port(api.now(), &mut self.bus_busy_until, service)
+            };
+            api.send_in(
+                req.requester,
+                DirectReadDone {
+                    tag: req.tag,
+                    words: req.words,
+                },
+                delay,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::BusRequest;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn service_cycles_formula() {
+        let cfg = MemoryConfig {
+            read_latency: 5,
+            write_latency: 2,
+            per_word: 1,
+            ..MemoryConfig::default()
+        };
+        assert_eq!(cfg.service_cycles(BusOp::Read, 1), 5);
+        assert_eq!(cfg.service_cycles(BusOp::Read, 8), 12);
+        assert_eq!(cfg.service_cycles(BusOp::Write, 4), 5);
+    }
+
+    #[test]
+    fn functional_read_write_via_model_trait() {
+        let mut m = Memory::new(MemoryConfig {
+            base: 0x1000,
+            size_words: 16,
+            ..MemoryConfig::default()
+        });
+        assert_eq!(m.low_addr(), 0x1000);
+        assert_eq!(m.high_addr(), 0x100F);
+        m.write(0x1004, 99).unwrap();
+        assert_eq!(m.read(0x1004), Ok(99));
+        assert_eq!(m.peek(0x1004), Some(99));
+        assert!(m.read(0x0FFF).is_err(), "below base");
+        assert!(m.read(0x1010).is_err(), "above top");
+        assert!(m.write(0x1010, 0).is_err());
+    }
+
+    #[test]
+    fn load_preloads_a_block() {
+        let mut m = Memory::new(MemoryConfig {
+            base: 0,
+            size_words: 8,
+            ..MemoryConfig::default()
+        });
+        m.load(2, &[10, 11, 12]);
+        assert_eq!(m.peek(2), Some(10));
+        assert_eq!(m.peek(4), Some(12));
+    }
+
+    /// Two direct reads on a single-ported memory serialize; on a dual-port
+    /// memory the direct port is independent of the bus port.
+    #[test]
+    fn port_contention_depends_on_organization() {
+        let run = |dual_port: bool| {
+            let mut sim = Simulator::new();
+            let done_times = Rc::new(RefCell::new(Vec::new()));
+            let dt = done_times.clone();
+            // id 0: driver, id 1: memory
+            sim.add(
+                "driver",
+                FnComponent::new(move |api, msg| match &msg.kind {
+                    MsgKind::Start => {
+                        api.obligation_begin();
+                        api.obligation_begin();
+                        // One bus access and one direct read at t=0.
+                        api.send(
+                            1,
+                            SlaveAccess {
+                                req: BusRequest {
+                                    id: 1,
+                                    master: 0,
+                                    op: BusOp::Read,
+                                    addr: 0,
+                                    burst: 10,
+                                    data: vec![],
+                                    priority: 0,
+                                },
+                                bus: 0,
+                            },
+                            Delay::Delta,
+                        );
+                        api.send(
+                            1,
+                            DirectReadReq {
+                                requester: 0,
+                                addr: 0,
+                                words: 10,
+                                tag: 7,
+                            },
+                            Delay::Delta,
+                        );
+                    }
+                    _ => {
+                        if msg.user_ref::<SlaveReply>().is_some()
+                            || msg.user_ref::<DirectReadDone>().is_some()
+                        {
+                            dt.borrow_mut().push(api.now().as_fs());
+                            api.obligation_end();
+                        }
+                    }
+                }),
+            );
+            sim.add(
+                "mem",
+                Memory::new(MemoryConfig {
+                    size_words: 64,
+                    read_latency: 1,
+                    per_word: 1,
+                    dual_port,
+                    ..MemoryConfig::default()
+                }),
+            );
+            assert!(sim.run().is_ok());
+            let times = done_times.borrow().clone();
+            times
+        };
+        let single = run(false);
+        let dual = run(true);
+        // 10-word read = 10 cycles = 100ns.
+        // Dual port: both finish at ~100ns. Single port: second finishes at ~200ns.
+        assert_eq!(dual.len(), 2);
+        assert_eq!(single.len(), 2);
+        let dual_last = *dual.iter().max().unwrap();
+        let single_last = *single.iter().max().unwrap();
+        assert!(
+            single_last >= 2 * dual_last - 1_000_000,
+            "single {single_last} vs dual {dual_last}"
+        );
+    }
+
+    #[test]
+    fn stats_count_both_ports() {
+        let mut sim = Simulator::new();
+        sim.add(
+            "driver",
+            FnComponent::new(move |api, msg| {
+                if matches!(msg.kind, MsgKind::Start) {
+                    api.send(
+                        1,
+                        DirectReadReq {
+                            requester: 0,
+                            addr: 0,
+                            words: 32,
+                            tag: 0,
+                        },
+                        Delay::Delta,
+                    );
+                }
+            }),
+        );
+        let mem = sim.add("mem", Memory::new(MemoryConfig::default()));
+        sim.run();
+        let m = sim.get::<Memory>(mem);
+        assert_eq!(m.stats.direct_reads, 1);
+        assert_eq!(m.stats.direct_words, 32);
+        assert_eq!(m.stats.reads, 0);
+    }
+}

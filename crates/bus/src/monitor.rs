@@ -1,0 +1,80 @@
+//! Bus observability: utilization, contention and latency statistics.
+
+use drcf_kernel::prelude::*;
+
+/// Statistics one bus instance accumulates during a run.
+#[derive(Default)]
+pub struct BusStats {
+    /// Bus occupancy (busy during address/data phases, and during the slave
+    /// wait in blocking mode).
+    pub busy: BusyTracker,
+    /// Grants per master, in discovery order.
+    pub grants: Vec<(ComponentId, u64)>,
+    /// Requests accepted.
+    pub requests: u64,
+    /// Responses delivered to masters.
+    pub responses: u64,
+    /// Words moved across the bus (reads + writes).
+    pub words: u64,
+    /// Requests that decoded to no slave.
+    pub decode_errors: u64,
+    /// Queue-wait time from request arrival to grant.
+    pub wait: LatencyHistogram,
+    /// Largest pending-queue depth observed.
+    pub max_queue: usize,
+}
+
+impl BusStats {
+    /// Record a grant for `master`.
+    pub fn record_grant(&mut self, master: ComponentId) {
+        if let Some(e) = self.grants.iter_mut().find(|e| e.0 == master) {
+            e.1 += 1;
+        } else {
+            self.grants.push((master, 1));
+        }
+    }
+
+    /// Total grants across masters.
+    pub fn total_grants(&self) -> u64 {
+        self.grants.iter().map(|&(_, g)| g).sum()
+    }
+
+    /// Grants for one master.
+    pub fn grants_for(&self, master: ComponentId) -> u64 {
+        self.grants
+            .iter()
+            .find(|&&(m, _)| m == master)
+            .map(|&(_, g)| g)
+            .unwrap_or(0)
+    }
+
+    /// Bus utilization over `[0, now]`.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        self.busy.utilization(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grant_accounting() {
+        let mut s = BusStats::default();
+        s.record_grant(3);
+        s.record_grant(3);
+        s.record_grant(7);
+        assert_eq!(s.grants_for(3), 2);
+        assert_eq!(s.grants_for(7), 1);
+        assert_eq!(s.grants_for(9), 0);
+        assert_eq!(s.total_grants(), 3);
+    }
+
+    #[test]
+    fn utilization_follows_busy_tracker() {
+        let mut s = BusStats::default();
+        s.busy.set_busy(SimTime(0));
+        s.busy.set_idle(SimTime(500));
+        assert_eq!(s.utilization(SimTime(1000)), 0.5);
+    }
+}

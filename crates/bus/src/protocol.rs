@@ -1,0 +1,216 @@
+//! Bus transaction records.
+//!
+//! These are the message payloads exchanged between masters, the shared
+//! bus, and slaves. They correspond to the interface-method calls of the
+//! paper's `bus_mst_if`/`bus_slv_if`: a blocking `read`/`write` call in
+//! SystemC becomes a `BusRequest` → `BusResponse` split transaction here,
+//! with the requesting master holding a kernel *obligation* in between (so
+//! a never-answered call is a detectable deadlock, not silent quiescence).
+
+use drcf_kernel::prelude::ComponentId;
+
+/// Bus address, in word units (the whole workspace addresses memory at
+/// word granularity, matching the `sc_uint<ADDW>` addresses of the paper's
+/// listings).
+pub type Addr = u64;
+/// Bus data word.
+pub type Word = u64;
+/// Transaction identifier, unique per master port.
+pub type TxnId = u64;
+
+/// Read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BusOp {
+    /// Transfer from slave to master.
+    Read,
+    /// Transfer from master to slave.
+    Write,
+}
+
+/// Completion status of a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BusStatus {
+    /// Completed normally.
+    Ok,
+    /// No slave claimed the address.
+    DecodeError,
+    /// The slave rejected the access.
+    SlaveError,
+}
+
+/// A master's request, sent to the bus component.
+#[derive(Debug, Clone)]
+pub struct BusRequest {
+    /// Transaction id (chosen by the master port).
+    pub id: TxnId,
+    /// Component to deliver the [`BusResponse`] to.
+    pub master: ComponentId,
+    /// Operation.
+    pub op: BusOp,
+    /// Start address.
+    pub addr: Addr,
+    /// Number of words transferred (burst length, >= 1).
+    pub burst: usize,
+    /// Write payload (`burst` words) — empty for reads.
+    pub data: Vec<Word>,
+    /// Arbitration priority (higher wins under the priority arbiter).
+    pub priority: u8,
+}
+
+impl BusRequest {
+    /// Validate internal consistency (burst/data agreement).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.burst == 0 {
+            return Err("burst length must be >= 1".into());
+        }
+        match self.op {
+            BusOp::Read => {
+                if !self.data.is_empty() {
+                    return Err("read request must not carry data".into());
+                }
+            }
+            BusOp::Write => {
+                if self.data.len() != self.burst {
+                    return Err(format!(
+                        "write burst {} does not match payload length {}",
+                        self.burst,
+                        self.data.len()
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The bus's answer to a master, delivered when the transaction completes.
+#[derive(Debug, Clone)]
+pub struct BusResponse {
+    /// Transaction id from the request.
+    pub id: TxnId,
+    /// Operation of the original request.
+    pub op: BusOp,
+    /// Start address of the original request.
+    pub addr: Addr,
+    /// Completion status.
+    pub status: BusStatus,
+    /// Read payload — empty for writes and failed reads.
+    pub data: Vec<Word>,
+}
+
+impl BusResponse {
+    /// True when the transaction completed normally.
+    pub fn is_ok(&self) -> bool {
+        self.status == BusStatus::Ok
+    }
+}
+
+/// Bus → slave: an access that has completed its address (and, for writes,
+/// data) phase on the bus and is now the slave's to process.
+#[derive(Debug, Clone)]
+pub struct SlaveAccess {
+    /// The transaction, as the bus decoded it.
+    pub req: BusRequest,
+    /// The bus component expecting the [`SlaveReply`].
+    pub bus: ComponentId,
+}
+
+/// Slave → bus: the processed result.
+#[derive(Debug, Clone)]
+pub struct SlaveReply {
+    /// The completed (or failed) transaction.
+    pub resp: BusResponse,
+    /// Master the response must ultimately be routed to.
+    pub master: ComponentId,
+}
+
+/// Memory → requester on a *direct* (non-bus) port; see
+/// [`crate::memory::Memory`]. Used for dedicated configuration-memory ports
+/// in the paper's memory-organization study.
+#[derive(Debug, Clone)]
+pub struct DirectReadReq {
+    /// Who to notify on completion.
+    pub requester: ComponentId,
+    /// Start address.
+    pub addr: Addr,
+    /// Words to read.
+    pub words: usize,
+    /// Caller-chosen tag echoed in the reply.
+    pub tag: u64,
+}
+
+/// Completion of a [`DirectReadReq`]; data content is not carried (direct
+/// ports are used for configuration streaming where only timing matters).
+#[derive(Debug, Clone)]
+pub struct DirectReadDone {
+    /// Tag from the request.
+    pub tag: u64,
+    /// Words transferred.
+    pub words: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read_req() -> BusRequest {
+        BusRequest {
+            id: 1,
+            master: 0,
+            op: BusOp::Read,
+            addr: 0x100,
+            burst: 4,
+            data: vec![],
+            priority: 0,
+        }
+    }
+
+    #[test]
+    fn valid_read_and_write_pass() {
+        assert!(read_req().validate().is_ok());
+        let w = BusRequest {
+            op: BusOp::Write,
+            burst: 2,
+            data: vec![5, 6],
+            ..read_req()
+        };
+        assert!(w.validate().is_ok());
+    }
+
+    #[test]
+    fn zero_burst_rejected() {
+        let r = BusRequest { burst: 0, ..read_req() };
+        assert!(r.validate().is_err());
+    }
+
+    #[test]
+    fn read_with_payload_rejected() {
+        let r = BusRequest { data: vec![1], ..read_req() };
+        assert!(r.validate().is_err());
+    }
+
+    #[test]
+    fn write_burst_mismatch_rejected() {
+        let w = BusRequest {
+            op: BusOp::Write,
+            burst: 3,
+            data: vec![1, 2],
+            ..read_req()
+        };
+        assert!(w.validate().is_err());
+    }
+
+    #[test]
+    fn response_status_helpers() {
+        let ok = BusResponse {
+            id: 1,
+            op: BusOp::Read,
+            addr: 0,
+            status: BusStatus::Ok,
+            data: vec![0],
+        };
+        assert!(ok.is_ok());
+        let bad = BusResponse { status: BusStatus::DecodeError, ..ok.clone() };
+        assert!(!bad.is_ok());
+    }
+}

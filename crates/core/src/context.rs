@@ -1,0 +1,137 @@
+//! Contexts: the functionalities time-multiplexed onto a DRCF.
+//!
+//! A context couples a functional model (any [`BusSlaveModel`] — the same
+//! trait a standalone hardware accelerator implements, which is what makes
+//! the §5.2 transformation behavior-preserving) with the per-context
+//! parameters the paper's §5.3 enumerates:
+//!
+//! 1. the memory address where the context's configuration is allocated,
+//! 2. the size of the context (configuration data volume),
+//! 3. delays associated with the reconfiguration process *in addition to*
+//!    the memory transfer delays.
+//!
+//! Plus the forward-looking parameters §5.3 anticipates ("other parameters,
+//! such as dealing with partial reconfiguration or power consumption may be
+//! devised"): an area footprint used for partial-reconfiguration region
+//! planning, and power figures used by the energy extension.
+
+use drcf_bus::prelude::{Addr, BusSlaveModel};
+use drcf_kernel::prelude::SimDuration;
+
+/// Index of a context within one DRCF.
+pub type ContextId = usize;
+
+/// The §5.3 parameter set for one context.
+#[derive(Debug, Clone)]
+pub struct ContextParams {
+    /// §5.3 (1): configuration storage address in the configuration memory
+    /// (word units).
+    pub config_addr: Addr,
+    /// §5.3 (2): configuration size in memory words.
+    pub config_size_words: u64,
+    /// §5.3 (3): reconfiguration delay beyond the memory transfers
+    /// (configuration decompression, net settling, ...).
+    pub extra_reconfig_delay: SimDuration,
+    /// Area footprint in equivalent gates (drives region planning and the
+    /// technology-derived defaults).
+    pub gate_count: u64,
+    /// Fabric regions (scheduler slots) this context occupies when loaded.
+    pub slots_needed: usize,
+    /// Dynamic power while this context is active, in mW (power extension).
+    pub active_power_mw: f64,
+    /// Live state the context keeps in fabric registers/RAM, in memory
+    /// words. A stateful context must *save* this on eviction and
+    /// *restore* it after its configuration loads — extra memory traffic
+    /// on top of the §5.3 configuration transfers. Zero = stateless.
+    pub state_words: u64,
+    /// Memory address of the context's state save area (used only when
+    /// `state_words > 0`).
+    pub state_addr: Addr,
+}
+
+impl Default for ContextParams {
+    fn default() -> Self {
+        ContextParams {
+            config_addr: 0,
+            config_size_words: 256,
+            extra_reconfig_delay: SimDuration::ZERO,
+            gate_count: 10_000,
+            slots_needed: 1,
+            active_power_mw: 50.0,
+            state_words: 0,
+            state_addr: 0,
+        }
+    }
+}
+
+impl ContextParams {
+    /// Validate internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.config_size_words == 0 {
+            return Err("context configuration size must be nonzero".into());
+        }
+        if self.slots_needed == 0 {
+            return Err("a context must occupy at least one slot".into());
+        }
+        Ok(())
+    }
+}
+
+/// A functionality mapped onto the fabric: model + parameters.
+pub struct Context {
+    /// The functional model (identical to the standalone accelerator's).
+    pub model: Box<dyn BusSlaveModel>,
+    /// Reconfiguration parameters.
+    pub params: ContextParams,
+}
+
+impl Context {
+    /// Bundle a model with its parameters.
+    pub fn new(model: Box<dyn BusSlaveModel>, params: ContextParams) -> Self {
+        Context { model, params }
+    }
+
+    /// Does this context claim `addr` on the component interface bus?
+    pub fn claims(&self, addr: Addr) -> bool {
+        (self.model.low_addr()..=self.model.high_addr()).contains(&addr)
+    }
+
+    /// Context name (from the model).
+    pub fn name(&self) -> &str {
+        self.model.model_name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drcf_bus::prelude::RegisterFile;
+
+    #[test]
+    fn params_validation() {
+        assert!(ContextParams::default().validate().is_ok());
+        let bad_size = ContextParams {
+            config_size_words: 0,
+            ..ContextParams::default()
+        };
+        assert!(bad_size.validate().is_err());
+        let bad_slots = ContextParams {
+            slots_needed: 0,
+            ..ContextParams::default()
+        };
+        assert!(bad_slots.validate().is_err());
+    }
+
+    #[test]
+    fn context_claims_its_model_range() {
+        let ctx = Context::new(
+            Box::new(RegisterFile::new("hwa", 0x200, 8, 1)),
+            ContextParams::default(),
+        );
+        assert!(ctx.claims(0x200));
+        assert!(ctx.claims(0x207));
+        assert!(!ctx.claims(0x208));
+        assert!(!ctx.claims(0x1FF));
+        assert_eq!(ctx.name(), "hwa");
+    }
+}

@@ -1,0 +1,1104 @@
+//! The DRCF component — the paper's central artifact.
+//!
+//! A `Drcf` replaces a set of hardware accelerators on the bus. It
+//! implements the union of their slave interfaces (same `get_low_add`/
+//! `get_high_add`/`read`/`write` contract) and routes every incoming
+//! interface access through the context scheduler, which behaves exactly as
+//! §5.3 prescribes:
+//!
+//! 1. identify which context the access targets;
+//! 2. if that context is active, forward the access directly;
+//! 3. if not, activate a context switch;
+//! 4. while switching, *suspend* the access, and generate the configuration
+//!    data reads into the memory that holds the context;
+//! 5. keep track of each context's active time and of the time the DRCF
+//!    spends reconfiguring itself.
+//!
+//! Configuration data can travel three ways ([`ConfigPath`]): over the
+//! system bus (generating the real contention the paper insists on
+//! modeling), over a dedicated configuration port, or as a fixed latency
+//! with no traffic (the OCAPI-XL-style baseline the paper criticizes for
+//! *not* modeling the memory traffic of context switching).
+
+use std::collections::VecDeque;
+
+use drcf_bus::prelude::{
+    apply_request, BusOp, BusResponse, BusStatus, DirectReadDone, DirectReadReq, MasterPort,
+    SlaveAccess, SlaveReply,
+};
+use drcf_kernel::prelude::*;
+
+use crate::context::{Context, ContextId};
+use crate::scheduler::{ContextScheduler, Lookup, SchedulerConfig};
+use crate::stats::{FabricEventKind, FabricStats};
+
+/// How configuration data reaches the fabric.
+#[derive(Debug, Clone)]
+pub enum ConfigPath {
+    /// Master the system bus and read the configuration from a memory
+    /// mapped there. Generates real bus traffic — the paper's headline
+    /// modeling contribution.
+    SystemBus {
+        /// The bus to master.
+        bus: ComponentId,
+        /// Priority of configuration reads.
+        priority: u8,
+        /// Words per burst transaction.
+        burst: usize,
+    },
+    /// A dedicated point-to-point port into a configuration memory
+    /// (`DirectReadReq` traffic; contention only inside the memory).
+    DirectPort {
+        /// The configuration memory component.
+        memory: ComponentId,
+    },
+    /// A pure transfer-rate model with no traffic generated: `words /
+    /// words_per_cycle` cycles of `clock_mhz`. Models methodologies that
+    /// ignore configuration-memory contention.
+    FixedRate {
+        /// Transfer rate in words per cycle.
+        words_per_cycle: u64,
+        /// Clock of the configuration engine, MHz.
+        clock_mhz: u64,
+    },
+}
+
+/// Fabric configuration.
+#[derive(Debug, Clone)]
+pub struct DrcfConfig {
+    /// Execution clock of the fabric, MHz.
+    pub clock_mhz: u64,
+    /// Configuration transport.
+    pub config_path: ConfigPath,
+    /// Scheduler (slots, prefetch, eviction).
+    pub scheduler: SchedulerConfig,
+    /// When true, a context load may proceed while another context
+    /// executes (MorphoSys-style background reload / partial
+    /// reconfiguration). When false, reconfiguration blocks the fabric.
+    pub overlap_load_exec: bool,
+}
+
+impl Default for DrcfConfig {
+    fn default() -> Self {
+        DrcfConfig {
+            clock_mhz: 100,
+            config_path: ConfigPath::FixedRate {
+                words_per_cycle: 1,
+                clock_mhz: 100,
+            },
+            scheduler: SchedulerConfig::default(),
+            overlap_load_exec: false,
+        }
+    }
+}
+
+struct Queued {
+    access: SlaveAccess,
+    arrived: SimTime,
+}
+
+struct LoadOp {
+    ctx: ContextId,
+    /// Victim-state words still to write back before loading.
+    save_remaining: u64,
+    /// Configuration-image words still to read.
+    image_remaining: u64,
+    /// Saved-state words of the target still to restore after the image.
+    restore_remaining: u64,
+    /// Next configuration read address.
+    next_addr: u64,
+    /// Scratch address for state save/restore traffic.
+    state_addr: u64,
+    /// Words of the save burst currently in flight on the bus.
+    save_in_flight: u64,
+    /// Totals for accounting at install time.
+    save_total: u64,
+    restore_total: u64,
+    prefetch: bool,
+    started: SimTime,
+}
+
+const TAG_EXEC_DONE: u64 = 1;
+const TAG_EXTRA_DELAY_DONE: u64 = 2;
+const TAG_FIXED_XFER_DONE: u64 = 3;
+
+/// The dynamically reconfigurable fabric component.
+///
+/// ```
+/// use drcf_kernel::prelude::*;
+/// use drcf_bus::prelude::*;
+/// use drcf_core::prelude::*;
+///
+/// // A minimal fabric with one register-file context, loading at a fixed
+/// // rate, driven directly (no bus) by a testbench component.
+/// let mut sim = Simulator::new();
+/// sim.add(
+///     "tb",
+///     FnComponent::new(|api, msg| match &msg.kind {
+///         MsgKind::Start => {
+///             api.obligation_begin();
+///             let req = BusRequest {
+///                 id: 1, master: 0, op: BusOp::Write,
+///                 addr: 0x2000, burst: 1, data: vec![7], priority: 0,
+///             };
+///             let me = api.me();
+///             api.send(1, SlaveAccess { req, bus: me }, Delay::Delta);
+///         }
+///         _ => {
+///             if msg.user_ref::<SlaveReply>().is_some() {
+///                 api.obligation_end();
+///             }
+///         }
+///     }),
+/// );
+/// let drcf = sim.add(
+///     "drcf",
+///     Drcf::new(
+///         DrcfConfig::default(),
+///         vec![Context::new(
+///             Box::new(RegisterFile::new("ctx", 0x2000, 16, 1)),
+///             ContextParams::default(),
+///         )],
+///     ),
+/// );
+/// assert_eq!(sim.run(), StopReason::Quiescent);
+/// let fabric = sim.get::<Drcf>(drcf);
+/// assert_eq!(fabric.stats.switches, 1);
+/// assert!(fabric.stats.invariant_holds(sim.now()));
+/// ```
+pub struct Drcf {
+    cfg: DrcfConfig,
+    contexts: Vec<Context>,
+    sched: ContextScheduler,
+    port: Option<MasterPort>,
+    queue: VecDeque<Queued>,
+    loading: Option<LoadOp>,
+    /// Contexts whose configuration permanently failed to load (config
+    /// image unreadable or fabric too small); accesses to them fail fast.
+    failed: Vec<bool>,
+    /// Contexts that were evicted after running and left saved state in
+    /// memory; their next activation must restore it.
+    has_saved_state: Vec<bool>,
+    exec_busy_until: SimTime,
+    active_ctx: Option<ContextId>,
+    low: u64,
+    high: u64,
+    /// Accumulated instrumentation (§5.3 step 5).
+    pub stats: FabricStats,
+}
+
+impl Drcf {
+    /// Build a fabric hosting `contexts`.
+    ///
+    /// Panics if the contexts' interface ranges overlap or parameters are
+    /// invalid — the same conditions the transformation validator rejects.
+    pub fn new(cfg: DrcfConfig, contexts: Vec<Context>) -> Self {
+        assert!(!contexts.is_empty(), "a DRCF needs at least one context");
+        for (i, c) in contexts.iter().enumerate() {
+            c.params
+                .validate()
+                .unwrap_or_else(|e| panic!("context {i} ({}): {e}", c.name()));
+            for other in &contexts[..i] {
+                let disjoint = c.model.high_addr() < other.model.low_addr()
+                    || other.model.high_addr() < c.model.low_addr();
+                assert!(
+                    disjoint,
+                    "context interface ranges overlap: {} and {}",
+                    c.name(),
+                    other.name()
+                );
+            }
+        }
+        let low = contexts.iter().map(|c| c.model.low_addr()).min().unwrap();
+        let high = contexts.iter().map(|c| c.model.high_addr()).max().unwrap();
+        let slots_needed = contexts.iter().map(|c| c.params.slots_needed).collect();
+        let sched = ContextScheduler::new(cfg.scheduler.clone(), slots_needed);
+        let port = match cfg.config_path {
+            ConfigPath::SystemBus { bus, priority, .. } => Some(MasterPort::new(bus, priority)),
+            _ => None,
+        };
+        let n = contexts.len();
+        Drcf {
+            cfg,
+            contexts,
+            sched,
+            port,
+            queue: VecDeque::new(),
+            loading: None,
+            failed: vec![false; n],
+            has_saved_state: vec![false; n],
+            exec_busy_until: SimTime::ZERO,
+            active_ctx: None,
+            low,
+            high,
+            stats: FabricStats::new(n),
+        }
+    }
+
+    /// Lowest interface address the DRCF claims (`get_low_add()` of the
+    /// generated component).
+    pub fn low_addr(&self) -> u64 {
+        self.low
+    }
+
+    /// Highest interface address (`get_high_add()`).
+    pub fn high_addr(&self) -> u64 {
+        self.high
+    }
+
+    /// Number of hosted contexts.
+    pub fn context_count(&self) -> usize {
+        self.contexts.len()
+    }
+
+    /// Context name by id.
+    pub fn context_name(&self, c: ContextId) -> &str {
+        self.contexts[c].name()
+    }
+
+    /// The currently / most recently active context.
+    pub fn active_context(&self) -> Option<ContextId> {
+        self.active_ctx
+    }
+
+    /// Resident contexts right now.
+    pub fn resident_contexts(&self) -> Vec<ContextId> {
+        self.sched.resident_set()
+    }
+
+    /// Bus traffic counters of the configuration master port (when the
+    /// config path is the system bus).
+    pub fn config_port(&self) -> Option<&MasterPort> {
+        self.port.as_ref()
+    }
+
+    fn decode(&self, addr: u64) -> Option<ContextId> {
+        self.contexts.iter().position(|c| c.claims(addr))
+    }
+
+    fn reply_error(&mut self, api: &mut Api<'_>, access: &SlaveAccess) {
+        let resp = BusResponse {
+            id: access.req.id,
+            op: access.req.op,
+            addr: access.req.addr,
+            status: BusStatus::SlaveError,
+            data: vec![],
+        };
+        api.send(
+            access.bus,
+            SlaveReply {
+                resp,
+                master: access.req.master,
+            },
+            Delay::Delta,
+        );
+    }
+
+    fn exec_free(&self, now: SimTime) -> bool {
+        now >= self.exec_busy_until
+    }
+
+    /// §5.3 steps 1–4 driver: make progress on the head of the suspended
+    /// queue, then consider prefetching.
+    fn pump(&mut self, api: &mut Api<'_>) {
+        loop {
+            // Reconfiguration blocks everything unless overlap is enabled.
+            let load_blocks = self.loading.is_some() && !self.cfg.overlap_load_exec;
+
+            let Some(head) = self.queue.front() else {
+                break;
+            };
+            let ctx = self
+                .decode(head.access.req.addr)
+                .expect("queued access always decodes");
+
+            if self.sched.is_resident(ctx) {
+                if load_blocks || !self.exec_free(api.now()) {
+                    return; // a timer (exec/load) will pump again
+                }
+                let q = self.queue.pop_front().expect("head exists");
+                self.execute(api, ctx, q);
+                return; // exec-done timer pumps the rest
+            }
+
+            // Needs a context switch.
+            if self.failed[ctx] {
+                let q = self.queue.pop_front().expect("head exists");
+                self.reply_error(api, &q.access);
+                continue;
+            }
+            if self.loading.is_some() {
+                // One load at a time; when it installs, pump retries.
+                return;
+            }
+            match self.start_load(api, ctx, false) {
+                LoadStart::Started => return,
+                LoadStart::RetryLater => return,
+                LoadStart::Impossible => {
+                    self.failed[ctx] = true;
+                    // Fail every queued access to this context and continue
+                    // with the rest of the queue.
+                    let me_ranges: Vec<usize> = self
+                        .queue
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, q)| self.decode(q.access.req.addr) == Some(ctx))
+                        .map(|(i, _)| i)
+                        .collect();
+                    for i in me_ranges.into_iter().rev() {
+                        let q = self.queue.remove(i).expect("index valid");
+                        self.reply_error(api, &q.access);
+                    }
+                    continue;
+                }
+            }
+        }
+        self.maybe_prefetch(api);
+    }
+
+    /// §5.3 step 2: forward the (suspended) call to the active context.
+    fn execute(&mut self, api: &mut Api<'_>, ctx: ContextId, q: Queued) {
+        let prefetch_hit = self.sched.note_use(ctx);
+        if prefetch_hit {
+            self.stats.prefetch_hits += 1;
+        }
+        self.stats
+            .record_event(api.now(), ctx, FabricEventKind::ExecStart);
+        self.active_ctx = Some(ctx);
+        let model = self.contexts[ctx].model.as_mut();
+        let resp = apply_request(model, &q.access.req);
+        let cycles = model.access_cycles(q.access.req.op, q.access.req.addr, q.access.req.burst);
+        let service = SimDuration::cycles_at_mhz(cycles, self.cfg.clock_mhz);
+        self.exec_busy_until = api.now() + service;
+        let cs = &mut self.stats.per_context[ctx];
+        cs.active += service;
+        cs.accesses += 1;
+        cs.wait += api.now().since(q.arrived);
+        api.send_in(
+            q.access.bus,
+            SlaveReply {
+                resp,
+                master: q.access.req.master,
+            },
+            service,
+        );
+        api.timer_in(service, TAG_EXEC_DONE);
+    }
+
+    /// §5.3 steps 3–4: begin a context switch.
+    fn start_load(&mut self, api: &mut Api<'_>, ctx: ContextId, prefetch: bool) -> LoadStart {
+        debug_assert!(self.loading.is_none(), "one load at a time");
+        // Protect the executing context from eviction while it runs.
+        let mut protected = Vec::new();
+        if !self.exec_free(api.now()) {
+            if let Some(a) = self.active_ctx {
+                protected.push(a);
+            }
+        }
+        match self.sched.lookup(ctx, &protected) {
+            Lookup::Resident => LoadStart::RetryLater, // raced; treat as progress
+            Lookup::TooBig => {
+                api.log(
+                    Severity::Error,
+                    format!(
+                        "context '{}' needs {} slots but the fabric has only {}",
+                        self.contexts[ctx].name(),
+                        self.contexts[ctx].params.slots_needed,
+                        self.cfg.scheduler.slots
+                    ),
+                );
+                LoadStart::Impossible
+            }
+            Lookup::NoRoom => {
+                if protected.is_empty() {
+                    // Nothing protected and still no room: permanent.
+                    LoadStart::Impossible
+                } else {
+                    // Wait for the executing context to finish, then retry.
+                    LoadStart::RetryLater
+                }
+            }
+            Lookup::Load { evict } => {
+                // Evicting a stateful context forces a state write-back
+                // (extra traffic on top of the configuration transfers).
+                let mut save_total = 0;
+                for v in evict {
+                    self.sched.evict(v);
+                    self.stats.record_event(api.now(), v, FabricEventKind::Evict);
+                    let st = self.contexts[v].params.state_words;
+                    if st > 0 {
+                        save_total += st;
+                        self.has_saved_state[v] = true;
+                    }
+                }
+                let p = &self.contexts[ctx].params;
+                let restore_total = if self.has_saved_state[ctx] {
+                    p.state_words
+                } else {
+                    0
+                };
+                let words = p.config_size_words;
+                self.loading = Some(LoadOp {
+                    ctx,
+                    save_remaining: save_total,
+                    image_remaining: words,
+                    restore_remaining: restore_total,
+                    next_addr: p.config_addr,
+                    state_addr: p.state_addr,
+                    save_in_flight: 0,
+                    save_total,
+                    restore_total,
+                    prefetch,
+                    started: api.now(),
+                });
+                if prefetch {
+                    self.stats.prefetches += 1;
+                }
+                self.stats
+                    .record_event(api.now(), ctx, FabricEventKind::SwitchStart);
+                self.issue_config_transfer(api);
+                LoadStart::Started
+            }
+        }
+    }
+
+    /// Generate configuration-memory traffic (§5.3 step 4): victim-state
+    /// write-back, then the configuration image, then the target's saved
+    /// state, in that order.
+    fn issue_config_transfer(&mut self, api: &mut Api<'_>) {
+        let load = self.loading.as_mut().expect("load in progress");
+        match &self.cfg.config_path {
+            ConfigPath::SystemBus { burst, .. } => {
+                let burst = (*burst).max(1);
+                let port = self.port.as_mut().expect("system-bus path has a port");
+                if load.save_remaining > 0 {
+                    // State write-back of the evicted context(s).
+                    let chunk = (load.save_remaining as usize).min(burst);
+                    load.save_in_flight = chunk as u64;
+                    let addr = load.state_addr;
+                    port.write(api, addr, vec![0; chunk]);
+                } else if load.image_remaining > 0 {
+                    let chunk = (load.image_remaining as usize).min(burst);
+                    let addr = load.next_addr;
+                    port.read(api, addr, chunk);
+                } else {
+                    // Restore the target's saved state.
+                    let chunk = (load.restore_remaining as usize).min(burst);
+                    let addr = load.state_addr;
+                    port.read(api, addr, chunk);
+                }
+            }
+            ConfigPath::DirectPort { memory } => {
+                // One aggregate streaming request: save + image + restore
+                // words move over the dedicated port back to back (the
+                // direction split does not change the port timing model).
+                let memory = *memory;
+                let words = (load.save_remaining
+                    + load.image_remaining
+                    + load.restore_remaining) as usize;
+                let ctx = load.ctx;
+                api.obligation_begin();
+                api.send(
+                    memory,
+                    DirectReadReq {
+                        requester: api.me(),
+                        addr: load.next_addr,
+                        words,
+                        tag: ctx as u64,
+                    },
+                    Delay::Delta,
+                );
+            }
+            ConfigPath::FixedRate {
+                words_per_cycle,
+                clock_mhz,
+            } => {
+                let total =
+                    load.save_remaining + load.image_remaining + load.restore_remaining;
+                let cycles = total.div_ceil((*words_per_cycle).max(1));
+                let d = SimDuration::cycles_at_mhz(cycles, *clock_mhz);
+                api.timer_in(d, TAG_FIXED_XFER_DONE);
+            }
+        }
+    }
+
+    /// All configuration words have arrived; apply the extra delay then
+    /// install.
+    fn transfer_complete(&mut self, api: &mut Api<'_>) {
+        let load = self.loading.as_ref().expect("load in progress");
+        let extra = self.contexts[load.ctx].params.extra_reconfig_delay;
+        if extra.is_zero() {
+            self.install_loaded(api);
+        } else {
+            api.timer_in(extra, TAG_EXTRA_DELAY_DONE);
+        }
+    }
+
+    fn install_loaded(&mut self, api: &mut Api<'_>) {
+        let load = self.loading.take().expect("load in progress");
+        let dur = api.now().since(load.started);
+        if self.cfg.overlap_load_exec {
+            self.stats.reconfig_overlapped += dur;
+        } else {
+            self.stats.reconfig += dur;
+        }
+        self.stats.switches += 1;
+        self.sched.install(load.ctx, load.prefetch);
+        let cs = &mut self.stats.per_context[load.ctx];
+        cs.switches_in += 1;
+        cs.config_words += self.contexts[load.ctx].params.config_size_words;
+        self.stats.config_words += self.contexts[load.ctx].params.config_size_words;
+        self.stats.state_words += load.save_total + load.restore_total;
+        self.stats
+            .record_event(api.now(), load.ctx, FabricEventKind::SwitchDone);
+        self.pump(api);
+    }
+
+    /// Prefetch when idle: queue empty, nothing loading, policy predicts.
+    fn maybe_prefetch(&mut self, api: &mut Api<'_>) {
+        if self.loading.is_some() || !self.queue.is_empty() {
+            return;
+        }
+        let Some(cur) = self.active_ctx else { return };
+        let Some(next) = self.sched.predict_next(cur) else {
+            return;
+        };
+        // Only prefetch when it cannot disturb the active context.
+        let _ = self.start_load(api, next, true);
+    }
+
+    fn on_slave_access(&mut self, api: &mut Api<'_>, access: SlaveAccess) {
+        // §5.3 step 1: which context is this for?
+        match self.decode(access.req.addr) {
+            None => {
+                api.log(
+                    Severity::Warning,
+                    format!("DRCF access to unclaimed address {:#x}", access.req.addr),
+                );
+                self.reply_error(api, &access);
+            }
+            Some(ctx) => {
+                if self.sched.is_resident(ctx) {
+                    self.stats.hits += 1;
+                } else {
+                    self.stats.misses += 1;
+                }
+                self.queue.push_back(Queued {
+                    access,
+                    arrived: api.now(),
+                });
+                self.pump(api);
+            }
+        }
+    }
+
+    fn on_bus_response(&mut self, api: &mut Api<'_>, resp: BusResponse) {
+        // Configuration burst came back over the system bus.
+        if !resp.is_ok() {
+            api.log(
+                Severity::Error,
+                format!("configuration read failed at {:#x}", resp.addr),
+            );
+            // Abort the load and mark the context permanently failed so the
+            // fabric cannot livelock retrying an unreadable image.
+            if let Some(load) = self.loading.take() {
+                self.failed[load.ctx] = true;
+            }
+            self.pump(api);
+            return;
+        }
+        let Some(load) = self.loading.as_mut() else {
+            return;
+        };
+        match resp.op {
+            BusOp::Write => {
+                // Victim-state write-back acknowledged; the ack carries no
+                // payload, so account the burst recorded at issue time.
+                load.save_remaining =
+                    load.save_remaining.saturating_sub(load.save_in_flight);
+                load.save_in_flight = 0;
+            }
+            BusOp::Read => {
+                let got = resp.data.len() as u64;
+                if load.image_remaining > 0 {
+                    load.image_remaining = load.image_remaining.saturating_sub(got);
+                    load.next_addr += got;
+                } else {
+                    load.restore_remaining = load.restore_remaining.saturating_sub(got);
+                }
+            }
+        }
+        if load.save_remaining + load.image_remaining + load.restore_remaining == 0 {
+            self.transfer_complete(api);
+        } else {
+            self.issue_config_transfer(api);
+        }
+    }
+
+    fn on_direct_done(&mut self, api: &mut Api<'_>, done: DirectReadDone) {
+        api.obligation_end();
+        if let Some(load) = self.loading.as_mut() {
+            if load.ctx as u64 == done.tag {
+                load.save_remaining = 0;
+                load.image_remaining = 0;
+                load.restore_remaining = 0;
+                self.transfer_complete(api);
+            }
+        }
+    }
+}
+
+enum LoadStart {
+    Started,
+    RetryLater,
+    Impossible,
+}
+
+impl Component for Drcf {
+    fn handle(&mut self, api: &mut Api<'_>, msg: Msg) {
+        match msg.kind {
+            MsgKind::Timer(TAG_EXEC_DONE) => self.pump(api),
+            MsgKind::Timer(TAG_EXTRA_DELAY_DONE) => self.install_loaded(api),
+            MsgKind::Timer(TAG_FIXED_XFER_DONE) => self.transfer_complete(api),
+            MsgKind::Start => {}
+            _ => {
+                // Configuration-port response?
+                let msg = if let Some(port) = self.port.as_mut() {
+                    match port.take_response(api, msg) {
+                        Ok(resp) => {
+                            self.on_bus_response(api, resp);
+                            return;
+                        }
+                        Err(m) => m,
+                    }
+                } else {
+                    msg
+                };
+                let msg = match msg.user::<SlaveAccess>() {
+                    Ok(a) => {
+                        self.on_slave_access(api, a);
+                        return;
+                    }
+                    Err(m) => m,
+                };
+                if let Ok(done) = msg.user::<DirectReadDone>() {
+                    self.on_direct_done(api, done);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ContextParams;
+    use crate::scheduler::{EvictionPolicy, PrefetchPolicy};
+    use drcf_bus::prelude::RegisterFile;
+
+    fn ctx(name: &'static str, low: u64, words: u64) -> Context {
+        Context::new(
+            Box::new(RegisterFile::new(name, low, 8, 2)),
+            ContextParams {
+                config_size_words: words,
+                ..ContextParams::default()
+            },
+        )
+    }
+
+    /// Driver that sends raw SlaveAccess messages straight to the DRCF
+    /// (playing the role of the bus) and records replies.
+    struct Driver {
+        drcf: ComponentId,
+        sends: Vec<(SimDuration, u64, BusOp, u64)>, // (when, addr, op, data)
+        next_id: u64,
+        pub replies: Vec<(SimTime, BusResponse)>,
+    }
+
+    impl Component for Driver {
+        fn handle(&mut self, api: &mut Api<'_>, msg: Msg) {
+            match &msg.kind {
+                MsgKind::Start => {
+                    for (i, &(at, _, _, _)) in self.sends.iter().enumerate() {
+                        api.obligation_begin();
+                        api.timer(Delay::Time(at), i as u64);
+                    }
+                }
+                MsgKind::Timer(i) => {
+                    let (_, addr, op, data) = self.sends[*i as usize];
+                    self.next_id += 1;
+                    let req = drcf_bus::prelude::BusRequest {
+                        id: self.next_id,
+                        master: api.me(),
+                        op,
+                        addr,
+                        burst: 1,
+                        data: if op == BusOp::Write { vec![data] } else { vec![] },
+                        priority: 0,
+                    };
+                    let me = api.me();
+                    let drcf = self.drcf;
+                    api.send(drcf, SlaveAccess { req, bus: me }, Delay::Delta);
+                }
+                _ => {
+                    if let Ok(reply) = msg.user::<SlaveReply>() {
+                        self.replies.push((api.now(), reply.resp));
+                        api.obligation_end();
+                    }
+                }
+            }
+        }
+    }
+
+    fn fixed_rate_drcf(contexts: Vec<Context>, slots: usize) -> Drcf {
+        Drcf::new(
+            DrcfConfig {
+                clock_mhz: 100,
+                config_path: ConfigPath::FixedRate {
+                    words_per_cycle: 1,
+                    clock_mhz: 100,
+                },
+                scheduler: SchedulerConfig {
+                    slots,
+                    ..SchedulerConfig::default()
+                },
+                overlap_load_exec: false,
+            },
+            contexts,
+        )
+    }
+
+    fn run_driver(
+        drcf: Drcf,
+        sends: Vec<(SimDuration, u64, BusOp, u64)>,
+    ) -> (Simulator, ComponentId, ComponentId) {
+        let mut sim = Simulator::new();
+        let driver = sim.add(
+            "driver",
+            Driver {
+                drcf: 1,
+                sends,
+                next_id: 0,
+                replies: vec![],
+            },
+        );
+        let fabric = sim.add("drcf", drcf);
+        let r = sim.run();
+        assert_eq!(r, StopReason::Quiescent);
+        (sim, driver, fabric)
+    }
+
+    #[test]
+    fn first_access_pays_reconfiguration() {
+        // Context of 100 words at 1 word/cycle @100MHz = 1000ns transfer.
+        // Execution: RegisterFile 2 cycles = 20ns.
+        let drcf = fixed_rate_drcf(vec![ctx("a", 0x000, 100)], 1);
+        let (sim, driver, fabric) =
+            run_driver(drcf, vec![(SimDuration::ZERO, 0x0, BusOp::Write, 42)]);
+        let d = sim.get::<Driver>(driver);
+        assert_eq!(d.replies.len(), 1);
+        assert!(d.replies[0].1.is_ok());
+        // Reply no earlier than load (1000ns) + exec (20ns).
+        assert!(
+            d.replies[0].0 >= SimTime::ZERO + SimDuration::ns(1020),
+            "reply at {}",
+            d.replies[0].0
+        );
+        let f = sim.get::<Drcf>(fabric);
+        assert_eq!(f.stats.misses, 1);
+        assert_eq!(f.stats.hits, 0);
+        assert_eq!(f.stats.switches, 1);
+        assert_eq!(f.stats.config_words, 100);
+        assert_eq!(f.stats.per_context[0].accesses, 1);
+        assert!(f.stats.invariant_holds(sim.now()));
+    }
+
+    #[test]
+    fn second_access_to_same_context_is_a_hit() {
+        let drcf = fixed_rate_drcf(vec![ctx("a", 0x000, 100)], 1);
+        let (sim, _, fabric) = run_driver(
+            drcf,
+            vec![
+                (SimDuration::ZERO, 0x0, BusOp::Write, 1),
+                (SimDuration::us(5), 0x0, BusOp::Read, 0),
+            ],
+        );
+        let f = sim.get::<Drcf>(fabric);
+        assert_eq!(f.stats.misses, 1);
+        assert_eq!(f.stats.hits, 1);
+        assert_eq!(f.stats.switches, 1, "no second reconfiguration");
+    }
+
+    #[test]
+    fn alternating_contexts_thrash_a_single_slot() {
+        let drcf = fixed_rate_drcf(vec![ctx("a", 0x000, 50), ctx("b", 0x100, 50)], 1);
+        let (sim, driver, fabric) = run_driver(
+            drcf,
+            vec![
+                (SimDuration::ZERO, 0x000, BusOp::Write, 1),
+                (SimDuration::us(2), 0x100, BusOp::Write, 2),
+                (SimDuration::us(4), 0x000, BusOp::Read, 0),
+                (SimDuration::us(6), 0x100, BusOp::Read, 0),
+            ],
+        );
+        let f = sim.get::<Drcf>(fabric);
+        assert_eq!(f.stats.switches, 4, "every access reconfigures");
+        assert_eq!(f.stats.misses, 4);
+        assert_eq!(f.stats.config_words, 200);
+        // State survives eviction (the model object persists; only fabric
+        // residency changes) — reads return the written values.
+        let d = sim.get::<Driver>(driver);
+        assert_eq!(d.replies.len(), 4);
+        assert!(d.replies.iter().all(|(_, r)| r.is_ok()));
+    }
+
+    #[test]
+    fn two_slots_hold_both_contexts() {
+        let drcf = fixed_rate_drcf(vec![ctx("a", 0x000, 50), ctx("b", 0x100, 50)], 2);
+        let (sim, _, fabric) = run_driver(
+            drcf,
+            vec![
+                (SimDuration::ZERO, 0x000, BusOp::Write, 1),
+                (SimDuration::us(2), 0x100, BusOp::Write, 2),
+                (SimDuration::us(4), 0x000, BusOp::Read, 0),
+                (SimDuration::us(6), 0x100, BusOp::Read, 0),
+            ],
+        );
+        let f = sim.get::<Drcf>(fabric);
+        assert_eq!(f.stats.switches, 2, "each context loads once");
+        assert_eq!(f.stats.hits, 2);
+        assert_eq!(f.resident_contexts(), vec![0, 1]);
+    }
+
+    #[test]
+    fn suspended_call_waits_for_switch_then_completes() {
+        // Access to B arrives while A is loaded: must suspend, reconfigure,
+        // then serve (§5.3 step 4).
+        let drcf = fixed_rate_drcf(vec![ctx("a", 0x000, 10), ctx("b", 0x100, 1000)], 1);
+        let (sim, driver, _) = run_driver(
+            drcf,
+            vec![
+                (SimDuration::ZERO, 0x000, BusOp::Write, 1),
+                (SimDuration::us(1), 0x100, BusOp::Write, 2),
+            ],
+        );
+        let d = sim.get::<Driver>(driver);
+        assert_eq!(d.replies.len(), 2);
+        // B's reply must be at least 1us (arrival) + 10us (1000-word load).
+        assert!(d.replies[1].0 >= SimTime::ZERO + SimDuration::us(11));
+    }
+
+    #[test]
+    fn unclaimed_address_gets_slave_error() {
+        let drcf = fixed_rate_drcf(vec![ctx("a", 0x000, 10)], 1);
+        let (sim, driver, _) =
+            run_driver(drcf, vec![(SimDuration::ZERO, 0x500, BusOp::Read, 0)]);
+        let d = sim.get::<Driver>(driver);
+        assert_eq!(d.replies[0].1.status, BusStatus::SlaveError);
+    }
+
+    #[test]
+    fn too_big_context_fails_cleanly() {
+        let mut big = ctx("big", 0x000, 10);
+        big.params.slots_needed = 4;
+        let drcf = Drcf::new(
+            DrcfConfig {
+                scheduler: SchedulerConfig {
+                    slots: 2,
+                    ..SchedulerConfig::default()
+                },
+                ..DrcfConfig::default()
+            },
+            vec![big, ctx("ok", 0x100, 10)],
+        );
+        let (sim, driver, _) = run_driver(
+            drcf,
+            vec![
+                (SimDuration::ZERO, 0x000, BusOp::Write, 1), // impossible
+                (SimDuration::ns(10), 0x100, BusOp::Write, 2), // fine
+            ],
+        );
+        let d = sim.get::<Driver>(driver);
+        assert_eq!(d.replies.len(), 2);
+        let too_big = d.replies.iter().find(|(_, r)| r.addr == 0x000).unwrap();
+        assert_eq!(too_big.1.status, BusStatus::SlaveError);
+        let ok = d.replies.iter().find(|(_, r)| r.addr == 0x100).unwrap();
+        assert!(ok.1.is_ok());
+        assert!(sim.reports().has_errors(), "error was logged");
+    }
+
+    #[test]
+    #[should_panic(expected = "interface ranges overlap")]
+    fn overlapping_context_ranges_rejected() {
+        let _ = fixed_rate_drcf(vec![ctx("a", 0x000, 10), ctx("b", 0x004, 10)], 1);
+    }
+
+    #[test]
+    fn last_successor_prefetch_hides_reload() {
+        // Pattern A,B,A,B,... with 2 slots, LastSuccessor prediction and
+        // background loading: after the pattern is learned, switches keep
+        // happening but prefetched loads turn them into hits.
+        let build = |prefetch: bool| {
+            Drcf::new(
+                DrcfConfig {
+                    clock_mhz: 100,
+                    config_path: ConfigPath::FixedRate {
+                        words_per_cycle: 1,
+                        clock_mhz: 100,
+                    },
+                    scheduler: SchedulerConfig {
+                        slots: 1,
+                        prefetch: if prefetch {
+                            PrefetchPolicy::LastSuccessor
+                        } else {
+                            PrefetchPolicy::None
+                        },
+                        ..SchedulerConfig::default()
+                    },
+                    overlap_load_exec: true,
+                },
+                vec![ctx("a", 0x000, 400), ctx("b", 0x100, 400)],
+            )
+        };
+        let run = |prefetch: bool| {
+            let sends = (0..10u64)
+                .map(|i| {
+                    let addr = if i % 2 == 0 { 0x000 } else { 0x100 };
+                    (SimDuration::us(20 * i), addr, BusOp::Write, i)
+                })
+                .collect();
+            let (sim, _, fabric) = run_driver(build(prefetch), sends);
+            let f = sim.get::<Drcf>(fabric);
+            (f.stats.prefetches, f.stats.prefetch_hits, sim.now())
+        };
+        let (p0, h0, _) = run(false);
+        assert_eq!(p0, 0);
+        assert_eq!(h0, 0);
+        let (p1, h1, _) = run(true);
+        assert!(p1 > 0, "prefetches must be issued");
+        assert!(h1 > 0, "some prefetches must be used");
+    }
+
+    #[test]
+    fn fifo_eviction_end_to_end() {
+        // 2 slots, FIFO eviction, access pattern a,b,c: c must evict a
+        // (oldest load), leaving {b, c} resident.
+        let drcf = Drcf::new(
+            DrcfConfig {
+                scheduler: SchedulerConfig {
+                    slots: 2,
+                    eviction: EvictionPolicy::Fifo,
+                    ..SchedulerConfig::default()
+                },
+                ..DrcfConfig::default()
+            },
+            vec![
+                ctx("a", 0x000, 10),
+                ctx("b", 0x100, 10),
+                ctx("c", 0x200, 10),
+            ],
+        );
+        let (sim, _, fabric) = run_driver(
+            drcf,
+            vec![
+                (SimDuration::ZERO, 0x000, BusOp::Write, 1),
+                (SimDuration::us(1), 0x100, BusOp::Write, 2),
+                (SimDuration::us(2), 0x000, BusOp::Read, 0), // recency bump for a
+                (SimDuration::us(3), 0x200, BusOp::Write, 3),
+            ],
+        );
+        let f = sim.get::<Drcf>(fabric);
+        // FIFO ignores the recency bump: a (oldest load) is evicted.
+        assert_eq!(f.resident_contexts(), vec![1, 2]);
+    }
+
+    #[test]
+    fn stateful_contexts_pay_save_and_restore_traffic() {
+        // Two contexts, 50-word images; context A additionally carries 30
+        // words of live state. Sequence: A (load), B (evict A -> save 30),
+        // A (restore 30 + image), B (evict A -> save 30 again).
+        let mut a = ctx("a", 0x000, 50);
+        a.params.state_words = 30;
+        a.params.state_addr = 0x800;
+        let b = ctx("b", 0x100, 50);
+        let drcf = fixed_rate_drcf(vec![a, b], 1);
+        let (sim, _, fabric) = run_driver(
+            drcf,
+            vec![
+                (SimDuration::ZERO, 0x000, BusOp::Write, 1),
+                (SimDuration::us(2), 0x100, BusOp::Write, 2),
+                (SimDuration::us(4), 0x000, BusOp::Read, 0),
+                (SimDuration::us(6), 0x100, BusOp::Write, 3),
+            ],
+        );
+        let f = sim.get::<Drcf>(fabric);
+        assert_eq!(f.stats.switches, 4);
+        assert_eq!(f.stats.config_words, 4 * 50);
+        // Saves: at switches 2 and 4 (A evicted, 30 words each).
+        // Restore: at switch 3 (A reloads its saved state, 30 words).
+        assert_eq!(f.stats.state_words, 3 * 30);
+    }
+
+    #[test]
+    fn first_load_of_stateful_context_does_not_restore() {
+        let mut a = ctx("a", 0x000, 50);
+        a.params.state_words = 100;
+        a.params.state_addr = 0x800;
+        let drcf = fixed_rate_drcf(vec![a], 1);
+        let (sim, _, fabric) =
+            run_driver(drcf, vec![(SimDuration::ZERO, 0x000, BusOp::Write, 1)]);
+        let f = sim.get::<Drcf>(fabric);
+        assert_eq!(f.stats.switches, 1);
+        assert_eq!(f.stats.state_words, 0, "nothing saved yet, nothing restored");
+    }
+
+    #[test]
+    fn state_traffic_lengthens_the_switch() {
+        // Identical thrash with and without state: the stateful variant's
+        // makespan must exceed the stateless one by the extra words.
+        let run = |state_words: u64| {
+            let mut a = ctx("a", 0x000, 100);
+            a.params.state_words = state_words;
+            a.params.state_addr = 0x800;
+            let mut b = ctx("b", 0x100, 100);
+            b.params.state_words = state_words;
+            b.params.state_addr = 0x900;
+            let drcf = fixed_rate_drcf(vec![a, b], 1);
+            let (sim, _, _) = run_driver(
+                drcf,
+                (0..6u64)
+                    .map(|i| {
+                        let addr = if i % 2 == 0 { 0x000 } else { 0x100 };
+                        (SimDuration::us(20 * i), addr, BusOp::Write, i)
+                    })
+                    .collect(),
+            );
+            sim.now().as_fs()
+        };
+        let stateless = run(0);
+        let stateful = run(200);
+        assert!(
+            stateful > stateless,
+            "state save/restore must cost time: {stateful} vs {stateless}"
+        );
+    }
+
+    #[test]
+    fn accounting_invariant_across_runs() {
+        let drcf = fixed_rate_drcf(vec![ctx("a", 0x000, 200), ctx("b", 0x100, 300)], 1);
+        let mut sends = Vec::new();
+        for i in 0..10u64 {
+            let addr = if i % 2 == 0 { 0x000 } else { 0x100 };
+            sends.push((SimDuration::us(10 * i), addr, BusOp::Write, i));
+        }
+        let (sim, _, fabric) = run_driver(drcf, sends);
+        let f = sim.get::<Drcf>(fabric);
+        assert!(f.stats.invariant_holds(sim.now()));
+        assert_eq!(f.stats.switches, 10);
+        assert_eq!(
+            f.stats.config_words,
+            5 * 200 + 5 * 300,
+            "every switch streams its context"
+        );
+    }
+}

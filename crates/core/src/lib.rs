@@ -1,0 +1,44 @@
+//! # drcf-core — the Dynamically Reconfigurable Fabric model
+//!
+//! The primary contribution of "System-Level Modeling of Dynamically
+//! Reconfigurable Hardware with SystemC" (RAW/IPDPS 2003), rebuilt in Rust
+//! on the `drcf-kernel` event engine and the `drcf-bus` substrate:
+//!
+//! * [`context`] — functionalities time-multiplexed on the fabric, carrying
+//!   the §5.3 parameter set (configuration address, size, extra delay);
+//! * [`scheduler`] — the context scheduler: reactive (the paper's policy),
+//!   plus multi-slot residency, LRU/FIFO eviction and prefetching;
+//! * [`fabric`] — the `Drcf` bus component: interface union, call
+//!   suspension during switches, configuration-memory traffic generation,
+//!   and the step-5 instrumentation;
+//! * [`stats`] — per-context active time, reconfiguration time, hit/miss
+//!   and traffic counters with the accounting invariant;
+//! * [`technology`] — Virtex-II Pro / VariCore / MorphoSys presets built
+//!   from the paper's Chapter-3 figures;
+//! * [`power`] — the power/energy extension §5.3 anticipates;
+//! * [`partial`] — partial-reconfiguration region planning.
+
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod fabric;
+pub mod partial;
+pub mod power;
+pub mod scheduler;
+pub mod stats;
+pub mod technology;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::context::{Context, ContextId, ContextParams};
+    pub use crate::fabric::{ConfigPath, Drcf, DrcfConfig};
+    pub use crate::partial::{plan_context, plan_contexts, FabricGeometry};
+    pub use crate::power::{energy_of_run, EnergyReport, PowerModel};
+    pub use crate::scheduler::{
+        ContextScheduler, EvictionPolicy, Lookup, PrefetchPolicy, SchedulerConfig,
+    };
+    pub use crate::stats::{ContextStats, FabricEvent, FabricEventKind, FabricStats};
+    pub use crate::technology::{
+        all_presets, morphosys, varicore, virtex2_pro, Granularity, Technology,
+    };
+}

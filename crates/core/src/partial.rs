@@ -1,0 +1,178 @@
+//! Partial-reconfiguration planning.
+//!
+//! §5.3's future-work list names "dealing with partial reconfiguration" as
+//! the next parameter to devise. The fabric already supports the mechanism
+//! (multi-slot residency + background loading); this module supplies the
+//! *policy* layer: dividing a fabric of a given technology into regions and
+//! assigning each context the number of regions its area requires.
+
+use crate::context::ContextParams;
+use crate::technology::Technology;
+
+/// Physical division of a fabric into reconfiguration regions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FabricGeometry {
+    /// Total fabric capacity, equivalent gates.
+    pub total_gates: u64,
+    /// Number of independently reconfigurable regions.
+    pub regions: usize,
+}
+
+impl FabricGeometry {
+    /// Geometry with `regions` equal regions over `total_gates`.
+    pub fn new(total_gates: u64, regions: usize) -> Self {
+        assert!(regions > 0, "need at least one region");
+        assert!(total_gates > 0, "fabric must have area");
+        FabricGeometry {
+            total_gates,
+            regions,
+        }
+    }
+
+    /// Gates per region.
+    pub fn gates_per_region(&self) -> u64 {
+        self.total_gates / self.regions as u64
+    }
+
+    /// Regions a context of `gates` equivalent gates occupies.
+    pub fn regions_for(&self, gates: u64) -> usize {
+        let per = self.gates_per_region().max(1);
+        (gates.div_ceil(per) as usize).max(1)
+    }
+
+    /// Can a context of `gates` gates fit at all?
+    pub fn fits(&self, gates: u64) -> bool {
+        self.regions_for(gates) <= self.regions
+    }
+}
+
+/// Fill in geometry- and technology-derived fields of a context's
+/// parameters: `slots_needed` from the region plan, `config_size_words`
+/// and `extra_reconfig_delay` from the technology, scaled to the occupied
+/// regions (partial reconfiguration loads only the affected regions).
+pub fn plan_context(
+    geometry: FabricGeometry,
+    tech: &Technology,
+    gates: u64,
+    config_addr: u64,
+) -> Result<ContextParams, String> {
+    if !geometry.fits(gates) {
+        return Err(format!(
+            "context of {gates} gates does not fit a fabric of {} gates / {} regions",
+            geometry.total_gates, geometry.regions
+        ));
+    }
+    if gates > tech.max_context_gates {
+        return Err(format!(
+            "context of {gates} gates exceeds {}'s maximum of {}",
+            tech.name, tech.max_context_gates
+        ));
+    }
+    let slots_needed = geometry.regions_for(gates);
+    // Partial reconfiguration: configuration volume covers the occupied
+    // regions, not the whole device.
+    let region_gates = geometry.gates_per_region() * slots_needed as u64;
+    let config_size_words = tech.config_words_for(region_gates);
+    Ok(ContextParams {
+        config_addr,
+        config_size_words,
+        extra_reconfig_delay: tech.extra_delay(),
+        gate_count: gates,
+        slots_needed,
+        active_power_mw: tech.power.active_mw(gates, tech.fabric_clock_mhz),
+        // Contexts planned from pure area are stateless by default; callers
+        // with stateful kernels set state_words/state_addr afterwards.
+        state_words: 0,
+        state_addr: 0,
+    })
+}
+
+/// Plan a full context set, packing configuration images consecutively in
+/// memory starting at `base_addr`. Returns the parameter vector, aligned
+/// with the input order.
+pub fn plan_contexts(
+    geometry: FabricGeometry,
+    tech: &Technology,
+    gate_counts: &[u64],
+    base_addr: u64,
+) -> Result<Vec<ContextParams>, String> {
+    let mut out = Vec::with_capacity(gate_counts.len());
+    let mut addr = base_addr;
+    for &g in gate_counts {
+        let p = plan_context(geometry, tech, g, addr)?;
+        addr += p.config_size_words;
+        out.push(p);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::technology::{morphosys, varicore, virtex2_pro};
+
+    #[test]
+    fn region_math() {
+        let g = FabricGeometry::new(40_000, 4);
+        assert_eq!(g.gates_per_region(), 10_000);
+        assert_eq!(g.regions_for(1), 1);
+        assert_eq!(g.regions_for(10_000), 1);
+        assert_eq!(g.regions_for(10_001), 2);
+        assert_eq!(g.regions_for(40_000), 4);
+        assert!(g.fits(40_000));
+        assert!(!g.fits(40_001));
+    }
+
+    #[test]
+    fn partial_loads_scale_with_regions() {
+        let g = FabricGeometry::new(40_000, 4);
+        let t = varicore();
+        let small = plan_context(g, &t, 5_000, 0).unwrap();
+        let large = plan_context(g, &t, 35_000, 0).unwrap();
+        assert_eq!(small.slots_needed, 1);
+        assert_eq!(large.slots_needed, 4);
+        assert_eq!(
+            large.config_size_words,
+            4 * small.config_size_words,
+            "4 regions cost 4x the configuration volume"
+        );
+    }
+
+    #[test]
+    fn oversized_context_rejected() {
+        let g = FabricGeometry::new(10_000, 2);
+        assert!(plan_context(g, &varicore(), 20_000, 0).is_err());
+        // Fits the fabric but exceeds the technology maximum.
+        let g2 = FabricGeometry::new(100_000, 1);
+        assert!(plan_context(g2, &varicore(), 50_000, 0).is_err());
+        assert!(plan_context(g2, &virtex2_pro(), 50_000, 0).is_ok());
+    }
+
+    #[test]
+    fn plan_contexts_packs_addresses() {
+        let g = FabricGeometry::new(80_000, 8);
+        let t = morphosys();
+        let plans = plan_contexts(g, &t, &[10_000, 10_000, 20_000], 0x1000).unwrap();
+        assert_eq!(plans.len(), 3);
+        assert_eq!(plans[0].config_addr, 0x1000);
+        assert_eq!(
+            plans[1].config_addr,
+            0x1000 + plans[0].config_size_words
+        );
+        assert_eq!(
+            plans[2].config_addr,
+            plans[1].config_addr + plans[1].config_size_words
+        );
+        // No overlap between images.
+        assert!(plans[1].config_addr >= plans[0].config_addr + plans[0].config_size_words);
+    }
+
+    #[test]
+    fn power_defaults_derived_from_technology() {
+        let g = FabricGeometry::new(40_000, 1);
+        let t = varicore();
+        let p = plan_context(g, &t, 32_000, 0).unwrap();
+        // Paper figure: 0.075 µW/gate/MHz * 32K gates * 250MHz = 600 mW.
+        assert!((p.active_power_mw - 600.0).abs() < 1.0, "{}", p.active_power_mw);
+    }
+}

@@ -1,0 +1,191 @@
+//! Power and energy extension.
+//!
+//! §5.3 closes with: "In the future, other parameter, such as dealing with
+//! partial reconfiguration or power consumption may be devised." This
+//! module is that extension: a simple activity-based power model evaluated
+//! against the fabric's accounting (active time per context, reconfiguration
+//! time, configuration traffic).
+
+use drcf_kernel::prelude::{SimDuration, SimTime};
+
+use crate::context::ContextParams;
+use crate::stats::FabricStats;
+
+/// Technology-level power parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerModel {
+    /// Static (leakage + clock tree) power of the fabric, mW.
+    pub static_mw: f64,
+    /// Dynamic power per gate per MHz while a context is active, µW
+    /// (the unit the paper quotes for VariCore: 0.075 µW/Gate/MHz).
+    pub active_uw_per_gate_mhz: f64,
+    /// Power drawn while reconfiguring, mW.
+    pub reconfig_mw: f64,
+    /// Energy per configuration word transferred, nJ.
+    pub energy_per_config_word_nj: f64,
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        PowerModel {
+            static_mw: 50.0,
+            active_uw_per_gate_mhz: 0.1,
+            reconfig_mw: 100.0,
+            energy_per_config_word_nj: 1.0,
+        }
+    }
+}
+
+impl PowerModel {
+    /// Dynamic power of `gates` active gates at `clock_mhz`, in mW.
+    pub fn active_mw(&self, gates: u64, clock_mhz: u64) -> f64 {
+        self.active_uw_per_gate_mhz * gates as f64 * clock_mhz as f64 / 1000.0
+    }
+}
+
+/// Energy breakdown of one run, in millijoules.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyReport {
+    /// Static energy over the whole run.
+    pub static_mj: f64,
+    /// Dynamic execution energy, summed over contexts.
+    pub active_mj: f64,
+    /// Energy drawn during (blocking) reconfiguration periods.
+    pub reconfig_mj: f64,
+    /// Energy of the configuration-word transfers themselves.
+    pub config_transfer_mj: f64,
+}
+
+impl EnergyReport {
+    /// Total energy.
+    pub fn total_mj(&self) -> f64 {
+        self.static_mj + self.active_mj + self.reconfig_mj + self.config_transfer_mj
+    }
+
+    /// Average power over `elapsed`, mW.
+    pub fn average_mw(&self, elapsed: SimDuration) -> f64 {
+        let s = elapsed.as_fs() as f64 / 1e15;
+        if s == 0.0 {
+            0.0
+        } else {
+            self.total_mj() / s
+        }
+    }
+}
+
+fn mj(mw: f64, d: SimDuration) -> f64 {
+    // mW * s = mJ
+    mw * (d.as_fs() as f64 / 1e15)
+}
+
+/// Evaluate the power model against a fabric's accumulated statistics.
+///
+/// `ctx_params[i]` must describe the same context `stats.per_context[i]`
+/// counts, and `clock_mhz` is the fabric execution clock.
+pub fn energy_of_run(
+    stats: &FabricStats,
+    ctx_params: &[ContextParams],
+    model: &PowerModel,
+    clock_mhz: u64,
+    now: SimTime,
+) -> EnergyReport {
+    assert_eq!(
+        stats.per_context.len(),
+        ctx_params.len(),
+        "stats/params length mismatch"
+    );
+    let elapsed = now.since(SimTime::ZERO);
+    let mut report = EnergyReport {
+        static_mj: mj(model.static_mw, elapsed),
+        ..EnergyReport::default()
+    };
+    for (cs, p) in stats.per_context.iter().zip(ctx_params) {
+        let p_mw = if p.active_power_mw > 0.0 {
+            p.active_power_mw
+        } else {
+            model.active_mw(p.gate_count, clock_mhz)
+        };
+        report.active_mj += mj(p_mw, cs.active);
+    }
+    report.reconfig_mj = mj(model.reconfig_mw, stats.reconfig + stats.reconfig_overlapped);
+    report.config_transfer_mj = (stats.config_words + stats.state_words) as f64
+        * model.energy_per_config_word_nj
+        / 1e6;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drcf_kernel::prelude::SimDuration;
+
+    #[test]
+    fn active_mw_formula() {
+        let m = PowerModel {
+            active_uw_per_gate_mhz: 0.1,
+            ..PowerModel::default()
+        };
+        // 0.1 µW/gate/MHz * 10_000 gates * 100 MHz = 100_000 µW = 100 mW.
+        assert!((m.active_mw(10_000, 100) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_report_totals() {
+        let r = EnergyReport {
+            static_mj: 1.0,
+            active_mj: 2.0,
+            reconfig_mj: 0.5,
+            config_transfer_mj: 0.25,
+        };
+        assert!((r.total_mj() - 3.75).abs() < 1e-12);
+        // 3.75 mJ over 1 ms = 3750 mW.
+        assert!((r.average_mw(SimDuration::ms(1)) - 3750.0).abs() < 1e-6);
+        assert_eq!(EnergyReport::default().average_mw(SimDuration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn energy_of_run_accounts_all_terms() {
+        let mut stats = FabricStats::new(2);
+        stats.per_context[0].active = SimDuration::ms(1);
+        stats.per_context[1].active = SimDuration::ms(2);
+        stats.reconfig = SimDuration::ms(1);
+        stats.config_words = 1_000_000;
+        let params = vec![
+            ContextParams {
+                active_power_mw: 100.0,
+                ..ContextParams::default()
+            },
+            ContextParams {
+                active_power_mw: 0.0, // falls back to the gate-based model
+                gate_count: 10_000,
+                ..ContextParams::default()
+            },
+        ];
+        let model = PowerModel {
+            static_mw: 10.0,
+            active_uw_per_gate_mhz: 0.1,
+            reconfig_mw: 200.0,
+            energy_per_config_word_nj: 1.0,
+        };
+        let now = SimTime::ZERO + SimDuration::ms(10);
+        let r = energy_of_run(&stats, &params, &model, 100, now);
+        assert!((r.static_mj - 0.1).abs() < 1e-9, "10mW * 10ms");
+        // ctx0: 100mW * 1ms = 0.1 mJ; ctx1: 100mW * 2ms = 0.2 mJ.
+        assert!((r.active_mj - 0.3).abs() < 1e-9, "{}", r.active_mj);
+        assert!((r.reconfig_mj - 0.2).abs() < 1e-9);
+        assert!((r.config_transfer_mj - 1.0).abs() < 1e-9, "1M words * 1nJ");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_params_panics() {
+        let stats = FabricStats::new(2);
+        let _ = energy_of_run(
+            &stats,
+            &[ContextParams::default()],
+            &PowerModel::default(),
+            100,
+            SimTime::ZERO,
+        );
+    }
+}

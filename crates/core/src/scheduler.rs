@@ -1,0 +1,415 @@
+//! The context scheduler — resident-set management for the fabric.
+//!
+//! The paper's scheduler (§5.3) is *reactive*: a call targeting a
+//! non-active context triggers a context switch on demand. This module
+//! implements that policy plus the two extensions the related work points
+//! at: multi-slot residency (MorphoSys keeps 32 contexts in its context
+//! memory) with LRU/FIFO eviction, and prefetching (load the predicted
+//! next context while the fabric is otherwise occupied — "while the RC
+//! array is executing one of the 16 contexts, the other 16 contexts can be
+//! reloaded").
+//!
+//! The scheduler is a pure data structure (no kernel coupling); the
+//! [`crate::fabric::Drcf`] component drives it. That keeps every policy
+//! decision unit- and property-testable in isolation.
+
+use crate::context::ContextId;
+
+/// How the next context to prefetch is predicted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrefetchPolicy {
+    /// No prefetching — the paper's reactive scheduler.
+    None,
+    /// A static context sequence is known (compile-time schedule, as in the
+    /// Maestre et al. framework the paper cites \[5\]); prefetch the next
+    /// element after the most recently activated one.
+    Sequence(Vec<ContextId>),
+    /// Predict that the successor observed last time will recur
+    /// (first-order Markov).
+    LastSuccessor,
+}
+
+/// Which resident context to sacrifice when slots run out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictionPolicy {
+    /// Least recently used.
+    Lru,
+    /// Oldest load first.
+    Fifo,
+}
+
+/// Scheduler parameters.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Fabric slots (regions). 1 = classic single-context device; larger
+    /// values model multi-context stores and partial reconfiguration.
+    pub slots: usize,
+    /// Prefetch policy.
+    pub prefetch: PrefetchPolicy,
+    /// Eviction policy.
+    pub eviction: EvictionPolicy,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            slots: 1,
+            prefetch: PrefetchPolicy::None,
+            eviction: EvictionPolicy::Lru,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Resident {
+    slots: Vec<usize>,
+    last_used: u64,
+    loaded_seq: u64,
+    prefetched: bool,
+}
+
+/// Outcome of a residency lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Lookup {
+    /// The context is loaded; forward the call (§5.3 step 2).
+    Resident,
+    /// A context switch is required (§5.3 step 3); evict these contexts
+    /// first (possibly none).
+    Load {
+        /// Victims to evict, in eviction order.
+        evict: Vec<ContextId>,
+    },
+    /// The context needs more slots than the fabric has even when empty.
+    TooBig,
+    /// Not enough evictable slots right now (all occupied by protected
+    /// contexts); the caller must retry later.
+    NoRoom,
+}
+
+/// Resident-set manager.
+pub struct ContextScheduler {
+    cfg: SchedulerConfig,
+    slots_needed: Vec<usize>,
+    resident: Vec<Option<Resident>>,
+    free_slots: usize,
+    tick: u64,
+    load_seq: u64,
+    successor: Vec<Option<ContextId>>,
+    last_activated: Option<ContextId>,
+}
+
+impl ContextScheduler {
+    /// New scheduler for `slots_needed.len()` contexts.
+    pub fn new(cfg: SchedulerConfig, slots_needed: Vec<usize>) -> Self {
+        assert!(cfg.slots > 0, "fabric must have at least one slot");
+        let n = slots_needed.len();
+        ContextScheduler {
+            free_slots: cfg.slots,
+            cfg,
+            slots_needed,
+            resident: vec![None; n],
+            tick: 0,
+            load_seq: 0,
+            successor: vec![None; n],
+            last_activated: None,
+        }
+    }
+
+    /// Number of contexts managed.
+    pub fn context_count(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Is `c` currently loaded?
+    pub fn is_resident(&self, c: ContextId) -> bool {
+        self.resident[c].is_some()
+    }
+
+    /// Currently resident contexts, in id order.
+    pub fn resident_set(&self) -> Vec<ContextId> {
+        (0..self.resident.len())
+            .filter(|&c| self.resident[c].is_some())
+            .collect()
+    }
+
+    /// Free slot count.
+    pub fn free_slots(&self) -> usize {
+        self.free_slots
+    }
+
+    /// Decide how to make `c` resident, never evicting `protected`
+    /// contexts (the fabric protects the one currently executing and the
+    /// one currently loading).
+    pub fn lookup(&self, c: ContextId, protected: &[ContextId]) -> Lookup {
+        if self.resident[c].is_some() {
+            return Lookup::Resident;
+        }
+        let need = self.slots_needed[c];
+        if need > self.cfg.slots {
+            return Lookup::TooBig;
+        }
+        if need <= self.free_slots {
+            return Lookup::Load { evict: vec![] };
+        }
+        // Rank victims by policy.
+        let mut victims: Vec<(u64, ContextId, usize)> = self
+            .resident
+            .iter()
+            .enumerate()
+            .filter_map(|(id, r)| r.as_ref().map(|r| (id, r)))
+            .filter(|(id, _)| !protected.contains(id))
+            .map(|(id, r)| {
+                let rank = match self.cfg.eviction {
+                    EvictionPolicy::Lru => r.last_used,
+                    EvictionPolicy::Fifo => r.loaded_seq,
+                };
+                (rank, id, r.slots.len())
+            })
+            .collect();
+        victims.sort_unstable();
+        let mut freed = self.free_slots;
+        let mut evict = Vec::new();
+        for (_, id, slots) in victims {
+            if freed >= need {
+                break;
+            }
+            evict.push(id);
+            freed += slots;
+        }
+        if freed >= need {
+            Lookup::Load { evict }
+        } else {
+            Lookup::NoRoom
+        }
+    }
+
+    /// Remove `c` from the fabric.
+    pub fn evict(&mut self, c: ContextId) {
+        let r = self.resident[c].take().expect("evicting a non-resident context");
+        self.free_slots += r.slots.len();
+    }
+
+    /// Mark `c` loaded (after its configuration finished streaming in).
+    pub fn install(&mut self, c: ContextId, prefetched: bool) {
+        assert!(self.resident[c].is_none(), "double install of context {c}");
+        let need = self.slots_needed[c];
+        assert!(
+            need <= self.free_slots,
+            "install without room: need {need}, free {}",
+            self.free_slots
+        );
+        self.free_slots -= need;
+        self.load_seq += 1;
+        self.tick += 1;
+        self.resident[c] = Some(Resident {
+            slots: (0..need).collect(),
+            last_used: self.tick,
+            loaded_seq: self.load_seq,
+            prefetched,
+        });
+    }
+
+    /// Record a use of resident context `c` (updates recency and the
+    /// successor model). Returns `true` when this is the first use of a
+    /// prefetched load — a prefetch hit.
+    pub fn note_use(&mut self, c: ContextId) -> bool {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(prev) = self.last_activated {
+            if prev != c {
+                self.successor[prev] = Some(c);
+            }
+        }
+        self.last_activated = Some(c);
+        let r = self.resident[c]
+            .as_mut()
+            .expect("note_use on non-resident context");
+        r.last_used = tick;
+        std::mem::take(&mut r.prefetched)
+    }
+
+    /// Predict the context worth prefetching after `current`, if any.
+    pub fn predict_next(&self, current: ContextId) -> Option<ContextId> {
+        let pred = match &self.cfg.prefetch {
+            PrefetchPolicy::None => None,
+            PrefetchPolicy::Sequence(seq) => {
+                let pos = seq.iter().position(|&c| c == current)?;
+                Some(seq[(pos + 1) % seq.len()])
+            }
+            PrefetchPolicy::LastSuccessor => self.successor[current],
+        }?;
+        if pred != current && !self.is_resident(pred) {
+            Some(pred)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched(slots: usize, contexts: usize) -> ContextScheduler {
+        ContextScheduler::new(
+            SchedulerConfig {
+                slots,
+                ..SchedulerConfig::default()
+            },
+            vec![1; contexts],
+        )
+    }
+
+    #[test]
+    fn single_slot_reactive_swapping() {
+        let mut s = sched(1, 3);
+        assert_eq!(s.lookup(0, &[]), Lookup::Load { evict: vec![] });
+        s.install(0, false);
+        assert!(s.is_resident(0));
+        assert_eq!(s.lookup(0, &[]), Lookup::Resident);
+        // Context 1 must evict 0.
+        assert_eq!(s.lookup(1, &[]), Lookup::Load { evict: vec![0] });
+        s.evict(0);
+        s.install(1, false);
+        assert_eq!(s.resident_set(), vec![1]);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut s = sched(2, 3);
+        s.install(0, false);
+        s.note_use(0);
+        s.install(1, false);
+        s.note_use(1);
+        s.note_use(0); // 0 is now more recent than 1
+        assert_eq!(s.lookup(2, &[]), Lookup::Load { evict: vec![1] });
+    }
+
+    #[test]
+    fn fifo_evicts_oldest_load() {
+        let mut s = ContextScheduler::new(
+            SchedulerConfig {
+                slots: 2,
+                eviction: EvictionPolicy::Fifo,
+                ..SchedulerConfig::default()
+            },
+            vec![1; 3],
+        );
+        s.install(0, false);
+        s.install(1, false);
+        s.note_use(0); // recency irrelevant for FIFO
+        assert_eq!(s.lookup(2, &[]), Lookup::Load { evict: vec![0] });
+    }
+
+    #[test]
+    fn protected_contexts_are_never_victims() {
+        let mut s = sched(1, 2);
+        s.install(0, false);
+        assert_eq!(s.lookup(1, &[0]), Lookup::NoRoom);
+        assert_eq!(s.lookup(1, &[]), Lookup::Load { evict: vec![0] });
+    }
+
+    #[test]
+    fn too_big_detected() {
+        let s = ContextScheduler::new(
+            SchedulerConfig {
+                slots: 2,
+                ..SchedulerConfig::default()
+            },
+            vec![1, 3],
+        );
+        assert_eq!(s.lookup(1, &[]), Lookup::TooBig);
+    }
+
+    #[test]
+    fn multi_slot_context_evicts_several() {
+        let mut s = ContextScheduler::new(
+            SchedulerConfig {
+                slots: 3,
+                ..SchedulerConfig::default()
+            },
+            vec![1, 1, 3],
+        );
+        s.install(0, false);
+        s.install(1, false);
+        assert_eq!(s.free_slots(), 1);
+        match s.lookup(2, &[]) {
+            Lookup::Load { evict } => {
+                assert_eq!(evict.len(), 2, "needs both residents out");
+            }
+            other => panic!("expected Load, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sequence_prefetch_predicts_next() {
+        let s = ContextScheduler::new(
+            SchedulerConfig {
+                slots: 2,
+                prefetch: PrefetchPolicy::Sequence(vec![0, 1, 2]),
+                ..SchedulerConfig::default()
+            },
+            vec![1; 3],
+        );
+        assert_eq!(s.predict_next(0), Some(1));
+        assert_eq!(s.predict_next(2), Some(0), "sequence wraps");
+    }
+
+    #[test]
+    fn last_successor_learns() {
+        let mut s = ContextScheduler::new(
+            SchedulerConfig {
+                slots: 3,
+                prefetch: PrefetchPolicy::LastSuccessor,
+                ..SchedulerConfig::default()
+            },
+            vec![1; 3],
+        );
+        s.install(0, false);
+        s.install(1, false);
+        assert_eq!(s.predict_next(0), None, "nothing learned yet");
+        s.note_use(0);
+        s.note_use(1); // successor[0] = 1
+        s.evict(1);
+        assert_eq!(s.predict_next(0), Some(1));
+        // A resident prediction is suppressed.
+        s.install(1, false);
+        assert_eq!(s.predict_next(0), None);
+    }
+
+    #[test]
+    fn prefetch_hit_reported_once() {
+        let mut s = sched(2, 2);
+        s.install(0, true);
+        assert!(s.note_use(0), "first use of a prefetched context is a hit");
+        assert!(!s.note_use(0), "only counted once");
+        s.install(1, false);
+        assert!(!s.note_use(1), "demand load is not a prefetch hit");
+    }
+
+    #[test]
+    fn free_slot_accounting() {
+        let mut s = ContextScheduler::new(
+            SchedulerConfig {
+                slots: 4,
+                ..SchedulerConfig::default()
+            },
+            vec![2, 2],
+        );
+        assert_eq!(s.free_slots(), 4);
+        s.install(0, false);
+        assert_eq!(s.free_slots(), 2);
+        s.install(1, false);
+        assert_eq!(s.free_slots(), 0);
+        s.evict(0);
+        assert_eq!(s.free_slots(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "double install")]
+    fn double_install_panics() {
+        let mut s = sched(2, 1);
+        s.install(0, false);
+        s.install(0, false);
+    }
+}

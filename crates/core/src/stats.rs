@@ -1,0 +1,244 @@
+//! DRCF instrumentation — §5.3 step 5:
+//!
+//! > "The scheduler will keep track of active time of each context as well
+//! >  as the time that the DRCF is in reconfiguring itself."
+//!
+//! The accounting invariant — per-context active time + reconfiguration
+//! time + idle time = elapsed time — is asserted in tests and exposed for
+//! harnesses.
+
+use drcf_kernel::prelude::{SimDuration, SimTime};
+
+use crate::context::ContextId;
+
+/// What happened on the fabric at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FabricEventKind {
+    /// A context switch began (victim evictions already applied).
+    SwitchStart,
+    /// The context finished loading and became resident.
+    SwitchDone,
+    /// The context started executing a (previously suspended) access.
+    ExecStart,
+    /// The context was evicted.
+    Evict,
+}
+
+/// One timeline entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FabricEvent {
+    /// When.
+    pub at: SimTime,
+    /// Which context.
+    pub ctx: ContextId,
+    /// What.
+    pub kind: FabricEventKind,
+}
+
+/// Counters for one context.
+#[derive(Debug, Clone, Default)]
+pub struct ContextStats {
+    /// Time this context spent actively processing accesses.
+    pub active: SimDuration,
+    /// Times this context was configured onto the fabric.
+    pub switches_in: u64,
+    /// Interface accesses served.
+    pub accesses: u64,
+    /// Configuration words loaded on behalf of this context.
+    pub config_words: u64,
+    /// Total time accesses to this context waited while it was being
+    /// configured or while the fabric was busy elsewhere.
+    pub wait: SimDuration,
+}
+
+/// Counters for a whole fabric.
+#[derive(Debug, Clone, Default)]
+pub struct FabricStats {
+    /// Per-context counters, indexed by `ContextId`.
+    pub per_context: Vec<ContextStats>,
+    /// Total time the fabric spent reconfiguring (§5.3 step 5). When
+    /// loading overlaps execution (MorphoSys-style), this counts only the
+    /// time reconfiguration *blocked* the fabric.
+    pub reconfig: SimDuration,
+    /// Reconfiguration time that overlapped useful execution (nonzero only
+    /// with background loading enabled).
+    pub reconfig_overlapped: SimDuration,
+    /// Context switches performed.
+    pub switches: u64,
+    /// Configuration words transferred in total.
+    pub config_words: u64,
+    /// Context-state save/restore words transferred (stateful contexts).
+    pub state_words: u64,
+    /// Accesses that arrived for a context that was already active
+    /// (§5.3 step 2 fast path).
+    pub hits: u64,
+    /// Accesses that required a context switch (§5.3 step 3).
+    pub misses: u64,
+    /// Prefetch loads issued (scheduling-policy extension).
+    pub prefetches: u64,
+    /// Prefetched loads that were used before eviction.
+    pub prefetch_hits: u64,
+    /// Chronological event log (switch/exec/evict), for timelines and
+    /// post-mortem analysis.
+    pub events: Vec<FabricEvent>,
+}
+
+impl FabricStats {
+    /// Initialize for `n` contexts.
+    pub fn new(n: usize) -> Self {
+        FabricStats {
+            per_context: vec![ContextStats::default(); n],
+            ..FabricStats::default()
+        }
+    }
+
+    /// Sum of per-context active time.
+    pub fn total_active(&self) -> SimDuration {
+        self.per_context
+            .iter()
+            .fold(SimDuration::ZERO, |acc, c| acc + c.active)
+    }
+
+    /// Idle time over `[0, now]` implied by the accounting invariant.
+    pub fn idle(&self, now: SimTime) -> SimDuration {
+        now.since(SimTime::ZERO)
+            .saturating_sub(self.total_active() + self.reconfig)
+    }
+
+    /// Check the accounting invariant: active + reconfig <= elapsed
+    /// (strict equality holds only for a fabric that is never idle).
+    pub fn invariant_holds(&self, now: SimTime) -> bool {
+        let elapsed = now.since(SimTime::ZERO);
+        self.total_active() + self.reconfig <= elapsed
+    }
+
+    /// Hit rate of the context scheduler.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of elapsed time lost to (blocking) reconfiguration.
+    pub fn reconfig_overhead(&self, now: SimTime) -> f64 {
+        self.reconfig.fraction_of(now.since(SimTime::ZERO))
+    }
+
+    /// Record a timeline event.
+    pub fn record_event(&mut self, at: SimTime, ctx: ContextId, kind: FabricEventKind) {
+        self.events.push(FabricEvent { at, ctx, kind });
+    }
+
+    /// Render the event log as a text timeline: one lane per context,
+    /// `width` character columns over `[0, until]`. Lane glyphs:
+    /// `#` executing started here, `~` (re)configuring, `x` evicted,
+    /// `|` became resident.
+    pub fn timeline(&self, names: &[&str], until: SimTime, width: usize) -> String {
+        use std::fmt::Write as _;
+        assert!(width >= 8, "timeline needs at least 8 columns");
+        let total = until.since(SimTime::ZERO).as_fs().max(1);
+        let col = |t: SimTime| {
+            ((t.since(SimTime::ZERO).as_fs() as u128 * (width as u128 - 1)) / total as u128)
+                as usize
+        };
+        let name_w = names.iter().map(|n| n.len()).max().unwrap_or(4).max(4);
+        let mut out = String::new();
+        for (ctx, name) in names.iter().enumerate() {
+            let mut lane = vec![b'.'; width];
+            for e in self.events.iter().filter(|e| e.ctx == ctx) {
+                let c = col(e.at).min(width - 1);
+                lane[c] = match e.kind {
+                    FabricEventKind::SwitchStart => b'~',
+                    FabricEventKind::SwitchDone => b'|',
+                    FabricEventKind::ExecStart => b'#',
+                    FabricEventKind::Evict => b'x',
+                };
+            }
+            let _ = writeln!(
+                out,
+                "{name:<name_w$} [{}]",
+                String::from_utf8(lane).expect("ascii lane")
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:<name_w$}  0{:>w$}",
+            "",
+            format!("{until}"),
+            w = width - 1
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_aggregate_per_context() {
+        let mut s = FabricStats::new(3);
+        s.per_context[0].active = SimDuration::ns(100);
+        s.per_context[2].active = SimDuration::ns(50);
+        assert_eq!(s.total_active(), SimDuration::ns(150));
+    }
+
+    #[test]
+    fn invariant_and_idle() {
+        let mut s = FabricStats::new(1);
+        s.per_context[0].active = SimDuration::ns(60);
+        s.reconfig = SimDuration::ns(30);
+        let now = SimTime::ZERO + SimDuration::ns(100);
+        assert!(s.invariant_holds(now));
+        assert_eq!(s.idle(now), SimDuration::ns(10));
+        let too_soon = SimTime::ZERO + SimDuration::ns(80);
+        assert!(!s.invariant_holds(too_soon));
+    }
+
+    #[test]
+    fn event_log_and_timeline_render() {
+        let mut s = FabricStats::new(2);
+        let t = |ns: u64| SimTime::ZERO + SimDuration::ns(ns);
+        s.record_event(t(0), 0, FabricEventKind::SwitchStart);
+        s.record_event(t(100), 0, FabricEventKind::SwitchDone);
+        s.record_event(t(110), 0, FabricEventKind::ExecStart);
+        s.record_event(t(500), 0, FabricEventKind::Evict);
+        s.record_event(t(500), 1, FabricEventKind::SwitchStart);
+        s.record_event(t(900), 1, FabricEventKind::ExecStart);
+        let text = s.timeline(&["alpha", "beta"], t(1000), 40);
+        assert!(text.contains("alpha"));
+        assert!(text.contains("beta"));
+        // alpha's lane starts with the switch marker.
+        let alpha_line = text.lines().next().unwrap();
+        assert!(alpha_line.contains("[~"), "{alpha_line}");
+        assert!(alpha_line.contains('#'));
+        assert!(alpha_line.contains('x'));
+        let beta_line = text.lines().nth(1).unwrap();
+        assert!(beta_line.contains('~') && beta_line.contains('#'));
+        assert_eq!(s.events.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 8 columns")]
+    fn timeline_rejects_tiny_width() {
+        let s = FabricStats::new(1);
+        let _ = s.timeline(&["a"], SimTime::ZERO + SimDuration::ns(1), 2);
+    }
+
+    #[test]
+    fn hit_rate_and_overhead() {
+        let mut s = FabricStats::new(1);
+        assert_eq!(s.hit_rate(), 0.0);
+        s.hits = 3;
+        s.misses = 1;
+        assert_eq!(s.hit_rate(), 0.75);
+        s.reconfig = SimDuration::ns(25);
+        assert_eq!(
+            s.reconfig_overhead(SimTime::ZERO + SimDuration::ns(100)),
+            0.25
+        );
+    }
+}

@@ -1,0 +1,201 @@
+//! Reconfigurable-technology presets.
+//!
+//! Chapter 3 of the paper surveys three classes of (re)configurable
+//! technology and concludes that "the different categories ... have very
+//! different characteristics and therefore, a unified model of them at the
+//! system-level is impossibility" — the methodology instead *parameterizes*
+//! configuration-memory transfers and reconfiguration delays. These presets
+//! derive those parameters from the figures the paper quotes:
+//!
+//! * **Xilinx Virtex-II Pro** — system-level FPGA, fine grain (1-bit),
+//!   up to 638 K logic gates, SRAM-based, 18 Kbit dual-port BRAMs,
+//!   multipliers at 200 MHz.
+//! * **Actel VariCore** — embedded reprogrammable core, 0.18 µm, PEG blocks
+//!   of 2 500 ASIC gates scaling to 40 K gates, clock up to 250 MHz, and
+//!   0.075 µW/gate/MHz (≈ 240 mW at 100 MHz, 80 % utilization).
+//! * **MorphoSys** — coarse-grained 8×8 cell array with 32 on-chip context
+//!   words; inactive contexts reload while the array executes.
+//!
+//! Where the paper gives no direct number (per-gate configuration volume),
+//! we use the published device families' orders of magnitude and document
+//! them in EXPERIMENTS.md; the *relative* relationships (fine grain needs
+//! orders of magnitude more configuration data per gate than coarse grain)
+//! are what the reproduced experiments depend on.
+
+use crate::power::PowerModel;
+
+/// Processing-element granularity (paper §2, classification (c)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Granularity {
+    /// 1-bit LUT/flip-flop granularity (Virtex-style FPGA).
+    Fine,
+    /// Small-word datapaths.
+    Medium,
+    /// Word-level ALU arrays (MorphoSys-style).
+    Coarse,
+}
+
+/// A reconfigurable implementation technology.
+#[derive(Debug, Clone)]
+pub struct Technology {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Granularity class.
+    pub granularity: Granularity,
+    /// Fabric execution clock, MHz.
+    pub fabric_clock_mhz: u64,
+    /// Configuration-port clock, MHz (rate at which configuration words can
+    /// be consumed).
+    pub config_clock_mhz: u64,
+    /// Configuration volume per 1 000 equivalent gates, in 64-bit memory
+    /// words.
+    pub config_words_per_kgate: u64,
+    /// Contexts the device can hold simultaneously (scheduler slots).
+    pub on_chip_contexts: usize,
+    /// Reconfiguration delay beyond the configuration transfer, in
+    /// config-clock cycles (net settling, control overhead).
+    pub extra_reconfig_cycles: u64,
+    /// Largest supported context, in equivalent gates.
+    pub max_context_gates: u64,
+    /// Power model.
+    pub power: PowerModel,
+}
+
+impl Technology {
+    /// Configuration size of a context of `gates` equivalent gates, in
+    /// 64-bit memory words.
+    pub fn config_words_for(&self, gates: u64) -> u64 {
+        (gates * self.config_words_per_kgate).div_ceil(1000).max(1)
+    }
+
+    /// Extra (non-transfer) reconfiguration delay.
+    pub fn extra_delay(&self) -> drcf_kernel::prelude::SimDuration {
+        drcf_kernel::prelude::SimDuration::cycles_at_mhz(
+            self.extra_reconfig_cycles,
+            self.config_clock_mhz,
+        )
+    }
+}
+
+/// Xilinx Virtex-II Pro: system-level FPGA, fine grained, SRAM based.
+///
+/// Fine-grained SRAM FPGAs need on the order of 50–100 configuration bits
+/// per equivalent gate; we use 64 bits/gate = 1 word/gate = 1000 words per
+/// kgate.
+pub fn virtex2_pro() -> Technology {
+    Technology {
+        name: "Virtex-II Pro",
+        granularity: Granularity::Fine,
+        fabric_clock_mhz: 200, // paper: dedicated multipliers at 200 MHz pipelined
+        config_clock_mhz: 50,  // SelectMAP-class configuration port
+        config_words_per_kgate: 1000,
+        on_chip_contexts: 1,
+        extra_reconfig_cycles: 2000, // frame addressing / CRC overhead
+        max_context_gates: 638_000,  // paper: up to 638K logic gates
+        power: PowerModel {
+            static_mw: 150.0,
+            active_uw_per_gate_mhz: 0.12,
+            reconfig_mw: 350.0,
+            energy_per_config_word_nj: 4.0,
+        },
+    }
+}
+
+/// Actel VariCore EPGA: embedded reprogrammable block, 0.18 µm.
+pub fn varicore() -> Technology {
+    Technology {
+        name: "VariCore EPGA",
+        granularity: Granularity::Medium,
+        fabric_clock_mhz: 250, // paper: clock speeds up to 250 MHz
+        config_clock_mhz: 100,
+        config_words_per_kgate: 400,
+        on_chip_contexts: 1,
+        extra_reconfig_cycles: 500,
+        max_context_gates: 40_000, // paper: 2,500 to 40,000 ASIC gates (0.18µ)
+        power: PowerModel {
+            static_mw: 20.0,
+            // Paper: 0.075 µW/Gate/MHz; 240 mW at 100 MHz / 80% utilization.
+            active_uw_per_gate_mhz: 0.075,
+            reconfig_mw: 120.0,
+            energy_per_config_word_nj: 2.0,
+        },
+    }
+}
+
+/// MorphoSys: coarse-grained 8×8 reconfigurable cell array with a 32-deep
+/// context memory; contexts reload in the background while the array runs.
+pub fn morphosys() -> Technology {
+    Technology {
+        name: "MorphoSys",
+        granularity: Granularity::Coarse,
+        fabric_clock_mhz: 100,
+        config_clock_mhz: 100,
+        // A context is 8x8 cells x 32-bit context words = 256 bytes = 32
+        // 64-bit words; normalized per kgate of mapped function.
+        config_words_per_kgate: 8,
+        on_chip_contexts: 32, // paper: 16 executing + 16 reloading banks
+        extra_reconfig_cycles: 4,
+        max_context_gates: 100_000,
+        power: PowerModel {
+            static_mw: 40.0,
+            active_uw_per_gate_mhz: 0.05,
+            reconfig_mw: 60.0,
+            energy_per_config_word_nj: 0.5,
+        },
+    }
+}
+
+/// All presets, for sweep harnesses.
+pub fn all_presets() -> Vec<Technology> {
+    vec![virtex2_pro(), varicore(), morphosys()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_volume_ordering_by_granularity() {
+        // For the same function size, fine grain needs far more
+        // configuration data than coarse grain (the Chapter-3 claim the
+        // technology comparison experiment depends on).
+        let gates = 20_000;
+        let fine = virtex2_pro().config_words_for(gates);
+        let medium = varicore().config_words_for(gates);
+        let coarse = morphosys().config_words_for(gates);
+        assert!(fine > medium && medium > coarse, "{fine} > {medium} > {coarse}");
+        assert!(fine >= 100 * coarse, "orders of magnitude apart");
+    }
+
+    #[test]
+    fn config_words_rounds_up_and_is_nonzero() {
+        let t = morphosys();
+        assert_eq!(t.config_words_for(0), 1, "floor of one word");
+        assert_eq!(t.config_words_for(1000), 8);
+        assert_eq!(t.config_words_for(1001), 9, "rounds up");
+    }
+
+    #[test]
+    fn varicore_power_matches_paper_figure() {
+        // 0.075 µW/gate/MHz at 100 MHz, 80% of 40K gates active:
+        // 0.075e-6 W * 32000 gates * 100 MHz = 240 mW (paper's own number).
+        let t = varicore();
+        let mw = t.power.active_mw(32_000, 100);
+        assert!((mw - 240.0).abs() < 1.0, "got {mw} mW");
+    }
+
+    #[test]
+    fn morphosys_holds_many_contexts() {
+        assert_eq!(morphosys().on_chip_contexts, 32);
+        assert_eq!(virtex2_pro().on_chip_contexts, 1);
+    }
+
+    #[test]
+    fn presets_have_distinct_names() {
+        let names: Vec<&str> = all_presets().iter().map(|t| t.name).collect();
+        let mut dedup = names.clone();
+        dedup.dedup();
+        assert_eq!(names.len(), 3);
+        assert_eq!(names, dedup);
+    }
+}

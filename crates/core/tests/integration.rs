@@ -1,0 +1,420 @@
+//! Full-stack DRCF tests: master → bus → fabric, with configuration data
+//! streaming from a real memory. Includes the reproduction of the paper's
+//! §5.4 limitation 3 — the blocking-bus deadlock — and the functional
+//! equivalence between a DRCF and the standalone accelerators it replaces.
+
+use drcf_bus::prelude::*;
+use drcf_core::prelude::*;
+use drcf_kernel::prelude::*;
+
+/// A master that performs a scripted sequence of single-word accesses,
+/// issuing the next only after the previous response (like a blocking
+/// SystemC thread).
+struct ScriptedMaster {
+    port: MasterPort,
+    script: Vec<(BusOp, Addr, Word)>,
+    pc: usize,
+    pub replies: Vec<(SimTime, BusResponse)>,
+}
+
+impl ScriptedMaster {
+    fn new(bus: ComponentId, script: Vec<(BusOp, Addr, Word)>) -> Self {
+        ScriptedMaster {
+            port: MasterPort::new(bus, 1),
+            script,
+            pc: 0,
+            replies: vec![],
+        }
+    }
+
+    fn next(&mut self, api: &mut Api<'_>) {
+        if let Some(&(op, addr, v)) = self.script.get(self.pc) {
+            self.pc += 1;
+            match op {
+                BusOp::Read => {
+                    self.port.read(api, addr, 1);
+                }
+                BusOp::Write => {
+                    self.port.write(api, addr, vec![v]);
+                }
+            }
+        }
+    }
+}
+
+impl Component for ScriptedMaster {
+    fn handle(&mut self, api: &mut Api<'_>, msg: Msg) {
+        match &msg.kind {
+            MsgKind::Start => self.next(api),
+            _ => {
+                if let Ok(r) = self.port.take_response(api, msg) {
+                    self.replies.push((api.now(), r));
+                    self.next(api);
+                }
+            }
+        }
+    }
+}
+
+/// Two accelerators folded into a DRCF whose configuration lives in the
+/// system memory and loads over the system bus.
+///
+/// Component ids: 0 master, 1 bus, 2 memory, 3 drcf.
+fn build_system(bus_mode: BusMode, script: Vec<(BusOp, Addr, Word)>) -> Simulator {
+    let mut sim = Simulator::new();
+    let mut map = AddressMap::new();
+    map.add(0x0000, 0x0FFF, 2).unwrap(); // memory (config images live here)
+    map.add(0x2000, 0x20FF, 3).unwrap(); // DRCF interface range
+
+    sim.add("cpu", ScriptedMaster::new(1, script));
+    sim.add(
+        "bus",
+        Bus::new(
+            BusConfig {
+                mode: bus_mode,
+                ..BusConfig::default()
+            },
+            map,
+        ),
+    );
+    sim.add(
+        "mem",
+        Memory::new(MemoryConfig {
+            size_words: 0x1000,
+            ..MemoryConfig::default()
+        }),
+    );
+    let contexts = vec![
+        Context::new(
+            Box::new(RegisterFile::new("hwa_a", 0x2000, 16, 2)),
+            ContextParams {
+                config_addr: 0x100,
+                config_size_words: 64,
+                ..ContextParams::default()
+            },
+        ),
+        Context::new(
+            Box::new(RegisterFile::new("hwa_b", 0x2080, 16, 2)),
+            ContextParams {
+                config_addr: 0x140,
+                config_size_words: 64,
+                ..ContextParams::default()
+            },
+        ),
+    ];
+    sim.add(
+        "drcf",
+        Drcf::new(
+            DrcfConfig {
+                clock_mhz: 100,
+                config_path: ConfigPath::SystemBus {
+                    bus: 1,
+                    priority: 3,
+                    burst: 16,
+                },
+                scheduler: SchedulerConfig::default(),
+                overlap_load_exec: false,
+            },
+            contexts,
+        ),
+    );
+    sim
+}
+
+#[test]
+fn drcf_over_split_bus_works_end_to_end() {
+    let mut sim = build_system(
+        BusMode::Split,
+        vec![
+            (BusOp::Write, 0x2000, 11), // context A: miss, load over bus
+            (BusOp::Read, 0x2000, 0),   // hit
+            (BusOp::Write, 0x2080, 22), // context B: miss, switch
+            (BusOp::Read, 0x2080, 0),
+            (BusOp::Read, 0x2000, 0), // back to A: switch again
+        ],
+    );
+    assert_eq!(sim.run(), StopReason::Quiescent);
+    let m = sim.get::<ScriptedMaster>(0);
+    assert_eq!(m.replies.len(), 5);
+    assert!(m.replies.iter().all(|(_, r)| r.is_ok()));
+    assert_eq!(m.replies[1].1.data, vec![11]);
+    assert_eq!(m.replies[3].1.data, vec![22]);
+    assert_eq!(m.replies[4].1.data, vec![11], "state survives eviction");
+
+    let f = sim.get::<Drcf>(3);
+    assert_eq!(f.stats.switches, 3);
+    assert_eq!(f.stats.hits, 2);
+    assert_eq!(f.stats.misses, 3);
+    assert_eq!(f.stats.config_words, 3 * 64);
+    assert!(f.stats.invariant_holds(sim.now()));
+
+    // The configuration traffic really crossed the bus and hit the memory.
+    let mem = sim.get::<Memory>(2);
+    assert_eq!(mem.stats.words_read, 3 * 64);
+    let port = f.config_port().expect("system-bus path");
+    assert_eq!(port.issued, 3 * (64 / 16)); // 4 bursts of 16 per load
+    assert_eq!(port.completed, port.issued);
+
+    let bus = sim.get::<Bus>(1);
+    // 5 CPU transactions + 12 config bursts.
+    assert_eq!(bus.stats.requests, 5 + 12);
+}
+
+/// §5.4 limitation 3, reproduced:
+///
+/// > "If this is not the case, a data transfer to a component in DRCF
+/// >  would block the bus until the transfer is completed and the DRCF
+/// >  could not load a new context, since the bus is already blocked.
+/// >  This results in deadlock of the bus."
+#[test]
+fn blocking_bus_deadlocks_on_context_load() {
+    let mut sim = build_system(BusMode::Blocking, vec![(BusOp::Write, 0x2000, 1)]);
+    let reason = sim.run();
+    if let StopReason::Deadlock { pending } = reason {
+        // CPU's transaction + the DRCF's stuck config read.
+        assert!(pending >= 2, "pending = {pending}");
+    } else {
+        panic!("expected deadlock, got {reason:?}");
+    }
+    // And the fix the paper prescribes — split transactions — resolves it
+    // with an otherwise identical system:
+    let mut fixed = build_system(BusMode::Split, vec![(BusOp::Write, 0x2000, 1)]);
+    assert_eq!(fixed.run(), StopReason::Quiescent);
+}
+
+/// Dedicated configuration port (memory organization study): loads bypass
+/// the system bus entirely.
+#[test]
+fn direct_config_port_generates_no_bus_traffic() {
+    let mut sim = Simulator::new();
+    let mut map = AddressMap::new();
+    map.add(0x0000, 0x0FFF, 2).unwrap();
+    map.add(0x2000, 0x20FF, 3).unwrap();
+    sim.add(
+        "cpu",
+        ScriptedMaster::new(1, vec![(BusOp::Write, 0x2000, 5), (BusOp::Read, 0x2000, 0)]),
+    );
+    sim.add("bus", Bus::new(BusConfig::default(), map));
+    sim.add(
+        "cfgmem",
+        Memory::new(MemoryConfig {
+            size_words: 0x1000,
+            dual_port: true,
+            ..MemoryConfig::default()
+        }),
+    );
+    sim.add(
+        "drcf",
+        Drcf::new(
+            DrcfConfig {
+                clock_mhz: 100,
+                config_path: ConfigPath::DirectPort { memory: 2 },
+                scheduler: SchedulerConfig::default(),
+                overlap_load_exec: false,
+            },
+            vec![Context::new(
+                Box::new(RegisterFile::new("hwa", 0x2000, 16, 2)),
+                ContextParams {
+                    config_addr: 0x100,
+                    config_size_words: 128,
+                    ..ContextParams::default()
+                },
+            )],
+        ),
+    );
+    assert_eq!(sim.run(), StopReason::Quiescent);
+    let m = sim.get::<ScriptedMaster>(0);
+    assert_eq!(m.replies.len(), 2);
+    assert_eq!(m.replies[1].1.data, vec![5]);
+    let bus = sim.get::<Bus>(1);
+    assert_eq!(bus.stats.requests, 2, "only the CPU's own transactions");
+    let mem = sim.get::<Memory>(2);
+    assert_eq!(mem.stats.direct_words, 128);
+    let f = sim.get::<Drcf>(3);
+    assert_eq!(f.stats.config_words, 128);
+}
+
+/// The same access script produces identical functional results whether the
+/// accelerators are standalone bus slaves or DRCF contexts (the §5.2
+/// transformation's behavior-preservation claim, full-stack version).
+#[test]
+fn functional_equivalence_standalone_vs_drcf() {
+    let script = vec![
+        (BusOp::Write, 0x2000, 7),
+        (BusOp::Write, 0x2081, 9),
+        (BusOp::Read, 0x2000, 0),
+        (BusOp::Write, 0x2002, 13),
+        (BusOp::Read, 0x2081, 0),
+        (BusOp::Read, 0x2002, 0),
+    ];
+
+    // Architecture (a): two standalone accelerators.
+    let standalone: Vec<Vec<Word>> = {
+        let mut sim = Simulator::new();
+        let mut map = AddressMap::new();
+        map.add(0x2000, 0x200F, 2).unwrap();
+        map.add(0x2080, 0x208F, 3).unwrap();
+        sim.add("cpu", ScriptedMaster::new(1, script.clone()));
+        sim.add("bus", Bus::new(BusConfig::default(), map));
+        sim.add(
+            "hwa_a",
+            SlaveAdapter::new(RegisterFile::new("hwa_a", 0x2000, 16, 2), 100),
+        );
+        sim.add(
+            "hwa_b",
+            SlaveAdapter::new(RegisterFile::new("hwa_b", 0x2080, 16, 2), 100),
+        );
+        assert_eq!(sim.run(), StopReason::Quiescent);
+        sim.get::<ScriptedMaster>(0)
+            .replies
+            .iter()
+            .map(|(_, r)| r.data.clone())
+            .collect()
+    };
+
+    // Architecture (b): the same models folded into a DRCF.
+    let drcf: Vec<Vec<Word>> = {
+        let mut sim = build_system(BusMode::Split, script);
+        assert_eq!(sim.run(), StopReason::Quiescent);
+        sim.get::<ScriptedMaster>(0)
+            .replies
+            .iter()
+            .map(|(_, r)| r.data.clone())
+            .collect()
+    };
+
+    assert_eq!(standalone, drcf, "bus-visible data must be identical");
+}
+
+/// Stateful contexts over the real bus: save bursts (writes) and restore
+/// bursts (reads) interleave correctly with the configuration stream and
+/// the data lands in memory without deadlock.
+#[test]
+fn stateful_context_over_system_bus() {
+    let mut sim = Simulator::new();
+    let mut map = AddressMap::new();
+    map.add(0x0000, 0x0FFF, 2).unwrap();
+    map.add(0x2000, 0x20FF, 3).unwrap();
+    sim.add(
+        "cpu",
+        ScriptedMaster::new(
+            1,
+            vec![
+                (BusOp::Write, 0x2000, 1), // A: first load (no restore)
+                (BusOp::Write, 0x2080, 2), // B: evicts A -> saves A's state
+                (BusOp::Read, 0x2000, 0),  // A again: image + restore
+            ],
+        ),
+    );
+    sim.add("bus", Bus::new(BusConfig::default(), map));
+    sim.add(
+        "mem",
+        Memory::new(MemoryConfig {
+            size_words: 0x1000,
+            ..MemoryConfig::default()
+        }),
+    );
+    let ctx_a = Context::new(
+        Box::new(RegisterFile::new("hwa_a", 0x2000, 16, 2)),
+        ContextParams {
+            config_addr: 0x100,
+            config_size_words: 64,
+            state_words: 48,
+            state_addr: 0x400,
+            ..ContextParams::default()
+        },
+    );
+    ctx_a.params.validate().unwrap();
+    let ctx_b = Context::new(
+        Box::new(RegisterFile::new("hwa_b", 0x2080, 16, 2)),
+        ContextParams {
+            config_addr: 0x140,
+            config_size_words: 64,
+            ..ContextParams::default()
+        },
+    );
+    sim.add(
+        "drcf",
+        Drcf::new(
+            DrcfConfig {
+                clock_mhz: 100,
+                config_path: ConfigPath::SystemBus {
+                    bus: 1,
+                    priority: 3,
+                    burst: 16,
+                },
+                scheduler: SchedulerConfig::default(),
+                overlap_load_exec: false,
+            },
+            vec![ctx_a, ctx_b],
+        ),
+    );
+    assert_eq!(sim.run(), StopReason::Quiescent);
+    let m = sim.get::<ScriptedMaster>(0);
+    assert_eq!(m.replies.len(), 3);
+    assert!(m.replies.iter().all(|(_, r)| r.is_ok()));
+    assert_eq!(m.replies[2].1.data, vec![1], "functional state preserved");
+    let f = sim.get::<Drcf>(3);
+    assert_eq!(f.stats.switches, 3);
+    assert_eq!(f.stats.config_words, 3 * 64);
+    assert_eq!(f.stats.state_words, 48 + 48, "one save + one restore");
+    let mem = sim.get::<Memory>(2);
+    assert_eq!(mem.stats.writes, 3, "3 save bursts of 16 words");
+    assert_eq!(mem.stats.words_written, 48);
+}
+
+/// Reconfiguration takes longer when the context image is larger — the
+/// first-order relationship every DSE sweep builds on.
+#[test]
+fn larger_contexts_cost_proportionally_more() {
+    let t = |words: u64| {
+        let mut sim = Simulator::new();
+        let mut map = AddressMap::new();
+        map.add(0x0000, 0x3FFF, 2).unwrap();
+        map.add(0x8000, 0x80FF, 3).unwrap();
+        sim.add("cpu", ScriptedMaster::new(1, vec![(BusOp::Write, 0x8000, 1)]));
+        sim.add("bus", Bus::new(BusConfig::default(), map));
+        sim.add(
+            "mem",
+            Memory::new(MemoryConfig {
+                size_words: 0x4000,
+                ..MemoryConfig::default()
+            }),
+        );
+        sim.add(
+            "drcf",
+            Drcf::new(
+                DrcfConfig {
+                    clock_mhz: 100,
+                    config_path: ConfigPath::SystemBus {
+                        bus: 1,
+                        priority: 3,
+                        burst: 16,
+                    },
+                    scheduler: SchedulerConfig::default(),
+                    overlap_load_exec: false,
+                },
+                vec![Context::new(
+                    Box::new(RegisterFile::new("hwa", 0x8000, 16, 2)),
+                    ContextParams {
+                        config_addr: 0x0,
+                        config_size_words: words,
+                        ..ContextParams::default()
+                    },
+                )],
+            ),
+        );
+        assert_eq!(sim.run(), StopReason::Quiescent);
+        sim.now().as_fs()
+    };
+    let t256 = t(256);
+    let t1024 = t(1024);
+    let t4096 = t(4096);
+    assert!(t256 < t1024 && t1024 < t4096);
+    // Past fixed costs, makespan grows roughly linearly with image size.
+    let growth = (t4096 - t1024) as f64 / (t1024 - t256) as f64;
+    assert!(
+        (3.0..=5.0).contains(&growth),
+        "expected ~4x growth, got {growth}"
+    );
+}

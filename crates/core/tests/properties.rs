@@ -1,0 +1,248 @@
+//! Property tests for the DRCF: functional equivalence with a shadow
+//! oracle under random thrash, accounting consistency, and scheduler
+//! occupancy invariants.
+
+use std::collections::HashMap;
+
+use drcf_bus::prelude::*;
+use drcf_core::prelude::*;
+use drcf_kernel::prelude::*;
+use proptest::prelude::*;
+
+/// Driver that sends raw SlaveAccess messages straight to the DRCF at
+/// scheduled times and records replies (the bus is not under test here).
+struct Driver {
+    drcf: ComponentId,
+    sends: Vec<(u64, u64, bool, u64)>, // (at_ns, addr, is_write, value)
+    next_id: u64,
+    pub replies: Vec<BusResponse>,
+}
+
+impl Component for Driver {
+    fn handle(&mut self, api: &mut Api<'_>, msg: Msg) {
+        match &msg.kind {
+            MsgKind::Start => {
+                for (i, &(at, _, _, _)) in self.sends.iter().enumerate() {
+                    api.obligation_begin();
+                    api.timer_in(SimDuration::ns(at), i as u64);
+                }
+            }
+            MsgKind::Timer(i) => {
+                let (_, addr, is_write, value) = self.sends[*i as usize];
+                self.next_id += 1;
+                let req = BusRequest {
+                    id: self.next_id,
+                    master: api.me(),
+                    op: if is_write { BusOp::Write } else { BusOp::Read },
+                    addr,
+                    burst: 1,
+                    data: if is_write { vec![value] } else { vec![] },
+                    priority: 0,
+                };
+                let me = api.me();
+                let drcf = self.drcf;
+                api.send(drcf, SlaveAccess { req, bus: me }, Delay::Delta);
+            }
+            _ => {
+                if let Ok(reply) = msg.user::<SlaveReply>() {
+                    self.replies.push(reply.resp);
+                    api.obligation_end();
+                }
+            }
+        }
+    }
+}
+
+fn build_fabric(n_contexts: usize, slots: usize, sizes: &[u64]) -> Drcf {
+    let contexts = (0..n_contexts)
+        .map(|i| {
+            Context::new(
+                Box::new(RegisterFile::new("ctx", 0x1000 * (i as u64 + 1), 8, 1)),
+                ContextParams {
+                    config_addr: 0x100 + 0x100 * i as u64,
+                    config_size_words: sizes[i % sizes.len()].max(1),
+                    ..ContextParams::default()
+                },
+            )
+        })
+        .collect();
+    Drcf::new(
+        DrcfConfig {
+            clock_mhz: 100,
+            config_path: ConfigPath::FixedRate {
+                words_per_cycle: 4,
+                clock_mhz: 100,
+            },
+            scheduler: SchedulerConfig {
+                slots,
+                ..SchedulerConfig::default()
+            },
+            overlap_load_exec: false,
+        },
+        contexts,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Under any access pattern, the fabric returns exactly what a shadow
+    /// register-file oracle predicts, replies to every access, and its
+    /// accounting stays consistent.
+    #[test]
+    fn fabric_matches_shadow_oracle(
+        n_contexts in 2usize..5,
+        slots in 1usize..3,
+        ops in proptest::collection::vec(
+            (0u64..2000, 0usize..5, 0u64..8, any::<bool>(), 1u64..1000), 1..40),
+    ) {
+        // Build the schedule: ops sorted by time for oracle replay.
+        let mut sends: Vec<(u64, u64, bool, u64)> = ops
+            .iter()
+            .map(|&(at, c, off, is_write, v)| {
+                let ctx = c % n_contexts;
+                (at, 0x1000 * (ctx as u64 + 1) + off, is_write, v)
+            })
+            .collect();
+        // Distinct times keep request ordering unambiguous for the oracle.
+        sends.sort_by_key(|&(at, _, _, _)| at);
+        for (i, s) in sends.iter_mut().enumerate() {
+            s.0 = s.0 * 64 + i as u64; // unique, order-preserving
+        }
+
+        let mut sim = Simulator::new();
+        sim.add(
+            "driver",
+            Driver {
+                drcf: 1,
+                sends: sends.clone(),
+                next_id: 0,
+                replies: vec![],
+            },
+        );
+        let sizes = vec![32u64, 64, 16, 128];
+        sim.add("drcf", build_fabric(n_contexts, slots, &sizes));
+        prop_assert_eq!(sim.run(), StopReason::Quiescent);
+
+        let driver = sim.get::<Driver>(0);
+        prop_assert_eq!(driver.replies.len(), sends.len(), "every call answered");
+        prop_assert!(driver.replies.iter().all(|r| r.is_ok()));
+
+        // Shadow oracle: replies arrive in send order because the fabric
+        // queue is FIFO and sends have distinct timestamps.
+        let mut shadow: HashMap<u64, u64> = HashMap::new();
+        let mut reads = driver
+            .replies
+            .iter()
+            .filter(|r| r.op == BusOp::Read);
+        for &(_, addr, is_write, v) in &sends {
+            if is_write {
+                shadow.insert(addr, v);
+            } else {
+                let r = reads.next().expect("read reply present");
+                prop_assert_eq!(r.addr, addr);
+                prop_assert_eq!(r.data[0], *shadow.get(&addr).unwrap_or(&0));
+            }
+        }
+
+        // Accounting.
+        let f = sim.get::<Drcf>(1);
+        prop_assert!(f.stats.invariant_holds(sim.now()));
+        prop_assert_eq!(f.stats.hits + f.stats.misses, sends.len() as u64);
+        let total_accesses: u64 = f.stats.per_context.iter().map(|c| c.accesses).sum();
+        prop_assert_eq!(total_accesses, sends.len() as u64);
+        // Every load streamed exactly its context's configured size.
+        let expect_config: u64 = f
+            .stats
+            .per_context
+            .iter()
+            .enumerate()
+            .map(|(i, c)| c.switches_in * sizes[i % sizes.len()].max(1))
+            .sum();
+        prop_assert_eq!(f.stats.config_words, expect_config);
+        // Residency never exceeds the slot count.
+        prop_assert!(f.resident_contexts().len() <= slots);
+    }
+
+    /// Scheduler occupancy model: driving the scheduler with random
+    /// lookup/install/evict/use cycles never exceeds capacity and always
+    /// keeps `free + occupied == slots`.
+    #[test]
+    fn scheduler_occupancy_invariant(
+        slots in 1usize..6,
+        needs in proptest::collection::vec(1usize..3, 2..6),
+        seq in proptest::collection::vec(0usize..6, 1..60),
+    ) {
+        let n = needs.len();
+        let mut s = ContextScheduler::new(
+            SchedulerConfig {
+                slots,
+                ..SchedulerConfig::default()
+            },
+            needs.clone(),
+        );
+        let occupied = |s: &ContextScheduler, needs: &[usize]| -> usize {
+            s.resident_set().iter().map(|&c| needs[c]).sum()
+        };
+        for &pick in &seq {
+            let c = pick % n;
+            match s.lookup(c, &[]) {
+                Lookup::Resident => {
+                    s.note_use(c);
+                }
+                Lookup::Load { evict } => {
+                    for v in evict {
+                        prop_assert!(s.is_resident(v));
+                        s.evict(v);
+                    }
+                    s.install(c, false);
+                    s.note_use(c);
+                }
+                Lookup::TooBig => {
+                    prop_assert!(needs[c] > slots);
+                    continue;
+                }
+                Lookup::NoRoom => {
+                    prop_assert!(false, "NoRoom impossible without protected contexts");
+                }
+            }
+            prop_assert!(s.is_resident(c));
+            prop_assert_eq!(s.free_slots() + occupied(&s, &needs), slots);
+        }
+    }
+
+    /// Prefetch prediction never proposes the current or an
+    /// already-resident context.
+    #[test]
+    fn prefetch_never_predicts_resident(
+        seq in proptest::collection::vec(0usize..4, 2..40),
+    ) {
+        let mut s = ContextScheduler::new(
+            SchedulerConfig {
+                slots: 2,
+                prefetch: PrefetchPolicy::LastSuccessor,
+                ..SchedulerConfig::default()
+            },
+            vec![1; 4],
+        );
+        for &c in &seq {
+            match s.lookup(c, &[]) {
+                Lookup::Resident => {
+                    s.note_use(c);
+                }
+                Lookup::Load { evict } => {
+                    for v in evict {
+                        s.evict(v);
+                    }
+                    s.install(c, false);
+                    s.note_use(c);
+                }
+                _ => unreachable!("4 unit contexts on 2 slots"),
+            }
+            if let Some(p) = s.predict_next(c) {
+                prop_assert_ne!(p, c);
+                prop_assert!(!s.is_resident(p));
+            }
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Run records — the rows of every experiment table.
+
+use serde::{Deserialize, Serialize};
+
+use drcf_soc::prelude::RunMetrics;
+
+/// One simulation's outcome, flattened for tables and JSON.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Scenario label.
+    pub scenario: String,
+    /// Named parameters of this point.
+    pub params: Vec<(String, String)>,
+    /// Application makespan in nanoseconds.
+    pub makespan_ns: f64,
+    /// Bus utilization in [0, 1].
+    pub bus_utilization: f64,
+    /// Words moved on the bus.
+    pub bus_words: u64,
+    /// Context switches.
+    pub switches: u64,
+    /// Configuration words streamed.
+    pub config_words: u64,
+    /// Fraction of the run lost to blocking reconfiguration.
+    pub reconfig_overhead: f64,
+    /// Context scheduler hit rate.
+    pub hit_rate: f64,
+    /// Fabric energy in millijoules.
+    pub energy_mj: f64,
+    /// Area proxy in equivalent gates.
+    pub area_gates: u64,
+    /// Run completed cleanly.
+    pub ok: bool,
+}
+
+impl RunRecord {
+    /// Build from SoC run metrics.
+    pub fn from_metrics(scenario: &str, params: Vec<(String, String)>, m: &RunMetrics) -> Self {
+        RunRecord {
+            scenario: scenario.to_string(),
+            params,
+            makespan_ns: m.makespan.as_ns_f64(),
+            bus_utilization: m.bus_utilization,
+            bus_words: m.bus_words,
+            switches: m.switches,
+            config_words: m.config_words,
+            reconfig_overhead: m.reconfig_overhead,
+            hit_rate: m.hit_rate,
+            energy_mj: m.fabric_energy_mj,
+            area_gates: m.area_gates,
+            ok: m.ok,
+        }
+    }
+
+    /// Fetch a named parameter.
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.params
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Throughput proxy: work items per millisecond given `items` of work.
+    pub fn items_per_ms(&self, items: u64) -> f64 {
+        if self.makespan_ns == 0.0 {
+            0.0
+        } else {
+            items as f64 / (self.makespan_ns / 1e6)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drcf_kernel::prelude::SimDuration;
+
+    fn metrics() -> RunMetrics {
+        RunMetrics {
+            makespan: SimDuration::us(3),
+            bus_utilization: 0.5,
+            bus_words: 100,
+            switches: 4,
+            config_words: 800,
+            reconfig_overhead: 0.1,
+            hit_rate: 0.75,
+            fabric_energy_mj: 1.5,
+            area_gates: 20_000,
+            errors: 0,
+            ok: true,
+        }
+    }
+
+    #[test]
+    fn conversion_keeps_fields() {
+        let r = RunRecord::from_metrics(
+            "test",
+            vec![("freq".into(), "100".into())],
+            &metrics(),
+        );
+        assert_eq!(r.makespan_ns, 3000.0);
+        assert_eq!(r.switches, 4);
+        assert_eq!(r.param("freq"), Some("100"));
+        assert_eq!(r.param("nope"), None);
+        assert!(r.ok);
+    }
+
+    #[test]
+    fn throughput_proxy() {
+        let r = RunRecord::from_metrics("t", vec![], &metrics());
+        // 3000 ns = 0.003 ms; 6 items -> 2000 items/ms.
+        assert!((r.items_per_ms(6) - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serializes_to_json() {
+        let r = RunRecord::from_metrics("t", vec![("a".into(), "b".into())], &metrics());
+        let s = serde_json::to_string(&r).unwrap();
+        let back: RunRecord = serde_json::from_str(&s).unwrap();
+        assert_eq!(r, back);
+    }
+}

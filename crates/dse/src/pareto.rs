@@ -1,0 +1,135 @@
+//! Pareto-front extraction over run records.
+//!
+//! The design-space exploration of the ADRIATIC flow trades makespan
+//! against area (and energy); the interesting designs are the
+//! non-dominated ones.
+
+use crate::metrics::RunRecord;
+
+/// An objective to *minimize*.
+pub type Objective = fn(&RunRecord) -> f64;
+
+/// Common objectives.
+pub mod objectives {
+    use crate::metrics::RunRecord;
+
+    /// Makespan in nanoseconds.
+    pub fn makespan(r: &RunRecord) -> f64 {
+        r.makespan_ns
+    }
+    /// Area proxy in gates.
+    pub fn area(r: &RunRecord) -> f64 {
+        r.area_gates as f64
+    }
+    /// Fabric energy in mJ.
+    pub fn energy(r: &RunRecord) -> f64 {
+        r.energy_mj
+    }
+}
+
+/// Does `a` dominate `b` (no worse everywhere, strictly better somewhere)?
+pub fn dominates(a: &RunRecord, b: &RunRecord, objs: &[Objective]) -> bool {
+    let mut strictly = false;
+    for f in objs {
+        let (va, vb) = (f(a), f(b));
+        if va > vb {
+            return false;
+        }
+        if va < vb {
+            strictly = true;
+        }
+    }
+    strictly
+}
+
+/// Indices of the non-dominated records, in input order.
+pub fn pareto_front(records: &[RunRecord], objs: &[Objective]) -> Vec<usize> {
+    (0..records.len())
+        .filter(|&i| {
+            !records
+                .iter()
+                .enumerate()
+                .any(|(j, other)| j != i && dominates(other, &records[i], objs))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(makespan: f64, area: u64) -> RunRecord {
+        RunRecord {
+            scenario: "t".into(),
+            params: vec![],
+            makespan_ns: makespan,
+            bus_utilization: 0.0,
+            bus_words: 0,
+            switches: 0,
+            config_words: 0,
+            reconfig_overhead: 0.0,
+            hit_rate: 0.0,
+            energy_mj: 0.0,
+            area_gates: area,
+            ok: true,
+        }
+    }
+
+    const OBJS: &[Objective] = &[objectives::makespan, objectives::area];
+
+    #[test]
+    fn dominance_definition() {
+        let a = rec(10.0, 100);
+        let b = rec(20.0, 200);
+        let c = rec(10.0, 100);
+        assert!(dominates(&a, &b, OBJS));
+        assert!(!dominates(&b, &a, OBJS));
+        assert!(!dominates(&a, &c, OBJS), "equal points do not dominate");
+    }
+
+    #[test]
+    fn front_keeps_tradeoff_points() {
+        let records = vec![
+            rec(10.0, 300), // fast, big     - on front
+            rec(30.0, 100), // slow, small   - on front
+            rec(20.0, 200), // middle        - on front
+            rec(35.0, 250), // dominated by everything decent
+        ];
+        let front = pareto_front(&records, OBJS);
+        assert_eq!(front, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn single_point_is_its_own_front() {
+        let records = vec![rec(1.0, 1)];
+        assert_eq!(pareto_front(&records, OBJS), vec![0]);
+        assert!(pareto_front(&[], OBJS).is_empty());
+    }
+
+    #[test]
+    fn duplicate_optima_all_survive() {
+        let records = vec![rec(10.0, 100), rec(10.0, 100), rec(50.0, 500)];
+        assert_eq!(pareto_front(&records, OBJS), vec![0, 1]);
+    }
+
+    #[test]
+    fn front_never_contains_dominated_point() {
+        // Exhaustive check on a small lattice.
+        let mut records = Vec::new();
+        for m in [10.0, 20.0, 30.0] {
+            for a in [100u64, 200, 300] {
+                records.push(rec(m, a));
+            }
+        }
+        let front = pareto_front(&records, OBJS);
+        for &i in &front {
+            for (j, other) in records.iter().enumerate() {
+                if i != j {
+                    assert!(!dominates(other, &records[i], OBJS));
+                }
+            }
+        }
+        // Only (10.0, 100) is non-dominated on the full lattice.
+        assert_eq!(front.len(), 1);
+    }
+}

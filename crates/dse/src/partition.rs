@@ -1,0 +1,165 @@
+//! Partitioning exploration: which accelerators should fold into the DRCF?
+//!
+//! The flow's partitioning phase (Fig. 3) decides which blocks become
+//! contexts. This module enumerates candidate subsets, sizes a fabric for
+//! each (the largest folded context sets the fabric area — that is the
+//! whole area saving), simulates every option in parallel, and hands the
+//! records to the Pareto analysis.
+
+use drcf_core::prelude::{FabricGeometry, SchedulerConfig, Technology};
+use drcf_soc::prelude::*;
+
+use crate::metrics::RunRecord;
+use crate::runner::sweep;
+
+/// All subsets of `names` with at least `min_size` elements (stable order:
+/// bitmask order over the input).
+pub fn subsets(names: &[String], min_size: usize) -> Vec<Vec<String>> {
+    let n = names.len();
+    assert!(n <= 20, "subset enumeration beyond 20 blocks is unreasonable");
+    let mut out = Vec::new();
+    for mask in 0u32..(1 << n) {
+        if (mask.count_ones() as usize) < min_size {
+            continue;
+        }
+        out.push(
+            (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| names[i].clone())
+                .collect(),
+        );
+    }
+    out
+}
+
+/// Fabric geometry sized for a candidate set: area of the largest folded
+/// context times a margin, in one region per `slots` requested.
+pub fn size_fabric(workload: &Workload, folded: &[String], margin: f64, regions: usize) -> FabricGeometry {
+    let max_gates = workload
+        .accels
+        .iter()
+        .filter(|a| folded.contains(&a.name))
+        .map(|a| a.kind.gate_count())
+        .max()
+        .unwrap_or(1_000);
+    let total = ((max_gates as f64 * margin) as u64).max(1_000) * regions as u64;
+    FabricGeometry::new(total, regions)
+}
+
+/// One partitioning option's outcome.
+#[derive(Debug, Clone)]
+pub struct PartitionOutcome {
+    /// The folded accelerator names (empty = all fixed).
+    pub folded: Vec<String>,
+    /// Its run record.
+    pub record: RunRecord,
+}
+
+/// Explore every folding subset (plus the all-fixed baseline) for a
+/// workload on a technology, in parallel.
+pub fn explore_partitions(
+    workload: &Workload,
+    base_spec: &SocSpec,
+    technology: &Technology,
+    min_fold: usize,
+) -> Vec<PartitionOutcome> {
+    let names: Vec<String> = workload.accels.iter().map(|a| a.name.clone()).collect();
+    let mut options: Vec<Vec<String>> = vec![vec![]]; // all-fixed baseline
+    options.extend(subsets(&names, min_fold.max(1)));
+
+    let records = sweep(&options, |folded| {
+        let spec = SocSpec {
+            mapping: if folded.is_empty() {
+                Mapping::AllFixed
+            } else {
+                Mapping::Drcf {
+                    candidates: folded.clone(),
+                    technology: technology.clone(),
+                    geometry: size_fabric(workload, folded, 1.1, 1),
+                    config_path: SocConfigPath::SystemBus,
+                    scheduler: SchedulerConfig::default(),
+                    overlap_load_exec: false,
+                }
+            },
+            ..base_spec.clone()
+        };
+        let label = if folded.is_empty() {
+            "all-fixed".to_string()
+        } else {
+            folded.join("+")
+        };
+        match build_soc(workload, &spec) {
+            Ok(soc) => {
+                let (m, _) = run_soc(soc);
+                RunRecord::from_metrics(
+                    "partition",
+                    vec![("folded".into(), label)],
+                    &m,
+                )
+            }
+            Err(e) => RunRecord {
+                scenario: "partition".into(),
+                params: vec![("folded".into(), label), ("error".into(), e)],
+                makespan_ns: f64::INFINITY,
+                bus_utilization: 0.0,
+                bus_words: 0,
+                switches: 0,
+                config_words: 0,
+                reconfig_overhead: 0.0,
+                hit_rate: 0.0,
+                energy_mj: 0.0,
+                area_gates: u64::MAX,
+                ok: false,
+            },
+        }
+    });
+
+    options
+        .into_iter()
+        .zip(records)
+        .map(|(folded, record)| PartitionOutcome { folded, record })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drcf_core::prelude::morphosys;
+
+    #[test]
+    fn subsets_enumeration() {
+        let names = vec!["a".to_string(), "b".to_string(), "c".to_string()];
+        let all = subsets(&names, 1);
+        assert_eq!(all.len(), 7); // 2^3 - empty
+        let pairs_up = subsets(&names, 2);
+        assert_eq!(pairs_up.len(), 4); // 3 pairs + 1 triple
+        assert!(pairs_up.contains(&vec!["a".to_string(), "b".to_string()]));
+        assert!(subsets(&names, 4).is_empty());
+    }
+
+    #[test]
+    fn fabric_sized_to_largest_member() {
+        let w = wireless_receiver(1, 32);
+        let g = size_fabric(&w, &["fir".into(), "viterbi".into()], 1.0, 1);
+        let viterbi_gates = KernelKind::Viterbi.gate_count();
+        assert_eq!(g.total_gates, viterbi_gates);
+        let g2 = size_fabric(&w, &["fir".into()], 2.0, 1);
+        assert!(g2.total_gates < viterbi_gates, "fir fabric is smaller");
+    }
+
+    #[test]
+    fn exploration_includes_baseline_and_completes() {
+        let w = wireless_receiver(1, 16);
+        let outcomes = explore_partitions(&w, &SocSpec::default(), &morphosys(), 2);
+        // baseline + 3 pairs + 1 triple = 5.
+        assert_eq!(outcomes.len(), 5);
+        assert!(outcomes[0].folded.is_empty());
+        assert!(outcomes.iter().all(|o| o.record.ok), "{outcomes:#?}");
+        // Baseline has the largest area and (weakly) the smallest makespan.
+        let base = &outcomes[0].record;
+        for o in &outcomes[1..] {
+            assert!(o.record.area_gates < base.area_gates);
+            assert!(o.record.makespan_ns >= base.makespan_ns);
+        }
+    }
+}

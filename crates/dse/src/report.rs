@@ -1,0 +1,146 @@
+//! Fixed-width and markdown table rendering for experiment harnesses.
+
+use std::fmt::Write as _;
+
+/// A simple table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Table title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New titled table.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width does not match headers"
+        );
+        self.rows.push(cells);
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                w[i] = w[i].max(c.len());
+            }
+        }
+        w
+    }
+
+    /// Render as an aligned plain-text table.
+    pub fn render(&self) -> String {
+        let w = self.widths();
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |cells: &[String], w: &[usize]| {
+            cells
+                .iter()
+                .zip(w)
+                .map(|(c, &w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &w));
+        let _ = writeln!(
+            out,
+            "{}",
+            w.iter()
+                .map(|&n| "-".repeat(n))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+        for r in &self.rows {
+            let _ = writeln!(out, "{}", line(r, &w));
+        }
+        out
+    }
+
+    /// Render as a GitHub-flavored markdown table.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "**{}**\n", self.title);
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for r in &self.rows {
+            let _ = writeln!(out, "| {} |", r.join(" | "));
+        }
+        out
+    }
+}
+
+/// Format a nanosecond value with an adaptive unit.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+/// Format a fraction in `[0, 1]` as a percentage.
+pub fn fmt_pct(f: f64) -> String {
+    format!("{:.1}%", f * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer".into(), "22".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("name    value"));
+        assert!(s.contains("longer  22"));
+    }
+
+    #[test]
+    fn renders_markdown() {
+        let mut t = Table::new("md", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let s = t.render_markdown();
+        assert!(s.contains("| a | b |"));
+        assert!(s.contains("|---|---|"));
+        assert!(s.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_ns(500.0), "500ns");
+        assert_eq!(fmt_ns(2500.0), "2.50us");
+        assert_eq!(fmt_ns(3_000_000.0), "3.00ms");
+        assert_eq!(fmt_pct(0.256), "25.6%");
+    }
+}

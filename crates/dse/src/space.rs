@@ -1,0 +1,80 @@
+//! Parameter-space helpers: cartesian products and common sweeps.
+
+/// Cartesian product of two axes, row-major (a outer, b inner).
+pub fn cartesian2<A: Clone, B: Clone>(a: &[A], b: &[B]) -> Vec<(A, B)> {
+    let mut out = Vec::with_capacity(a.len() * b.len());
+    for x in a {
+        for y in b {
+            out.push((x.clone(), y.clone()));
+        }
+    }
+    out
+}
+
+/// Cartesian product of three axes.
+pub fn cartesian3<A: Clone, B: Clone, C: Clone>(a: &[A], b: &[B], c: &[C]) -> Vec<(A, B, C)> {
+    let mut out = Vec::with_capacity(a.len() * b.len() * c.len());
+    for x in a {
+        for y in b {
+            for z in c {
+                out.push((x.clone(), y.clone(), z.clone()));
+            }
+        }
+    }
+    out
+}
+
+/// Powers of two in `[lo, hi]`.
+pub fn pow2_steps(lo: u64, hi: u64) -> Vec<u64> {
+    let mut out = Vec::new();
+    let mut v = lo.next_power_of_two();
+    while v <= hi {
+        out.push(v);
+        v *= 2;
+    }
+    out
+}
+
+/// `n` evenly spaced integers from `lo` to `hi` inclusive.
+pub fn linear_steps(lo: u64, hi: u64, n: usize) -> Vec<u64> {
+    assert!(n >= 2, "need at least two steps");
+    assert!(hi >= lo);
+    (0..n)
+        .map(|i| lo + (hi - lo) * i as u64 / (n as u64 - 1))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cartesian2_row_major() {
+        let p = cartesian2(&[1, 2], &["a", "b", "c"]);
+        assert_eq!(p.len(), 6);
+        assert_eq!(p[0], (1, "a"));
+        assert_eq!(p[2], (1, "c"));
+        assert_eq!(p[3], (2, "a"));
+    }
+
+    #[test]
+    fn cartesian3_size() {
+        let p = cartesian3(&[1, 2], &[10, 20], &[100]);
+        assert_eq!(p.len(), 4);
+        assert_eq!(p[3], (2, 20, 100));
+    }
+
+    #[test]
+    fn pow2_range() {
+        assert_eq!(pow2_steps(16, 128), vec![16, 32, 64, 128]);
+        assert_eq!(pow2_steps(3, 20), vec![4, 8, 16]);
+        assert!(pow2_steps(64, 32).is_empty());
+    }
+
+    #[test]
+    fn linear_range_endpoints() {
+        let v = linear_steps(0, 100, 5);
+        assert_eq!(v, vec![0, 25, 50, 75, 100]);
+        assert_eq!(linear_steps(7, 7, 2), vec![7, 7]);
+    }
+}

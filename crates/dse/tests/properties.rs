@@ -1,0 +1,88 @@
+//! Property tests for the DSE layer: Pareto-front correctness against a
+//! brute-force oracle and sweep-order preservation.
+
+use drcf_dse::prelude::*;
+use proptest::prelude::*;
+
+fn rec(makespan: f64, area: u64, energy: f64) -> RunRecord {
+    RunRecord {
+        scenario: "p".into(),
+        params: vec![],
+        makespan_ns: makespan,
+        bus_utilization: 0.0,
+        bus_words: 0,
+        switches: 0,
+        config_words: 0,
+        reconfig_overhead: 0.0,
+        hit_rate: 0.0,
+        energy_mj: energy,
+        area_gates: area,
+        ok: true,
+    }
+}
+
+proptest! {
+    /// The Pareto front equals the brute-force non-dominated set, on 2 and
+    /// 3 objectives.
+    #[test]
+    fn pareto_matches_bruteforce(
+        points in proptest::collection::vec((1u32..100, 1u32..100, 1u32..100), 1..40),
+        three in any::<bool>(),
+    ) {
+        let records: Vec<RunRecord> = points
+            .iter()
+            .map(|&(m, a, e)| rec(m as f64, a as u64, e as f64))
+            .collect();
+        let objs: Vec<Objective> = if three {
+            vec![objectives::makespan, objectives::area, objectives::energy]
+        } else {
+            vec![objectives::makespan, objectives::area]
+        };
+        let front = pareto_front(&records, &objs);
+        // Brute force oracle.
+        let oracle: Vec<usize> = (0..records.len())
+            .filter(|&i| {
+                !(0..records.len())
+                    .any(|j| j != i && dominates(&records[j], &records[i], &objs))
+            })
+            .collect();
+        prop_assert_eq!(front.clone(), oracle);
+        // Front is never empty for nonempty input.
+        prop_assert!(!front.is_empty());
+        // No point on the front dominates another front point.
+        for &i in &front {
+            for &j in &front {
+                if i != j {
+                    prop_assert!(!dominates(&records[i], &records[j], &objs));
+                }
+            }
+        }
+    }
+
+    /// sweep_with preserves input order and evaluates every point exactly
+    /// once (pure function comparison with serial map).
+    #[test]
+    fn sweep_with_matches_serial_map(xs in proptest::collection::vec(0u64..10_000, 0..64)) {
+        let f = |&x: &u64| x.wrapping_mul(2654435761).rotate_left(7);
+        let par = sweep_with(&xs, f);
+        let ser: Vec<u64> = xs.iter().map(f).collect();
+        prop_assert_eq!(par, ser);
+    }
+
+    /// Subset enumeration: correct count and every subset respects min_size.
+    #[test]
+    fn subsets_counts(n in 1usize..8, min in 1usize..4) {
+        let names: Vec<String> = (0..n).map(|i| format!("b{i}")).collect();
+        let subs = subsets(&names, min);
+        let expect: usize = (0..(1usize << n))
+            .filter(|m| m.count_ones() as usize >= min)
+            .count();
+        prop_assert_eq!(subs.len(), expect);
+        prop_assert!(subs.iter().all(|s| s.len() >= min));
+        // No duplicates.
+        let mut sorted: Vec<Vec<String>> = subs.clone();
+        sorted.sort();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), subs.len());
+    }
+}

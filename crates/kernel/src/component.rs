@@ -1,0 +1,48 @@
+//! The component (module) abstraction.
+//!
+//! A component is the unit of behavior, the analogue of an `SC_MODULE`. It
+//! owns its state exclusively; all interaction with the rest of the system
+//! happens through messages delivered by the kernel and through the
+//! [`Api`] handed to [`Component::handle`].
+
+use std::any::Any;
+
+use crate::event::Msg;
+use crate::kernel::Api;
+
+/// A simulation component.
+///
+/// Requiring `Any` lets harnesses downcast components after a run to read
+/// their accumulated statistics (see `Simulator::get`).
+pub trait Component: Any {
+    /// Deliver one message. The component may read/write channels, schedule
+    /// timers, and send messages through `api`; it must not block.
+    fn handle(&mut self, api: &mut Api<'_>, msg: Msg);
+}
+
+/// Adapter turning a closure into a [`Component`]; handy for testbenches.
+pub struct FnComponent<F: FnMut(&mut Api<'_>, Msg) + 'static> {
+    f: F,
+}
+
+impl<F: FnMut(&mut Api<'_>, Msg) + 'static> FnComponent<F> {
+    /// Wrap a closure.
+    pub fn new(f: F) -> Self {
+        FnComponent { f }
+    }
+}
+
+impl<F: FnMut(&mut Api<'_>, Msg) + 'static> Component for FnComponent<F> {
+    fn handle(&mut self, api: &mut Api<'_>, msg: Msg) {
+        (self.f)(api, msg)
+    }
+}
+
+/// A component that ignores every message; useful as an address-space
+/// placeholder in tests.
+#[derive(Default)]
+pub struct NullComponent;
+
+impl Component for NullComponent {
+    fn handle(&mut self, _api: &mut Api<'_>, _msg: Msg) {}
+}

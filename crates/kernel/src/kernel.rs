@@ -1,0 +1,1363 @@
+//! The simulation kernel: elaboration, the evaluate/update/delta loop, and
+//! the [`Api`] components use to interact with channels and each other.
+//!
+//! Semantics follow the SystemC 2.0 scheduler the paper builds on:
+//!
+//! 1. all deliveries at the current (time, delta) run in a deterministic
+//!    order (scheduling order);
+//! 2. signal writes become visible in the *update* phase between deltas;
+//! 3. value changes notify subscribers in the next delta;
+//! 4. when no delta work remains, time advances to the earliest pending
+//!    timed event.
+//!
+//! Beyond SystemC, the kernel adds *obligations* — a counter of outstanding
+//! split transactions — so a run can distinguish healthy quiescence from the
+//! bus deadlock of the paper's §5.4 limitation 3.
+
+use std::any::Any;
+
+use crate::component::Component;
+use crate::event::{
+    ClockIdx, ComponentId, Delay, Delivery, Edge, FifoEventKind, FifoIdx, Msg, MsgKind,
+    SignalIdx, StopReason,
+};
+use crate::fifo::{AnyFifoSlot, FifoRef, FifoSlot};
+use crate::queue::{EventQueue, TimedEntry};
+use crate::report::{Reporter, Severity};
+use crate::signal::{AnySignalSlot, SignalRef, SignalSlot, SignalValue};
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{Traceable, VcdTracer};
+
+/// Pseudo-target used internally for clock tick events.
+const CLOCK_TARGET: ComponentId = usize::MAX;
+
+/// Handle to a clock generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClockRef(pub(crate) ClockIdx);
+
+/// Handle to a cancellable timer (see `Api::timer_cancellable`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerHandle(u64);
+
+struct ClockState {
+    name: String,
+    period: SimDuration,
+    high_time: SimDuration,
+    start_offset: SimDuration,
+    pos_subs: Vec<ComponentId>,
+    neg_subs: Vec<ComponentId>,
+    started: bool,
+    pos_edges: u64,
+}
+
+/// Counters the kernel maintains about its own operation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelMetrics {
+    /// Messages dispatched to components.
+    pub dispatched: u64,
+    /// Delta cycles executed.
+    pub delta_cycles: u64,
+    /// Distinct timesteps visited.
+    pub timesteps: u64,
+    /// Largest number of delta cycles within one timestep.
+    pub max_deltas_in_step: u64,
+}
+
+pub(crate) struct KernelState {
+    now: SimTime,
+    seq: u64,
+    /// Sequence numbers of cancelled (not-yet-fired) timed deliveries.
+    canceled: std::collections::HashSet<u64>,
+    queue: EventQueue,
+    next_delta: Vec<Delivery>,
+    update_requests: Vec<SignalIdx>,
+    signals: Vec<Box<dyn AnySignalSlot>>,
+    clocks: Vec<ClockState>,
+    fifos: Vec<Box<dyn AnyFifoSlot>>,
+    tracer: Option<VcdTracer>,
+    reporter: Reporter,
+    obligations: u64,
+    stop: bool,
+    delta_limit: u64,
+    metrics: KernelMetrics,
+    component_count: usize,
+}
+
+impl KernelState {
+    fn schedule(&mut self, delay: Delay, delivery: Delivery) -> Option<u64> {
+        match delay {
+            Delay::Delta => {
+                self.next_delta.push(delivery);
+                None
+            }
+            Delay::Time(d) if d.is_zero() => {
+                self.next_delta.push(delivery);
+                None
+            }
+            Delay::Time(d) => {
+                let seq = self.seq;
+                self.seq += 1;
+                self.queue.push(TimedEntry {
+                    time: self.now + d,
+                    seq,
+                    delivery,
+                });
+                Some(seq)
+            }
+        }
+    }
+
+    fn check_target(&self, target: ComponentId) {
+        assert!(
+            target < self.component_count,
+            "message target {target} out of range (have {} components)",
+            self.component_count
+        );
+    }
+
+    fn clock_schedule_edge(&mut self, idx: ClockIdx, edge: Edge, at: SimDuration) {
+        self.schedule(
+            Delay::Time(at),
+            Delivery {
+                target: CLOCK_TARGET,
+                msg: Msg {
+                    source: None,
+                    kind: MsgKind::ClockEdge(idx, edge),
+                },
+                background: true,
+            },
+        );
+    }
+
+    fn clock_start_if_needed(&mut self, idx: ClockIdx) {
+        if !self.clocks[idx].started {
+            self.clocks[idx].started = true;
+            let offset = self.clocks[idx].start_offset;
+            self.clock_schedule_edge(idx, Edge::Pos, offset);
+        }
+    }
+
+    /// Handle an internal clock tick: notify subscribers (next delta) and
+    /// schedule the opposite edge.
+    fn clock_tick(&mut self, idx: ClockIdx, edge: Edge) {
+        let (subs, next_delay) = {
+            let c = &mut self.clocks[idx];
+            match edge {
+                Edge::Pos => {
+                    c.pos_edges += 1;
+                    (c.pos_subs.clone(), c.high_time)
+                }
+                Edge::Neg => (c.neg_subs.clone(), c.period - c.high_time),
+            }
+        };
+        for target in subs {
+            self.next_delta.push(Delivery {
+                target,
+                msg: Msg {
+                    source: None,
+                    kind: MsgKind::ClockEdge(idx, edge),
+                },
+                background: false,
+            });
+        }
+        let next_edge = match edge {
+            Edge::Pos => Edge::Neg,
+            Edge::Neg => Edge::Pos,
+        };
+        self.clock_schedule_edge(idx, next_edge, next_delay);
+    }
+
+    fn notify_fifo(&mut self, idx: FifoIdx, kind: FifoEventKind) {
+        let subs: Vec<ComponentId> = self.fifos[idx].subscribers().to_vec();
+        for target in subs {
+            self.next_delta.push(Delivery {
+                target,
+                msg: Msg {
+                    source: None,
+                    kind: MsgKind::Fifo(idx, kind),
+                },
+                background: false,
+            });
+        }
+    }
+
+    fn apply_updates(&mut self) {
+        if self.update_requests.is_empty() {
+            return;
+        }
+        let mut reqs = std::mem::take(&mut self.update_requests);
+        reqs.sort_unstable();
+        reqs.dedup();
+        for idx in reqs {
+            let changed = self.signals[idx].apply_update(self.now);
+            if changed {
+                if let Some(tracer) = self.tracer.as_mut() {
+                    if let Some((var, val)) = self.signals[idx].trace_sample() {
+                        tracer.record(self.now, var, val);
+                    }
+                }
+                let subs: Vec<ComponentId> = self.signals[idx].subscribers().to_vec();
+                for target in subs {
+                    self.next_delta.push(Delivery {
+                        target,
+                        msg: Msg {
+                            source: None,
+                            kind: MsgKind::SignalChanged(idx),
+                        },
+                        background: false,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// The interface a component uses while handling a message.
+pub struct Api<'a> {
+    st: &'a mut KernelState,
+    me: ComponentId,
+}
+
+impl Api<'_> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.st.now
+    }
+
+    /// This component's id.
+    pub fn me(&self) -> ComponentId {
+        self.me
+    }
+
+    /// Send a user payload to `target` after `delay`.
+    pub fn send<P: Any>(&mut self, target: ComponentId, payload: P, delay: Delay) {
+        self.st.check_target(target);
+        let me = self.me;
+        self.st.schedule(
+            delay,
+            Delivery {
+                target,
+                msg: Msg {
+                    source: Some(me),
+                    kind: MsgKind::User(Box::new(payload)),
+                },
+                background: false,
+            },
+        );
+    }
+
+    /// Send a user payload after a plain duration.
+    pub fn send_in<P: Any>(&mut self, target: ComponentId, payload: P, after: SimDuration) {
+        self.send(target, payload, Delay::Time(after));
+    }
+
+    /// Arm a timer on this component; a `MsgKind::Timer(tag)` arrives after
+    /// `delay`.
+    pub fn timer(&mut self, delay: Delay, tag: u64) {
+        let me = self.me;
+        self.st.schedule(
+            delay,
+            Delivery {
+                target: me,
+                msg: Msg {
+                    source: Some(me),
+                    kind: MsgKind::Timer(tag),
+                },
+                background: false,
+            },
+        );
+    }
+
+    /// Arm a timer after a plain duration.
+    pub fn timer_in(&mut self, after: SimDuration, tag: u64) {
+        self.timer(Delay::Time(after), tag);
+    }
+
+    /// Arm a *cancellable* timer; keep the handle to revoke it before it
+    /// fires (watchdogs, poll timeouts). A zero duration is rounded up to
+    /// the smallest timed delay so the timer stays cancellable.
+    pub fn timer_cancellable(&mut self, after: SimDuration, tag: u64) -> TimerHandle {
+        let me = self.me;
+        let after = if after.is_zero() {
+            SimDuration::fs(1)
+        } else {
+            after
+        };
+        let seq = self
+            .st
+            .schedule(
+                Delay::Time(after),
+                Delivery {
+                    target: me,
+                    msg: Msg {
+                        source: Some(me),
+                        kind: MsgKind::Timer(tag),
+                    },
+                    background: false,
+                },
+            )
+            .expect("nonzero delay always yields a timed entry");
+        TimerHandle(seq)
+    }
+
+    /// Cancel a timer armed with [`Api::timer_cancellable`]. Cancelling a
+    /// timer that already fired (or was already cancelled) is a no-op.
+    pub fn cancel_timer(&mut self, h: TimerHandle) {
+        self.st.canceled.insert(h.0);
+    }
+
+    /// Read a signal's current (update-phase) value.
+    pub fn read<T: SignalValue>(&self, s: SignalRef<T>) -> T {
+        self.st.signals[s.idx]
+            .as_any()
+            .downcast_ref::<SignalSlot<T>>()
+            .expect("signal type mismatch")
+            .current
+            .clone()
+    }
+
+    /// Request a signal update; visible to readers in the next delta cycle.
+    pub fn write<T: SignalValue>(&mut self, s: SignalRef<T>, v: T) {
+        let slot = self.st.signals[s.idx]
+            .as_any_mut()
+            .downcast_mut::<SignalSlot<T>>()
+            .expect("signal type mismatch");
+        slot.pending = Some(v);
+        self.st.update_requests.push(s.idx);
+    }
+
+    /// Subscribe to change notifications of a signal.
+    pub fn subscribe_signal<T: SignalValue>(&mut self, s: SignalRef<T>) {
+        let me = self.me;
+        self.st.signals[s.idx].subscribe(me);
+    }
+
+    /// Subscribe to a clock edge. The clock starts free-running on first
+    /// subscription.
+    pub fn subscribe_clock(&mut self, c: ClockRef, edge: Edge) {
+        let me = self.me;
+        {
+            let clock = &mut self.st.clocks[c.0];
+            let subs = match edge {
+                Edge::Pos => &mut clock.pos_subs,
+                Edge::Neg => &mut clock.neg_subs,
+            };
+            if !subs.contains(&me) {
+                subs.push(me);
+            }
+        }
+        self.st.clock_start_if_needed(c.0);
+    }
+
+    /// Non-blocking FIFO write; on success subscribers get `DataWritten` in
+    /// the next delta.
+    pub fn fifo_try_put<T: 'static>(&mut self, f: FifoRef<T>, v: T) -> Result<(), T> {
+        let slot = self.st.fifos[f.idx]
+            .as_any_mut()
+            .downcast_mut::<FifoSlot<T>>()
+            .expect("fifo type mismatch");
+        match slot.try_put(v) {
+            Ok(()) => {
+                self.st.notify_fifo(f.idx, FifoEventKind::DataWritten);
+                Ok(())
+            }
+            Err(v) => Err(v),
+        }
+    }
+
+    /// Non-blocking FIFO read; on success subscribers get `DataRead` in the
+    /// next delta.
+    pub fn fifo_try_get<T: 'static>(&mut self, f: FifoRef<T>) -> Option<T> {
+        let slot = self.st.fifos[f.idx]
+            .as_any_mut()
+            .downcast_mut::<FifoSlot<T>>()
+            .expect("fifo type mismatch");
+        match slot.try_get() {
+            Some(v) => {
+                self.st.notify_fifo(f.idx, FifoEventKind::DataRead);
+                Some(v)
+            }
+            None => None,
+        }
+    }
+
+    /// Items currently queued in a FIFO.
+    pub fn fifo_len<T: 'static>(&self, f: FifoRef<T>) -> usize {
+        self.st.fifos[f.idx].len()
+    }
+
+    /// FIFO capacity.
+    pub fn fifo_capacity<T: 'static>(&self, f: FifoRef<T>) -> usize {
+        self.st.fifos[f.idx].capacity()
+    }
+
+    /// Subscribe to a FIFO's data-written/data-read notifications.
+    pub fn subscribe_fifo<T: 'static>(&mut self, f: FifoRef<T>) {
+        let me = self.me;
+        self.st.fifos[f.idx].subscribe(me);
+    }
+
+    /// Declare the start of an outstanding obligation (e.g. a split
+    /// transaction awaiting its response). A run that drains all events
+    /// while obligations remain reports [`StopReason::Deadlock`].
+    pub fn obligation_begin(&mut self) {
+        self.st.obligations += 1;
+    }
+
+    /// Declare an obligation fulfilled.
+    pub fn obligation_end(&mut self) {
+        debug_assert!(self.st.obligations > 0, "obligation underflow");
+        self.st.obligations = self.st.obligations.saturating_sub(1);
+    }
+
+    /// Ask the kernel to stop after the current delivery.
+    pub fn stop(&mut self) {
+        self.st.stop = true;
+    }
+
+    /// Log a report entry.
+    pub fn log(&mut self, severity: Severity, text: impl Into<String>) {
+        let now = self.st.now;
+        let me = self.me;
+        self.st.reporter.log(now, Some(me), severity, text.into());
+    }
+}
+
+struct CompSlot {
+    name: String,
+    comp: Option<Box<dyn Component>>,
+}
+
+/// The simulator: owns all components and channels and runs the event loop.
+pub struct Simulator {
+    comps: Vec<CompSlot>,
+    st: KernelState,
+    started: bool,
+}
+
+impl Default for Simulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Simulator {
+    /// New, empty simulator at time zero.
+    pub fn new() -> Self {
+        Simulator {
+            comps: Vec::new(),
+            st: KernelState {
+                now: SimTime::ZERO,
+                seq: 0,
+                canceled: std::collections::HashSet::new(),
+                queue: EventQueue::new(),
+                next_delta: Vec::new(),
+                update_requests: Vec::new(),
+                signals: Vec::new(),
+                clocks: Vec::new(),
+                fifos: Vec::new(),
+                tracer: None,
+                reporter: Reporter::new(),
+                obligations: 0,
+                stop: false,
+                delta_limit: 100_000,
+                metrics: KernelMetrics::default(),
+                component_count: 0,
+            },
+            started: false,
+        }
+    }
+
+    /// Register a component; returns its id. Must be called before `run`.
+    pub fn add_component(&mut self, name: &str, comp: Box<dyn Component>) -> ComponentId {
+        assert!(!self.started, "cannot add components after the run started");
+        self.comps.push(CompSlot {
+            name: name.to_string(),
+            comp: Some(comp),
+        });
+        self.st.component_count = self.comps.len();
+        self.comps.len() - 1
+    }
+
+    /// Convenience for concrete component types.
+    pub fn add<C: Component>(&mut self, name: &str, comp: C) -> ComponentId {
+        self.add_component(name, Box::new(comp))
+    }
+
+    /// Register a signal channel.
+    pub fn add_signal<T: SignalValue>(&mut self, name: &str, init: T) -> SignalRef<T> {
+        self.st
+            .signals
+            .push(Box::new(SignalSlot::new(name.to_string(), init)));
+        SignalRef::new(self.st.signals.len() - 1)
+    }
+
+    /// Register a bounded FIFO channel.
+    pub fn add_fifo<T: 'static>(&mut self, name: &str, capacity: usize) -> FifoRef<T> {
+        self.st
+            .fifos
+            .push(Box::new(FifoSlot::<T>::new(name.to_string(), capacity)));
+        FifoRef::new(self.st.fifos.len() - 1)
+    }
+
+    /// Register a clock. `high_time` is how long the clock stays high after
+    /// a posedge (use `period / 2` for a symmetric clock).
+    pub fn add_clock(
+        &mut self,
+        name: &str,
+        period: SimDuration,
+        high_time: SimDuration,
+        start_offset: SimDuration,
+    ) -> ClockRef {
+        assert!(!period.is_zero(), "clock period must be nonzero");
+        assert!(
+            !high_time.is_zero() && high_time < period,
+            "high time must be in (0, period)"
+        );
+        self.st.clocks.push(ClockState {
+            name: name.to_string(),
+            period,
+            high_time,
+            start_offset,
+            pos_subs: Vec::new(),
+            neg_subs: Vec::new(),
+            started: false,
+            pos_edges: 0,
+        });
+        ClockRef(self.st.clocks.len() - 1)
+    }
+
+    /// Symmetric clock from a frequency in MHz.
+    pub fn add_clock_mhz(&mut self, name: &str, freq_mhz: u64) -> ClockRef {
+        let period = SimDuration::cycles_at_mhz(1, freq_mhz);
+        self.add_clock(name, period, period / 2, SimDuration::ZERO)
+    }
+
+    /// Enable VCD tracing.
+    pub fn enable_trace(&mut self) {
+        if self.st.tracer.is_none() {
+            self.st.tracer = Some(VcdTracer::new());
+        }
+    }
+
+    /// Register a signal with the tracer (call after [`enable_trace`]).
+    ///
+    /// [`enable_trace`]: Simulator::enable_trace
+    pub fn trace_signal<T: SignalValue + Traceable>(&mut self, s: SignalRef<T>) {
+        let tracer = self
+            .st
+            .tracer
+            .as_mut()
+            .expect("enable_trace must be called before trace_signal");
+        let slot = self.st.signals[s.idx]
+            .as_any_mut()
+            .downcast_mut::<SignalSlot<T>>()
+            .expect("signal type mismatch");
+        let var = tracer.declare(&slot.name, slot.current.trace_value());
+        slot.trace = Some((var, crate::signal::trace_fn::<T>()));
+    }
+
+    /// Access the accumulated trace.
+    pub fn tracer(&self) -> Option<&VcdTracer> {
+        self.st.tracer.as_ref()
+    }
+
+    /// Access the report log.
+    pub fn reports(&self) -> &Reporter {
+        &self.st.reporter
+    }
+
+    /// Echo reports at or above `sev` to stderr.
+    pub fn set_report_echo(&mut self, sev: Option<Severity>) {
+        self.st.reporter.set_echo(sev);
+    }
+
+    /// Override the delta-cycle limit per timestep.
+    pub fn set_delta_limit(&mut self, limit: u64) {
+        self.st.delta_limit = limit;
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.st.now
+    }
+
+    /// Kernel operation counters.
+    pub fn metrics(&self) -> KernelMetrics {
+        self.st.metrics
+    }
+
+    /// Name of a component.
+    pub fn component_name(&self, id: ComponentId) -> &str {
+        &self.comps[id].name
+    }
+
+    /// Number of registered components.
+    pub fn component_count(&self) -> usize {
+        self.comps.len()
+    }
+
+    /// Downcast a component to its concrete type (panics on mismatch).
+    pub fn get<T: Component>(&self, id: ComponentId) -> &T {
+        self.try_get(id).unwrap_or_else(|| {
+            panic!(
+                "component {id} ({}) is not a {}",
+                self.comps[id].name,
+                std::any::type_name::<T>()
+            )
+        })
+    }
+
+    /// Downcast a component to its concrete type.
+    pub fn try_get<T: Component>(&self, id: ComponentId) -> Option<&T> {
+        let c = self.comps[id].comp.as_deref()?;
+        (c as &dyn Any).downcast_ref::<T>()
+    }
+
+    /// Mutable downcast (for injecting state between runs in tests).
+    pub fn get_mut<T: Component>(&mut self, id: ComponentId) -> &mut T {
+        let name = self.comps[id].name.clone();
+        let c = self.comps[id]
+            .comp
+            .as_deref_mut()
+            .unwrap_or_else(|| panic!("component {id} ({name}) is mid-dispatch"));
+        (c as &mut dyn Any)
+            .downcast_mut::<T>()
+            .unwrap_or_else(|| panic!("component {id} ({name}) has unexpected type"))
+    }
+
+    /// Read a signal's current value from outside the simulation.
+    pub fn signal_value<T: SignalValue>(&self, s: SignalRef<T>) -> T {
+        self.st.signals[s.idx]
+            .as_any()
+            .downcast_ref::<SignalSlot<T>>()
+            .expect("signal type mismatch")
+            .current
+            .clone()
+    }
+
+    /// Number of value changes a signal has seen.
+    pub fn signal_change_count<T: SignalValue>(&self, s: SignalRef<T>) -> u64 {
+        self.st.signals[s.idx]
+            .as_any()
+            .downcast_ref::<SignalSlot<T>>()
+            .expect("signal type mismatch")
+            .change_count
+    }
+
+    /// Snapshot of a FIFO's occupancy statistics:
+    /// `(name, len, capacity, total_written, total_read, high_watermark)`.
+    pub fn fifo_stats<T: 'static>(
+        &self,
+        f: FifoRef<T>,
+    ) -> (String, usize, usize, u64, u64, usize) {
+        let s = &self.st.fifos[f.idx];
+        (
+            s.name().to_string(),
+            s.len(),
+            s.capacity(),
+            s.total_written(),
+            s.total_read(),
+            s.high_watermark(),
+        )
+    }
+
+    /// Posedge count of a clock.
+    pub fn clock_posedges(&self, c: ClockRef) -> u64 {
+        self.st.clocks[c.0].pos_edges
+    }
+
+    /// Name of a clock.
+    pub fn clock_name(&self, c: ClockRef) -> &str {
+        &self.st.clocks[c.0].name
+    }
+
+    /// Outstanding obligations (nonzero after a deadlock return).
+    pub fn obligations(&self) -> u64 {
+        self.st.obligations
+    }
+
+    /// Schedule an initial user payload before the run starts (testbench
+    /// stimulus).
+    pub fn post<P: Any>(&mut self, target: ComponentId, payload: P, delay: Delay) {
+        self.st.check_target(target);
+        self.st.schedule(
+            delay,
+            Delivery {
+                target,
+                msg: Msg {
+                    source: None,
+                    kind: MsgKind::User(Box::new(payload)),
+                },
+                background: false,
+            },
+        );
+    }
+
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for id in 0..self.comps.len() {
+            self.st.next_delta.push(Delivery {
+                target: id,
+                msg: Msg {
+                    source: None,
+                    kind: MsgKind::Start,
+                },
+                background: false,
+            });
+        }
+    }
+
+    fn dispatch(&mut self, d: Delivery) {
+        if d.target == CLOCK_TARGET {
+            if let MsgKind::ClockEdge(idx, edge) = d.msg.kind {
+                self.st.clock_tick(idx, edge);
+            }
+            return;
+        }
+        self.st.metrics.dispatched += 1;
+        let mut comp = self.comps[d.target]
+            .comp
+            .take()
+            .expect("re-entrant dispatch on a component");
+        {
+            let mut api = Api {
+                st: &mut self.st,
+                me: d.target,
+            };
+            comp.handle(&mut api, d.msg);
+        }
+        self.comps[d.target].comp = Some(comp);
+    }
+
+    /// Run until quiescent (or deadlock / stop / delta overflow).
+    pub fn run(&mut self) -> StopReason {
+        self.run_inner(None)
+    }
+
+    /// Run until `horizon` (inclusive of events at the horizon).
+    pub fn run_until(&mut self, horizon: SimTime) -> StopReason {
+        self.run_inner(Some(horizon))
+    }
+
+    /// Run for an additional duration from the current time.
+    pub fn run_for(&mut self, d: SimDuration) -> StopReason {
+        let horizon = self.st.now + d;
+        self.run_inner(Some(horizon))
+    }
+
+    fn run_inner(&mut self, horizon: Option<SimTime>) -> StopReason {
+        self.ensure_started();
+        loop {
+            // Delta loop at the current time.
+            let mut deltas_here: u64 = 0;
+            while !self.st.next_delta.is_empty() || !self.st.update_requests.is_empty() {
+                let runnable = std::mem::take(&mut self.st.next_delta);
+                for d in runnable {
+                    self.dispatch(d);
+                    if self.st.stop {
+                        self.st.stop = false;
+                        return StopReason::Stopped;
+                    }
+                }
+                self.st.apply_updates();
+                deltas_here += 1;
+                self.st.metrics.delta_cycles += 1;
+                if deltas_here > self.st.delta_limit {
+                    return StopReason::DeltaOverflow;
+                }
+            }
+            if deltas_here > 0 {
+                self.st.metrics.timesteps += 1;
+                self.st.metrics.max_deltas_in_step =
+                    self.st.metrics.max_deltas_in_step.max(deltas_here);
+            }
+
+            // Advance time. Background events (free-running clock ticks) do
+            // not keep an unbounded run() alive, but under an explicit
+            // horizon they still advance so synchronous observers see every
+            // edge up to the horizon.
+            if !self.st.queue.has_foreground() {
+                let background_within_horizon = match horizon {
+                    Some(h) => self.st.queue.peek_time().is_some_and(|t| t <= h),
+                    None => false,
+                };
+                if !background_within_horizon {
+                    if let Some(h) = horizon {
+                        if self.st.queue.peek_time().is_some() {
+                            // More work exists beyond the horizon.
+                            self.st.now = h;
+                            return StopReason::TimeLimit;
+                        }
+                    }
+                    return if self.st.obligations > 0 {
+                        StopReason::Deadlock {
+                            pending: self.st.obligations,
+                        }
+                    } else {
+                        if let Some(h) = horizon {
+                            self.st.now = h;
+                        }
+                        StopReason::Quiescent
+                    };
+                }
+            }
+            let next_t = self
+                .st
+                .queue
+                .peek_time()
+                .expect("pending work implies queue nonempty");
+            if let Some(h) = horizon {
+                if next_t > h {
+                    self.st.now = h;
+                    return StopReason::TimeLimit;
+                }
+            }
+            debug_assert!(next_t >= self.st.now, "time must be monotone");
+            self.st.now = next_t;
+            while self.st.queue.peek_time() == Some(next_t) {
+                let e = self.st.queue.pop().expect("peeked entry exists");
+                if self.st.canceled.remove(&e.seq) {
+                    continue; // timer was cancelled before firing
+                }
+                self.st.next_delta.push(e.delivery);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::FnComponent;
+
+    /// A component that records (time, tag) of every timer it receives.
+    struct Recorder {
+        fired: Vec<(SimTime, u64)>,
+        plan: Vec<(SimDuration, u64)>,
+    }
+
+    impl Component for Recorder {
+        fn handle(&mut self, api: &mut Api<'_>, msg: Msg) {
+            match msg.kind {
+                MsgKind::Start => {
+                    for &(d, tag) in &self.plan {
+                        api.timer_in(d, tag);
+                    }
+                }
+                MsgKind::Timer(tag) => self.fired.push((api.now(), tag)),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn timers_fire_in_time_order() {
+        let mut sim = Simulator::new();
+        let id = sim.add(
+            "rec",
+            Recorder {
+                fired: vec![],
+                plan: vec![
+                    (SimDuration::ns(30), 3),
+                    (SimDuration::ns(10), 1),
+                    (SimDuration::ns(20), 2),
+                ],
+            },
+        );
+        assert_eq!(sim.run(), StopReason::Quiescent);
+        let rec = sim.get::<Recorder>(id);
+        assert_eq!(
+            rec.fired,
+            vec![
+                (SimTime::ZERO + SimDuration::ns(10), 1),
+                (SimTime::ZERO + SimDuration::ns(20), 2),
+                (SimTime::ZERO + SimDuration::ns(30), 3),
+            ]
+        );
+        assert_eq!(sim.now(), SimTime::ZERO + SimDuration::ns(30));
+    }
+
+    #[test]
+    fn same_time_timers_fire_in_scheduling_order() {
+        let mut sim = Simulator::new();
+        let id = sim.add(
+            "rec",
+            Recorder {
+                fired: vec![],
+                plan: (0..20).map(|i| (SimDuration::ns(5), i)).collect(),
+            },
+        );
+        sim.run();
+        let rec = sim.get::<Recorder>(id);
+        let tags: Vec<u64> = rec.fired.iter().map(|&(_, t)| t).collect();
+        assert_eq!(tags, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn signal_write_visible_next_delta() {
+        let mut sim = Simulator::new();
+        let sig = sim.add_signal("s", 0u32);
+        let observed = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let obs2 = observed.clone();
+        // Writer: writes 7 at Start; reads back immediately (must still be 0)
+        // then after a delta (must be 7).
+        sim.add(
+            "writer",
+            FnComponent::new(move |api, msg| match msg.kind {
+                MsgKind::Start => {
+                    api.write(sig, 7u32);
+                    obs2.borrow_mut().push(("eval", api.read(sig)));
+                    api.timer(Delay::Delta, 0);
+                }
+                MsgKind::Timer(_) => {
+                    obs2.borrow_mut().push(("after", api.read(sig)));
+                }
+                _ => {}
+            }),
+        );
+        assert_eq!(sim.run(), StopReason::Quiescent);
+        assert_eq!(*observed.borrow(), vec![("eval", 0), ("after", 7)]);
+        assert_eq!(sim.signal_value(sig), 7);
+        assert_eq!(sim.signal_change_count(sig), 1);
+    }
+
+    #[test]
+    fn signal_subscribers_notified_only_on_change() {
+        let mut sim = Simulator::new();
+        let sig = sim.add_signal("s", false);
+        let count = std::rc::Rc::new(std::cell::Cell::new(0u32));
+        let c2 = count.clone();
+        sim.add(
+            "listener",
+            FnComponent::new(move |api, msg| match msg.kind {
+                MsgKind::Start => api.subscribe_signal(sig),
+                MsgKind::SignalChanged(_) => c2.set(c2.get() + 1),
+                _ => {}
+            }),
+        );
+        sim.add(
+            "driver",
+            FnComponent::new(move |api, msg| match msg.kind {
+                MsgKind::Start => {
+                    api.write(sig, false); // no change
+                    api.timer_in(SimDuration::ns(1), 0);
+                    api.timer_in(SimDuration::ns(2), 1);
+                }
+                MsgKind::Timer(0) => api.write(sig, true), // change
+                MsgKind::Timer(1) => api.write(sig, true), // no change
+                _ => {}
+            }),
+        );
+        sim.run();
+        assert_eq!(count.get(), 1);
+    }
+
+    #[test]
+    fn user_messages_round_trip_between_components() {
+        #[derive(Debug, PartialEq)]
+        struct Ping(u32);
+        #[derive(Debug, PartialEq)]
+        struct Pong(u32);
+
+        struct Responder;
+        impl Component for Responder {
+            fn handle(&mut self, api: &mut Api<'_>, msg: Msg) {
+                if let Ok(Ping(v)) = msg.user::<Ping>() {
+                    let src = 0; // requester id is 0 by construction
+                    api.send_in(src, Pong(v * 2), SimDuration::ns(5));
+                }
+            }
+        }
+
+        struct Requester {
+            got: Option<(SimTime, u32)>,
+            responder: ComponentId,
+        }
+        impl Component for Requester {
+            fn handle(&mut self, api: &mut Api<'_>, msg: Msg) {
+                match &msg.kind {
+                    MsgKind::Start => {
+                        let r = self.responder;
+                        api.send_in(r, Ping(21), SimDuration::ns(5));
+                    }
+                    _ => {
+                        if let Ok(Pong(v)) = msg.user::<Pong>() {
+                            self.got = Some((api.now(), v));
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut sim = Simulator::new();
+        let req = sim.add(
+            "req",
+            Requester {
+                got: None,
+                responder: 1,
+            },
+        );
+        sim.add("resp", Responder);
+        assert_eq!(sim.run(), StopReason::Quiescent);
+        let r = sim.get::<Requester>(req);
+        assert_eq!(r.got, Some((SimTime::ZERO + SimDuration::ns(10), 42)));
+    }
+
+    #[test]
+    fn clock_edges_reach_subscribers() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock_mhz("clk", 100); // 10 ns period
+        let edges = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let e2 = edges.clone();
+        sim.add(
+            "sync",
+            FnComponent::new(move |api, msg| match msg.kind {
+                MsgKind::Start => {
+                    api.subscribe_clock(clk, Edge::Pos);
+                    api.subscribe_clock(clk, Edge::Neg);
+                }
+                MsgKind::ClockEdge(_, e) => e2.borrow_mut().push((api.now().as_fs(), e)),
+                _ => {}
+            }),
+        );
+        sim.run_until(SimTime::ZERO + SimDuration::ns(25));
+        let edges = edges.borrow();
+        // Posedges at 0, 10, 20 ns; negedges at 5, 15, 25 ns.
+        assert_eq!(
+            *edges,
+            vec![
+                (0, Edge::Pos),
+                (5_000_000, Edge::Neg),
+                (10_000_000, Edge::Pos),
+                (15_000_000, Edge::Neg),
+                (20_000_000, Edge::Pos),
+                (25_000_000, Edge::Neg),
+            ]
+        );
+        assert!(sim.clock_posedges(clk) >= 3);
+    }
+
+    #[test]
+    fn unsubscribed_clock_does_not_prevent_quiescence() {
+        let mut sim = Simulator::new();
+        let _clk = sim.add_clock_mhz("clk", 100);
+        sim.add("idle", crate::component::NullComponent);
+        assert_eq!(sim.run(), StopReason::Quiescent);
+        assert_eq!(sim.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn clock_only_activity_counts_as_background() {
+        // A subscriber that does nothing on edges: after its Start, only
+        // background clock ticks remain, so run() terminates quiescent.
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock_mhz("clk", 100);
+        sim.add(
+            "lazy",
+            FnComponent::new(move |api, msg| {
+                if matches!(msg.kind, MsgKind::Start) {
+                    api.subscribe_clock(clk, Edge::Pos);
+                }
+            }),
+        );
+        assert_eq!(sim.run(), StopReason::Quiescent);
+    }
+
+    #[test]
+    fn deadlock_detected_via_obligations() {
+        let mut sim = Simulator::new();
+        sim.add(
+            "stuck",
+            FnComponent::new(|api, msg| {
+                if matches!(msg.kind, MsgKind::Start) {
+                    api.obligation_begin(); // never fulfilled
+                }
+            }),
+        );
+        assert_eq!(sim.run(), StopReason::Deadlock { pending: 1 });
+        assert_eq!(sim.obligations(), 1);
+    }
+
+    #[test]
+    fn fulfilled_obligation_is_quiescent() {
+        let mut sim = Simulator::new();
+        sim.add(
+            "fine",
+            FnComponent::new(|api, msg| match msg.kind {
+                MsgKind::Start => {
+                    api.obligation_begin();
+                    api.timer_in(SimDuration::ns(3), 0);
+                }
+                MsgKind::Timer(_) => api.obligation_end(),
+                _ => {}
+            }),
+        );
+        assert_eq!(sim.run(), StopReason::Quiescent);
+        assert_eq!(sim.obligations(), 0);
+    }
+
+    #[test]
+    fn stop_interrupts_the_run() {
+        let mut sim = Simulator::new();
+        sim.add(
+            "stopper",
+            FnComponent::new(|api, msg| match msg.kind {
+                MsgKind::Start => api.timer_in(SimDuration::ns(7), 0),
+                MsgKind::Timer(_) => api.stop(),
+                _ => {}
+            }),
+        );
+        assert_eq!(sim.run(), StopReason::Stopped);
+        assert_eq!(sim.now(), SimTime::ZERO + SimDuration::ns(7));
+    }
+
+    #[test]
+    fn run_until_respects_horizon_and_resumes() {
+        let mut sim = Simulator::new();
+        let id = sim.add(
+            "rec",
+            Recorder {
+                fired: vec![],
+                plan: vec![(SimDuration::ns(10), 1), (SimDuration::ns(100), 2)],
+            },
+        );
+        assert_eq!(
+            sim.run_until(SimTime::ZERO + SimDuration::ns(50)),
+            StopReason::TimeLimit
+        );
+        assert_eq!(sim.now(), SimTime::ZERO + SimDuration::ns(50));
+        assert_eq!(sim.get::<Recorder>(id).fired.len(), 1);
+        assert_eq!(sim.run(), StopReason::Quiescent);
+        assert_eq!(sim.get::<Recorder>(id).fired.len(), 2);
+    }
+
+    #[test]
+    fn delta_overflow_detected() {
+        // Two components ping-ponging with Delta delay oscillate forever in
+        // one timestep.
+        struct Ping2 {
+            peer: ComponentId,
+        }
+        impl Component for Ping2 {
+            fn handle(&mut self, api: &mut Api<'_>, msg: Msg) {
+                match msg.kind {
+                    MsgKind::Start | MsgKind::User(_) => {
+                        let p = self.peer;
+                        api.send(p, (), Delay::Delta);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut sim = Simulator::new();
+        sim.set_delta_limit(500);
+        sim.add("a", Ping2 { peer: 1 });
+        sim.add("b", Ping2 { peer: 0 });
+        assert_eq!(sim.run(), StopReason::DeltaOverflow);
+    }
+
+    #[test]
+    fn fifo_notifications_flow() {
+        let mut sim = Simulator::new();
+        let fifo = sim.add_fifo::<u32>("f", 2);
+        let got = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let g2 = got.clone();
+        sim.add(
+            "consumer",
+            FnComponent::new(move |api, msg| match msg.kind {
+                MsgKind::Start => api.subscribe_fifo(fifo),
+                MsgKind::Fifo(_, FifoEventKind::DataWritten) => {
+                    while let Some(v) = api.fifo_try_get(fifo) {
+                        g2.borrow_mut().push(v);
+                    }
+                }
+                _ => {}
+            }),
+        );
+        sim.add(
+            "producer",
+            FnComponent::new(move |api, msg| match msg.kind {
+                MsgKind::Start => {
+                    for i in 0..3 {
+                        api.timer_in(SimDuration::ns(10 * (i + 1)), i);
+                    }
+                }
+                MsgKind::Timer(tag) => {
+                    api.fifo_try_put(fifo, tag as u32).expect("fifo space");
+                }
+                _ => {}
+            }),
+        );
+        assert_eq!(sim.run(), StopReason::Quiescent);
+        assert_eq!(*got.borrow(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn metrics_are_populated() {
+        let mut sim = Simulator::new();
+        sim.add(
+            "busy",
+            FnComponent::new(|api, msg| match msg.kind {
+                MsgKind::Start => api.timer_in(SimDuration::ns(1), 0),
+                MsgKind::Timer(t) if t < 5 => api.timer_in(SimDuration::ns(1), t + 1),
+                _ => {}
+            }),
+        );
+        sim.run();
+        let m = sim.metrics();
+        assert!(m.dispatched >= 7); // Start + 6 timers
+        assert!(m.timesteps >= 6);
+        assert!(m.delta_cycles >= m.timesteps);
+        assert!(m.max_deltas_in_step >= 1);
+    }
+
+    #[test]
+    fn post_injects_external_stimulus() {
+        let mut sim = Simulator::new();
+        let seen = std::rc::Rc::new(std::cell::Cell::new(0u32));
+        let s2 = seen.clone();
+        let id = sim.add(
+            "sink",
+            FnComponent::new(move |_api, msg| {
+                if let Some(v) = msg.user_ref::<u32>() {
+                    s2.set(*v);
+                }
+            }),
+        );
+        sim.post(id, 99u32, Delay::ns(4));
+        sim.run();
+        assert_eq!(seen.get(), 99);
+    }
+
+    #[test]
+    fn component_names_and_counts() {
+        let mut sim = Simulator::new();
+        let a = sim.add("alpha", crate::component::NullComponent);
+        let b = sim.add("beta", crate::component::NullComponent);
+        assert_eq!(sim.component_name(a), "alpha");
+        assert_eq!(sim.component_name(b), "beta");
+        assert_eq!(sim.component_count(), 2);
+        assert!(sim.try_get::<Recorder>(a).is_none());
+    }
+
+    #[test]
+    fn cancelled_timer_never_fires() {
+        struct Watchdog {
+            handle: Option<TimerHandle>,
+            pub watchdog_fired: bool,
+        }
+        impl Component for Watchdog {
+            fn handle(&mut self, api: &mut Api<'_>, msg: Msg) {
+                match msg.kind {
+                    MsgKind::Start => {
+                        // Arm a watchdog at 100ns, and the "work completes"
+                        // timer at 50ns which disarms it.
+                        self.handle = Some(api.timer_cancellable(SimDuration::ns(100), 9));
+                        api.timer_in(SimDuration::ns(50), 1);
+                    }
+                    MsgKind::Timer(1) => {
+                        let h = self.handle.take().expect("armed");
+                        api.cancel_timer(h);
+                    }
+                    MsgKind::Timer(9) => self.watchdog_fired = true,
+                    _ => {}
+                }
+            }
+        }
+        let mut sim = Simulator::new();
+        let id = sim.add(
+            "wd",
+            Watchdog {
+                handle: None,
+                watchdog_fired: false,
+            },
+        );
+        assert_eq!(sim.run(), StopReason::Quiescent);
+        assert!(!sim.get::<Watchdog>(id).watchdog_fired);
+        // The cancelled event still advanced nothing: quiescence happened
+        // when the queue drained at 100ns (entry skipped).
+        assert_eq!(sim.now(), SimTime::ZERO + SimDuration::ns(100));
+    }
+
+    #[test]
+    fn uncancelled_watchdog_fires() {
+        struct Wd {
+            pub fired: bool,
+        }
+        impl Component for Wd {
+            fn handle(&mut self, api: &mut Api<'_>, msg: Msg) {
+                match msg.kind {
+                    MsgKind::Start => {
+                        let _ = api.timer_cancellable(SimDuration::ns(10), 9);
+                    }
+                    MsgKind::Timer(9) => self.fired = true,
+                    _ => {}
+                }
+            }
+        }
+        let mut sim = Simulator::new();
+        let id = sim.add("wd", Wd { fired: false });
+        sim.run();
+        assert!(sim.get::<Wd>(id).fired);
+    }
+
+    #[test]
+    fn cancel_after_fire_is_a_noop() {
+        struct Wd {
+            handle: Option<TimerHandle>,
+            pub fires: u32,
+        }
+        impl Component for Wd {
+            fn handle(&mut self, api: &mut Api<'_>, msg: Msg) {
+                match msg.kind {
+                    MsgKind::Start => {
+                        self.handle = Some(api.timer_cancellable(SimDuration::ns(10), 9));
+                        api.timer_in(SimDuration::ns(50), 1);
+                    }
+                    MsgKind::Timer(9) => self.fires += 1,
+                    MsgKind::Timer(1) => {
+                        // Cancels something that already fired.
+                        let h = self.handle.take().expect("armed");
+                        api.cancel_timer(h);
+                        api.timer_in(SimDuration::ns(10), 2);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut sim = Simulator::new();
+        let id = sim.add(
+            "wd",
+            Wd {
+                handle: None,
+                fires: 0,
+            },
+        );
+        assert_eq!(sim.run(), StopReason::Quiescent);
+        assert_eq!(sim.get::<Wd>(id).fires, 1);
+    }
+
+    #[test]
+    fn trace_records_signal_changes() {
+        let mut sim = Simulator::new();
+        sim.enable_trace();
+        let sig = sim.add_signal("data", 0u8);
+        sim.trace_signal(sig);
+        sim.add(
+            "drv",
+            FnComponent::new(move |api, msg| match msg.kind {
+                MsgKind::Start => api.timer_in(SimDuration::ns(10), 0),
+                MsgKind::Timer(_) => api.write(sig, 0xA5u8),
+                _ => {}
+            }),
+        );
+        sim.run();
+        let vcd = sim.tracer().expect("tracer enabled").render();
+        assert!(vcd.contains("$var wire 8 ! data $end"));
+        assert!(vcd.contains("b10100101 !"));
+    }
+}

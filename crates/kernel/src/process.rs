@@ -1,0 +1,219 @@
+//! Scripted sequential processes.
+//!
+//! SystemC testbenches are usually written as `SC_THREAD`s: straight-line
+//! code interleaved with `wait(...)`. The kernel has no blocking threads, so
+//! [`Script`] provides the equivalent: an ordered list of steps, where
+//! `Do` steps run back-to-back and `Wait*` steps yield to the scheduler.
+//! The script holds a kernel obligation while it has steps left, so a
+//! simulation cannot be declared quiescent with an unfinished script.
+
+use std::collections::VecDeque;
+
+use crate::component::Component;
+use crate::event::{Delay, Msg, MsgKind};
+use crate::kernel::Api;
+use crate::time::SimDuration;
+
+/// One step of a scripted process.
+pub enum Step {
+    /// Let simulated time pass.
+    Wait(SimDuration),
+    /// Yield for one delta cycle.
+    WaitDelta,
+    /// Run a closure against the kernel API.
+    Do(Box<dyn FnMut(&mut Api<'_>)>),
+}
+
+impl Step {
+    /// Convenience constructor for `Do`.
+    pub fn run(f: impl FnMut(&mut Api<'_>) + 'static) -> Step {
+        Step::Do(Box::new(f))
+    }
+}
+
+/// A component that executes [`Step`]s in order.
+pub struct Script {
+    steps: VecDeque<Step>,
+    /// Number of `Do` steps executed so far.
+    pub executed: u64,
+    done: bool,
+}
+
+impl Script {
+    /// Build a script from steps.
+    pub fn new(steps: Vec<Step>) -> Self {
+        Script {
+            steps: steps.into(),
+            executed: 0,
+            done: false,
+        }
+    }
+
+    /// True once every step has run.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    fn advance(&mut self, api: &mut Api<'_>) {
+        loop {
+            match self.steps.pop_front() {
+                None => {
+                    if !self.done {
+                        self.done = true;
+                        api.obligation_end();
+                    }
+                    return;
+                }
+                Some(Step::Do(mut f)) => {
+                    f(api);
+                    self.executed += 1;
+                }
+                Some(Step::Wait(d)) => {
+                    api.timer_in(d, 0);
+                    return;
+                }
+                Some(Step::WaitDelta) => {
+                    api.timer(Delay::Delta, 0);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+impl Component for Script {
+    fn handle(&mut self, api: &mut Api<'_>, msg: Msg) {
+        match msg.kind {
+            MsgKind::Start => {
+                api.obligation_begin();
+                self.advance(api);
+            }
+            MsgKind::Timer(_) => self.advance(api),
+            _ => {}
+        }
+    }
+}
+
+/// Builder sugar for scripts.
+#[derive(Default)]
+pub struct ScriptBuilder {
+    steps: Vec<Step>,
+}
+
+impl ScriptBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+    /// Append a wait.
+    pub fn wait(mut self, d: SimDuration) -> Self {
+        self.steps.push(Step::Wait(d));
+        self
+    }
+    /// Append a delta yield.
+    pub fn wait_delta(mut self) -> Self {
+        self.steps.push(Step::WaitDelta);
+        self
+    }
+    /// Append an action.
+    pub fn then(mut self, f: impl FnMut(&mut Api<'_>) + 'static) -> Self {
+        self.steps.push(Step::run(f));
+        self
+    }
+    /// Finish.
+    pub fn build(self) -> Script {
+        Script::new(self.steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::StopReason;
+    use crate::kernel::Simulator;
+    use crate::time::SimTime;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn script_steps_run_in_order_with_waits() {
+        let log: Rc<RefCell<Vec<(u64, &'static str)>>> = Rc::default();
+        let (l1, l2, l3) = (log.clone(), log.clone(), log.clone());
+        let mut sim = Simulator::new();
+        let id = sim.add(
+            "script",
+            ScriptBuilder::new()
+                .then(move |api| l1.borrow_mut().push((api.now().as_fs(), "a")))
+                .wait(SimDuration::ns(10))
+                .then(move |api| l2.borrow_mut().push((api.now().as_fs(), "b")))
+                .wait(SimDuration::ns(5))
+                .then(move |api| l3.borrow_mut().push((api.now().as_fs(), "c")))
+                .build(),
+        );
+        assert_eq!(sim.run(), StopReason::Quiescent);
+        assert_eq!(
+            *log.borrow(),
+            vec![(0, "a"), (10_000_000, "b"), (15_000_000, "c")]
+        );
+        assert!(sim.get::<Script>(id).is_done());
+        assert_eq!(sim.get::<Script>(id).executed, 3);
+        assert_eq!(sim.now(), SimTime::ZERO + SimDuration::ns(15));
+    }
+
+    #[test]
+    fn consecutive_do_steps_run_without_time_passing() {
+        let count = Rc::new(RefCell::new(0));
+        let mut sim = Simulator::new();
+        let mut b = ScriptBuilder::new();
+        for _ in 0..5 {
+            let c = count.clone();
+            b = b.then(move |_| *c.borrow_mut() += 1);
+        }
+        sim.add("s", b.build());
+        sim.run();
+        assert_eq!(*count.borrow(), 5);
+        assert_eq!(sim.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn empty_script_is_immediately_done() {
+        let mut sim = Simulator::new();
+        let id = sim.add("s", Script::new(vec![]));
+        assert_eq!(sim.run(), StopReason::Quiescent);
+        assert!(sim.get::<Script>(id).is_done());
+    }
+
+    #[test]
+    fn wait_delta_yields_one_delta() {
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let s2 = seen.clone();
+        let mut sim = Simulator::new();
+        let sig = sim.add_signal("x", 0u32);
+        sim.add(
+            "s",
+            ScriptBuilder::new()
+                .then(move |api| api.write(sig, 5))
+                .wait_delta()
+                .then(move |api| s2.borrow_mut().push(api.read(sig)))
+                .build(),
+        );
+        sim.run();
+        assert_eq!(*seen.borrow(), vec![5]);
+    }
+
+    #[test]
+    fn unfinished_scripts_cannot_happen_silently() {
+        // A script whose wait never elapses because the horizon cuts it off
+        // leaves the obligation pending; a full run() to quiescence always
+        // finishes scripts. Verify the obligation accounting.
+        let mut sim = Simulator::new();
+        sim.add(
+            "s",
+            ScriptBuilder::new().wait(SimDuration::us(10)).build(),
+        );
+        sim.run_until(SimTime::ZERO + SimDuration::ns(1));
+        assert_eq!(sim.obligations(), 1);
+        sim.run();
+        assert_eq!(sim.obligations(), 0);
+    }
+}

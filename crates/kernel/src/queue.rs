@@ -1,0 +1,172 @@
+//! The timed event queue.
+//!
+//! A binary heap keyed by `(time, sequence)`. The sequence number is a
+//! monotonically increasing counter assigned at insertion, which makes the
+//! dispatch order a *total* order: two events at the same timestamp are
+//! always dispatched in the order they were scheduled. This is the property
+//! every determinism test in the workspace leans on.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::event::Delivery;
+use crate::time::SimTime;
+
+pub(crate) struct TimedEntry {
+    pub time: SimTime,
+    pub seq: u64,
+    pub delivery: Delivery,
+}
+
+impl PartialEq for TimedEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for TimedEntry {}
+
+impl PartialOrd for TimedEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TimedEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic future-event queue.
+#[derive(Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<TimedEntry>,
+    /// Count of non-background entries, maintained incrementally so the
+    /// kernel can answer "is any foreground work pending?" in O(1).
+    foreground: usize,
+}
+
+impl EventQueue {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(128),
+            foreground: 0,
+        }
+    }
+
+    pub fn push(&mut self, entry: TimedEntry) {
+        if !entry.delivery.background {
+            self.foreground += 1;
+        }
+        self.heap.push(entry);
+    }
+
+    pub fn pop(&mut self) -> Option<TimedEntry> {
+        let e = self.heap.pop()?;
+        if !e.delivery.background {
+            self.foreground -= 1;
+        }
+        Some(e)
+    }
+
+    /// Time of the earliest pending entry.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Time of the earliest pending *foreground* entry. O(n) but only
+    /// consulted when deciding whether to stop, never in the hot loop.
+    #[allow(dead_code)]
+    pub fn peek_foreground_time(&self) -> Option<SimTime> {
+        self.heap
+            .iter()
+            .filter(|e| !e.delivery.background)
+            .map(|e| e.time)
+            .min()
+    }
+
+    pub fn has_foreground(&self) -> bool {
+        self.foreground > 0
+    }
+
+    #[allow(dead_code)]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    #[allow(dead_code)]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Msg, MsgKind};
+
+    fn entry(time_fs: u64, seq: u64, background: bool) -> TimedEntry {
+        TimedEntry {
+            time: SimTime(time_fs),
+            seq,
+            delivery: Delivery {
+                target: 0,
+                msg: Msg {
+                    source: None,
+                    kind: MsgKind::Timer(seq),
+                },
+                background,
+            },
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(entry(30, 0, false));
+        q.push(entry(10, 1, false));
+        q.push(entry(20, 2, false));
+        let times: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.time.0).collect();
+        assert_eq!(times, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn equal_times_pop_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for seq in 0..50 {
+            q.push(entry(100, seq, false));
+        }
+        let seqs: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.seq).collect();
+        assert_eq!(seqs, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn foreground_count_tracks_pushes_and_pops() {
+        let mut q = EventQueue::new();
+        assert!(!q.has_foreground());
+        q.push(entry(10, 0, true));
+        assert!(!q.has_foreground());
+        q.push(entry(20, 1, false));
+        assert!(q.has_foreground());
+        assert_eq!(q.peek_foreground_time(), Some(SimTime(20)));
+        q.pop(); // background at t=10
+        assert!(q.has_foreground());
+        q.pop(); // foreground at t=20
+        assert!(!q.has_foreground());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_time_sees_background_too() {
+        let mut q = EventQueue::new();
+        q.push(entry(5, 0, true));
+        assert_eq!(q.peek_time(), Some(SimTime(5)));
+        assert_eq!(q.peek_foreground_time(), None);
+        assert_eq!(q.len(), 1);
+    }
+}

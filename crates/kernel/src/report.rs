@@ -1,0 +1,155 @@
+//! Severity-tagged simulation reporting, in the spirit of `sc_report`.
+//!
+//! Components log through `Api::log`; the kernel timestamps and stores the
+//! entries. Tests and harnesses inspect them after the run; optionally a
+//! severity threshold echoes entries to stderr as they arrive.
+
+use std::fmt;
+
+use crate::event::ComponentId;
+use crate::time::SimTime;
+
+/// Report severity, ordered from least to most severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Developer diagnostics.
+    Debug,
+    /// Normal progress information.
+    Info,
+    /// Something suspicious that does not invalidate the run.
+    Warning,
+    /// A modeling error; the run's results should not be trusted.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Severity::Debug => "DEBUG",
+            Severity::Info => "INFO",
+            Severity::Warning => "WARNING",
+            Severity::Error => "ERROR",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single report entry.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// When it was logged.
+    pub time: SimTime,
+    /// Which component logged it (`None` for kernel-originated reports).
+    pub source: Option<ComponentId>,
+    /// Severity.
+    pub severity: Severity,
+    /// Message text.
+    pub text: String,
+}
+
+/// Collects reports for one simulation.
+#[derive(Default)]
+pub struct Reporter {
+    entries: Vec<Report>,
+    counts: [u64; 4],
+    echo_threshold: Option<Severity>,
+}
+
+impl Reporter {
+    /// New reporter that stores but does not echo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Echo entries at or above `sev` to stderr as they arrive.
+    pub fn set_echo(&mut self, sev: Option<Severity>) {
+        self.echo_threshold = sev;
+    }
+
+    /// Record an entry.
+    pub fn log(
+        &mut self,
+        time: SimTime,
+        source: Option<ComponentId>,
+        severity: Severity,
+        text: String,
+    ) {
+        self.counts[severity as usize] += 1;
+        if let Some(th) = self.echo_threshold {
+            if severity >= th {
+                eprintln!("[{time}] {severity} {}: {text}", fmt_source(source));
+            }
+        }
+        self.entries.push(Report {
+            time,
+            source,
+            severity,
+            text,
+        });
+    }
+
+    /// All entries in arrival order.
+    pub fn entries(&self) -> &[Report] {
+        &self.entries
+    }
+
+    /// Count of entries at exactly `sev`.
+    pub fn count(&self, sev: Severity) -> u64 {
+        self.counts[sev as usize]
+    }
+
+    /// Entries at or above `sev`.
+    pub fn at_least(&self, sev: Severity) -> impl Iterator<Item = &Report> {
+        self.entries.iter().filter(move |r| r.severity >= sev)
+    }
+
+    /// True if any error was logged.
+    pub fn has_errors(&self) -> bool {
+        self.counts[Severity::Error as usize] > 0
+    }
+}
+
+fn fmt_source(source: Option<ComponentId>) -> String {
+    match source {
+        Some(id) => format!("comp#{id}"),
+        None => "kernel".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_by_severity() {
+        let mut r = Reporter::new();
+        r.log(SimTime(0), None, Severity::Info, "a".into());
+        r.log(SimTime(1), Some(2), Severity::Warning, "b".into());
+        r.log(SimTime(2), Some(2), Severity::Error, "c".into());
+        r.log(SimTime(3), None, Severity::Info, "d".into());
+        assert_eq!(r.count(Severity::Info), 2);
+        assert_eq!(r.count(Severity::Warning), 1);
+        assert_eq!(r.count(Severity::Error), 1);
+        assert_eq!(r.count(Severity::Debug), 0);
+        assert!(r.has_errors());
+        assert_eq!(r.entries().len(), 4);
+    }
+
+    #[test]
+    fn at_least_filters_inclusively() {
+        let mut r = Reporter::new();
+        r.log(SimTime(0), None, Severity::Debug, "x".into());
+        r.log(SimTime(0), None, Severity::Warning, "y".into());
+        r.log(SimTime(0), None, Severity::Error, "z".into());
+        let texts: Vec<&str> = r.at_least(Severity::Warning).map(|e| e.text.as_str()).collect();
+        assert_eq!(texts, vec!["y", "z"]);
+    }
+
+    #[test]
+    fn severity_ordering() {
+        assert!(Severity::Debug < Severity::Info);
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+        assert_eq!(Severity::Error.to_string(), "ERROR");
+    }
+}

@@ -1,0 +1,307 @@
+//! Measurement helpers shared by every model in the workspace.
+//!
+//! These are plain value types with no kernel coupling beyond taking
+//! [`SimTime`]/[`SimDuration`] arguments, so models embed them directly and
+//! harnesses read them back after a run.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Tracks how long a binary resource (bus, fabric slot, accelerator) spent
+/// busy, as a time-weighted accumulator.
+#[derive(Debug, Clone, Default)]
+pub struct BusyTracker {
+    busy: bool,
+    since: SimTime,
+    accumulated: SimDuration,
+    /// Number of busy periods started.
+    pub activations: u64,
+}
+
+impl BusyTracker {
+    /// New tracker, initially idle at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mark the resource busy at `now`. Idempotent when already busy.
+    pub fn set_busy(&mut self, now: SimTime) {
+        if !self.busy {
+            self.busy = true;
+            self.since = now;
+            self.activations += 1;
+        }
+    }
+
+    /// Mark the resource idle at `now`, accumulating the just-finished busy
+    /// period. Idempotent when already idle.
+    pub fn set_idle(&mut self, now: SimTime) {
+        if self.busy {
+            self.busy = false;
+            self.accumulated += now.since(self.since);
+        }
+    }
+
+    /// Is the resource currently busy?
+    pub fn is_busy(&self) -> bool {
+        self.busy
+    }
+
+    /// Total busy time up to `now` (includes an in-progress busy period).
+    pub fn busy_time(&self, now: SimTime) -> SimDuration {
+        if self.busy {
+            self.accumulated + now.since(self.since)
+        } else {
+            self.accumulated
+        }
+    }
+
+    /// Busy fraction over `[SimTime::ZERO, now]`.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        self.busy_time(now).fraction_of(now.since(SimTime::ZERO))
+    }
+}
+
+/// Fixed-bucket latency histogram over durations (log2 buckets in ns).
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    /// bucket[i] counts samples with ns in [2^(i-1), 2^i); bucket[0] is <1ns.
+    buckets: Vec<u64>,
+    count: u64,
+    sum: SimDuration,
+    min: SimDuration,
+    max: SimDuration,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: vec![0; 40],
+            count: 0,
+            sum: SimDuration::ZERO,
+            min: SimDuration::MAX,
+            max: SimDuration::ZERO,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// New, empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one latency sample.
+    pub fn record(&mut self, d: SimDuration) {
+        let ns = d.as_fs() / crate::time::FS_PER_NS;
+        let bucket = if ns == 0 {
+            0
+        } else {
+            (64 - ns.leading_zeros()) as usize
+        };
+        let bucket = bucket.min(self.buckets.len() - 1);
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum += d;
+        if d < self.min {
+            self.min = d;
+        }
+        if d > self.max {
+            self.max = d;
+        }
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency; zero when empty.
+    pub fn mean(&self) -> SimDuration {
+        self.sum
+            .as_fs()
+            .checked_div(self.count)
+            .map(SimDuration)
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Smallest sample; zero when empty.
+    pub fn min(&self) -> SimDuration {
+        if self.count == 0 {
+            SimDuration::ZERO
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> SimDuration {
+        self.max
+    }
+
+    /// Approximate quantile (bucket upper edge), q in `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> SimDuration {
+        if self.count == 0 {
+            return SimDuration::ZERO;
+        }
+        let target = ((self.count as f64) * q).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target.max(1) {
+                let upper_ns = if i == 0 { 1 } else { 1u64 << i };
+                return SimDuration::ns(upper_ns);
+            }
+        }
+        self.max
+    }
+}
+
+/// Streaming mean/min/max of an f64 series.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Summary {
+    fn default() -> Self {
+        Summary {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl Summary {
+    /// New, empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a sample.
+    pub fn record(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+    /// Mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+    /// Minimum (0.0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+    /// Maximum (0.0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+    /// Sum of samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_tracker_accumulates_periods() {
+        let mut b = BusyTracker::new();
+        b.set_busy(SimTime(100));
+        b.set_idle(SimTime(300));
+        b.set_busy(SimTime(500));
+        b.set_idle(SimTime(600));
+        assert_eq!(b.busy_time(SimTime(1000)), SimDuration(300));
+        assert_eq!(b.activations, 2);
+        assert!(!b.is_busy());
+    }
+
+    #[test]
+    fn busy_tracker_counts_open_period() {
+        let mut b = BusyTracker::new();
+        b.set_busy(SimTime(0));
+        assert_eq!(b.busy_time(SimTime(400)), SimDuration(400));
+        assert_eq!(b.utilization(SimTime(400)), 1.0);
+        // Idempotent busy does not restart the period.
+        b.set_busy(SimTime(200));
+        assert_eq!(b.activations, 1);
+        assert_eq!(b.busy_time(SimTime(400)), SimDuration(400));
+    }
+
+    #[test]
+    fn busy_tracker_idle_is_idempotent() {
+        let mut b = BusyTracker::new();
+        b.set_idle(SimTime(100));
+        assert_eq!(b.busy_time(SimTime(100)), SimDuration::ZERO);
+        assert_eq!(b.utilization(SimTime(0)), 0.0);
+    }
+
+    #[test]
+    fn histogram_tracks_extremes_and_mean() {
+        let mut h = LatencyHistogram::new();
+        h.record(SimDuration::ns(10));
+        h.record(SimDuration::ns(20));
+        h.record(SimDuration::ns(30));
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.mean(), SimDuration::ns(20));
+        assert_eq!(h.min(), SimDuration::ns(10));
+        assert_eq!(h.max(), SimDuration::ns(30));
+    }
+
+    #[test]
+    fn histogram_quantile_monotone() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=100u64 {
+            h.record(SimDuration::ns(i));
+        }
+        let q50 = h.quantile(0.5);
+        let q99 = h.quantile(0.99);
+        assert!(q50 <= q99);
+        assert!(q99 <= SimDuration::ns(128)); // bucket upper edge
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.mean(), SimDuration::ZERO);
+        assert_eq!(h.min(), SimDuration::ZERO);
+        assert_eq!(h.quantile(0.5), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn summary_basics() {
+        let mut s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        s.record(1.0);
+        s.record(3.0);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.mean(), 2.0);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 3.0);
+        assert_eq!(s.sum(), 4.0);
+    }
+}

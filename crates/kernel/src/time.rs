@@ -1,0 +1,361 @@
+//! Simulated time.
+//!
+//! Time is kept in integer femtoseconds, which gives sub-picosecond
+//! resolution while still covering ~5 hours of simulated time in a `u64` —
+//! far beyond what any system-level run in this repository needs. Integer
+//! time makes the kernel fully deterministic: there is no floating-point
+//! accumulation error, and two schedules that are equal compare equal.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Femtoseconds per unit, used by the constructors below.
+pub const FS_PER_PS: u64 = 1_000;
+/// Femtoseconds per nanosecond.
+pub const FS_PER_NS: u64 = 1_000_000;
+/// Femtoseconds per microsecond.
+pub const FS_PER_US: u64 = 1_000_000_000;
+/// Femtoseconds per millisecond.
+pub const FS_PER_MS: u64 = 1_000_000_000_000;
+/// Femtoseconds per second.
+pub const FS_PER_S: u64 = 1_000_000_000_000_000;
+
+/// An absolute point in simulated time, in femtoseconds since elaboration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time, in femtoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// Time zero (start of simulation).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable time; used as "never".
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Raw femtosecond count.
+    #[inline]
+    pub fn as_fs(self) -> u64 {
+        self.0
+    }
+
+    /// Time as fractional nanoseconds (for reports only, never for ordering).
+    #[inline]
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / FS_PER_NS as f64
+    }
+
+    /// Time as fractional microseconds.
+    #[inline]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / FS_PER_US as f64
+    }
+
+    /// Duration elapsed since `earlier`. Panics if `earlier` is later.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("SimTime::since: earlier is later than self"),
+        )
+    }
+
+    /// Saturating duration since `earlier` (zero if `earlier` is later).
+    #[inline]
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// The largest representable duration.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Construct from femtoseconds.
+    #[inline]
+    pub const fn fs(v: u64) -> SimDuration {
+        SimDuration(v)
+    }
+    /// Construct from picoseconds.
+    #[inline]
+    pub const fn ps(v: u64) -> SimDuration {
+        SimDuration(v * FS_PER_PS)
+    }
+    /// Construct from nanoseconds.
+    #[inline]
+    pub const fn ns(v: u64) -> SimDuration {
+        SimDuration(v * FS_PER_NS)
+    }
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn us(v: u64) -> SimDuration {
+        SimDuration(v * FS_PER_US)
+    }
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn ms(v: u64) -> SimDuration {
+        SimDuration(v * FS_PER_MS)
+    }
+    /// Construct from seconds.
+    #[inline]
+    pub const fn s(v: u64) -> SimDuration {
+        SimDuration(v * FS_PER_S)
+    }
+
+    /// Duration of `cycles` periods of a clock running at `freq_mhz` MHz.
+    ///
+    /// This is the conversion used throughout the bus and fabric models when
+    /// turning cycle counts into simulated time.
+    #[inline]
+    pub fn cycles_at_mhz(cycles: u64, freq_mhz: u64) -> SimDuration {
+        debug_assert!(freq_mhz > 0, "clock frequency must be nonzero");
+        // period in fs = 1e15 / (freq_mhz * 1e6) = 1e9 / freq_mhz
+        SimDuration(cycles * (1_000_000_000 / freq_mhz))
+    }
+
+    /// Raw femtosecond count.
+    #[inline]
+    pub fn as_fs(self) -> u64 {
+        self.0
+    }
+
+    /// Duration as fractional nanoseconds.
+    #[inline]
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / FS_PER_NS as f64
+    }
+
+    /// Duration as fractional microseconds.
+    #[inline]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / FS_PER_US as f64
+    }
+
+    /// True if zero length.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition.
+    #[inline]
+    pub fn checked_add(self, rhs: SimDuration) -> Option<SimDuration> {
+        self.0.checked_add(rhs.0).map(SimDuration)
+    }
+
+    /// Fraction of `total` this duration represents, in [0, 1] for
+    /// sub-durations. Returns 0.0 when `total` is zero.
+    #[inline]
+    pub fn fraction_of(self, total: SimDuration) -> f64 {
+        if total.0 == 0 {
+            0.0
+        } else {
+            self.0 as f64 / total.0 as f64
+        }
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(
+            self.0
+                .checked_add(rhs.0)
+                .expect("SimTime overflow: schedule beyond u64 femtoseconds"),
+        )
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimTime underflow: subtracting past time zero"),
+        )
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_add(rhs.0)
+                .expect("SimDuration overflow in addition"),
+        )
+    }
+}
+
+impl AddAssign for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimDuration underflow in subtraction"),
+        )
+    }
+}
+
+impl SubAssign for SimDuration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_mul(rhs)
+                .expect("SimDuration overflow in multiplication"),
+        )
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", format_fs(self.0))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", format_fs(self.0))
+    }
+}
+
+/// Render a femtosecond count with the largest unit that divides it cleanly
+/// enough to read (three significant decimals at most).
+fn format_fs(fs: u64) -> String {
+    const UNITS: [(u64, &str); 6] = [
+        (FS_PER_S, "s"),
+        (FS_PER_MS, "ms"),
+        (FS_PER_US, "us"),
+        (FS_PER_NS, "ns"),
+        (FS_PER_PS, "ps"),
+        (1, "fs"),
+    ];
+    for &(scale, unit) in &UNITS {
+        if fs >= scale {
+            let whole = fs / scale;
+            let frac = fs % scale;
+            if frac == 0 {
+                return format!("{whole}{unit}");
+            }
+            let v = fs as f64 / scale as f64;
+            return format!("{v:.3}{unit}");
+        }
+    }
+    "0fs".to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_scale_correctly() {
+        assert_eq!(SimDuration::ps(1).as_fs(), 1_000);
+        assert_eq!(SimDuration::ns(1).as_fs(), 1_000_000);
+        assert_eq!(SimDuration::us(2).as_fs(), 2_000_000_000);
+        assert_eq!(SimDuration::ms(3), SimDuration::us(3000));
+        assert_eq!(SimDuration::s(1), SimDuration::ms(1000));
+    }
+
+    #[test]
+    fn cycles_at_mhz_matches_period() {
+        // 100 MHz -> 10 ns period.
+        assert_eq!(SimDuration::cycles_at_mhz(1, 100), SimDuration::ns(10));
+        assert_eq!(SimDuration::cycles_at_mhz(5, 100), SimDuration::ns(50));
+        // 250 MHz -> 4 ns period (VariCore clock rate from the paper).
+        assert_eq!(SimDuration::cycles_at_mhz(1, 250), SimDuration::ns(4));
+        // 200 MHz multipliers on Virtex-II Pro -> 5 ns.
+        assert_eq!(SimDuration::cycles_at_mhz(1, 200), SimDuration::ns(5));
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t = SimTime::ZERO + SimDuration::ns(5);
+        assert_eq!(t.as_fs(), 5 * FS_PER_NS);
+        let t2 = t + SimDuration::ns(7);
+        assert_eq!(t2.since(t), SimDuration::ns(7));
+        assert_eq!(t2 - SimDuration::ns(12), SimTime::ZERO);
+        assert_eq!(SimTime::ZERO.saturating_since(t2), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "earlier is later")]
+    fn since_panics_on_inverted_order() {
+        let _ = SimTime::ZERO.since(SimTime(1));
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let d = SimDuration::ns(10) * 3;
+        assert_eq!(d, SimDuration::ns(30));
+        assert_eq!(d / 2, SimDuration::ns(15));
+        assert_eq!(d.saturating_sub(SimDuration::us(1)), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::ns(3).fraction_of(SimDuration::ns(12)),
+            0.25
+        );
+        assert_eq!(SimDuration::ns(3).fraction_of(SimDuration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn display_picks_reasonable_units() {
+        assert_eq!(SimDuration::ns(10).to_string(), "10ns");
+        assert_eq!(SimDuration::fs(1_500_000).to_string(), "1.500ns");
+        assert_eq!(SimDuration::ZERO.to_string(), "0fs");
+        assert_eq!(SimTime(FS_PER_S).to_string(), "1s");
+    }
+
+    #[test]
+    fn ordering_is_total_on_raw_fs() {
+        let mut v = vec![SimTime(5), SimTime(1), SimTime(3)];
+        v.sort();
+        assert_eq!(v, vec![SimTime(1), SimTime(3), SimTime(5)]);
+    }
+}

@@ -1,0 +1,237 @@
+//! VCD waveform tracing.
+//!
+//! The tracer records value changes of registered variables and renders a
+//! standard Value Change Dump file, the same artifact `sc_trace` produces in
+//! a SystemC flow. Traces are accumulated in memory and rendered on demand,
+//! which keeps the hot path allocation-light (a change record is three
+//! words).
+
+use std::fmt::Write as _;
+
+use crate::time::SimTime;
+
+/// A traced value sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceValue {
+    /// Single-bit value.
+    Bool(bool),
+    /// Multi-bit vector, LSB-justified in `value`.
+    Bits {
+        /// The bit pattern.
+        value: u64,
+        /// Vector width in bits (1..=64).
+        width: u8,
+    },
+    /// Real-valued sample.
+    Real(f64),
+}
+
+/// Types that can be sampled into a VCD trace.
+pub trait Traceable {
+    /// Sample the current value.
+    fn trace_value(&self) -> TraceValue;
+}
+
+impl Traceable for bool {
+    fn trace_value(&self) -> TraceValue {
+        TraceValue::Bool(*self)
+    }
+}
+
+macro_rules! impl_traceable_uint {
+    ($($t:ty => $w:expr),*) => {$(
+        impl Traceable for $t {
+            fn trace_value(&self) -> TraceValue {
+                TraceValue::Bits { value: *self as u64, width: $w }
+            }
+        }
+    )*};
+}
+impl_traceable_uint!(u8 => 8, u16 => 16, u32 => 32, u64 => 64, usize => 64);
+
+impl Traceable for i64 {
+    fn trace_value(&self) -> TraceValue {
+        TraceValue::Bits {
+            value: *self as u64,
+            width: 64,
+        }
+    }
+}
+
+impl Traceable for f64 {
+    fn trace_value(&self) -> TraceValue {
+        TraceValue::Real(*self)
+    }
+}
+
+struct VarDecl {
+    name: String,
+    width: u8,
+    real: bool,
+}
+
+/// In-memory VCD trace recorder.
+#[derive(Default)]
+pub struct VcdTracer {
+    vars: Vec<VarDecl>,
+    changes: Vec<(SimTime, u32, TraceValue)>,
+}
+
+impl VcdTracer {
+    /// New, empty tracer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a variable; returns its handle for [`VcdTracer::record`].
+    pub fn declare(&mut self, name: &str, sample: TraceValue) -> usize {
+        let (width, real) = match sample {
+            TraceValue::Bool(_) => (1, false),
+            TraceValue::Bits { width, .. } => (width, false),
+            TraceValue::Real(_) => (64, true),
+        };
+        self.vars.push(VarDecl {
+            name: sanitize(name),
+            width,
+            real,
+        });
+        let id = self.vars.len() - 1;
+        self.changes.push((SimTime::ZERO, id as u32, sample));
+        id
+    }
+
+    /// Record a value change at `time`.
+    pub fn record(&mut self, time: SimTime, var: usize, value: TraceValue) {
+        debug_assert!(var < self.vars.len(), "trace var out of range");
+        self.changes.push((time, var as u32, value));
+    }
+
+    /// Number of change records (including initial values).
+    pub fn change_count(&self) -> usize {
+        self.changes.len()
+    }
+
+    /// Number of declared variables.
+    pub fn var_count(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Render the accumulated trace as VCD text.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(256 + self.changes.len() * 16);
+        out.push_str("$timescale 1 fs $end\n$scope module top $end\n");
+        for (i, v) in self.vars.iter().enumerate() {
+            let code = id_code(i);
+            if v.real {
+                let _ = writeln!(out, "$var real 64 {code} {} $end", v.name);
+            } else {
+                let _ = writeln!(out, "$var wire {} {code} {} $end", v.width, v.name);
+            }
+        }
+        out.push_str("$upscope $end\n$enddefinitions $end\n");
+
+        let mut last_time: Option<SimTime> = None;
+        // Changes were recorded in simulation order, so a single pass with
+        // timestamp markers is already a valid VCD body.
+        for &(t, var, val) in &self.changes {
+            if last_time != Some(t) {
+                let _ = writeln!(out, "#{}", t.as_fs());
+                last_time = Some(t);
+            }
+            let code = id_code(var as usize);
+            match val {
+                TraceValue::Bool(b) => {
+                    let _ = writeln!(out, "{}{}", if b { '1' } else { '0' }, code);
+                }
+                TraceValue::Bits { value, width } => {
+                    let _ = writeln!(out, "b{:0w$b} {code}", value, w = width as usize);
+                }
+                TraceValue::Real(r) => {
+                    let _ = writeln!(out, "r{r} {code}");
+                }
+            }
+        }
+        out
+    }
+
+    /// Write the trace to a file.
+    pub fn write_to(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.render())
+    }
+}
+
+/// VCD identifier codes: printable ASCII 33..=126, little-endian base-94.
+fn id_code(mut idx: usize) -> String {
+    let mut s = String::new();
+    loop {
+        s.push((33 + (idx % 94)) as u8 as char);
+        idx /= 94;
+        if idx == 0 {
+            break;
+        }
+        idx -= 1;
+    }
+    s
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_whitespace() { '_' } else { c })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_codes_are_unique_and_printable() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..500 {
+            let c = id_code(i);
+            assert!(c.chars().all(|ch| (33..=126).contains(&(ch as u32))));
+            assert!(seen.insert(c), "duplicate code at {i}");
+        }
+    }
+
+    #[test]
+    fn renders_header_and_changes() {
+        let mut t = VcdTracer::new();
+        let clk = t.declare("clk", TraceValue::Bool(false));
+        let bus = t.declare("bus addr", TraceValue::Bits { value: 0, width: 16 });
+        t.record(SimTime(1000), clk, TraceValue::Bool(true));
+        t.record(SimTime(1000), bus, TraceValue::Bits { value: 0xAB, width: 16 });
+        t.record(SimTime(2000), clk, TraceValue::Bool(false));
+        let vcd = t.render();
+        assert!(vcd.contains("$timescale 1 fs $end"));
+        assert!(vcd.contains("$var wire 1 ! clk $end"));
+        assert!(vcd.contains("$var wire 16 \" bus_addr $end"));
+        assert!(vcd.contains("#1000"));
+        assert!(vcd.contains("b0000000010101011 \""));
+        assert!(vcd.contains("#2000"));
+        assert_eq!(t.var_count(), 2);
+        assert_eq!(t.change_count(), 5); // 2 initial + 3 recorded
+    }
+
+    #[test]
+    fn real_values_render_with_r_prefix() {
+        let mut t = VcdTracer::new();
+        let p = t.declare("power", TraceValue::Real(0.0));
+        t.record(SimTime(10), p, TraceValue::Real(2.5));
+        let vcd = t.render();
+        assert!(vcd.contains("$var real 64 ! power $end"));
+        assert!(vcd.contains("r2.5 !"));
+    }
+
+    #[test]
+    fn traceable_impls_sample_expected_widths() {
+        assert_eq!(true.trace_value(), TraceValue::Bool(true));
+        assert_eq!(7u8.trace_value(), TraceValue::Bits { value: 7, width: 8 });
+        assert_eq!(
+            0xFFFF_FFFF_FFFFu64.trace_value(),
+            TraceValue::Bits { value: 0xFFFF_FFFF_FFFF, width: 64 }
+        );
+        assert!(matches!((-1i64).trace_value(), TraceValue::Bits { width: 64, .. }));
+        assert!(matches!(1.5f64.trace_value(), TraceValue::Real(_)));
+    }
+}

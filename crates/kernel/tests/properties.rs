@@ -1,0 +1,208 @@
+//! Property-based tests of the kernel's core guarantees:
+//! deterministic total event order, two-phase signal semantics, FIFO
+//! conservation, and pause/resume equivalence.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use drcf_kernel::prelude::*;
+use proptest::prelude::*;
+
+/// Component that fires timers according to a plan and records the order.
+struct Plan {
+    plan: Vec<(u64, u64)>, // (delay ns, tag)
+    fired: Vec<(u64, u64)>, // (time fs, tag)
+}
+
+impl Component for Plan {
+    fn handle(&mut self, api: &mut Api<'_>, msg: Msg) {
+        match msg.kind {
+            MsgKind::Start => {
+                for &(d, tag) in &self.plan {
+                    api.timer_in(SimDuration::ns(d), tag);
+                }
+            }
+            MsgKind::Timer(tag) => self.fired.push((api.now().as_fs(), tag)),
+            _ => {}
+        }
+    }
+}
+
+proptest! {
+    /// Timers fire in nondecreasing time order, and equal-time timers fire
+    /// in the order they were scheduled.
+    #[test]
+    fn event_order_is_total(plan in proptest::collection::vec((0u64..100, 0u64..1000), 0..64)) {
+        let tagged: Vec<(u64, u64)> = plan.iter().enumerate()
+            .map(|(i, &(d, _))| (d, i as u64)).collect();
+        let mut sim = Simulator::new();
+        let id = sim.add("plan", Plan { plan: tagged.clone(), fired: vec![] });
+        prop_assert_eq!(sim.run(), StopReason::Quiescent);
+        let fired = &sim.get::<Plan>(id).fired;
+        prop_assert_eq!(fired.len(), tagged.len());
+        // Expected: stable sort by delay (insertion order breaks ties).
+        let mut expect = tagged.clone();
+        expect.sort_by_key(|&(d, _)| d);
+        for (f, e) in fired.iter().zip(&expect) {
+            prop_assert_eq!(f.0, e.0 * 1_000_000);
+            prop_assert_eq!(f.1, e.1);
+        }
+    }
+
+    /// Two identical simulations produce byte-identical firing traces.
+    #[test]
+    fn deterministic_replay(plan in proptest::collection::vec((0u64..50, 0u64..50), 0..40)) {
+        let run = |plan: &[(u64, u64)]| {
+            let mut sim = Simulator::new();
+            let id = sim.add("plan", Plan { plan: plan.to_vec(), fired: vec![] });
+            sim.run();
+            (sim.get::<Plan>(id).fired.clone(), sim.metrics())
+        };
+        prop_assert_eq!(run(&plan), run(&plan));
+    }
+
+    /// Within one delta, the last write wins and readers see the old value
+    /// until the update phase.
+    #[test]
+    fn signal_last_write_wins(writes in proptest::collection::vec(0u32..100, 1..16)) {
+        let mut sim = Simulator::new();
+        let sig = sim.add_signal("s", u32::MAX);
+        let writes2 = writes.clone();
+        let seen_during = Rc::new(RefCell::new(Vec::new()));
+        let sd = seen_during.clone();
+        sim.add("writer", FnComponent::new(move |api, msg| {
+            if let MsgKind::Start = msg.kind {
+                for &w in &writes2 {
+                    api.write(sig, w);
+                    sd.borrow_mut().push(api.read(sig));
+                }
+            }
+        }));
+        sim.run();
+        // During the evaluate phase every read sees the initial value.
+        prop_assert!(seen_during.borrow().iter().all(|&v| v == u32::MAX));
+        prop_assert_eq!(sim.signal_value(sig), *writes.last().unwrap());
+        // At most one change can result from one delta's writes.
+        prop_assert!(sim.signal_change_count(sig) <= 1);
+    }
+
+    /// FIFO conservation through the simulator: total written == total read
+    /// + resident, and reads preserve order.
+    #[test]
+    fn fifo_conservation(ops in proptest::collection::vec(any::<bool>(), 1..64),
+                         cap in 1usize..16) {
+        let mut sim = Simulator::new();
+        let fifo = sim.add_fifo::<u64>("f", cap);
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let g = got.clone();
+        let ops2 = ops.clone();
+        sim.add("driver", FnComponent::new(move |api, msg| match msg.kind {
+            MsgKind::Start => {
+                // One timer per op, spaced 1ns apart for determinism.
+                for (i, _) in ops2.iter().enumerate() {
+                    api.timer_in(SimDuration::ns(i as u64 + 1), i as u64);
+                }
+            }
+            MsgKind::Timer(i) => {
+                if ops2[i as usize] {
+                    let _ = api.fifo_try_put(fifo, i);
+                } else if let Some(v) = api.fifo_try_get(fifo) {
+                    g.borrow_mut().push(v);
+                }
+            }
+            _ => {}
+        }));
+        sim.run();
+        let (_, len, capacity, written, read, hwm) = sim.fifo_stats(fifo);
+        prop_assert_eq!(capacity, cap);
+        prop_assert_eq!(written, read + len as u64);
+        prop_assert!(hwm <= cap);
+        // Reads come out in insertion order (tags are increasing).
+        let got = got.borrow();
+        prop_assert!(got.windows(2).all(|w| w[0] < w[1]));
+        prop_assert_eq!(got.len() as u64, read);
+    }
+
+    /// Splitting a run at an arbitrary horizon and resuming produces the
+    /// same final state as a single uninterrupted run.
+    #[test]
+    fn pause_resume_equivalence(plan in proptest::collection::vec((1u64..100, 0u64..50), 1..32),
+                                split_ns in 0u64..120) {
+        let single = {
+            let mut sim = Simulator::new();
+            let id = sim.add("plan", Plan { plan: plan.clone(), fired: vec![] });
+            sim.run();
+            sim.get::<Plan>(id).fired.clone()
+        };
+        let paused = {
+            let mut sim = Simulator::new();
+            let id = sim.add("plan", Plan { plan: plan.clone(), fired: vec![] });
+            sim.run_until(SimTime::ZERO + SimDuration::ns(split_ns));
+            sim.run();
+            sim.get::<Plan>(id).fired.clone()
+        };
+        prop_assert_eq!(single, paused);
+    }
+
+    /// Obligation accounting: a component that begins N obligations and ends
+    /// M <= N of them deadlocks iff M < N.
+    #[test]
+    fn obligations_gate_deadlock(n in 1u64..8, m_frac in 0u64..=8) {
+        let m = (n * m_frac / 8).min(n);
+        let mut sim = Simulator::new();
+        sim.add("obl", FnComponent::new(move |api, msg| match msg.kind {
+            MsgKind::Start => {
+                for _ in 0..n { api.obligation_begin(); }
+                api.timer_in(SimDuration::ns(1), 0);
+            }
+            MsgKind::Timer(_) => {
+                for _ in 0..m { api.obligation_end(); }
+            }
+            _ => {}
+        }));
+        let reason = sim.run();
+        if m == n {
+            prop_assert_eq!(reason, StopReason::Quiescent);
+        } else {
+            prop_assert_eq!(reason, StopReason::Deadlock { pending: n - m });
+        }
+    }
+}
+
+/// Clock phase arithmetic: over any horizon, posedge count matches
+/// floor((horizon - offset) / period) + 1 when offset <= horizon.
+#[test]
+fn clock_edge_count_closed_form() {
+    for (period_ns, offset_ns, horizon_ns) in
+        [(10u64, 0u64, 95u64), (7, 3, 100), (4, 0, 4), (12, 20, 15)]
+    {
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock(
+            "clk",
+            SimDuration::ns(period_ns),
+            SimDuration::ns(period_ns) / 2,
+            SimDuration::ns(offset_ns),
+        );
+        let count = Rc::new(RefCell::new(0u64));
+        let c = count.clone();
+        sim.add(
+            "counter",
+            FnComponent::new(move |api, msg| match msg.kind {
+                MsgKind::Start => api.subscribe_clock(clk, Edge::Pos),
+                MsgKind::ClockEdge(_, Edge::Pos) => *c.borrow_mut() += 1,
+                _ => {}
+            }),
+        );
+        sim.run_until(SimTime::ZERO + SimDuration::ns(horizon_ns));
+        let expect = if offset_ns > horizon_ns {
+            0
+        } else {
+            (horizon_ns - offset_ns) / period_ns + 1
+        };
+        assert_eq!(
+            *count.borrow(),
+            expect,
+            "period={period_ns} offset={offset_ns} horizon={horizon_ns}"
+        );
+    }
+}

@@ -1,0 +1,424 @@
+//! Abstract processor model.
+//!
+//! The CPU executes a linear program of timed computation, bus accesses and
+//! status polling — the "software functionality" boxes of the paper's
+//! Fig. 1 architectures. It is deliberately instruction-set-agnostic: the
+//! system-level flow only needs the bus traffic and timing software
+//! generates, not its semantics.
+
+use drcf_bus::prelude::*;
+use drcf_kernel::prelude::*;
+
+/// One CPU program step.
+#[derive(Debug, Clone)]
+pub enum Instr {
+    /// Busy-compute locally for the given number of CPU cycles.
+    Compute(u64),
+    /// Burst-read `burst` words from `addr`; data lands in the read log.
+    Read {
+        /// Start address.
+        addr: Addr,
+        /// Words.
+        burst: usize,
+    },
+    /// Burst-write literal data to `addr`.
+    Write {
+        /// Start address.
+        addr: Addr,
+        /// Payload.
+        data: Vec<Word>,
+    },
+    /// Read `addr` until it equals `expect`, waiting `interval_cycles`
+    /// between attempts (device status polling).
+    Poll {
+        /// Polled address.
+        addr: Addr,
+        /// Value that terminates the poll.
+        expect: Word,
+        /// CPU cycles between polls.
+        interval_cycles: u64,
+    },
+    /// Sleep until a DMA completion notification ([`DmaDone`]) arrives —
+    /// interrupt-style synchronization with an offloaded transfer started
+    /// by writing `ctrl::START_IRQ` to the DMA's CTRL register.
+    WaitDmaIrq,
+}
+
+/// CPU parameters.
+#[derive(Debug, Clone)]
+pub struct CpuConfig {
+    /// Core clock, MHz.
+    pub clock_mhz: u64,
+    /// Bus priority of CPU transactions.
+    pub priority: u8,
+    /// Fixed issue cost per program step, CPU cycles (fetch/decode/loop
+    /// overhead).
+    pub issue_cycles: u64,
+    /// Additional CPU cycles per word marshalled by `Read`/`Write` steps
+    /// (load + store + pointer increment + loop branch of software data
+    /// movement — the cost DMA offload removes).
+    pub marshal_cycles_per_word: u64,
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        CpuConfig {
+            clock_mhz: 300, // the paper's PowerPC 405 runs at 300+ MHz
+            priority: 1,
+            issue_cycles: 2,
+            marshal_cycles_per_word: 4,
+        }
+    }
+}
+
+/// Execution statistics of one CPU.
+#[derive(Debug, Clone, Default)]
+pub struct CpuStats {
+    /// Instructions retired.
+    pub retired: u64,
+    /// Time spent in `Compute` steps.
+    pub compute_time: SimDuration,
+    /// Poll attempts issued.
+    pub polls: u64,
+}
+
+const TAG_COMPUTE_DONE: u64 = 1;
+const TAG_POLL_AGAIN: u64 = 2;
+const TAG_ISSUE_DONE: u64 = 3;
+
+enum CpuState {
+    Ready,
+    /// Paying the issue/marshalling cost of the instruction at `pc`.
+    Issuing,
+    Computing,
+    WaitingBus,
+    Polling { addr: Addr, expect: Word, interval_cycles: u64 },
+    /// Sleeping until a DMA completion message arrives.
+    WaitingIrq,
+    Finished,
+}
+
+/// The processor component.
+pub struct Cpu {
+    cfg: CpuConfig,
+    /// Master port to the system bus.
+    pub port: MasterPort,
+    program: Vec<Instr>,
+    pc: usize,
+    state: CpuState,
+    /// Data returned by `Read` steps, in program order.
+    pub read_log: Vec<(Addr, Vec<Word>)>,
+    /// When the program finished.
+    pub finished_at: Option<SimTime>,
+    /// DMA completion notifications received before the matching
+    /// `WaitDmaIrq` executed.
+    pending_irqs: u32,
+    /// Statistics.
+    pub stats: CpuStats,
+}
+
+impl Cpu {
+    /// New CPU mastering `bus`, running `program`.
+    pub fn new(cfg: CpuConfig, bus: ComponentId, program: Vec<Instr>) -> Self {
+        let priority = cfg.priority;
+        Cpu {
+            cfg,
+            port: MasterPort::new(bus, priority),
+            program,
+            pc: 0,
+            state: CpuState::Ready,
+            read_log: Vec::new(),
+            finished_at: None,
+            pending_irqs: 0,
+            stats: CpuStats::default(),
+        }
+    }
+
+    /// True once the whole program has retired.
+    pub fn is_finished(&self) -> bool {
+        matches!(self.state, CpuState::Finished)
+    }
+
+    fn cycles(&self, c: u64) -> SimDuration {
+        SimDuration::cycles_at_mhz(c, self.cfg.clock_mhz)
+    }
+
+    fn step(&mut self, api: &mut Api<'_>) {
+        let Some(instr) = self.program.get(self.pc) else {
+            self.state = CpuState::Finished;
+            self.finished_at = Some(api.now());
+            api.obligation_end();
+            return;
+        };
+        // Issue cost: fixed dispatch plus per-word marshalling for bus
+        // data movement.
+        let words = match instr {
+            Instr::Read { burst, .. } => *burst as u64,
+            Instr::Write { data, .. } => data.len() as u64,
+            _ => 0,
+        };
+        let cost = self.cfg.issue_cycles + self.cfg.marshal_cycles_per_word * words;
+        if cost > 0 {
+            self.state = CpuState::Issuing;
+            let d = self.cycles(cost);
+            api.timer_in(d, TAG_ISSUE_DONE);
+            return;
+        }
+        self.exec_current(api);
+    }
+
+    fn exec_current(&mut self, api: &mut Api<'_>) {
+        let Some(instr) = self.program.get(self.pc) else {
+            unreachable!("exec_current beyond program end");
+        };
+        match instr.clone() {
+            Instr::Compute(cycles) => {
+                self.pc += 1;
+                self.stats.retired += 1;
+                let d = self.cycles(cycles);
+                self.stats.compute_time += d;
+                self.state = CpuState::Computing;
+                api.timer_in(d, TAG_COMPUTE_DONE);
+            }
+            Instr::Read { addr, burst } => {
+                self.pc += 1;
+                self.stats.retired += 1;
+                self.state = CpuState::WaitingBus;
+                self.port.read(api, addr, burst);
+            }
+            Instr::Write { addr, data } => {
+                self.pc += 1;
+                self.stats.retired += 1;
+                self.state = CpuState::WaitingBus;
+                self.port.write(api, addr, data);
+            }
+            Instr::Poll {
+                addr,
+                expect,
+                interval_cycles,
+            } => {
+                // Retired when it completes, not per attempt.
+                self.state = CpuState::Polling {
+                    addr,
+                    expect,
+                    interval_cycles,
+                };
+                self.stats.polls += 1;
+                self.port.read(api, addr, 1);
+            }
+            Instr::WaitDmaIrq => {
+                if self.pending_irqs > 0 {
+                    self.pending_irqs -= 1;
+                    self.pc += 1;
+                    self.stats.retired += 1;
+                    self.state = CpuState::Ready;
+                    self.step(api);
+                } else {
+                    self.state = CpuState::WaitingIrq;
+                }
+            }
+        }
+    }
+
+    fn on_response(&mut self, api: &mut Api<'_>, resp: BusResponse) {
+        match &self.state {
+            CpuState::WaitingBus => {
+                if !resp.is_ok() {
+                    api.log(
+                        Severity::Error,
+                        format!("CPU transaction failed at {:#x}: {:?}", resp.addr, resp.status),
+                    );
+                }
+                if resp.op == BusOp::Read {
+                    self.read_log.push((resp.addr, resp.data));
+                }
+                self.state = CpuState::Ready;
+                self.step(api);
+            }
+            CpuState::Polling { expect, .. } => {
+                let done = resp.is_ok() && resp.data.first() == Some(expect);
+                if done {
+                    self.pc += 1;
+                    self.stats.retired += 1;
+                    self.state = CpuState::Ready;
+                    self.step(api);
+                } else {
+                    let CpuState::Polling { interval_cycles, .. } = self.state else {
+                        unreachable!()
+                    };
+                    let d = self.cycles(interval_cycles.max(1));
+                    api.timer_in(d, TAG_POLL_AGAIN);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+impl Component for Cpu {
+    fn handle(&mut self, api: &mut Api<'_>, msg: Msg) {
+        match msg.kind {
+            MsgKind::Start => {
+                api.obligation_begin();
+                self.step(api);
+            }
+            MsgKind::Timer(TAG_COMPUTE_DONE) => {
+                self.state = CpuState::Ready;
+                self.step(api);
+            }
+            MsgKind::Timer(TAG_ISSUE_DONE) => {
+                debug_assert!(matches!(self.state, CpuState::Issuing));
+                self.exec_current(api);
+            }
+            MsgKind::Timer(TAG_POLL_AGAIN) => {
+                if let CpuState::Polling { addr, .. } = self.state {
+                    self.stats.polls += 1;
+                    self.port.read(api, addr, 1);
+                }
+            }
+            _ => {
+                let msg = match self.port.take_response(api, msg) {
+                    Ok(resp) => {
+                        self.on_response(api, resp);
+                        return;
+                    }
+                    Err(m) => m,
+                };
+                if msg.user_ref::<DmaDone>().is_some() {
+                    if matches!(self.state, CpuState::WaitingIrq) {
+                        self.pc += 1;
+                        self.stats.retired += 1;
+                        self.state = CpuState::Ready;
+                        self.step(api);
+                    } else {
+                        self.pending_irqs += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drcf_bus::bus::{Bus, BusConfig};
+    use drcf_bus::map::AddressMap;
+    use drcf_bus::memory::{Memory, MemoryConfig};
+
+    fn system(program: Vec<Instr>) -> (Simulator, ComponentId) {
+        let mut sim = Simulator::new();
+        let mut map = AddressMap::new();
+        map.add(0x0, 0xFFF, 2).unwrap();
+        let cpu = sim.add("cpu", Cpu::new(CpuConfig::default(), 1, program));
+        sim.add("bus", Bus::new(BusConfig::default(), map));
+        sim.add(
+            "mem",
+            Memory::new(MemoryConfig {
+                size_words: 0x1000,
+                ..MemoryConfig::default()
+            }),
+        );
+        (sim, cpu)
+    }
+
+    #[test]
+    fn program_runs_to_completion() {
+        let (mut sim, cpu) = system(vec![
+            Instr::Compute(100),
+            Instr::Write {
+                addr: 0x10,
+                data: vec![1, 2, 3],
+            },
+            Instr::Read { addr: 0x10, burst: 3 },
+        ]);
+        assert_eq!(sim.run(), StopReason::Quiescent);
+        let c = sim.get::<Cpu>(cpu);
+        assert!(c.is_finished());
+        assert_eq!(c.stats.retired, 3);
+        assert_eq!(c.read_log.len(), 1);
+        assert_eq!(c.read_log[0].1, vec![1, 2, 3]);
+        assert!(c.finished_at.is_some());
+        // 100 cycles at 300 MHz = 333.33 ns of compute.
+        assert_eq!(c.stats.compute_time, SimDuration::cycles_at_mhz(100, 300));
+    }
+
+    #[test]
+    fn poll_waits_for_value() {
+        // Poll a location that a second master (here: preloaded memory)
+        // already satisfies vs one that is satisfied later. We preload and
+        // poll — single attempt.
+        let (mut sim, cpu) = system(vec![
+            Instr::Write { addr: 0x20, data: vec![7] },
+            Instr::Poll {
+                addr: 0x20,
+                expect: 7,
+                interval_cycles: 10,
+            },
+        ]);
+        assert_eq!(sim.run(), StopReason::Quiescent);
+        let c = sim.get::<Cpu>(cpu);
+        assert!(c.is_finished());
+        assert_eq!(c.stats.polls, 1);
+    }
+
+    #[test]
+    fn poll_retries_until_satisfied() {
+        // A helper component flips the flag after 2us.
+        let mut sim = Simulator::new();
+        let mut map = AddressMap::new();
+        map.add(0x0, 0xFFF, 2).unwrap();
+        let cpu = sim.add(
+            "cpu",
+            Cpu::new(
+                CpuConfig::default(),
+                1,
+                vec![Instr::Poll {
+                    addr: 0x30,
+                    expect: 1,
+                    interval_cycles: 50,
+                }],
+            ),
+        );
+        sim.add("bus", Bus::new(BusConfig::default(), map));
+        sim.add(
+            "mem",
+            Memory::new(MemoryConfig {
+                size_words: 0x1000,
+                ..MemoryConfig::default()
+            }),
+        );
+        sim.add(
+            "flipper",
+            FnComponent::new(|api, msg| match msg.kind {
+                MsgKind::Start => {
+                    api.obligation_begin();
+                    api.timer_in(SimDuration::us(2), 0);
+                }
+                MsgKind::Timer(_) => {
+                    // Write directly into the memory via a one-off port.
+                    let mut port = MasterPort::new(1, 5);
+                    port.write(api, 0x30, vec![1]);
+                    // This throwaway port leaks its obligation bookkeeping,
+                    // so balance it manually.
+                    api.obligation_end(); // for the port's own begin
+                    api.obligation_end(); // for ours at Start
+                }
+                _ => {}
+            }),
+        );
+        assert_eq!(sim.run(), StopReason::Quiescent);
+        let c = sim.get::<Cpu>(cpu);
+        assert!(c.is_finished());
+        assert!(c.stats.polls > 5, "polled {} times", c.stats.polls);
+        assert!(c.finished_at.unwrap() >= SimTime::ZERO + SimDuration::us(2));
+    }
+
+    #[test]
+    fn empty_program_finishes_immediately() {
+        let (mut sim, cpu) = system(vec![]);
+        assert_eq!(sim.run(), StopReason::Quiescent);
+        assert!(sim.get::<Cpu>(cpu).is_finished());
+        assert_eq!(sim.get::<Cpu>(cpu).stats.retired, 0);
+    }
+}

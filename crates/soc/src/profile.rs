@@ -1,0 +1,238 @@
+//! Profiling — the flow's partitioning input.
+//!
+//! The paper (§5, design flow): "The compiler tools and profiling
+//! information may be used to determine which parts of an application are
+//! most suitable for implementing with dynamically reconfigurable
+//! hardware. This is done in the partitioning phase of the design flow."
+//!
+//! Two profilers are provided:
+//!
+//! * [`asap_profile`] — analytic: an ASAP schedule of the task graph under
+//!   unlimited parallelism (each block still serializes its own tasks),
+//!   yielding per-block busy fractions **and pairwise temporal overlap**.
+//!   This is the spec-level profiling the partitioning rules consume.
+//! * [`measured_busy_fractions`] — measured: post-simulation busy
+//!   fractions of standalone accelerators.
+
+use drcf_bus::prelude::SlaveAdapter;
+use drcf_kernel::prelude::{SimDuration, SimTime};
+use drcf_transform::prelude::{BlockProfile, ProfileData};
+
+use crate::accelerator::KernelAccelerator;
+use crate::builder::BuiltSoc;
+use crate::tasks::{TaskGraph, TaskKind};
+use crate::workloads::Workload;
+
+/// Cycle estimate of one task for the analytic schedule, including data
+/// transfer (2 bus cycles per word, in and out) for hardware tasks.
+pub fn estimate_task_cycles(graph: &TaskGraph, id: usize, workload: &Workload) -> u64 {
+    match &graph.tasks[id].kind {
+        TaskKind::Software { cycles } => *cycles,
+        TaskKind::Hardware {
+            accel,
+            input_words,
+            ..
+        } => {
+            let kind = workload
+                .accels
+                .iter()
+                .find(|a| &a.name == accel)
+                .map(|a| &a.kind);
+            let compute = kind
+                .map(|k| k.compute_cycles(*input_words as u64))
+                .unwrap_or(*input_words as u64);
+            compute + 4 * *input_words as u64
+        }
+    }
+}
+
+/// One block's busy windows in the analytic schedule.
+#[derive(Debug, Clone, Default)]
+pub struct BlockWindows {
+    /// Block (accelerator) name.
+    pub name: String,
+    /// Busy intervals in schedule cycles, non-overlapping, sorted.
+    pub windows: Vec<(u64, u64)>,
+}
+
+impl BlockWindows {
+    /// Total busy cycles.
+    pub fn busy(&self) -> u64 {
+        self.windows.iter().map(|&(s, e)| e - s).sum()
+    }
+
+    /// Overlapping cycles with another block.
+    pub fn overlap_with(&self, other: &BlockWindows) -> u64 {
+        let mut total = 0;
+        for &(s0, e0) in &self.windows {
+            for &(s1, e1) in &other.windows {
+                let lo = s0.max(s1);
+                let hi = e0.min(e1);
+                if hi > lo {
+                    total += hi - lo;
+                }
+            }
+        }
+        total
+    }
+}
+
+/// ASAP-schedule the workload and derive per-block profiles.
+///
+/// Software tasks run on an unbounded CPU pool (they never constrain
+/// hardware concurrency); each hardware block serializes its own tasks.
+pub fn asap_profile(workload: &Workload) -> (ProfileData, u64) {
+    let graph = &workload.graph;
+    let order = graph
+        .topo_order()
+        .expect("workload graphs are acyclic by construction");
+    let mut finish = vec![0u64; graph.tasks.len()];
+    let mut block_free: Vec<(String, u64)> = Vec::new();
+    let mut windows: Vec<BlockWindows> = workload
+        .accels
+        .iter()
+        .map(|a| BlockWindows {
+            name: a.name.clone(),
+            windows: vec![],
+        })
+        .collect();
+
+    let mut makespan = 0u64;
+    for id in order {
+        let ready = graph.tasks[id]
+            .deps
+            .iter()
+            .map(|&d| finish[d])
+            .max()
+            .unwrap_or(0);
+        let dur = estimate_task_cycles(graph, id, workload);
+        let start = match &graph.tasks[id].kind {
+            TaskKind::Software { .. } => ready,
+            TaskKind::Hardware { accel, .. } => {
+                let free = block_free
+                    .iter()
+                    .find(|(n, _)| n == accel)
+                    .map(|&(_, t)| t)
+                    .unwrap_or(0);
+                ready.max(free)
+            }
+        };
+        let end = start + dur;
+        finish[id] = end;
+        makespan = makespan.max(end);
+        if let TaskKind::Hardware { accel, .. } = &graph.tasks[id].kind {
+            if let Some(e) = block_free.iter_mut().find(|(n, _)| n == accel) {
+                e.1 = end;
+            } else {
+                block_free.push((accel.clone(), end));
+            }
+            if let Some(w) = windows.iter_mut().find(|w| &w.name == accel) {
+                w.windows.push((start, end));
+            }
+        }
+    }
+
+    let makespan = makespan.max(1);
+    let blocks = workload
+        .accels
+        .iter()
+        .map(|a| {
+            let w = windows
+                .iter()
+                .find(|w| w.name == a.name)
+                .expect("window per accel");
+            BlockProfile {
+                instance: a.name.clone(),
+                busy_fraction: w.busy() as f64 / makespan as f64,
+                gate_count: a.kind.gate_count(),
+                change_prone: false,
+            }
+        })
+        .collect();
+    let mut overlap = Vec::new();
+    for i in 0..windows.len() {
+        for j in (i + 1)..windows.len() {
+            let o = windows[i].overlap_with(&windows[j]);
+            overlap.push((
+                windows[i].name.clone(),
+                windows[j].name.clone(),
+                o as f64 / makespan as f64,
+            ));
+        }
+    }
+    (ProfileData { blocks, overlap }, makespan)
+}
+
+/// Measured busy fractions of standalone accelerators after a run.
+pub fn measured_busy_fractions(soc: &BuiltSoc, now: SimTime) -> Vec<(String, f64)> {
+    let elapsed = now.since(SimTime::ZERO);
+    soc.standalone
+        .iter()
+        .map(|(name, id)| {
+            let adapter = soc
+                .sim
+                .get::<SlaveAdapter<KernelAccelerator>>(*id);
+            let busy: SimDuration = adapter.busy_time;
+            (name.clone(), busy.fraction_of(elapsed))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{build_soc, run_soc, SocSpec};
+    use crate::workloads::{video_pipeline, wireless_receiver};
+
+    #[test]
+    fn serial_pipeline_has_near_zero_overlap() {
+        let w = wireless_receiver(3, 64);
+        let (profile, makespan) = asap_profile(&w);
+        assert!(makespan > 0);
+        assert_eq!(profile.blocks.len(), 3);
+        for (a, b, f) in &profile.overlap {
+            assert!(
+                *f < 1e-9,
+                "serial chain blocks {a}/{b} must not overlap, got {f}"
+            );
+        }
+        for b in &profile.blocks {
+            assert!(b.busy_fraction > 0.0 && b.busy_fraction < 1.0, "{b:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_branches_show_overlap() {
+        // video pipeline: DCT and motion estimation depend on the same
+        // capture task and can run in parallel.
+        let w = video_pipeline(3, 64);
+        let (profile, _) = asap_profile(&w);
+        let dct_me = profile.overlap_of("dct", "motion_est");
+        assert!(dct_me > 0.0, "parallel branches must overlap");
+        let dct_aes = profile.overlap_of("dct", "aes");
+        assert!(dct_aes < 1e-9, "dependent stages must not overlap");
+    }
+
+    #[test]
+    fn busy_fractions_sum_to_at_most_schedule() {
+        let w = video_pipeline(2, 32);
+        let (profile, _) = asap_profile(&w);
+        for b in &profile.blocks {
+            assert!(b.busy_fraction <= 1.0);
+        }
+    }
+
+    #[test]
+    fn measured_profile_matches_standalone_blocks() {
+        let w = wireless_receiver(1, 32);
+        let soc = build_soc(&w, &SocSpec::default()).unwrap();
+        let (m, soc) = run_soc(soc);
+        assert!(m.ok);
+        let now = soc.sim.now();
+        let measured = measured_busy_fractions(&soc, now);
+        assert_eq!(measured.len(), 3);
+        for (name, f) in &measured {
+            assert!(*f > 0.0 && *f <= 1.0, "{name}: {f}");
+        }
+    }
+}

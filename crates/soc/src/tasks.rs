@@ -1,0 +1,433 @@
+//! Application task graphs and their compilation to CPU programs.
+//!
+//! The executable specification of the ADRIATIC flow (Fig. 3) is an
+//! application decomposed into dependent tasks, each mapped to software or
+//! to a hardware block. Compiling a mapped graph produces the bus-level
+//! control program the CPU model executes: write inputs, kick the block,
+//! poll its status, read results.
+
+use drcf_bus::prelude::Addr;
+
+use crate::accelerator::{regs, status};
+use crate::cpu::Instr;
+
+/// Task identifier within one graph.
+pub type TaskId = usize;
+
+/// What a task is mapped to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskKind {
+    /// Runs on the CPU for the given number of CPU cycles.
+    Software {
+        /// CPU cycles.
+        cycles: u64,
+    },
+    /// Runs on a named hardware block.
+    Hardware {
+        /// Accelerator instance name (resolved through bindings).
+        accel: String,
+        /// Input words transferred to the block.
+        input_words: usize,
+        /// Seed for deterministic input generation.
+        seed: u64,
+    },
+}
+
+/// One task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Task {
+    /// Human-readable name.
+    pub name: String,
+    /// Mapping.
+    pub kind: TaskKind,
+    /// Tasks that must complete first.
+    pub deps: Vec<TaskId>,
+}
+
+/// A dependency graph of tasks.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TaskGraph {
+    /// Tasks; ids are indices.
+    pub tasks: Vec<Task>,
+}
+
+impl TaskGraph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a task; returns its id.
+    pub fn add(&mut self, name: &str, kind: TaskKind, deps: Vec<TaskId>) -> TaskId {
+        for &d in &deps {
+            assert!(d < self.tasks.len(), "dependency {d} does not exist yet");
+        }
+        self.tasks.push(Task {
+            name: name.to_string(),
+            kind,
+            deps,
+        });
+        self.tasks.len() - 1
+    }
+
+    /// Topological order (Kahn); error when the graph has a cycle.
+    pub fn topo_order(&self) -> Result<Vec<TaskId>, String> {
+        let n = self.tasks.len();
+        let mut indeg = vec![0usize; n];
+        for (i, t) in self.tasks.iter().enumerate() {
+            for &d in &t.deps {
+                if d >= n {
+                    return Err(format!("dependency {d} out of range"));
+                }
+            }
+            indeg[i] = t.deps.len();
+        }
+        let mut ready: Vec<TaskId> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        let mut cursor = 0;
+        while cursor < ready.len() {
+            let t = ready[cursor];
+            cursor += 1;
+            order.push(t);
+            for (j, task) in self.tasks.iter().enumerate() {
+                if task.deps.contains(&t) {
+                    indeg[j] -= 1;
+                    if indeg[j] == 0 {
+                        ready.push(j);
+                    }
+                }
+            }
+        }
+        if order.len() == n {
+            Ok(order)
+        } else {
+            Err("task graph has a cycle".into())
+        }
+    }
+
+    /// Names of the distinct hardware blocks the graph uses.
+    pub fn hardware_blocks(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for t in &self.tasks {
+            if let TaskKind::Hardware { accel, .. } = &t.kind {
+                if !out.contains(accel) {
+                    out.push(accel.clone());
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Where a named accelerator lives on the bus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccelBinding {
+    /// Instance name used by tasks.
+    pub name: String,
+    /// Base address of its register map.
+    pub base: Addr,
+    /// Data-window capacity in words.
+    pub window_words: usize,
+}
+
+/// Deterministic input block for a hardware task.
+pub fn task_input(seed: u64, words: usize) -> Vec<u64> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    (0..words)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state & 0xFFFF
+        })
+        .collect()
+}
+
+/// Burst size used when streaming data windows.
+pub const DATA_BURST: usize = 16;
+
+/// How hardware-task input/output windows move between memory and the
+/// accelerators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CopyMode {
+    /// The CPU generates input data in registers and burst-writes it
+    /// straight into the accelerator window (the original model).
+    CpuDirect,
+    /// Input blocks live in system memory (pre-loaded at build time); the
+    /// CPU burst-reads them and burst-writes the accelerator window.
+    CpuViaMemory {
+        /// Staging buffer base address in memory.
+        staging_base: Addr,
+    },
+    /// Input blocks live in system memory; a DMA controller streams them
+    /// into the accelerator window while the CPU only programs registers
+    /// and polls completion (Fig. 1's DMA, put to work).
+    Dma {
+        /// DMA register block base.
+        dma_base: Addr,
+        /// Staging buffer base address in memory.
+        staging_base: Addr,
+    },
+}
+
+/// Compilation options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileOptions {
+    /// STATUS poll interval, CPU cycles.
+    pub poll_interval_cycles: u64,
+    /// Data-movement strategy.
+    pub copy: CopyMode,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            poll_interval_cycles: 50,
+            copy: CopyMode::CpuDirect,
+        }
+    }
+}
+
+/// Compile a mapped task graph into a CPU program (CPU-direct data
+/// movement; see [`compile_with`] for the other strategies).
+pub fn compile(
+    graph: &TaskGraph,
+    bindings: &[AccelBinding],
+    poll_interval_cycles: u64,
+) -> Result<Vec<Instr>, String> {
+    compile_with(
+        graph,
+        bindings,
+        &CompileOptions {
+            poll_interval_cycles,
+            copy: CopyMode::CpuDirect,
+        },
+    )
+    .map(|(prog, _)| prog)
+}
+
+/// A compiled program plus the `(address, data)` memory pre-loads the
+/// chosen [`CopyMode`] requires.
+pub type CompiledProgram = (Vec<Instr>, Vec<(Addr, Vec<u64>)>);
+
+/// Compile a mapped task graph into a CPU program plus the memory
+/// pre-loads the chosen [`CopyMode`] requires.
+///
+/// Hardware tasks expand to: move the input window in (per the copy mode),
+/// set LEN, kick CTRL, poll STATUS for DONE, reset STATUS, read the window
+/// back. Staging buffers are packed per task from `staging_base` so every
+/// task's input has a distinct, pre-loadable home.
+pub fn compile_with(
+    graph: &TaskGraph,
+    bindings: &[AccelBinding],
+    opts: &CompileOptions,
+) -> Result<CompiledProgram, String> {
+    let order = graph.topo_order()?;
+    let mut prog = Vec::new();
+    let mut preloads = Vec::new();
+    let mut staging_cursor = match &opts.copy {
+        CopyMode::CpuDirect => 0,
+        CopyMode::CpuViaMemory { staging_base } => *staging_base,
+        CopyMode::Dma { staging_base, .. } => *staging_base,
+    };
+    for id in order {
+        match &graph.tasks[id].kind {
+            TaskKind::Software { cycles } => prog.push(Instr::Compute(*cycles)),
+            TaskKind::Hardware {
+                accel,
+                input_words,
+                seed,
+            } => {
+                let b = bindings
+                    .iter()
+                    .find(|b| &b.name == accel)
+                    .ok_or_else(|| format!("no binding for accelerator '{accel}'"))?;
+                let words = (*input_words).min(b.window_words);
+                let data = task_input(*seed, words);
+
+                match &opts.copy {
+                    CopyMode::CpuDirect => {
+                        for (ci, chunk) in data.chunks(DATA_BURST).enumerate() {
+                            prog.push(Instr::Write {
+                                addr: b.base + regs::DATA + (ci * DATA_BURST) as u64,
+                                data: chunk.to_vec(),
+                            });
+                        }
+                    }
+                    CopyMode::CpuViaMemory { .. } => {
+                        let staging = staging_cursor;
+                        staging_cursor += words as u64;
+                        preloads.push((staging, data.clone()));
+                        // Read each burst from memory, then write it on.
+                        for ci in 0..words.div_ceil(DATA_BURST) {
+                            let start = (ci * DATA_BURST) as u64;
+                            let burst = DATA_BURST.min(words - ci * DATA_BURST);
+                            prog.push(Instr::Read {
+                                addr: staging + start,
+                                burst,
+                            });
+                            prog.push(Instr::Write {
+                                addr: b.base + regs::DATA + start,
+                                data: data[ci * DATA_BURST..ci * DATA_BURST + burst].to_vec(),
+                            });
+                        }
+                    }
+                    CopyMode::Dma { dma_base, .. } => {
+                        let staging = staging_cursor;
+                        staging_cursor += words as u64;
+                        preloads.push((staging, data.clone()));
+                        // Program SRC/DST/LEN, kick, poll DONE.
+                        prog.push(Instr::Write {
+                            addr: dma_base + crate::dma_regs::SRC,
+                            data: vec![staging],
+                        });
+                        prog.push(Instr::Write {
+                            addr: dma_base + crate::dma_regs::DST,
+                            data: vec![b.base + regs::DATA],
+                        });
+                        prog.push(Instr::Write {
+                            addr: dma_base + crate::dma_regs::LEN,
+                            data: vec![words as u64],
+                        });
+                        prog.push(Instr::Write {
+                            addr: dma_base + crate::dma_regs::CTRL,
+                            data: vec![drcf_bus::dma::ctrl::START_IRQ],
+                        });
+                        prog.push(Instr::WaitDmaIrq);
+                    }
+                }
+
+                prog.push(Instr::Write {
+                    addr: b.base + regs::LEN,
+                    data: vec![words as u64],
+                });
+                prog.push(Instr::Write {
+                    addr: b.base + regs::CTRL,
+                    data: vec![1],
+                });
+                prog.push(Instr::Poll {
+                    addr: b.base + regs::STATUS,
+                    expect: status::DONE,
+                    interval_cycles: opts.poll_interval_cycles,
+                });
+                // Reset status for the next invocation and read back.
+                prog.push(Instr::Write {
+                    addr: b.base + regs::STATUS,
+                    data: vec![status::IDLE],
+                });
+                for ci in 0..words.div_ceil(DATA_BURST) {
+                    let start = ci * DATA_BURST;
+                    let burst = DATA_BURST.min(words - start);
+                    prog.push(Instr::Read {
+                        addr: b.base + regs::DATA + start as u64,
+                        burst,
+                    });
+                }
+            }
+        }
+    }
+    Ok((prog, preloads))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hw(accel: &str, words: usize) -> TaskKind {
+        TaskKind::Hardware {
+            accel: accel.into(),
+            input_words: words,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn topo_order_respects_deps() {
+        let mut g = TaskGraph::new();
+        let a = g.add("a", TaskKind::Software { cycles: 10 }, vec![]);
+        let b = g.add("b", TaskKind::Software { cycles: 10 }, vec![a]);
+        let c = g.add("c", TaskKind::Software { cycles: 10 }, vec![a]);
+        let d = g.add("d", TaskKind::Software { cycles: 10 }, vec![b, c]);
+        let order = g.topo_order().unwrap();
+        let pos = |t: TaskId| order.iter().position(|&x| x == t).unwrap();
+        assert!(pos(a) < pos(b) && pos(a) < pos(c));
+        assert!(pos(b) < pos(d) && pos(c) < pos(d));
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut g = TaskGraph::new();
+        let a = g.add("a", TaskKind::Software { cycles: 1 }, vec![]);
+        let _b = g.add("b", TaskKind::Software { cycles: 1 }, vec![a]);
+        // Introduce a cycle manually.
+        g.tasks[0].deps.push(1);
+        assert!(g.topo_order().is_err());
+    }
+
+    #[test]
+    fn hardware_blocks_deduplicated_in_order() {
+        let mut g = TaskGraph::new();
+        g.add("t0", hw("fir", 8), vec![]);
+        g.add("t1", hw("fft", 8), vec![]);
+        g.add("t2", hw("fir", 8), vec![]);
+        assert_eq!(g.hardware_blocks(), vec!["fir".to_string(), "fft".to_string()]);
+    }
+
+    #[test]
+    fn task_input_is_deterministic_and_seed_sensitive() {
+        assert_eq!(task_input(1, 8), task_input(1, 8));
+        assert_ne!(task_input(1, 8), task_input(2, 8));
+        assert_eq!(task_input(1, 8).len(), 8);
+    }
+
+    #[test]
+    fn compile_expands_hardware_tasks() {
+        let mut g = TaskGraph::new();
+        g.add("pre", TaskKind::Software { cycles: 100 }, vec![]);
+        g.add("filter", hw("fir", 20), vec![0]);
+        let bindings = vec![AccelBinding {
+            name: "fir".into(),
+            base: 0x2000,
+            window_words: 64,
+        }];
+        let prog = compile(&g, &bindings, 20).unwrap();
+        // 1 compute + 2 data bursts (16 + 4) + LEN + CTRL + poll + status
+        // reset + 2 readbacks = 9.
+        assert_eq!(prog.len(), 9);
+        assert!(matches!(prog[0], Instr::Compute(100)));
+        assert!(matches!(
+            prog[3],
+            Instr::Write { addr, ref data } if addr == 0x2000 + regs::LEN && data == &vec![20]
+        ));
+        assert!(matches!(prog[5], Instr::Poll { expect, .. } if expect == status::DONE));
+    }
+
+    #[test]
+    fn compile_missing_binding_errors() {
+        let mut g = TaskGraph::new();
+        g.add("t", hw("ghost", 4), vec![]);
+        assert!(compile(&g, &[], 10).unwrap_err().contains("ghost"));
+    }
+
+    #[test]
+    fn oversized_input_clamped_to_window() {
+        let mut g = TaskGraph::new();
+        g.add("t", hw("fir", 1000), vec![]);
+        let bindings = vec![AccelBinding {
+            name: "fir".into(),
+            base: 0,
+            window_words: 32,
+        }];
+        let prog = compile(&g, &bindings, 10).unwrap();
+        let total_written: usize = prog
+            .iter()
+            .filter_map(|i| match i {
+                Instr::Write { addr, data } if *addr >= regs::DATA && *addr < 100 => {
+                    Some(data.len())
+                }
+                _ => None,
+            })
+            .sum();
+        assert_eq!(total_written, 32);
+    }
+}

@@ -1,0 +1,249 @@
+//! Workload library.
+//!
+//! The ADRIATIC project targeted reconfigurable wireless terminals; the
+//! paper's motivation (field upgrades, multi-standard operation, feature
+//! growth) is exercised here with three representative workloads:
+//!
+//! * a **wireless receiver** frame pipeline (FIR channel filter → FFT
+//!   demodulation → Viterbi decoding),
+//! * a **video pipeline** (DCT → motion estimation → AES link encryption),
+//! * a **multi-standard terminal** alternating between two standards whose
+//!   kernel sets differ — the reconfiguration-churn stress case.
+//!
+//! Each builder returns the task graph plus the accelerator set it needs;
+//! `builder::build_soc` assigns addresses and instantiates hardware.
+
+use crate::accelerator::KernelKind;
+use crate::tasks::{TaskGraph, TaskKind};
+
+/// An accelerator requirement of a workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccelReq {
+    /// Instance name referenced by tasks.
+    pub name: String,
+    /// Kernel.
+    pub kind: KernelKind,
+    /// Data window size in words.
+    pub window_words: usize,
+}
+
+/// A workload: its task graph and the hardware it assumes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    /// Descriptive name.
+    pub name: String,
+    /// The application.
+    pub graph: TaskGraph,
+    /// Required accelerators.
+    pub accels: Vec<AccelReq>,
+}
+
+fn hw(accel: &str, words: usize, seed: u64) -> TaskKind {
+    TaskKind::Hardware {
+        accel: accel.into(),
+        input_words: words,
+        seed,
+    }
+}
+
+/// Wireless receiver: per frame, SW sync → FIR → FFT → Viterbi → SW MAC.
+pub fn wireless_receiver(frames: usize, samples: usize) -> Workload {
+    let mut g = TaskGraph::new();
+    let mut prev_mac = None;
+    for f in 0..frames {
+        let seed = 1000 + f as u64;
+        let deps0 = prev_mac.map(|t| vec![t]).unwrap_or_default();
+        let sync = g.add(
+            &format!("sync{f}"),
+            TaskKind::Software { cycles: 2_000 },
+            deps0,
+        );
+        let fir = g.add(&format!("fir{f}"), hw("fir", samples, seed), vec![sync]);
+        let fft = g.add(&format!("fft{f}"), hw("fft", samples, seed + 1), vec![fir]);
+        let vit = g.add(
+            &format!("viterbi{f}"),
+            hw("viterbi", samples / 2, seed + 2),
+            vec![fft],
+        );
+        let mac = g.add(
+            &format!("mac{f}"),
+            TaskKind::Software { cycles: 4_000 },
+            vec![vit],
+        );
+        prev_mac = Some(mac);
+    }
+    Workload {
+        name: format!("wireless_receiver[{frames}x{samples}]"),
+        graph: g,
+        accels: vec![
+            AccelReq {
+                name: "fir".into(),
+                kind: KernelKind::Fir {
+                    taps: vec![3, -5, 9, 14, 9, -5, 3, 1],
+                },
+                window_words: samples.max(16),
+            },
+            AccelReq {
+                name: "fft".into(),
+                kind: KernelKind::Fft { points: samples.next_power_of_two() },
+                window_words: samples.max(16),
+            },
+            AccelReq {
+                name: "viterbi".into(),
+                kind: KernelKind::Viterbi,
+                window_words: (samples / 2).max(16),
+            },
+        ],
+    }
+}
+
+/// Video pipeline: per frame, SW capture → DCT → motion estimation → AES.
+pub fn video_pipeline(frames: usize, block_words: usize) -> Workload {
+    let mut g = TaskGraph::new();
+    let mut prev = None;
+    for f in 0..frames {
+        let seed = 5000 + f as u64;
+        let deps0 = prev.map(|t| vec![t]).unwrap_or_default();
+        let cap = g.add(
+            &format!("capture{f}"),
+            TaskKind::Software { cycles: 3_000 },
+            deps0,
+        );
+        let dct = g.add(&format!("dct{f}"), hw("dct", block_words, seed), vec![cap]);
+        let me = g.add(
+            &format!("motion{f}"),
+            hw("motion_est", block_words, seed + 1),
+            vec![cap],
+        );
+        let aes = g.add(
+            &format!("aes{f}"),
+            hw("aes", block_words, seed + 2),
+            vec![dct, me],
+        );
+        prev = Some(aes);
+    }
+    Workload {
+        name: format!("video_pipeline[{frames}x{block_words}]"),
+        graph: g,
+        accels: vec![
+            AccelReq {
+                name: "dct".into(),
+                kind: KernelKind::Dct,
+                window_words: block_words.max(16),
+            },
+            AccelReq {
+                name: "motion_est".into(),
+                kind: KernelKind::MotionEst { search_points: 16 },
+                window_words: block_words.max(16),
+            },
+            AccelReq {
+                name: "aes".into(),
+                kind: KernelKind::Aes { rounds: 10 },
+                window_words: block_words.max(16),
+            },
+        ],
+    }
+}
+
+/// Multi-standard terminal: alternates standard A (FIR+FFT) and standard B
+/// (DCT+AES) every `switch_every` frames — adjacent frames of different
+/// standards force context churn on a folded fabric.
+pub fn multi_standard(frames: usize, samples: usize, switch_every: usize) -> Workload {
+    assert!(switch_every > 0);
+    let mut g = TaskGraph::new();
+    let mut prev = None;
+    for f in 0..frames {
+        let seed = 9000 + f as u64;
+        let deps0: Vec<_> = prev.map(|t| vec![t]).unwrap_or_default();
+        let standard_a = (f / switch_every).is_multiple_of(2);
+        let pre = g.add(
+            &format!("pre{f}"),
+            TaskKind::Software { cycles: 1_500 },
+            deps0,
+        );
+        let last = if standard_a {
+            let t1 = g.add(&format!("a_fir{f}"), hw("std_a_fir", samples, seed), vec![pre]);
+            g.add(&format!("a_fft{f}"), hw("std_a_fft", samples, seed + 1), vec![t1])
+        } else {
+            let t1 = g.add(&format!("b_dct{f}"), hw("std_b_dct", samples, seed), vec![pre]);
+            g.add(&format!("b_aes{f}"), hw("std_b_aes", samples, seed + 1), vec![t1])
+        };
+        prev = Some(last);
+    }
+    Workload {
+        name: format!("multi_standard[{frames}x{samples}/{switch_every}]"),
+        graph: g,
+        accels: vec![
+            AccelReq {
+                name: "std_a_fir".into(),
+                kind: KernelKind::Fir {
+                    taps: vec![1, 4, 6, 4, 1],
+                },
+                window_words: samples.max(16),
+            },
+            AccelReq {
+                name: "std_a_fft".into(),
+                kind: KernelKind::Fft { points: samples.next_power_of_two() },
+                window_words: samples.max(16),
+            },
+            AccelReq {
+                name: "std_b_dct".into(),
+                kind: KernelKind::Dct,
+                window_words: samples.max(16),
+            },
+            AccelReq {
+                name: "std_b_aes".into(),
+                kind: KernelKind::Aes { rounds: 12 },
+                window_words: samples.max(16),
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wireless_receiver_shape() {
+        let w = wireless_receiver(3, 64);
+        assert_eq!(w.graph.tasks.len(), 3 * 5);
+        assert!(w.graph.topo_order().is_ok());
+        assert_eq!(w.accels.len(), 3);
+        assert_eq!(
+            w.graph.hardware_blocks(),
+            vec!["fir".to_string(), "fft".to_string(), "viterbi".to_string()]
+        );
+    }
+
+    #[test]
+    fn video_pipeline_has_parallel_branches() {
+        let w = video_pipeline(2, 64);
+        assert!(w.graph.topo_order().is_ok());
+        // DCT and motion estimation share a dependency (capture) but not on
+        // each other: both depend only on the capture task.
+        let dct = w.graph.tasks.iter().find(|t| t.name == "dct0").unwrap();
+        let me = w.graph.tasks.iter().find(|t| t.name == "motion0").unwrap();
+        assert_eq!(dct.deps, me.deps);
+    }
+
+    #[test]
+    fn multi_standard_alternates_blocks() {
+        let w = multi_standard(4, 32, 1);
+        assert!(w.graph.topo_order().is_ok());
+        let blocks = w.graph.hardware_blocks();
+        assert!(blocks.contains(&"std_a_fir".to_string()));
+        assert!(blocks.contains(&"std_b_aes".to_string()));
+        // Frame 0 uses standard A, frame 1 standard B.
+        assert!(w.graph.tasks.iter().any(|t| t.name == "a_fir0"));
+        assert!(w.graph.tasks.iter().any(|t| t.name == "b_dct1"));
+        assert!(!w.graph.tasks.iter().any(|t| t.name == "a_fir1"));
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        assert_eq!(wireless_receiver(2, 32), wireless_receiver(2, 32));
+        assert_eq!(video_pipeline(2, 32), video_pipeline(2, 32));
+        assert_eq!(multi_standard(2, 32, 1), multi_standard(2, 32, 1));
+    }
+}

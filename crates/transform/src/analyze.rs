@@ -1,0 +1,171 @@
+//! Phases 1 and 2 of the Fig. 4 methodology.
+//!
+//! * **Analysis of module** — for each candidate module, extract the ports
+//!   and the implemented interfaces "so that the DRCF component can
+//!   implement the same interfaces and ports".
+//! * **Analysis of module instance** — locate each instance's declaration,
+//!   constructor and port/interface bindings, "saved for later use".
+
+use crate::design::{AccelSpec, Design, InstanceDef, InterfaceDef, ModuleKind, PortDef};
+
+/// Everything phase 1 learns about one candidate module.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModuleAnalysis {
+    /// Module class name.
+    pub module: String,
+    /// Ports to replicate on the DRCF.
+    pub ports: Vec<PortDef>,
+    /// Interfaces the DRCF must implement.
+    pub interfaces: Vec<InterfaceDef>,
+    /// The accelerator behavior spec.
+    pub spec: AccelSpec,
+}
+
+/// Everything phase 2 learns about one candidate instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceAnalysis {
+    /// The instance as declared.
+    pub instance: InstanceDef,
+    /// Hierarchy path of the module instantiating it.
+    pub parent_path: Vec<String>,
+}
+
+/// Errors the analysis phases can raise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalyzeError {
+    /// Named module does not exist.
+    UnknownModule(String),
+    /// Named instance does not exist.
+    UnknownInstance(String),
+    /// The module is not an accelerator (only leaf accelerators can become
+    /// contexts).
+    NotAnAccelerator(String),
+}
+
+impl std::fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalyzeError::UnknownModule(m) => write!(f, "unknown module '{m}'"),
+            AnalyzeError::UnknownInstance(i) => write!(f, "unknown instance '{i}'"),
+            AnalyzeError::NotAnAccelerator(m) => {
+                write!(f, "module '{m}' is not a leaf accelerator")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalyzeError {}
+
+/// Phase 1: analyze one module.
+pub fn analyze_module(design: &Design, module: &str) -> Result<ModuleAnalysis, AnalyzeError> {
+    let m = design
+        .module(module)
+        .ok_or_else(|| AnalyzeError::UnknownModule(module.to_string()))?;
+    let spec = match &m.kind {
+        ModuleKind::Accelerator(s) => s.clone(),
+        _ => return Err(AnalyzeError::NotAnAccelerator(module.to_string())),
+    };
+    let interfaces = m
+        .implements
+        .iter()
+        .filter_map(|n| design.interface(n).cloned())
+        .collect();
+    Ok(ModuleAnalysis {
+        module: module.to_string(),
+        ports: m.ports.clone(),
+        interfaces,
+        spec,
+    })
+}
+
+/// Phase 2: analyze one instance by name, locating its enclosing
+/// hierarchical module.
+pub fn analyze_instance(design: &Design, inst: &str) -> Result<InstanceAnalysis, AnalyzeError> {
+    let parent_path = design
+        .top
+        .find_instance(inst)
+        .ok_or_else(|| AnalyzeError::UnknownInstance(inst.to_string()))?;
+    let parent = design
+        .top
+        .module_at(&parent_path)
+        .expect("path came from find_instance");
+    let instance = parent
+        .instances
+        .iter()
+        .find(|i| i.name == inst)
+        .expect("instance is in its parent")
+        .clone();
+    Ok(InstanceAnalysis {
+        instance,
+        parent_path,
+    })
+}
+
+/// Run both phases for a candidate set: module analyses (deduplicated by
+/// module) and instance analyses, in candidate order.
+pub fn analyze_candidates(
+    design: &Design,
+    candidates: &[&str],
+) -> Result<(Vec<ModuleAnalysis>, Vec<InstanceAnalysis>), AnalyzeError> {
+    let mut instances = Vec::with_capacity(candidates.len());
+    let mut modules: Vec<ModuleAnalysis> = Vec::new();
+    for &c in candidates {
+        let ia = analyze_instance(design, c)?;
+        if !modules.iter().any(|m| m.module == ia.instance.module) {
+            modules.push(analyze_module(design, &ia.instance.module)?);
+        }
+        instances.push(ia);
+    }
+    Ok((modules, instances))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::example_design;
+
+    #[test]
+    fn module_analysis_extracts_ports_and_interfaces() {
+        let d = example_design(2);
+        let a = analyze_module(&d, "hwacc0").unwrap();
+        assert_eq!(a.ports.len(), 2);
+        assert_eq!(a.interfaces.len(), 1);
+        assert_eq!(a.interfaces[0].name, "bus_slv_if");
+        assert_eq!(a.spec.low_addr, 0x2000);
+    }
+
+    #[test]
+    fn instance_analysis_locates_parent() {
+        let d = example_design(2);
+        let ia = analyze_instance(&d, "hwa1").unwrap();
+        assert_eq!(ia.parent_path, vec!["top".to_string()]);
+        assert_eq!(ia.instance.module, "hwacc1");
+        assert_eq!(ia.instance.bindings.len(), 2);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let d = example_design(1);
+        assert_eq!(
+            analyze_module(&d, "nope"),
+            Err(AnalyzeError::UnknownModule("nope".into()))
+        );
+        assert_eq!(
+            analyze_instance(&d, "ghost"),
+            Err(AnalyzeError::UnknownInstance("ghost".into()))
+        );
+        assert!(analyze_module(&d, "nope").unwrap_err().to_string().contains("nope"));
+    }
+
+    #[test]
+    fn candidate_analysis_dedups_modules() {
+        let mut d = example_design(1);
+        // Two instances of the same module.
+        let mut second = d.top.instances[0].clone();
+        second.name = "hwa0_bis".into();
+        d.top.instances.push(second);
+        let (mods, insts) = analyze_candidates(&d, &["hwa0", "hwa0_bis"]).unwrap();
+        assert_eq!(mods.len(), 1);
+        assert_eq!(insts.len(), 2);
+    }
+}

@@ -1,0 +1,257 @@
+//! Candidate selection — the §5.1 "rules of thumb".
+//!
+//! "There are some rules of a thumb that can be followed if circumstances
+//! prevent the use of compilation profiling software:
+//!
+//! * If the application has several roughly same sized hardware
+//!   accelerators that are not used in the same time or at their full
+//!   capacity, a dynamically reconfigurable block may be a more optimized
+//!   solution than a hardwired logic block.
+//! * If the application has some parts in which specification changes are
+//!   foreseeable, the implementation choice may be reconfigurable hardware.
+//! * If there are foreseeable plans for new generations of application,
+//!   the parts that will change should be implemented with reconfigurable
+//!   hardware."
+//!
+//! Given per-block profiling data (busy fractions and pairwise temporal
+//! overlap, produced by `drcf_soc::profile`), [`select_candidates`] turns
+//! those rules into candidate groups for the transformation.
+
+/// Profiling summary of one hardware block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockProfile {
+    /// Instance name in the design.
+    pub instance: String,
+    /// Fraction of the profiled run the block was busy, in [0, 1].
+    pub busy_fraction: f64,
+    /// Block area in equivalent gates.
+    pub gate_count: u64,
+    /// Rules 2/3: specification changes or next-generation changes are
+    /// foreseeable for this block.
+    pub change_prone: bool,
+}
+
+/// Profiling dataset: blocks plus their pairwise busy-time overlap
+/// fractions (fraction of the run both blocks were busy simultaneously).
+#[derive(Debug, Clone, Default)]
+pub struct ProfileData {
+    /// Per-block summaries.
+    pub blocks: Vec<BlockProfile>,
+    /// Symmetric overlap records `(a, b, fraction)`.
+    pub overlap: Vec<(String, String, f64)>,
+}
+
+impl ProfileData {
+    /// Pairwise overlap lookup (0.0 when unrecorded).
+    pub fn overlap_of(&self, a: &str, b: &str) -> f64 {
+        self.overlap
+            .iter()
+            .find(|(x, y, _)| (x == a && y == b) || (x == b && y == a))
+            .map(|&(_, _, f)| f)
+            .unwrap_or(0.0)
+    }
+}
+
+/// Thresholds parameterizing the rules.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectionRules {
+    /// "not used in the same time": maximum tolerated pairwise overlap.
+    pub max_overlap: f64,
+    /// "roughly same sized": maximum gate-count ratio within a group.
+    pub max_size_ratio: f64,
+    /// "nor at their full capacity": maximum busy fraction.
+    pub max_utilization: f64,
+    /// Minimum group size worth a DRCF (a single context is never
+    /// reconfigured).
+    pub min_group: usize,
+}
+
+impl Default for SelectionRules {
+    fn default() -> Self {
+        SelectionRules {
+            max_overlap: 0.05,
+            max_size_ratio: 4.0,
+            max_utilization: 0.5,
+            min_group: 2,
+        }
+    }
+}
+
+/// A proposed candidate group with the rule evidence that selected it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateGroup {
+    /// Instance names to fold into one DRCF.
+    pub instances: Vec<String>,
+    /// Why: human-readable rule trace.
+    pub rationale: String,
+}
+
+/// Apply the §5.1 rules and propose candidate groups.
+///
+/// Greedy grouping: blocks are considered in decreasing gate count; a block
+/// joins a group when its size stays within `max_size_ratio` of every
+/// member, its overlap with every member is at most `max_overlap`, and its
+/// utilization is below `max_utilization`. Change-prone blocks (rules 2/3)
+/// are admitted regardless of utilization and, if they fit no group, are
+/// reported as singleton groups so the designer sees them.
+pub fn select_candidates(profile: &ProfileData, rules: &SelectionRules) -> Vec<CandidateGroup> {
+    let mut order: Vec<&BlockProfile> = profile.blocks.iter().collect();
+    order.sort_by(|a, b| {
+        b.gate_count
+            .cmp(&a.gate_count)
+            .then_with(|| a.instance.cmp(&b.instance))
+    });
+
+    let mut groups: Vec<Vec<&BlockProfile>> = Vec::new();
+    for b in order {
+        let eligible = b.change_prone || b.busy_fraction <= rules.max_utilization;
+        if !eligible {
+            continue;
+        }
+        let mut placed = false;
+        for g in &mut groups {
+            let size_ok = g.iter().all(|m| {
+                let (lo, hi) = if m.gate_count < b.gate_count {
+                    (m.gate_count, b.gate_count)
+                } else {
+                    (b.gate_count, m.gate_count)
+                };
+                lo > 0 && (hi as f64 / lo as f64) <= rules.max_size_ratio
+            });
+            let overlap_ok = g
+                .iter()
+                .all(|m| profile.overlap_of(&m.instance, &b.instance) <= rules.max_overlap);
+            if size_ok && overlap_ok {
+                g.push(b);
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            groups.push(vec![b]);
+        }
+    }
+
+    groups
+        .into_iter()
+        .filter(|g| g.len() >= rules.min_group || g.iter().any(|b| b.change_prone))
+        .map(|g| {
+            let instances: Vec<String> = g.iter().map(|b| b.instance.clone()).collect();
+            let change = g.iter().filter(|b| b.change_prone).count();
+            let max_util = g
+                .iter()
+                .map(|b| b.busy_fraction)
+                .fold(0.0f64, f64::max);
+            let rationale = format!(
+                "{} block(s), peak utilization {:.0}%, {} change-prone; sizes {:?} gates",
+                g.len(),
+                max_util * 100.0,
+                change,
+                g.iter().map(|b| b.gate_count).collect::<Vec<_>>()
+            );
+            CandidateGroup {
+                instances,
+                rationale,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(name: &str, busy: f64, gates: u64) -> BlockProfile {
+        BlockProfile {
+            instance: name.into(),
+            busy_fraction: busy,
+            gate_count: gates,
+            change_prone: false,
+        }
+    }
+
+    #[test]
+    fn similar_sized_non_overlapping_blocks_group() {
+        let profile = ProfileData {
+            blocks: vec![
+                block("fir", 0.2, 10_000),
+                block("fft", 0.25, 12_000),
+                block("vit", 0.15, 11_000),
+            ],
+            overlap: vec![
+                ("fir".into(), "fft".into(), 0.01),
+                ("fir".into(), "vit".into(), 0.0),
+                ("fft".into(), "vit".into(), 0.02),
+            ],
+        };
+        let groups = select_candidates(&profile, &SelectionRules::default());
+        assert_eq!(groups.len(), 1);
+        let mut members = groups[0].instances.clone();
+        members.sort();
+        assert_eq!(members, vec!["fft", "fir", "vit"]);
+        assert!(groups[0].rationale.contains("3 block(s)"));
+    }
+
+    #[test]
+    fn concurrent_blocks_do_not_group() {
+        let profile = ProfileData {
+            blocks: vec![block("a", 0.3, 10_000), block("b", 0.3, 10_000)],
+            overlap: vec![("a".into(), "b".into(), 0.3)], // heavily concurrent
+        };
+        let groups = select_candidates(&profile, &SelectionRules::default());
+        assert!(groups.is_empty(), "{groups:?}");
+    }
+
+    #[test]
+    fn size_mismatch_splits_groups() {
+        let profile = ProfileData {
+            blocks: vec![
+                block("tiny", 0.1, 1_000),
+                block("huge", 0.1, 100_000),
+                block("tiny2", 0.1, 1_500),
+            ],
+            overlap: vec![],
+        };
+        let groups = select_candidates(&profile, &SelectionRules::default());
+        // tiny + tiny2 group; huge is alone and dropped.
+        assert_eq!(groups.len(), 1);
+        let mut m = groups[0].instances.clone();
+        m.sort();
+        assert_eq!(m, vec!["tiny", "tiny2"]);
+    }
+
+    #[test]
+    fn busy_blocks_are_ineligible() {
+        let profile = ProfileData {
+            blocks: vec![block("hot", 0.9, 10_000), block("cool", 0.1, 10_000)],
+            overlap: vec![],
+        };
+        let groups = select_candidates(&profile, &SelectionRules::default());
+        assert!(groups.is_empty(), "cool alone is below min_group");
+    }
+
+    #[test]
+    fn change_prone_blocks_survive_alone_and_despite_utilization() {
+        let mut hot = block("proto", 0.9, 10_000);
+        hot.change_prone = true;
+        let profile = ProfileData {
+            blocks: vec![hot],
+            overlap: vec![],
+        };
+        let groups = select_candidates(&profile, &SelectionRules::default());
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].instances, vec!["proto"]);
+        assert!(groups[0].rationale.contains("1 change-prone"));
+    }
+
+    #[test]
+    fn overlap_lookup_is_symmetric_and_defaults_zero() {
+        let p = ProfileData {
+            blocks: vec![],
+            overlap: vec![("a".into(), "b".into(), 0.4)],
+        };
+        assert_eq!(p.overlap_of("a", "b"), 0.4);
+        assert_eq!(p.overlap_of("b", "a"), 0.4);
+        assert_eq!(p.overlap_of("a", "c"), 0.0);
+    }
+}

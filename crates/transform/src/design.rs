@@ -1,0 +1,472 @@
+//! The design intermediate representation.
+//!
+//! The paper's tool flow operates on SystemC source: it analyzes module
+//! classes (ports + implemented interfaces), then instances (declaration,
+//! constructor, bindings), then rewrites the enclosing hierarchical module.
+//! This IR captures exactly the information those analyses extract, so the
+//! four-phase transformation of Fig. 4 can run over it mechanically — the
+//! paper's own transformations "are done by hand according to
+//! specification"; automating them over an IR is the tooling the ADRIATIC
+//! project planned.
+
+use std::collections::BTreeMap;
+
+/// One interface method, e.g. `bool read(sc_uint<ADDW> add, sc_int<DATAW>*)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MethodSig {
+    /// Method name (`read`, `get_low_add`, ...).
+    pub name: String,
+    /// Rendered signature for code emission.
+    pub signature: String,
+}
+
+impl MethodSig {
+    /// Shorthand constructor.
+    pub fn new(name: &str, signature: &str) -> Self {
+        MethodSig {
+            name: name.into(),
+            signature: signature.into(),
+        }
+    }
+}
+
+/// An `sc_interface` definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterfaceDef {
+    /// Interface name, e.g. `bus_slv_if`.
+    pub name: String,
+    /// Methods the interface declares.
+    pub methods: Vec<MethodSig>,
+}
+
+impl InterfaceDef {
+    /// The paper's bus slave interface, with the two address-range methods
+    /// limitation 2 requires.
+    pub fn bus_slv_if() -> Self {
+        InterfaceDef {
+            name: "bus_slv_if".into(),
+            methods: vec![
+                MethodSig::new("get_low_add", "virtual sc_uint<ADDW> get_low_add()=0"),
+                MethodSig::new("get_high_add", "virtual sc_uint<ADDW> get_high_add()=0"),
+                MethodSig::new(
+                    "read",
+                    "virtual bool read(sc_uint<ADDW> add, sc_int<DATAW> *data)=0",
+                ),
+                MethodSig::new(
+                    "write",
+                    "virtual bool write(sc_uint<ADDW> add, sc_int<DATAW> *data)=0",
+                ),
+            ],
+        }
+    }
+
+    /// Does the interface expose the address-range methods (`get_low_add`
+    /// and `get_high_add`)?
+    pub fn has_address_range_methods(&self) -> bool {
+        let has = |n: &str| self.methods.iter().any(|m| m.name == n);
+        has("get_low_add") && has("get_high_add")
+    }
+}
+
+/// Port direction/kind on a module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PortKind {
+    /// `sc_in_clk clk`.
+    ClockIn,
+    /// `sc_port<IF>` master port bound to a channel implementing `IF`.
+    Master {
+        /// Interface the port expects.
+        iface: String,
+    },
+}
+
+/// A module port.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortDef {
+    /// Port name (`clk`, `mst_port`).
+    pub name: String,
+    /// Kind.
+    pub kind: PortKind,
+}
+
+/// Behavioral specification of a leaf accelerator module — enough to
+/// elaborate a functional + timed model of it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccelSpec {
+    /// Lowest interface address (word units).
+    pub low_addr: u64,
+    /// Claimed words.
+    pub addr_words: u64,
+    /// Processing cycles per accessed word.
+    pub access_cycles: u64,
+    /// Factory key selecting the functional model ("regfile" is built in;
+    /// the SoC library registers richer kernels).
+    pub kind: String,
+    /// Area in equivalent gates (drives reconfiguration parameters).
+    pub gate_count: u64,
+}
+
+/// Resolved per-context reconfiguration parameters stored in a generated
+/// DRCF module (mirrors `drcf_core::context::ContextParams`, kept as plain
+/// data so the IR stays serializable/comparable).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContextParamsSpec {
+    /// Configuration image address.
+    pub config_addr: u64,
+    /// Configuration image size, words.
+    pub config_size_words: u64,
+    /// Extra reconfiguration delay, femtoseconds.
+    pub extra_reconfig_delay_fs: u64,
+    /// Scheduler slots occupied.
+    pub slots_needed: usize,
+    /// Active power, mW.
+    pub active_power_mw: f64,
+}
+
+/// Specification of a generated DRCF module.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DrcfModuleSpec {
+    /// Module names of the folded candidates, in order.
+    pub context_modules: Vec<String>,
+    /// Resolved reconfiguration parameters, aligned with
+    /// `context_modules`.
+    pub context_params: Vec<ContextParamsSpec>,
+    /// Scheduler slots on the fabric.
+    pub slots: usize,
+    /// Background loading enabled?
+    pub overlap_load_exec: bool,
+    /// Words per configuration bus burst.
+    pub config_burst: usize,
+    /// Fabric clock, MHz.
+    pub clock_mhz: u64,
+}
+
+/// What a module is.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModuleKind {
+    /// A leaf hardware accelerator.
+    Accelerator(AccelSpec),
+    /// A generated dynamically reconfigurable fabric.
+    Drcf(DrcfModuleSpec),
+}
+
+/// A module class definition (≈ `SC_MODULE`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModuleDef {
+    /// Class name (`hwacc`).
+    pub name: String,
+    /// Ports.
+    pub ports: Vec<PortDef>,
+    /// Implemented interface names.
+    pub implements: Vec<String>,
+    /// Behavior.
+    pub kind: ModuleKind,
+}
+
+/// A port-to-channel binding on an instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Binding {
+    /// Port name on the module.
+    pub port: String,
+    /// Channel name in the enclosing hierarchy (`clk`, `system_bus`).
+    pub channel: String,
+}
+
+/// One instantiation of a module inside a hierarchical module.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceDef {
+    /// Instance name (`hwa`).
+    pub name: String,
+    /// Module class name.
+    pub module: String,
+    /// Constructor arguments, as (name, value) pairs (`HWA_START`, ...).
+    pub ctor_args: Vec<(String, u64)>,
+    /// Port bindings.
+    pub bindings: Vec<Binding>,
+}
+
+/// A hierarchical module: instances plus nested hierarchical children.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HierModule {
+    /// Name (`top`).
+    pub name: String,
+    /// Leaf instances at this level.
+    pub instances: Vec<InstanceDef>,
+    /// Nested hierarchical modules.
+    pub children: Vec<HierModule>,
+}
+
+impl HierModule {
+    /// Depth-first search for the hierarchical module containing an
+    /// instance named `inst`; returns the path of hierarchy names.
+    pub fn find_instance(&self, inst: &str) -> Option<Vec<String>> {
+        if self.instances.iter().any(|i| i.name == inst) {
+            return Some(vec![self.name.clone()]);
+        }
+        for c in &self.children {
+            if let Some(mut path) = c.find_instance(inst) {
+                path.insert(0, self.name.clone());
+                return Some(path);
+            }
+        }
+        None
+    }
+
+    /// Mutable access to the hierarchical module at `path` (starting with
+    /// this module's own name).
+    pub fn module_at_mut(&mut self, path: &[String]) -> Option<&mut HierModule> {
+        if path.first().map(String::as_str) != Some(self.name.as_str()) {
+            return None;
+        }
+        if path.len() == 1 {
+            return Some(self);
+        }
+        for c in &mut self.children {
+            if let Some(m) = c.module_at_mut(&path[1..]) {
+                return Some(m);
+            }
+        }
+        None
+    }
+
+    /// Immutable counterpart of [`HierModule::module_at_mut`].
+    pub fn module_at(&self, path: &[String]) -> Option<&HierModule> {
+        if path.first().map(String::as_str) != Some(self.name.as_str()) {
+            return None;
+        }
+        if path.len() == 1 {
+            return Some(self);
+        }
+        for c in &self.children {
+            if let Some(m) = c.module_at(&path[1..]) {
+                return Some(m);
+            }
+        }
+        None
+    }
+
+    /// All instances in this subtree, depth-first.
+    pub fn all_instances(&self) -> Vec<&InstanceDef> {
+        let mut v: Vec<&InstanceDef> = self.instances.iter().collect();
+        for c in &self.children {
+            v.extend(c.all_instances());
+        }
+        v
+    }
+}
+
+/// A complete design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Design {
+    /// Design name.
+    pub name: String,
+    /// Interface definitions, by name.
+    pub interfaces: Vec<InterfaceDef>,
+    /// Module class definitions, by name.
+    pub modules: Vec<ModuleDef>,
+    /// Hierarchy root.
+    pub top: HierModule,
+}
+
+impl Design {
+    /// Look up an interface.
+    pub fn interface(&self, name: &str) -> Option<&InterfaceDef> {
+        self.interfaces.iter().find(|i| i.name == name)
+    }
+
+    /// Look up a module class.
+    pub fn module(&self, name: &str) -> Option<&ModuleDef> {
+        self.modules.iter().find(|m| m.name == name)
+    }
+
+    /// Look up an instance anywhere in the hierarchy.
+    pub fn instance(&self, name: &str) -> Option<&InstanceDef> {
+        self.top
+            .all_instances()
+            .into_iter()
+            .find(|i| i.name == name)
+    }
+
+    /// Structural sanity: every instance refers to a known module, every
+    /// implemented interface exists, instance names are unique.
+    pub fn check(&self) -> Result<(), String> {
+        let mut seen = BTreeMap::new();
+        for inst in self.top.all_instances() {
+            if self.module(&inst.module).is_none() {
+                return Err(format!(
+                    "instance '{}' refers to unknown module '{}'",
+                    inst.name, inst.module
+                ));
+            }
+            if let Some(prev) = seen.insert(inst.name.clone(), &inst.module) {
+                return Err(format!(
+                    "duplicate instance name '{}' (modules '{}' and '{prev}')",
+                    inst.name, inst.module
+                ));
+            }
+        }
+        for m in &self.modules {
+            for i in &m.implements {
+                if self.interface(i).is_none() {
+                    return Err(format!(
+                        "module '{}' implements unknown interface '{i}'",
+                        m.name
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Build the paper's running example: a `top` module with `hwacc`
+/// instances on a bus (§5.2's listings), parameterized by the number of
+/// accelerators.
+pub fn example_design(n_accelerators: usize) -> Design {
+    let mut modules = Vec::new();
+    let mut instances = Vec::new();
+    for i in 0..n_accelerators {
+        let module_name = format!("hwacc{i}");
+        let low = 0x2000 + (i as u64) * 0x100;
+        modules.push(ModuleDef {
+            name: module_name.clone(),
+            ports: vec![
+                PortDef {
+                    name: "clk".into(),
+                    kind: PortKind::ClockIn,
+                },
+                PortDef {
+                    name: "mst_port".into(),
+                    kind: PortKind::Master {
+                        iface: "bus_mst_if".into(),
+                    },
+                },
+            ],
+            implements: vec!["bus_slv_if".into()],
+            kind: ModuleKind::Accelerator(AccelSpec {
+                low_addr: low,
+                addr_words: 16,
+                access_cycles: 2,
+                kind: "regfile".into(),
+                gate_count: 10_000 + 2_000 * i as u64,
+            }),
+        });
+        instances.push(InstanceDef {
+            name: format!("hwa{i}"),
+            module: module_name,
+            ctor_args: vec![
+                (format!("HWA{i}_START"), low),
+                (format!("HWA{i}_END"), low + 15),
+            ],
+            bindings: vec![
+                Binding {
+                    port: "clk".into(),
+                    channel: "clk".into(),
+                },
+                Binding {
+                    port: "mst_port".into(),
+                    channel: "system_bus".into(),
+                },
+            ],
+        });
+    }
+    Design {
+        name: "adriatic_example".into(),
+        interfaces: vec![
+            InterfaceDef::bus_slv_if(),
+            InterfaceDef {
+                name: "bus_mst_if".into(),
+                methods: vec![
+                    MethodSig::new(
+                        "read",
+                        "virtual bool read(sc_uint<ADDW> add, sc_int<DATAW> *data)=0",
+                    ),
+                    MethodSig::new(
+                        "write",
+                        "virtual bool write(sc_uint<ADDW> add, sc_int<DATAW> *data)=0",
+                    ),
+                ],
+            },
+        ],
+        modules,
+        top: HierModule {
+            name: "top".into(),
+            instances,
+            children: vec![],
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_design_is_well_formed() {
+        let d = example_design(3);
+        assert!(d.check().is_ok());
+        assert_eq!(d.modules.len(), 3);
+        assert_eq!(d.top.instances.len(), 3);
+        assert!(d.interface("bus_slv_if").is_some());
+        assert!(d.instance("hwa1").is_some());
+        assert!(d.instance("nope").is_none());
+    }
+
+    #[test]
+    fn bus_slv_if_has_range_methods() {
+        assert!(InterfaceDef::bus_slv_if().has_address_range_methods());
+        let partial = InterfaceDef {
+            name: "half".into(),
+            methods: vec![MethodSig::new("get_low_add", "...")],
+        };
+        assert!(!partial.has_address_range_methods());
+    }
+
+    #[test]
+    fn hierarchy_navigation() {
+        let mut d = example_design(1);
+        d.top.children.push(HierModule {
+            name: "sub".into(),
+            instances: vec![InstanceDef {
+                name: "deep".into(),
+                module: "hwacc0".into(),
+                ctor_args: vec![],
+                bindings: vec![],
+            }],
+            children: vec![],
+        });
+        assert_eq!(
+            d.top.find_instance("hwa0"),
+            Some(vec!["top".to_string()])
+        );
+        assert_eq!(
+            d.top.find_instance("deep"),
+            Some(vec!["top".to_string(), "sub".to_string()])
+        );
+        assert_eq!(d.top.find_instance("missing"), None);
+        let path = vec!["top".to_string(), "sub".to_string()];
+        assert_eq!(d.top.module_at(&path).unwrap().name, "sub");
+        assert!(d.top.module_at_mut(&path).is_some());
+        assert_eq!(d.top.all_instances().len(), 2);
+    }
+
+    #[test]
+    fn check_catches_dangling_references() {
+        let mut d = example_design(1);
+        d.top.instances.push(InstanceDef {
+            name: "ghost".into(),
+            module: "phantom".into(),
+            ctor_args: vec![],
+            bindings: vec![],
+        });
+        assert!(d.check().is_err());
+
+        let mut d2 = example_design(1);
+        d2.modules[0].implements.push("mystery_if".into());
+        assert!(d2.check().is_err());
+
+        let mut d3 = example_design(2);
+        d3.top.instances[1].name = d3.top.instances[0].name.clone();
+        assert!(d3.check().is_err());
+    }
+}

@@ -1,0 +1,447 @@
+//! Elaboration: turn a [`Design`] into a runnable simulation.
+//!
+//! This is the bridge between the methodology's front end (the IR and the
+//! Fig. 4 transformation) and the system-level simulation of the ADRIATIC
+//! flow: accelerator modules become [`SlaveAdapter`]s, generated DRCF
+//! modules become [`Drcf`] fabrics, a shared bus and a memory are
+//! instantiated, and caller-supplied masters (CPU models, testbenches)
+//! drive the system. Running the elaborated original and transformed
+//! designs against the same master is exactly experiment E4.
+
+use std::collections::HashMap;
+
+use drcf_bus::prelude::*;
+use drcf_core::prelude::*;
+use drcf_kernel::prelude::*;
+
+use crate::design::{AccelSpec, Design, ModuleKind};
+
+/// A factory closure building a functional model from its spec.
+pub type ModelFactory = Box<dyn Fn(&AccelSpec) -> Box<dyn BusSlaveModel>>;
+
+/// Builds functional models from accelerator specs, keyed by
+/// `AccelSpec::kind`. `"regfile"` is built in.
+pub struct ModelRegistry {
+    factories: HashMap<String, ModelFactory>,
+}
+
+impl Default for ModelRegistry {
+    fn default() -> Self {
+        let mut r = ModelRegistry {
+            factories: HashMap::new(),
+        };
+        r.register("regfile", |spec| {
+            Box::new(RegisterFile::new(
+                "regfile",
+                spec.low_addr,
+                spec.addr_words as usize,
+                spec.access_cycles,
+            ))
+        });
+        r
+    }
+}
+
+impl ModelRegistry {
+    /// Fresh registry with the built-in factories.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or replace) a factory for `kind`.
+    pub fn register(
+        &mut self,
+        kind: &str,
+        f: impl Fn(&AccelSpec) -> Box<dyn BusSlaveModel> + 'static,
+    ) {
+        self.factories.insert(kind.to_string(), Box::new(f));
+    }
+
+    /// Build a model for a spec.
+    pub fn build(&self, spec: &AccelSpec) -> Result<Box<dyn BusSlaveModel>, String> {
+        self.factories
+            .get(&spec.kind)
+            .map(|f| f(spec))
+            .ok_or_else(|| format!("no model factory registered for kind '{}'", spec.kind))
+    }
+}
+
+/// How elaborated DRCFs fetch configuration data.
+#[derive(Debug, Clone)]
+pub enum ElabConfigPath {
+    /// Master the shared system bus (images live in the system memory).
+    SystemBus {
+        /// Bus priority of configuration reads.
+        priority: u8,
+    },
+    /// Dedicated port straight into the system memory.
+    DirectPort,
+    /// Fixed transfer rate, no traffic.
+    FixedRate {
+        /// Words per cycle.
+        words_per_cycle: u64,
+        /// Configuration clock, MHz.
+        clock_mhz: u64,
+    },
+}
+
+/// Elaboration parameters.
+pub struct ElaborationOptions {
+    /// Bus configuration.
+    pub bus: BusConfig,
+    /// System memory configuration (also holds configuration images).
+    pub memory: MemoryConfig,
+    /// Configuration transport for DRCF modules.
+    pub config_path: ElabConfigPath,
+    /// Clock for standalone accelerator adapters, MHz.
+    pub accel_clock_mhz: u64,
+    /// Model factories.
+    pub registry: ModelRegistry,
+}
+
+impl Default for ElaborationOptions {
+    fn default() -> Self {
+        ElaborationOptions {
+            bus: BusConfig::default(),
+            // The example designs place accelerators from 0x2000 up, so the
+            // default memory claims [0x0, 0x1FFF].
+            memory: MemoryConfig {
+                size_words: 0x2000,
+                ..MemoryConfig::default()
+            },
+            config_path: ElabConfigPath::SystemBus { priority: 3 },
+            accel_clock_mhz: 100,
+            registry: ModelRegistry::new(),
+        }
+    }
+}
+
+/// A master component factory: receives the bus id, returns the component.
+pub type MasterFactory = Box<dyn FnOnce(ComponentId) -> Box<dyn Component>>;
+
+/// The elaborated system.
+pub struct Elaborated {
+    /// The simulator, ready to run.
+    pub sim: Simulator,
+    /// Master component ids, in the order supplied.
+    pub masters: Vec<ComponentId>,
+    /// The shared bus.
+    pub bus: ComponentId,
+    /// The system memory.
+    pub memory: ComponentId,
+    /// Instance name → component id for every elaborated design instance.
+    pub instances: HashMap<String, ComponentId>,
+}
+
+/// Elaborate `design` with the given masters.
+///
+/// Component id layout: masters first (`0..masters.len()`), then bus, then
+/// memory, then design instances in hierarchy order.
+pub fn elaborate(
+    design: &Design,
+    opts: ElaborationOptions,
+    masters: Vec<(String, MasterFactory)>,
+) -> Result<Elaborated, String> {
+    design.check()?;
+    let mut sim = Simulator::new();
+
+    let n_masters = masters.len();
+    let bus_id = n_masters;
+    let memory_id = n_masters + 1;
+
+    // Masters (they get the bus id even though the bus doesn't exist yet —
+    // ids are assigned deterministically).
+    let mut master_ids = Vec::with_capacity(n_masters);
+    for (name, f) in masters {
+        let id = sim.add_component(&name, f(bus_id));
+        master_ids.push(id);
+    }
+
+    // Walk the hierarchy, collecting instances in depth-first order.
+    let all = design.top.all_instances();
+
+    // Build the decode map: memory + each slave instance.
+    let mut map = AddressMap::new();
+    map.add(
+        opts.memory.base,
+        opts.memory.base + opts.memory.size_words as u64 - 1,
+        memory_id,
+    )?;
+    let mut planned: Vec<(String, ComponentId)> = Vec::new();
+    for (offset, inst) in all.iter().enumerate() {
+        let next_id = memory_id + 1 + offset;
+        let module = design
+            .module(&inst.module)
+            .ok_or_else(|| format!("unknown module '{}'", inst.module))?;
+        match &module.kind {
+            ModuleKind::Accelerator(a) => {
+                map.add(a.low_addr, a.low_addr + a.addr_words - 1, next_id)?;
+            }
+            // One decode entry per folded context, so a non-contiguous fold
+            // leaves the address holes between its members unclaimed.
+            ModuleKind::Drcf(spec) => {
+                for cm in &spec.context_modules {
+                    let cmod = design
+                        .module(cm)
+                        .ok_or_else(|| format!("unknown context module '{cm}'"))?;
+                    let ModuleKind::Accelerator(a) = &cmod.kind else {
+                        return Err(format!("context module '{cm}' is not an accelerator"));
+                    };
+                    map.add(a.low_addr, a.low_addr + a.addr_words - 1, next_id)?;
+                }
+            }
+        }
+        planned.push((inst.name.clone(), next_id));
+    }
+
+    let got_bus = sim.add("system_bus", Bus::new(opts.bus.clone(), map));
+    debug_assert_eq!(got_bus, bus_id);
+    let got_mem = sim.add("memory", Memory::new(opts.memory.clone()));
+    debug_assert_eq!(got_mem, memory_id);
+
+    // Instantiate slaves.
+    let mut instances = HashMap::new();
+    for ((inst, planned_id), inst_def) in planned.into_iter().zip(&all) {
+        let module = design.module(&inst_def.module).expect("checked above");
+        let id = match &module.kind {
+            ModuleKind::Accelerator(a) => {
+                let model = opts.registry.build(a)?;
+                sim.add_component(
+                    &inst,
+                    Box::new(SlaveAdapter::new(BoxedModel(model), opts.accel_clock_mhz)),
+                )
+            }
+            ModuleKind::Drcf(spec) => {
+                let mut contexts = Vec::with_capacity(spec.context_modules.len());
+                for (cm, p) in spec.context_modules.iter().zip(&spec.context_params) {
+                    let cmod = design
+                        .module(cm)
+                        .ok_or_else(|| format!("unknown context module '{cm}'"))?;
+                    let ModuleKind::Accelerator(a) = &cmod.kind else {
+                        return Err(format!("context module '{cm}' is not an accelerator"));
+                    };
+                    let model = opts.registry.build(a)?;
+                    contexts.push(Context::new(
+                        model,
+                        ContextParams {
+                            config_addr: opts.memory.base + p.config_addr,
+                            config_size_words: p.config_size_words,
+                            extra_reconfig_delay: SimDuration::fs(p.extra_reconfig_delay_fs),
+                            gate_count: a.gate_count,
+                            slots_needed: p.slots_needed,
+                            active_power_mw: p.active_power_mw,
+                            ..ContextParams::default()
+                        },
+                    ));
+                }
+                let config_path = match &opts.config_path {
+                    ElabConfigPath::SystemBus { priority } => ConfigPath::SystemBus {
+                        bus: bus_id,
+                        priority: *priority,
+                        burst: spec.config_burst,
+                    },
+                    ElabConfigPath::DirectPort => ConfigPath::DirectPort { memory: memory_id },
+                    ElabConfigPath::FixedRate {
+                        words_per_cycle,
+                        clock_mhz,
+                    } => ConfigPath::FixedRate {
+                        words_per_cycle: *words_per_cycle,
+                        clock_mhz: *clock_mhz,
+                    },
+                };
+                sim.add(
+                    &inst,
+                    Drcf::new(
+                        DrcfConfig {
+                            clock_mhz: spec.clock_mhz,
+                            config_path,
+                            scheduler: SchedulerConfig {
+                                slots: spec.slots,
+                                ..SchedulerConfig::default()
+                            },
+                            overlap_load_exec: spec.overlap_load_exec,
+                        },
+                        contexts,
+                    ),
+                )
+            }
+        };
+        debug_assert_eq!(id, planned_id);
+        instances.insert(inst, id);
+    }
+
+    Ok(Elaborated {
+        sim,
+        masters: master_ids,
+        bus: bus_id,
+        memory: memory_id,
+        instances,
+    })
+}
+
+/// Newtype making a boxed model usable where a concrete `BusSlaveModel` is
+/// required (the adapter is generic).
+pub struct BoxedModel(pub Box<dyn BusSlaveModel>);
+
+impl BusSlaveModel for BoxedModel {
+    fn low_addr(&self) -> Addr {
+        self.0.low_addr()
+    }
+    fn high_addr(&self) -> Addr {
+        self.0.high_addr()
+    }
+    fn read(&mut self, addr: Addr) -> Result<Word, ()> {
+        self.0.read(addr)
+    }
+    fn write(&mut self, addr: Addr, data: Word) -> Result<(), ()> {
+        self.0.write(addr, data)
+    }
+    fn access_cycles(&self, op: BusOp, addr: Addr, burst: usize) -> u64 {
+        self.0.access_cycles(op, addr, burst)
+    }
+    fn model_name(&self) -> &str {
+        self.0.model_name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::example_design;
+
+    /// Minimal master: writes then reads one accelerator register.
+    struct Probe {
+        port: MasterPort,
+        addr: Addr,
+        step: u8,
+        pub readback: Option<Word>,
+    }
+
+    impl Component for Probe {
+        fn handle(&mut self, api: &mut Api<'_>, msg: Msg) {
+            match &msg.kind {
+                MsgKind::Start => {
+                    let a = self.addr;
+                    self.port.write(api, a, vec![123]);
+                }
+                _ => {
+                    if let Ok(r) = self.port.take_response(api, msg) {
+                        assert!(r.is_ok(), "{r:?}");
+                        self.step += 1;
+                        match self.step {
+                            1 => {
+                                let a = self.addr;
+                                self.port.read(api, a, 1);
+                            }
+                            _ => self.readback = r.data.first().copied(),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn elaborates_original_design_and_runs() {
+        let d = example_design(2);
+        let e = elaborate(
+            &d,
+            ElaborationOptions::default(),
+            vec![(
+                "probe".into(),
+                Box::new(|bus| {
+                    Box::new(Probe {
+                        port: MasterPort::new(bus, 1),
+                        addr: 0x2000,
+                        step: 0,
+                        readback: None,
+                    })
+                }),
+            )],
+        )
+        .unwrap();
+        let mut sim = e.sim;
+        assert_eq!(sim.run(), StopReason::Quiescent);
+        assert_eq!(sim.get::<Probe>(e.masters[0]).readback, Some(123));
+        assert_eq!(e.instances.len(), 2);
+        assert!(e.instances.contains_key("hwa0"));
+    }
+
+    #[test]
+    fn elaborates_transformed_design_and_runs() {
+        use crate::rewrite::transform_design;
+        use crate::template::TemplateOptions;
+        use crate::validate::ConfigTransport;
+        use drcf_core::prelude::FabricGeometry;
+
+        let d = example_design(2);
+        // MorphoSys-style coarse-grain images (a few hundred words) fit the
+        // default 0x2000-word memory comfortably.
+        let r = transform_design(
+            &d,
+            &["hwa0", "hwa1"],
+            &TemplateOptions::new(drcf_core::prelude::morphosys(), FabricGeometry::new(40_000, 1)),
+            ConfigTransport::SharedInterfaceBus {
+                split_transactions: true,
+            },
+        )
+        .unwrap();
+        let e = elaborate(
+            &r.design,
+            ElaborationOptions::default(),
+            vec![(
+                "probe".into(),
+                Box::new(|bus| {
+                    Box::new(Probe {
+                        port: MasterPort::new(bus, 1),
+                        addr: 0x2100, // hwa1's range, now inside the DRCF
+                        step: 0,
+                        readback: None,
+                    })
+                }),
+            )],
+        )
+        .unwrap();
+        let mut sim = e.sim;
+        assert_eq!(sim.run(), StopReason::Quiescent);
+        assert_eq!(sim.get::<Probe>(e.masters[0]).readback, Some(123));
+        let drcf_id = e.instances["drcf1"];
+        let f = sim.get::<Drcf>(drcf_id);
+        assert_eq!(f.stats.switches, 1, "one context load for hwa1");
+        assert!(f.stats.config_words > 0);
+    }
+
+    #[test]
+    fn unknown_model_kind_is_an_error() {
+        let mut d = example_design(1);
+        if let ModuleKind::Accelerator(a) = &mut d.modules[0].kind {
+            a.kind = "quantum_fft".into();
+        }
+        let err = match elaborate(&d, ElaborationOptions::default(), vec![]) {
+            Err(e) => e,
+            Ok(_) => panic!("expected elaboration failure"),
+        };
+        assert!(err.contains("quantum_fft"));
+    }
+
+    #[test]
+    fn registry_accepts_custom_factories() {
+        let mut reg = ModelRegistry::new();
+        reg.register("custom", |spec| {
+            Box::new(RegisterFile::new("custom", spec.low_addr, 4, 1))
+        });
+        let spec = AccelSpec {
+            low_addr: 0,
+            addr_words: 4,
+            access_cycles: 1,
+            kind: "custom".into(),
+            gate_count: 100,
+        };
+        assert!(reg.build(&spec).is_ok());
+        let missing = AccelSpec {
+            kind: "absent".into(),
+            ..spec
+        };
+        assert!(reg.build(&missing).is_err());
+    }
+}

@@ -1,0 +1,40 @@
+//! # drcf-transform — the ADRIATIC transformation methodology
+//!
+//! The tool side of the paper: a design IR mirroring SystemC structure
+//! ([`design`]), the four-phase transformation of Fig. 4 ([`analyze`],
+//! [`template`], [`rewrite`]), the §5.4 limitation checks ([`validate`]),
+//! the §5.1 candidate-selection rules of thumb ([`candidates`]),
+//! pseudo-SystemC listing emission matching the paper's §5.2 listings
+//! ([`codegen`]), and elaboration of designs into runnable simulations
+//! ([`elaborate`]).
+
+#![warn(missing_docs)]
+
+pub mod analyze;
+pub mod candidates;
+pub mod codegen;
+pub mod design;
+pub mod elaborate;
+pub mod rewrite;
+pub mod template;
+pub mod validate;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::analyze::{analyze_candidates, analyze_instance, analyze_module};
+    pub use crate::candidates::{
+        select_candidates, BlockProfile, CandidateGroup, ProfileData, SelectionRules,
+    };
+    pub use crate::codegen::{emit_design, emit_hier_module, emit_interface, emit_module};
+    pub use crate::design::{
+        example_design, AccelSpec, Binding, Design, DrcfModuleSpec, HierModule, InstanceDef,
+        InterfaceDef, MethodSig, ModuleDef, ModuleKind, PortDef, PortKind,
+    };
+    pub use crate::elaborate::{
+        elaborate, BoxedModel, ElabConfigPath, Elaborated, ElaborationOptions, MasterFactory,
+        ModelRegistry,
+    };
+    pub use crate::rewrite::{drcf_interface_range, transform_design, TransformResult};
+    pub use crate::template::{create_drcf_module, TemplateOptions};
+    pub use crate::validate::{is_legal, validate, ConfigTransport, Violation};
+}

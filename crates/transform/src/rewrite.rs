@@ -1,0 +1,269 @@
+//! Phase 4 of Fig. 4: **modification of the module instance** — and the
+//! top-level transformation entry point combining all four phases.
+//!
+//! "This hierarchical module is then updated to use the DRCF module instead
+//! of the hardware accelerator. ... Notice that the declaration, the
+//! constructor and the binding lines are modified so that instead of the
+//! hwa instance a drcf1 instance of a drcf_own is used."
+
+use crate::analyze::{analyze_candidates, AnalyzeError};
+use crate::design::{Binding, Design, InstanceDef, ModuleKind};
+use crate::template::{create_drcf_module, TemplateError, TemplateOptions};
+use crate::validate::{is_legal, validate, ConfigTransport, Violation};
+
+/// A completed transformation.
+#[derive(Debug, Clone)]
+pub struct TransformResult {
+    /// The rewritten design.
+    pub design: Design,
+    /// Name of the generated DRCF module.
+    pub drcf_module: String,
+    /// Name of the inserted DRCF instance.
+    pub drcf_instance: String,
+    /// Non-fatal violations (warnings) that were tolerated.
+    pub warnings: Vec<Violation>,
+}
+
+/// Why a transformation failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransformError {
+    /// Analysis failure.
+    Analyze(AnalyzeError),
+    /// A fatal §5.4 violation.
+    Illegal(Vec<Violation>),
+    /// Template instantiation failure.
+    Template(TemplateError),
+}
+
+impl std::fmt::Display for TransformError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransformError::Analyze(e) => write!(f, "analysis: {e}"),
+            TransformError::Illegal(v) => {
+                write!(f, "illegal candidate set:")?;
+                for violation in v {
+                    write!(f, " [{violation}]")?;
+                }
+                Ok(())
+            }
+            TransformError::Template(e) => write!(f, "template: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+impl From<AnalyzeError> for TransformError {
+    fn from(e: AnalyzeError) -> Self {
+        TransformError::Analyze(e)
+    }
+}
+impl From<TemplateError> for TransformError {
+    fn from(e: TemplateError) -> Self {
+        TransformError::Template(e)
+    }
+}
+
+/// Run the full Fig. 4 transformation: analyze candidate modules and
+/// instances, validate the §5.4 limitations, create the DRCF module from
+/// the template, and rewrite the enclosing hierarchical module to
+/// instantiate it.
+pub fn transform_design(
+    design: &Design,
+    candidates: &[&str],
+    opts: &TemplateOptions,
+    transport: ConfigTransport,
+) -> Result<TransformResult, TransformError> {
+    // Phases 1 + 2.
+    let (modules, instances) = analyze_candidates(design, candidates)?;
+
+    // §5.4 validation.
+    let violations = validate(&modules, &instances, transport);
+    if !is_legal(&violations) {
+        return Err(TransformError::Illegal(
+            violations.into_iter().filter(|v| v.is_fatal()).collect(),
+        ));
+    }
+    let warnings = violations;
+
+    // Phase 3.
+    let drcf_module = create_drcf_module(&modules, opts)?;
+
+    // Phase 4: rewrite the (common) parent hierarchical module.
+    let mut design = design.clone();
+    let parent_path = instances[0].parent_path.clone();
+    let parent = design
+        .top
+        .module_at_mut(&parent_path)
+        .expect("validated common parent exists");
+
+    // Union of bindings: keep the first candidate's channel for each port
+    // the DRCF exposes (they are all bound to the same channels by
+    // limitation 1's same-component requirement).
+    let mut bindings: Vec<Binding> = Vec::new();
+    for ia in &instances {
+        for b in &ia.instance.bindings {
+            if !bindings.iter().any(|e| e.port == b.port) {
+                bindings.push(b.clone());
+            }
+        }
+    }
+
+    // Remove the candidate instances.
+    let candidate_names: Vec<&str> = instances
+        .iter()
+        .map(|ia| ia.instance.name.as_str())
+        .collect();
+    parent
+        .instances
+        .retain(|i| !candidate_names.contains(&i.name.as_str()));
+
+    // Insert the DRCF instance.
+    let drcf_instance = "drcf1".to_string();
+    parent.instances.push(InstanceDef {
+        name: drcf_instance.clone(),
+        module: drcf_module.name.clone(),
+        ctor_args: vec![],
+        bindings,
+    });
+
+    design.modules.push(drcf_module.clone());
+
+    debug_assert!(design.check().is_ok(), "rewrite broke the design");
+    Ok(TransformResult {
+        design,
+        drcf_module: drcf_module.name,
+        drcf_instance,
+        warnings,
+    })
+}
+
+/// Total interface address span of a DRCF module spec's contexts, computed
+/// from the folded accelerators (used by elaboration's decode map).
+pub fn drcf_interface_range(design: &Design, drcf_module: &str) -> Option<(u64, u64)> {
+    let m = design.module(drcf_module)?;
+    let ModuleKind::Drcf(spec) = &m.kind else {
+        return None;
+    };
+    let mut low = u64::MAX;
+    let mut high = 0;
+    for cm in &spec.context_modules {
+        let md = design.module(cm)?;
+        let ModuleKind::Accelerator(a) = &md.kind else {
+            return None;
+        };
+        low = low.min(a.low_addr);
+        high = high.max(a.low_addr + a.addr_words - 1);
+    }
+    Some((low, high))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::example_design;
+    use crate::template::TemplateOptions;
+    use drcf_core::prelude::{varicore, FabricGeometry};
+
+    fn opts() -> TemplateOptions {
+        TemplateOptions::new(varicore(), FabricGeometry::new(40_000, 1))
+    }
+
+    fn split() -> ConfigTransport {
+        ConfigTransport::SharedInterfaceBus {
+            split_transactions: true,
+        }
+    }
+
+    #[test]
+    fn transformation_replaces_candidates_with_drcf() {
+        let d = example_design(3);
+        let r = transform_design(&d, &["hwa0", "hwa1"], &opts(), split()).unwrap();
+        // hwa0/hwa1 gone, hwa2 kept, drcf1 added.
+        let names: Vec<&str> = r
+            .design
+            .top
+            .instances
+            .iter()
+            .map(|i| i.name.as_str())
+            .collect();
+        assert_eq!(names, vec!["hwa2", "drcf1"]);
+        // The DRCF instance is bound to the same channels the candidates
+        // used (the paper's listing keeps clk and *system_bus).
+        let drcf = r.design.instance("drcf1").unwrap();
+        assert!(drcf
+            .bindings
+            .iter()
+            .any(|b| b.port == "clk" && b.channel == "clk"));
+        assert!(drcf
+            .bindings
+            .iter()
+            .any(|b| b.port == "mst_port" && b.channel == "system_bus"));
+        // The module was added and the design still checks out.
+        assert!(r.design.module("drcf_own").is_some());
+        assert!(r.design.check().is_ok());
+        assert!(r.warnings.is_empty());
+    }
+
+    #[test]
+    fn original_design_is_untouched() {
+        let d = example_design(2);
+        let before = d.clone();
+        let _ = transform_design(&d, &["hwa0", "hwa1"], &opts(), split()).unwrap();
+        assert_eq!(d, before);
+    }
+
+    #[test]
+    fn illegal_set_is_rejected_with_violations() {
+        let mut d = example_design(2);
+        let moved = d.top.instances.remove(1);
+        d.top.children.push(crate::design::HierModule {
+            name: "sub".into(),
+            instances: vec![moved],
+            children: vec![],
+        });
+        let err = transform_design(&d, &["hwa0", "hwa1"], &opts(), split()).unwrap_err();
+        match err {
+            TransformError::Illegal(v) => {
+                assert!(v.iter().all(|x| x.is_fatal()));
+                assert!(!v.is_empty());
+            }
+            other => panic!("expected Illegal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadlock_risk_blocks_transformation() {
+        let d = example_design(2);
+        let blocking = ConfigTransport::SharedInterfaceBus {
+            split_transactions: false,
+        };
+        let err = transform_design(&d, &["hwa0", "hwa1"], &opts(), blocking).unwrap_err();
+        assert!(matches!(err, TransformError::Illegal(_)));
+    }
+
+    #[test]
+    fn single_candidate_is_tolerated_with_warning() {
+        let d = example_design(2);
+        let r = transform_design(&d, &["hwa0"], &opts(), split()).unwrap();
+        assert_eq!(r.warnings, vec![Violation::SingleContext]);
+    }
+
+    #[test]
+    fn interface_range_union() {
+        let d = example_design(3);
+        let r = transform_design(&d, &["hwa0", "hwa2"], &opts(), split()).unwrap();
+        let (low, high) = drcf_interface_range(&r.design, "drcf_own").unwrap();
+        assert_eq!(low, 0x2000);
+        assert_eq!(high, 0x2200 + 15);
+        assert_eq!(drcf_interface_range(&r.design, "hwacc1"), None);
+    }
+
+    #[test]
+    fn unknown_candidate_surfaces_analyze_error() {
+        let d = example_design(1);
+        let err = transform_design(&d, &["ghost"], &opts(), split()).unwrap_err();
+        assert!(matches!(err, TransformError::Analyze(_)));
+        assert!(err.to_string().contains("ghost"));
+    }
+}

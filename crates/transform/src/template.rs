@@ -1,0 +1,208 @@
+//! Phase 3 of Fig. 4: **creation of the DRCF component** from a template.
+//!
+//! "When all instances are analyzed, the DRCF component is created from a
+//! template. The ports and interfaces analyzed in the first phase are added
+//! to the DRCF template and then the component to be implemented in
+//! dynamically reconfigurable hardware is instantiated according to the
+//! declaration and constructor located in second phase. The template of the
+//! DRCF contains a context scheduler and instrumentation process and a
+//! multiplexer that routes data transfers to correct instances."
+
+use drcf_core::prelude::{FabricGeometry, Technology};
+
+use crate::analyze::ModuleAnalysis;
+use crate::design::{
+    ContextParamsSpec, DrcfModuleSpec, ModuleDef, ModuleKind, PortDef,
+};
+
+/// Options steering DRCF creation.
+#[derive(Debug, Clone)]
+pub struct TemplateOptions {
+    /// Target reconfigurable technology (drives configuration volumes and
+    /// delays).
+    pub technology: Technology,
+    /// Fabric geometry (area and reconfiguration regions).
+    pub geometry: FabricGeometry,
+    /// Where configuration images are packed in memory.
+    pub config_base_addr: u64,
+    /// Background loading (execute while reconfiguring other regions).
+    pub overlap_load_exec: bool,
+    /// Words per configuration-read burst on the bus.
+    pub config_burst: usize,
+    /// Name of the generated module.
+    pub module_name: String,
+}
+
+impl TemplateOptions {
+    /// Reasonable defaults for a given technology/geometry.
+    pub fn new(technology: Technology, geometry: FabricGeometry) -> Self {
+        TemplateOptions {
+            technology,
+            geometry,
+            config_base_addr: 0x100,
+            overlap_load_exec: false,
+            config_burst: 16,
+            module_name: "drcf_own".into(),
+        }
+    }
+}
+
+/// Errors from DRCF creation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TemplateError {
+    /// A context cannot fit the fabric / technology.
+    ContextDoesNotFit {
+        /// Offending module.
+        module: String,
+        /// Planner message.
+        reason: String,
+    },
+    /// No candidates given.
+    Empty,
+}
+
+impl std::fmt::Display for TemplateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TemplateError::ContextDoesNotFit { module, reason } => {
+                write!(f, "context '{module}' does not fit: {reason}")
+            }
+            TemplateError::Empty => write!(f, "no candidate modules"),
+        }
+    }
+}
+
+impl std::error::Error for TemplateError {}
+
+/// Create the DRCF module definition from the phase-1 analyses.
+///
+/// The generated module implements the union of the candidates' interfaces,
+/// replicates their ports, and carries the resolved per-context
+/// reconfiguration parameters (configuration images packed consecutively
+/// from `config_base_addr`).
+pub fn create_drcf_module(
+    modules: &[ModuleAnalysis],
+    opts: &TemplateOptions,
+) -> Result<ModuleDef, TemplateError> {
+    if modules.is_empty() {
+        return Err(TemplateError::Empty);
+    }
+
+    // Union of ports (by name) and interfaces (by name), in first-seen
+    // order — "the interface and ports analyzed in the first phase are
+    // added to the component".
+    let mut ports: Vec<PortDef> = Vec::new();
+    let mut implements: Vec<String> = Vec::new();
+    for m in modules {
+        for p in &m.ports {
+            if !ports.iter().any(|e| e.name == p.name) {
+                ports.push(p.clone());
+            }
+        }
+        for i in &m.interfaces {
+            if !implements.contains(&i.name) {
+                implements.push(i.name.clone());
+            }
+        }
+    }
+
+    // Resolve per-context parameters from the technology + geometry.
+    let mut context_params = Vec::with_capacity(modules.len());
+    let mut addr = opts.config_base_addr;
+    for m in modules {
+        let planned = drcf_core::partial::plan_context(
+            opts.geometry,
+            &opts.technology,
+            m.spec.gate_count,
+            addr,
+        )
+        .map_err(|reason| TemplateError::ContextDoesNotFit {
+            module: m.module.clone(),
+            reason,
+        })?;
+        addr += planned.config_size_words;
+        context_params.push(ContextParamsSpec {
+            config_addr: planned.config_addr,
+            config_size_words: planned.config_size_words,
+            extra_reconfig_delay_fs: planned.extra_reconfig_delay.as_fs(),
+            slots_needed: planned.slots_needed,
+            active_power_mw: planned.active_power_mw,
+        });
+    }
+
+    Ok(ModuleDef {
+        name: opts.module_name.clone(),
+        ports,
+        implements,
+        kind: ModuleKind::Drcf(DrcfModuleSpec {
+            context_modules: modules.iter().map(|m| m.module.clone()).collect(),
+            context_params,
+            slots: opts.geometry.regions,
+            overlap_load_exec: opts.overlap_load_exec,
+            config_burst: opts.config_burst,
+            clock_mhz: opts.technology.fabric_clock_mhz,
+        }),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::analyze_candidates;
+    use crate::design::example_design;
+    use drcf_core::prelude::varicore;
+
+    fn opts() -> TemplateOptions {
+        TemplateOptions::new(varicore(), FabricGeometry::new(40_000, 2))
+    }
+
+    #[test]
+    fn drcf_module_unions_ports_and_interfaces() {
+        let d = example_design(3);
+        let (m, _) = analyze_candidates(&d, &["hwa0", "hwa1", "hwa2"]).unwrap();
+        let drcf = create_drcf_module(&m, &opts()).unwrap();
+        assert_eq!(drcf.name, "drcf_own");
+        assert_eq!(drcf.ports.len(), 2, "clk + mst_port, deduplicated");
+        assert_eq!(drcf.implements, vec!["bus_slv_if".to_string()]);
+        match &drcf.kind {
+            ModuleKind::Drcf(spec) => {
+                assert_eq!(spec.context_modules.len(), 3);
+                assert_eq!(spec.context_params.len(), 3);
+                assert_eq!(spec.slots, 2);
+                assert_eq!(spec.clock_mhz, 250, "VariCore clock");
+            }
+            _ => panic!("expected a DRCF module"),
+        }
+    }
+
+    #[test]
+    fn config_images_are_packed_without_overlap() {
+        let d = example_design(3);
+        let (m, _) = analyze_candidates(&d, &["hwa0", "hwa1", "hwa2"]).unwrap();
+        let drcf = create_drcf_module(&m, &opts()).unwrap();
+        let ModuleKind::Drcf(spec) = &drcf.kind else {
+            unreachable!()
+        };
+        for w in spec.context_params.windows(2) {
+            assert!(w[1].config_addr >= w[0].config_addr + w[0].config_size_words);
+        }
+        assert_eq!(spec.context_params[0].config_addr, 0x100);
+    }
+
+    #[test]
+    fn oversized_context_rejected() {
+        let mut d = example_design(1);
+        if let ModuleKind::Accelerator(s) = &mut d.modules[0].kind {
+            s.gate_count = 1_000_000; // bigger than the fabric
+        }
+        let (m, _) = analyze_candidates(&d, &["hwa0"]).unwrap();
+        let err = create_drcf_module(&m, &opts()).unwrap_err();
+        assert!(matches!(err, TemplateError::ContextDoesNotFit { .. }));
+        assert!(err.to_string().contains("hwacc0"));
+    }
+
+    #[test]
+    fn empty_candidates_rejected() {
+        assert_eq!(create_drcf_module(&[], &opts()), Err(TemplateError::Empty));
+    }
+}

@@ -1,0 +1,263 @@
+//! Validation of the §5.4 methodology limitations.
+//!
+//! The paper lists three restrictions a candidate set must satisfy before
+//! the transformation is legal. This module turns each into a mechanical
+//! check:
+//!
+//! 1. "All models that are transformed in to a DRCF implementation must be
+//!    on same level of hierarchy and instantiated in the same component."
+//! 2. "All implemented interfaces must contain two interface methods that
+//!    are used to finding out the memory space of a single component"
+//!    (`get_low_add` / `get_high_add`).
+//! 3. "The interface methods must be non-blocking or must support split
+//!    transactions if the context memory bus is the same as the interface
+//!    bus ... This results in deadlock of the bus."
+
+use crate::analyze::{InstanceAnalysis, ModuleAnalysis};
+
+/// How the DRCF's configuration data will travel, as far as validation is
+/// concerned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigTransport {
+    /// Over the same bus the component interfaces use.
+    SharedInterfaceBus {
+        /// Does that bus support split transactions?
+        split_transactions: bool,
+    },
+    /// Over a dedicated configuration path.
+    Dedicated,
+}
+
+/// One violated limitation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Limitation 1: candidates span hierarchy levels.
+    DifferentHierarchy {
+        /// Parent of the first candidate.
+        expected: Vec<String>,
+        /// The offending instance and its parent.
+        instance: String,
+        /// Where it actually lives.
+        found: Vec<String>,
+    },
+    /// Limitation 2: a module's interfaces never expose the address range.
+    MissingAddressRange {
+        /// The offending module.
+        module: String,
+    },
+    /// Limitation 3: blocking interface bus shared with the context memory.
+    DeadlockRisk,
+    /// Contexts claim overlapping interface addresses (the union interface
+    /// could not decode).
+    OverlappingRanges {
+        /// First module.
+        a: String,
+        /// Second module.
+        b: String,
+    },
+    /// Fewer than two candidates: a single context "is not dynamically
+    /// reconfigurable, since there is no need in changing the context"
+    /// (§5.2). A warning-grade violation.
+    SingleContext,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::DifferentHierarchy {
+                expected,
+                instance,
+                found,
+            } => write!(
+                f,
+                "limitation 1: instance '{instance}' lives at {found:?}, others at {expected:?}"
+            ),
+            Violation::MissingAddressRange { module } => write!(
+                f,
+                "limitation 2: module '{module}' implements no interface with get_low_add/get_high_add"
+            ),
+            Violation::DeadlockRisk => write!(
+                f,
+                "limitation 3: context memory shares a non-split interface bus — bus deadlock"
+            ),
+            Violation::OverlappingRanges { a, b } => {
+                write!(f, "modules '{a}' and '{b}' claim overlapping addresses")
+            }
+            Violation::SingleContext => write!(
+                f,
+                "single-context DRCF is never reconfigured; fold at least two candidates"
+            ),
+        }
+    }
+}
+
+impl Violation {
+    /// Violations that make the transformation incorrect (vs. merely
+    /// pointless).
+    pub fn is_fatal(&self) -> bool {
+        !matches!(self, Violation::SingleContext)
+    }
+}
+
+/// Check a candidate set. Returns all violations found (empty = legal).
+pub fn validate(
+    modules: &[ModuleAnalysis],
+    instances: &[InstanceAnalysis],
+    transport: ConfigTransport,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+
+    // Limitation 1: common parent.
+    if let Some(first) = instances.first() {
+        for ia in &instances[1..] {
+            if ia.parent_path != first.parent_path {
+                out.push(Violation::DifferentHierarchy {
+                    expected: first.parent_path.clone(),
+                    instance: ia.instance.name.clone(),
+                    found: ia.parent_path.clone(),
+                });
+            }
+        }
+    }
+
+    // Limitation 2: address-range methods.
+    for m in modules {
+        if !m.interfaces.iter().any(|i| i.has_address_range_methods()) {
+            out.push(Violation::MissingAddressRange {
+                module: m.module.clone(),
+            });
+        }
+    }
+
+    // Limitation 3: shared blocking bus.
+    if matches!(
+        transport,
+        ConfigTransport::SharedInterfaceBus {
+            split_transactions: false
+        }
+    ) {
+        out.push(Violation::DeadlockRisk);
+    }
+
+    // Overlapping interface ranges.
+    for (i, a) in modules.iter().enumerate() {
+        for b in &modules[i + 1..] {
+            let a_hi = a.spec.low_addr + a.spec.addr_words - 1;
+            let b_hi = b.spec.low_addr + b.spec.addr_words - 1;
+            if a.spec.low_addr <= b_hi && b.spec.low_addr <= a_hi {
+                out.push(Violation::OverlappingRanges {
+                    a: a.module.clone(),
+                    b: b.module.clone(),
+                });
+            }
+        }
+    }
+
+    // Single context warning.
+    if instances.len() < 2 {
+        out.push(Violation::SingleContext);
+    }
+
+    out
+}
+
+/// Convenience: true when no *fatal* violation exists.
+pub fn is_legal(violations: &[Violation]) -> bool {
+    violations.iter().all(|v| !v.is_fatal())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::analyze_candidates;
+    use crate::design::{example_design, HierModule, InstanceDef};
+
+    fn shared_split() -> ConfigTransport {
+        ConfigTransport::SharedInterfaceBus {
+            split_transactions: true,
+        }
+    }
+
+    #[test]
+    fn clean_candidate_set_passes() {
+        let d = example_design(3);
+        let (m, i) = analyze_candidates(&d, &["hwa0", "hwa1", "hwa2"]).unwrap();
+        let v = validate(&m, &i, shared_split());
+        assert!(v.is_empty(), "{v:?}");
+        assert!(is_legal(&v));
+    }
+
+    #[test]
+    fn limitation_1_detected() {
+        let mut d = example_design(2);
+        // Move hwa1 into a nested hierarchical module.
+        let moved = d.top.instances.remove(1);
+        d.top.children.push(HierModule {
+            name: "island".into(),
+            instances: vec![moved],
+            children: vec![],
+        });
+        let (m, i) = analyze_candidates(&d, &["hwa0", "hwa1"]).unwrap();
+        let v = validate(&m, &i, shared_split());
+        assert!(matches!(v[0], Violation::DifferentHierarchy { .. }), "{v:?}");
+        assert!(!is_legal(&v));
+        assert!(v[0].to_string().contains("limitation 1"));
+    }
+
+    #[test]
+    fn limitation_2_detected() {
+        let mut d = example_design(2);
+        d.modules[0].implements.clear();
+        let (m, i) = analyze_candidates(&d, &["hwa0", "hwa1"]).unwrap();
+        let v = validate(&m, &i, shared_split());
+        assert!(v
+            .iter()
+            .any(|v| matches!(v, Violation::MissingAddressRange { module } if module == "hwacc0")));
+    }
+
+    #[test]
+    fn limitation_3_detected_only_for_blocking_shared_bus() {
+        let d = example_design(2);
+        let (m, i) = analyze_candidates(&d, &["hwa0", "hwa1"]).unwrap();
+        let blocking = ConfigTransport::SharedInterfaceBus {
+            split_transactions: false,
+        };
+        let v = validate(&m, &i, blocking);
+        assert!(v.contains(&Violation::DeadlockRisk));
+        assert!(!is_legal(&v));
+        assert!(!validate(&m, &i, shared_split()).contains(&Violation::DeadlockRisk));
+        assert!(!validate(&m, &i, ConfigTransport::Dedicated).contains(&Violation::DeadlockRisk));
+    }
+
+    #[test]
+    fn overlapping_ranges_detected() {
+        let mut d = example_design(2);
+        if let crate::design::ModuleKind::Accelerator(s) = &mut d.modules[1].kind {
+            s.low_addr = 0x2008; // overlaps hwacc0's 0x2000..0x200F
+        }
+        let (m, i) = analyze_candidates(&d, &["hwa0", "hwa1"]).unwrap();
+        let v = validate(&m, &i, shared_split());
+        assert!(v.iter().any(|v| matches!(v, Violation::OverlappingRanges { .. })));
+    }
+
+    #[test]
+    fn single_context_is_warning_not_fatal() {
+        let d = example_design(1);
+        let (m, i) = analyze_candidates(&d, &["hwa0"]).unwrap();
+        let v = validate(&m, &i, shared_split());
+        assert_eq!(v, vec![Violation::SingleContext]);
+        assert!(is_legal(&v), "warning-grade only");
+    }
+
+    #[test]
+    fn empty_candidate_set_flags_single_context_only() {
+        let v = validate(&[], &[], ConfigTransport::Dedicated);
+        assert_eq!(v, vec![Violation::SingleContext]);
+        let _ = InstanceDef {
+            name: String::new(),
+            module: String::new(),
+            ctor_args: vec![],
+            bindings: vec![],
+        };
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests for the design IR and the transformation pipeline:
+//! hierarchy navigation, structural checking, and idempotence/cleanliness
+//! properties of the rewrite.
+
+use drcf_core::prelude::{morphosys, FabricGeometry};
+use drcf_transform::prelude::*;
+use proptest::prelude::*;
+
+fn opts() -> TemplateOptions {
+    TemplateOptions::new(morphosys(), FabricGeometry::new(64_000, 1))
+}
+
+fn split() -> ConfigTransport {
+    ConfigTransport::SharedInterfaceBus {
+        split_transactions: true,
+    }
+}
+
+/// Build a random two-level hierarchy from the example design by moving a
+/// subset of instances into nested islands.
+fn scatter(n: usize, island_mask: u32) -> Design {
+    let mut d = example_design(n);
+    let mut moved = Vec::new();
+    let mut kept = Vec::new();
+    for (i, inst) in d.top.instances.drain(..).enumerate() {
+        if island_mask & (1 << i) != 0 {
+            moved.push(inst);
+        } else {
+            kept.push(inst);
+        }
+    }
+    d.top.instances = kept;
+    if !moved.is_empty() {
+        d.top.children.push(HierModule {
+            name: "island".into(),
+            instances: moved,
+            children: vec![],
+        });
+    }
+    d
+}
+
+proptest! {
+    /// find_instance always returns a path that module_at resolves, and
+    /// the resolved module really contains the instance.
+    #[test]
+    fn hierarchy_navigation_roundtrip(n in 1usize..6, island_mask in 0u32..32) {
+        let d = scatter(n, island_mask);
+        prop_assert!(d.check().is_ok());
+        for i in 0..n {
+            let name = format!("hwa{i}");
+            let path = d.top.find_instance(&name).expect("instance exists");
+            let m = d.top.module_at(&path).expect("path resolves");
+            prop_assert!(m.instances.iter().any(|x| x.name == name));
+        }
+        prop_assert_eq!(d.top.all_instances().len(), n);
+    }
+
+    /// The transformation is legal exactly when all candidates share one
+    /// hierarchical parent (limitation 1), holding everything else fixed.
+    #[test]
+    fn legality_matches_limitation_1(n in 2usize..6, island_mask in 0u32..32,
+                                     cand_mask in 1u32..32) {
+        let d = scatter(n, island_mask);
+        let candidates: Vec<String> = (0..n)
+            .filter(|i| cand_mask & (1 << i) != 0)
+            .map(|i| format!("hwa{i}"))
+            .collect();
+        prop_assume!(candidates.len() >= 2);
+        let refs: Vec<&str> = candidates.iter().map(String::as_str).collect();
+        // Same parent iff all candidates are on the same side of the mask.
+        let sides: Vec<bool> = (0..n)
+            .filter(|i| cand_mask & (1 << i) != 0)
+            .map(|i| island_mask & (1 << i) != 0)
+            .collect();
+        let same_parent = sides.iter().all(|&s| s == sides[0]);
+        let result = transform_design(&d, &refs, &opts(), split());
+        prop_assert_eq!(result.is_ok(), same_parent, "sides: {:?}", sides);
+    }
+
+    /// After a legal transformation: candidates are gone everywhere, the
+    /// DRCF instance exists exactly once, the design checks out, and the
+    /// candidate modules are still defined (the DRCF references them).
+    #[test]
+    fn rewrite_postconditions(n in 2usize..6, cand_mask in 3u32..32) {
+        let d = example_design(n);
+        let candidates: Vec<String> = (0..n)
+            .filter(|i| cand_mask & (1 << i) != 0)
+            .map(|i| format!("hwa{i}"))
+            .collect();
+        prop_assume!(candidates.len() >= 2);
+        let refs: Vec<&str> = candidates.iter().map(String::as_str).collect();
+        let r = transform_design(&d, &refs, &opts(), split()).expect("legal");
+        prop_assert!(r.design.check().is_ok());
+        for c in &candidates {
+            prop_assert!(r.design.instance(c).is_none(), "candidate {c} must be gone");
+        }
+        let drcf_count = r
+            .design
+            .top
+            .all_instances()
+            .iter()
+            .filter(|i| i.module == r.drcf_module)
+            .count();
+        prop_assert_eq!(drcf_count, 1);
+        // Non-candidates untouched.
+        for i in 0..n {
+            let name = format!("hwa{i}");
+            if !candidates.contains(&name) {
+                prop_assert!(r.design.instance(&name).is_some());
+            }
+        }
+        // Emission works on any transformed design.
+        let txt = emit_design(&r.design);
+        prop_assert!(txt.contains("drcf_own"));
+    }
+}

@@ -1,0 +1,144 @@
+//! Quickstart: model two hardware accelerators, fold them into a
+//! dynamically reconfigurable fabric (DRCF), and watch the context
+//! scheduler account reconfiguration the way the paper's §5.3 prescribes.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use drcf::prelude::*;
+
+fn main() {
+    // 1. A simulator (the SystemC-equivalent kernel).
+    let mut sim = Simulator::new();
+
+    // 2. An address map: system memory holds the configuration images;
+    //    the DRCF claims the two accelerators' register ranges.
+    //    Component ids: 0 = testbench, 1 = bus, 2 = memory, 3 = DRCF.
+    let mut map = AddressMap::new();
+    map.add(0x0000, 0x0FFF, 2).expect("memory range");
+    map.add(0x2000, 0x20FF, 3).expect("fabric range");
+
+    // 3. A testbench that exercises both accelerators through the bus,
+    //    written as a sequential script (≈ an SC_THREAD).
+    struct Testbench {
+        port: MasterPort,
+        step: usize,
+        program: Vec<(BusOp, Addr, Word)>,
+    }
+    impl Component for Testbench {
+        fn handle(&mut self, api: &mut Api<'_>, msg: Msg) {
+            let issue = |tb: &mut Self, api: &mut Api<'_>| {
+                if let Some(&(op, addr, v)) = tb.program.get(tb.step) {
+                    tb.step += 1;
+                    match op {
+                        BusOp::Write => {
+                            tb.port.write(api, addr, vec![v]);
+                        }
+                        BusOp::Read => {
+                            tb.port.read(api, addr, 1);
+                        }
+                    }
+                }
+            };
+            match &msg.kind {
+                MsgKind::Start => issue(self, api),
+                _ => {
+                    if let Ok(resp) = self.port.take_response(api, msg) {
+                        if resp.op == BusOp::Read {
+                            println!(
+                                "  [{}] read {:#x} -> {:?}",
+                                api.now(),
+                                resp.addr,
+                                resp.data
+                            );
+                        }
+                        issue(self, api);
+                    }
+                }
+            }
+        }
+    }
+    sim.add(
+        "testbench",
+        Testbench {
+            port: MasterPort::new(1, 1),
+            step: 0,
+            program: vec![
+                (BusOp::Write, 0x2000, 42), // context A: triggers the first load
+                (BusOp::Read, 0x2000, 0),   // hit: A is active
+                (BusOp::Write, 0x2080, 99), // context B: triggers a switch
+                (BusOp::Read, 0x2080, 0),
+                (BusOp::Read, 0x2000, 0), // back to A: switch again
+            ],
+        },
+    );
+
+    // 4. Bus (split transactions — §5.4 limitation 3) and memory.
+    sim.add("bus", Bus::new(BusConfig::default(), map));
+    sim.add(
+        "memory",
+        Memory::new(MemoryConfig {
+            size_words: 0x1000,
+            ..MemoryConfig::default()
+        }),
+    );
+
+    // 5. The DRCF: two register-file contexts with the §5.3 parameters
+    //    (configuration address, size, extra delay), loading over the bus.
+    let contexts = vec![
+        Context::new(
+            Box::new(RegisterFile::new("hwacc_a", 0x2000, 16, 2)),
+            ContextParams {
+                config_addr: 0x100,
+                config_size_words: 128,
+                ..ContextParams::default()
+            },
+        ),
+        Context::new(
+            Box::new(RegisterFile::new("hwacc_b", 0x2080, 16, 2)),
+            ContextParams {
+                config_addr: 0x180,
+                config_size_words: 128,
+                ..ContextParams::default()
+            },
+        ),
+    ];
+    sim.add(
+        "drcf",
+        Drcf::new(
+            DrcfConfig {
+                clock_mhz: 100,
+                config_path: ConfigPath::SystemBus {
+                    bus: 1,
+                    priority: 3,
+                    burst: 16,
+                },
+                scheduler: SchedulerConfig::default(), // reactive, 1 slot
+                overlap_load_exec: false,
+            },
+            contexts,
+        ),
+    );
+
+    // 6. Run and report.
+    println!("running...");
+    let reason = sim.run();
+    println!("finished at {} ({reason:?})\n", sim.now());
+
+    let f = sim.get::<Drcf>(3);
+    println!("DRCF instrumentation (§5.3 step 5):");
+    println!("  context switches : {}", f.stats.switches);
+    println!("  scheduler hits   : {}", f.stats.hits);
+    println!("  scheduler misses : {}", f.stats.misses);
+    println!("  config words     : {}", f.stats.config_words);
+    println!("  reconfig time    : {}", f.stats.reconfig);
+    for (i, cs) in f.stats.per_context.iter().enumerate() {
+        println!(
+            "  context '{}': active {}, {} accesses, loaded {} time(s)",
+            f.context_name(i),
+            cs.active,
+            cs.accesses,
+            cs.switches_in
+        );
+    }
+    assert!(f.stats.invariant_holds(sim.now()));
+}

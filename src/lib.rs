@@ -1,0 +1,41 @@
+//! # drcf — System-Level Modeling of Dynamically Reconfigurable Hardware
+//!
+//! A Rust reproduction of the ADRIATIC methodology (Pelkonen, Masselos,
+//! Čupák — RAW/IPDPS 2003): a deterministic event-driven simulation kernel
+//! with SystemC 2.0 semantics, a bus-cycle-level SoC substrate, the DRCF
+//! (Dynamically Reconfigurable Fabric) component with its §5.3 context
+//! scheduler, the Fig. 4 automatic transformation, and a design-space
+//! exploration layer.
+//!
+//! This facade crate re-exports every workspace crate under one roof and
+//! hosts the runnable examples and cross-crate integration tests.
+//!
+//! ```
+//! use drcf::kernel::prelude::*;
+//! let mut sim = Simulator::new();
+//! sim.add("noop", NullComponent);
+//! assert_eq!(sim.run(), StopReason::Quiescent);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use drcf_bus as bus;
+pub use drcf_core as core;
+pub use drcf_dse as dse;
+pub use drcf_kernel as kernel;
+pub use drcf_soc as soc;
+pub use drcf_transform as transform;
+
+/// One prelude over the whole stack.
+pub mod prelude {
+    pub use drcf_bus::prelude::*;
+    pub use drcf_core::prelude::*;
+    pub use drcf_dse::prelude::*;
+    pub use drcf_kernel::prelude::*;
+    pub use drcf_soc::prelude::*;
+    pub use drcf_transform::prelude::{
+        elaborate, emit_design, emit_hier_module, example_design, select_candidates,
+        transform_design, ConfigTransport, ElaborationOptions, SelectionRules,
+        TemplateOptions,
+    };
+}

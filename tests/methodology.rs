@@ -1,0 +1,231 @@
+//! Cross-crate integration: the transformation methodology end to end,
+//! including property-based equivalence over randomized designs and
+//! access scripts.
+
+use drcf::prelude::*;
+use drcf::transform::prelude::{BlockProfile, ProfileData};
+use drcf_bus::prelude::BusOp;
+use proptest::prelude::*;
+
+fn template_opts() -> TemplateOptions {
+    TemplateOptions::new(morphosys(), FabricGeometry::new(64_000, 1))
+}
+
+fn split() -> ConfigTransport {
+    ConfigTransport::SharedInterfaceBus {
+        split_transactions: true,
+    }
+}
+
+/// Probe master identical to the bench one but local to the test.
+struct Probe {
+    port: MasterPort,
+    script: Vec<(BusOp, Addr, Word)>,
+    pc: usize,
+    reads: Vec<Vec<Word>>,
+}
+
+impl Component for Probe {
+    fn handle(&mut self, api: &mut Api<'_>, msg: Msg) {
+        let issue = |s: &mut Self, api: &mut Api<'_>| {
+            if let Some(&(op, addr, v)) = s.script.get(s.pc) {
+                s.pc += 1;
+                match op {
+                    BusOp::Read => {
+                        s.port.read(api, addr, 1);
+                    }
+                    BusOp::Write => {
+                        s.port.write(api, addr, vec![v]);
+                    }
+                }
+            }
+        };
+        match &msg.kind {
+            MsgKind::Start => issue(self, api),
+            _ => {
+                if let Ok(r) = self.port.take_response(api, msg) {
+                    assert!(r.is_ok(), "{r:?}");
+                    if r.op == BusOp::Read {
+                        self.reads.push(r.data);
+                    }
+                    issue(self, api);
+                }
+            }
+        }
+    }
+}
+
+fn run_script(design: &drcf::transform::design::Design, script: Vec<(BusOp, Addr, Word)>) -> Vec<Vec<Word>> {
+    let e = elaborate(
+        design,
+        ElaborationOptions::default(),
+        vec![(
+            "probe".into(),
+            Box::new(move |bus| {
+                Box::new(Probe {
+                    port: MasterPort::new(bus, 1),
+                    script,
+                    pc: 0,
+                    reads: vec![],
+                })
+            }),
+        )],
+    )
+    .expect("elaborate");
+    let mut sim = e.sim;
+    assert_eq!(sim.run(), StopReason::Quiescent);
+    sim.get::<Probe>(e.masters[0]).reads.clone()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For any design size, any candidate subset and any access script,
+    /// the transformed design is observationally equivalent to the
+    /// original.
+    #[test]
+    fn transformation_preserves_behavior(
+        n_acc in 2usize..5,
+        fold_mask in 1u32..16,
+        ops in proptest::collection::vec((any::<bool>(), 0u64..4u64, 0u64..16, 0u64..100), 1..24),
+    ) {
+        let design = example_design(n_acc);
+        let fold: Vec<String> = (0..n_acc)
+            .filter(|i| fold_mask & (1 << i) != 0)
+            .map(|i| format!("hwa{i}"))
+            .collect();
+        prop_assume!(!fold.is_empty());
+        let fold_refs: Vec<&str> = fold.iter().map(String::as_str).collect();
+        let result = transform_design(&design, &fold_refs, &template_opts(), split())
+            .expect("legal transformation");
+
+        // Script over the accelerators' register windows (each claims 16
+        // words from 0x2000 + i*0x100).
+        let script: Vec<(BusOp, Addr, Word)> = ops
+            .iter()
+            .map(|&(is_read, acc, off, v)| {
+                let addr = 0x2000 + (acc % n_acc as u64) * 0x100 + (off % 16);
+                (if is_read { BusOp::Read } else { BusOp::Write }, addr, v)
+            })
+            .collect();
+        let a = run_script(&design, script.clone());
+        let b = run_script(&result.design, script);
+        prop_assert_eq!(a, b);
+    }
+
+    /// The §5.1 rule engine never groups blocks whose overlap exceeds the
+    /// threshold, and groups are size-coherent.
+    #[test]
+    fn candidate_groups_respect_rules(
+        busys in proptest::collection::vec(0.0f64..1.0, 2..7),
+        gates in proptest::collection::vec(2_000u64..80_000, 2..7),
+        overlaps in proptest::collection::vec(0.0f64..0.4, 0..20),
+    ) {
+        let n = busys.len().min(gates.len());
+        let blocks: Vec<BlockProfile> = (0..n)
+            .map(|i| BlockProfile {
+                instance: format!("b{i}"),
+                busy_fraction: busys[i],
+                gate_count: gates[i],
+                change_prone: false,
+            })
+            .collect();
+        let mut overlap = Vec::new();
+        let mut k = 0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if k < overlaps.len() {
+                    overlap.push((format!("b{i}"), format!("b{j}"), overlaps[k]));
+                    k += 1;
+                }
+            }
+        }
+        let profile = ProfileData {
+            blocks: blocks.clone(),
+            overlap,
+        };
+        let rules = SelectionRules::default();
+        let groups = select_candidates(&profile, &rules);
+        for g in &groups {
+            // Utilization rule (no change-prone blocks in this test).
+            for name in &g.instances {
+                let b = blocks.iter().find(|b| &b.instance == name).unwrap();
+                prop_assert!(b.busy_fraction <= rules.max_utilization);
+            }
+            // Overlap rule.
+            for (x, a) in g.instances.iter().enumerate() {
+                for b in &g.instances[x + 1..] {
+                    prop_assert!(profile.overlap_of(a, b) <= rules.max_overlap);
+                }
+            }
+            // Size-coherence rule.
+            let sizes: Vec<u64> = g
+                .instances
+                .iter()
+                .map(|name| blocks.iter().find(|b| &b.instance == name).unwrap().gate_count)
+                .collect();
+            let lo = *sizes.iter().min().unwrap();
+            let hi = *sizes.iter().max().unwrap();
+            prop_assert!(hi as f64 / lo as f64 <= rules.max_size_ratio);
+        }
+    }
+}
+
+/// Deadlock-risk candidate sets are rejected before any simulation is
+/// built — the static check matches the dynamic outcome.
+#[test]
+fn static_deadlock_check_matches_dynamic_behavior() {
+    let design = example_design(2);
+    // Static: rejected.
+    let blocking = ConfigTransport::SharedInterfaceBus {
+        split_transactions: false,
+    };
+    assert!(transform_design(&design, &["hwa0", "hwa1"], &template_opts(), blocking).is_err());
+
+    // Dynamic: forcing the same configuration anyway deadlocks.
+    let result = transform_design(&design, &["hwa0", "hwa1"], &template_opts(), split())
+        .expect("legal under split");
+    let e = elaborate(
+        &result.design,
+        ElaborationOptions {
+            bus: BusConfig {
+                mode: BusMode::Blocking,
+                ..BusConfig::default()
+            },
+            ..ElaborationOptions::default()
+        },
+        vec![(
+            "probe".into(),
+            Box::new(|bus| {
+                Box::new(Probe {
+                    port: MasterPort::new(bus, 1),
+                    script: vec![(BusOp::Write, 0x2000, 1)],
+                    pc: 0,
+                    reads: vec![],
+                })
+            }),
+        )],
+    )
+    .expect("elaborate");
+    let mut sim = e.sim;
+    assert!(matches!(sim.run(), StopReason::Deadlock { .. }));
+}
+
+/// Emitted listings of the transformed design always contain the DRCF
+/// skeleton markers the paper's listing shows.
+#[test]
+fn emitted_listings_have_paper_structure() {
+    for n in 2..5usize {
+        let design = example_design(n);
+        let fold: Vec<String> = (0..n).map(|i| format!("hwa{i}")).collect();
+        let fold_refs: Vec<&str> = fold.iter().map(String::as_str).collect();
+        let r = transform_design(&design, &fold_refs, &template_opts(), split()).unwrap();
+        let txt = emit_design(&r.design);
+        assert!(txt.contains("class drcf_own : public sc_module"));
+        assert!(txt.contains("SC_THREAD(arb_and_instr);"));
+        assert!(txt.contains("drcf1 = new drcf_own(\"DRCF1\");"));
+        for i in 0..n {
+            assert!(txt.contains(&format!("hwacc{i} *hwacc{i}_i;")), "context decl {i}");
+        }
+    }
+}
