@@ -17,7 +17,9 @@ fn bench(c: &mut Criterion) {
                 &design,
                 &["hwa0", "hwa1", "hwa2"],
                 &opts,
-                ConfigTransport::SharedInterfaceBus { split_transactions: true },
+                ConfigTransport::SharedInterfaceBus {
+                    split_transactions: true,
+                },
             )
             .unwrap()
         })
@@ -26,7 +28,9 @@ fn bench(c: &mut Criterion) {
         &design,
         &["hwa0", "hwa1", "hwa2"],
         &opts,
-        ConfigTransport::SharedInterfaceBus { split_transactions: true },
+        ConfigTransport::SharedInterfaceBus {
+            split_transactions: true,
+        },
     )
     .unwrap();
     g.bench_function("equivalence_run", |b| {

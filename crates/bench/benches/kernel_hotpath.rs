@@ -1,0 +1,67 @@
+//! Micro-benchmarks of the kernel dispatch hot path: the three workloads
+//! of `drcf_bench::hotpath`, timed per-iteration so regressions show up in
+//! the per-workload numbers, plus a fast-vs-legacy clock-path comparison.
+//!
+//! The canonical throughput document (`BENCH_kernel.json`) comes from
+//! `cargo run --release -p drcf-bench --bin experiments -- --bench-json`;
+//! this bench is the quick inner-loop check while touching the kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use drcf_bench::hotpath;
+use drcf_kernel::prelude::*;
+
+fn clock_grid(sim: &mut Simulator, legacy: bool) {
+    sim.set_legacy_clock_path(legacy);
+    for c in 0..8u64 {
+        let clk = sim.add_clock_mhz(&format!("clk{c}"), 50 + 37 * c);
+        for s in 0..4 {
+            sim.add(
+                &format!("sub{c}_{s}"),
+                FnComponent::new(move |api, msg| {
+                    if matches!(msg.kind, MsgKind::Start) {
+                        api.subscribe_clock(clk, Edge::Pos);
+                        if s == 0 {
+                            api.subscribe_clock(clk, Edge::Neg);
+                        }
+                    }
+                }),
+            );
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel_hotpath");
+    g.sample_size(10);
+
+    g.bench_function("dense_clock_300us", |b| {
+        b.iter(|| hotpath::dense_clock(300).events)
+    });
+    g.bench_function("fifo_heavy_4x2000", |b| {
+        b.iter(|| hotpath::fifo_heavy(4, 2000).events)
+    });
+
+    // Same clocked model on both dispatch paths; the gap is the win of the
+    // per-clock next-edge slots over the general heap.
+    for legacy in [false, true] {
+        let name = if legacy {
+            "clock_grid_200us_legacy_heap"
+        } else {
+            "clock_grid_200us_fast_path"
+        };
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut sim = Simulator::new();
+                clock_grid(&mut sim, legacy);
+                sim.run_until(SimTime::ZERO + SimDuration::us(200));
+                sim.metrics().dispatched
+            })
+        });
+    }
+
+    g.throughput(Throughput::Elements(1));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,9 +1,20 @@
 //! Regenerate every experiment table and print it.
 //!
 //! `cargo run --release -p drcf-bench --bin experiments [--markdown] [ids...]`
+//!
+//! `--bench-json` instead runs the kernel hot-path throughput suite and
+//! writes `BENCH_kernel.json` to the current directory (printing it too),
+//! the document that tracks the repo's perf trajectory.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--bench-json") {
+        let doc = drcf_bench::hotpath::bench_json().to_string_pretty();
+        println!("{doc}");
+        std::fs::write("BENCH_kernel.json", format!("{doc}\n")).expect("write BENCH_kernel.json");
+        eprintln!("wrote BENCH_kernel.json");
+        return;
+    }
     let markdown = args.iter().any(|a| a == "--markdown");
     let ids: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     for r in drcf_bench::run_all() {

@@ -67,10 +67,17 @@ pub fn run() -> ExperimentResult {
         "makespan vs estimation error (wireless receiver, VariCore, config over bus)",
         &["parameter", "scale", "makespan", "error vs nominal"],
     );
-    for (recs, what) in [(&size_points, "config size"), (&delay_points, "extra delay")] {
+    for (recs, what) in [
+        (&size_points, "config size"),
+        (&delay_points, "extra delay"),
+    ] {
         for r in recs.iter() {
             let scale = r
-                .param(if what == "config size" { "size%" } else { "delay%" })
+                .param(if what == "config size" {
+                    "size%"
+                } else {
+                    "delay%"
+                })
                 .unwrap();
             t.row(vec![
                 what.to_string(),
@@ -91,10 +98,8 @@ pub fn run() -> ExperimentResult {
             );
         }
     }
-    let size_sens =
-        (size_points[4].makespan_ns - size_points[0].makespan_ns) / nominal;
-    let delay_sens =
-        (delay_points[4].makespan_ns - delay_points[0].makespan_ns) / nominal;
+    let size_sens = (size_points[4].makespan_ns - size_points[0].makespan_ns) / nominal;
+    let delay_sens = (delay_points[4].makespan_ns - delay_points[0].makespan_ns) / nominal;
     assert!(
         size_sens > delay_sens,
         "transfer volume must dominate the fixed delay for bus-loaded configs"

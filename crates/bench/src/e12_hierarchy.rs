@@ -224,7 +224,12 @@ pub fn run() -> ExperimentResult {
     );
     let mut t = Table::new(
         "local-master read latency while the fabric thrashes (20 switches)",
-        &["topology", "config words", "mean latency (ns)", "max latency (ns)"],
+        &[
+            "topology",
+            "config words",
+            "mean latency (ns)",
+            "max latency (ns)",
+        ],
     );
     let mut pairs = Vec::new();
     for words in [512u64, 4096] {

@@ -56,7 +56,13 @@ pub fn run() -> ExperimentResult {
     ];
     let mut t = Table::new(
         "wireless receiver, 3 frames, fixed accelerators (Fig. 1a)",
-        &["window (words)", "CPU direct", "CPU relay", "DMA offload", "DMA vs relay"],
+        &[
+            "window (words)",
+            "CPU direct",
+            "CPU relay",
+            "DMA offload",
+            "DMA vs relay",
+        ],
     );
     let mut crossover_seen = false;
     for samples in [16usize, 64, 128, 256] {

@@ -55,7 +55,10 @@ pub fn run() -> ExperimentResult {
     );
     let w = wireless_receiver(4, 64);
     let (fixed, folded) = run_pair(&w);
-    for (name, m) in [("Fig1a fixed accelerators", &fixed), ("Fig1b DRCF", &folded)] {
+    for (name, m) in [
+        ("Fig1a fixed accelerators", &fixed),
+        ("Fig1b DRCF", &folded),
+    ] {
         t.row(vec![
             name.to_string(),
             fmt_ns(m.makespan.as_ns_f64()),
@@ -68,15 +71,8 @@ pub fn run() -> ExperimentResult {
     }
     res.tables.push(t);
 
-    let area_saving = 1.0
-        - ratio(
-            folded.area_gates as f64,
-            fixed.area_gates as f64,
-        );
-    let slowdown = ratio(
-        folded.makespan.as_ns_f64(),
-        fixed.makespan.as_ns_f64(),
-    );
+    let area_saving = 1.0 - ratio(folded.area_gates as f64, fixed.area_gates as f64);
+    let slowdown = ratio(folded.makespan.as_ns_f64(), fixed.makespan.as_ns_f64());
     res.summary.push(format!(
         "folding the three accelerators into one fabric saves {} of accelerator area at a {}x makespan cost",
         fmt_pct(area_saving),

@@ -74,9 +74,7 @@ pub fn soften(workload: &Workload, penalty: u64) -> Workload {
         let kind = match &t.kind {
             TaskKind::Software { cycles } => TaskKind::Software { cycles: *cycles },
             TaskKind::Hardware {
-                accel,
-                input_words,
-                ..
+                accel, input_words, ..
             } => {
                 let k = workload
                     .accels
@@ -148,11 +146,7 @@ pub fn measure_ladder(workload: &Workload) -> Vec<StylePoint> {
                 }
                 ("Reconfigurable (DRCF)", None) => {
                     let spec = SocSpec {
-                        mapping: fig1b_mapping(
-                            workload,
-                            drcf_core::prelude::morphosys(),
-                            1.1,
-                        ),
+                        mapping: fig1b_mapping(workload, drcf_core::prelude::morphosys(), 1.1),
                         ..SocSpec::default()
                     };
                     let (m, _) = run_soc(build_soc(workload, &spec).expect("drcf"));

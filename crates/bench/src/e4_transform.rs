@@ -84,7 +84,10 @@ pub fn equivalence_script() -> Vec<(BusOp, Addr, Word)> {
 }
 
 /// Run a design against the script; returns (reads, finish time, switches).
-pub fn run_design(design: &Design, script: Vec<(BusOp, Addr, Word)>) -> (Vec<Vec<Word>>, SimTime, u64) {
+pub fn run_design(
+    design: &Design,
+    script: Vec<(BusOp, Addr, Word)>,
+) -> (Vec<Vec<Word>>, SimTime, u64) {
     let e = elaborate(
         design,
         ElaborationOptions::default(),
@@ -163,7 +166,13 @@ pub fn run() -> ExperimentResult {
 
     let mut t = Table::new(
         "equivalence run (16 interleaved accesses)",
-        &["design", "reads", "identical data", "finish", "context switches"],
+        &[
+            "design",
+            "reads",
+            "identical data",
+            "finish",
+            "context switches",
+        ],
     );
     t.row(vec![
         "original (2 accelerators)".into(),

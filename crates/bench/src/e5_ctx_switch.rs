@@ -29,10 +29,17 @@ pub struct SwitchPoint {
     pub switch_cost_ns: f64,
     /// Switches performed.
     pub switches: u64,
+    /// Kernel events dispatched during the measurement run (throughput
+    /// accounting for the hot-path benchmark harness).
+    pub dispatched: u64,
 }
 
 /// Build a 2-context thrash system and measure the mean switch cost.
-pub fn measure_switch_cost(config_words: u64, cycles_per_word: u64, mem_latency: u64) -> SwitchPoint {
+pub fn measure_switch_cost(
+    config_words: u64,
+    cycles_per_word: u64,
+    mem_latency: u64,
+) -> SwitchPoint {
     measure_switch_cost_stateful(config_words, 0, cycles_per_word, mem_latency)
 }
 
@@ -125,6 +132,7 @@ pub fn measure_switch_cost_stateful(
         mem_latency,
         switch_cost_ns: cost,
         switches,
+        dispatched: sim.metrics().dispatched,
     }
 }
 
@@ -142,7 +150,13 @@ pub fn run() -> ExperimentResult {
 
     let mut t = Table::new(
         "mean context-switch cost (8-switch thrash, config over system bus)",
-        &["config words", "cyc/word", "mem lat", "switch cost", "cost/word (ns)"],
+        &[
+            "config words",
+            "cyc/word",
+            "mem lat",
+            "switch cost",
+            "cost/word (ns)",
+        ],
     );
     for p in &measured {
         t.row(vec![

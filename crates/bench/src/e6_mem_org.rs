@@ -56,7 +56,11 @@ pub fn org_cases() -> Vec<(&'static str, SocConfigPath, bool)> {
             SocConfigPath::DirectPort,
             false,
         ),
-        ("dedicated port, dual-port mem", SocConfigPath::DirectPort, true),
+        (
+            "dedicated port, dual-port mem",
+            SocConfigPath::DirectPort,
+            true,
+        ),
         (
             "fixed-rate (traffic not modeled)",
             SocConfigPath::FixedRate { words_per_cycle: 1 },
@@ -82,7 +86,13 @@ pub fn run() -> ExperimentResult {
     let records = run_all();
     let mut t = Table::new(
         "multi-standard terminal, 8 frames, switch every frame, Virtex-II Pro images",
-        &["organization", "makespan", "bus util", "bus words", "reconfig ovh"],
+        &[
+            "organization",
+            "makespan",
+            "bus util",
+            "bus words",
+            "reconfig ovh",
+        ],
     );
     for r in &records {
         t.row(vec![
@@ -104,7 +114,10 @@ pub fn run() -> ExperimentResult {
     // slower than pretending there is none.
     assert!(dedicated.makespan_ns <= shared.makespan_ns);
     assert!(dual.makespan_ns <= dedicated.makespan_ns);
-    assert!(shared.bus_words > dual.bus_words, "config words left the bus");
+    assert!(
+        shared.bus_words > dual.bus_words,
+        "config words left the bus"
+    );
     res.summary.push(format!(
         "a dedicated config port cuts makespan {:.2}x vs loading over the shared bus; dual-porting the config memory gives {:.2}x total",
         shared.makespan_ns / dedicated.makespan_ns,

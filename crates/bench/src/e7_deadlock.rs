@@ -118,8 +118,7 @@ pub fn run() -> ExperimentResult {
 
     // Exactly one case deadlocks: blocking bus + shared config path.
     for (mode, flavor, reason) in &outcomes {
-        let should_deadlock =
-            *mode == BusMode::Blocking && *flavor == PathFlavor::SharedBus;
+        let should_deadlock = *mode == BusMode::Blocking && *flavor == PathFlavor::SharedBus;
         if should_deadlock {
             assert!(
                 matches!(reason, StopReason::Deadlock { .. }),

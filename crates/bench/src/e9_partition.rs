@@ -44,7 +44,13 @@ pub fn run() -> ExperimentResult {
     let (proposed, outcomes, front) = analyze_workload(&w);
     let mut t = Table::new(
         "wireless receiver (serial pipeline): all folding subsets",
-        &["folded", "makespan", "area(kgate)", "switches", "on Pareto front"],
+        &[
+            "folded",
+            "makespan",
+            "area(kgate)",
+            "switches",
+            "on Pareto front",
+        ],
     );
     for (i, o) in outcomes.iter().enumerate() {
         t.row(vec![

@@ -1,0 +1,261 @@
+//! Kernel hot-path throughput measurements.
+//!
+//! Three workloads sized so each runs in the hundreds of milliseconds:
+//!
+//! - **dense_clock** — many free-running clocks with several edge
+//!   subscribers each; stresses the periodic-event path and subscriber
+//!   fan-out (the innermost loop of every synchronous model).
+//! - **fifo_heavy** — producer/consumer pairs over bounded FIFOs with
+//!   extra passive observers; stresses `notify_fifo` fan-out and the
+//!   delta-queue recycling.
+//! - **e5_sweep** — the full §5.3 context-switch sweep (real bus + fabric
+//!   traffic); the end-to-end experiment workload every DSE point pays.
+//!
+//! Each measurement reports kernel events dispatched per wall-clock
+//! second. [`bench_json`] renders the suite (plus the recorded
+//! pre-optimization baseline) as the `BENCH_kernel.json` document that
+//! tracks the repo's perf trajectory.
+
+use std::time::Instant;
+
+use drcf_dse::prelude::Json;
+use drcf_kernel::prelude::*;
+
+use crate::e5_ctx_switch::measure_switch_cost;
+
+/// One workload's throughput measurement.
+#[derive(Debug, Clone)]
+pub struct HotpathMeasurement {
+    /// Workload name.
+    pub name: String,
+    /// Kernel deliveries dispatched to components.
+    pub events: u64,
+    /// Wall-clock seconds for the run.
+    pub seconds: f64,
+    /// `events / seconds`.
+    pub events_per_sec: f64,
+    /// Kernel dispatch profile for single-simulator workloads (absent for
+    /// aggregated sweeps).
+    pub profile: Option<DispatchProfile>,
+}
+
+impl HotpathMeasurement {
+    fn new(name: &str, events: u64, seconds: f64) -> Self {
+        HotpathMeasurement {
+            name: name.to_string(),
+            events,
+            seconds,
+            events_per_sec: if seconds > 0.0 {
+                events as f64 / seconds
+            } else {
+                0.0
+            },
+            profile: None,
+        }
+    }
+
+    fn with_profile(mut self, m: &KernelMetrics, seconds: f64) -> Self {
+        self.profile = Some(DispatchProfile::from_metrics(m, seconds));
+        self
+    }
+
+    /// Encode as a JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut j = Json::obj()
+            .with("name", self.name.as_str().into())
+            .with("events", self.events.into())
+            .with("seconds", self.seconds.into())
+            .with("events_per_sec", self.events_per_sec.into());
+        if let Some(p) = &self.profile {
+            j.set("fast_clock_fraction", p.fast_clock_fraction.into());
+            j.set("avg_deltas_per_timestep", p.avg_deltas_per_timestep.into());
+            j.set("notifications_per_event", p.notifications_per_event.into());
+        }
+        j
+    }
+}
+
+/// Build the dense-clock model: `n_clocks` free-running clocks at
+/// staggered frequencies, `subs_per_clock` posedge subscribers each.
+fn build_dense_clock(sim: &mut Simulator, n_clocks: usize, subs_per_clock: usize) {
+    for c in 0..n_clocks {
+        // 50..x MHz staggered so edges rarely coincide (worst case for a
+        // periodic fast path: no batching windfall).
+        let clk = sim.add_clock_mhz(&format!("clk{c}"), 50 + 37 * c as u64);
+        for s in 0..subs_per_clock {
+            sim.add(
+                &format!("sub{c}_{s}"),
+                FnComponent::new(move |api, msg| {
+                    if matches!(msg.kind, MsgKind::Start) {
+                        api.subscribe_clock(clk, Edge::Pos);
+                        if s == 0 {
+                            api.subscribe_clock(clk, Edge::Neg);
+                        }
+                    }
+                }),
+            );
+        }
+    }
+    // One foreground heartbeat so run_until sees foreground work; its
+    // contribution (1 event/us) is noise next to the clock edges.
+    sim.add(
+        "heartbeat",
+        FnComponent::new(|api, msg| match msg.kind {
+            MsgKind::Start | MsgKind::Timer(_) => api.timer_in(SimDuration::us(1), 0),
+            _ => {}
+        }),
+    );
+}
+
+/// Measure the dense-clock workload on a fresh simulator.
+pub fn dense_clock(horizon_us: u64) -> HotpathMeasurement {
+    let mut sim = Simulator::new();
+    build_dense_clock(&mut sim, 8, 4);
+    let t0 = Instant::now();
+    let stop = sim.run_until(SimTime::ZERO + SimDuration::us(horizon_us));
+    let dt = t0.elapsed().as_secs_f64();
+    assert_eq!(stop, StopReason::TimeLimit);
+    HotpathMeasurement::new("dense_clock", sim.metrics().dispatched, dt)
+        .with_profile(&sim.metrics(), dt)
+}
+
+/// Measure the FIFO-heavy workload: `pairs` producer/consumer pairs plus
+/// two passive observers per FIFO, `tokens` tokens per producer.
+pub fn fifo_heavy(pairs: usize, tokens: u64) -> HotpathMeasurement {
+    let mut sim = Simulator::new();
+    for p in 0..pairs {
+        let fifo = sim.add_fifo::<u64>(&format!("f{p}"), 8);
+        sim.add(
+            &format!("prod{p}"),
+            FnComponent::new(move |api, msg| match msg.kind {
+                MsgKind::Start => api.timer_in(SimDuration::ns(10), tokens),
+                MsgKind::Timer(left) if left > 0 => {
+                    if api.fifo_try_put(fifo, left).is_ok() {
+                        api.timer_in(SimDuration::ns(10), left - 1);
+                    } else {
+                        // Full: retry after the consumer drains.
+                        api.timer_in(SimDuration::ns(20), left);
+                    }
+                }
+                _ => {}
+            }),
+        );
+        sim.add(
+            &format!("cons{p}"),
+            FnComponent::new(move |api, msg| match msg.kind {
+                MsgKind::Start => api.subscribe_fifo(fifo),
+                MsgKind::Fifo(_, FifoEventKind::DataWritten) => {
+                    while api.fifo_try_get(fifo).is_some() {}
+                }
+                _ => {}
+            }),
+        );
+        for o in 0..2 {
+            sim.add(
+                &format!("obs{p}_{o}"),
+                FnComponent::new(move |api, msg| {
+                    if matches!(msg.kind, MsgKind::Start) {
+                        api.subscribe_fifo(fifo);
+                    }
+                }),
+            );
+        }
+    }
+    let t0 = Instant::now();
+    let stop = sim.run();
+    let dt = t0.elapsed().as_secs_f64();
+    assert_eq!(stop, StopReason::Quiescent);
+    HotpathMeasurement::new("fifo_heavy", sim.metrics().dispatched, dt)
+        .with_profile(&sim.metrics(), dt)
+}
+
+/// Measure the E5 context-switch sweep (serial, so the number is a pure
+/// single-thread kernel throughput).
+pub fn e5_sweep() -> HotpathMeasurement {
+    let sizes = [64u64, 256, 1024, 4096];
+    let widths = [1u64, 2, 4];
+    let lat = [2u64, 8];
+    let mut events = 0u64;
+    let t0 = Instant::now();
+    // One sweep is ~10ms; repeat so the timing is not noise-dominated.
+    for _ in 0..16 {
+        for &s in &sizes {
+            for &w in &widths {
+                for &l in &lat {
+                    let p = measure_switch_cost(s, w, l);
+                    events += p.dispatched;
+                }
+            }
+        }
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    HotpathMeasurement::new("e5_ctx_switch_sweep", events, dt)
+}
+
+/// Run the full hot-path suite with default sizes.
+pub fn run_suite() -> Vec<HotpathMeasurement> {
+    vec![dense_clock(3000), fifo_heavy(16, 20_000), e5_sweep()]
+}
+
+/// Pre-optimization throughput (events/sec), measured on the commit just
+/// before the zero-allocation dispatch rework with this same harness
+/// (`--bench-json`, release build). Kept as the fixed "before" reference
+/// in `BENCH_kernel.json`; absolute numbers are machine-specific, the
+/// ratio is the tracked quantity.
+pub const BASELINE_EVENTS_PER_SEC: &[(&str, f64)] = &[
+    ("dense_clock", 11_586_250.0),
+    ("fifo_heavy", 23_567_612.0),
+    ("e5_ctx_switch_sweep", 8_434_458.0),
+];
+
+/// Render the whole suite (plus baseline and speedups) as JSON.
+pub fn bench_json() -> Json {
+    let current = run_suite();
+    let mut baseline_obj = Json::obj();
+    for (name, eps) in BASELINE_EVENTS_PER_SEC {
+        baseline_obj.set(name, (*eps).into());
+    }
+    let mut speedups = Json::obj();
+    for m in &current {
+        if let Some((_, base)) = BASELINE_EVENTS_PER_SEC.iter().find(|(n, _)| *n == m.name) {
+            if base.is_finite() && *base > 0.0 {
+                speedups.set(&m.name, (m.events_per_sec / base).into());
+            }
+        }
+    }
+    Json::obj()
+        .with("schema", "drcf-bench-kernel-v1".into())
+        .with(
+            "current",
+            Json::Arr(current.iter().map(HotpathMeasurement::to_json).collect()),
+        )
+        .with("baseline_events_per_sec", baseline_obj)
+        .with("speedup_vs_baseline", speedups)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_clock_counts_events() {
+        let m = dense_clock(50);
+        // 8 clocks, >=4 subscriber deliveries per posedge, 50us horizon.
+        assert!(m.events > 10_000, "only {} events", m.events);
+        assert!(m.seconds > 0.0);
+    }
+
+    #[test]
+    fn fifo_heavy_conserves_and_counts() {
+        let m = fifo_heavy(2, 500);
+        assert!(m.events >= 2 * 500, "only {} events", m.events);
+    }
+
+    #[test]
+    fn bench_json_shape() {
+        let m = HotpathMeasurement::new("x", 100, 0.5);
+        let j = m.to_json();
+        assert_eq!(j.get("events").unwrap().as_u64(), Some(100));
+        assert_eq!(j.get("events_per_sec").unwrap().as_f64(), Some(200.0));
+    }
+}

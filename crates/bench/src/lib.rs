@@ -26,6 +26,10 @@
 #![warn(missing_docs)]
 
 pub mod common;
+pub mod e10_scheduling;
+pub mod e11_sensitivity;
+pub mod e12_hierarchy;
+pub mod e13_data_movement;
 pub mod e1_architectures;
 pub mod e2_efficiency;
 pub mod e3_flow;
@@ -35,10 +39,7 @@ pub mod e6_mem_org;
 pub mod e7_deadlock;
 pub mod e8_technologies;
 pub mod e9_partition;
-pub mod e10_scheduling;
-pub mod e11_sensitivity;
-pub mod e12_hierarchy;
-pub mod e13_data_movement;
+pub mod hotpath;
 
 use common::ExperimentResult;
 

@@ -166,9 +166,7 @@ impl ArbiterKind {
         match self {
             ArbiterKind::Priority => Box::new(PriorityArbiter),
             ArbiterKind::RoundRobin => Box::new(RoundRobinArbiter::default()),
-            ArbiterKind::Tdma { owners, slot } => {
-                Box::new(TdmaArbiter::new(owners.clone(), *slot))
-            }
+            ArbiterKind::Tdma { owners, slot } => Box::new(TdmaArbiter::new(owners.clone(), *slot)),
         }
     }
 }

@@ -148,8 +148,7 @@ impl Component for BusBridge {
                 };
                 if let Ok(access) = msg.user::<SlaveAccess>() {
                     self.pending_forward.push_back(access);
-                    let d =
-                        SimDuration::cycles_at_mhz(self.cfg.forward_cycles, self.cfg.clock_mhz);
+                    let d = SimDuration::cycles_at_mhz(self.cfg.forward_cycles, self.cfg.clock_mhz);
                     api.timer_in(d, TAG_FORWARD);
                 }
             }
@@ -321,8 +320,7 @@ mod tests {
             sim.now().as_fs()
         };
         let remote_time = {
-            let mut sim =
-                two_bus_system(vec![(BusOp::Read, 0x1_0000, 0)], BusMode::Split);
+            let mut sim = two_bus_system(vec![(BusOp::Read, 0x1_0000, 0)], BusMode::Split);
             sim.run();
             sim.now().as_fs()
         };

@@ -85,8 +85,16 @@ impl BusConfig {
 }
 
 enum Pending {
-    Request { req: BusRequest, arrival: u64, arrived_at: SimTime },
-    Response { reply: SlaveReply, arrival: u64, arrived_at: SimTime },
+    Request {
+        req: BusRequest,
+        arrival: u64,
+        arrived_at: SimTime,
+    },
+    Response {
+        reply: SlaveReply,
+        arrival: u64,
+        arrived_at: SimTime,
+    },
 }
 
 impl Pending {
@@ -111,11 +119,16 @@ impl Pending {
 enum State {
     Idle,
     /// Request phase in progress; at the timer, the access goes to `slave`.
-    RequestPhase { req: BusRequest, slave: ComponentId },
+    RequestPhase {
+        req: BusRequest,
+        slave: ComponentId,
+    },
     /// Blocking mode only: bus held while the slave processes.
     WaitSlave,
     /// Response data returning to the master.
-    ResponsePhase { reply: SlaveReply },
+    ResponsePhase {
+        reply: SlaveReply,
+    },
 }
 
 const TAG_REQ_DONE: u64 = 1;
@@ -211,7 +224,9 @@ impl Bus {
         let item = self.pending.swap_remove(idx);
         self.stats.busy.set_busy(api.now());
         match item {
-            Pending::Request { req, arrived_at, .. } => {
+            Pending::Request {
+                req, arrived_at, ..
+            } => {
                 self.stats.record_grant(req.master);
                 self.stats.wait.record(api.now().since(arrived_at));
                 match self.map.decode_burst(req.addr, req.burst) {
@@ -246,7 +261,9 @@ impl Bus {
                     }
                 }
             }
-            Pending::Response { reply, arrived_at, .. } => {
+            Pending::Response {
+                reply, arrived_at, ..
+            } => {
                 self.stats.record_grant(reply.master);
                 self.stats.wait.record(api.now().since(arrived_at));
                 let cycles = self
@@ -275,8 +292,7 @@ impl Bus {
     }
 
     fn request_phase_done(&mut self, api: &mut Api<'_>) {
-        let State::RequestPhase { req, slave } =
-            std::mem::replace(&mut self.state, State::Idle)
+        let State::RequestPhase { req, slave } = std::mem::replace(&mut self.state, State::Idle)
         else {
             unreachable!("request-done timer outside request phase");
         };
@@ -315,8 +331,7 @@ impl Bus {
     }
 
     fn response_phase_done(&mut self, api: &mut Api<'_>) {
-        let State::ResponsePhase { reply } = std::mem::replace(&mut self.state, State::Idle)
-        else {
+        let State::ResponsePhase { reply } = std::mem::replace(&mut self.state, State::Idle) else {
             unreachable!("response-done timer outside response phase");
         };
         self.stats.responses += 1;
@@ -416,10 +431,13 @@ mod tests {
         };
         let master = sim.add(
             "master",
-            SeqMaster::new(1, vec![
-                (BusOp::Write, 0x100, vec![7, 8]),
-                (BusOp::Read, 0x100, vec![2]), // burst 2
-            ]),
+            SeqMaster::new(
+                1,
+                vec![
+                    (BusOp::Write, 0x100, vec![7, 8]),
+                    (BusOp::Read, 0x100, vec![2]), // burst 2
+                ],
+            ),
         );
         let bus = sim.add("bus", Bus::new(cfg, map));
         let _slave = sim.add(
@@ -509,7 +527,10 @@ mod tests {
             mode: BusMode::Blocking,
             ..BusConfig::default()
         };
-        sim.add("master", SeqMaster::new(1, vec![(BusOp::Read, 0x0, vec![1])]));
+        sim.add(
+            "master",
+            SeqMaster::new(1, vec![(BusOp::Read, 0x0, vec![1])]),
+        );
         sim.add("bus", Bus::new(cfg, map));
         sim.add(
             "slave",
@@ -529,7 +550,10 @@ mod tests {
             let mut sim = Simulator::new();
             let mut map = AddressMap::new();
             map.add(0x0, 0xFF, 3).unwrap();
-            let cfg = BusConfig { mode, ..BusConfig::default() };
+            let cfg = BusConfig {
+                mode,
+                ..BusConfig::default()
+            };
             sim.add("m0", SeqMaster::new(2, vec![(BusOp::Read, 0x0, vec![1])]));
             sim.add("m1", SeqMaster::new(2, vec![(BusOp::Read, 0x10, vec![1])]));
             sim.add("bus", Bus::new(cfg, map));

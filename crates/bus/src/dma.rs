@@ -180,7 +180,10 @@ impl Dma {
         if !resp.is_ok() {
             api.log(
                 Severity::Error,
-                format!("DMA transaction failed at {:#x}: {:?}", resp.addr, resp.status),
+                format!(
+                    "DMA transaction failed at {:#x}: {:?}",
+                    resp.addr, resp.status
+                ),
             );
             self.regs[regs::CTRL as usize] = status::IDLE;
             self.finish(api);
@@ -212,7 +215,7 @@ impl Dma {
     }
 
     fn on_slave_access(&mut self, api: &mut Api<'_>, access: SlaveAccess) {
-        use crate::protocol::{BusStatus, BusRequest};
+        use crate::protocol::{BusRequest, BusStatus};
         let req: &BusRequest = &access.req;
         let mut status_code = BusStatus::Ok;
         let mut data = Vec::new();
@@ -308,26 +311,24 @@ mod tests {
         map.add(0xD000, 0xD003, 3).unwrap(); // DMA registers
         sim.add(
             "driver",
-            FnComponent::new(move |api, msg| {
-                match &msg.kind {
-                    MsgKind::Start => {
-                        api.send(
-                            3,
-                            DmaProgram {
-                                src: 0x000,
-                                dst: 0x800,
-                                words: 40,
-                                notify: 0,
-                                tag: 5,
-                            },
-                            Delay::Delta,
-                        );
-                        api.obligation_begin();
-                    }
-                    _ => {
-                        if msg.user_ref::<DmaDone>().is_some() {
-                            api.obligation_end();
-                        }
+            FnComponent::new(move |api, msg| match &msg.kind {
+                MsgKind::Start => {
+                    api.send(
+                        3,
+                        DmaProgram {
+                            src: 0x000,
+                            dst: 0x800,
+                            words: 40,
+                            notify: 0,
+                            tag: 5,
+                        },
+                        Delay::Delta,
+                    );
+                    api.obligation_begin();
+                }
+                _ => {
+                    if msg.user_ref::<DmaDone>().is_some() {
+                        api.obligation_end();
                     }
                 }
             }),
@@ -396,9 +397,7 @@ mod tests {
                                 }
                                 _ => {
                                     // Poll status.
-                                    if resp.op == BusOp::Read
-                                        && resp.data == vec![status::DONE]
-                                    {
+                                    if resp.op == BusOp::Read && resp.data == vec![status::DONE] {
                                         self.done_seen = true;
                                     } else {
                                         self.port.read(api, 0xD000 + regs::CTRL, 1);

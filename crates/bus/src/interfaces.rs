@@ -196,7 +196,14 @@ impl MasterPort {
         self.in_flight.len()
     }
 
-    fn issue(&mut self, api: &mut Api<'_>, op: BusOp, addr: Addr, burst: usize, data: Vec<Word>) -> TxnId {
+    fn issue(
+        &mut self,
+        api: &mut Api<'_>,
+        op: BusOp,
+        addr: Addr,
+        burst: usize,
+        data: Vec<Word>,
+    ) -> TxnId {
         let id = self.next_txn;
         self.next_txn += 1;
         let req = BusRequest {
@@ -288,10 +295,7 @@ impl BusSlaveModel for RegisterFile {
         self.low + self.regs.len() as u64 - 1
     }
     fn read(&mut self, addr: Addr) -> Result<Word, ()> {
-        self.regs
-            .get((addr - self.low) as usize)
-            .copied()
-            .ok_or(())
+        self.regs.get((addr - self.low) as usize).copied().ok_or(())
     }
     fn write(&mut self, addr: Addr, data: Word) -> Result<(), ()> {
         let i = (addr - self.low) as usize;

@@ -112,7 +112,9 @@ impl Memory {
 
     /// Direct (zero-time, test-only) peek.
     pub fn peek(&self, addr: Addr) -> Option<Word> {
-        self.data.get((addr.checked_sub(self.cfg.base)?) as usize).copied()
+        self.data
+            .get((addr.checked_sub(self.cfg.base)?) as usize)
+            .copied()
     }
 
     /// Direct (zero-time, test-only) poke.
@@ -188,8 +190,7 @@ impl Component for Memory {
                 }
                 let cycles = self.cfg.service_cycles(access.req.op, access.req.burst);
                 let service = SimDuration::cycles_at_mhz(cycles, self.cfg.clock_mhz);
-                let delay =
-                    Self::schedule_on_port(api.now(), &mut self.bus_busy_until, service);
+                let delay = Self::schedule_on_port(api.now(), &mut self.bus_busy_until, service);
                 api.send_in(
                     access.bus,
                     SlaveReply {

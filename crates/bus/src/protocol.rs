@@ -179,13 +179,19 @@ mod tests {
 
     #[test]
     fn zero_burst_rejected() {
-        let r = BusRequest { burst: 0, ..read_req() };
+        let r = BusRequest {
+            burst: 0,
+            ..read_req()
+        };
         assert!(r.validate().is_err());
     }
 
     #[test]
     fn read_with_payload_rejected() {
-        let r = BusRequest { data: vec![1], ..read_req() };
+        let r = BusRequest {
+            data: vec![1],
+            ..read_req()
+        };
         assert!(r.validate().is_err());
     }
 
@@ -210,7 +216,10 @@ mod tests {
             data: vec![0],
         };
         assert!(ok.is_ok());
-        let bad = BusResponse { status: BusStatus::DecodeError, ..ok.clone() };
+        let bad = BusResponse {
+            status: BusStatus::DecodeError,
+            ..ok.clone()
+        };
         assert!(!bad.is_ok());
     }
 }

@@ -424,7 +424,8 @@ impl Drcf {
                 let mut save_total = 0;
                 for v in evict {
                     self.sched.evict(v);
-                    self.stats.record_event(api.now(), v, FabricEventKind::Evict);
+                    self.stats
+                        .record_event(api.now(), v, FabricEventKind::Evict);
                     let st = self.contexts[v].params.state_words;
                     if st > 0 {
                         save_total += st;
@@ -493,9 +494,8 @@ impl Drcf {
                 // words move over the dedicated port back to back (the
                 // direction split does not change the port timing model).
                 let memory = *memory;
-                let words = (load.save_remaining
-                    + load.image_remaining
-                    + load.restore_remaining) as usize;
+                let words =
+                    (load.save_remaining + load.image_remaining + load.restore_remaining) as usize;
                 let ctx = load.ctx;
                 api.obligation_begin();
                 api.send(
@@ -513,8 +513,7 @@ impl Drcf {
                 words_per_cycle,
                 clock_mhz,
             } => {
-                let total =
-                    load.save_remaining + load.image_remaining + load.restore_remaining;
+                let total = load.save_remaining + load.image_remaining + load.restore_remaining;
                 let cycles = total.div_ceil((*words_per_cycle).max(1));
                 let d = SimDuration::cycles_at_mhz(cycles, *clock_mhz);
                 api.timer_in(d, TAG_FIXED_XFER_DONE);
@@ -614,8 +613,7 @@ impl Drcf {
             BusOp::Write => {
                 // Victim-state write-back acknowledged; the ack carries no
                 // payload, so account the burst recorded at issue time.
-                load.save_remaining =
-                    load.save_remaining.saturating_sub(load.save_in_flight);
+                load.save_remaining = load.save_remaining.saturating_sub(load.save_in_flight);
                 load.save_in_flight = 0;
             }
             BusOp::Read => {
@@ -733,7 +731,11 @@ mod tests {
                         op,
                         addr,
                         burst: 1,
-                        data: if op == BusOp::Write { vec![data] } else { vec![] },
+                        data: if op == BusOp::Write {
+                            vec![data]
+                        } else {
+                            vec![]
+                        },
                         priority: 0,
                     };
                     let me = api.me();
@@ -891,8 +893,7 @@ mod tests {
     #[test]
     fn unclaimed_address_gets_slave_error() {
         let drcf = fixed_rate_drcf(vec![ctx("a", 0x000, 10)], 1);
-        let (sim, driver, _) =
-            run_driver(drcf, vec![(SimDuration::ZERO, 0x500, BusOp::Read, 0)]);
+        let (sim, driver, _) = run_driver(drcf, vec![(SimDuration::ZERO, 0x500, BusOp::Read, 0)]);
         let d = sim.get::<Driver>(driver);
         assert_eq!(d.replies[0].1.status, BusStatus::SlaveError);
     }
@@ -1045,11 +1046,13 @@ mod tests {
         a.params.state_words = 100;
         a.params.state_addr = 0x800;
         let drcf = fixed_rate_drcf(vec![a], 1);
-        let (sim, _, fabric) =
-            run_driver(drcf, vec![(SimDuration::ZERO, 0x000, BusOp::Write, 1)]);
+        let (sim, _, fabric) = run_driver(drcf, vec![(SimDuration::ZERO, 0x000, BusOp::Write, 1)]);
         let f = sim.get::<Drcf>(fabric);
         assert_eq!(f.stats.switches, 1);
-        assert_eq!(f.stats.state_words, 0, "nothing saved yet, nothing restored");
+        assert_eq!(
+            f.stats.state_words, 0,
+            "nothing saved yet, nothing restored"
+        );
     }
 
     #[test]

@@ -155,10 +155,7 @@ mod tests {
         let plans = plan_contexts(g, &t, &[10_000, 10_000, 20_000], 0x1000).unwrap();
         assert_eq!(plans.len(), 3);
         assert_eq!(plans[0].config_addr, 0x1000);
-        assert_eq!(
-            plans[1].config_addr,
-            0x1000 + plans[0].config_size_words
-        );
+        assert_eq!(plans[1].config_addr, 0x1000 + plans[0].config_size_words);
         assert_eq!(
             plans[2].config_addr,
             plans[1].config_addr + plans[1].config_size_words
@@ -173,6 +170,10 @@ mod tests {
         let t = varicore();
         let p = plan_context(g, &t, 32_000, 0).unwrap();
         // Paper figure: 0.075 µW/gate/MHz * 32K gates * 250MHz = 600 mW.
-        assert!((p.active_power_mw - 600.0).abs() < 1.0, "{}", p.active_power_mw);
+        assert!(
+            (p.active_power_mw - 600.0).abs() < 1.0,
+            "{}",
+            p.active_power_mw
+        );
     }
 }

@@ -107,10 +107,12 @@ pub fn energy_of_run(
         };
         report.active_mj += mj(p_mw, cs.active);
     }
-    report.reconfig_mj = mj(model.reconfig_mw, stats.reconfig + stats.reconfig_overlapped);
-    report.config_transfer_mj = (stats.config_words + stats.state_words) as f64
-        * model.energy_per_config_word_nj
-        / 1e6;
+    report.reconfig_mj = mj(
+        model.reconfig_mw,
+        stats.reconfig + stats.reconfig_overlapped,
+    );
+    report.config_transfer_mj =
+        (stats.config_words + stats.state_words) as f64 * model.energy_per_config_word_nj / 1e6;
     report
 }
 

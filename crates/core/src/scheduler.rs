@@ -185,7 +185,9 @@ impl ContextScheduler {
 
     /// Remove `c` from the fabric.
     pub fn evict(&mut self, c: ContextId) {
-        let r = self.resident[c].take().expect("evicting a non-resident context");
+        let r = self.resident[c]
+            .take()
+            .expect("evicting a non-resident context");
         self.free_slots += r.slots.len();
     }
 

@@ -163,7 +163,10 @@ mod tests {
         let fine = virtex2_pro().config_words_for(gates);
         let medium = varicore().config_words_for(gates);
         let coarse = morphosys().config_words_for(gates);
-        assert!(fine > medium && medium > coarse, "{fine} > {medium} > {coarse}");
+        assert!(
+            fine > medium && medium > coarse,
+            "{fine} > {medium} > {coarse}"
+        );
         assert!(fine >= 100 * coarse, "orders of magnitude apart");
     }
 

@@ -372,7 +372,10 @@ fn larger_contexts_cost_proportionally_more() {
         let mut map = AddressMap::new();
         map.add(0x0000, 0x3FFF, 2).unwrap();
         map.add(0x8000, 0x80FF, 3).unwrap();
-        sim.add("cpu", ScriptedMaster::new(1, vec![(BusOp::Write, 0x8000, 1)]));
+        sim.add(
+            "cpu",
+            ScriptedMaster::new(1, vec![(BusOp::Write, 0x8000, 1)]),
+        );
         sim.add("bus", Bus::new(BusConfig::default(), map));
         sim.add(
             "mem",

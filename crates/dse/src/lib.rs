@@ -3,13 +3,15 @@
 //! "The methodology allows to do true design space exploration at the
 //! system-level, without the need to map the design first to an actual
 //! technology implementation" (abstract). This crate is that exploration
-//! layer: parameter spaces ([`space`]), a rayon-parallel deterministic
-//! sweep runner ([`runner`]), flattened run records ([`metrics`]),
-//! Pareto-front extraction ([`pareto`]), partitioning-subset exploration
-//! ([`partition`]) and table rendering ([`report`]).
+//! layer: parameter spaces ([`space`]), a thread-parallel deterministic
+//! sweep runner ([`runner`]), flattened run records ([`metrics`]) with a
+//! std-only JSON codec ([`json`]), Pareto-front extraction ([`pareto`]),
+//! partitioning-subset exploration ([`partition`]) and table rendering
+//! ([`report`]).
 
 #![warn(missing_docs)]
 
+pub mod json;
 pub mod metrics;
 pub mod pareto;
 pub mod partition;
@@ -19,11 +21,10 @@ pub mod space;
 
 /// Commonly used items.
 pub mod prelude {
-    pub use crate::metrics::RunRecord;
+    pub use crate::json::Json;
+    pub use crate::metrics::{records_to_json, RunRecord};
     pub use crate::pareto::{dominates, objectives, pareto_front, Objective};
-    pub use crate::partition::{
-        explore_partitions, size_fabric, subsets, PartitionOutcome,
-    };
+    pub use crate::partition::{explore_partitions, size_fabric, subsets, PartitionOutcome};
     pub use crate::report::{fmt_ns, fmt_pct, Table};
     pub use crate::runner::{sweep, sweep_serial, sweep_with};
     pub use crate::space::{cartesian2, cartesian3, linear_steps, pow2_steps};

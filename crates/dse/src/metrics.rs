@@ -1,11 +1,10 @@
 //! Run records — the rows of every experiment table.
 
-use serde::{Deserialize, Serialize};
-
+use crate::json::{Json, JsonError};
 use drcf_soc::prelude::RunMetrics;
 
 /// One simulation's outcome, flattened for tables and JSON.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunRecord {
     /// Scenario label.
     pub scenario: String,
@@ -68,6 +67,79 @@ impl RunRecord {
             items as f64 / (self.makespan_ns / 1e6)
         }
     }
+
+    /// Encode as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("scenario", self.scenario.as_str().into())
+            .with(
+                "params",
+                Json::Arr(
+                    self.params
+                        .iter()
+                        .map(|(k, v)| Json::Arr(vec![k.as_str().into(), v.as_str().into()]))
+                        .collect(),
+                ),
+            )
+            .with("makespan_ns", self.makespan_ns.into())
+            .with("bus_utilization", self.bus_utilization.into())
+            .with("bus_words", self.bus_words.into())
+            .with("switches", self.switches.into())
+            .with("config_words", self.config_words.into())
+            .with("reconfig_overhead", self.reconfig_overhead.into())
+            .with("hit_rate", self.hit_rate.into())
+            .with("energy_mj", self.energy_mj.into())
+            .with("area_gates", self.area_gates.into())
+            .with("ok", self.ok.into())
+    }
+
+    /// Decode from the JSON produced by [`RunRecord::to_json`].
+    pub fn from_json(v: &Json) -> Result<RunRecord, JsonError> {
+        let field = |k: &str| {
+            v.get(k).ok_or(JsonError {
+                pos: 0,
+                message: format!("missing field {k}"),
+            })
+        };
+        let bad = |k: &str| JsonError {
+            pos: 0,
+            message: format!("bad field {k}"),
+        };
+        let num = |k: &str| field(k)?.as_f64().ok_or_else(|| bad(k));
+        let int = |k: &str| field(k)?.as_u64().ok_or_else(|| bad(k));
+        let mut params = Vec::new();
+        for p in field("params")?.as_arr().ok_or_else(|| bad("params"))? {
+            match p.as_arr() {
+                Some([k, val]) => params.push((
+                    k.as_str().ok_or_else(|| bad("params"))?.to_string(),
+                    val.as_str().ok_or_else(|| bad("params"))?.to_string(),
+                )),
+                _ => return Err(bad("params")),
+            }
+        }
+        Ok(RunRecord {
+            scenario: field("scenario")?
+                .as_str()
+                .ok_or_else(|| bad("scenario"))?
+                .to_string(),
+            params,
+            makespan_ns: num("makespan_ns")?,
+            bus_utilization: num("bus_utilization")?,
+            bus_words: int("bus_words")?,
+            switches: int("switches")?,
+            config_words: int("config_words")?,
+            reconfig_overhead: num("reconfig_overhead")?,
+            hit_rate: num("hit_rate")?,
+            energy_mj: num("energy_mj")?,
+            area_gates: int("area_gates")?,
+            ok: field("ok")?.as_bool().ok_or_else(|| bad("ok"))?,
+        })
+    }
+}
+
+/// Encode a slice of records as a JSON array.
+pub fn records_to_json(records: &[RunRecord]) -> Json {
+    Json::Arr(records.iter().map(RunRecord::to_json).collect())
 }
 
 #[cfg(test)]
@@ -93,11 +165,7 @@ mod tests {
 
     #[test]
     fn conversion_keeps_fields() {
-        let r = RunRecord::from_metrics(
-            "test",
-            vec![("freq".into(), "100".into())],
-            &metrics(),
-        );
+        let r = RunRecord::from_metrics("test", vec![("freq".into(), "100".into())], &metrics());
         assert_eq!(r.makespan_ns, 3000.0);
         assert_eq!(r.switches, 4);
         assert_eq!(r.param("freq"), Some("100"));
@@ -115,8 +183,8 @@ mod tests {
     #[test]
     fn serializes_to_json() {
         let r = RunRecord::from_metrics("t", vec![("a".into(), "b".into())], &metrics());
-        let s = serde_json::to_string(&r).unwrap();
-        let back: RunRecord = serde_json::from_str(&s).unwrap();
+        let s = r.to_json().to_string();
+        let back = RunRecord::from_json(&crate::json::Json::parse(&s).unwrap()).unwrap();
         assert_eq!(r, back);
     }
 }

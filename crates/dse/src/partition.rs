@@ -16,7 +16,10 @@ use crate::runner::sweep;
 /// bitmask order over the input).
 pub fn subsets(names: &[String], min_size: usize) -> Vec<Vec<String>> {
     let n = names.len();
-    assert!(n <= 20, "subset enumeration beyond 20 blocks is unreasonable");
+    assert!(
+        n <= 20,
+        "subset enumeration beyond 20 blocks is unreasonable"
+    );
     let mut out = Vec::new();
     for mask in 0u32..(1 << n) {
         if (mask.count_ones() as usize) < min_size {
@@ -34,7 +37,12 @@ pub fn subsets(names: &[String], min_size: usize) -> Vec<Vec<String>> {
 
 /// Fabric geometry sized for a candidate set: area of the largest folded
 /// context times a margin, in one region per `slots` requested.
-pub fn size_fabric(workload: &Workload, folded: &[String], margin: f64, regions: usize) -> FabricGeometry {
+pub fn size_fabric(
+    workload: &Workload,
+    folded: &[String],
+    margin: f64,
+    regions: usize,
+) -> FabricGeometry {
     let max_gates = workload
         .accels
         .iter()
@@ -91,11 +99,7 @@ pub fn explore_partitions(
         match build_soc(workload, &spec) {
             Ok(soc) => {
                 let (m, _) = run_soc(soc);
-                RunRecord::from_metrics(
-                    "partition",
-                    vec![("folded".into(), label)],
-                    &m,
-                )
+                RunRecord::from_metrics("partition", vec![("folded".into(), label)], &m)
             }
             Err(e) => RunRecord {
                 scenario: "partition".into(),

@@ -2,11 +2,14 @@
 //!
 //! Each simulation in this workspace is single-threaded and fully
 //! deterministic, so design-space exploration parallelizes at whole-run
-//! granularity: `par_iter` over the parameter points (the data-parallel
-//! idiom of the rayon guide), preserving point order in the output so
-//! parallel and serial sweeps produce identical record vectors.
+//! granularity: a scoped thread pool pulls parameter points off a shared
+//! atomic cursor (classic work-stealing-by-index), and results are written
+//! back by point index so parallel and serial sweeps produce identical
+//! record vectors. This is std-only (the environment is offline), but the
+//! contract matches the rayon `par_iter().map().collect()` idiom the
+//! module originally used.
 
-use rayon::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::metrics::RunRecord;
 
@@ -16,7 +19,7 @@ where
     P: Sync,
     F: Fn(&P) -> RunRecord + Sync,
 {
-    points.par_iter().map(&eval).collect()
+    sweep_with(points, eval)
 }
 
 /// Serial reference implementation (for equivalence tests and debugging).
@@ -34,7 +37,44 @@ where
     R: Send,
     F: Fn(&P) -> R + Sync,
 {
-    points.par_iter().map(&eval).collect()
+    let n = points.len();
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if workers <= 1 {
+        return points.iter().map(&eval).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let cursor = &cursor;
+                let eval = &eval;
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, eval(&points[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("sweep worker panicked") {
+                out[i] = Some(r);
+            }
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("every point evaluated exactly once"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -46,11 +86,7 @@ mod tests {
         let w = wireless_receiver(*frames, 32);
         let soc = build_soc(&w, &SocSpec::default()).expect("build");
         let (m, _) = run_soc(soc);
-        RunRecord::from_metrics(
-            "frames",
-            vec![("frames".into(), frames.to_string())],
-            &m,
-        )
+        RunRecord::from_metrics("frames", vec![("frames".into(), frames.to_string())], &m)
     }
 
     #[test]
@@ -76,5 +112,19 @@ mod tests {
     fn sweep_with_custom_payloads() {
         let out = sweep_with(&[1u64, 2, 3], |x| x * 10);
         assert_eq!(out, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn sweep_handles_many_points() {
+        let points: Vec<u64> = (0..257).collect();
+        let out = sweep_with(&points, |x| x + 1);
+        assert_eq!(out.len(), 257);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i as u64 + 1));
+    }
+
+    #[test]
+    fn sweep_empty_points() {
+        let out = sweep_with::<u64, u64, _>(&[], |x| *x);
+        assert!(out.is_empty());
     }
 }

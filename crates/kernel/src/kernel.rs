@@ -18,8 +18,8 @@ use std::any::Any;
 
 use crate::component::Component;
 use crate::event::{
-    ClockIdx, ComponentId, Delay, Delivery, Edge, FifoEventKind, FifoIdx, Msg, MsgKind,
-    SignalIdx, StopReason,
+    ClockIdx, ComponentId, Delay, Delivery, Edge, FifoEventKind, FifoIdx, Msg, MsgKind, SignalIdx,
+    StopReason,
 };
 use crate::fifo::{AnyFifoSlot, FifoRef, FifoSlot};
 use crate::queue::{EventQueue, TimedEntry};
@@ -48,6 +48,15 @@ struct ClockState {
     neg_subs: Vec<ComponentId>,
     started: bool,
     pos_edges: u64,
+    /// Periodic-event fast path: a free-running clock has exactly one
+    /// pending edge at any moment, so it lives in this slot instead of the
+    /// general heap. `next_seq` is still drawn from the kernel's shared
+    /// sequence counter, so merging slots with the heap by `(time, seq)`
+    /// reproduces the heap-only dispatch order bit for bit.
+    armed: bool,
+    next_time: SimTime,
+    next_seq: u64,
+    next_edge: Edge,
 }
 
 /// Counters the kernel maintains about its own operation.
@@ -61,6 +70,14 @@ pub struct KernelMetrics {
     pub timesteps: u64,
     /// Largest number of delta cycles within one timestep.
     pub max_deltas_in_step: u64,
+    /// Clock edges fired from the per-clock next-edge slots (the periodic
+    /// fast path) rather than the general timed-event heap.
+    pub clock_edges_fast: u64,
+    /// Timed entries popped from the general heap.
+    pub heap_events: u64,
+    /// Subscriber notifications fanned out (clock edges, FIFO events, and
+    /// signal changes delivered to subscribers).
+    pub notifications: u64,
 }
 
 pub(crate) struct KernelState {
@@ -71,6 +88,14 @@ pub(crate) struct KernelState {
     queue: EventQueue,
     next_delta: Vec<Delivery>,
     update_requests: Vec<SignalIdx>,
+    /// Recycled buffer `apply_updates` swaps with `update_requests`, so the
+    /// update phase allocates nothing in steady state.
+    update_scratch: Vec<SignalIdx>,
+    /// When set, clock edges are scheduled through the general heap instead
+    /// of the per-clock slots. The resulting schedule is identical (same
+    /// `(time, seq)` assignment); only the data path differs. Regression
+    /// tests use it to diff the fast path against the reference path.
+    legacy_clock_path: bool,
     signals: Vec<Box<dyn AnySignalSlot>>,
     clocks: Vec<ClockState>,
     fifos: Vec<Box<dyn AnyFifoSlot>>,
@@ -115,18 +140,104 @@ impl KernelState {
         );
     }
 
-    fn clock_schedule_edge(&mut self, idx: ClockIdx, edge: Edge, at: SimDuration) {
-        self.schedule(
-            Delay::Time(at),
-            Delivery {
-                target: CLOCK_TARGET,
-                msg: Msg {
-                    source: None,
-                    kind: MsgKind::ClockEdge(idx, edge),
-                },
-                background: true,
+    fn clock_delivery(idx: ClockIdx, edge: Edge) -> Delivery {
+        Delivery {
+            target: CLOCK_TARGET,
+            msg: Msg {
+                source: None,
+                kind: MsgKind::ClockEdge(idx, edge),
             },
-        );
+            background: true,
+        }
+    }
+
+    fn clock_schedule_edge(&mut self, idx: ClockIdx, edge: Edge, at: SimDuration) {
+        if at.is_zero() {
+            // A clock started with zero offset delivers its first edge in
+            // the next delta, like any other zero-delay schedule (no seq).
+            self.next_delta.push(Self::clock_delivery(idx, edge));
+            return;
+        }
+        let seq = self.seq;
+        self.seq += 1;
+        let time = self.now + at;
+        if self.legacy_clock_path {
+            self.queue.push(TimedEntry {
+                time,
+                seq,
+                delivery: Self::clock_delivery(idx, edge),
+            });
+        } else {
+            let c = &mut self.clocks[idx];
+            debug_assert!(!c.armed, "a clock has at most one pending edge");
+            c.armed = true;
+            c.next_time = time;
+            c.next_seq = seq;
+            c.next_edge = edge;
+        }
+    }
+
+    /// Earliest pending time across the heap and the armed clock slots.
+    fn next_pending_time(&self) -> Option<SimTime> {
+        let mut t = self.queue.peek_time();
+        for c in &self.clocks {
+            if c.armed && t.is_none_or(|x| c.next_time < x) {
+                t = Some(c.next_time);
+            }
+        }
+        t
+    }
+
+    /// Move every event scheduled exactly at `next_t` into `next_delta`,
+    /// merging the heap with the armed clock slots by `(time, seq)` so the
+    /// dispatch order is identical to a heap-only schedule.
+    fn drain_events_at(&mut self, next_t: SimTime) {
+        loop {
+            let heap_seq = match self.queue.peek() {
+                Some((t, s)) if t == next_t => Some(s),
+                _ => None,
+            };
+            let mut clock_best: Option<(u64, ClockIdx)> = None;
+            for (i, c) in self.clocks.iter().enumerate() {
+                if c.armed
+                    && c.next_time == next_t
+                    && clock_best.is_none_or(|(s, _)| c.next_seq < s)
+                {
+                    clock_best = Some((c.next_seq, i));
+                }
+            }
+            match (heap_seq, clock_best) {
+                (Some(hs), Some((cs, ci))) => {
+                    if hs < cs {
+                        self.pop_heap_event();
+                    } else {
+                        self.fire_clock_slot(ci);
+                    }
+                }
+                (Some(_), None) => self.pop_heap_event(),
+                (None, Some((_, ci))) => self.fire_clock_slot(ci),
+                (None, None) => break,
+            }
+        }
+    }
+
+    fn pop_heap_event(&mut self) {
+        let e = self.queue.pop().expect("peeked entry exists");
+        self.metrics.heap_events += 1;
+        if self.canceled.remove(&e.seq) {
+            return; // timer was cancelled before firing
+        }
+        self.next_delta.push(e.delivery);
+    }
+
+    fn fire_clock_slot(&mut self, idx: ClockIdx) {
+        let edge = {
+            let c = &mut self.clocks[idx];
+            c.armed = false;
+            c.next_edge
+        };
+        self.metrics.clock_edges_fast += 1;
+        self.next_delta.push(Self::clock_delivery(idx, edge));
     }
 
     fn clock_start_if_needed(&mut self, idx: ClockIdx) {
@@ -139,27 +250,38 @@ impl KernelState {
 
     /// Handle an internal clock tick: notify subscribers (next delta) and
     /// schedule the opposite edge.
+    ///
+    /// Borrows are split by destructuring `KernelState`, so the subscriber
+    /// list is iterated in place — no per-tick clone.
     fn clock_tick(&mut self, idx: ClockIdx, edge: Edge) {
-        let (subs, next_delay) = {
-            let c = &mut self.clocks[idx];
-            match edge {
+        let next_delay = {
+            let KernelState {
+                clocks,
+                next_delta,
+                metrics,
+                ..
+            } = self;
+            let c = &mut clocks[idx];
+            let (subs, next_delay) = match edge {
                 Edge::Pos => {
                     c.pos_edges += 1;
-                    (c.pos_subs.clone(), c.high_time)
+                    (&c.pos_subs, c.high_time)
                 }
-                Edge::Neg => (c.neg_subs.clone(), c.period - c.high_time),
+                Edge::Neg => (&c.neg_subs, c.period - c.high_time),
+            };
+            for &target in subs {
+                next_delta.push(Delivery {
+                    target,
+                    msg: Msg {
+                        source: None,
+                        kind: MsgKind::ClockEdge(idx, edge),
+                    },
+                    background: false,
+                });
             }
+            metrics.notifications += subs.len() as u64;
+            next_delay
         };
-        for target in subs {
-            self.next_delta.push(Delivery {
-                target,
-                msg: Msg {
-                    source: None,
-                    kind: MsgKind::ClockEdge(idx, edge),
-                },
-                background: false,
-            });
-        }
         let next_edge = match edge {
             Edge::Pos => Edge::Neg,
             Edge::Neg => Edge::Pos,
@@ -168,9 +290,15 @@ impl KernelState {
     }
 
     fn notify_fifo(&mut self, idx: FifoIdx, kind: FifoEventKind) {
-        let subs: Vec<ComponentId> = self.fifos[idx].subscribers().to_vec();
-        for target in subs {
-            self.next_delta.push(Delivery {
+        let KernelState {
+            fifos,
+            next_delta,
+            metrics,
+            ..
+        } = self;
+        let subs = fifos[idx].subscribers();
+        for &target in subs {
+            next_delta.push(Delivery {
                 target,
                 msg: Msg {
                     source: None,
@@ -179,26 +307,39 @@ impl KernelState {
                 background: false,
             });
         }
+        metrics.notifications += subs.len() as u64;
     }
 
     fn apply_updates(&mut self) {
         if self.update_requests.is_empty() {
             return;
         }
-        let mut reqs = std::mem::take(&mut self.update_requests);
-        reqs.sort_unstable();
-        reqs.dedup();
-        for idx in reqs {
-            let changed = self.signals[idx].apply_update(self.now);
-            if changed {
-                if let Some(tracer) = self.tracer.as_mut() {
-                    if let Some((var, val)) = self.signals[idx].trace_sample() {
-                        tracer.record(self.now, var, val);
+        let KernelState {
+            signals,
+            next_delta,
+            tracer,
+            update_requests,
+            update_scratch,
+            metrics,
+            now,
+            ..
+        } = self;
+        // Swap the request list with the recycled scratch buffer instead of
+        // taking it (which would allocate a fresh Vec every delta cycle).
+        std::mem::swap(update_requests, update_scratch);
+        update_scratch.sort_unstable();
+        update_scratch.dedup();
+        for &idx in update_scratch.iter() {
+            let slot = &mut signals[idx];
+            if slot.apply_update(*now) {
+                if let Some(tracer) = tracer.as_mut() {
+                    if let Some((var, val)) = slot.trace_sample() {
+                        tracer.record(*now, var, val);
                     }
                 }
-                let subs: Vec<ComponentId> = self.signals[idx].subscribers().to_vec();
-                for target in subs {
-                    self.next_delta.push(Delivery {
+                let subs = slot.subscribers();
+                for &target in subs {
+                    next_delta.push(Delivery {
                         target,
                         msg: Msg {
                             source: None,
@@ -207,8 +348,10 @@ impl KernelState {
                         background: false,
                     });
                 }
+                metrics.notifications += subs.len() as u64;
             }
         }
+        update_scratch.clear();
     }
 }
 
@@ -433,6 +576,10 @@ pub struct Simulator {
     comps: Vec<CompSlot>,
     st: KernelState,
     started: bool,
+    /// Recycled delta-cycle buffer; swapped with `st.next_delta` each delta
+    /// so the dispatch loop reuses two buffers forever instead of
+    /// allocating one per delta cycle.
+    runnable: Vec<Delivery>,
 }
 
 impl Default for Simulator {
@@ -453,6 +600,8 @@ impl Simulator {
                 queue: EventQueue::new(),
                 next_delta: Vec::new(),
                 update_requests: Vec::new(),
+                update_scratch: Vec::new(),
+                legacy_clock_path: false,
                 signals: Vec::new(),
                 clocks: Vec::new(),
                 fifos: Vec::new(),
@@ -465,6 +614,7 @@ impl Simulator {
                 component_count: 0,
             },
             started: false,
+            runnable: Vec::new(),
         }
     }
 
@@ -523,6 +673,10 @@ impl Simulator {
             neg_subs: Vec::new(),
             started: false,
             pos_edges: 0,
+            armed: false,
+            next_time: SimTime::ZERO,
+            next_seq: 0,
+            next_edge: Edge::Pos,
         });
         ClockRef(self.st.clocks.len() - 1)
     }
@@ -577,6 +731,16 @@ impl Simulator {
         self.st.delta_limit = limit;
     }
 
+    /// Route clock edges through the general timed-event heap instead of
+    /// the per-clock next-edge slots. The resulting schedule is identical —
+    /// both paths draw sequence numbers from the same counter and dispatch
+    /// in `(time, seq)` order — only the internal data path differs.
+    /// Determinism regression tests use this to diff the optimized path
+    /// against the reference path; benchmarks use it to measure the win.
+    pub fn set_legacy_clock_path(&mut self, on: bool) {
+        self.st.legacy_clock_path = on;
+    }
+
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.st.now
@@ -585,6 +749,12 @@ impl Simulator {
     /// Kernel operation counters.
     pub fn metrics(&self) -> KernelMetrics {
         self.st.metrics
+    }
+
+    /// Timed events currently pending (general heap plus armed per-clock
+    /// next-edge slots).
+    pub fn pending_timed_events(&self) -> usize {
+        self.st.queue.len() + self.st.clocks.iter().filter(|c| c.armed).count()
     }
 
     /// Name of a component.
@@ -647,10 +817,7 @@ impl Simulator {
 
     /// Snapshot of a FIFO's occupancy statistics:
     /// `(name, len, capacity, total_written, total_read, high_watermark)`.
-    pub fn fifo_stats<T: 'static>(
-        &self,
-        f: FifoRef<T>,
-    ) -> (String, usize, usize, u64, u64, usize) {
+    pub fn fifo_stats<T: 'static>(&self, f: FifoRef<T>) -> (String, usize, usize, u64, u64, usize) {
         let s = &self.st.fifos[f.idx];
         (
             s.name().to_string(),
@@ -752,16 +919,29 @@ impl Simulator {
     fn run_inner(&mut self, horizon: Option<SimTime>) -> StopReason {
         self.ensure_started();
         loop {
-            // Delta loop at the current time.
+            // Delta loop at the current time. The runnable buffer and
+            // `next_delta` ping-pong via swap: dispatching drains one while
+            // components fill the other, and both keep their capacity, so a
+            // steady-state delta cycle performs zero allocations.
             let mut deltas_here: u64 = 0;
             while !self.st.next_delta.is_empty() || !self.st.update_requests.is_empty() {
-                let runnable = std::mem::take(&mut self.st.next_delta);
-                for d in runnable {
+                let mut runnable = std::mem::take(&mut self.runnable);
+                std::mem::swap(&mut runnable, &mut self.st.next_delta);
+                let mut stopped = false;
+                for d in runnable.drain(..) {
                     self.dispatch(d);
                     if self.st.stop {
                         self.st.stop = false;
-                        return StopReason::Stopped;
+                        stopped = true;
+                        // Breaking drops the Drain, which discards the rest
+                        // of this delta's deliveries — the documented
+                        // semantics of Api::stop.
+                        break;
                     }
+                }
+                self.runnable = runnable;
+                if stopped {
+                    return StopReason::Stopped;
                 }
                 self.st.apply_updates();
                 deltas_here += 1;
@@ -782,12 +962,13 @@ impl Simulator {
             // edge up to the horizon.
             if !self.st.queue.has_foreground() {
                 let background_within_horizon = match horizon {
-                    Some(h) => self.st.queue.peek_time().is_some_and(|t| t <= h),
+                    Some(h) => self.st.next_pending_time().is_some_and(|t| t <= h),
                     None => false,
                 };
                 if !background_within_horizon {
+                    self.st.queue.debug_assert_foreground_consistent();
                     if let Some(h) = horizon {
-                        if self.st.queue.peek_time().is_some() {
+                        if self.st.next_pending_time().is_some() {
                             // More work exists beyond the horizon.
                             self.st.now = h;
                             return StopReason::TimeLimit;
@@ -807,8 +988,7 @@ impl Simulator {
             }
             let next_t = self
                 .st
-                .queue
-                .peek_time()
+                .next_pending_time()
                 .expect("pending work implies queue nonempty");
             if let Some(h) = horizon {
                 if next_t > h {
@@ -818,13 +998,7 @@ impl Simulator {
             }
             debug_assert!(next_t >= self.st.now, "time must be monotone");
             self.st.now = next_t;
-            while self.st.queue.peek_time() == Some(next_t) {
-                let e = self.st.queue.pop().expect("peeked entry exists");
-                if self.st.canceled.remove(&e.seq) {
-                    continue; // timer was cancelled before firing
-                }
-                self.st.next_delta.push(e.delivery);
-            }
+            self.st.drain_events_at(next_t);
         }
     }
 }

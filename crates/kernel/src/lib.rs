@@ -65,15 +65,13 @@ pub mod trace;
 /// Everything most models need.
 pub mod prelude {
     pub use crate::component::{Component, FnComponent, NullComponent};
-    pub use crate::event::{
-        ComponentId, Delay, Edge, FifoEventKind, Msg, MsgKind, StopReason,
-    };
+    pub use crate::event::{ComponentId, Delay, Edge, FifoEventKind, Msg, MsgKind, StopReason};
     pub use crate::fifo::FifoRef;
     pub use crate::kernel::{Api, ClockRef, KernelMetrics, Simulator, TimerHandle};
     pub use crate::process::{Script, ScriptBuilder, Step};
     pub use crate::report::Severity;
     pub use crate::signal::SignalRef;
-    pub use crate::stats::{BusyTracker, LatencyHistogram, Summary};
+    pub use crate::stats::{BusyTracker, DispatchProfile, LatencyHistogram, Summary};
     pub use crate::sync::{SemGranted, SemPost, SemWait, Semaphore};
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::trace::{TraceValue, Traceable};

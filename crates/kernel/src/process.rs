@@ -207,10 +207,7 @@ mod tests {
         // leaves the obligation pending; a full run() to quiescence always
         // finishes scripts. Verify the obligation accounting.
         let mut sim = Simulator::new();
-        sim.add(
-            "s",
-            ScriptBuilder::new().wait(SimDuration::us(10)).build(),
-        );
+        sim.add("s", ScriptBuilder::new().wait(SimDuration::us(10)).build());
         sim.run_until(SimTime::ZERO + SimDuration::ns(1));
         assert_eq!(sim.obligations(), 1);
         sim.run();

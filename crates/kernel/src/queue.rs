@@ -79,6 +79,13 @@ impl EventQueue {
         self.heap.peek().map(|e| e.time)
     }
 
+    /// `(time, seq)` of the earliest pending entry. The dispatch loop uses
+    /// the sequence number to merge heap entries with the per-clock
+    /// next-edge slots while preserving the global `(time, seq)` order.
+    pub fn peek(&self) -> Option<(SimTime, u64)> {
+        self.heap.peek().map(|e| (e.time, e.seq))
+    }
+
     /// Time of the earliest pending *foreground* entry. O(n) but only
     /// consulted when deciding whether to stop, never in the hot loop.
     #[allow(dead_code)]
@@ -94,7 +101,6 @@ impl EventQueue {
         self.foreground > 0
     }
 
-    #[allow(dead_code)]
     pub fn len(&self) -> usize {
         self.heap.len()
     }
@@ -102,6 +108,31 @@ impl EventQueue {
     #[allow(dead_code)]
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// Drop every pending entry and reset the foreground counter.
+    #[allow(dead_code)]
+    pub fn clear(&mut self) {
+        self.debug_assert_foreground_consistent();
+        self.heap.clear();
+        self.foreground = 0;
+    }
+
+    /// Recount foreground entries the slow way (audit for the incremental
+    /// counter).
+    pub fn foreground_recount(&self) -> usize {
+        self.heap.iter().filter(|e| !e.delivery.background).count()
+    }
+
+    /// Debug-build audit: the incrementally maintained `foreground` counter
+    /// must always equal a from-scratch recount. O(n), so it is only called
+    /// at run-termination decisions and in tests, never per event.
+    pub fn debug_assert_foreground_consistent(&self) {
+        debug_assert_eq!(
+            self.foreground,
+            self.foreground_recount(),
+            "incremental foreground counter diverged from recount"
+        );
     }
 }
 
@@ -168,5 +199,45 @@ mod tests {
         assert_eq!(q.peek_time(), Some(SimTime(5)));
         assert_eq!(q.peek_foreground_time(), None);
         assert_eq!(q.len(), 1);
+        assert_eq!(q.peek(), Some((SimTime(5), 0)));
+    }
+
+    #[test]
+    fn clear_resets_len_and_foreground() {
+        let mut q = EventQueue::new();
+        for seq in 0..10 {
+            q.push(entry(seq * 3, seq, seq % 2 == 0));
+        }
+        assert_eq!(q.len(), 10);
+        assert_eq!(q.foreground_recount(), 5);
+        q.debug_assert_foreground_consistent();
+        q.clear();
+        assert_eq!(q.len(), 0);
+        assert!(q.is_empty());
+        assert!(!q.has_foreground());
+        q.debug_assert_foreground_consistent();
+        // Usable after clear.
+        q.push(entry(1, 100, false));
+        assert!(q.has_foreground());
+        assert_eq!(q.pop().unwrap().seq, 100);
+    }
+
+    #[test]
+    fn foreground_counter_matches_recount_under_churn() {
+        let mut q = EventQueue::new();
+        let mut seq = 0u64;
+        for round in 0..20u64 {
+            for k in 0..(round % 5 + 1) {
+                q.push(entry(round * 10 + k, seq, (seq * 7).is_multiple_of(3)));
+                seq += 1;
+            }
+            if round % 3 == 0 {
+                q.pop();
+            }
+            q.debug_assert_foreground_consistent();
+        }
+        while q.pop().is_some() {
+            q.debug_assert_foreground_consistent();
+        }
     }
 }

@@ -141,7 +141,10 @@ mod tests {
         r.log(SimTime(0), None, Severity::Debug, "x".into());
         r.log(SimTime(0), None, Severity::Warning, "y".into());
         r.log(SimTime(0), None, Severity::Error, "z".into());
-        let texts: Vec<&str> = r.at_least(Severity::Warning).map(|e| e.text.as_str()).collect();
+        let texts: Vec<&str> = r
+            .at_least(Severity::Warning)
+            .map(|e| e.text.as_str())
+            .collect();
         assert_eq!(texts, vec!["y", "z"]);
     }
 

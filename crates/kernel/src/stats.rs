@@ -224,6 +224,46 @@ impl Summary {
     }
 }
 
+/// A digest of [`KernelMetrics`] normalized into rates — the numbers the
+/// perf harness and throughput reports consume.
+///
+/// [`KernelMetrics`]: crate::kernel::KernelMetrics
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DispatchProfile {
+    /// Component deliveries per wall-clock second.
+    pub events_per_sec: f64,
+    /// Mean delta cycles executed per visited timestep.
+    pub avg_deltas_per_timestep: f64,
+    /// Fraction of periodic (clock-edge) events served by the per-clock
+    /// fast path instead of the general heap.
+    pub fast_clock_fraction: f64,
+    /// Subscriber notifications fanned out per dispatched event.
+    pub notifications_per_event: f64,
+}
+
+impl DispatchProfile {
+    /// Summarize `m` over a measured wall-clock duration.
+    pub fn from_metrics(m: &crate::kernel::KernelMetrics, wall_seconds: f64) -> Self {
+        let frac = |num: u64, den: u64| {
+            if den == 0 {
+                0.0
+            } else {
+                num as f64 / den as f64
+            }
+        };
+        DispatchProfile {
+            events_per_sec: if wall_seconds > 0.0 {
+                m.dispatched as f64 / wall_seconds
+            } else {
+                0.0
+            },
+            avg_deltas_per_timestep: frac(m.delta_cycles, m.timesteps),
+            fast_clock_fraction: frac(m.clock_edges_fast, m.clock_edges_fast + m.heap_events),
+            notifications_per_event: frac(m.notifications, m.dispatched),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -290,6 +330,28 @@ mod tests {
         assert_eq!(h.mean(), SimDuration::ZERO);
         assert_eq!(h.min(), SimDuration::ZERO);
         assert_eq!(h.quantile(0.5), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn dispatch_profile_normalizes_counters() {
+        let m = crate::kernel::KernelMetrics {
+            dispatched: 1000,
+            delta_cycles: 400,
+            timesteps: 200,
+            max_deltas_in_step: 3,
+            clock_edges_fast: 300,
+            heap_events: 100,
+            notifications: 2500,
+        };
+        let p = DispatchProfile::from_metrics(&m, 0.5);
+        assert_eq!(p.events_per_sec, 2000.0);
+        assert_eq!(p.avg_deltas_per_timestep, 2.0);
+        assert_eq!(p.fast_clock_fraction, 0.75);
+        assert_eq!(p.notifications_per_event, 2.5);
+        // Degenerate denominators are zero, not NaN.
+        let z = DispatchProfile::from_metrics(&crate::kernel::KernelMetrics::default(), 0.0);
+        assert_eq!(z.events_per_sec, 0.0);
+        assert_eq!(z.fast_clock_fraction, 0.0);
     }
 
     #[test]

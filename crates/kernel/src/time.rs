@@ -337,10 +337,7 @@ mod tests {
         assert_eq!(d, SimDuration::ns(30));
         assert_eq!(d / 2, SimDuration::ns(15));
         assert_eq!(d.saturating_sub(SimDuration::us(1)), SimDuration::ZERO);
-        assert_eq!(
-            SimDuration::ns(3).fraction_of(SimDuration::ns(12)),
-            0.25
-        );
+        assert_eq!(SimDuration::ns(3).fraction_of(SimDuration::ns(12)), 0.25);
         assert_eq!(SimDuration::ns(3).fraction_of(SimDuration::ZERO), 0.0);
     }
 

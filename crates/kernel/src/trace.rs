@@ -198,9 +198,22 @@ mod tests {
     fn renders_header_and_changes() {
         let mut t = VcdTracer::new();
         let clk = t.declare("clk", TraceValue::Bool(false));
-        let bus = t.declare("bus addr", TraceValue::Bits { value: 0, width: 16 });
+        let bus = t.declare(
+            "bus addr",
+            TraceValue::Bits {
+                value: 0,
+                width: 16,
+            },
+        );
         t.record(SimTime(1000), clk, TraceValue::Bool(true));
-        t.record(SimTime(1000), bus, TraceValue::Bits { value: 0xAB, width: 16 });
+        t.record(
+            SimTime(1000),
+            bus,
+            TraceValue::Bits {
+                value: 0xAB,
+                width: 16,
+            },
+        );
         t.record(SimTime(2000), clk, TraceValue::Bool(false));
         let vcd = t.render();
         assert!(vcd.contains("$timescale 1 fs $end"));
@@ -229,9 +242,15 @@ mod tests {
         assert_eq!(7u8.trace_value(), TraceValue::Bits { value: 7, width: 8 });
         assert_eq!(
             0xFFFF_FFFF_FFFFu64.trace_value(),
-            TraceValue::Bits { value: 0xFFFF_FFFF_FFFF, width: 64 }
+            TraceValue::Bits {
+                value: 0xFFFF_FFFF_FFFF,
+                width: 64
+            }
         );
-        assert!(matches!((-1i64).trace_value(), TraceValue::Bits { width: 64, .. }));
+        assert!(matches!(
+            (-1i64).trace_value(),
+            TraceValue::Bits { width: 64, .. }
+        ));
         assert!(matches!(1.5f64.trace_value(), TraceValue::Real(_)));
     }
 }

@@ -10,7 +10,7 @@ use proptest::prelude::*;
 
 /// Component that fires timers according to a plan and records the order.
 struct Plan {
-    plan: Vec<(u64, u64)>, // (delay ns, tag)
+    plan: Vec<(u64, u64)>,  // (delay ns, tag)
     fired: Vec<(u64, u64)>, // (time fs, tag)
 }
 

@@ -373,12 +373,7 @@ mod tests {
 
     #[test]
     fn fir_computes_convolution() {
-        let mut a = KernelAccelerator::new(
-            "fir",
-            KernelKind::Fir { taps: vec![1, 2] },
-            0,
-            8,
-        );
+        let mut a = KernelAccelerator::new("fir", KernelKind::Fir { taps: vec![1, 2] }, 0, 8);
         // Input [1, 1, 1]; taps [1,2] -> y0=1, y1=1+2=3, y2=1+2=3.
         for i in 0..3u64 {
             a.write(regs::DATA + i, 1).unwrap();
@@ -393,7 +388,9 @@ mod tests {
     #[test]
     fn kernels_are_deterministic() {
         for kind in [
-            KernelKind::Fir { taps: vec![3, -1, 2] },
+            KernelKind::Fir {
+                taps: vec![3, -1, 2],
+            },
             KernelKind::Fft { points: 16 },
             KernelKind::Viterbi,
             KernelKind::Aes { rounds: 10 },

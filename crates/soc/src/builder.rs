@@ -379,7 +379,10 @@ pub fn build_soc(workload: &Workload, spec: &SocSpec) -> Result<BuiltSoc, String
     }
     debug_assert_eq!(
         standalone.iter().map(|&(_, id)| id).collect::<Vec<_>>(),
-        standalone_plan.iter().map(|&(_, id)| id).collect::<Vec<_>>()
+        standalone_plan
+            .iter()
+            .map(|&(_, id)| id)
+            .collect::<Vec<_>>()
     );
 
     // DMA controller (only when the copy mode uses it).
@@ -432,10 +435,7 @@ pub fn run_soc(mut soc: BuiltSoc) -> (RunMetrics, BuiltSoc) {
     };
     {
         let cpu = soc.sim.get::<Cpu>(soc.cpu);
-        m.makespan = cpu
-            .finished_at
-            .unwrap_or(now)
-            .since(SimTime::ZERO);
+        m.makespan = cpu.finished_at.unwrap_or(now).since(SimTime::ZERO);
         m.errors = cpu.port.errors;
     }
     {
@@ -450,14 +450,9 @@ pub fn run_soc(mut soc: BuiltSoc) -> (RunMetrics, BuiltSoc) {
         m.reconfig_overhead = f.stats.reconfig_overhead(now);
         m.hit_rate = f.stats.hit_rate();
         if let Some(pm) = &soc.power_model {
-            m.fabric_energy_mj = energy_of_run(
-                &f.stats,
-                &soc.context_params,
-                pm,
-                soc.fabric_clock_mhz,
-                now,
-            )
-            .total_mj();
+            m.fabric_energy_mj =
+                energy_of_run(&f.stats, &soc.context_params, pm, soc.fabric_clock_mhz, now)
+                    .total_mj();
         }
     }
     (m, soc)

@@ -92,7 +92,11 @@ enum CpuState {
     Issuing,
     Computing,
     WaitingBus,
-    Polling { addr: Addr, expect: Word, interval_cycles: u64 },
+    Polling {
+        addr: Addr,
+        expect: Word,
+        interval_cycles: u64,
+    },
     /// Sleeping until a DMA completion message arrives.
     WaitingIrq,
     Finished,
@@ -226,7 +230,10 @@ impl Cpu {
                 if !resp.is_ok() {
                     api.log(
                         Severity::Error,
-                        format!("CPU transaction failed at {:#x}: {:?}", resp.addr, resp.status),
+                        format!(
+                            "CPU transaction failed at {:#x}: {:?}",
+                            resp.addr, resp.status
+                        ),
                     );
                 }
                 if resp.op == BusOp::Read {
@@ -243,7 +250,10 @@ impl Cpu {
                     self.state = CpuState::Ready;
                     self.step(api);
                 } else {
-                    let CpuState::Polling { interval_cycles, .. } = self.state else {
+                    let CpuState::Polling {
+                        interval_cycles, ..
+                    } = self.state
+                    else {
                         unreachable!()
                     };
                     let d = self.cycles(interval_cycles.max(1));
@@ -330,7 +340,10 @@ mod tests {
                 addr: 0x10,
                 data: vec![1, 2, 3],
             },
-            Instr::Read { addr: 0x10, burst: 3 },
+            Instr::Read {
+                addr: 0x10,
+                burst: 3,
+            },
         ]);
         assert_eq!(sim.run(), StopReason::Quiescent);
         let c = sim.get::<Cpu>(cpu);
@@ -349,7 +362,10 @@ mod tests {
         // already satisfies vs one that is satisfied later. We preload and
         // poll — single attempt.
         let (mut sim, cpu) = system(vec![
-            Instr::Write { addr: 0x20, data: vec![7] },
+            Instr::Write {
+                addr: 0x20,
+                data: vec![7],
+            },
             Instr::Poll {
                 addr: 0x20,
                 expect: 7,

@@ -33,8 +33,8 @@ pub mod prelude {
     pub use crate::cpu::{Cpu, CpuConfig, CpuStats, Instr};
     pub use crate::profile::{asap_profile, estimate_task_cycles, measured_busy_fractions};
     pub use crate::tasks::{
-        compile, compile_with, task_input, AccelBinding, CompileOptions, CopyMode, Task,
-        TaskGraph, TaskId, TaskKind,
+        compile, compile_with, task_input, AccelBinding, CompileOptions, CopyMode, Task, TaskGraph,
+        TaskId, TaskKind,
     };
     pub use crate::workloads::{
         multi_standard, video_pipeline, wireless_receiver, AccelReq, Workload,

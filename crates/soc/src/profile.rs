@@ -29,9 +29,7 @@ pub fn estimate_task_cycles(graph: &TaskGraph, id: usize, workload: &Workload) -
     match &graph.tasks[id].kind {
         TaskKind::Software { cycles } => *cycles,
         TaskKind::Hardware {
-            accel,
-            input_words,
-            ..
+            accel, input_words, ..
         } => {
             let kind = workload
                 .accels
@@ -169,9 +167,7 @@ pub fn measured_busy_fractions(soc: &BuiltSoc, now: SimTime) -> Vec<(String, f64
     soc.standalone
         .iter()
         .map(|(name, id)| {
-            let adapter = soc
-                .sim
-                .get::<SlaveAdapter<KernelAccelerator>>(*id);
+            let adapter = soc.sim.get::<SlaveAdapter<KernelAccelerator>>(*id);
             let busy: SimDuration = adapter.busy_time;
             (name.clone(), busy.fraction_of(elapsed))
         })

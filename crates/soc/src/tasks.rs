@@ -370,7 +370,10 @@ mod tests {
         g.add("t0", hw("fir", 8), vec![]);
         g.add("t1", hw("fft", 8), vec![]);
         g.add("t2", hw("fir", 8), vec![]);
-        assert_eq!(g.hardware_blocks(), vec!["fir".to_string(), "fft".to_string()]);
+        assert_eq!(
+            g.hardware_blocks(),
+            vec!["fir".to_string(), "fft".to_string()]
+        );
     }
 
     #[test]

@@ -85,7 +85,9 @@ pub fn wireless_receiver(frames: usize, samples: usize) -> Workload {
             },
             AccelReq {
                 name: "fft".into(),
-                kind: KernelKind::Fft { points: samples.next_power_of_two() },
+                kind: KernelKind::Fft {
+                    points: samples.next_power_of_two(),
+                },
                 window_words: samples.max(16),
             },
             AccelReq {
@@ -162,11 +164,27 @@ pub fn multi_standard(frames: usize, samples: usize, switch_every: usize) -> Wor
             deps0,
         );
         let last = if standard_a {
-            let t1 = g.add(&format!("a_fir{f}"), hw("std_a_fir", samples, seed), vec![pre]);
-            g.add(&format!("a_fft{f}"), hw("std_a_fft", samples, seed + 1), vec![t1])
+            let t1 = g.add(
+                &format!("a_fir{f}"),
+                hw("std_a_fir", samples, seed),
+                vec![pre],
+            );
+            g.add(
+                &format!("a_fft{f}"),
+                hw("std_a_fft", samples, seed + 1),
+                vec![t1],
+            )
         } else {
-            let t1 = g.add(&format!("b_dct{f}"), hw("std_b_dct", samples, seed), vec![pre]);
-            g.add(&format!("b_aes{f}"), hw("std_b_aes", samples, seed + 1), vec![t1])
+            let t1 = g.add(
+                &format!("b_dct{f}"),
+                hw("std_b_dct", samples, seed),
+                vec![pre],
+            );
+            g.add(
+                &format!("b_aes{f}"),
+                hw("std_b_aes", samples, seed + 1),
+                vec![t1],
+            )
         };
         prev = Some(last);
     }
@@ -183,7 +201,9 @@ pub fn multi_standard(frames: usize, samples: usize, switch_every: usize) -> Wor
             },
             AccelReq {
                 name: "std_a_fft".into(),
-                kind: KernelKind::Fft { points: samples.next_power_of_two() },
+                kind: KernelKind::Fft {
+                    points: samples.next_power_of_two(),
+                },
                 window_words: samples.max(16),
             },
             AccelReq {

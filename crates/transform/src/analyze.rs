@@ -154,7 +154,10 @@ mod tests {
             analyze_instance(&d, "ghost"),
             Err(AnalyzeError::UnknownInstance("ghost".into()))
         );
-        assert!(analyze_module(&d, "nope").unwrap_err().to_string().contains("nope"));
+        assert!(analyze_module(&d, "nope")
+            .unwrap_err()
+            .to_string()
+            .contains("nope"));
     }
 
     #[test]

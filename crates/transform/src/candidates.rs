@@ -138,10 +138,7 @@ pub fn select_candidates(profile: &ProfileData, rules: &SelectionRules) -> Vec<C
         .map(|g| {
             let instances: Vec<String> = g.iter().map(|b| b.instance.clone()).collect();
             let change = g.iter().filter(|b| b.change_prone).count();
-            let max_util = g
-                .iter()
-                .map(|b| b.busy_fraction)
-                .fold(0.0f64, f64::max);
+            let max_util = g.iter().map(|b| b.busy_fraction).fold(0.0f64, f64::max);
             let rationale = format!(
                 "{} block(s), peak utilization {:.0}%, {} change-prone; sizes {:?} gates",
                 g.len(),

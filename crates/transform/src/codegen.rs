@@ -81,7 +81,11 @@ pub fn emit_module(design: &Design, m: &ModuleDef) -> String {
             s.push_str("        sensitive_pos << clk;\n");
             for cm in &spec.context_modules {
                 let field = inst_field(cm);
-                let _ = writeln!(s, "        {field} = new {cm}(\"{}\");  // <inserted>", cm.to_uppercase());
+                let _ = writeln!(
+                    s,
+                    "        {field} = new {cm}(\"{}\");  // <inserted>",
+                    cm.to_uppercase()
+                );
                 if let Some(md) = design.module(cm) {
                     for p in &md.ports {
                         let _ = writeln!(s, "        {field} ->{0}({0});  // <inserted>", p.name);

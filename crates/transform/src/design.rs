@@ -435,10 +435,7 @@ mod tests {
             }],
             children: vec![],
         });
-        assert_eq!(
-            d.top.find_instance("hwa0"),
-            Some(vec!["top".to_string()])
-        );
+        assert_eq!(d.top.find_instance("hwa0"), Some(vec!["top".to_string()]));
         assert_eq!(
             d.top.find_instance("deep"),
             Some(vec!["top".to_string(), "sub".to_string()])

@@ -380,7 +380,10 @@ mod tests {
         let r = transform_design(
             &d,
             &["hwa0", "hwa1"],
-            &TemplateOptions::new(drcf_core::prelude::morphosys(), FabricGeometry::new(40_000, 1)),
+            &TemplateOptions::new(
+                drcf_core::prelude::morphosys(),
+                FabricGeometry::new(40_000, 1),
+            ),
             ConfigTransport::SharedInterfaceBus {
                 split_transactions: true,
             },

@@ -11,9 +11,7 @@
 use drcf_core::prelude::{FabricGeometry, Technology};
 
 use crate::analyze::ModuleAnalysis;
-use crate::design::{
-    ContextParamsSpec, DrcfModuleSpec, ModuleDef, ModuleKind, PortDef,
-};
+use crate::design::{ContextParamsSpec, DrcfModuleSpec, ModuleDef, ModuleKind, PortDef};
 
 /// Options steering DRCF creation.
 #[derive(Debug, Clone)]

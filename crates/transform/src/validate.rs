@@ -199,7 +199,10 @@ mod tests {
         });
         let (m, i) = analyze_candidates(&d, &["hwa0", "hwa1"]).unwrap();
         let v = validate(&m, &i, shared_split());
-        assert!(matches!(v[0], Violation::DifferentHierarchy { .. }), "{v:?}");
+        assert!(
+            matches!(v[0], Violation::DifferentHierarchy { .. }),
+            "{v:?}"
+        );
         assert!(!is_legal(&v));
         assert!(v[0].to_string().contains("limitation 1"));
     }
@@ -237,7 +240,9 @@ mod tests {
         }
         let (m, i) = analyze_candidates(&d, &["hwa0", "hwa1"]).unwrap();
         let v = validate(&m, &i, shared_split());
-        assert!(v.iter().any(|v| matches!(v, Violation::OverlappingRanges { .. })));
+        assert!(v
+            .iter()
+            .any(|v| matches!(v, Violation::OverlappingRanges { .. })));
     }
 
     #[test]

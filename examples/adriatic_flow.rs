@@ -11,7 +11,7 @@
 //! Run with: `cargo run --example adriatic_flow`
 
 use drcf::prelude::*;
-use drcf::transform::design::{ModuleKind};
+use drcf::transform::design::ModuleKind;
 
 fn main() {
     println!("=============================================================");
@@ -21,7 +21,11 @@ fn main() {
     // ---- 1. System specification ----------------------------------------
     let w = wireless_receiver(4, 64);
     println!("[1] system specification: '{}'", w.name);
-    println!("    {} tasks over kernels: {:?}\n", w.graph.tasks.len(), w.graph.hardware_blocks());
+    println!(
+        "    {} tasks over kernels: {:?}\n",
+        w.graph.tasks.len(),
+        w.graph.hardware_blocks()
+    );
 
     // ---- 2. Profiling ----------------------------------------------------
     let (profile, sched_cycles) = asap_profile(&w);
@@ -96,7 +100,14 @@ fn main() {
     println!("[5] system-level simulation:");
     let mut t = Table::new(
         "architecture comparison",
-        &["architecture", "makespan", "area(kgate)", "bus util", "switches", "reconfig ovh"],
+        &[
+            "architecture",
+            "makespan",
+            "area(kgate)",
+            "bus util",
+            "switches",
+            "reconfig ovh",
+        ],
     );
     for (name, m) in [("Fig1a fixed", &baseline), ("Fig1b DRCF", &mapped)] {
         t.row(vec![
@@ -112,7 +123,8 @@ fn main() {
     println!();
 
     // ---- 6. Back-annotation -----------------------------------------------
-    let per_switch = mapped.reconfig_overhead * mapped.makespan.as_ns_f64() / mapped.switches.max(1) as f64;
+    let per_switch =
+        mapped.reconfig_overhead * mapped.makespan.as_ns_f64() / mapped.switches.max(1) as f64;
     println!("[6] back-annotation:");
     println!(
         "    measured context-switch cost {} and config traffic {} words refine the",

@@ -19,7 +19,14 @@ fn main() {
 
     let mut t = Table::new(
         "all folding subsets (min fold = 2)",
-        &["folded", "makespan", "area(kgate)", "switches", "hit rate", "Pareto"],
+        &[
+            "folded",
+            "makespan",
+            "area(kgate)",
+            "switches",
+            "hit rate",
+            "Pareto",
+        ],
     );
     for (i, o) in outcomes.iter().enumerate() {
         t.row(vec![
@@ -32,7 +39,11 @@ fn main() {
             format!("{:.1}", o.record.area_gates as f64 / 1000.0),
             o.record.switches.to_string(),
             fmt_pct(o.record.hit_rate),
-            if front.contains(&i) { "*".into() } else { String::new() },
+            if front.contains(&i) {
+                "*".into()
+            } else {
+                String::new()
+            },
         ]);
     }
     print!("{}", t.render());
@@ -46,7 +57,7 @@ fn main() {
     }
 
     // Dump records for plotting.
-    let json = serde_json::to_string_pretty(&records).expect("serialize");
+    let json = records_to_json(&records).to_string_pretty();
     let path = std::env::temp_dir().join("drcf_dse_records.json");
     std::fs::write(&path, json).expect("write JSON");
     println!("\nwrote {} records to {}", records.len(), path.display());

@@ -85,8 +85,12 @@ fn main() {
     );
 
     let (m1, tl1) = run_on_fabric(&v1, geometry);
-    println!("firmware 1.0: makespan {}, {} switches, {} config words",
-        fmt_ns(m1.makespan.as_ns_f64()), m1.switches, m1.config_words);
+    println!(
+        "firmware 1.0: makespan {}, {} switches, {} config words",
+        fmt_ns(m1.makespan.as_ns_f64()),
+        m1.switches,
+        m1.config_words
+    );
     println!("{tl1}");
 
     // Years later, in the field: new images, same silicon.
@@ -97,28 +101,24 @@ fn main() {
         "upgrade must fit the shipped fabric ({max_v2} gates)"
     );
     let (m2, tl2) = run_on_fabric(&v2, geometry);
-    println!("firmware 2.0: makespan {}, {} switches, {} config words",
-        fmt_ns(m2.makespan.as_ns_f64()), m2.switches, m2.config_words);
+    println!(
+        "firmware 2.0: makespan {}, {} switches, {} config words",
+        fmt_ns(m2.makespan.as_ns_f64()),
+        m2.switches,
+        m2.config_words
+    );
     println!("{tl2}");
 
-    println!("upgrade delta: +{} config words per full context set, 0 silicon changes;",
-        m2.config_words.saturating_sub(m1.config_words) / m2.switches.max(1));
+    println!(
+        "upgrade delta: +{} config words per full context set, 0 silicon changes;",
+        m2.config_words.saturating_sub(m1.config_words) / m2.switches.max(1)
+    );
     println!("the hardwired (Fig. 1a) product would have needed a re-spin for the");
     println!("16-tap filter — the 'costly re-fabrications' §2 says reconfiguration avoids.");
 
     // And the contrast: the v2 filter genuinely computes something new.
-    let mut f1 = KernelAccelerator::new(
-        "f1",
-        firmware_v1(1).accels[0].kind.clone(),
-        0,
-        32,
-    );
-    let mut f2 = KernelAccelerator::new(
-        "f2",
-        firmware_v2(1).accels[0].kind.clone(),
-        0,
-        32,
-    );
+    let mut f1 = KernelAccelerator::new("f1", firmware_v1(1).accels[0].kind.clone(), 0, 32);
+    let mut f2 = KernelAccelerator::new("f2", firmware_v2(1).accels[0].kind.clone(), 0, 32);
     for acc in [&mut f1, &mut f2] {
         for i in 0..8u64 {
             acc.write(regs::DATA + i, 100 + i).unwrap();

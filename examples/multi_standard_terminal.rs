@@ -57,7 +57,13 @@ fn main() {
     // standard-switching rate.
     let mut t = Table::new(
         "reactive scheduler (2 slots) vs standard-switching rate (12 frames)",
-        &["switch every", "makespan", "switches", "hit rate", "reconfig ovh"],
+        &[
+            "switch every",
+            "makespan",
+            "switches",
+            "hit rate",
+            "reconfig ovh",
+        ],
     );
     for switch_every in [1usize, 2, 3, 6, 12] {
         let w = multi_standard(12, 64, switch_every);
@@ -77,7 +83,13 @@ fn main() {
     let w = multi_standard(12, 64, 1);
     let mut t = Table::new(
         "scheduling policies at switch-every-frame churn",
-        &["policy", "makespan", "switches", "hit rate", "blocking reconfig"],
+        &[
+            "policy",
+            "makespan",
+            "switches",
+            "hit rate",
+            "blocking reconfig",
+        ],
     );
     for (name, slots, prefetch, overlap) in [
         ("reactive, 1 slot (paper)", 1, false, false),

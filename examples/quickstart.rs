@@ -44,12 +44,7 @@ fn main() {
                 _ => {
                     if let Ok(resp) = self.port.take_response(api, msg) {
                         if resp.op == BusOp::Read {
-                            println!(
-                                "  [{}] read {:#x} -> {:?}",
-                                api.now(),
-                                resp.addr,
-                                resp.data
-                            );
+                            println!("  [{}] read {:#x} -> {:?}", api.now(), resp.addr, resp.data);
                         }
                         issue(self, api);
                     }

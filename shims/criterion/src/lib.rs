@@ -1,0 +1,258 @@
+//! Workspace-local, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build environment is fully offline, so the real crates-io criterion
+//! cannot be fetched. This shim keeps the workspace's `harness = false`
+//! benches compiling and running with the same source: it implements
+//! benchmark groups, `bench_function` / `bench_with_input`, `Throughput`,
+//! and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple — one warm-up call, then
+//! `sample_size` timed calls — and reports min / median / mean wall-clock
+//! time per iteration (plus elements/sec when a throughput is set). It
+//! favours predictable runtime over statistical rigour; use an external
+//! profiler for serious measurements.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Declared work per iteration, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iteration processes this many logical elements (events, items...).
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterized benchmark.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Id from a function name and a parameter.
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{param}"))
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId(param.to_string())
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Per-benchmark timing driver handed to the closure.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `f`: one warm-up call, then `sample_size` measured calls.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        std::hint::black_box(f());
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            let out = f();
+            let dt = t0.elapsed();
+            std::hint::black_box(out);
+            self.samples.push(dt);
+        }
+    }
+}
+
+/// Summary of one benchmark's samples.
+#[derive(Debug, Clone)]
+pub struct SampleStats {
+    /// Benchmark name (group/id).
+    pub name: String,
+    /// Fastest iteration.
+    pub min: Duration,
+    /// Median iteration.
+    pub median: Duration,
+    /// Mean iteration.
+    pub mean: Duration,
+    /// Declared throughput, if any.
+    pub throughput: Option<Throughput>,
+}
+
+impl SampleStats {
+    fn from_samples(name: String, mut samples: Vec<Duration>, tp: Option<Throughput>) -> Self {
+        assert!(!samples.is_empty(), "bench {name} recorded no samples");
+        samples.sort_unstable();
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let sum: Duration = samples.iter().sum();
+        let mean = sum / samples.len() as u32;
+        SampleStats {
+            name,
+            min,
+            median,
+            mean,
+            throughput: tp,
+        }
+    }
+
+    /// Elements (or bytes) per second at the median time, when a
+    /// throughput was declared.
+    pub fn rate_per_sec(&self) -> Option<f64> {
+        let units = match self.throughput? {
+            Throughput::Elements(n) | Throughput::Bytes(n) => n,
+        };
+        let s = self.median.as_secs_f64();
+        (s > 0.0).then(|| units as f64 / s)
+    }
+
+    fn report(&self) {
+        let rate = match self.rate_per_sec() {
+            Some(r) => format!("  ({r:.0} elem/s)"),
+            None => String::new(),
+        };
+        println!(
+            "bench {:<40} min {:>12?}  median {:>12?}  mean {:>12?}{rate}",
+            self.name, self.min, self.median, self.mean
+        );
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    results: &'a mut Vec<SampleStats>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of measured iterations per benchmark (default 10).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Declare per-iteration work for rate reporting.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.throughput = Some(tp);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            samples: Vec::with_capacity(self.sample_size),
+        };
+        f(&mut b);
+        let stats =
+            SampleStats::from_samples(format!("{}/{id}", self.name), b.samples, self.throughput);
+        stats.report();
+        self.results.push(stats);
+        self
+    }
+
+    /// Run one benchmark over an explicit input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (kept for source compatibility; reporting is eager).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<SampleStats>,
+}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+            results: &mut self.results,
+        }
+    }
+
+    /// All results recorded so far.
+    pub fn results(&self) -> &[SampleStats] {
+        &self.results
+    }
+}
+
+/// Prevent the optimizer from discarding a value (re-export of
+/// `std::hint::black_box` under criterion's name).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collect benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($f:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($f(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_report_rate() {
+        let s = SampleStats::from_samples(
+            "g/x".into(),
+            vec![Duration::from_millis(2), Duration::from_millis(4)],
+            Some(Throughput::Elements(4000)),
+        );
+        assert_eq!(s.min, Duration::from_millis(2));
+        // Median of two samples is the second after sort.
+        assert_eq!(s.median, Duration::from_millis(4));
+        let r = s.rate_per_sec().unwrap();
+        assert!((r - 1_000_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn group_runs_benches() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("grp");
+            g.sample_size(3);
+            g.bench_function("noop", |b| b.iter(|| 1 + 1));
+            g.finish();
+        }
+        assert_eq!(c.results().len(), 1);
+        assert_eq!(c.results()[0].name, "grp/noop");
+    }
+}

@@ -35,7 +35,6 @@ pub mod prelude {
     pub use drcf_soc::prelude::*;
     pub use drcf_transform::prelude::{
         elaborate, emit_design, emit_hier_module, example_design, select_candidates,
-        transform_design, ConfigTransport, ElaborationOptions, SelectionRules,
-        TemplateOptions,
+        transform_design, ConfigTransport, ElaborationOptions, SelectionRules, TemplateOptions,
     };
 }

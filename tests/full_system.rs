@@ -225,12 +225,21 @@ fn unmapped_access_is_survivable() {
     let w = wireless_receiver(1, 32);
     let bindings = assign_bindings(&w, &SocSpec::default());
     let mut program = compile(&w.graph, &bindings, 50).unwrap();
-    program.insert(0, Instr::Read { addr: 0xDEAD_0000, burst: 1 });
+    program.insert(
+        0,
+        Instr::Read {
+            addr: 0xDEAD_0000,
+            burst: 1,
+        },
+    );
     // Build normally, then swap in the fault-injected program.
     let mut soc = build_soc(&w, &SocSpec::default()).unwrap();
     *soc.sim.get_mut::<Cpu>(0) = Cpu::new(CpuConfig::default(), 1, program);
     let (m, soc) = run_soc(soc);
     assert!(m.ok, "run completes despite the decode error");
     assert_eq!(m.errors, 1, "exactly the injected error");
-    assert!(soc.sim.reports().count(Severity::Warning) >= 1 || soc.sim.reports().count(Severity::Error) >= 1);
+    assert!(
+        soc.sim.reports().count(Severity::Warning) >= 1
+            || soc.sim.reports().count(Severity::Error) >= 1
+    );
 }

@@ -55,7 +55,10 @@ impl Component for Probe {
     }
 }
 
-fn run_script(design: &drcf::transform::design::Design, script: Vec<(BusOp, Addr, Word)>) -> Vec<Vec<Word>> {
+fn run_script(
+    design: &drcf::transform::design::Design,
+    script: Vec<(BusOp, Addr, Word)>,
+) -> Vec<Vec<Word>> {
     let e = elaborate(
         design,
         ElaborationOptions::default(),
@@ -225,7 +228,10 @@ fn emitted_listings_have_paper_structure() {
         assert!(txt.contains("SC_THREAD(arb_and_instr);"));
         assert!(txt.contains("drcf1 = new drcf_own(\"DRCF1\");"));
         for i in 0..n {
-            assert!(txt.contains(&format!("hwacc{i} *hwacc{i}_i;")), "context decl {i}");
+            assert!(
+                txt.contains(&format!("hwacc{i} *hwacc{i}_i;")),
+                "context decl {i}"
+            );
         }
     }
 }
