@@ -53,7 +53,7 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 let mut sim = Simulator::new();
                 clock_grid(&mut sim, legacy);
-                sim.run_until(SimTime::ZERO + SimDuration::us(200));
+                let _ = sim.run_until(SimTime::ZERO + SimDuration::us(200));
                 sim.metrics().dispatched
             })
         });

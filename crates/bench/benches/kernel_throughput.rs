@@ -29,7 +29,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let mut sim = Simulator::new();
             sim.add("chain", TimerChain { remaining: EVENTS });
-            assert_eq!(sim.run(), StopReason::Quiescent);
+            assert_eq!(sim.run(), Ok(StopReason::Quiescent));
             sim.metrics().dispatched
         })
     });

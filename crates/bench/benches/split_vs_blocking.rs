@@ -12,11 +12,11 @@ fn bench(c: &mut Criterion) {
     g.bench_function("deadlock_grid", |b| {
         b.iter(|| {
             let (dead, _) = run_case(BusMode::Blocking, PathFlavor::SharedBus);
-            assert!(matches!(dead, StopReason::Deadlock { .. }));
+            assert!(dead.is_err_and(|e| e.is_deadlock()));
             let (ok, _) = run_case(BusMode::Split, PathFlavor::SharedBus);
-            assert_eq!(ok, StopReason::Quiescent);
+            assert_eq!(ok, Ok(StopReason::Quiescent));
             let (ok2, _) = run_case(BusMode::Blocking, PathFlavor::Dedicated);
-            assert_eq!(ok2, StopReason::Quiescent);
+            assert_eq!(ok2, Ok(StopReason::Quiescent));
         })
     });
     g.finish();

@@ -86,6 +86,7 @@ fn drcf(contexts_bus: ComponentId, config_words: u64) -> Drcf {
             },
             scheduler: SchedulerConfig::default(),
             overlap_load_exec: false,
+            abort_load_of: vec![],
         },
         vec![
             Context::new(
@@ -152,7 +153,7 @@ pub fn run_flat(config_words: u64) -> (f64, u64) {
         }),
     );
     sim.add("drcf", drcf(2, config_words));
-    assert_eq!(sim.run(), StopReason::Quiescent);
+    assert_eq!(sim.run(), Ok(StopReason::Quiescent));
     let p = sim.get::<Prober>(0);
     let mean = p.port.latency.mean().as_ns_f64();
     let max = p.port.latency.max().as_fs() / 1_000_000;
@@ -209,7 +210,7 @@ pub fn run_hierarchical(config_words: u64) -> (f64, u64) {
     );
     // The fabric masters bus1 — its config traffic stays downstream.
     sim.add("drcf", drcf(5, config_words));
-    assert_eq!(sim.run(), StopReason::Quiescent);
+    assert_eq!(sim.run(), Ok(StopReason::Quiescent));
     let p = sim.get::<Prober>(0);
     let mean = p.port.latency.mean().as_ns_f64();
     let max = p.port.latency.max().as_fs() / 1_000_000;

@@ -98,7 +98,7 @@ pub fn run_design(
     )
     .expect("elaboration");
     let mut sim = e.sim;
-    assert_eq!(sim.run(), StopReason::Quiescent);
+    assert_eq!(sim.run(), Ok(StopReason::Quiescent));
     let probe = sim.get::<ScriptProbe>(e.masters[0]);
     let reads = probe.reads.clone();
     let finished = probe.finished_at.expect("probe finished");

@@ -117,11 +117,12 @@ pub fn measure_switch_cost_stateful(
                 },
                 scheduler: SchedulerConfig::default(),
                 overlap_load_exec: false,
+                abort_load_of: vec![],
             },
             contexts,
         ),
     );
-    assert_eq!(sim.run(), StopReason::Quiescent);
+    assert_eq!(sim.run(), Ok(StopReason::Quiescent));
     let f = sim.get::<Drcf>(3);
     let switches = f.stats.switches;
     assert_eq!(switches, 8, "every access must thrash");

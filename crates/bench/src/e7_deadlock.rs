@@ -28,8 +28,9 @@ pub enum PathFlavor {
     Dedicated,
 }
 
-/// Build and run; returns the stop reason and the simulated end time.
-pub fn run_case(mode: BusMode, flavor: PathFlavor) -> (StopReason, SimTime) {
+/// Build and run; returns the run outcome (a typed deadlock error for the
+/// blocking/shared case) and the simulated end time.
+pub fn run_case(mode: BusMode, flavor: PathFlavor) -> (SimResult<StopReason>, SimTime) {
     let mut sim = Simulator::new();
     let mut map = AddressMap::new();
     map.add(0x0000, 0x0FFF, 2).unwrap();
@@ -72,6 +73,7 @@ pub fn run_case(mode: BusMode, flavor: PathFlavor) -> (StopReason, SimTime) {
                 config_path: path,
                 scheduler: SchedulerConfig::default(),
                 overlap_load_exec: false,
+                abort_load_of: vec![],
             },
             vec![Context::new(
                 Box::new(RegisterFile::new("ctx", 0x8000, 16, 1)),
@@ -106,11 +108,15 @@ pub fn run() -> ExperimentResult {
     let mut outcomes = Vec::new();
     for (mode, flavor) in cases {
         let (reason, end) = run_case(mode, flavor);
+        let outcome = match &reason {
+            Ok(r) => format!("{r:?}"),
+            Err(e) => format!("{e}"),
+        };
         outcomes.push((mode, flavor, reason));
         t.row(vec![
             format!("{mode:?}"),
             format!("{flavor:?}"),
-            format!("{reason:?}"),
+            outcome,
             format!("{end}"),
         ]);
     }
@@ -120,14 +126,17 @@ pub fn run() -> ExperimentResult {
     for (mode, flavor, reason) in &outcomes {
         let should_deadlock = *mode == BusMode::Blocking && *flavor == PathFlavor::SharedBus;
         if should_deadlock {
+            let err = reason.as_ref().expect_err("blocking/shared must deadlock");
             assert!(
-                matches!(reason, StopReason::Deadlock { .. }),
-                "expected deadlock for {mode:?}/{flavor:?}, got {reason:?}"
+                err.is_deadlock(),
+                "expected deadlock for {mode:?}/{flavor:?}, got {err}"
             );
+            let pending = err.pending_obligations().unwrap_or(0);
+            assert!(pending >= 2, "deadlock must carry the obligation count");
         } else {
             assert_eq!(
                 *reason,
-                StopReason::Quiescent,
+                Ok(StopReason::Quiescent),
                 "{mode:?}/{flavor:?} must complete"
             );
         }
@@ -138,8 +147,9 @@ pub fn run() -> ExperimentResult {
             .to_string(),
     );
     res.summary.push(
-        "the kernel reports it as StopReason::Deadlock with the outstanding-transaction count — \
-         quiescence and deadlock are distinguishable states, not a hung simulation"
+        "the kernel reports it as a typed SimError (kind Deadlock) carrying the \
+         outstanding-obligation count — quiescence and deadlock are distinguishable \
+         outcomes, not a hung simulation"
             .to_string(),
     );
     res
@@ -152,11 +162,13 @@ mod tests {
     #[test]
     fn only_blocking_shared_deadlocks() {
         let (r, _) = run_case(BusMode::Blocking, PathFlavor::SharedBus);
-        assert!(matches!(r, StopReason::Deadlock { pending } if pending >= 2));
+        let err = r.expect_err("blocking/shared must deadlock");
+        assert!(err.is_deadlock());
+        assert!(err.pending_obligations().unwrap_or(0) >= 2);
         let (r, _) = run_case(BusMode::Blocking, PathFlavor::Dedicated);
-        assert_eq!(r, StopReason::Quiescent);
+        assert_eq!(r, Ok(StopReason::Quiescent));
         let (r, _) = run_case(BusMode::Split, PathFlavor::SharedBus);
-        assert_eq!(r, StopReason::Quiescent);
+        assert_eq!(r, Ok(StopReason::Quiescent));
     }
 
     #[test]

@@ -67,9 +67,9 @@ impl HotpathMeasurement {
             .with("seconds", self.seconds.into())
             .with("events_per_sec", self.events_per_sec.into());
         if let Some(p) = &self.profile {
-            j.set("fast_clock_fraction", p.fast_clock_fraction.into());
-            j.set("avg_deltas_per_timestep", p.avg_deltas_per_timestep.into());
-            j.set("notifications_per_event", p.notifications_per_event.into());
+            let _ = j.set("fast_clock_fraction", p.fast_clock_fraction.into());
+            let _ = j.set("avg_deltas_per_timestep", p.avg_deltas_per_timestep.into());
+            let _ = j.set("notifications_per_event", p.notifications_per_event.into());
         }
         j
     }
@@ -114,7 +114,7 @@ pub fn dense_clock(horizon_us: u64) -> HotpathMeasurement {
     let t0 = Instant::now();
     let stop = sim.run_until(SimTime::ZERO + SimDuration::us(horizon_us));
     let dt = t0.elapsed().as_secs_f64();
-    assert_eq!(stop, StopReason::TimeLimit);
+    assert_eq!(stop, Ok(StopReason::TimeLimit));
     HotpathMeasurement::new("dense_clock", sim.metrics().dispatched, dt)
         .with_profile(&sim.metrics(), dt)
 }
@@ -164,7 +164,7 @@ pub fn fifo_heavy(pairs: usize, tokens: u64) -> HotpathMeasurement {
     let t0 = Instant::now();
     let stop = sim.run();
     let dt = t0.elapsed().as_secs_f64();
-    assert_eq!(stop, StopReason::Quiescent);
+    assert_eq!(stop, Ok(StopReason::Quiescent));
     HotpathMeasurement::new("fifo_heavy", sim.metrics().dispatched, dt)
         .with_profile(&sim.metrics(), dt)
 }
@@ -213,13 +213,13 @@ pub fn bench_json() -> Json {
     let current = run_suite();
     let mut baseline_obj = Json::obj();
     for (name, eps) in BASELINE_EVENTS_PER_SEC {
-        baseline_obj.set(name, (*eps).into());
+        let _ = baseline_obj.set(name, (*eps).into());
     }
     let mut speedups = Json::obj();
     for m in &current {
         if let Some((_, base)) = BASELINE_EVENTS_PER_SEC.iter().find(|(n, _)| *n == m.name) {
             if base.is_finite() && *base > 0.0 {
-                speedups.set(&m.name, (m.events_per_sec / base).into());
+                let _ = speedups.set(&m.name, (m.events_per_sec / base).into());
             }
         }
     }

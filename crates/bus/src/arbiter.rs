@@ -33,8 +33,9 @@ pub trait Arbiter: 'static {
 }
 
 /// Selects pending responses before requests; among the given subset,
-/// applies `key` and takes the minimum. Returns the winning index.
-fn pick_min_by<K: Ord>(candidates: &[Candidate], key: impl Fn(&Candidate) -> K) -> usize {
+/// applies `key` and takes the minimum. Returns the winning index, or
+/// `None` for an empty candidate list (the bus never passes one).
+fn pick_min_by<K: Ord>(candidates: &[Candidate], key: impl Fn(&Candidate) -> K) -> Option<usize> {
     let responses_exist = candidates.iter().any(|c| c.is_response);
     candidates
         .iter()
@@ -42,7 +43,6 @@ fn pick_min_by<K: Ord>(candidates: &[Candidate], key: impl Fn(&Candidate) -> K) 
         .filter(|(_, c)| !responses_exist || c.is_response)
         .min_by_key(|(_, c)| key(c))
         .map(|(i, _)| i)
-        .expect("candidates nonempty")
 }
 
 /// Fixed priority: highest `priority` wins; ties broken by arrival order.
@@ -51,9 +51,7 @@ pub struct PriorityArbiter;
 
 impl Arbiter for PriorityArbiter {
     fn pick(&mut self, _now: SimTime, candidates: &[Candidate]) -> Option<usize> {
-        Some(pick_min_by(candidates, |c| {
-            (std::cmp::Reverse(c.priority), c.arrival)
-        }))
+        pick_min_by(candidates, |c| (std::cmp::Reverse(c.priority), c.arrival))
     }
     fn name(&self) -> &'static str {
         "priority"
@@ -91,7 +89,7 @@ impl RoundRobinArbiter {
 
 impl Arbiter for RoundRobinArbiter {
     fn pick(&mut self, _now: SimTime, candidates: &[Candidate]) -> Option<usize> {
-        let idx = pick_min_by(candidates, |c| (self.last_grant(c.master), c.arrival));
+        let idx = pick_min_by(candidates, |c| (self.last_grant(c.master), c.arrival))?;
         self.note_grant(candidates[idx].master);
         Some(idx)
     }
@@ -129,7 +127,7 @@ impl TdmaArbiter {
 impl Arbiter for TdmaArbiter {
     fn pick(&mut self, now: SimTime, candidates: &[Candidate]) -> Option<usize> {
         if candidates.iter().any(|c| c.is_response) {
-            return Some(pick_min_by(candidates, |c| c.arrival));
+            return pick_min_by(candidates, |c| c.arrival);
         }
         let owner = self.owner_at(now);
         candidates
@@ -174,6 +172,7 @@ impl ArbiterKind {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use drcf_kernel::testing::some;
 
     fn cand(master: ComponentId, priority: u8, arrival: u64) -> Candidate {
         Candidate {
@@ -203,13 +202,13 @@ mod tests {
     fn round_robin_alternates_between_masters() {
         let mut a = RoundRobinArbiter::default();
         let c = vec![cand(1, 0, 0), cand(2, 0, 1)];
-        let first = a.pick(SimTime::ZERO, &c).unwrap();
+        let first = some(a.pick(SimTime::ZERO, &c));
         assert_eq!(first, 0, "earlier arrival wins among unseen masters");
         // Master 1 was just granted; master 2 must win now.
-        let second = a.pick(SimTime::ZERO, &c).unwrap();
+        let second = some(a.pick(SimTime::ZERO, &c));
         assert_eq!(second, 1);
         // And back to master 1.
-        let third = a.pick(SimTime::ZERO, &c).unwrap();
+        let third = some(a.pick(SimTime::ZERO, &c));
         assert_eq!(third, 0);
     }
 
@@ -221,7 +220,7 @@ mod tests {
         let c = vec![cand(1, 0, 0), cand(2, 0, 1)];
         let mut counts = [0u32; 2];
         for _ in 0..101 {
-            let w = a.pick(SimTime::ZERO, &c).unwrap();
+            let w = some(a.pick(SimTime::ZERO, &c));
             counts[w] += 1;
         }
         assert!(counts[0].abs_diff(counts[1]) <= 1, "{counts:?}");

@@ -164,6 +164,7 @@ mod tests {
     use crate::map::AddressMap;
     use crate::memory::{Memory, MemoryConfig};
     use crate::protocol::{Addr, BusOp, Word};
+    use drcf_kernel::testing::ok;
 
     /// Scripted master local to the bridge tests.
     struct Master {
@@ -204,10 +205,10 @@ mod tests {
     fn two_bus_system(script: Vec<(BusOp, Addr, Word)>, mode: BusMode) -> Simulator {
         let mut sim = Simulator::new();
         let mut map0 = AddressMap::new();
-        map0.add(0x1_0000, 0x1_FFFF, 2).unwrap(); // remote window -> bridge
+        ok(map0.add(0x1_0000, 0x1_FFFF, 2)); // remote window -> bridge
         let mut map1 = AddressMap::new();
-        map1.add(0x1_0000, 0x1_0FFF, 4).unwrap(); // memory
-        map1.add(0x1_2000, 0x1_20FF, 5).unwrap(); // peripheral
+        ok(map1.add(0x1_0000, 0x1_0FFF, 4)); // memory
+        ok(map1.add(0x1_2000, 0x1_20FF, 5)); // peripheral
 
         sim.add(
             "master",
@@ -265,7 +266,7 @@ mod tests {
             ],
             BusMode::Split,
         );
-        assert_eq!(sim.run(), StopReason::Quiescent);
+        assert_eq!(sim.run(), Ok(StopReason::Quiescent));
         let m = sim.get::<Master>(0);
         assert_eq!(m.replies.len(), 4);
         assert!(m.replies.iter().all(|r| r.is_ok()));
@@ -287,7 +288,7 @@ mod tests {
             vec![(BusOp::Write, 0x1_0000, 5), (BusOp::Read, 0x1_0000, 0)],
             BusMode::Blocking,
         );
-        assert_eq!(sim.run(), StopReason::Quiescent);
+        assert_eq!(sim.run(), Ok(StopReason::Quiescent));
         assert_eq!(sim.get::<Master>(0).replies[1].data, vec![5]);
     }
 
@@ -297,7 +298,7 @@ mod tests {
             // Same access but memory directly on bus0.
             let mut sim = Simulator::new();
             let mut map = AddressMap::new();
-            map.add(0x1_0000, 0x1_0FFF, 2).unwrap();
+            ok(map.add(0x1_0000, 0x1_0FFF, 2));
             sim.add(
                 "master",
                 Master {
@@ -316,12 +317,12 @@ mod tests {
                     ..MemoryConfig::default()
                 }),
             );
-            sim.run();
+            ok(sim.run());
             sim.now().as_fs()
         };
         let remote_time = {
             let mut sim = two_bus_system(vec![(BusOp::Read, 0x1_0000, 0)], BusMode::Split);
-            sim.run();
+            ok(sim.run());
             sim.now().as_fs()
         };
         assert!(
@@ -333,7 +334,7 @@ mod tests {
     #[test]
     fn decode_error_propagates_back_across_the_bridge() {
         let mut sim = two_bus_system(vec![(BusOp::Read, 0x1_9999, 0)], BusMode::Split);
-        assert_eq!(sim.run(), StopReason::Quiescent);
+        assert_eq!(sim.run(), Ok(StopReason::Quiescent));
         let m = sim.get::<Master>(0);
         assert_eq!(m.replies.len(), 1);
         assert_eq!(
@@ -400,7 +401,7 @@ mod tests {
                 outstanding_reads: 0,
             },
         );
-        assert_eq!(sim.run(), StopReason::Quiescent);
+        assert_eq!(sim.run(), Ok(StopReason::Quiescent));
         let pl = sim.get::<Pipeliner>(p);
         assert_eq!(pl.readback, vec![100, 101, 102, 103, 104, 105]);
     }

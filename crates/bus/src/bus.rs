@@ -18,7 +18,7 @@ use drcf_kernel::prelude::*;
 use crate::arbiter::{Arbiter, ArbiterKind, Candidate};
 use crate::map::AddressMap;
 use crate::monitor::BusStats;
-use crate::protocol::{BusOp, BusRequest, BusResponse, BusStatus, SlaveAccess, SlaveReply};
+use crate::protocol::{Addr, BusOp, BusRequest, BusResponse, BusStatus, SlaveAccess, SlaveReply};
 
 /// Blocking or split operation; see module docs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,6 +43,15 @@ pub struct BusConfig {
     pub mode: BusMode,
     /// Arbitration policy.
     pub arbiter: ArbiterKind,
+    /// Fault injection: inclusive `[low, high]` address ranges whose
+    /// accesses are granted normally but answered with a
+    /// [`BusStatus::SlaveError`] response, raising a typed
+    /// [`SimErrorKind::Fault`] so the enclosing run returns `Err`.
+    pub fault_ranges: Vec<(Addr, Addr)>,
+    /// When true, a decode miss escalates to a typed
+    /// [`SimErrorKind::Decode`] run error in addition to the
+    /// [`BusStatus::DecodeError`] response the master receives either way.
+    pub escalate_decode_errors: bool,
 }
 
 impl Default for BusConfig {
@@ -53,6 +62,8 @@ impl Default for BusConfig {
             cycles_per_word: 1,
             mode: BusMode::Split,
             arbiter: ArbiterKind::Priority,
+            fault_ranges: Vec::new(),
+            escalate_decode_errors: false,
         }
     }
 }
@@ -81,6 +92,14 @@ impl BusConfig {
     /// Duration of `cycles` bus cycles.
     pub fn cycles(&self, cycles: u64) -> SimDuration {
         SimDuration::cycles_at_mhz(cycles, self.clock_mhz)
+    }
+
+    /// Does the burst `[addr, addr + burst)` touch an injected fault range?
+    pub fn fault_at(&self, addr: Addr, burst: usize) -> bool {
+        let end = addr.saturating_add(burst.saturating_sub(1) as u64);
+        self.fault_ranges
+            .iter()
+            .any(|&(low, high)| addr <= high && low <= end)
     }
 }
 
@@ -176,7 +195,10 @@ impl Bus {
 
     fn enqueue_request(&mut self, api: &mut Api<'_>, req: BusRequest) {
         if let Err(e) = req.validate() {
-            api.log(Severity::Error, format!("malformed bus request: {e}"));
+            api.raise(
+                SimErrorKind::BusError,
+                format!("malformed bus request: {e}"),
+            );
             let resp = BusResponse {
                 id: req.id,
                 op: req.op,
@@ -229,6 +251,28 @@ impl Bus {
             } => {
                 self.stats.record_grant(req.master);
                 self.stats.wait.record(api.now().since(arrived_at));
+                if self.cfg.fault_at(req.addr, req.burst) {
+                    self.stats.injected_faults += 1;
+                    api.raise(
+                        SimErrorKind::Fault,
+                        format!(
+                            "injected bus fault: addr {:#x} burst {}",
+                            req.addr, req.burst
+                        ),
+                    );
+                    let resp = BusResponse {
+                        id: req.id,
+                        op: req.op,
+                        addr: req.addr,
+                        status: BusStatus::SlaveError,
+                        data: vec![],
+                    };
+                    self.stats.responses += 1;
+                    api.send(req.master, resp, Delay::Delta);
+                    self.stats.busy.set_idle(api.now());
+                    self.try_grant(api);
+                    return;
+                }
                 match self.map.decode_burst(req.addr, req.burst) {
                     Some(slave) => {
                         let cycles = self.cfg.request_cycles(req.op, req.burst);
@@ -240,13 +284,15 @@ impl Bus {
                     }
                     None => {
                         self.stats.decode_errors += 1;
-                        api.log(
-                            Severity::Warning,
-                            format!(
-                                "decode error: addr {:#x} burst {} claimed by no slave",
-                                req.addr, req.burst
-                            ),
+                        let text = format!(
+                            "decode error: addr {:#x} burst {} claimed by no slave",
+                            req.addr, req.burst
                         );
+                        if self.cfg.escalate_decode_errors {
+                            api.raise(SimErrorKind::Decode, text);
+                        } else {
+                            api.log(Severity::Warning, text);
+                        }
                         let resp = BusResponse {
                             id: req.id,
                             op: req.op,
@@ -294,7 +340,11 @@ impl Bus {
     fn request_phase_done(&mut self, api: &mut Api<'_>) {
         let State::RequestPhase { req, slave } = std::mem::replace(&mut self.state, State::Idle)
         else {
-            unreachable!("request-done timer outside request phase");
+            api.raise(
+                SimErrorKind::Internal,
+                "request-done timer fired outside the request phase",
+            );
+            return;
         };
         let me = api.me();
         api.send(slave, SlaveAccess { req, bus: me }, Delay::Delta);
@@ -332,7 +382,11 @@ impl Bus {
 
     fn response_phase_done(&mut self, api: &mut Api<'_>) {
         let State::ResponsePhase { reply } = std::mem::replace(&mut self.state, State::Idle) else {
-            unreachable!("response-done timer outside response phase");
+            api.raise(
+                SimErrorKind::Internal,
+                "response-done timer fired outside the response phase",
+            );
+            return;
         };
         self.stats.responses += 1;
         api.send(reply.master, reply.resp, Delay::Delta);
@@ -371,6 +425,7 @@ impl Component for Bus {
 mod tests {
     use super::*;
     use crate::interfaces::{MasterPort, RegisterFile, SlaveAdapter};
+    use drcf_kernel::testing::ok;
 
     /// A master that runs a fixed sequence of reads/writes back-to-back.
     struct SeqMaster {
@@ -424,7 +479,7 @@ mod tests {
         let mut sim = Simulator::new();
         // ids: 0 = master, 1 = bus, 2 = slave
         let mut map = AddressMap::new();
-        map.add(0x100, 0x10F, 2).unwrap();
+        ok(map.add(0x100, 0x10F, 2));
         let cfg = BusConfig {
             mode,
             ..BusConfig::default()
@@ -450,7 +505,7 @@ mod tests {
     #[test]
     fn write_then_read_roundtrip_split() {
         let (mut sim, master, bus) = build(BusMode::Split);
-        assert_eq!(sim.run(), StopReason::Quiescent);
+        assert_eq!(sim.run(), Ok(StopReason::Quiescent));
         let m = sim.get::<SeqMaster>(master);
         assert_eq!(m.responses.len(), 2);
         assert!(m.responses.iter().all(|r| r.is_ok()));
@@ -465,7 +520,7 @@ mod tests {
     #[test]
     fn write_then_read_roundtrip_blocking() {
         let (mut sim, master, _) = build(BusMode::Blocking);
-        assert_eq!(sim.run(), StopReason::Quiescent);
+        assert_eq!(sim.run(), Ok(StopReason::Quiescent));
         let m = sim.get::<SeqMaster>(master);
         assert_eq!(m.responses.len(), 2);
         assert_eq!(m.responses[1].data, vec![7, 8]);
@@ -475,7 +530,7 @@ mod tests {
     fn decode_error_reported() {
         let mut sim = Simulator::new();
         let mut map = AddressMap::new();
-        map.add(0x100, 0x10F, 2).unwrap();
+        ok(map.add(0x100, 0x10F, 2));
         let master = sim.add(
             "master",
             SeqMaster::new(1, vec![(BusOp::Read, 0xDEAD, vec![1])]),
@@ -485,7 +540,7 @@ mod tests {
             "slave",
             SlaveAdapter::new(RegisterFile::new("rf", 0x100, 16, 1), 100),
         );
-        assert_eq!(sim.run(), StopReason::Quiescent);
+        assert_eq!(sim.run(), Ok(StopReason::Quiescent));
         let m = sim.get::<SeqMaster>(master);
         assert_eq!(m.responses.len(), 1);
         assert_eq!(m.responses[0].status, BusStatus::DecodeError);
@@ -496,7 +551,7 @@ mod tests {
     fn burst_crossing_slaves_is_decode_error() {
         let mut sim = Simulator::new();
         let mut map = AddressMap::new();
-        map.add(0x100, 0x103, 2).unwrap();
+        ok(map.add(0x100, 0x103, 2));
         let master = sim.add(
             "master",
             // Read 8 words starting at 0x100: runs past the slave.
@@ -507,7 +562,7 @@ mod tests {
             "slave",
             SlaveAdapter::new(RegisterFile::new("rf", 0x100, 4, 1), 100),
         );
-        sim.run();
+        ok(sim.run());
         let m = sim.get::<SeqMaster>(master);
         assert_eq!(m.responses[0].status, BusStatus::DecodeError);
     }
@@ -522,7 +577,7 @@ mod tests {
         // plus delta deliveries at zero time. Total simulated time = 40 ns.
         let mut sim = Simulator::new();
         let mut map = AddressMap::new();
-        map.add(0x0, 0xF, 2).unwrap();
+        ok(map.add(0x0, 0xF, 2));
         let cfg = BusConfig {
             mode: BusMode::Blocking,
             ..BusConfig::default()
@@ -536,7 +591,7 @@ mod tests {
             "slave",
             SlaveAdapter::new(RegisterFile::new("rf", 0x0, 16, 1), 100),
         );
-        sim.run();
+        ok(sim.run());
         assert_eq!(sim.now(), SimTime::ZERO + SimDuration::ns(40));
     }
 
@@ -549,7 +604,7 @@ mod tests {
         let run = |mode: BusMode| {
             let mut sim = Simulator::new();
             let mut map = AddressMap::new();
-            map.add(0x0, 0xFF, 3).unwrap();
+            ok(map.add(0x0, 0xFF, 3));
             let cfg = BusConfig {
                 mode,
                 ..BusConfig::default()
@@ -579,7 +634,7 @@ mod tests {
         let mut sim = Simulator::new();
         // ids: m0=0, m1=1, bus=2, slave=3.
         let mut map = AddressMap::new();
-        map.add(0x0, 0xFF, 3).unwrap();
+        ok(map.add(0x0, 0xFF, 3));
         let cfg = BusConfig {
             arbiter: ArbiterKind::Tdma {
                 owners: vec![0, 1],
@@ -594,7 +649,7 @@ mod tests {
             "slave",
             SlaveAdapter::new(RegisterFile::new("rf", 0x0, 256, 1), 100),
         );
-        assert_eq!(sim.run(), StopReason::Quiescent);
+        assert_eq!(sim.run(), Ok(StopReason::Quiescent));
         // Both complete; master 1's request had to wait for its slot
         // (slot 1 starts at 1us).
         let m0 = sim.get::<SeqMaster>(0);
@@ -615,7 +670,7 @@ mod tests {
         let mut sim = Simulator::new();
         // ids: m0=0, bus=1, slave=2.
         let mut map = AddressMap::new();
-        map.add(0x0, 0xFF, 2).unwrap();
+        ok(map.add(0x0, 0xFF, 2));
         let cfg = BusConfig {
             arbiter: ArbiterKind::Tdma {
                 owners: vec![99, 0], // slot 0 owned by an absent master
@@ -629,16 +684,115 @@ mod tests {
             "slave",
             SlaveAdapter::new(RegisterFile::new("rf", 0x0, 256, 1), 100),
         );
-        assert_eq!(sim.run(), StopReason::Quiescent);
+        assert_eq!(sim.run(), Ok(StopReason::Quiescent));
         let m0 = sim.get::<SeqMaster>(0);
         assert_eq!(m0.responses.len(), 1, "request served in master 0's slot");
         assert!(sim.now() >= SimTime::ZERO + SimDuration::us(1));
     }
 
     #[test]
+    fn injected_fault_range_fails_the_run() {
+        let mut sim = Simulator::new();
+        let mut map = AddressMap::new();
+        ok(map.add(0x100, 0x10F, 2));
+        let cfg = BusConfig {
+            fault_ranges: vec![(0x108, 0x10B)],
+            ..BusConfig::default()
+        };
+        let master = sim.add(
+            "master",
+            SeqMaster::new(1, vec![(BusOp::Read, 0x108, vec![1])]),
+        );
+        let bus = sim.add("bus", Bus::new(cfg, map));
+        sim.add(
+            "slave",
+            SlaveAdapter::new(RegisterFile::new("rf", 0x100, 16, 1), 100),
+        );
+        let err = sim.run().expect_err("injected fault must fail the run");
+        assert_eq!(err.kind, SimErrorKind::Fault);
+        assert_eq!(err.component.as_deref(), Some("bus"));
+        // The master still observed a well-formed error response.
+        let m = sim.get::<SeqMaster>(master);
+        assert_eq!(m.responses.len(), 1);
+        assert_eq!(m.responses[0].status, BusStatus::SlaveError);
+        assert_eq!(m.port.errors, 1);
+        assert_eq!(sim.get::<Bus>(bus).stats.injected_faults, 1);
+    }
+
+    #[test]
+    fn fault_ranges_catch_bursts_that_graze_the_range() {
+        let cfg = BusConfig {
+            fault_ranges: vec![(0x108, 0x10B)],
+            ..BusConfig::default()
+        };
+        assert!(cfg.fault_at(0x108, 1));
+        assert!(cfg.fault_at(0x100, 16), "burst overlapping from below");
+        assert!(cfg.fault_at(0x10B, 4), "burst starting at the top word");
+        assert!(!cfg.fault_at(0x100, 8));
+        assert!(!cfg.fault_at(0x10C, 4));
+    }
+
+    #[test]
+    fn escalated_decode_miss_is_a_typed_error() {
+        let mut sim = Simulator::new();
+        let mut map = AddressMap::new();
+        ok(map.add(0x100, 0x10F, 2));
+        let cfg = BusConfig {
+            escalate_decode_errors: true,
+            ..BusConfig::default()
+        };
+        let master = sim.add(
+            "master",
+            SeqMaster::new(1, vec![(BusOp::Read, 0xDEAD, vec![1])]),
+        );
+        sim.add("bus", Bus::new(cfg, map));
+        sim.add(
+            "slave",
+            SlaveAdapter::new(RegisterFile::new("rf", 0x100, 16, 1), 100),
+        );
+        let err = sim.run().expect_err("unmapped access must fail the run");
+        assert_eq!(err.kind, SimErrorKind::Decode);
+        // The DecodeError response is still delivered either way.
+        let m = sim.get::<SeqMaster>(master);
+        assert_eq!(m.responses[0].status, BusStatus::DecodeError);
+    }
+
+    #[test]
+    fn malformed_request_is_a_typed_bus_error() {
+        let mut sim = Simulator::new();
+        let mut map = AddressMap::new();
+        ok(map.add(0x0, 0xFF, 1));
+        // id 0 = bus. Inject a zero-burst request straight at it.
+        sim.add("bus", Bus::new(BusConfig::default(), map));
+        sim.add(
+            "rogue",
+            FnComponent::new(|api, msg| {
+                if matches!(msg.kind, MsgKind::Start) {
+                    api.send(
+                        0,
+                        BusRequest {
+                            id: 1,
+                            master: 1,
+                            op: BusOp::Read,
+                            addr: 0x0,
+                            burst: 0,
+                            data: vec![],
+                            priority: 0,
+                        },
+                        Delay::Delta,
+                    );
+                }
+            }),
+        );
+        let err = sim.run().expect_err("zero burst must fail the run");
+        assert_eq!(err.kind, SimErrorKind::BusError);
+        assert_eq!(err.component.as_deref(), Some("bus"));
+    }
+
+    #[test]
     fn bus_utilization_is_sane() {
         let (mut sim, _, bus) = build(BusMode::Split);
-        sim.run();
+        ok(sim.run());
         let now = sim.now();
         let b = sim.get::<Bus>(bus);
         let u = b.stats.utilization(now);

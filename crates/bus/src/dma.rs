@@ -178,8 +178,8 @@ impl Dma {
 
     fn on_response(&mut self, api: &mut Api<'_>, resp: BusResponse) {
         if !resp.is_ok() {
-            api.log(
-                Severity::Error,
+            api.raise(
+                SimErrorKind::BusError,
                 format!(
                     "DMA transaction failed at {:#x}: {:?}",
                     resp.addr, resp.status
@@ -226,7 +226,9 @@ impl Dma {
             match req.op {
                 BusOp::Read => data.push(self.regs[off as usize]),
                 BusOp::Write => {
-                    let v = req.data[0];
+                    // The bus validates burst/payload agreement, but a
+                    // directly-addressed access may not be well-formed.
+                    let v = req.data.first().copied().unwrap_or(0);
                     self.regs[off as usize] = v;
                     if off == regs::CTRL && v != 0 && matches!(self.state, State::Idle) {
                         if v == ctrl::START_IRQ {
@@ -301,14 +303,15 @@ mod tests {
     use crate::bus::{Bus, BusConfig};
     use crate::map::AddressMap;
     use crate::memory::{Memory, MemoryConfig};
+    use drcf_kernel::testing::ok;
 
     /// Build: driver(0) -> bus(1); memory(2) holds both src and dst
     /// regions; dma(3).
     fn build() -> Simulator {
         let mut sim = Simulator::new();
         let mut map = AddressMap::new();
-        map.add(0x0000, 0x0FFF, 2).unwrap(); // memory
-        map.add(0xD000, 0xD003, 3).unwrap(); // DMA registers
+        ok(map.add(0x0000, 0x0FFF, 2)); // memory
+        ok(map.add(0xD000, 0xD003, 3)); // DMA registers
         sim.add(
             "driver",
             FnComponent::new(move |api, msg| match &msg.kind {
@@ -349,7 +352,7 @@ mod tests {
     #[test]
     fn dma_copies_a_block() {
         let mut sim = build();
-        assert_eq!(sim.run(), StopReason::Quiescent);
+        assert_eq!(sim.run(), Ok(StopReason::Quiescent));
         let mem = sim.get::<Memory>(2);
         for i in 0..40u64 {
             assert_eq!(mem.peek(0x800 + i), Some(1000 + i), "word {i}");
@@ -366,8 +369,8 @@ mod tests {
     fn dma_programmable_via_registers() {
         let mut sim = Simulator::new();
         let mut map = AddressMap::new();
-        map.add(0x0000, 0x0FFF, 2).unwrap();
-        map.add(0xD000, 0xD003, 3).unwrap();
+        ok(map.add(0x0000, 0x0FFF, 2));
+        ok(map.add(0xD000, 0xD003, 3));
         // A register-programming master: writes SRC/DST/LEN/CTRL then polls
         // CTRL until DONE.
         struct Prog {
@@ -427,7 +430,7 @@ mod tests {
         }
         sim.add("mem", mem);
         sim.add("dma", Dma::new(DmaConfig::default(), 1));
-        assert_eq!(sim.run(), StopReason::Quiescent);
+        assert_eq!(sim.run(), Ok(StopReason::Quiescent));
         assert!(sim.get::<Prog>(0).done_seen, "CTRL never read back DONE");
         let mem = sim.get::<Memory>(2);
         for i in 0..8u64 {
@@ -439,8 +442,8 @@ mod tests {
     fn zero_length_transfer_completes_immediately() {
         let mut sim = Simulator::new();
         let mut map = AddressMap::new();
-        map.add(0x0000, 0x0FFF, 2).unwrap();
-        map.add(0xD000, 0xD003, 3).unwrap();
+        ok(map.add(0x0000, 0x0FFF, 2));
+        ok(map.add(0xD000, 0xD003, 3));
         let done = std::rc::Rc::new(std::cell::Cell::new(false));
         let d2 = done.clone();
         sim.add(
@@ -471,7 +474,7 @@ mod tests {
         sim.add("bus", Bus::new(BusConfig::default(), map));
         sim.add("mem", Memory::new(MemoryConfig::default()));
         sim.add("dma", Dma::new(DmaConfig::default(), 1));
-        assert_eq!(sim.run(), StopReason::Quiescent);
+        assert_eq!(sim.run(), Ok(StopReason::Quiescent));
         assert!(done.get());
         assert_eq!(sim.get::<Dma>(3).words_moved, 0);
     }

@@ -237,19 +237,16 @@ impl MasterPort {
     /// Claim a [`BusResponse`] belonging to this port. Returns the message
     /// untouched when it is not one of ours.
     pub fn take_response(&mut self, api: &mut Api<'_>, msg: Msg) -> Result<BusResponse, Msg> {
-        let is_ours = msg
-            .user_ref::<BusResponse>()
-            .map(|r| self.in_flight.iter().any(|&(id, _)| id == r.id))
-            .unwrap_or(false);
-        if !is_ours {
-            return Err(msg);
-        }
-        let resp = msg.user::<BusResponse>().expect("just checked");
-        let pos = self
-            .in_flight
-            .iter()
-            .position(|&(id, _)| id == resp.id)
-            .expect("just checked membership");
+        let source = msg.source;
+        let resp = msg.user::<BusResponse>()?;
+        let Some(pos) = self.in_flight.iter().position(|&(id, _)| id == resp.id) else {
+            // A response, but not to one of our transactions: rebox it so
+            // another port embedded in the same component can claim it.
+            return Err(Msg {
+                source,
+                kind: MsgKind::User(Box::new(resp)),
+            });
+        };
         let (_, issued_at) = self.in_flight.swap_remove(pos);
         self.completed += 1;
         if !resp.is_ok() {
@@ -318,13 +315,14 @@ impl BusSlaveModel for RegisterFile {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use drcf_kernel::testing::ok;
 
     #[test]
     fn register_file_roundtrip() {
         let mut rf = RegisterFile::new("rf", 0x100, 4, 1);
         assert_eq!(rf.low_addr(), 0x100);
         assert_eq!(rf.high_addr(), 0x103);
-        rf.write(0x102, 77).unwrap();
+        ok(rf.write(0x102, 77));
         assert_eq!(rf.read(0x102), Ok(77));
         assert_eq!(rf.reg(2), 77);
         assert!(rf.read(0x104).is_err());
@@ -335,7 +333,7 @@ mod tests {
     fn apply_request_read_burst() {
         let mut rf = RegisterFile::new("rf", 0, 4, 1);
         for i in 0..4 {
-            rf.write(i, i * 10).unwrap();
+            ok(rf.write(i, i * 10));
         }
         let req = BusRequest {
             id: 9,

@@ -14,6 +14,7 @@
 //! lets configuration traffic interleave with suspended calls.
 
 #![warn(missing_docs)]
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod arbiter;
 pub mod bridge;

@@ -110,12 +110,13 @@ impl AddressMap {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use drcf_kernel::testing::ok;
 
     #[test]
     fn decode_hits_the_right_slave() {
         let mut m = AddressMap::new();
-        m.add(0x000, 0x0FF, 1).unwrap();
-        m.add(0x100, 0x1FF, 2).unwrap();
+        ok(m.add(0x000, 0x0FF, 1));
+        ok(m.add(0x100, 0x1FF, 2));
         assert_eq!(m.decode(0x000), Some(1));
         assert_eq!(m.decode(0x0FF), Some(1));
         assert_eq!(m.decode(0x100), Some(2));
@@ -127,7 +128,7 @@ mod tests {
     #[test]
     fn overlap_rejected() {
         let mut m = AddressMap::new();
-        m.add(0x100, 0x1FF, 1).unwrap();
+        ok(m.add(0x100, 0x1FF, 1));
         assert!(m.add(0x1FF, 0x2FF, 2).is_err());
         assert!(m.add(0x000, 0x100, 2).is_err());
         assert!(m.add(0x150, 0x160, 2).is_err());
@@ -143,7 +144,7 @@ mod tests {
     #[test]
     fn single_address_range_works() {
         let mut m = AddressMap::new();
-        m.add(0x42, 0x42, 9).unwrap();
+        ok(m.add(0x42, 0x42, 9));
         assert_eq!(m.decode(0x42), Some(9));
         assert_eq!(m.decode(0x41), None);
         assert_eq!(m.ranges()[0].len(), 1);
@@ -152,8 +153,8 @@ mod tests {
     #[test]
     fn burst_must_fit_one_slave() {
         let mut m = AddressMap::new();
-        m.add(0x00, 0x0F, 1).unwrap();
-        m.add(0x10, 0x1F, 2).unwrap();
+        ok(m.add(0x00, 0x0F, 1));
+        ok(m.add(0x10, 0x1F, 2));
         assert_eq!(m.decode_burst(0x0C, 4), Some(1)); // 0x0C..=0x0F
         assert_eq!(m.decode_burst(0x0D, 4), None); // crosses into slave 2
         assert_eq!(m.decode_burst(0x10, 16), Some(2));
@@ -163,7 +164,7 @@ mod tests {
     #[test]
     fn burst_overflow_is_a_decode_miss() {
         let mut m = AddressMap::new();
-        m.add(0x00, Addr::MAX, 1).unwrap();
+        ok(m.add(0x00, Addr::MAX, 1));
         assert_eq!(m.decode_burst(Addr::MAX, 2), None);
     }
 }

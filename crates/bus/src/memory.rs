@@ -38,6 +38,11 @@ pub struct MemoryConfig {
     /// True: the direct port is independent of the bus port (dual-ported
     /// RAM, like the Virtex-II Pro 18 Kbit block dual-port BRAM).
     pub dual_port: bool,
+    /// Fault injection: inclusive `[low, high]` address ranges whose words
+    /// refuse every access, so transactions touching them come back with a
+    /// `SlaveError` status (a poisoned/corrupted region in a
+    /// fault-injection campaign).
+    pub poison: Vec<(Addr, Addr)>,
 }
 
 impl Default for MemoryConfig {
@@ -50,11 +55,19 @@ impl Default for MemoryConfig {
             write_latency: 1,
             per_word: 1,
             dual_port: false,
+            poison: Vec::new(),
         }
     }
 }
 
 impl MemoryConfig {
+    /// Is `addr` inside a poisoned range?
+    pub fn poisoned(&self, addr: Addr) -> bool {
+        self.poison
+            .iter()
+            .any(|&(low, high)| (low..=high).contains(&addr))
+    }
+
     /// Service cycles for a burst access.
     pub fn service_cycles(&self, op: BusOp, burst: usize) -> u64 {
         let first = match op {
@@ -149,12 +162,18 @@ impl BusSlaveModel for Memory {
         self.cfg.base + self.cfg.size_words as u64 - 1
     }
     fn read(&mut self, addr: Addr) -> Result<Word, ()> {
+        if self.cfg.poisoned(addr) {
+            return Err(());
+        }
         self.data
             .get((addr.checked_sub(self.cfg.base).ok_or(())?) as usize)
             .copied()
             .ok_or(())
     }
     fn write(&mut self, addr: Addr, data: Word) -> Result<(), ()> {
+        if self.cfg.poisoned(addr) {
+            return Err(());
+        }
         let i = (addr.checked_sub(self.cfg.base).ok_or(())?) as usize;
         match self.data.get_mut(i) {
             Some(w) => {
@@ -178,6 +197,15 @@ impl Component for Memory {
         let msg = match msg.user::<SlaveAccess>() {
             Ok(access) => {
                 let resp = apply_request(self, &access.req);
+                if !resp.is_ok() {
+                    api.log(
+                        Severity::Warning,
+                        format!(
+                            "memory rejected {:?} burst {} at {:#x}",
+                            access.req.op, access.req.burst, access.req.addr
+                        ),
+                    );
+                }
                 match access.req.op {
                     BusOp::Read => {
                         self.stats.reads += 1;
@@ -232,6 +260,7 @@ impl Component for Memory {
 mod tests {
     use super::*;
     use crate::protocol::BusRequest;
+    use drcf_kernel::testing::{ok, some};
     use std::cell::RefCell;
     use std::rc::Rc;
 
@@ -257,12 +286,38 @@ mod tests {
         });
         assert_eq!(m.low_addr(), 0x1000);
         assert_eq!(m.high_addr(), 0x100F);
-        m.write(0x1004, 99).unwrap();
+        ok(m.write(0x1004, 99));
         assert_eq!(m.read(0x1004), Ok(99));
         assert_eq!(m.peek(0x1004), Some(99));
         assert!(m.read(0x0FFF).is_err(), "below base");
         assert!(m.read(0x1010).is_err(), "above top");
         assert!(m.write(0x1010, 0).is_err());
+    }
+
+    #[test]
+    fn poisoned_range_rejects_access() {
+        let mut m = Memory::new(MemoryConfig {
+            base: 0,
+            size_words: 32,
+            poison: vec![(8, 11)],
+            ..MemoryConfig::default()
+        });
+        assert_eq!(m.read(7), Ok(0));
+        assert!(m.read(8).is_err());
+        assert!(m.write(11, 5).is_err());
+        assert_eq!(m.read(12), Ok(0));
+        // A burst grazing the range comes back as a slave error.
+        let req = BusRequest {
+            id: 1,
+            master: 0,
+            op: BusOp::Read,
+            addr: 6,
+            burst: 4,
+            data: vec![],
+            priority: 0,
+        };
+        let resp = crate::interfaces::apply_request(&mut m, &req);
+        assert_eq!(resp.status, crate::protocol::BusStatus::SlaveError);
     }
 
     #[test]
@@ -350,8 +405,8 @@ mod tests {
         // Dual port: both finish at ~100ns. Single port: second finishes at ~200ns.
         assert_eq!(dual.len(), 2);
         assert_eq!(single.len(), 2);
-        let dual_last = *dual.iter().max().unwrap();
-        let single_last = *single.iter().max().unwrap();
+        let dual_last = some(dual.iter().max().copied());
+        let single_last = some(single.iter().max().copied());
         assert!(
             single_last >= 2 * dual_last - 1_000_000,
             "single {single_last} vs dual {dual_last}"
@@ -379,7 +434,7 @@ mod tests {
             }),
         );
         let mem = sim.add("mem", Memory::new(MemoryConfig::default()));
-        sim.run();
+        ok(sim.run());
         let m = sim.get::<Memory>(mem);
         assert_eq!(m.stats.direct_reads, 1);
         assert_eq!(m.stats.direct_words, 32);

@@ -18,6 +18,9 @@ pub struct BusStats {
     pub words: u64,
     /// Requests that decoded to no slave.
     pub decode_errors: u64,
+    /// Requests answered with an injected fault
+    /// (see `BusConfig::fault_ranges`).
+    pub injected_faults: u64,
     /// Queue-wait time from request arrival to grant.
     pub wait: LatencyHistogram,
     /// Largest pending-queue depth observed.

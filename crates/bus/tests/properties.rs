@@ -174,7 +174,7 @@ proptest! {
         let arb = if rr { ArbiterKind::RoundRobin } else { ArbiterKind::Priority };
         let totals: Vec<usize> = progs.iter().map(Vec::len).collect();
         let (mut sim, masters, bus) = run_stack(mode, arb, progs, window);
-        prop_assert_eq!(sim.run(), StopReason::Quiescent);
+        prop_assert_eq!(sim.run(), Ok(StopReason::Quiescent));
         let mut req_total = 0;
         for (id, want) in masters.iter().zip(&totals) {
             let m = sim.get::<RandomMaster>(*id);
@@ -203,7 +203,7 @@ proptest! {
         }
         let (mut sim, masters, _) =
             run_stack(BusMode::Split, ArbiterKind::Priority, vec![program], 1);
-        prop_assert_eq!(sim.run(), StopReason::Quiescent);
+        prop_assert_eq!(sim.run(), Ok(StopReason::Quiescent));
         let m = sim.get::<RandomMaster>(masters[0]);
         // Each read observes the latest write to that address at that point:
         // replay the oracle.
@@ -228,7 +228,7 @@ proptest! {
         let t = |mode| {
             let (mut sim, _, _) =
                 run_stack(mode, ArbiterKind::Priority, progs.clone(), 2);
-            assert_eq!(sim.run(), StopReason::Quiescent);
+            assert_eq!(sim.run(), Ok(StopReason::Quiescent));
             sim.now().as_fs()
         };
         prop_assert!(t(BusMode::Split) <= t(BusMode::Blocking));

@@ -76,6 +76,12 @@ pub struct DrcfConfig {
     /// executes (MorphoSys-style background reload / partial
     /// reconfiguration). When false, reconfiguration blocks the fabric.
     pub overlap_load_exec: bool,
+    /// Fault injection: contexts whose configuration load is forcibly
+    /// aborted just as the transfer completes (mid-reconfiguration). The
+    /// context is marked permanently failed, queued accesses get
+    /// `SlaveError` replies, and the run ends with a
+    /// [`SimErrorKind::ConfigLoad`] error.
+    pub abort_load_of: Vec<ContextId>,
 }
 
 impl Default for DrcfConfig {
@@ -88,6 +94,7 @@ impl Default for DrcfConfig {
             },
             scheduler: SchedulerConfig::default(),
             overlap_load_exec: false,
+            abort_load_of: Vec::new(),
         }
     }
 }
@@ -161,7 +168,7 @@ const TAG_FIXED_XFER_DONE: u64 = 3;
 ///         )],
 ///     ),
 /// );
-/// assert_eq!(sim.run(), StopReason::Quiescent);
+/// assert_eq!(sim.run(), Ok(StopReason::Quiescent));
 /// let fabric = sim.get::<Drcf>(drcf);
 /// assert_eq!(fabric.stats.switches, 1);
 /// assert!(fabric.stats.invariant_holds(sim.now()));
@@ -192,25 +199,57 @@ impl Drcf {
     ///
     /// Panics if the contexts' interface ranges overlap or parameters are
     /// invalid — the same conditions the transformation validator rejects.
+    /// Use [`Drcf::try_new`] to get a typed error instead.
     pub fn new(cfg: DrcfConfig, contexts: Vec<Context>) -> Self {
-        assert!(!contexts.is_empty(), "a DRCF needs at least one context");
+        match Self::try_new(cfg, contexts) {
+            Ok(d) => d,
+            Err(e) => panic!("invalid DRCF: {e}"),
+        }
+    }
+
+    /// Fallible constructor: returns a [`SimErrorKind::Validation`] error
+    /// when the context set is empty, a context's parameters are invalid,
+    /// or two contexts' interface ranges overlap.
+    pub fn try_new(cfg: DrcfConfig, contexts: Vec<Context>) -> SimResult<Self> {
+        if contexts.is_empty() {
+            return Err(SimError::new(
+                SimErrorKind::Validation,
+                "a DRCF needs at least one context",
+            ));
+        }
         for (i, c) in contexts.iter().enumerate() {
-            c.params
-                .validate()
-                .unwrap_or_else(|e| panic!("context {i} ({}): {e}", c.name()));
+            if let Err(e) = c.params.validate() {
+                return Err(SimError::new(
+                    SimErrorKind::Validation,
+                    format!("context {i} ({}): {e}", c.name()),
+                ));
+            }
             for other in &contexts[..i] {
                 let disjoint = c.model.high_addr() < other.model.low_addr()
                     || other.model.high_addr() < c.model.low_addr();
-                assert!(
-                    disjoint,
-                    "context interface ranges overlap: {} and {}",
-                    c.name(),
-                    other.name()
-                );
+                if !disjoint {
+                    return Err(SimError::new(
+                        SimErrorKind::Validation,
+                        format!(
+                            "context interface ranges overlap: {} and {}",
+                            c.name(),
+                            other.name()
+                        ),
+                    ));
+                }
             }
         }
-        let low = contexts.iter().map(|c| c.model.low_addr()).min().unwrap();
-        let high = contexts.iter().map(|c| c.model.high_addr()).max().unwrap();
+        // Emptiness was validated above, so min/max exist.
+        let low = contexts
+            .iter()
+            .map(|c| c.model.low_addr())
+            .min()
+            .unwrap_or(0);
+        let high = contexts
+            .iter()
+            .map(|c| c.model.high_addr())
+            .max()
+            .unwrap_or(0);
         let slots_needed = contexts.iter().map(|c| c.params.slots_needed).collect();
         let sched = ContextScheduler::new(cfg.scheduler.clone(), slots_needed);
         let port = match cfg.config_path {
@@ -218,7 +257,7 @@ impl Drcf {
             _ => None,
         };
         let n = contexts.len();
-        Drcf {
+        Ok(Drcf {
             cfg,
             contexts,
             sched,
@@ -232,7 +271,7 @@ impl Drcf {
             low,
             high,
             stats: FabricStats::new(n),
-        }
+        })
     }
 
     /// Lowest interface address the DRCF claims (`get_low_add()` of the
@@ -308,23 +347,35 @@ impl Drcf {
             let Some(head) = self.queue.front() else {
                 break;
             };
-            let ctx = self
-                .decode(head.access.req.addr)
-                .expect("queued access always decodes");
+            let Some(ctx) = self.decode(head.access.req.addr) else {
+                // on_slave_access only queues decodable accesses; reaching
+                // here means the fabric state is inconsistent.
+                api.raise(
+                    SimErrorKind::Internal,
+                    "queued access does not decode to any context",
+                );
+                if let Some(q) = self.queue.pop_front() {
+                    self.reply_error(api, &q.access);
+                }
+                continue;
+            };
 
             if self.sched.is_resident(ctx) {
                 if load_blocks || !self.exec_free(api.now()) {
                     return; // a timer (exec/load) will pump again
                 }
-                let q = self.queue.pop_front().expect("head exists");
+                let Some(q) = self.queue.pop_front() else {
+                    break;
+                };
                 self.execute(api, ctx, q);
                 return; // exec-done timer pumps the rest
             }
 
             // Needs a context switch.
             if self.failed[ctx] {
-                let q = self.queue.pop_front().expect("head exists");
-                self.reply_error(api, &q.access);
+                if let Some(q) = self.queue.pop_front() {
+                    self.reply_error(api, &q.access);
+                }
                 continue;
             }
             if self.loading.is_some() {
@@ -346,8 +397,9 @@ impl Drcf {
                         .map(|(i, _)| i)
                         .collect();
                     for i in me_ranges.into_iter().rev() {
-                        let q = self.queue.remove(i).expect("index valid");
-                        self.reply_error(api, &q.access);
+                        if let Some(q) = self.queue.remove(i) {
+                            self.reply_error(api, &q.access);
+                        }
                     }
                     continue;
                 }
@@ -358,9 +410,10 @@ impl Drcf {
 
     /// §5.3 step 2: forward the (suspended) call to the active context.
     fn execute(&mut self, api: &mut Api<'_>, ctx: ContextId, q: Queued) {
-        let prefetch_hit = self.sched.note_use(ctx);
-        if prefetch_hit {
-            self.stats.prefetch_hits += 1;
+        match self.sched.note_use(ctx) {
+            Ok(true) => self.stats.prefetch_hits += 1,
+            Ok(false) => {}
+            Err(e) => api.raise(e.kind, e.message),
         }
         self.stats
             .record_event(api.now(), ctx, FabricEventKind::ExecStart);
@@ -398,8 +451,8 @@ impl Drcf {
         match self.sched.lookup(ctx, &protected) {
             Lookup::Resident => LoadStart::RetryLater, // raced; treat as progress
             Lookup::TooBig => {
-                api.log(
-                    Severity::Error,
+                api.raise(
+                    SimErrorKind::Scheduler,
                     format!(
                         "context '{}' needs {} slots but the fabric has only {}",
                         self.contexts[ctx].name(),
@@ -423,7 +476,10 @@ impl Drcf {
                 // (extra traffic on top of the configuration transfers).
                 let mut save_total = 0;
                 for v in evict {
-                    self.sched.evict(v);
+                    if let Err(e) = self.sched.evict(v) {
+                        api.raise(e.kind, e.message);
+                        continue;
+                    }
                     self.stats
                         .record_event(api.now(), v, FabricEventKind::Evict);
                     let st = self.contexts[v].params.state_words;
@@ -467,11 +523,23 @@ impl Drcf {
     /// write-back, then the configuration image, then the target's saved
     /// state, in that order.
     fn issue_config_transfer(&mut self, api: &mut Api<'_>) {
-        let load = self.loading.as_mut().expect("load in progress");
+        let Some(load) = self.loading.as_mut() else {
+            api.raise(
+                SimErrorKind::Internal,
+                "configuration transfer issued with no load in progress",
+            );
+            return;
+        };
         match &self.cfg.config_path {
             ConfigPath::SystemBus { burst, .. } => {
                 let burst = (*burst).max(1);
-                let port = self.port.as_mut().expect("system-bus path has a port");
+                let Some(port) = self.port.as_mut() else {
+                    api.raise(
+                        SimErrorKind::Internal,
+                        "system-bus configuration path has no master port",
+                    );
+                    return;
+                };
                 if load.save_remaining > 0 {
                     // State write-back of the evicted context(s).
                     let chunk = (load.save_remaining as usize).min(burst);
@@ -524,7 +592,30 @@ impl Drcf {
     /// All configuration words have arrived; apply the extra delay then
     /// install.
     fn transfer_complete(&mut self, api: &mut Api<'_>) {
-        let load = self.loading.as_ref().expect("load in progress");
+        let Some(load) = self.loading.as_ref() else {
+            api.raise(
+                SimErrorKind::Internal,
+                "configuration transfer completed with no load in progress",
+            );
+            return;
+        };
+        // Fault injection: abort the load mid-reconfiguration, after the
+        // transfer but before installation — the window where a real fabric
+        // is left partially configured.
+        if self.cfg.abort_load_of.contains(&load.ctx) {
+            let ctx = load.ctx;
+            self.loading = None;
+            self.failed[ctx] = true;
+            api.raise(
+                SimErrorKind::ConfigLoad,
+                format!(
+                    "context '{}' load aborted mid-reconfiguration by fault injection",
+                    self.contexts[ctx].name()
+                ),
+            );
+            self.pump(api);
+            return;
+        }
         let extra = self.contexts[load.ctx].params.extra_reconfig_delay;
         if extra.is_zero() {
             self.install_loaded(api);
@@ -534,15 +625,26 @@ impl Drcf {
     }
 
     fn install_loaded(&mut self, api: &mut Api<'_>) {
-        let load = self.loading.take().expect("load in progress");
+        let Some(load) = self.loading.take() else {
+            api.raise(
+                SimErrorKind::Internal,
+                "context install fired with no load in progress",
+            );
+            return;
+        };
         let dur = api.now().since(load.started);
         if self.cfg.overlap_load_exec {
             self.stats.reconfig_overlapped += dur;
         } else {
             self.stats.reconfig += dur;
         }
+        if let Err(e) = self.sched.install(load.ctx, load.prefetch) {
+            api.raise(e.kind, e.message);
+            self.failed[load.ctx] = true;
+            self.pump(api);
+            return;
+        }
         self.stats.switches += 1;
-        self.sched.install(load.ctx, load.prefetch);
         let cs = &mut self.stats.per_context[load.ctx];
         cs.switches_in += 1;
         cs.config_words += self.contexts[load.ctx].params.config_size_words;
@@ -594,8 +696,8 @@ impl Drcf {
     fn on_bus_response(&mut self, api: &mut Api<'_>, resp: BusResponse) {
         // Configuration burst came back over the system bus.
         if !resp.is_ok() {
-            api.log(
-                Severity::Error,
+            api.raise(
+                SimErrorKind::ConfigLoad,
                 format!("configuration read failed at {:#x}", resp.addr),
             );
             // Abort the load and mark the context permanently failed so the
@@ -693,6 +795,7 @@ mod tests {
     use crate::context::ContextParams;
     use crate::scheduler::{EvictionPolicy, PrefetchPolicy};
     use drcf_bus::prelude::RegisterFile;
+    use drcf_kernel::testing::some;
 
     fn ctx(name: &'static str, low: u64, words: u64) -> Context {
         Context::new(
@@ -765,6 +868,7 @@ mod tests {
                     ..SchedulerConfig::default()
                 },
                 overlap_load_exec: false,
+                abort_load_of: vec![],
             },
             contexts,
         )
@@ -786,8 +890,28 @@ mod tests {
         );
         let fabric = sim.add("drcf", drcf);
         let r = sim.run();
-        assert_eq!(r, StopReason::Quiescent);
+        assert_eq!(r, Ok(StopReason::Quiescent));
         (sim, driver, fabric)
+    }
+
+    /// Like `run_driver` but for scenarios that end in a typed error.
+    fn run_driver_err(
+        drcf: Drcf,
+        sends: Vec<(SimDuration, u64, BusOp, u64)>,
+    ) -> (Simulator, ComponentId, ComponentId, SimError) {
+        let mut sim = Simulator::new();
+        let driver = sim.add(
+            "driver",
+            Driver {
+                drcf: 1,
+                sends,
+                next_id: 0,
+                replies: vec![],
+            },
+        );
+        let fabric = sim.add("drcf", drcf);
+        let err = sim.run().expect_err("scenario should end in a typed error");
+        (sim, driver, fabric, err)
     }
 
     #[test]
@@ -912,20 +1036,64 @@ mod tests {
             },
             vec![big, ctx("ok", 0x100, 10)],
         );
-        let (sim, driver, _) = run_driver(
+        let (sim, driver, _, err) = run_driver_err(
             drcf,
             vec![
                 (SimDuration::ZERO, 0x000, BusOp::Write, 1), // impossible
                 (SimDuration::ns(10), 0x100, BusOp::Write, 2), // fine
             ],
         );
+        // The impossible load is a typed scheduler error, but the other
+        // context still gets served: faults are isolated, not fatal.
+        assert_eq!(err.kind, SimErrorKind::Scheduler);
+        assert_eq!(err.component.as_deref(), Some("drcf"));
         let d = sim.get::<Driver>(driver);
         assert_eq!(d.replies.len(), 2);
-        let too_big = d.replies.iter().find(|(_, r)| r.addr == 0x000).unwrap();
+        let too_big = some(d.replies.iter().find(|(_, r)| r.addr == 0x000));
         assert_eq!(too_big.1.status, BusStatus::SlaveError);
-        let ok = d.replies.iter().find(|(_, r)| r.addr == 0x100).unwrap();
+        let ok = some(d.replies.iter().find(|(_, r)| r.addr == 0x100));
         assert!(ok.1.is_ok());
         assert!(sim.reports().has_errors(), "error was logged");
+    }
+
+    #[test]
+    fn injected_load_abort_fails_the_context() {
+        let cfg = DrcfConfig {
+            abort_load_of: vec![0],
+            ..DrcfConfig::default()
+        };
+        let drcf = Drcf::new(cfg, vec![ctx("victim", 0x000, 10), ctx("ok", 0x100, 10)]);
+        let (sim, driver, fabric, err) = run_driver_err(
+            drcf,
+            vec![
+                (SimDuration::ZERO, 0x000, BusOp::Write, 1), // aborted mid-load
+                (SimDuration::us(1), 0x100, BusOp::Write, 2), // unaffected
+            ],
+        );
+        assert_eq!(err.kind, SimErrorKind::ConfigLoad);
+        assert!(err.message.contains("victim"), "{}", err.message);
+        let d = sim.get::<Driver>(driver);
+        assert_eq!(d.replies.len(), 2, "both accesses get replies");
+        let aborted = some(d.replies.iter().find(|(_, r)| r.addr == 0x000));
+        assert_eq!(aborted.1.status, BusStatus::SlaveError);
+        let fine = some(d.replies.iter().find(|(_, r)| r.addr == 0x100));
+        assert!(fine.1.is_ok());
+        let f = sim.get::<Drcf>(fabric);
+        assert_eq!(f.resident_contexts(), vec![1], "victim never installed");
+    }
+
+    #[test]
+    fn try_new_rejects_overlap_with_typed_error() {
+        let Err(err) = Drcf::try_new(
+            DrcfConfig::default(),
+            vec![ctx("a", 0x000, 10), ctx("b", 0x004, 10)],
+        ) else {
+            unreachable!("overlapping ranges must be rejected")
+        };
+        assert_eq!(err.kind, SimErrorKind::Validation);
+        assert!(err.message.contains("overlap"), "{}", err.message);
+        let empty = Drcf::try_new(DrcfConfig::default(), vec![]);
+        assert_eq!(empty.err().map(|e| e.kind), Some(SimErrorKind::Validation));
     }
 
     #[test]
@@ -957,6 +1125,7 @@ mod tests {
                         ..SchedulerConfig::default()
                     },
                     overlap_load_exec: true,
+                    abort_load_of: vec![],
                 },
                 vec![ctx("a", 0x000, 400), ctx("b", 0x100, 400)],
             )

@@ -110,6 +110,7 @@ pub fn plan_contexts(
 mod tests {
     use super::*;
     use crate::technology::{morphosys, varicore, virtex2_pro};
+    use drcf_kernel::testing::ok;
 
     #[test]
     fn region_math() {
@@ -127,8 +128,8 @@ mod tests {
     fn partial_loads_scale_with_regions() {
         let g = FabricGeometry::new(40_000, 4);
         let t = varicore();
-        let small = plan_context(g, &t, 5_000, 0).unwrap();
-        let large = plan_context(g, &t, 35_000, 0).unwrap();
+        let small = ok(plan_context(g, &t, 5_000, 0));
+        let large = ok(plan_context(g, &t, 35_000, 0));
         assert_eq!(small.slots_needed, 1);
         assert_eq!(large.slots_needed, 4);
         assert_eq!(
@@ -152,7 +153,7 @@ mod tests {
     fn plan_contexts_packs_addresses() {
         let g = FabricGeometry::new(80_000, 8);
         let t = morphosys();
-        let plans = plan_contexts(g, &t, &[10_000, 10_000, 20_000], 0x1000).unwrap();
+        let plans = ok(plan_contexts(g, &t, &[10_000, 10_000, 20_000], 0x1000));
         assert_eq!(plans.len(), 3);
         assert_eq!(plans[0].config_addr, 0x1000);
         assert_eq!(plans[1].config_addr, 0x1000 + plans[0].config_size_words);
@@ -168,7 +169,7 @@ mod tests {
     fn power_defaults_derived_from_technology() {
         let g = FabricGeometry::new(40_000, 1);
         let t = varicore();
-        let p = plan_context(g, &t, 32_000, 0).unwrap();
+        let p = ok(plan_context(g, &t, 32_000, 0));
         // Paper figure: 0.075 µW/gate/MHz * 32K gates * 250MHz = 600 mW.
         assert!(
             (p.active_power_mw - 600.0).abs() < 1.0,

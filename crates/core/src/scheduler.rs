@@ -14,6 +14,7 @@
 //! decision unit- and property-testable in isolation.
 
 use crate::context::ContextId;
+use drcf_kernel::prelude::{SimError, SimErrorKind, SimResult};
 
 /// How the next context to prefetch is predicted.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -183,23 +184,40 @@ impl ContextScheduler {
         }
     }
 
-    /// Remove `c` from the fabric.
-    pub fn evict(&mut self, c: ContextId) {
-        let r = self.resident[c]
-            .take()
-            .expect("evicting a non-resident context");
+    /// Remove `c` from the fabric. Evicting a context that is not resident
+    /// is a scheduler accounting violation and yields a typed
+    /// [`SimErrorKind::Scheduler`] error instead of panicking.
+    pub fn evict(&mut self, c: ContextId) -> SimResult<()> {
+        let Some(r) = self.resident[c].take() else {
+            return Err(SimError::new(
+                SimErrorKind::Scheduler,
+                format!("evicting non-resident context {c}"),
+            ));
+        };
         self.free_slots += r.slots.len();
+        Ok(())
     }
 
     /// Mark `c` loaded (after its configuration finished streaming in).
-    pub fn install(&mut self, c: ContextId, prefetched: bool) {
-        assert!(self.resident[c].is_none(), "double install of context {c}");
+    /// Errors on a double install or when the free-slot accounting says
+    /// there is no room — both scheduler invariant violations.
+    pub fn install(&mut self, c: ContextId, prefetched: bool) -> SimResult<()> {
+        if self.resident[c].is_some() {
+            return Err(SimError::new(
+                SimErrorKind::Scheduler,
+                format!("double install of context {c}"),
+            ));
+        }
         let need = self.slots_needed[c];
-        assert!(
-            need <= self.free_slots,
-            "install without room: need {need}, free {}",
-            self.free_slots
-        );
+        if need > self.free_slots {
+            return Err(SimError::new(
+                SimErrorKind::Scheduler,
+                format!(
+                    "install without room: need {need}, free {}",
+                    self.free_slots
+                ),
+            ));
+        }
         self.free_slots -= need;
         self.load_seq += 1;
         self.tick += 1;
@@ -209,12 +227,14 @@ impl ContextScheduler {
             loaded_seq: self.load_seq,
             prefetched,
         });
+        Ok(())
     }
 
     /// Record a use of resident context `c` (updates recency and the
-    /// successor model). Returns `true` when this is the first use of a
-    /// prefetched load — a prefetch hit.
-    pub fn note_use(&mut self, c: ContextId) -> bool {
+    /// successor model). Returns `Ok(true)` when this is the first use of a
+    /// prefetched load — a prefetch hit — and a
+    /// [`SimErrorKind::Scheduler`] error when `c` is not resident.
+    pub fn note_use(&mut self, c: ContextId) -> SimResult<bool> {
         self.tick += 1;
         let tick = self.tick;
         if let Some(prev) = self.last_activated {
@@ -223,11 +243,14 @@ impl ContextScheduler {
             }
         }
         self.last_activated = Some(c);
-        let r = self.resident[c]
-            .as_mut()
-            .expect("note_use on non-resident context");
+        let Some(r) = self.resident[c].as_mut() else {
+            return Err(SimError::new(
+                SimErrorKind::Scheduler,
+                format!("note_use on non-resident context {c}"),
+            ));
+        };
         r.last_used = tick;
-        std::mem::take(&mut r.prefetched)
+        Ok(std::mem::take(&mut r.prefetched))
     }
 
     /// Predict the context worth prefetching after `current`, if any.
@@ -251,6 +274,7 @@ impl ContextScheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use drcf_kernel::testing::ok;
 
     fn sched(slots: usize, contexts: usize) -> ContextScheduler {
         ContextScheduler::new(
@@ -266,24 +290,24 @@ mod tests {
     fn single_slot_reactive_swapping() {
         let mut s = sched(1, 3);
         assert_eq!(s.lookup(0, &[]), Lookup::Load { evict: vec![] });
-        s.install(0, false);
+        ok(s.install(0, false));
         assert!(s.is_resident(0));
         assert_eq!(s.lookup(0, &[]), Lookup::Resident);
         // Context 1 must evict 0.
         assert_eq!(s.lookup(1, &[]), Lookup::Load { evict: vec![0] });
-        s.evict(0);
-        s.install(1, false);
+        ok(s.evict(0));
+        ok(s.install(1, false));
         assert_eq!(s.resident_set(), vec![1]);
     }
 
     #[test]
     fn lru_evicts_least_recent() {
         let mut s = sched(2, 3);
-        s.install(0, false);
-        s.note_use(0);
-        s.install(1, false);
-        s.note_use(1);
-        s.note_use(0); // 0 is now more recent than 1
+        ok(s.install(0, false));
+        ok(s.note_use(0));
+        ok(s.install(1, false));
+        ok(s.note_use(1));
+        ok(s.note_use(0)); // 0 is now more recent than 1
         assert_eq!(s.lookup(2, &[]), Lookup::Load { evict: vec![1] });
     }
 
@@ -297,16 +321,16 @@ mod tests {
             },
             vec![1; 3],
         );
-        s.install(0, false);
-        s.install(1, false);
-        s.note_use(0); // recency irrelevant for FIFO
+        ok(s.install(0, false));
+        ok(s.install(1, false));
+        ok(s.note_use(0)); // recency irrelevant for FIFO
         assert_eq!(s.lookup(2, &[]), Lookup::Load { evict: vec![0] });
     }
 
     #[test]
     fn protected_contexts_are_never_victims() {
         let mut s = sched(1, 2);
-        s.install(0, false);
+        ok(s.install(0, false));
         assert_eq!(s.lookup(1, &[0]), Lookup::NoRoom);
         assert_eq!(s.lookup(1, &[]), Lookup::Load { evict: vec![0] });
     }
@@ -332,15 +356,14 @@ mod tests {
             },
             vec![1, 1, 3],
         );
-        s.install(0, false);
-        s.install(1, false);
+        ok(s.install(0, false));
+        ok(s.install(1, false));
         assert_eq!(s.free_slots(), 1);
-        match s.lookup(2, &[]) {
-            Lookup::Load { evict } => {
-                assert_eq!(evict.len(), 2, "needs both residents out");
-            }
-            other => panic!("expected Load, got {other:?}"),
-        }
+        assert_eq!(
+            s.lookup(2, &[]),
+            Lookup::Load { evict: vec![0, 1] },
+            "needs both residents out"
+        );
     }
 
     #[test]
@@ -367,26 +390,29 @@ mod tests {
             },
             vec![1; 3],
         );
-        s.install(0, false);
-        s.install(1, false);
+        ok(s.install(0, false));
+        ok(s.install(1, false));
         assert_eq!(s.predict_next(0), None, "nothing learned yet");
-        s.note_use(0);
-        s.note_use(1); // successor[0] = 1
-        s.evict(1);
+        ok(s.note_use(0));
+        ok(s.note_use(1)); // successor[0] = 1
+        ok(s.evict(1));
         assert_eq!(s.predict_next(0), Some(1));
         // A resident prediction is suppressed.
-        s.install(1, false);
+        ok(s.install(1, false));
         assert_eq!(s.predict_next(0), None);
     }
 
     #[test]
     fn prefetch_hit_reported_once() {
         let mut s = sched(2, 2);
-        s.install(0, true);
-        assert!(s.note_use(0), "first use of a prefetched context is a hit");
-        assert!(!s.note_use(0), "only counted once");
-        s.install(1, false);
-        assert!(!s.note_use(1), "demand load is not a prefetch hit");
+        ok(s.install(0, true));
+        assert!(
+            ok(s.note_use(0)),
+            "first use of a prefetched context is a hit"
+        );
+        assert!(!ok(s.note_use(0)), "only counted once");
+        ok(s.install(1, false));
+        assert!(!ok(s.note_use(1)), "demand load is not a prefetch hit");
     }
 
     #[test]
@@ -399,19 +425,20 @@ mod tests {
             vec![2, 2],
         );
         assert_eq!(s.free_slots(), 4);
-        s.install(0, false);
+        ok(s.install(0, false));
         assert_eq!(s.free_slots(), 2);
-        s.install(1, false);
+        ok(s.install(1, false));
         assert_eq!(s.free_slots(), 0);
-        s.evict(0);
+        ok(s.evict(0));
         assert_eq!(s.free_slots(), 2);
     }
 
     #[test]
-    #[should_panic(expected = "double install")]
-    fn double_install_panics() {
+    fn double_install_is_a_typed_error() {
         let mut s = sched(2, 1);
-        s.install(0, false);
-        s.install(0, false);
+        ok(s.install(0, false));
+        let err = s.install(0, false).expect_err("second install must fail");
+        assert_eq!(err.kind, SimErrorKind::Scheduler);
+        assert!(err.message.contains("double install"), "{}", err.message);
     }
 }

@@ -157,11 +157,7 @@ impl FabricStats {
                     FabricEventKind::Evict => b'x',
                 };
             }
-            let _ = writeln!(
-                out,
-                "{name:<name_w$} [{}]",
-                String::from_utf8(lane).expect("ascii lane")
-            );
+            let _ = writeln!(out, "{name:<name_w$} [{}]", String::from_utf8_lossy(&lane));
         }
         let _ = writeln!(
             out,
@@ -177,6 +173,7 @@ impl FabricStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use drcf_kernel::testing::some;
 
     #[test]
     fn totals_aggregate_per_context() {
@@ -212,11 +209,11 @@ mod tests {
         assert!(text.contains("alpha"));
         assert!(text.contains("beta"));
         // alpha's lane starts with the switch marker.
-        let alpha_line = text.lines().next().unwrap();
+        let alpha_line = some(text.lines().next());
         assert!(alpha_line.contains("[~"), "{alpha_line}");
         assert!(alpha_line.contains('#'));
         assert!(alpha_line.contains('x'));
-        let beta_line = text.lines().nth(1).unwrap();
+        let beta_line = some(text.lines().nth(1));
         assert!(beta_line.contains('~') && beta_line.contains('#'));
         assert_eq!(s.events.len(), 6);
     }

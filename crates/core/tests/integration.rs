@@ -114,6 +114,7 @@ fn build_system(bus_mode: BusMode, script: Vec<(BusOp, Addr, Word)>) -> Simulato
                 },
                 scheduler: SchedulerConfig::default(),
                 overlap_load_exec: false,
+                abort_load_of: vec![],
             },
             contexts,
         ),
@@ -133,7 +134,7 @@ fn drcf_over_split_bus_works_end_to_end() {
             (BusOp::Read, 0x2000, 0), // back to A: switch again
         ],
     );
-    assert_eq!(sim.run(), StopReason::Quiescent);
+    assert_eq!(sim.run(), Ok(StopReason::Quiescent));
     let m = sim.get::<ScriptedMaster>(0);
     assert_eq!(m.replies.len(), 5);
     assert!(m.replies.iter().all(|(_, r)| r.is_ok()));
@@ -169,17 +170,15 @@ fn drcf_over_split_bus_works_end_to_end() {
 #[test]
 fn blocking_bus_deadlocks_on_context_load() {
     let mut sim = build_system(BusMode::Blocking, vec![(BusOp::Write, 0x2000, 1)]);
-    let reason = sim.run();
-    if let StopReason::Deadlock { pending } = reason {
-        // CPU's transaction + the DRCF's stuck config read.
-        assert!(pending >= 2, "pending = {pending}");
-    } else {
-        panic!("expected deadlock, got {reason:?}");
-    }
+    let err = sim.run().expect_err("blocking bus must deadlock");
+    assert!(err.is_deadlock(), "expected deadlock, got {err}");
+    // CPU's transaction + the DRCF's stuck config read.
+    let pending = err.pending_obligations().unwrap_or(0);
+    assert!(pending >= 2, "pending = {pending}");
     // And the fix the paper prescribes — split transactions — resolves it
     // with an otherwise identical system:
     let mut fixed = build_system(BusMode::Split, vec![(BusOp::Write, 0x2000, 1)]);
-    assert_eq!(fixed.run(), StopReason::Quiescent);
+    assert_eq!(fixed.run(), Ok(StopReason::Quiescent));
 }
 
 /// Dedicated configuration port (memory organization study): loads bypass
@@ -211,6 +210,7 @@ fn direct_config_port_generates_no_bus_traffic() {
                 config_path: ConfigPath::DirectPort { memory: 2 },
                 scheduler: SchedulerConfig::default(),
                 overlap_load_exec: false,
+                abort_load_of: vec![],
             },
             vec![Context::new(
                 Box::new(RegisterFile::new("hwa", 0x2000, 16, 2)),
@@ -222,7 +222,7 @@ fn direct_config_port_generates_no_bus_traffic() {
             )],
         ),
     );
-    assert_eq!(sim.run(), StopReason::Quiescent);
+    assert_eq!(sim.run(), Ok(StopReason::Quiescent));
     let m = sim.get::<ScriptedMaster>(0);
     assert_eq!(m.replies.len(), 2);
     assert_eq!(m.replies[1].1.data, vec![5]);
@@ -264,7 +264,7 @@ fn functional_equivalence_standalone_vs_drcf() {
             "hwa_b",
             SlaveAdapter::new(RegisterFile::new("hwa_b", 0x2080, 16, 2), 100),
         );
-        assert_eq!(sim.run(), StopReason::Quiescent);
+        assert_eq!(sim.run(), Ok(StopReason::Quiescent));
         sim.get::<ScriptedMaster>(0)
             .replies
             .iter()
@@ -275,7 +275,7 @@ fn functional_equivalence_standalone_vs_drcf() {
     // Architecture (b): the same models folded into a DRCF.
     let drcf: Vec<Vec<Word>> = {
         let mut sim = build_system(BusMode::Split, script);
-        assert_eq!(sim.run(), StopReason::Quiescent);
+        assert_eq!(sim.run(), Ok(StopReason::Quiescent));
         sim.get::<ScriptedMaster>(0)
             .replies
             .iter()
@@ -345,11 +345,12 @@ fn stateful_context_over_system_bus() {
                 },
                 scheduler: SchedulerConfig::default(),
                 overlap_load_exec: false,
+                abort_load_of: vec![],
             },
             vec![ctx_a, ctx_b],
         ),
     );
-    assert_eq!(sim.run(), StopReason::Quiescent);
+    assert_eq!(sim.run(), Ok(StopReason::Quiescent));
     let m = sim.get::<ScriptedMaster>(0);
     assert_eq!(m.replies.len(), 3);
     assert!(m.replies.iter().all(|(_, r)| r.is_ok()));
@@ -396,6 +397,7 @@ fn larger_contexts_cost_proportionally_more() {
                     },
                     scheduler: SchedulerConfig::default(),
                     overlap_load_exec: false,
+                    abort_load_of: vec![],
                 },
                 vec![Context::new(
                     Box::new(RegisterFile::new("hwa", 0x8000, 16, 2)),
@@ -407,7 +409,7 @@ fn larger_contexts_cost_proportionally_more() {
                 )],
             ),
         );
-        assert_eq!(sim.run(), StopReason::Quiescent);
+        assert_eq!(sim.run(), Ok(StopReason::Quiescent));
         sim.now().as_fs()
     };
     let t256 = t(256);

@@ -7,6 +7,7 @@ use std::collections::HashMap;
 use drcf_bus::prelude::*;
 use drcf_core::prelude::*;
 use drcf_kernel::prelude::*;
+use drcf_kernel::testing::ok;
 use proptest::prelude::*;
 
 /// Driver that sends raw SlaveAccess messages straight to the DRCF at
@@ -78,6 +79,7 @@ fn build_fabric(n_contexts: usize, slots: usize, sizes: &[u64]) -> Drcf {
                 ..SchedulerConfig::default()
             },
             overlap_load_exec: false,
+            abort_load_of: vec![],
         },
         contexts,
     )
@@ -122,7 +124,7 @@ proptest! {
         );
         let sizes = vec![32u64, 64, 16, 128];
         sim.add("drcf", build_fabric(n_contexts, slots, &sizes));
-        prop_assert_eq!(sim.run(), StopReason::Quiescent);
+        prop_assert_eq!(sim.run(), Ok(StopReason::Quiescent));
 
         let driver = sim.get::<Driver>(0);
         prop_assert_eq!(driver.replies.len(), sends.len(), "every call answered");
@@ -188,15 +190,15 @@ proptest! {
             let c = pick % n;
             match s.lookup(c, &[]) {
                 Lookup::Resident => {
-                    s.note_use(c);
+                    ok(s.note_use(c));
                 }
                 Lookup::Load { evict } => {
                     for v in evict {
                         prop_assert!(s.is_resident(v));
-                        s.evict(v);
+                        ok(s.evict(v));
                     }
-                    s.install(c, false);
-                    s.note_use(c);
+                    ok(s.install(c, false));
+                    ok(s.note_use(c));
                 }
                 Lookup::TooBig => {
                     prop_assert!(needs[c] > slots);
@@ -228,14 +230,14 @@ proptest! {
         for &c in &seq {
             match s.lookup(c, &[]) {
                 Lookup::Resident => {
-                    s.note_use(c);
+                    ok(s.note_use(c));
                 }
                 Lookup::Load { evict } => {
                     for v in evict {
-                        s.evict(v);
+                        ok(s.evict(v));
                     }
-                    s.install(c, false);
-                    s.note_use(c);
+                    ok(s.install(c, false));
+                    ok(s.note_use(c));
                 }
                 _ => unreachable!("4 unit contexts on 2 slots"),
             }

@@ -31,18 +31,26 @@ impl Json {
         Json::Obj(Vec::new())
     }
 
-    /// Insert (or append) a field on an object; panics on non-objects.
-    pub fn set(&mut self, key: &str, value: Json) -> &mut Json {
+    /// Insert (or append) a field on an object; errors on non-objects
+    /// instead of panicking.
+    pub fn set(&mut self, key: &str, value: Json) -> Result<(), JsonError> {
         match self {
-            Json::Obj(fields) => fields.push((key.to_string(), value)),
-            other => panic!("Json::set on non-object {other:?}"),
+            Json::Obj(fields) => {
+                fields.push((key.to_string(), value));
+                Ok(())
+            }
+            other => Err(JsonError {
+                pos: 0,
+                message: format!("Json::set on non-object {other:?}"),
+            }),
         }
-        self
     }
 
-    /// Builder-style [`Json::set`].
+    /// Builder-style [`Json::set`]; leaves `self` unchanged when it is not
+    /// an object (asserting in debug builds).
     pub fn with(mut self, key: &str, value: Json) -> Json {
-        self.set(key, value);
+        let r = self.set(key, value);
+        debug_assert!(r.is_ok(), "Json::with on a non-object");
         self
     }
 
@@ -357,7 +365,9 @@ impl Parser<'_> {
                     // Consume one UTF-8 scalar.
                     let rest = &self.bytes[self.pos..];
                     let text = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = text.chars().next().unwrap();
+                    let Some(c) = text.chars().next() else {
+                        return Err(self.err("unterminated string"));
+                    };
                     s.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -374,7 +384,8 @@ impl Parser<'_> {
         {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("bad number"))?;
         text.parse::<f64>()
             .map(Json::Num)
             .map_err(|_| self.err("bad number"))
@@ -479,6 +490,34 @@ mod tests {
         assert!(Json::parse("[1,]").is_err());
         assert!(Json::parse("tru").is_err());
         assert!(Json::parse("1 2").is_err());
+    }
+
+    #[test]
+    fn set_on_non_object_is_an_error_not_a_panic() {
+        let mut v = Json::Num(1.0);
+        let err = v
+            .set("k", Json::Null)
+            .expect_err("non-object must reject set");
+        assert!(err.message.contains("non-object"), "{}", err.message);
+        assert_eq!(v, Json::Num(1.0), "value is untouched");
+        let mut o = Json::obj();
+        assert!(o.set("k", true.into()).is_ok());
+        assert_eq!(o.get("k").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn malformed_inputs_are_errors_with_positions() {
+        for bad in ["-", "1e", "\"", "\"ab", "[1, }", "{\"a\"}", "nul", "+1", ""] {
+            let err = Json::parse(bad).expect_err(bad);
+            assert!(!err.message.is_empty());
+            assert!(err.pos <= bad.len(), "{}: pos {}", bad, err.pos);
+        }
+    }
+
+    #[test]
+    fn non_finite_numbers_serialize_as_null() {
+        assert_eq!(Json::Num(f64::INFINITY).to_string(), "null");
+        assert_eq!(Json::Num(f64::NAN).to_string(), "null");
     }
 
     #[test]

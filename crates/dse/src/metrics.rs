@@ -30,6 +30,9 @@ pub struct RunRecord {
     pub area_gates: u64,
     /// Run completed cleanly.
     pub ok: bool,
+    /// Why the run failed (typed simulation error or panic message), when
+    /// `ok` is false.
+    pub error: Option<String>,
 }
 
 impl RunRecord {
@@ -48,6 +51,29 @@ impl RunRecord {
             energy_mj: m.fabric_energy_mj,
             area_gates: m.area_gates,
             ok: m.ok,
+            error: m.error.clone(),
+        }
+    }
+
+    /// A record for a point whose evaluation failed or panicked: metrics
+    /// are zeroed, `makespan_ns` is infinite so failed points sort last,
+    /// and `error` carries the reason. Sweeps use this to keep one bad
+    /// point from discarding the rest of the exploration.
+    pub fn failed(scenario: &str, params: Vec<(String, String)>, error: impl Into<String>) -> Self {
+        RunRecord {
+            scenario: scenario.to_string(),
+            params,
+            makespan_ns: f64::INFINITY,
+            bus_utilization: 0.0,
+            bus_words: 0,
+            switches: 0,
+            config_words: 0,
+            reconfig_overhead: 0.0,
+            hit_rate: 0.0,
+            energy_mj: 0.0,
+            area_gates: 0,
+            ok: false,
+            error: Some(error.into()),
         }
     }
 
@@ -91,6 +117,13 @@ impl RunRecord {
             .with("energy_mj", self.energy_mj.into())
             .with("area_gates", self.area_gates.into())
             .with("ok", self.ok.into())
+            .with(
+                "error",
+                match &self.error {
+                    Some(e) => e.as_str().into(),
+                    None => Json::Null,
+                },
+            )
     }
 
     /// Decode from the JSON produced by [`RunRecord::to_json`].
@@ -123,7 +156,12 @@ impl RunRecord {
                 .ok_or_else(|| bad("scenario"))?
                 .to_string(),
             params,
-            makespan_ns: num("makespan_ns")?,
+            // Failed records carry an infinite makespan, which JSON can only
+            // spell as null; read that back as infinity.
+            makespan_ns: match field("makespan_ns")? {
+                Json::Null => f64::INFINITY,
+                other => other.as_f64().ok_or_else(|| bad("makespan_ns"))?,
+            },
             bus_utilization: num("bus_utilization")?,
             bus_words: int("bus_words")?,
             switches: int("switches")?,
@@ -133,6 +171,8 @@ impl RunRecord {
             energy_mj: num("energy_mj")?,
             area_gates: int("area_gates")?,
             ok: field("ok")?.as_bool().ok_or_else(|| bad("ok"))?,
+            // Absent in records written before the error field existed.
+            error: v.get("error").and_then(|e| e.as_str()).map(str::to_string),
         })
     }
 }
@@ -160,6 +200,7 @@ mod tests {
             area_gates: 20_000,
             errors: 0,
             ok: true,
+            error: None,
         }
     }
 
@@ -178,6 +219,23 @@ mod tests {
         let r = RunRecord::from_metrics("t", vec![], &metrics());
         // 3000 ns = 0.003 ms; 6 items -> 2000 items/ms.
         assert!((r.items_per_ms(6) - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn failed_record_round_trips_with_error() {
+        let r = RunRecord::failed(
+            "sweep",
+            vec![("point".into(), "3".into())],
+            "deadlock: 2 pending obligations",
+        );
+        assert!(!r.ok);
+        let s = r.to_json().to_string();
+        let back = RunRecord::from_json(&crate::json::Json::parse(&s).unwrap()).unwrap();
+        assert_eq!(
+            back.error.as_deref(),
+            Some("deadlock: 2 pending obligations")
+        );
+        assert!(!back.ok);
     }
 
     #[test]

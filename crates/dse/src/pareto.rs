@@ -72,6 +72,7 @@ mod tests {
             energy_mj: 0.0,
             area_gates: area,
             ok: true,
+            error: None,
         }
     }
 

@@ -101,20 +101,13 @@ pub fn explore_partitions(
                 let (m, _) = run_soc(soc);
                 RunRecord::from_metrics("partition", vec![("folded".into(), label)], &m)
             }
-            Err(e) => RunRecord {
-                scenario: "partition".into(),
-                params: vec![("folded".into(), label), ("error".into(), e)],
-                makespan_ns: f64::INFINITY,
-                bus_utilization: 0.0,
-                bus_words: 0,
-                switches: 0,
-                config_words: 0,
-                reconfig_overhead: 0.0,
-                hit_rate: 0.0,
-                energy_mj: 0.0,
-                area_gates: u64::MAX,
-                ok: false,
-            },
+            Err(e) => {
+                let mut r =
+                    RunRecord::failed("partition", vec![("folded".into(), label)], e.to_string());
+                // An unbuildable partition must also lose area comparisons.
+                r.area_gates = u64::MAX;
+                r
+            }
         }
     });
 

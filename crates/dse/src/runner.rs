@@ -9,17 +9,44 @@
 //! contract matches the rayon `par_iter().map().collect()` idiom the
 //! module originally used.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::metrics::RunRecord;
 
+/// Render a `catch_unwind` payload as a message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Run `eval` over every point, in parallel, preserving order.
+///
+/// Faults are isolated per point: an evaluation that panics becomes a
+/// [`RunRecord::failed`] record (ok = false, `error` set) at that point's
+/// position, and every other point still completes.
 pub fn sweep<P, F>(points: &[P], eval: F) -> Vec<RunRecord>
 where
     P: Sync,
     F: Fn(&P) -> RunRecord + Sync,
 {
-    sweep_with(points, eval)
+    sweep_catch(points, eval)
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| match r {
+            Ok(rec) => rec,
+            Err(msg) => RunRecord::failed(
+                "sweep",
+                vec![("point".into(), i.to_string())],
+                format!("evaluator panicked: {msg}"),
+            ),
+        })
+        .collect()
 }
 
 /// Serial reference implementation (for equivalence tests and debugging).
@@ -31,28 +58,54 @@ where
 }
 
 /// Run `eval` over every point in parallel, returning arbitrary payloads.
+///
+/// A panicking evaluation re-panics *here*, on the caller's thread, but
+/// only after every other point has completed — a worker thread is never
+/// lost to somebody else's bad point. Use [`sweep`] (or [`sweep_catch`]
+/// directly) to turn panics into data instead.
 pub fn sweep_with<P, R, F>(points: &[P], eval: F) -> Vec<R>
 where
     P: Sync,
     R: Send,
     F: Fn(&P) -> R + Sync,
 {
+    sweep_catch(points, eval)
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| match r {
+            Ok(v) => v,
+            Err(msg) => panic!("sweep point {i} panicked: {msg}"),
+        })
+        .collect()
+}
+
+/// Run `eval` over every point in parallel with per-point fault isolation:
+/// each evaluation runs under `catch_unwind`, so the result vector has one
+/// entry per point, in order — `Ok(payload)` or `Err(panic message)`.
+pub fn sweep_catch<P, R, F>(points: &[P], eval: F) -> Vec<Result<R, String>>
+where
+    P: Sync,
+    R: Send,
+    F: Fn(&P) -> R + Sync,
+{
     let n = points.len();
+    let run_point =
+        |i: usize| catch_unwind(AssertUnwindSafe(|| eval(&points[i]))).map_err(panic_message);
     let workers = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1)
         .min(n);
     if workers <= 1 {
-        return points.iter().map(&eval).collect();
+        return (0..n).map(run_point).collect();
     }
 
     let cursor = AtomicUsize::new(0);
-    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let mut out: Vec<Option<Result<R, String>>> = (0..n).map(|_| None).collect();
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 let cursor = &cursor;
-                let eval = &eval;
+                let run_point = &run_point;
                 s.spawn(move || {
                     let mut local = Vec::new();
                     loop {
@@ -60,20 +113,24 @@ where
                         if i >= n {
                             break;
                         }
-                        local.push((i, eval(&points[i])));
+                        local.push((i, run_point(i)));
                     }
                     local
                 })
             })
             .collect();
         for h in handles {
-            for (i, r) in h.join().expect("sweep worker panicked") {
-                out[i] = Some(r);
+            // Workers catch evaluation panics, so a join failure means the
+            // thread itself died; the affected points surface as Err below.
+            if let Ok(local) = h.join() {
+                for (i, r) in local {
+                    out[i] = Some(r);
+                }
             }
         }
     });
     out.into_iter()
-        .map(|r| r.expect("every point evaluated exactly once"))
+        .map(|r| r.unwrap_or_else(|| Err("point not evaluated (sweep worker died)".into())))
         .collect()
 }
 
@@ -120,6 +177,41 @@ mod tests {
         let out = sweep_with(&points, |x| x + 1);
         assert_eq!(out.len(), 257);
         assert!(out.iter().enumerate().all(|(i, &v)| v == i as u64 + 1));
+    }
+
+    #[test]
+    fn panicking_point_yields_failed_record_others_complete() {
+        let points: Vec<usize> = vec![1, 2, 3, 4];
+        let recs = sweep(&points, |&p| {
+            if p == 3 {
+                panic!("injected failure at point {p}");
+            }
+            eval_frames(&1)
+        });
+        assert_eq!(recs.len(), 4, "every point gets a record");
+        let failed: Vec<usize> = recs
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| !r.ok)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(failed, vec![2], "exactly the panicking point fails");
+        let err = recs[2].error.as_deref().unwrap_or("");
+        assert!(err.contains("injected failure"), "{err}");
+        assert!(recs[0].ok && recs[1].ok && recs[3].ok);
+    }
+
+    #[test]
+    fn sweep_catch_preserves_order_with_errors() {
+        let out = sweep_catch(&[1u64, 2, 3], |&x| {
+            if x == 2 {
+                panic!("boom");
+            }
+            x * 10
+        });
+        assert_eq!(out[0], Ok(10));
+        assert_eq!(out[1], Err("boom".to_string()));
+        assert_eq!(out[2], Ok(30));
     }
 
     #[test]

@@ -18,6 +18,7 @@ fn rec(makespan: f64, area: u64, energy: f64) -> RunRecord {
         energy_mj: energy,
         area_gates: area,
         ok: true,
+        error: None,
     }
 }
 

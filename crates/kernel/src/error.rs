@@ -1,0 +1,233 @@
+//! Typed simulation errors.
+//!
+//! The paper's methodology depends on simulations that *fail informatively*:
+//! §5.4(3) exists precisely because a blocking bus plus configuration
+//! traffic deadlocks, and the kernel tracks obligations to detect it. This
+//! module gives every abnormal outcome a typed shape — [`SimError`] carries
+//! a kind, the component that raised it, the simulated time, and a cause
+//! chain — so layers above the kernel (bus, fabric, SoC, DSE) can route
+//! failures instead of unwinding the whole process.
+//!
+//! Conversion points:
+//!
+//! * the kernel itself produces [`SimErrorKind::Deadlock`] and
+//!   [`SimErrorKind::DeltaOverflow`] from `run`/`run_until`;
+//! * components call `Api::raise` (or log `Severity::Error`) and the
+//!   enclosing run converts the first such report into an `Err`;
+//! * pure data-structure layers (address maps, schedulers, JSON) return
+//!   `SimResult` directly.
+
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// Result alias used throughout the simulation stack.
+pub type SimResult<T> = Result<T, SimError>;
+
+/// What class of failure a [`SimError`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimErrorKind {
+    /// The run drained all foreground events while split-transaction
+    /// obligations were outstanding — the blocking-bus deadlock of the
+    /// paper's §5.4, limitation 3.
+    Deadlock {
+        /// Outstanding obligations at the moment of deadlock.
+        pending: u64,
+    },
+    /// The delta-cycle limit was exceeded within one timestep (zero-delay
+    /// oscillation between components).
+    DeltaOverflow,
+    /// A component logged a `Severity::Error` report without a more
+    /// specific typed kind.
+    Report,
+    /// An address decoded to no slave (unmapped access).
+    Decode,
+    /// A slave answered with a bus-error response, or a bus-level protocol
+    /// violation occurred.
+    BusError,
+    /// A context-configuration load failed or was aborted
+    /// mid-reconfiguration.
+    ConfigLoad,
+    /// The context scheduler's accounting or residency invariants were
+    /// violated.
+    Scheduler,
+    /// Static validation failed (builder specs, address maps, transform
+    /// limitations).
+    Validation,
+    /// An injected fault fired (poisoned memory range, forced abort).
+    Fault,
+    /// A kernel-internal invariant failed; the run cannot be trusted.
+    Internal,
+}
+
+impl SimErrorKind {
+    /// Short stable label for messages and JSON records.
+    pub fn label(self) -> &'static str {
+        match self {
+            SimErrorKind::Deadlock { .. } => "deadlock",
+            SimErrorKind::DeltaOverflow => "delta-overflow",
+            SimErrorKind::Report => "report",
+            SimErrorKind::Decode => "decode",
+            SimErrorKind::BusError => "bus-error",
+            SimErrorKind::ConfigLoad => "config-load",
+            SimErrorKind::Scheduler => "scheduler",
+            SimErrorKind::Validation => "validation",
+            SimErrorKind::Fault => "fault",
+            SimErrorKind::Internal => "internal",
+        }
+    }
+}
+
+/// A typed simulation failure: kind + component + simulated time + message,
+/// with an optional cause chain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimError {
+    /// Failure class.
+    pub kind: SimErrorKind,
+    /// Name of the component that raised it, when known.
+    pub component: Option<String>,
+    /// Simulated time at which it was raised.
+    pub time: SimTime,
+    /// Human-readable description.
+    pub message: String,
+    /// The failure that led to this one, if any.
+    pub cause: Option<Box<SimError>>,
+}
+
+impl SimError {
+    /// New error at time zero with no component attribution.
+    pub fn new(kind: SimErrorKind, message: impl Into<String>) -> Self {
+        SimError {
+            kind,
+            component: None,
+            time: SimTime::ZERO,
+            message: message.into(),
+            cause: None,
+        }
+    }
+
+    /// A deadlock error carrying the outstanding-obligation count.
+    pub fn deadlock(pending: u64) -> Self {
+        SimError::new(
+            SimErrorKind::Deadlock { pending },
+            format!("all events drained with {pending} outstanding obligation(s)"),
+        )
+    }
+
+    /// Attach the simulated time.
+    pub fn at(mut self, time: SimTime) -> Self {
+        self.time = time;
+        self
+    }
+
+    /// Attach the raising component's name.
+    pub fn in_component(mut self, name: impl Into<String>) -> Self {
+        self.component = Some(name.into());
+        self
+    }
+
+    /// Attach the underlying failure.
+    pub fn caused_by(mut self, cause: SimError) -> Self {
+        self.cause = Some(Box::new(cause));
+        self
+    }
+
+    /// True when this is a deadlock (at any depth of the chain the *root*
+    /// classification is what matters, so only `self.kind` is consulted).
+    pub fn is_deadlock(&self) -> bool {
+        matches!(self.kind, SimErrorKind::Deadlock { .. })
+    }
+
+    /// Outstanding obligations when this is a deadlock.
+    pub fn pending_obligations(&self) -> Option<u64> {
+        match self.kind {
+            SimErrorKind::Deadlock { pending } => Some(pending),
+            _ => None,
+        }
+    }
+
+    /// Walk the cause chain, starting at `self`.
+    pub fn chain(&self) -> impl Iterator<Item = &SimError> {
+        let mut next = Some(self);
+        std::iter::from_fn(move || {
+            let cur = next?;
+            next = cur.cause.as_deref();
+            Some(cur)
+        })
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.time, self.kind.label())?;
+        if let Some(c) = &self.component {
+            write!(f, " in {c}")?;
+        }
+        write!(f, ": {}", self.message)?;
+        if let Some(cause) = &self.cause {
+            write!(f, " (caused by: {cause})")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        self.cause
+            .as_deref()
+            .map(|e| e as &(dyn std::error::Error + 'static))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_time_component_and_chain() {
+        let root = SimError::new(SimErrorKind::BusError, "slave replied error")
+            .at(SimTime(5_000_000))
+            .in_component("mem0");
+        let top = SimError::deadlock(2).at(SimTime(9_000_000)).caused_by(root);
+        let s = top.to_string();
+        assert!(s.contains("deadlock"), "{s}");
+        assert!(s.contains("mem0"), "{s}");
+        assert!(s.contains("caused by"), "{s}");
+        assert_eq!(top.pending_obligations(), Some(2));
+        assert!(top.is_deadlock());
+        assert_eq!(top.chain().count(), 2);
+    }
+
+    #[test]
+    fn builder_methods_compose() {
+        let e = SimError::new(SimErrorKind::Decode, "no slave at 0xdead")
+            .at(SimTime(42))
+            .in_component("bus");
+        assert_eq!(e.kind, SimErrorKind::Decode);
+        assert_eq!(e.component.as_deref(), Some("bus"));
+        assert_eq!(e.time, SimTime(42));
+        assert!(e.cause.is_none());
+        assert_eq!(e.pending_obligations(), None);
+        assert!(!e.is_deadlock());
+    }
+
+    #[test]
+    fn error_source_walks_chain() {
+        use std::error::Error as _;
+        let e = SimError::new(SimErrorKind::Fault, "poisoned range")
+            .caused_by(SimError::new(SimErrorKind::Internal, "root"));
+        let src = e.source();
+        assert!(src.is_some());
+        assert_eq!(
+            e.chain().map(|x| x.kind).collect::<Vec<_>>(),
+            vec![SimErrorKind::Fault, SimErrorKind::Internal]
+        );
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(SimErrorKind::Deadlock { pending: 1 }.label(), "deadlock");
+        assert_eq!(SimErrorKind::Report.label(), "report");
+        assert_eq!(SimErrorKind::Validation.label(), "validation");
+    }
+}

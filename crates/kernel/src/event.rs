@@ -143,7 +143,13 @@ pub(crate) struct Delivery {
     pub background: bool,
 }
 
-/// Why a `run` call returned.
+/// Why a `run` call returned successfully.
+///
+/// Abnormal outcomes — deadlock, delta overflow, escalated error reports —
+/// are not `StopReason`s: `run`/`run_until` return
+/// `SimResult<StopReason>` and those surface as
+/// [`SimError`](crate::error::SimError)s (see
+/// [`SimErrorKind::Deadlock`](crate::error::SimErrorKind)).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StopReason {
     /// No foreground events remain and no obligations are outstanding.
@@ -152,27 +158,6 @@ pub enum StopReason {
     TimeLimit,
     /// A component called `Api::stop`.
     Stopped,
-    /// No foreground events remain but components still hold outstanding
-    /// obligations: the modeled system is deadlocked (e.g. the blocking-bus
-    /// deadlock of the paper's §5.4, limitation 3).
-    Deadlock {
-        /// Number of outstanding obligations at the moment of deadlock.
-        pending: u64,
-    },
-    /// The delta-cycle limit was exceeded within a single timestep,
-    /// indicating a zero-delay oscillation between components.
-    DeltaOverflow,
-}
-
-impl StopReason {
-    /// True when the run ended in a healthy state (quiescent / time limit /
-    /// explicit stop).
-    pub fn is_ok(self) -> bool {
-        matches!(
-            self,
-            StopReason::Quiescent | StopReason::TimeLimit | StopReason::Stopped
-        )
-    }
 }
 
 #[cfg(test)]
@@ -186,7 +171,7 @@ mod tests {
             kind: MsgKind::User(Box::new(42u32)),
         };
         assert_eq!(m.user_ref::<u32>(), Some(&42));
-        let v: u32 = m.user().expect("downcast");
+        let v: u32 = crate::testing::ok(m.user());
         assert_eq!(v, 42);
     }
 
@@ -197,7 +182,7 @@ mod tests {
             kind: MsgKind::User(Box::new("hello".to_string())),
         };
         let m = m.user::<u32>().expect_err("wrong type must fail");
-        let s: String = m.user().expect("right type succeeds after failure");
+        let s: String = crate::testing::ok(m.user());
         assert_eq!(s, "hello");
     }
 
@@ -213,12 +198,11 @@ mod tests {
     }
 
     #[test]
-    fn stop_reason_health() {
-        assert!(StopReason::Quiescent.is_ok());
-        assert!(StopReason::TimeLimit.is_ok());
-        assert!(StopReason::Stopped.is_ok());
-        assert!(!StopReason::Deadlock { pending: 1 }.is_ok());
-        assert!(!StopReason::DeltaOverflow.is_ok());
+    fn stop_reason_is_copy_and_comparable() {
+        let r = StopReason::Quiescent;
+        let s = r;
+        assert_eq!(r, s);
+        assert_ne!(StopReason::TimeLimit, StopReason::Stopped);
     }
 
     #[test]

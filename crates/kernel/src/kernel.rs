@@ -17,6 +17,7 @@
 use std::any::Any;
 
 use crate::component::Component;
+use crate::error::{SimError, SimErrorKind, SimResult};
 use crate::event::{
     ClockIdx, ComponentId, Delay, Delivery, Edge, FifoEventKind, FifoIdx, Msg, MsgKind, SignalIdx,
     StopReason,
@@ -106,6 +107,9 @@ pub(crate) struct KernelState {
     delta_limit: u64,
     metrics: KernelMetrics,
     component_count: usize,
+    /// First typed error raised during the current run (`Api::raise`); the
+    /// source id is resolved to a component name when the run finishes.
+    pending_error: Option<(Option<ComponentId>, SimError)>,
 }
 
 impl KernelState {
@@ -119,17 +123,21 @@ impl KernelState {
                 self.next_delta.push(delivery);
                 None
             }
-            Delay::Time(d) => {
-                let seq = self.seq;
-                self.seq += 1;
-                self.queue.push(TimedEntry {
-                    time: self.now + d,
-                    seq,
-                    delivery,
-                });
-                Some(seq)
-            }
+            Delay::Time(d) => Some(self.schedule_timed(d, delivery)),
         }
+    }
+
+    /// Push a strictly-timed entry and return its sequence number (the
+    /// cancellation handle).
+    fn schedule_timed(&mut self, after: SimDuration, delivery: Delivery) -> u64 {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(TimedEntry {
+            time: self.now + after,
+            seq,
+            delivery,
+        });
+        seq
     }
 
     fn check_target(&self, target: ComponentId) {
@@ -222,7 +230,9 @@ impl KernelState {
     }
 
     fn pop_heap_event(&mut self) {
-        let e = self.queue.pop().expect("peeked entry exists");
+        let Some(e) = self.queue.pop() else {
+            return; // caller peeked an entry, so this cannot happen
+        };
         self.metrics.heap_events += 1;
         if self.canceled.remove(&e.seq) {
             return; // timer was cancelled before firing
@@ -353,6 +363,35 @@ impl KernelState {
         }
         update_scratch.clear();
     }
+
+    // The typed channel handles (`SignalRef<T>`, `FifoRef<T>`) are only
+    // produced by the registration calls, so a downcast mismatch means the
+    // host program forged a handle across simulators — a programming error
+    // with no sensible recovery. These three helpers are the kernel's only
+    // sanctioned panic sites for it.
+    #[allow(clippy::expect_used)]
+    fn signal_slot<T: SignalValue>(&self, idx: SignalIdx) -> &SignalSlot<T> {
+        self.signals[idx]
+            .as_any()
+            .downcast_ref::<SignalSlot<T>>()
+            .expect("signal type mismatch")
+    }
+
+    #[allow(clippy::expect_used)]
+    fn signal_slot_mut<T: SignalValue>(&mut self, idx: SignalIdx) -> &mut SignalSlot<T> {
+        self.signals[idx]
+            .as_any_mut()
+            .downcast_mut::<SignalSlot<T>>()
+            .expect("signal type mismatch")
+    }
+
+    #[allow(clippy::expect_used)]
+    fn fifo_slot_mut<T: 'static>(&mut self, idx: FifoIdx) -> &mut FifoSlot<T> {
+        self.fifos[idx]
+            .as_any_mut()
+            .downcast_mut::<FifoSlot<T>>()
+            .expect("fifo type mismatch")
+    }
 }
 
 /// The interface a component uses while handling a message.
@@ -426,20 +465,17 @@ impl Api<'_> {
         } else {
             after
         };
-        let seq = self
-            .st
-            .schedule(
-                Delay::Time(after),
-                Delivery {
-                    target: me,
-                    msg: Msg {
-                        source: Some(me),
-                        kind: MsgKind::Timer(tag),
-                    },
-                    background: false,
+        let seq = self.st.schedule_timed(
+            after,
+            Delivery {
+                target: me,
+                msg: Msg {
+                    source: Some(me),
+                    kind: MsgKind::Timer(tag),
                 },
-            )
-            .expect("nonzero delay always yields a timed entry");
+                background: false,
+            },
+        );
         TimerHandle(seq)
     }
 
@@ -451,21 +487,12 @@ impl Api<'_> {
 
     /// Read a signal's current (update-phase) value.
     pub fn read<T: SignalValue>(&self, s: SignalRef<T>) -> T {
-        self.st.signals[s.idx]
-            .as_any()
-            .downcast_ref::<SignalSlot<T>>()
-            .expect("signal type mismatch")
-            .current
-            .clone()
+        self.st.signal_slot::<T>(s.idx).current.clone()
     }
 
     /// Request a signal update; visible to readers in the next delta cycle.
     pub fn write<T: SignalValue>(&mut self, s: SignalRef<T>, v: T) {
-        let slot = self.st.signals[s.idx]
-            .as_any_mut()
-            .downcast_mut::<SignalSlot<T>>()
-            .expect("signal type mismatch");
-        slot.pending = Some(v);
+        self.st.signal_slot_mut::<T>(s.idx).pending = Some(v);
         self.st.update_requests.push(s.idx);
     }
 
@@ -495,10 +522,7 @@ impl Api<'_> {
     /// Non-blocking FIFO write; on success subscribers get `DataWritten` in
     /// the next delta.
     pub fn fifo_try_put<T: 'static>(&mut self, f: FifoRef<T>, v: T) -> Result<(), T> {
-        let slot = self.st.fifos[f.idx]
-            .as_any_mut()
-            .downcast_mut::<FifoSlot<T>>()
-            .expect("fifo type mismatch");
+        let slot = self.st.fifo_slot_mut::<T>(f.idx);
         match slot.try_put(v) {
             Ok(()) => {
                 self.st.notify_fifo(f.idx, FifoEventKind::DataWritten);
@@ -511,10 +535,7 @@ impl Api<'_> {
     /// Non-blocking FIFO read; on success subscribers get `DataRead` in the
     /// next delta.
     pub fn fifo_try_get<T: 'static>(&mut self, f: FifoRef<T>) -> Option<T> {
-        let slot = self.st.fifos[f.idx]
-            .as_any_mut()
-            .downcast_mut::<FifoSlot<T>>()
-            .expect("fifo type mismatch");
+        let slot = self.st.fifo_slot_mut::<T>(f.idx);
         match slot.try_get() {
             Some(v) => {
                 self.st.notify_fifo(f.idx, FifoEventKind::DataRead);
@@ -542,7 +563,8 @@ impl Api<'_> {
 
     /// Declare the start of an outstanding obligation (e.g. a split
     /// transaction awaiting its response). A run that drains all events
-    /// while obligations remain reports [`StopReason::Deadlock`].
+    /// while obligations remain fails with a deadlock [`SimError`]
+    /// carrying the outstanding count.
     pub fn obligation_begin(&mut self) {
         self.st.obligations += 1;
     }
@@ -563,6 +585,23 @@ impl Api<'_> {
         let now = self.st.now;
         let me = self.me;
         self.st.reporter.log(now, Some(me), severity, text.into());
+    }
+
+    /// Raise a typed modeling error: logs a `Severity::Error` report *and*
+    /// arms the run's typed error, so the enclosing `run`/`run_until`
+    /// returns `Err(SimError { kind, .. })` attributed to this component.
+    /// The first raise of a run determines the returned error; later raises
+    /// still land in the report log.
+    pub fn raise(&mut self, kind: SimErrorKind, text: impl Into<String>) {
+        let text = text.into();
+        let now = self.st.now;
+        let me = self.me;
+        self.st
+            .reporter
+            .log(now, Some(me), Severity::Error, text.clone());
+        if self.st.pending_error.is_none() {
+            self.st.pending_error = Some((Some(me), SimError::new(kind, text).at(now)));
+        }
     }
 }
 
@@ -612,6 +651,7 @@ impl Simulator {
                 delta_limit: 100_000,
                 metrics: KernelMetrics::default(),
                 component_count: 0,
+                pending_error: None,
             },
             started: false,
             runnable: Vec::new(),
@@ -694,21 +734,21 @@ impl Simulator {
         }
     }
 
-    /// Register a signal with the tracer (call after [`enable_trace`]).
+    /// Register a signal with the tracer. Implicitly enables tracing if
+    /// [`enable_trace`] has not been called yet.
     ///
     /// [`enable_trace`]: Simulator::enable_trace
     pub fn trace_signal<T: SignalValue + Traceable>(&mut self, s: SignalRef<T>) {
-        let tracer = self
-            .st
-            .tracer
-            .as_mut()
-            .expect("enable_trace must be called before trace_signal");
-        let slot = self.st.signals[s.idx]
-            .as_any_mut()
-            .downcast_mut::<SignalSlot<T>>()
-            .expect("signal type mismatch");
-        let var = tracer.declare(&slot.name, slot.current.trace_value());
-        slot.trace = Some((var, crate::signal::trace_fn::<T>()));
+        self.enable_trace();
+        let (name, value) = {
+            let slot = self.st.signal_slot::<T>(s.idx);
+            (slot.name.clone(), slot.current.trace_value())
+        };
+        let Some(tracer) = self.st.tracer.as_mut() else {
+            return; // enable_trace just populated it
+        };
+        let var = tracer.declare(&name, value);
+        self.st.signal_slot_mut::<T>(s.idx).trace = Some((var, crate::signal::trace_fn::<T>()));
     }
 
     /// Access the accumulated trace.
@@ -769,13 +809,10 @@ impl Simulator {
 
     /// Downcast a component to its concrete type (panics on mismatch).
     pub fn get<T: Component>(&self, id: ComponentId) -> &T {
-        self.try_get(id).unwrap_or_else(|| {
-            panic!(
-                "component {id} ({}) is not a {}",
-                self.comps[id].name,
-                std::any::type_name::<T>()
-            )
-        })
+        match self.try_get(id) {
+            Some(c) => c,
+            None => component_access_failure::<T>(id, &self.comps[id].name),
+        }
     }
 
     /// Downcast a component to its concrete type.
@@ -787,32 +824,24 @@ impl Simulator {
     /// Mutable downcast (for injecting state between runs in tests).
     pub fn get_mut<T: Component>(&mut self, id: ComponentId) -> &mut T {
         let name = self.comps[id].name.clone();
-        let c = self.comps[id]
+        match self.comps[id]
             .comp
             .as_deref_mut()
-            .unwrap_or_else(|| panic!("component {id} ({name}) is mid-dispatch"));
-        (c as &mut dyn Any)
-            .downcast_mut::<T>()
-            .unwrap_or_else(|| panic!("component {id} ({name}) has unexpected type"))
+            .and_then(|c| (c as &mut dyn Any).downcast_mut::<T>())
+        {
+            Some(c) => c,
+            None => component_access_failure::<T>(id, &name),
+        }
     }
 
     /// Read a signal's current value from outside the simulation.
     pub fn signal_value<T: SignalValue>(&self, s: SignalRef<T>) -> T {
-        self.st.signals[s.idx]
-            .as_any()
-            .downcast_ref::<SignalSlot<T>>()
-            .expect("signal type mismatch")
-            .current
-            .clone()
+        self.st.signal_slot::<T>(s.idx).current.clone()
     }
 
     /// Number of value changes a signal has seen.
     pub fn signal_change_count<T: SignalValue>(&self, s: SignalRef<T>) -> u64 {
-        self.st.signals[s.idx]
-            .as_any()
-            .downcast_ref::<SignalSlot<T>>()
-            .expect("signal type mismatch")
-            .change_count
+        self.st.signal_slot::<T>(s.idx).change_count
     }
 
     /// Snapshot of a FIFO's occupancy statistics:
@@ -886,10 +915,24 @@ impl Simulator {
             return;
         }
         self.st.metrics.dispatched += 1;
-        let mut comp = self.comps[d.target]
-            .comp
-            .take()
-            .expect("re-entrant dispatch on a component");
+        let Some(mut comp) = self.comps[d.target].comp.take() else {
+            // The single-threaded kernel never re-enters dispatch, so a
+            // vacant slot means the invariant broke; surface it as a typed
+            // error instead of unwinding mid-run.
+            let now = self.st.now;
+            let msg = format!(
+                "re-entrant dispatch on component {} ({})",
+                d.target, self.comps[d.target].name
+            );
+            self.st
+                .reporter
+                .log(now, None, Severity::Error, msg.clone());
+            if self.st.pending_error.is_none() {
+                self.st.pending_error =
+                    Some((None, SimError::new(SimErrorKind::Internal, msg).at(now)));
+            }
+            return;
+        };
         {
             let mut api = Api {
                 st: &mut self.st,
@@ -900,24 +943,63 @@ impl Simulator {
         self.comps[d.target].comp = Some(comp);
     }
 
-    /// Run until quiescent (or deadlock / stop / delta overflow).
-    pub fn run(&mut self) -> StopReason {
+    /// Run until quiescent. `Err` on deadlock, delta overflow, or an
+    /// escalated `Severity::Error` report / `Api::raise`.
+    pub fn run(&mut self) -> SimResult<StopReason> {
         self.run_inner(None)
     }
 
     /// Run until `horizon` (inclusive of events at the horizon).
-    pub fn run_until(&mut self, horizon: SimTime) -> StopReason {
+    pub fn run_until(&mut self, horizon: SimTime) -> SimResult<StopReason> {
         self.run_inner(Some(horizon))
     }
 
     /// Run for an additional duration from the current time.
-    pub fn run_for(&mut self, d: SimDuration) -> StopReason {
+    pub fn run_for(&mut self, d: SimDuration) -> SimResult<StopReason> {
         let horizon = self.st.now + d;
         self.run_inner(Some(horizon))
     }
 
-    fn run_inner(&mut self, horizon: Option<SimTime>) -> StopReason {
+    /// The first error raised during this run: a typed `Api::raise` if one
+    /// happened, else the first `Severity::Error` report logged at or after
+    /// `mark`, resolved to a component name.
+    fn take_run_error(&mut self, mark: usize) -> Option<SimError> {
+        if let Some((src, mut e)) = self.st.pending_error.take() {
+            if e.component.is_none() {
+                if let Some(id) = src {
+                    e = e.in_component(&self.comps[id].name);
+                }
+            }
+            return Some(e);
+        }
+        let r = self
+            .st
+            .reporter
+            .entries()
+            .get(mark..)?
+            .iter()
+            .find(|r| r.severity == Severity::Error)?;
+        let mut e = SimError::new(SimErrorKind::Report, r.text.clone()).at(r.time);
+        if let Some(id) = r.source {
+            e = e.in_component(&self.comps[id].name);
+        }
+        Some(e)
+    }
+
+    /// Convert a healthy stop into `Ok`, unless errors were raised during
+    /// this run — those escalate.
+    fn finish(&mut self, reason: StopReason, mark: usize) -> SimResult<StopReason> {
+        match self.take_run_error(mark) {
+            None => Ok(reason),
+            Some(e) => Err(e),
+        }
+    }
+
+    fn run_inner(&mut self, horizon: Option<SimTime>) -> SimResult<StopReason> {
         self.ensure_started();
+        // Errors logged before this run (e.g. in an earlier run_until slice
+        // that already reported them) do not re-escalate.
+        let mark = self.st.reporter.entries().len();
         loop {
             // Delta loop at the current time. The runnable buffer and
             // `next_delta` ping-pong via swap: dispatching drains one while
@@ -941,13 +1023,24 @@ impl Simulator {
                 }
                 self.runnable = runnable;
                 if stopped {
-                    return StopReason::Stopped;
+                    return self.finish(StopReason::Stopped, mark);
                 }
                 self.st.apply_updates();
                 deltas_here += 1;
                 self.st.metrics.delta_cycles += 1;
                 if deltas_here > self.st.delta_limit {
-                    return StopReason::DeltaOverflow;
+                    let mut e = SimError::new(
+                        SimErrorKind::DeltaOverflow,
+                        format!(
+                            "exceeded {} delta cycles in one timestep (zero-delay oscillation)",
+                            self.st.delta_limit
+                        ),
+                    )
+                    .at(self.st.now);
+                    if let Some(cause) = self.take_run_error(mark) {
+                        e = e.caused_by(cause);
+                    }
+                    return Err(e);
                 }
             }
             if deltas_here > 0 {
@@ -960,40 +1053,48 @@ impl Simulator {
             // not keep an unbounded run() alive, but under an explicit
             // horizon they still advance so synchronous observers see every
             // edge up to the horizon.
+            let pending = self.st.next_pending_time();
             if !self.st.queue.has_foreground() {
-                let background_within_horizon = match horizon {
-                    Some(h) => self.st.next_pending_time().is_some_and(|t| t <= h),
-                    None => false,
+                let background_within_horizon = match (horizon, pending) {
+                    (Some(h), Some(t)) => t <= h,
+                    _ => false,
                 };
                 if !background_within_horizon {
                     self.st.queue.debug_assert_foreground_consistent();
                     if let Some(h) = horizon {
-                        if self.st.next_pending_time().is_some() {
+                        if pending.is_some() {
                             // More work exists beyond the horizon.
                             self.st.now = h;
-                            return StopReason::TimeLimit;
+                            return self.finish(StopReason::TimeLimit, mark);
                         }
                     }
-                    return if self.st.obligations > 0 {
-                        StopReason::Deadlock {
-                            pending: self.st.obligations,
+                    if self.st.obligations > 0 {
+                        let mut e = SimError::deadlock(self.st.obligations).at(self.st.now);
+                        if let Some(cause) = self.take_run_error(mark) {
+                            e = e.caused_by(cause);
                         }
-                    } else {
-                        if let Some(h) = horizon {
-                            self.st.now = h;
-                        }
-                        StopReason::Quiescent
-                    };
+                        return Err(e);
+                    }
+                    if let Some(h) = horizon {
+                        self.st.now = h;
+                    }
+                    return self.finish(StopReason::Quiescent, mark);
                 }
             }
-            let next_t = self
-                .st
-                .next_pending_time()
-                .expect("pending work implies queue nonempty");
+            let Some(next_t) = pending else {
+                // has_foreground() said work remains but nothing is
+                // scheduled: the foreground accounting broke. Surface it
+                // rather than panicking.
+                return Err(SimError::new(
+                    SimErrorKind::Internal,
+                    "foreground counter positive with an empty event queue",
+                )
+                .at(self.st.now));
+            };
             if let Some(h) = horizon {
                 if next_t > h {
                     self.st.now = h;
-                    return StopReason::TimeLimit;
+                    return self.finish(StopReason::TimeLimit, mark);
                 }
             }
             debug_assert!(next_t >= self.st.now, "time must be monotone");
@@ -1003,10 +1104,22 @@ impl Simulator {
     }
 }
 
+/// Shared cold failure path for [`Simulator::get`]/[`Simulator::get_mut`]:
+/// the component is mid-dispatch or of a different concrete type. Both are
+/// host-program bugs, so this is the one sanctioned panic for them.
+#[cold]
+fn component_access_failure<T>(id: ComponentId, name: &str) -> ! {
+    panic!(
+        "component {id} ({name}) is unavailable or not a {}",
+        std::any::type_name::<T>()
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::component::FnComponent;
+    use crate::testing::{ok, some};
 
     /// A component that records (time, tag) of every timer it receives.
     struct Recorder {
@@ -1042,7 +1155,7 @@ mod tests {
                 ],
             },
         );
-        assert_eq!(sim.run(), StopReason::Quiescent);
+        assert_eq!(sim.run(), Ok(StopReason::Quiescent));
         let rec = sim.get::<Recorder>(id);
         assert_eq!(
             rec.fired,
@@ -1065,7 +1178,7 @@ mod tests {
                 plan: (0..20).map(|i| (SimDuration::ns(5), i)).collect(),
             },
         );
-        sim.run();
+        ok(sim.run());
         let rec = sim.get::<Recorder>(id);
         let tags: Vec<u64> = rec.fired.iter().map(|&(_, t)| t).collect();
         assert_eq!(tags, (0..20).collect::<Vec<_>>());
@@ -1093,7 +1206,7 @@ mod tests {
                 _ => {}
             }),
         );
-        assert_eq!(sim.run(), StopReason::Quiescent);
+        assert_eq!(sim.run(), Ok(StopReason::Quiescent));
         assert_eq!(*observed.borrow(), vec![("eval", 0), ("after", 7)]);
         assert_eq!(sim.signal_value(sig), 7);
         assert_eq!(sim.signal_change_count(sig), 1);
@@ -1126,7 +1239,7 @@ mod tests {
                 _ => {}
             }),
         );
-        sim.run();
+        ok(sim.run());
         assert_eq!(count.get(), 1);
     }
 
@@ -1176,7 +1289,7 @@ mod tests {
             },
         );
         sim.add("resp", Responder);
-        assert_eq!(sim.run(), StopReason::Quiescent);
+        assert_eq!(sim.run(), Ok(StopReason::Quiescent));
         let r = sim.get::<Requester>(req);
         assert_eq!(r.got, Some((SimTime::ZERO + SimDuration::ns(10), 42)));
     }
@@ -1198,7 +1311,7 @@ mod tests {
                 _ => {}
             }),
         );
-        sim.run_until(SimTime::ZERO + SimDuration::ns(25));
+        ok(sim.run_until(SimTime::ZERO + SimDuration::ns(25)));
         let edges = edges.borrow();
         // Posedges at 0, 10, 20 ns; negedges at 5, 15, 25 ns.
         assert_eq!(
@@ -1220,7 +1333,7 @@ mod tests {
         let mut sim = Simulator::new();
         let _clk = sim.add_clock_mhz("clk", 100);
         sim.add("idle", crate::component::NullComponent);
-        assert_eq!(sim.run(), StopReason::Quiescent);
+        assert_eq!(sim.run(), Ok(StopReason::Quiescent));
         assert_eq!(sim.now(), SimTime::ZERO);
     }
 
@@ -1238,7 +1351,7 @@ mod tests {
                 }
             }),
         );
-        assert_eq!(sim.run(), StopReason::Quiescent);
+        assert_eq!(sim.run(), Ok(StopReason::Quiescent));
     }
 
     #[test]
@@ -1252,7 +1365,9 @@ mod tests {
                 }
             }),
         );
-        assert_eq!(sim.run(), StopReason::Deadlock { pending: 1 });
+        let err = sim.run().expect_err("deadlock must surface as an error");
+        assert_eq!(err.kind, SimErrorKind::Deadlock { pending: 1 });
+        assert_eq!(err.pending_obligations(), Some(1));
         assert_eq!(sim.obligations(), 1);
     }
 
@@ -1270,7 +1385,7 @@ mod tests {
                 _ => {}
             }),
         );
-        assert_eq!(sim.run(), StopReason::Quiescent);
+        assert_eq!(sim.run(), Ok(StopReason::Quiescent));
         assert_eq!(sim.obligations(), 0);
     }
 
@@ -1285,7 +1400,7 @@ mod tests {
                 _ => {}
             }),
         );
-        assert_eq!(sim.run(), StopReason::Stopped);
+        assert_eq!(sim.run(), Ok(StopReason::Stopped));
         assert_eq!(sim.now(), SimTime::ZERO + SimDuration::ns(7));
     }
 
@@ -1301,11 +1416,11 @@ mod tests {
         );
         assert_eq!(
             sim.run_until(SimTime::ZERO + SimDuration::ns(50)),
-            StopReason::TimeLimit
+            Ok(StopReason::TimeLimit)
         );
         assert_eq!(sim.now(), SimTime::ZERO + SimDuration::ns(50));
         assert_eq!(sim.get::<Recorder>(id).fired.len(), 1);
-        assert_eq!(sim.run(), StopReason::Quiescent);
+        assert_eq!(sim.run(), Ok(StopReason::Quiescent));
         assert_eq!(sim.get::<Recorder>(id).fired.len(), 2);
     }
 
@@ -1331,7 +1446,8 @@ mod tests {
         sim.set_delta_limit(500);
         sim.add("a", Ping2 { peer: 1 });
         sim.add("b", Ping2 { peer: 0 });
-        assert_eq!(sim.run(), StopReason::DeltaOverflow);
+        let err = sim.run().expect_err("oscillation must surface");
+        assert_eq!(err.kind, SimErrorKind::DeltaOverflow);
     }
 
     #[test]
@@ -1361,12 +1477,12 @@ mod tests {
                     }
                 }
                 MsgKind::Timer(tag) => {
-                    api.fifo_try_put(fifo, tag as u32).expect("fifo space");
+                    assert!(api.fifo_try_put(fifo, tag as u32).is_ok(), "fifo space");
                 }
                 _ => {}
             }),
         );
-        assert_eq!(sim.run(), StopReason::Quiescent);
+        assert_eq!(sim.run(), Ok(StopReason::Quiescent));
         assert_eq!(*got.borrow(), vec![0, 1, 2]);
     }
 
@@ -1381,7 +1497,7 @@ mod tests {
                 _ => {}
             }),
         );
-        sim.run();
+        ok(sim.run());
         let m = sim.metrics();
         assert!(m.dispatched >= 7); // Start + 6 timers
         assert!(m.timesteps >= 6);
@@ -1403,7 +1519,7 @@ mod tests {
             }),
         );
         sim.post(id, 99u32, Delay::ns(4));
-        sim.run();
+        ok(sim.run());
         assert_eq!(seen.get(), 99);
     }
 
@@ -1434,7 +1550,7 @@ mod tests {
                         api.timer_in(SimDuration::ns(50), 1);
                     }
                     MsgKind::Timer(1) => {
-                        let h = self.handle.take().expect("armed");
+                        let h = some(self.handle.take());
                         api.cancel_timer(h);
                     }
                     MsgKind::Timer(9) => self.watchdog_fired = true,
@@ -1450,7 +1566,7 @@ mod tests {
                 watchdog_fired: false,
             },
         );
-        assert_eq!(sim.run(), StopReason::Quiescent);
+        assert_eq!(sim.run(), Ok(StopReason::Quiescent));
         assert!(!sim.get::<Watchdog>(id).watchdog_fired);
         // The cancelled event still advanced nothing: quiescence happened
         // when the queue drained at 100ns (entry skipped).
@@ -1475,7 +1591,7 @@ mod tests {
         }
         let mut sim = Simulator::new();
         let id = sim.add("wd", Wd { fired: false });
-        sim.run();
+        ok(sim.run());
         assert!(sim.get::<Wd>(id).fired);
     }
 
@@ -1495,7 +1611,7 @@ mod tests {
                     MsgKind::Timer(9) => self.fires += 1,
                     MsgKind::Timer(1) => {
                         // Cancels something that already fired.
-                        let h = self.handle.take().expect("armed");
+                        let h = some(self.handle.take());
                         api.cancel_timer(h);
                         api.timer_in(SimDuration::ns(10), 2);
                     }
@@ -1511,7 +1627,7 @@ mod tests {
                 fires: 0,
             },
         );
-        assert_eq!(sim.run(), StopReason::Quiescent);
+        assert_eq!(sim.run(), Ok(StopReason::Quiescent));
         assert_eq!(sim.get::<Wd>(id).fires, 1);
     }
 
@@ -1529,8 +1645,8 @@ mod tests {
                 _ => {}
             }),
         );
-        sim.run();
-        let vcd = sim.tracer().expect("tracer enabled").render();
+        ok(sim.run());
+        let vcd = some(sim.tracer()).render();
         assert!(vcd.contains("$var wire 8 ! data $end"));
         assert!(vcd.contains("b10100101 !"));
     }

@@ -43,13 +43,19 @@
 //! let mut sim = Simulator::new();
 //! let sig = sim.add_signal("led", false);
 //! sim.add("blinker", Blinker { sig, left: 4 });
-//! assert_eq!(sim.run(), StopReason::Quiescent);
+//! assert_eq!(sim.run(), Ok(StopReason::Quiescent));
 //! assert_eq!(sim.signal_change_count(sig), 4);
 //! ```
+//!
+//! Abnormal outcomes (deadlock, delta overflow, escalated error reports)
+//! return `Err(SimError)` from `run`/`run_until` — see the [`error`]
+//! module.
 
 #![warn(missing_docs)]
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod component;
+pub mod error;
 pub mod event;
 pub mod fifo;
 pub mod kernel;
@@ -59,12 +65,14 @@ pub mod report;
 pub mod signal;
 pub mod stats;
 pub mod sync;
+pub mod testing;
 pub mod time;
 pub mod trace;
 
 /// Everything most models need.
 pub mod prelude {
     pub use crate::component::{Component, FnComponent, NullComponent};
+    pub use crate::error::{SimError, SimErrorKind, SimResult};
     pub use crate::event::{ComponentId, Delay, Edge, FifoEventKind, Msg, MsgKind, StopReason};
     pub use crate::fifo::FifoRef;
     pub use crate::kernel::{Api, ClockRef, KernelMetrics, Simulator, TimerHandle};

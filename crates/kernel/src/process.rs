@@ -150,7 +150,7 @@ mod tests {
                 .then(move |api| l3.borrow_mut().push((api.now().as_fs(), "c")))
                 .build(),
         );
-        assert_eq!(sim.run(), StopReason::Quiescent);
+        assert_eq!(sim.run(), Ok(StopReason::Quiescent));
         assert_eq!(
             *log.borrow(),
             vec![(0, "a"), (10_000_000, "b"), (15_000_000, "c")]
@@ -170,7 +170,7 @@ mod tests {
             b = b.then(move |_| *c.borrow_mut() += 1);
         }
         sim.add("s", b.build());
-        sim.run();
+        crate::testing::ok(sim.run());
         assert_eq!(*count.borrow(), 5);
         assert_eq!(sim.now(), SimTime::ZERO);
     }
@@ -179,7 +179,7 @@ mod tests {
     fn empty_script_is_immediately_done() {
         let mut sim = Simulator::new();
         let id = sim.add("s", Script::new(vec![]));
-        assert_eq!(sim.run(), StopReason::Quiescent);
+        assert_eq!(sim.run(), Ok(StopReason::Quiescent));
         assert!(sim.get::<Script>(id).is_done());
     }
 
@@ -197,7 +197,7 @@ mod tests {
                 .then(move |api| s2.borrow_mut().push(api.read(sig)))
                 .build(),
         );
-        sim.run();
+        crate::testing::ok(sim.run());
         assert_eq!(*seen.borrow(), vec![5]);
     }
 
@@ -208,9 +208,9 @@ mod tests {
         // finishes scripts. Verify the obligation accounting.
         let mut sim = Simulator::new();
         sim.add("s", ScriptBuilder::new().wait(SimDuration::us(10)).build());
-        sim.run_until(SimTime::ZERO + SimDuration::ns(1));
+        crate::testing::ok(sim.run_until(SimTime::ZERO + SimDuration::ns(1)));
         assert_eq!(sim.obligations(), 1);
-        sim.run();
+        crate::testing::ok(sim.run());
         assert_eq!(sim.obligations(), 0);
     }
 }

@@ -85,7 +85,15 @@ impl Component for Semaphore {
         let source = msg.source;
         let msg = match msg.user::<SemWait>() {
             Ok(w) => {
-                let requester = source.expect("SemWait must come from a component");
+                let Some(requester) = source else {
+                    // A sourceless SemWait (kernel-injected) has nowhere to
+                    // send the grant; flag the model instead of panicking.
+                    api.raise(
+                        crate::error::SimErrorKind::Internal,
+                        "SemWait without a source component",
+                    );
+                    return;
+                };
                 // The requester's pending grant is an outstanding
                 // obligation of the modeled system.
                 api.obligation_begin();
@@ -152,7 +160,7 @@ mod tests {
             );
         }
         let id = sim.add("sem", Semaphore::new(units));
-        assert_eq!(sim.run(), StopReason::Quiescent);
+        assert_eq!(sim.run(), Ok(StopReason::Quiescent));
         let o = order.borrow().clone();
         (o, sim, id)
     }
@@ -191,7 +199,11 @@ mod tests {
             }),
         );
         sim.add("mutex", Semaphore::mutex());
-        assert_eq!(sim.run(), StopReason::Deadlock { pending: 1 });
+        let err = sim.run().expect_err("second wait is never granted");
+        assert_eq!(
+            err.kind,
+            crate::error::SimErrorKind::Deadlock { pending: 1 }
+        );
     }
 
     #[test]
@@ -207,7 +219,7 @@ mod tests {
             }),
         );
         let sem = sim.add("sem", Semaphore::new(0));
-        assert_eq!(sim.run(), StopReason::Quiescent);
+        assert_eq!(sim.run(), Ok(StopReason::Quiescent));
         assert_eq!(sim.get::<Semaphore>(sem).available(), 2);
     }
 }

@@ -1,0 +1,24 @@
+//! Assertion helpers shared by test code across the workspace.
+//!
+//! Test modules use these instead of sprinkling `unwrap`/`expect` — the
+//! `#[track_caller]` attribute keeps the failure location at the call site,
+//! and the workspace policy of auditing `unwrap()`/`expect()` density stays
+//! meaningful because the escape hatch is exactly two functions.
+
+/// Unwrap an `Ok`, panicking with the error's debug form otherwise.
+#[track_caller]
+pub fn ok<T, E: std::fmt::Debug>(r: Result<T, E>) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => panic!("unexpected Err: {e:?}"),
+    }
+}
+
+/// Unwrap a `Some`, panicking otherwise.
+#[track_caller]
+pub fn some<T>(o: Option<T>) -> T {
+    match o {
+        Some(v) => v,
+        None => panic!("unexpected None"),
+    }
+}

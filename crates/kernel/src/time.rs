@@ -56,9 +56,9 @@ impl SimTime {
     #[inline]
     pub fn since(self, earlier: SimTime) -> SimDuration {
         SimDuration(
-            self.0
-                .checked_sub(earlier.0)
-                .expect("SimTime::since: earlier is later than self"),
+            self.0.checked_sub(earlier.0).unwrap_or_else(|| {
+                time_arith_overflow("SimTime::since: earlier is later than self")
+            }),
         )
     }
 
@@ -165,15 +165,24 @@ impl SimDuration {
     }
 }
 
+/// Diverging sink for time-arithmetic overflow. Operator impls cannot
+/// return `Result`, so out-of-range arithmetic on simulation time is a
+/// programming error by contract; this is the single panic site for all
+/// of them.
+#[cold]
+#[inline(never)]
+#[track_caller]
+fn time_arith_overflow(what: &str) -> ! {
+    panic!("simulation time arithmetic out of range: {what}")
+}
+
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
     #[inline]
     fn add(self, rhs: SimDuration) -> SimTime {
-        SimTime(
-            self.0
-                .checked_add(rhs.0)
-                .expect("SimTime overflow: schedule beyond u64 femtoseconds"),
-        )
+        SimTime(self.0.checked_add(rhs.0).unwrap_or_else(|| {
+            time_arith_overflow("SimTime overflow: schedule beyond u64 femtoseconds")
+        }))
     }
 }
 
@@ -188,11 +197,9 @@ impl Sub<SimDuration> for SimTime {
     type Output = SimTime;
     #[inline]
     fn sub(self, rhs: SimDuration) -> SimTime {
-        SimTime(
-            self.0
-                .checked_sub(rhs.0)
-                .expect("SimTime underflow: subtracting past time zero"),
-        )
+        SimTime(self.0.checked_sub(rhs.0).unwrap_or_else(|| {
+            time_arith_overflow("SimTime underflow: subtracting past time zero")
+        }))
     }
 }
 
@@ -203,7 +210,7 @@ impl Add for SimDuration {
         SimDuration(
             self.0
                 .checked_add(rhs.0)
-                .expect("SimDuration overflow in addition"),
+                .unwrap_or_else(|| time_arith_overflow("SimDuration overflow in addition")),
         )
     }
 }
@@ -222,7 +229,7 @@ impl Sub for SimDuration {
         SimDuration(
             self.0
                 .checked_sub(rhs.0)
-                .expect("SimDuration underflow in subtraction"),
+                .unwrap_or_else(|| time_arith_overflow("SimDuration underflow in subtraction")),
         )
     }
 }
@@ -241,7 +248,7 @@ impl Mul<u64> for SimDuration {
         SimDuration(
             self.0
                 .checked_mul(rhs)
-                .expect("SimDuration overflow in multiplication"),
+                .unwrap_or_else(|| time_arith_overflow("SimDuration overflow in multiplication")),
         )
     }
 }

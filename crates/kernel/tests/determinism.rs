@@ -130,7 +130,7 @@ fn run_world(
 
     let stop = sim.run_until(SimTime::ZERO + SimDuration::ns(horizon_ns));
     assert!(
-        matches!(stop, StopReason::TimeLimit | StopReason::Quiescent),
+        matches!(stop, Ok(StopReason::TimeLimit) | Ok(StopReason::Quiescent)),
         "unexpected stop: {stop:?}"
     );
     let vcd = sim.tracer().expect("trace enabled").render();
@@ -192,7 +192,7 @@ fn fast_path_accounts_clock_edges() {
                 }
             }),
         );
-        sim.run_until(SimTime::ZERO + SimDuration::ns(200));
+        let _ = sim.run_until(SimTime::ZERO + SimDuration::ns(200));
         sim.metrics()
     };
     let fast = build(false);

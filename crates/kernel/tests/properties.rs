@@ -8,6 +8,8 @@ use std::rc::Rc;
 use drcf_kernel::prelude::*;
 use proptest::prelude::*;
 
+use drcf_kernel::testing::ok;
+
 /// Component that fires timers according to a plan and records the order.
 struct Plan {
     plan: Vec<(u64, u64)>,  // (delay ns, tag)
@@ -37,7 +39,7 @@ proptest! {
             .map(|(i, &(d, _))| (d, i as u64)).collect();
         let mut sim = Simulator::new();
         let id = sim.add("plan", Plan { plan: tagged.clone(), fired: vec![] });
-        prop_assert_eq!(sim.run(), StopReason::Quiescent);
+        prop_assert_eq!(sim.run(), Ok(StopReason::Quiescent));
         let fired = &sim.get::<Plan>(id).fired;
         prop_assert_eq!(fired.len(), tagged.len());
         // Expected: stable sort by delay (insertion order breaks ties).
@@ -55,7 +57,7 @@ proptest! {
         let run = |plan: &[(u64, u64)]| {
             let mut sim = Simulator::new();
             let id = sim.add("plan", Plan { plan: plan.to_vec(), fired: vec![] });
-            sim.run();
+            ok(sim.run());
             (sim.get::<Plan>(id).fired.clone(), sim.metrics())
         };
         prop_assert_eq!(run(&plan), run(&plan));
@@ -78,7 +80,7 @@ proptest! {
                 }
             }
         }));
-        sim.run();
+        ok(sim.run());
         // During the evaluate phase every read sees the initial value.
         prop_assert!(seen_during.borrow().iter().all(|&v| v == u32::MAX));
         prop_assert_eq!(sim.signal_value(sig), *writes.last().unwrap());
@@ -112,7 +114,7 @@ proptest! {
             }
             _ => {}
         }));
-        sim.run();
+        ok(sim.run());
         let (_, len, capacity, written, read, hwm) = sim.fifo_stats(fifo);
         prop_assert_eq!(capacity, cap);
         prop_assert_eq!(written, read + len as u64);
@@ -131,14 +133,14 @@ proptest! {
         let single = {
             let mut sim = Simulator::new();
             let id = sim.add("plan", Plan { plan: plan.clone(), fired: vec![] });
-            sim.run();
+            ok(sim.run());
             sim.get::<Plan>(id).fired.clone()
         };
         let paused = {
             let mut sim = Simulator::new();
             let id = sim.add("plan", Plan { plan: plan.clone(), fired: vec![] });
-            sim.run_until(SimTime::ZERO + SimDuration::ns(split_ns));
-            sim.run();
+            ok(sim.run_until(SimTime::ZERO + SimDuration::ns(split_ns)));
+            ok(sim.run());
             sim.get::<Plan>(id).fired.clone()
         };
         prop_assert_eq!(single, paused);
@@ -162,9 +164,10 @@ proptest! {
         }));
         let reason = sim.run();
         if m == n {
-            prop_assert_eq!(reason, StopReason::Quiescent);
+            prop_assert_eq!(reason, Ok(StopReason::Quiescent));
         } else {
-            prop_assert_eq!(reason, StopReason::Deadlock { pending: n - m });
+            let err = reason.expect_err("unfulfilled obligations must deadlock");
+            prop_assert_eq!(err.kind, SimErrorKind::Deadlock { pending: n - m });
         }
     }
 }
@@ -193,7 +196,7 @@ fn clock_edge_count_closed_form() {
                 _ => {}
             }),
         );
-        sim.run_until(SimTime::ZERO + SimDuration::ns(horizon_ns));
+        ok(sim.run_until(SimTime::ZERO + SimDuration::ns(horizon_ns)));
         let expect = if offset_ns > horizon_ns {
             0
         } else {

@@ -89,6 +89,9 @@ pub struct SocSpec {
     pub copy_mode: SocCopyMode,
     /// Implementation mapping.
     pub mapping: Mapping,
+    /// Fault injection: DRCF context ids whose loads are aborted
+    /// mid-reconfiguration (forwarded to [`DrcfConfig::abort_load_of`]).
+    pub abort_load_of: Vec<usize>,
 }
 
 impl Default for SocSpec {
@@ -105,6 +108,7 @@ impl Default for SocSpec {
             poll_interval_cycles: 50,
             copy_mode: SocCopyMode::CpuDirect,
             mapping: Mapping::AllFixed,
+            abort_load_of: vec![],
         }
     }
 }
@@ -160,6 +164,8 @@ pub struct RunMetrics {
     pub errors: u64,
     /// How the run ended.
     pub ok: bool,
+    /// The typed simulation error that ended the run, when `ok` is false.
+    pub error: Option<String>,
 }
 
 /// Assign consecutive, gap-separated base addresses to the workload's
@@ -188,7 +194,13 @@ pub fn assign_bindings(workload: &Workload, spec: &SocSpec) -> Vec<AccelBinding>
 ///
 /// Component id layout: CPU = 0, bus = 1, memory = 2, then the DRCF (if
 /// any), then standalone accelerators in workload order.
-pub fn build_soc(workload: &Workload, spec: &SocSpec) -> Result<BuiltSoc, String> {
+///
+/// Every rejected configuration is a typed [`SimErrorKind::Validation`]
+/// error naming the offending ingredient.
+pub fn build_soc(workload: &Workload, spec: &SocSpec) -> SimResult<BuiltSoc> {
+    fn invalid(msg: String) -> SimError {
+        SimError::new(SimErrorKind::Validation, msg)
+    }
     let bindings = assign_bindings(workload, spec);
     // The staging area sits in the upper half of system memory; the DMA
     // register block just above the accelerator bindings.
@@ -215,12 +227,13 @@ pub fn build_soc(workload: &Workload, spec: &SocSpec) -> Result<BuiltSoc, String
             poll_interval_cycles: spec.poll_interval_cycles,
             copy,
         },
-    )?;
+    )
+    .map_err(invalid)?;
     let total_staging: u64 = preloads.iter().map(|(_, d)| d.len() as u64).sum();
     if total_staging > spec.memory.size_words as u64 / 2 {
-        return Err(format!(
+        return Err(invalid(format!(
             "staging data ({total_staging} words) does not fit the staging half of memory"
-        ));
+        )));
     }
 
     let (fold, tech_geom): (Vec<String>, Option<_>) = match &spec.mapping {
@@ -245,7 +258,9 @@ pub fn build_soc(workload: &Workload, spec: &SocSpec) -> Result<BuiltSoc, String
     };
     for c in &fold {
         if !workload.accels.iter().any(|a| &a.name == c) {
-            return Err(format!("candidate '{c}' is not a workload accelerator"));
+            return Err(invalid(format!(
+                "candidate '{c}' is not a workload accelerator"
+            )));
         }
     }
 
@@ -260,7 +275,8 @@ pub fn build_soc(workload: &Workload, spec: &SocSpec) -> Result<BuiltSoc, String
         spec.memory.base,
         spec.memory.base + spec.memory.size_words as u64 - 1,
         mem_id,
-    )?;
+    )
+    .map_err(invalid)?;
     let drcf_planned = if fold.is_empty() { None } else { Some(3usize) };
     let mut next_id = if drcf_planned.is_some() { 4 } else { 3 };
     // next_id walks past the standalone accelerators; the DMA (if any)
@@ -271,16 +287,17 @@ pub fn build_soc(workload: &Workload, spec: &SocSpec) -> Result<BuiltSoc, String
         if fold.contains(&a.name) {
             // One decode entry per folded context: a non-contiguous fold
             // must not swallow the address holes between its members.
-            map.add(b.base, high, drcf_planned.expect("fold implies a DRCF"))?;
+            map.add(b.base, high, drcf_planned.expect("fold implies a DRCF"))
+                .map_err(invalid)?;
         } else {
-            map.add(b.base, high, next_id)?;
+            map.add(b.base, high, next_id).map_err(invalid)?;
             standalone_plan.push((a.name.clone(), next_id));
             next_id += 1;
         }
     }
     // DMA registers (the DMA component is instantiated last, at next_id).
     if spec.copy_mode == SocCopyMode::Dma {
-        map.add(dma_base, dma_base + 3, next_id)?;
+        map.add(dma_base, dma_base + 3, next_id).map_err(invalid)?;
     }
 
     // CPU.
@@ -307,12 +324,12 @@ pub fn build_soc(workload: &Workload, spec: &SocSpec) -> Result<BuiltSoc, String
         let gate_counts: Vec<u64> = folded.iter().map(|(a, _)| a.kind.gate_count()).collect();
         let config_base = spec.memory.base + 0x100;
         let params = plan_contexts(geometry, &tech, &gate_counts, config_base)
-            .map_err(|e| format!("context planning failed: {e}"))?;
+            .map_err(|e| invalid(format!("context planning failed: {e}")))?;
         let total_config: u64 = params.iter().map(|p| p.config_size_words).sum();
         if 0x100 + total_config > spec.memory.size_words as u64 {
-            return Err(format!(
+            return Err(invalid(format!(
                 "configuration images ({total_config} words) do not fit the memory"
-            ));
+            )));
         }
         let contexts: Vec<Context> = folded
             .iter()
@@ -341,18 +358,17 @@ pub fn build_soc(workload: &Workload, spec: &SocSpec) -> Result<BuiltSoc, String
                 clock_mhz: tech.config_clock_mhz,
             },
         };
-        let id = sim.add(
-            "drcf",
-            Drcf::new(
-                DrcfConfig {
-                    clock_mhz: tech.fabric_clock_mhz,
-                    config_path: path,
-                    scheduler,
-                    overlap_load_exec: overlap,
-                },
-                contexts,
-            ),
-        );
+        let fabric = Drcf::try_new(
+            DrcfConfig {
+                clock_mhz: tech.fabric_clock_mhz,
+                config_path: path,
+                scheduler,
+                overlap_load_exec: overlap,
+                abort_load_of: spec.abort_load_of.clone(),
+            },
+            contexts,
+        )?;
+        let id = sim.add("drcf", fabric);
         debug_assert_eq!(id, 3);
         drcf_id = Some(id);
         context_params_out = params;
@@ -429,7 +445,8 @@ pub fn run_soc(mut soc: BuiltSoc) -> (RunMetrics, BuiltSoc) {
     let reason = soc.sim.run();
     let now = soc.sim.now();
     let mut m = RunMetrics {
-        ok: reason == StopReason::Quiescent,
+        ok: reason == Ok(StopReason::Quiescent),
+        error: reason.err().map(|e| e.to_string()),
         area_gates: soc.area_gates,
         ..RunMetrics::default()
     };
@@ -631,10 +648,10 @@ mod tests {
             mapping: drcf_mapping(vec!["ghost".into()]),
             ..SocSpec::default()
         };
-        let err = match build_soc(&w, &spec) {
-            Err(e) => e,
-            Ok(_) => panic!("expected build failure"),
+        let Err(err) = build_soc(&w, &spec) else {
+            unreachable!("expected build failure")
         };
-        assert!(err.contains("ghost"));
+        assert_eq!(err.kind, SimErrorKind::Validation);
+        assert!(err.message.contains("ghost"), "{}", err.message);
     }
 }

@@ -228,8 +228,8 @@ impl Cpu {
         match &self.state {
             CpuState::WaitingBus => {
                 if !resp.is_ok() {
-                    api.log(
-                        Severity::Error,
+                    api.raise(
+                        SimErrorKind::BusError,
                         format!(
                             "CPU transaction failed at {:#x}: {:?}",
                             resp.addr, resp.status
@@ -249,6 +249,21 @@ impl Cpu {
                     self.stats.retired += 1;
                     self.state = CpuState::Ready;
                     self.step(api);
+                } else if !resp.is_ok() {
+                    // An error response is a fault, not "not ready yet":
+                    // retrying would poll a dead device forever and hang
+                    // the simulation. Halt the program instead; the typed
+                    // error makes the run fail while the rest of the
+                    // system drains.
+                    api.raise(
+                        SimErrorKind::BusError,
+                        format!(
+                            "CPU poll at {:#x} failed ({:?}); halting program",
+                            resp.addr, resp.status
+                        ),
+                    );
+                    self.state = CpuState::Finished;
+                    api.obligation_end();
                 } else {
                     let CpuState::Polling {
                         interval_cycles, ..
@@ -345,7 +360,7 @@ mod tests {
                 burst: 3,
             },
         ]);
-        assert_eq!(sim.run(), StopReason::Quiescent);
+        assert_eq!(sim.run(), Ok(StopReason::Quiescent));
         let c = sim.get::<Cpu>(cpu);
         assert!(c.is_finished());
         assert_eq!(c.stats.retired, 3);
@@ -372,10 +387,28 @@ mod tests {
                 interval_cycles: 10,
             },
         ]);
-        assert_eq!(sim.run(), StopReason::Quiescent);
+        assert_eq!(sim.run(), Ok(StopReason::Quiescent));
         let c = sim.get::<Cpu>(cpu);
         assert!(c.is_finished());
         assert_eq!(c.stats.polls, 1);
+    }
+
+    #[test]
+    fn poll_on_error_response_halts_instead_of_hanging() {
+        // Polling an unmapped address gets a decode error back: the CPU
+        // must abandon the poll (a dead device never becomes ready) and
+        // the run must fail with a typed bus error.
+        let (mut sim, cpu) = system(vec![Instr::Poll {
+            addr: 0xDEAD_0000,
+            expect: 1,
+            interval_cycles: 10,
+        }]);
+        let err = sim.run().expect_err("failed poll must fail the run");
+        assert_eq!(err.kind, SimErrorKind::BusError, "{err}");
+        assert!(err.to_string().contains("halting program"), "{err}");
+        let c = sim.get::<Cpu>(cpu);
+        assert_eq!(c.stats.polls, 1, "no retries against a dead device");
+        assert!(c.finished_at.is_none(), "the program did not complete");
     }
 
     #[test]
@@ -423,7 +456,7 @@ mod tests {
                 _ => {}
             }),
         );
-        assert_eq!(sim.run(), StopReason::Quiescent);
+        assert_eq!(sim.run(), Ok(StopReason::Quiescent));
         let c = sim.get::<Cpu>(cpu);
         assert!(c.is_finished());
         assert!(c.stats.polls > 5, "polled {} times", c.stats.polls);
@@ -433,7 +466,7 @@ mod tests {
     #[test]
     fn empty_program_finishes_immediately() {
         let (mut sim, cpu) = system(vec![]);
-        assert_eq!(sim.run(), StopReason::Quiescent);
+        assert_eq!(sim.run(), Ok(StopReason::Quiescent));
         assert!(sim.get::<Cpu>(cpu).is_finished());
         assert_eq!(sim.get::<Cpu>(cpu).stats.retired, 0);
     }

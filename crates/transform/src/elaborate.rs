@@ -260,6 +260,7 @@ pub fn elaborate(
                                 ..SchedulerConfig::default()
                             },
                             overlap_load_exec: spec.overlap_load_exec,
+                            abort_load_of: vec![],
                         },
                         contexts,
                     ),
@@ -361,7 +362,7 @@ mod tests {
         )
         .unwrap();
         let mut sim = e.sim;
-        assert_eq!(sim.run(), StopReason::Quiescent);
+        assert_eq!(sim.run(), Ok(StopReason::Quiescent));
         assert_eq!(sim.get::<Probe>(e.masters[0]).readback, Some(123));
         assert_eq!(e.instances.len(), 2);
         assert!(e.instances.contains_key("hwa0"));
@@ -406,7 +407,7 @@ mod tests {
         )
         .unwrap();
         let mut sim = e.sim;
-        assert_eq!(sim.run(), StopReason::Quiescent);
+        assert_eq!(sim.run(), Ok(StopReason::Quiescent));
         assert_eq!(sim.get::<Probe>(e.masters[0]).readback, Some(123));
         let drcf_id = e.instances["drcf1"];
         let f = sim.get::<Drcf>(drcf_id);

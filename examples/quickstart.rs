@@ -109,6 +109,7 @@ fn main() {
                 },
                 scheduler: SchedulerConfig::default(), // reactive, 1 slot
                 overlap_load_exec: false,
+                abort_load_of: vec![],
             },
             contexts,
         ),

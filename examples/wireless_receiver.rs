@@ -97,7 +97,7 @@ fn main() {
         .then(move |api| api.write(status_sig, 0))
         .build();
     sim.add("milestones", script);
-    sim.run();
+    sim.run().expect("simulation failed");
     let vcd = sim.tracer().expect("tracer").render();
     let path = std::env::temp_dir().join("drcf_wireless_receiver.vcd");
     std::fs::write(&path, &vcd).expect("write VCD");

@@ -14,7 +14,7 @@
 //! use drcf::kernel::prelude::*;
 //! let mut sim = Simulator::new();
 //! sim.add("noop", NullComponent);
-//! assert_eq!(sim.run(), StopReason::Quiescent);
+//! assert_eq!(sim.run(), Ok(StopReason::Quiescent));
 //! ```
 
 #![warn(missing_docs)]

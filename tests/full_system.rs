@@ -190,6 +190,7 @@ fn dma_and_fabric_share_the_bus() {
                 },
                 scheduler: SchedulerConfig::default(),
                 overlap_load_exec: false,
+                abort_load_of: vec![],
             },
             vec![Context::new(
                 Box::new(RegisterFile::new("ctx", 0x8000, 16, 1)),
@@ -202,7 +203,7 @@ fn dma_and_fabric_share_the_bus() {
         ),
     );
     sim.add("dma", Dma::new(DmaConfig::default(), 1));
-    assert_eq!(sim.run(), StopReason::Quiescent);
+    assert_eq!(sim.run(), Ok(StopReason::Quiescent));
 
     let driver = sim.get::<Driver>(0);
     assert!(driver.done, "DMA must complete");
@@ -218,8 +219,9 @@ fn dma_and_fabric_share_the_bus() {
     assert!(bus.stats.grants_for(4) >= 1, "DMA granted");
 }
 
-/// Error injection: a CPU program touching an unmapped address records a
-/// bus error but the system keeps running to completion.
+/// Error injection: a CPU program touching an unmapped address keeps the
+/// system running to completion, but the run is reported as failed with a
+/// typed error message instead of silently succeeding.
 #[test]
 fn unmapped_access_is_survivable() {
     let w = wireless_receiver(1, 32);
@@ -236,10 +238,14 @@ fn unmapped_access_is_survivable() {
     let mut soc = build_soc(&w, &SocSpec::default()).unwrap();
     *soc.sim.get_mut::<Cpu>(0) = Cpu::new(CpuConfig::default(), 1, program);
     let (m, soc) = run_soc(soc);
-    assert!(m.ok, "run completes despite the decode error");
+    assert!(!m.ok, "the injected decode error escalates to a failed run");
+    let err = m.error.as_deref().unwrap_or("");
+    assert!(!err.is_empty(), "failed runs carry a diagnostic message");
     assert_eq!(m.errors, 1, "exactly the injected error");
     assert!(
         soc.sim.reports().count(Severity::Warning) >= 1
             || soc.sim.reports().count(Severity::Error) >= 1
     );
+    // Fault isolation: the rest of the workload still ran to completion.
+    assert!(m.makespan.as_ns_f64() > 0.0, "workload still completed");
 }

@@ -76,7 +76,7 @@ fn run_script(
     )
     .expect("elaborate");
     let mut sim = e.sim;
-    assert_eq!(sim.run(), StopReason::Quiescent);
+    assert_eq!(sim.run(), Ok(StopReason::Quiescent));
     sim.get::<Probe>(e.masters[0]).reads.clone()
 }
 
@@ -211,7 +211,7 @@ fn static_deadlock_check_matches_dynamic_behavior() {
     )
     .expect("elaborate");
     let mut sim = e.sim;
-    assert!(matches!(sim.run(), StopReason::Deadlock { .. }));
+    assert!(sim.run().is_err_and(|e| e.is_deadlock()));
 }
 
 /// Emitted listings of the transformed design always contain the DRCF
