@@ -5,6 +5,44 @@
 //! `--bench-json` instead runs the kernel hot-path throughput suite and
 //! writes `BENCH_kernel.json` to the current directory (printing it too),
 //! the document that tracks the repo's perf trajectory.
+//!
+//! `--trace-out <path>` instead runs a small traced wireless-receiver
+//! scenario and writes a Perfetto-loadable Chrome trace-event file there,
+//! validating that the written JSON parses before exiting.
+
+fn write_trace(path: &str) {
+    use drcf_dse::prelude::Json;
+    use drcf_soc::prelude::*;
+
+    let w = wireless_receiver(2, 32);
+    let names: Vec<String> = w.accels.iter().map(|a| a.name.clone()).collect();
+    let spec = SocSpec {
+        mapping: Mapping::Drcf {
+            candidates: names.clone(),
+            technology: drcf_core::prelude::morphosys(),
+            geometry: drcf_dse::prelude::size_fabric(&w, &names, 1.2, 1),
+            config_path: SocConfigPath::SystemBus,
+            scheduler: drcf_core::prelude::SchedulerConfig::default(),
+            overlap_load_exec: false,
+        },
+        trace_capacity: Some(1 << 18),
+        ..SocSpec::default()
+    };
+    let (m, soc) = run_soc(build_soc(&w, &spec).expect("build traced scenario"));
+    assert!(m.ok, "traced scenario failed: {:?}", m.error);
+    drcf_dse::prelude::write_chrome_trace(&soc.sim, std::path::Path::new(path))
+        .expect("write trace file");
+    // Self-check: the file we just wrote must parse and contain events.
+    let text = std::fs::read_to_string(path).expect("read trace back");
+    let doc = Json::parse(&text).expect("trace JSON must parse");
+    let n = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .map(<[Json]>::len)
+        .expect("traceEvents array");
+    assert!(n > 0, "trace is empty");
+    eprintln!("wrote {path} ({n} trace events, JSON validated)");
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -13,6 +51,11 @@ fn main() {
         println!("{doc}");
         std::fs::write("BENCH_kernel.json", format!("{doc}\n")).expect("write BENCH_kernel.json");
         eprintln!("wrote BENCH_kernel.json");
+        return;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--trace-out") {
+        let path = args.get(i + 1).expect("--trace-out needs a path");
+        write_trace(path);
         return;
     }
     let markdown = args.iter().any(|a| a == "--markdown");

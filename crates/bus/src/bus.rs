@@ -210,6 +210,7 @@ impl Bus {
             return;
         }
         self.stats.requests += 1;
+        api.trace_instant(TraceCategory::Bus, "request", req.master as u64);
         let arrival = self.arrivals;
         self.arrivals += 1;
         self.pending.push(Pending::Request {
@@ -218,6 +219,7 @@ impl Bus {
             arrived_at: api.now(),
         });
         self.stats.max_queue = self.stats.max_queue.max(self.pending.len());
+        api.trace_counter(TraceCategory::Bus, "queue_depth", self.pending.len() as u64);
         self.try_grant(api);
     }
 
@@ -250,9 +252,12 @@ impl Bus {
                 req, arrived_at, ..
             } => {
                 self.stats.record_grant(req.master);
-                self.stats.wait.record(api.now().since(arrived_at));
+                self.stats
+                    .record_wait(req.master, api.now().since(arrived_at));
+                api.trace_instant(TraceCategory::Bus, "grant", req.master as u64);
                 if self.cfg.fault_at(req.addr, req.burst) {
                     self.stats.injected_faults += 1;
+                    api.trace_instant(TraceCategory::Bus, "injected_fault", req.addr);
                     api.raise(
                         SimErrorKind::Fault,
                         format!(
@@ -280,10 +285,12 @@ impl Bus {
                             self.stats.words += req.burst as u64;
                         }
                         api.timer_in(self.cfg.cycles(cycles), TAG_REQ_DONE);
+                        api.trace_begin(TraceCategory::Bus, "request_phase", req.master as u64);
                         self.state = State::RequestPhase { req, slave };
                     }
                     None => {
                         self.stats.decode_errors += 1;
+                        api.trace_instant(TraceCategory::Bus, "decode_error", req.addr);
                         let text = format!(
                             "decode error: addr {:#x} burst {} claimed by no slave",
                             req.addr, req.burst
@@ -311,7 +318,9 @@ impl Bus {
                 reply, arrived_at, ..
             } => {
                 self.stats.record_grant(reply.master);
-                self.stats.wait.record(api.now().since(arrived_at));
+                self.stats
+                    .record_wait(reply.master, api.now().since(arrived_at));
+                api.trace_instant(TraceCategory::Bus, "grant", reply.master as u64);
                 let cycles = self
                     .cfg
                     .response_cycles(reply.resp.op, reply.resp.data.len().max(1));
@@ -319,6 +328,7 @@ impl Bus {
                     self.stats.words += reply.resp.data.len() as u64;
                 }
                 api.timer_in(self.cfg.cycles(cycles), TAG_RESP_DONE);
+                api.trace_begin(TraceCategory::Bus, "response_phase", reply.master as u64);
                 self.state = State::ResponsePhase { reply };
             }
         }
@@ -346,11 +356,13 @@ impl Bus {
             );
             return;
         };
+        api.trace_end(TraceCategory::Bus, "request_phase", req.master as u64);
         let me = api.me();
         api.send(slave, SlaveAccess { req, bus: me }, Delay::Delta);
         match self.cfg.mode {
             BusMode::Blocking => {
                 // Bus stays granted (and busy) until the reply returns.
+                api.trace_begin(TraceCategory::Bus, "wait_slave", 0);
                 self.state = State::WaitSlave;
             }
             BusMode::Split => {
@@ -367,6 +379,7 @@ impl Bus {
                     matches!(self.state, State::WaitSlave),
                     "blocking bus got a reply while not waiting"
                 );
+                api.trace_end(TraceCategory::Bus, "wait_slave", 0);
                 let cycles = self
                     .cfg
                     .response_cycles(reply.resp.op, reply.resp.data.len().max(1));
@@ -374,6 +387,7 @@ impl Bus {
                     self.stats.words += reply.resp.data.len() as u64;
                 }
                 api.timer_in(self.cfg.cycles(cycles), TAG_RESP_DONE);
+                api.trace_begin(TraceCategory::Bus, "response_phase", reply.master as u64);
                 self.state = State::ResponsePhase { reply };
             }
             BusMode::Split => self.enqueue_response(api, reply),
@@ -389,6 +403,7 @@ impl Bus {
             return;
         };
         self.stats.responses += 1;
+        api.trace_end(TraceCategory::Bus, "response_phase", reply.master as u64);
         api.send(reply.master, reply.resp, Delay::Delta);
         self.stats.busy.set_idle(api.now());
         self.try_grant(api);
@@ -787,6 +802,31 @@ mod tests {
         let err = sim.run().expect_err("zero burst must fail the run");
         assert_eq!(err.kind, SimErrorKind::BusError);
         assert_eq!(err.component.as_deref(), Some("bus"));
+    }
+
+    #[test]
+    fn transactions_trace_balanced_spans_and_per_master_waits() {
+        let (mut sim, master, bus) = build(BusMode::Split);
+        sim.enable_observe(4096);
+        ok(sim.run());
+        let evs = sim.observe_events();
+        let begins = evs
+            .iter()
+            .filter(|e| e.kind == TraceEventKind::Begin)
+            .count();
+        let ends = evs.iter().filter(|e| e.kind == TraceEventKind::End).count();
+        assert!(begins > 0, "bus phases must open spans");
+        assert_eq!(begins, ends, "every bus span must close");
+        assert!(evs
+            .iter()
+            .any(|e| e.name == "grant" && e.value == master as u64));
+        let b = sim.get::<Bus>(bus);
+        let c = b.stats.contention(|id| sim.component_name(id).to_string());
+        assert_eq!(
+            c.rows.iter().map(|r| r.grants).sum::<u64>(),
+            b.stats.total_grants()
+        );
+        assert!(c.rows.iter().any(|r| r.master == "master"));
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub mod prelude {
     };
     pub use crate::map::{AddressMap, Range};
     pub use crate::memory::{Memory, MemoryConfig, MemoryStats};
-    pub use crate::monitor::BusStats;
+    pub use crate::monitor::{BusContention, BusStats, ContentionRow};
     pub use crate::protocol::{
         Addr, BusOp, BusRequest, BusResponse, BusStatus, DirectReadDone, DirectReadReq,
         SlaveAccess, SlaveReply, TxnId, Word,

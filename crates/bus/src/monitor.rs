@@ -1,5 +1,7 @@
 //! Bus observability: utilization, contention and latency statistics.
 
+use std::fmt;
+
 use drcf_kernel::prelude::*;
 
 /// Statistics one bus instance accumulates during a run.
@@ -23,6 +25,9 @@ pub struct BusStats {
     pub injected_faults: u64,
     /// Queue-wait time from request arrival to grant.
     pub wait: LatencyHistogram,
+    /// Queue-wait histograms per master, in discovery order — the raw
+    /// material of the [`BusContention`] report.
+    pub per_master_wait: Vec<(ComponentId, LatencyHistogram)>,
     /// Largest pending-queue depth observed.
     pub max_queue: usize,
 }
@@ -51,9 +56,87 @@ impl BusStats {
             .unwrap_or(0)
     }
 
+    /// Record the queue wait of a grant for `master`, in both the
+    /// aggregate and the per-master histogram.
+    pub fn record_wait(&mut self, master: ComponentId, wait: SimDuration) {
+        self.wait.record(wait);
+        if let Some(e) = self.per_master_wait.iter_mut().find(|e| e.0 == master) {
+            e.1.record(wait);
+        } else {
+            let mut h = LatencyHistogram::new();
+            h.record(wait);
+            self.per_master_wait.push((master, h));
+        }
+    }
+
     /// Bus utilization over `[0, now]`.
     pub fn utilization(&self, now: SimTime) -> f64 {
         self.busy.utilization(now)
+    }
+
+    /// Derive the per-master contention report; `name` resolves a master's
+    /// component id to a display label.
+    pub fn contention(&self, name: impl Fn(ComponentId) -> String) -> BusContention {
+        let mut rows: Vec<ContentionRow> = self
+            .per_master_wait
+            .iter()
+            .map(|(master, wait)| ContentionRow {
+                master: name(*master),
+                grants: self.grants_for(*master),
+                wait: wait.clone(),
+            })
+            .collect();
+        rows.sort_by_key(|r| std::cmp::Reverse(r.grants));
+        BusContention { rows }
+    }
+}
+
+/// One master's row of the [`BusContention`] report.
+#[derive(Debug, Clone)]
+pub struct ContentionRow {
+    /// Master display name.
+    pub master: String,
+    /// Grants this master received.
+    pub grants: u64,
+    /// Grant-latency (queue wait) histogram for this master.
+    pub wait: LatencyHistogram,
+}
+
+/// Per-master grant-latency report: who got the bus, how often, and how
+/// long they queued for it. Derived from [`BusStats::per_master_wait`];
+/// render with `Display`.
+#[derive(Debug, Clone, Default)]
+pub struct BusContention {
+    /// Rows, sorted by grant count (heaviest master first).
+    pub rows: Vec<ContentionRow>,
+}
+
+impl BusContention {
+    /// True when no grants were recorded (e.g. tracing a bus-less SoC).
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for BusContention {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<14} {:>8} {:>12} {:>12} {:>12}",
+            "master", "grants", "mean wait", "p95 wait", "max wait"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<14} {:>8} {:>12} {:>12} {:>12}",
+                r.master,
+                r.grants,
+                format!("{}", r.wait.mean()),
+                format!("{}", r.wait.quantile(0.95)),
+                format!("{}", r.wait.max()),
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -71,6 +154,35 @@ mod tests {
         assert_eq!(s.grants_for(7), 1);
         assert_eq!(s.grants_for(9), 0);
         assert_eq!(s.total_grants(), 3);
+    }
+
+    #[test]
+    fn per_master_wait_feeds_the_contention_report() {
+        let mut s = BusStats::default();
+        s.record_grant(1);
+        s.record_grant(1);
+        s.record_grant(2);
+        s.record_wait(1, SimDuration::ns(10));
+        s.record_wait(1, SimDuration::ns(30));
+        s.record_wait(2, SimDuration::ns(5));
+        assert_eq!(s.wait.count(), 3, "aggregate histogram still fed");
+        let c = s.contention(|id| format!("m{id}"));
+        assert_eq!(c.rows.len(), 2);
+        assert_eq!(c.rows[0].master, "m1", "heaviest master first");
+        assert_eq!(c.rows[0].grants, 2);
+        assert_eq!(c.rows[0].wait.mean(), SimDuration::ns(20));
+        assert_eq!(c.rows[1].wait.count(), 1);
+        let shown = format!("{c}");
+        assert!(shown.contains("mean wait"));
+        assert!(shown.contains("m1"));
+    }
+
+    #[test]
+    fn empty_contention_report() {
+        let s = BusStats::default();
+        let c = s.contention(|id| id.to_string());
+        assert!(c.is_empty());
+        assert!(format!("{c}").contains("master"));
     }
 
     #[test]

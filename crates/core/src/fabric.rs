@@ -417,6 +417,8 @@ impl Drcf {
         }
         self.stats
             .record_event(api.now(), ctx, FabricEventKind::ExecStart);
+        api.trace_begin(TraceCategory::Fabric, "exec", ctx as u64);
+        api.trace_counter(TraceCategory::Fabric, "suspended", self.queue.len() as u64);
         self.active_ctx = Some(ctx);
         let model = self.contexts[ctx].model.as_mut();
         let resp = apply_request(model, &q.access.req);
@@ -482,6 +484,7 @@ impl Drcf {
                     }
                     self.stats
                         .record_event(api.now(), v, FabricEventKind::Evict);
+                    api.trace_instant(TraceCategory::Fabric, "evict", v as u64);
                     let st = self.contexts[v].params.state_words;
                     if st > 0 {
                         save_total += st;
@@ -513,6 +516,9 @@ impl Drcf {
                 }
                 self.stats
                     .record_event(api.now(), ctx, FabricEventKind::SwitchStart);
+                // Switch spans live on lane 1 so a background (overlapped)
+                // load nests independently of lane-0 exec spans.
+                api.trace_begin_lane(1, TraceCategory::Fabric, "switch", ctx as u64);
                 self.issue_config_transfer(api);
                 LoadStart::Started
             }
@@ -606,6 +612,8 @@ impl Drcf {
             let ctx = load.ctx;
             self.loading = None;
             self.failed[ctx] = true;
+            api.trace_end_lane(1, TraceCategory::Fabric, "switch", ctx as u64);
+            api.trace_instant(TraceCategory::Fabric, "load_aborted", ctx as u64);
             api.raise(
                 SimErrorKind::ConfigLoad,
                 format!(
@@ -633,6 +641,9 @@ impl Drcf {
             return;
         };
         let dur = api.now().since(load.started);
+        // Close the lane-1 switch span on every install outcome (success or
+        // scheduler failure below) so begin/end pairs stay balanced.
+        api.trace_end_lane(1, TraceCategory::Fabric, "switch", load.ctx as u64);
         if self.cfg.overlap_load_exec {
             self.stats.reconfig_overlapped += dur;
         } else {
@@ -652,6 +663,7 @@ impl Drcf {
         self.stats.state_words += load.save_total + load.restore_total;
         self.stats
             .record_event(api.now(), load.ctx, FabricEventKind::SwitchDone);
+        api.trace_instant(TraceCategory::Fabric, "install", load.ctx as u64);
         self.pump(api);
     }
 
@@ -681,8 +693,10 @@ impl Drcf {
             Some(ctx) => {
                 if self.sched.is_resident(ctx) {
                     self.stats.hits += 1;
+                    api.trace_counter(TraceCategory::Fabric, "hits", self.stats.hits);
                 } else {
                     self.stats.misses += 1;
+                    api.trace_counter(TraceCategory::Fabric, "misses", self.stats.misses);
                 }
                 self.queue.push_back(Queued {
                     access,
@@ -704,6 +718,8 @@ impl Drcf {
             // fabric cannot livelock retrying an unreadable image.
             if let Some(load) = self.loading.take() {
                 self.failed[load.ctx] = true;
+                api.trace_end_lane(1, TraceCategory::Fabric, "switch", load.ctx as u64);
+                api.trace_instant(TraceCategory::Fabric, "load_aborted", load.ctx as u64);
             }
             self.pump(api);
             return;
@@ -757,7 +773,14 @@ enum LoadStart {
 impl Component for Drcf {
     fn handle(&mut self, api: &mut Api<'_>, msg: Msg) {
         match msg.kind {
-            MsgKind::Timer(TAG_EXEC_DONE) => self.pump(api),
+            MsgKind::Timer(TAG_EXEC_DONE) => {
+                api.trace_end(
+                    TraceCategory::Fabric,
+                    "exec",
+                    self.active_ctx.map_or(0, |c| c as u64),
+                );
+                self.pump(api);
+            }
             MsgKind::Timer(TAG_EXTRA_DELAY_DONE) => self.install_loaded(api),
             MsgKind::Timer(TAG_FIXED_XFER_DONE) => self.transfer_complete(api),
             MsgKind::Start => {}
@@ -1253,6 +1276,61 @@ mod tests {
             stateful > stateless,
             "state save/restore must cost time: {stateful} vs {stateless}"
         );
+    }
+
+    #[test]
+    fn fabric_spans_balance_even_when_a_load_aborts() {
+        // Context 0's load is aborted by fault injection: its lane-1 switch
+        // span must still be closed, and every exec begin must pair with an
+        // end. Mix in a healthy context so both code paths run.
+        let cfg = DrcfConfig {
+            abort_load_of: vec![0],
+            ..DrcfConfig::default()
+        };
+        let drcf = Drcf::new(cfg, vec![ctx("victim", 0x000, 10), ctx("ok", 0x100, 10)]);
+        let mut sim = Simulator::new();
+        sim.enable_observe(4096);
+        let _driver = sim.add(
+            "driver",
+            Driver {
+                drcf: 1,
+                sends: vec![
+                    (SimDuration::ZERO, 0x000, BusOp::Write, 1),
+                    (SimDuration::us(1), 0x100, BusOp::Write, 2),
+                    (SimDuration::us(2), 0x100, BusOp::Read, 0),
+                ],
+                next_id: 0,
+                replies: vec![],
+            },
+        );
+        let _fabric = sim.add("drcf", drcf);
+        let _ = sim.run();
+        let events = sim.observe_events();
+        let begins = |name: &str| {
+            events
+                .iter()
+                .filter(|e| e.kind == TraceEventKind::Begin && e.name == name)
+                .count()
+        };
+        let ends = |name: &str| {
+            events
+                .iter()
+                .filter(|e| e.kind == TraceEventKind::End && e.name == name)
+                .count()
+        };
+        assert!(begins("exec") > 0, "exec spans were recorded");
+        assert_eq!(begins("exec"), ends("exec"));
+        assert_eq!(begins("switch"), 2, "one load per context was started");
+        assert_eq!(begins("switch"), ends("switch"), "abort closes its span");
+        assert!(
+            events
+                .iter()
+                .any(|e| e.kind == TraceEventKind::Instant && e.name == "load_aborted"),
+            "the aborted load leaves an instant marker"
+        );
+        assert!(events
+            .iter()
+            .any(|e| e.kind == TraceEventKind::Counter && e.name == "misses"));
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! * [`partial`] — partial-reconfiguration region planning.
 
 #![warn(missing_docs)]
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod context;
 pub mod fabric;
@@ -37,7 +38,9 @@ pub mod prelude {
     pub use crate::scheduler::{
         ContextScheduler, EvictionPolicy, Lookup, PrefetchPolicy, SchedulerConfig,
     };
-    pub use crate::stats::{ContextStats, FabricEvent, FabricEventKind, FabricStats};
+    pub use crate::stats::{
+        ContextStats, FabricEvent, FabricEventKind, FabricStats, ReconfigTimeline, TimelineRow,
+    };
     pub use crate::technology::{
         all_presets, morphosys, varicore, virtex2_pro, Granularity, Technology,
     };

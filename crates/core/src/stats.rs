@@ -170,6 +170,147 @@ impl FabricStats {
     }
 }
 
+/// One context's row of the [`ReconfigTimeline`] report.
+#[derive(Debug, Clone, Default)]
+pub struct TimelineRow {
+    /// Context display name.
+    pub name: String,
+    /// Times this context was configured onto the fabric
+    /// ([`ContextStats::switches_in`]).
+    pub activations: u64,
+    /// Interface accesses served.
+    pub accesses: u64,
+    /// Active time (§5.3 step 5).
+    pub active: SimDuration,
+    /// Time spent loading this context's configuration, derived from the
+    /// `SwitchStart → SwitchDone` pairs of the event log.
+    pub reconfig: SimDuration,
+    /// Wait time of suspended calls while this context was unavailable.
+    pub wait: SimDuration,
+}
+
+/// The per-context reconfiguration report the paper's §5.3 accounting
+/// implies: activations, active time, reconfiguration time and the wait
+/// time of suspended calls, per context, plus run totals. Derived from
+/// [`FabricStats`] (so it agrees with the step-5 counters by
+/// construction); render with `Display`.
+#[derive(Debug, Clone, Default)]
+pub struct ReconfigTimeline {
+    /// Per-context rows, in context-id order.
+    pub rows: Vec<TimelineRow>,
+    /// Total reconfiguration time, blocking + overlapped.
+    pub total_reconfig: SimDuration,
+    /// Reconfiguration time that blocked the fabric
+    /// ([`FabricStats::reconfig`]).
+    pub blocking_reconfig: SimDuration,
+    /// Reconfiguration time hidden behind execution
+    /// ([`FabricStats::reconfig_overlapped`]).
+    pub overlapped_reconfig: SimDuration,
+    /// Context switches performed.
+    pub switches: u64,
+    /// Configuration words streamed.
+    pub config_words: u64,
+    /// Contexts that were loaded at least once.
+    pub contexts_loaded: u64,
+}
+
+impl ReconfigTimeline {
+    /// Build the report from a fabric's statistics. `names` labels the
+    /// rows (shorter slices fall back to `ctx<N>`).
+    pub fn from_stats(stats: &FabricStats, names: &[&str]) -> Self {
+        // Per-context reconfiguration time from the event log: each
+        // SwitchStart opens a load interval its SwitchDone closes. Aborted
+        // loads never record a SwitchDone and contribute nothing.
+        let n = stats.per_context.len();
+        let mut reconfig = vec![SimDuration::ZERO; n];
+        let mut open: Vec<Option<SimTime>> = vec![None; n];
+        for e in &stats.events {
+            if e.ctx >= n {
+                continue;
+            }
+            match e.kind {
+                FabricEventKind::SwitchStart => open[e.ctx] = Some(e.at),
+                FabricEventKind::SwitchDone => {
+                    if let Some(start) = open[e.ctx].take() {
+                        reconfig[e.ctx] += e.at.since(start);
+                    }
+                }
+                _ => {}
+            }
+        }
+        let rows: Vec<TimelineRow> = stats
+            .per_context
+            .iter()
+            .enumerate()
+            .map(|(ctx, c)| TimelineRow {
+                name: names
+                    .get(ctx)
+                    .map(|s| s.to_string())
+                    .unwrap_or_else(|| format!("ctx{ctx}")),
+                activations: c.switches_in,
+                accesses: c.accesses,
+                active: c.active,
+                reconfig: reconfig[ctx],
+                wait: c.wait,
+            })
+            .collect();
+        ReconfigTimeline {
+            contexts_loaded: rows.iter().filter(|r| r.activations > 0).count() as u64,
+            rows,
+            total_reconfig: stats.reconfig + stats.reconfig_overlapped,
+            blocking_reconfig: stats.reconfig,
+            overlapped_reconfig: stats.reconfig_overlapped,
+            switches: stats.switches,
+            config_words: stats.config_words,
+        }
+    }
+
+    /// Sum of per-context active time.
+    pub fn total_active(&self) -> SimDuration {
+        self.rows
+            .iter()
+            .fold(SimDuration::ZERO, |acc, r| acc + r.active)
+    }
+}
+
+impl std::fmt::Display for ReconfigTimeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name_w = self
+            .rows
+            .iter()
+            .map(|r| r.name.len())
+            .max()
+            .unwrap_or(7)
+            .max(7);
+        writeln!(
+            f,
+            "{:<name_w$} {:>6} {:>8} {:>12} {:>12} {:>12}",
+            "context", "loads", "accesses", "active", "reconfig", "wait"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<name_w$} {:>6} {:>8} {:>12} {:>12} {:>12}",
+                r.name,
+                r.activations,
+                r.accesses,
+                format!("{}", r.active),
+                format!("{}", r.reconfig),
+                format!("{}", r.wait),
+            )?;
+        }
+        writeln!(
+            f,
+            "total: {} switches, {} config words, reconfig {} ({} blocking + {} overlapped)",
+            self.switches,
+            self.config_words,
+            self.total_reconfig,
+            self.blocking_reconfig,
+            self.overlapped_reconfig,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,6 +364,48 @@ mod tests {
     fn timeline_rejects_tiny_width() {
         let s = FabricStats::new(1);
         let _ = s.timeline(&["a"], SimTime::ZERO + SimDuration::ns(1), 2);
+    }
+
+    #[test]
+    fn reconfig_timeline_derives_per_context_load_time() {
+        let mut s = FabricStats::new(2);
+        let t = |ns: u64| SimTime::ZERO + SimDuration::ns(ns);
+        s.per_context[0].active = SimDuration::ns(300);
+        s.per_context[0].switches_in = 2;
+        s.per_context[0].accesses = 5;
+        s.per_context[1].wait = SimDuration::ns(40);
+        s.switches = 2;
+        s.config_words = 128;
+        s.reconfig = SimDuration::ns(150);
+        s.record_event(t(0), 0, FabricEventKind::SwitchStart);
+        s.record_event(t(100), 0, FabricEventKind::SwitchDone);
+        s.record_event(t(400), 0, FabricEventKind::SwitchStart);
+        s.record_event(t(450), 0, FabricEventKind::SwitchDone);
+        // Context 1 starts a load that never completes (aborted).
+        s.record_event(t(500), 1, FabricEventKind::SwitchStart);
+        let tl = ReconfigTimeline::from_stats(&s, &["viterbi"]);
+        assert_eq!(tl.rows.len(), 2);
+        assert_eq!(tl.rows[0].name, "viterbi");
+        assert_eq!(tl.rows[1].name, "ctx1", "missing names fall back");
+        assert_eq!(tl.rows[0].reconfig, SimDuration::ns(150));
+        assert_eq!(tl.rows[1].reconfig, SimDuration::ZERO);
+        assert_eq!(tl.rows[0].activations, 2);
+        assert_eq!(tl.rows[1].wait, SimDuration::ns(40));
+        assert_eq!(tl.contexts_loaded, 1);
+        assert_eq!(tl.total_active(), SimDuration::ns(300));
+        // Completed loads agree with the §5.3 step-5 totals.
+        assert_eq!(tl.total_reconfig, s.reconfig + s.reconfig_overlapped);
+        let shown = format!("{tl}");
+        assert!(shown.contains("viterbi"));
+        assert!(shown.contains("reconfig"));
+        assert!(shown.contains("2 switches"));
+    }
+
+    #[test]
+    fn empty_timeline_renders() {
+        let tl = ReconfigTimeline::default();
+        assert_eq!(tl.contexts_loaded, 0);
+        assert!(format!("{tl}").contains("total:"));
     }
 
     #[test]

@@ -6,8 +6,8 @@
 //! layer: parameter spaces ([`space`]), a thread-parallel deterministic
 //! sweep runner ([`runner`]), flattened run records ([`metrics`]) with a
 //! std-only JSON codec ([`json`]), Pareto-front extraction ([`pareto`]),
-//! partitioning-subset exploration ([`partition`]) and table rendering
-//! ([`report`]).
+//! partitioning-subset exploration ([`partition`]), table rendering
+//! ([`report`]) and structured-trace exporters ([`trace`]).
 
 #![warn(missing_docs)]
 
@@ -18,6 +18,7 @@ pub mod partition;
 pub mod report;
 pub mod runner;
 pub mod space;
+pub mod trace;
 
 /// Commonly used items.
 pub mod prelude {
@@ -28,4 +29,7 @@ pub mod prelude {
     pub use crate::report::{fmt_ns, fmt_pct, Table};
     pub use crate::runner::{sweep, sweep_serial, sweep_with};
     pub use crate::space::{cartesian2, cartesian3, linear_steps, pow2_steps};
+    pub use crate::trace::{
+        chrome_trace, chrome_trace_events, jsonl, jsonl_events, write_chrome_trace, write_jsonl,
+    };
 }

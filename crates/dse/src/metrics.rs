@@ -33,6 +33,11 @@ pub struct RunRecord {
     /// Why the run failed (typed simulation error or panic message), when
     /// `ok` is false.
     pub error: Option<String>,
+    /// Distinct fabric contexts that loaded at least once (from the run's
+    /// [`ReconfigTimeline`](drcf_core::prelude::ReconfigTimeline)).
+    pub contexts_loaded: u64,
+    /// Total time spent reconfiguring (blocking + overlapped), ns.
+    pub reconfig_ns: f64,
 }
 
 impl RunRecord {
@@ -52,6 +57,8 @@ impl RunRecord {
             area_gates: m.area_gates,
             ok: m.ok,
             error: m.error.clone(),
+            contexts_loaded: m.timeline.contexts_loaded,
+            reconfig_ns: m.timeline.total_reconfig.as_ns_f64(),
         }
     }
 
@@ -74,6 +81,8 @@ impl RunRecord {
             area_gates: 0,
             ok: false,
             error: Some(error.into()),
+            contexts_loaded: 0,
+            reconfig_ns: 0.0,
         }
     }
 
@@ -124,6 +133,8 @@ impl RunRecord {
                     None => Json::Null,
                 },
             )
+            .with("contexts_loaded", self.contexts_loaded.into())
+            .with("reconfig_ns", self.reconfig_ns.into())
     }
 
     /// Decode from the JSON produced by [`RunRecord::to_json`].
@@ -173,6 +184,10 @@ impl RunRecord {
             ok: field("ok")?.as_bool().ok_or_else(|| bad("ok"))?,
             // Absent in records written before the error field existed.
             error: v.get("error").and_then(|e| e.as_str()).map(str::to_string),
+            // Absent in records written before the timeline summary rode
+            // along; default to zero rather than rejecting the record.
+            contexts_loaded: v.get("contexts_loaded").and_then(Json::as_u64).unwrap_or(0),
+            reconfig_ns: v.get("reconfig_ns").and_then(Json::as_f64).unwrap_or(0.0),
         })
     }
 }
@@ -201,6 +216,7 @@ mod tests {
             errors: 0,
             ok: true,
             error: None,
+            ..RunMetrics::default()
         }
     }
 
@@ -236,6 +252,42 @@ mod tests {
             Some("deadlock: 2 pending obligations")
         );
         assert!(!back.ok);
+    }
+
+    #[test]
+    fn timeline_summary_rides_on_the_record() {
+        use drcf_core::prelude::{ReconfigTimeline, TimelineRow};
+        let mut m = metrics();
+        m.timeline = ReconfigTimeline {
+            rows: vec![TimelineRow {
+                name: "fir".into(),
+                activations: 2,
+                reconfig: SimDuration::ns(400),
+                ..TimelineRow::default()
+            }],
+            total_reconfig: SimDuration::ns(400),
+            contexts_loaded: 1,
+            ..ReconfigTimeline::default()
+        };
+        let r = RunRecord::from_metrics("t", vec![], &m);
+        assert_eq!(r.contexts_loaded, 1);
+        assert_eq!(r.reconfig_ns, 400.0);
+        let back = RunRecord::from_json(&Json::parse(&r.to_json().to_string()).unwrap()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn records_without_timeline_fields_still_parse() {
+        // A record serialized before the timeline summary existed.
+        let r = RunRecord::from_metrics("old", vec![], &metrics());
+        let Json::Obj(mut fields) = r.to_json() else {
+            unreachable!()
+        };
+        fields.retain(|(k, _)| k != "contexts_loaded" && k != "reconfig_ns");
+        let back = RunRecord::from_json(&Json::Obj(fields)).unwrap();
+        assert_eq!(back.contexts_loaded, 0);
+        assert_eq!(back.reconfig_ns, 0.0);
+        assert_eq!(back.scenario, "old");
     }
 
     #[test]

@@ -73,6 +73,8 @@ mod tests {
             area_gates: area,
             ok: true,
             error: None,
+            contexts_loaded: 0,
+            reconfig_ns: 0.0,
         }
     }
 

@@ -1,0 +1,311 @@
+//! Trace exporters: Chrome trace-event JSON (Perfetto / `chrome://tracing`)
+//! and line-oriented JSONL.
+//!
+//! Both exporters consume the structured [`SimEvent`] stream recorded by
+//! the kernel's [`Recorder`] (see `drcf_kernel::observe`) and resolve
+//! component ids to display names. They live in the DSE crate because the
+//! workspace's hand-rolled [`Json`] writer does (the build is fully
+//! offline — no serde).
+//!
+//! Track layout: one Perfetto thread per `(component, lane)` pair, named
+//! `<component>` for lane 0 and `<component>:<lane>` for higher lanes (the
+//! fabric uses lane 1 for background context loads so overlapped switch
+//! spans nest independently of execution spans). Kernel-phase events (the
+//! [`KERNEL_SOURCE`] sentinel) get their own `kernel` track. Counters
+//! become Chrome counter series named `<component>.<counter>`.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use drcf_kernel::prelude::{ComponentId, SimEvent, Simulator, TraceEventKind, KERNEL_SOURCE};
+
+use crate::json::Json;
+
+/// Resolve the display name of an event source: component name, or
+/// `kernel` for the scheduler's own phase events.
+fn source_name(comp: ComponentId, name: &dyn Fn(ComponentId) -> Option<String>) -> String {
+    if comp == KERNEL_SOURCE {
+        "kernel".to_string()
+    } else {
+        name(comp).unwrap_or_else(|| format!("comp{comp}"))
+    }
+}
+
+/// Track label for a `(component, lane)` pair.
+fn track_name(comp: ComponentId, lane: u8, name: &dyn Fn(ComponentId) -> Option<String>) -> String {
+    let base = source_name(comp, name);
+    if lane == 0 {
+        base
+    } else {
+        format!("{base}:{lane}")
+    }
+}
+
+/// Femtoseconds to the microseconds Chrome trace `ts` expects.
+fn ts_us(fs: u64) -> f64 {
+    fs as f64 / 1e9
+}
+
+/// Build a Chrome trace-event JSON document from recorded events.
+///
+/// `name` resolves a component id to its display name (`None` falls back
+/// to `comp<N>`). The output is the object form of the trace-event format:
+/// `{"traceEvents": [...], "displayTimeUnit": "ns"}`, loadable by Perfetto
+/// and `chrome://tracing`. Span events are emitted as matched `"B"`/`"E"`
+/// pairs, instants as `"i"` with thread scope, counters as `"C"`.
+pub fn chrome_trace_events(
+    events: &[SimEvent],
+    name: &dyn Fn(ComponentId) -> Option<String>,
+) -> Json {
+    // Dense tid assignment in first-seen order, with one thread_name
+    // metadata record per track.
+    let mut tracks: Vec<(ComponentId, u8)> = Vec::new();
+    let mut tid_of = |comp: ComponentId, lane: u8, out: &mut Vec<Json>| -> usize {
+        if let Some(i) = tracks.iter().position(|&t| t == (comp, lane)) {
+            return i;
+        }
+        tracks.push((comp, lane));
+        let tid = tracks.len() - 1;
+        out.push(
+            Json::obj()
+                .with("name", Json::Str("thread_name".into()))
+                .with("ph", Json::Str("M".into()))
+                .with("pid", Json::Num(0.0))
+                .with("tid", Json::Num(tid as f64))
+                .with(
+                    "args",
+                    Json::obj().with("name", Json::Str(track_name(comp, lane, name))),
+                ),
+        );
+        tid
+    };
+
+    let mut out: Vec<Json> = Vec::with_capacity(events.len() + 8);
+    for e in events {
+        let tid = tid_of(e.comp, e.lane, &mut out);
+        let base = Json::obj()
+            .with("name", Json::Str(e.name.to_string()))
+            .with("cat", Json::Str(e.cat.as_str().to_string()))
+            .with("ts", Json::Num(ts_us(e.at.as_fs())))
+            .with("pid", Json::Num(0.0))
+            .with("tid", Json::Num(tid as f64));
+        let ev = match e.kind {
+            TraceEventKind::Begin => base
+                .with("ph", Json::Str("B".into()))
+                .with("args", Json::obj().with("value", Json::Num(e.value as f64))),
+            TraceEventKind::End => base
+                .with("ph", Json::Str("E".into()))
+                .with("args", Json::obj().with("value", Json::Num(e.value as f64))),
+            TraceEventKind::Instant => base
+                .with("ph", Json::Str("i".into()))
+                .with("s", Json::Str("t".into()))
+                .with("args", Json::obj().with("value", Json::Num(e.value as f64))),
+            TraceEventKind::Counter => {
+                // Counter series are named per component so multi-component
+                // counters (e.g. two CPUs' `retired`) stay separate tracks.
+                let series = format!("{}.{}", source_name(e.comp, name), e.name);
+                Json::obj()
+                    .with("name", Json::Str(series))
+                    .with("cat", Json::Str(e.cat.as_str().to_string()))
+                    .with("ts", Json::Num(ts_us(e.at.as_fs())))
+                    .with("pid", Json::Num(0.0))
+                    .with("tid", Json::Num(tid as f64))
+                    .with("ph", Json::Str("C".into()))
+                    .with("args", Json::obj().with("value", Json::Num(e.value as f64)))
+            }
+        };
+        out.push(ev);
+    }
+    Json::obj()
+        .with("traceEvents", Json::Arr(out))
+        .with("displayTimeUnit", Json::Str("ns".into()))
+}
+
+/// [`chrome_trace_events`] over a finished simulator: drains the recorder
+/// contents and resolves names from the component table.
+pub fn chrome_trace(sim: &Simulator) -> Json {
+    let events = sim.observe_events();
+    let count = sim.component_count();
+    chrome_trace_events(&events, &|id| {
+        (id < count).then(|| sim.component_name(id).to_string())
+    })
+}
+
+/// Render recorded events as JSONL: one self-describing JSON object per
+/// line, in chronological order. Suited to `grep`/`jq`-style ad-hoc
+/// analysis where a full trace viewer is overkill.
+pub fn jsonl_events(events: &[SimEvent], name: &dyn Fn(ComponentId) -> Option<String>) -> String {
+    let mut out = String::new();
+    for e in events {
+        let kind = match e.kind {
+            TraceEventKind::Begin => "begin",
+            TraceEventKind::End => "end",
+            TraceEventKind::Instant => "instant",
+            TraceEventKind::Counter => "counter",
+        };
+        let line = Json::obj()
+            .with("ts_fs", Json::Num(e.at.as_fs() as f64))
+            .with("delta", Json::Num(e.delta as f64))
+            .with("comp", Json::Str(source_name(e.comp, name)))
+            .with("lane", Json::Num(e.lane as f64))
+            .with("cat", Json::Str(e.cat.as_str().to_string()))
+            .with("name", Json::Str(e.name.to_string()))
+            .with("kind", Json::Str(kind.into()))
+            .with("value", Json::Num(e.value as f64));
+        let _ = writeln!(out, "{line}");
+    }
+    out
+}
+
+/// [`jsonl_events`] over a finished simulator.
+pub fn jsonl(sim: &Simulator) -> String {
+    let events = sim.observe_events();
+    let count = sim.component_count();
+    jsonl_events(&events, &|id| {
+        (id < count).then(|| sim.component_name(id).to_string())
+    })
+}
+
+/// Write the Chrome trace of `sim` to `path` (pretty-printed, so diffs of
+/// committed sample traces stay reviewable).
+pub fn write_chrome_trace(sim: &Simulator, path: &Path) -> io::Result<()> {
+    fs::write(path, chrome_trace(sim).to_string_pretty())
+}
+
+/// Write the JSONL trace of `sim` to `path`.
+pub fn write_jsonl(sim: &Simulator, path: &Path) -> io::Result<()> {
+    fs::write(path, jsonl(sim))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drcf_kernel::prelude::{SimTime, TraceCategory};
+
+    fn ev(
+        fs: u64,
+        comp: ComponentId,
+        lane: u8,
+        name: &'static str,
+        kind: TraceEventKind,
+        value: u64,
+    ) -> SimEvent {
+        SimEvent {
+            at: SimTime(fs),
+            delta: 0,
+            comp,
+            lane,
+            cat: TraceCategory::User,
+            name,
+            kind,
+            value,
+        }
+    }
+
+    #[test]
+    fn chrome_trace_emits_tracks_and_balanced_phases() {
+        let events = vec![
+            ev(0, 0, 0, "work", TraceEventKind::Begin, 1),
+            ev(1_000_000, 1, 1, "load", TraceEventKind::Begin, 2),
+            ev(2_000_000, 1, 1, "load", TraceEventKind::End, 2),
+            ev(3_000_000, 0, 0, "work", TraceEventKind::End, 1),
+            ev(3_000_000, 0, 0, "tick", TraceEventKind::Instant, 9),
+            ev(
+                4_000_000,
+                KERNEL_SOURCE,
+                0,
+                "deltas",
+                TraceEventKind::Counter,
+                5,
+            ),
+        ];
+        let name = |id: ComponentId| match id {
+            0 => Some("cpu".to_string()),
+            1 => Some("drcf".to_string()),
+            _ => None,
+        };
+        let doc = chrome_trace_events(&events, &name);
+        let arr = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        // 3 tracks discovered -> 3 metadata records + 6 events.
+        assert_eq!(arr.len(), 9);
+        let metas: Vec<&str> = arr
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("M"))
+            .map(|e| {
+                e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(metas, vec!["cpu", "drcf:1", "kernel"]);
+        let phases = |ph: &str| {
+            arr.iter()
+                .filter(|e| e.get("ph").and_then(Json::as_str) == Some(ph))
+                .count()
+        };
+        assert_eq!(phases("B"), 2);
+        assert_eq!(phases("E"), 2);
+        assert_eq!(phases("i"), 1);
+        assert_eq!(phases("C"), 1);
+        // ts is microseconds: 1_000_000 fs = 1e-3 us.
+        let b_drcf = arr
+            .iter()
+            .find(|e| {
+                e.get("ph").and_then(Json::as_str) == Some("B")
+                    && e.get("tid").and_then(Json::as_f64) == Some(1.0)
+            })
+            .unwrap();
+        assert!((b_drcf.get("ts").and_then(Json::as_f64).unwrap() - 1e-3).abs() < 1e-12);
+        // Counter series is component-qualified.
+        let c = arr
+            .iter()
+            .find(|e| e.get("ph").and_then(Json::as_str) == Some("C"))
+            .unwrap();
+        assert_eq!(c.get("name").and_then(Json::as_str), Some("kernel.deltas"));
+        // The whole document round-trips through the parser.
+        let text = doc.to_string_pretty();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(
+            back.get("traceEvents")
+                .and_then(Json::as_arr)
+                .unwrap()
+                .len(),
+            9
+        );
+    }
+
+    #[test]
+    fn jsonl_is_one_parsable_object_per_line() {
+        let events = vec![
+            ev(500, 2, 0, "grant", TraceEventKind::Instant, 7),
+            ev(600, 2, 0, "queue_depth", TraceEventKind::Counter, 3),
+        ];
+        let text = jsonl_events(&events, &|_| Some("bus".to_string()));
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            let v = Json::parse(line).unwrap();
+            assert_eq!(v.get("comp").and_then(Json::as_str), Some("bus"));
+        }
+        let first = Json::parse(lines[0]).unwrap();
+        assert_eq!(first.get("kind").and_then(Json::as_str), Some("instant"));
+        assert_eq!(first.get("ts_fs").and_then(Json::as_u64), Some(500));
+    }
+
+    #[test]
+    fn empty_trace_still_renders_a_valid_document() {
+        let doc = chrome_trace_events(&[], &|_| None);
+        let text = doc.to_string();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(
+            back.get("traceEvents")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len),
+            Some(0)
+        );
+        assert!(jsonl_events(&[], &|_| None).is_empty());
+    }
+}

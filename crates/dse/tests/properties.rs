@@ -19,6 +19,8 @@ fn rec(makespan: f64, area: u64, energy: f64) -> RunRecord {
         area_gates: area,
         ok: true,
         error: None,
+        contexts_loaded: 0,
+        reconfig_ns: 0.0,
     }
 }
 

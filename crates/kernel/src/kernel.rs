@@ -23,6 +23,7 @@ use crate::event::{
     StopReason,
 };
 use crate::fifo::{AnyFifoSlot, FifoRef, FifoSlot};
+use crate::observe::{Recorder, SimEvent, TraceCategory, TraceEventKind, KERNEL_SOURCE};
 use crate::queue::{EventQueue, TimedEntry};
 use crate::report::{Reporter, Severity};
 use crate::signal::{AnySignalSlot, SignalRef, SignalSlot, SignalValue};
@@ -101,6 +102,9 @@ pub(crate) struct KernelState {
     clocks: Vec<ClockState>,
     fifos: Vec<Box<dyn AnyFifoSlot>>,
     tracer: Option<VcdTracer>,
+    /// Structured span/counter recorder ([`crate::observe`]); starts
+    /// disabled, where every emit is one predictable branch.
+    recorder: Recorder,
     reporter: Reporter,
     obligations: u64,
     stop: bool,
@@ -369,6 +373,33 @@ impl KernelState {
     // host program forged a handle across simulators — a programming error
     // with no sensible recovery. These three helpers are the kernel's only
     // sanctioned panic sites for it.
+    /// Record one structured trace event ([`crate::observe`]). The enabled
+    /// check happens *here*, before the event struct is built, so callers
+    /// on the hot path pay a single branch when tracing is off.
+    #[inline]
+    fn observe(
+        &mut self,
+        comp: ComponentId,
+        lane: u8,
+        cat: TraceCategory,
+        name: &'static str,
+        kind: TraceEventKind,
+        value: u64,
+    ) {
+        if self.recorder.is_enabled() {
+            self.recorder.emit(SimEvent {
+                at: self.now,
+                delta: self.metrics.delta_cycles,
+                comp,
+                lane,
+                cat,
+                name,
+                kind,
+                value,
+            });
+        }
+    }
+
     #[allow(clippy::expect_used)]
     fn signal_slot<T: SignalValue>(&self, idx: SignalIdx) -> &SignalSlot<T> {
         self.signals[idx]
@@ -603,6 +634,70 @@ impl Api<'_> {
             self.st.pending_error = Some((Some(me), SimError::new(kind, text).at(now)));
         }
     }
+
+    /// Whether structured tracing is recording. Instrumentation whose cost
+    /// goes beyond one emit (e.g. computing a payload) should gate on this.
+    #[inline]
+    pub fn tracing_enabled(&self) -> bool {
+        self.st.recorder.is_enabled()
+    }
+
+    /// Open a span on this component's main lane (see [`crate::observe`]).
+    #[inline]
+    pub fn trace_begin(&mut self, cat: TraceCategory, name: &'static str, value: u64) {
+        let me = self.me;
+        self.st
+            .observe(me, 0, cat, name, TraceEventKind::Begin, value);
+    }
+
+    /// Close the span opened by [`Api::trace_begin`] with the same name.
+    #[inline]
+    pub fn trace_end(&mut self, cat: TraceCategory, name: &'static str, value: u64) {
+        let me = self.me;
+        self.st
+            .observe(me, 0, cat, name, TraceEventKind::End, value);
+    }
+
+    /// Open a span on a specific lane. Lanes are sub-tracks within a
+    /// component; put independent overlapping activities (execution vs. a
+    /// background configuration load) on different lanes so each lane's
+    /// spans nest.
+    #[inline]
+    pub fn trace_begin_lane(
+        &mut self,
+        lane: u8,
+        cat: TraceCategory,
+        name: &'static str,
+        value: u64,
+    ) {
+        let me = self.me;
+        self.st
+            .observe(me, lane, cat, name, TraceEventKind::Begin, value);
+    }
+
+    /// Close a span on a specific lane.
+    #[inline]
+    pub fn trace_end_lane(&mut self, lane: u8, cat: TraceCategory, name: &'static str, value: u64) {
+        let me = self.me;
+        self.st
+            .observe(me, lane, cat, name, TraceEventKind::End, value);
+    }
+
+    /// Record a point-in-time marker.
+    #[inline]
+    pub fn trace_instant(&mut self, cat: TraceCategory, name: &'static str, value: u64) {
+        let me = self.me;
+        self.st
+            .observe(me, 0, cat, name, TraceEventKind::Instant, value);
+    }
+
+    /// Sample a counter value under this component's track.
+    #[inline]
+    pub fn trace_counter(&mut self, cat: TraceCategory, name: &'static str, value: u64) {
+        let me = self.me;
+        self.st
+            .observe(me, 0, cat, name, TraceEventKind::Counter, value);
+    }
 }
 
 struct CompSlot {
@@ -645,6 +740,7 @@ impl Simulator {
                 clocks: Vec::new(),
                 fifos: Vec::new(),
                 tracer: None,
+                recorder: Recorder::disabled(),
                 reporter: Reporter::new(),
                 obligations: 0,
                 stop: false,
@@ -754,6 +850,28 @@ impl Simulator {
     /// Access the accumulated trace.
     pub fn tracer(&self) -> Option<&VcdTracer> {
         self.st.tracer.as_ref()
+    }
+
+    /// Enable structured tracing ([`crate::observe`]) with a ring buffer
+    /// holding the most recent `capacity` events.
+    pub fn enable_observe(&mut self, capacity: usize) {
+        self.st.recorder = Recorder::enabled(capacity);
+    }
+
+    /// Install a preconfigured recorder (e.g. [`Recorder::disabled`] to
+    /// turn tracing back off between runs).
+    pub fn set_recorder(&mut self, r: Recorder) {
+        self.st.recorder = r;
+    }
+
+    /// The structured-trace recorder.
+    pub fn recorder(&self) -> &Recorder {
+        &self.st.recorder
+    }
+
+    /// Retained structured-trace events, oldest first.
+    pub fn observe_events(&self) -> Vec<SimEvent> {
+        self.st.recorder.events()
     }
 
     /// Access the report log.
@@ -1047,6 +1165,17 @@ impl Simulator {
                 self.st.metrics.timesteps += 1;
                 self.st.metrics.max_deltas_in_step =
                     self.st.metrics.max_deltas_in_step.max(deltas_here);
+                // Kernel-phase instrumentation: one counter sample per
+                // *active* timestep (never per delta), so the tracing-off
+                // cost is a single branch per timestep.
+                self.st.observe(
+                    KERNEL_SOURCE,
+                    0,
+                    TraceCategory::Kernel,
+                    "deltas_in_step",
+                    TraceEventKind::Counter,
+                    deltas_here,
+                );
             }
 
             // Advance time. Background events (free-running clock ticks) do
@@ -1099,6 +1228,14 @@ impl Simulator {
             }
             debug_assert!(next_t >= self.st.now, "time must be monotone");
             self.st.now = next_t;
+            self.st.observe(
+                KERNEL_SOURCE,
+                0,
+                TraceCategory::Kernel,
+                "time_advance",
+                TraceEventKind::Instant,
+                next_t.as_fs(),
+            );
             self.st.drain_events_at(next_t);
         }
     }

@@ -59,6 +59,7 @@ pub mod error;
 pub mod event;
 pub mod fifo;
 pub mod kernel;
+pub mod observe;
 pub mod process;
 pub mod queue;
 pub mod report;
@@ -76,6 +77,7 @@ pub mod prelude {
     pub use crate::event::{ComponentId, Delay, Edge, FifoEventKind, Msg, MsgKind, StopReason};
     pub use crate::fifo::FifoRef;
     pub use crate::kernel::{Api, ClockRef, KernelMetrics, Simulator, TimerHandle};
+    pub use crate::observe::{Recorder, SimEvent, TraceCategory, TraceEventKind, KERNEL_SOURCE};
     pub use crate::process::{Script, ScriptBuilder, Step};
     pub use crate::report::Severity;
     pub use crate::signal::SignalRef;

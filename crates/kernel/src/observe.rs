@@ -1,0 +1,319 @@
+//! Structured tracing: spans, instants and counters from every layer.
+//!
+//! The VCD tracer ([`crate::trace`]) answers "what value did this wire
+//! hold"; this module answers "what was the *system* doing" — which bus
+//! transaction was in flight, which context the fabric was loading, which
+//! instruction the CPU was issuing — as a single, totally ordered event
+//! stream that exporters turn into a Perfetto/`chrome://tracing` timeline.
+//!
+//! Design constraints (the dispatch loop is the hottest code in the repo):
+//!
+//! * **Allocation-light.** An event is a few plain words: a `&'static str`
+//!   name, a `u64` payload, ids. No strings are built at record time.
+//! * **Compile-cheap off switch.** [`Recorder::disabled`] reduces every
+//!   emit to one predictable branch; the bench harness
+//!   (`BENCH_kernel.json`) guards the tracing-off hot path.
+//! * **Bounded memory.** Events land in a preallocated ring buffer; when
+//!   it wraps, the oldest events are overwritten and counted in
+//!   [`Recorder::dropped`], never reallocated.
+//!
+//! Spans are begin/end pairs matched per `(component, lane, name)`. A
+//! *lane* is a sub-track within a component: emitters that interleave two
+//! independent activities (the fabric executes on one lane while a
+//! prefetch load streams on another) put them on different lanes so each
+//! lane's spans nest properly — which is exactly what the Chrome
+//! trace-event `B`/`E` stack model requires.
+
+use crate::event::ComponentId;
+use crate::time::SimTime;
+
+/// Pseudo component id used for events emitted by the kernel itself
+/// (delta-cycle and timed-advance phases) rather than by a component.
+pub const KERNEL_SOURCE: ComponentId = usize::MAX;
+
+/// Coarse event category, used by exporters for coloring and filtering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceCategory {
+    /// Kernel phases: timed advances, delta cycles.
+    Kernel,
+    /// Bus transactions: request/grant/response phases, faults.
+    Bus,
+    /// Reconfigurable fabric: context switches, execution, evictions.
+    Fabric,
+    /// CPU program steps.
+    Cpu,
+    /// Anything model-specific.
+    User,
+}
+
+impl TraceCategory {
+    /// Stable lowercase name (used verbatim in exports).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TraceCategory::Kernel => "kernel",
+            TraceCategory::Bus => "bus",
+            TraceCategory::Fabric => "fabric",
+            TraceCategory::Cpu => "cpu",
+            TraceCategory::User => "user",
+        }
+    }
+}
+
+/// What kind of mark an event is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// Opens a span on `(comp, lane, name)`.
+    Begin,
+    /// Closes the most recent open span on `(comp, lane, name)`.
+    End,
+    /// A point-in-time marker.
+    Instant,
+    /// A sampled counter value (monotonic or gauge, by convention of the
+    /// emitter; the exporters plot whatever sequence was recorded).
+    Counter,
+}
+
+/// One structured trace event.
+///
+/// `value` is the single numeric payload: a context id for fabric spans, a
+/// master id or address for bus events, the counter value for
+/// [`TraceEventKind::Counter`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimEvent {
+    /// Simulated time of emission.
+    pub at: SimTime,
+    /// Kernel delta-cycle count at emission (total across the run).
+    pub delta: u64,
+    /// Emitting component, or [`KERNEL_SOURCE`] for the kernel itself.
+    pub comp: ComponentId,
+    /// Sub-track within the component (0 = main lane).
+    pub lane: u8,
+    /// Coarse category.
+    pub cat: TraceCategory,
+    /// Event name; `&'static str` so recording never allocates.
+    pub name: &'static str,
+    /// Span/instant/counter discriminator.
+    pub kind: TraceEventKind,
+    /// Numeric payload (see type-level docs).
+    pub value: u64,
+}
+
+/// Ring-buffer backed recorder for [`SimEvent`]s — the `TraceSink` a
+/// [`Simulator`](crate::kernel::Simulator) forwards instrumentation to.
+#[derive(Debug)]
+pub struct Recorder {
+    enabled: bool,
+    capacity: usize,
+    buf: Vec<SimEvent>,
+    /// Next overwrite position once `buf.len() == capacity`.
+    head: usize,
+    emitted: u64,
+    dropped: u64,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::disabled()
+    }
+}
+
+impl Recorder {
+    /// The no-op recorder: every emit is a single predictable branch, no
+    /// buffer is allocated. This is the state every simulator starts in.
+    pub fn disabled() -> Self {
+        Recorder {
+            enabled: false,
+            capacity: 0,
+            buf: Vec::new(),
+            head: 0,
+            emitted: 0,
+            dropped: 0,
+        }
+    }
+
+    /// A recorder keeping the most recent `capacity` events (at least 1).
+    pub fn enabled(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Recorder {
+            enabled: true,
+            capacity,
+            buf: Vec::with_capacity(capacity),
+            head: 0,
+            emitted: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Whether events are being recorded. Emitters with any per-event cost
+    /// beyond building a [`SimEvent`] should check this first.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record one event (no-op when disabled).
+    #[inline]
+    pub fn emit(&mut self, ev: SimEvent) {
+        if !self.enabled {
+            return;
+        }
+        self.emitted += 1;
+        if self.buf.len() < self.capacity {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head += 1;
+            if self.head == self.capacity {
+                self.head = 0;
+            }
+            self.dropped += 1;
+        }
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn events(&self) -> Vec<SimEvent> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+
+    /// Events retained in the ring right now.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Ring capacity (0 when disabled).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total events emitted over the recorder's lifetime.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Events overwritten because the ring wrapped.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Drop all retained events (counters keep accumulating).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &'static str, kind: TraceEventKind, value: u64) -> SimEvent {
+        SimEvent {
+            at: SimTime(value * 10),
+            delta: value,
+            comp: 0,
+            lane: 0,
+            cat: TraceCategory::User,
+            name,
+            kind,
+            value,
+        }
+    }
+
+    #[test]
+    fn disabled_recorder_is_a_no_op() {
+        let mut r = Recorder::disabled();
+        assert!(!r.is_enabled());
+        r.emit(ev("x", TraceEventKind::Instant, 1));
+        assert_eq!(r.len(), 0);
+        assert_eq!(r.emitted(), 0);
+        assert_eq!(r.dropped(), 0);
+        assert!(r.events().is_empty());
+        assert_eq!(r.capacity(), 0);
+    }
+
+    #[test]
+    fn span_nesting_is_preserved_in_order() {
+        let mut r = Recorder::enabled(16);
+        r.emit(ev("outer", TraceEventKind::Begin, 0));
+        r.emit(ev("inner", TraceEventKind::Begin, 1));
+        r.emit(ev("inner", TraceEventKind::End, 2));
+        r.emit(ev("outer", TraceEventKind::End, 3));
+        let evs = r.events();
+        let names: Vec<&str> = evs.iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["outer", "inner", "inner", "outer"]);
+        // Begin/end pairs balance as a proper bracket sequence.
+        let mut depth = 0i64;
+        for e in &evs {
+            match e.kind {
+                TraceEventKind::Begin => depth += 1,
+                TraceEventKind::End => {
+                    depth -= 1;
+                    assert!(depth >= 0, "end without begin");
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(depth, 0);
+    }
+
+    #[test]
+    fn counters_record_monotonic_sequences() {
+        let mut r = Recorder::enabled(16);
+        for v in [1u64, 3, 7, 7, 12] {
+            r.emit(ev("words", TraceEventKind::Counter, v));
+        }
+        let vals: Vec<u64> = r
+            .events()
+            .iter()
+            .filter(|e| e.kind == TraceEventKind::Counter)
+            .map(|e| e.value)
+            .collect();
+        assert_eq!(vals, vec![1, 3, 7, 7, 12]);
+        assert!(vals.windows(2).all(|w| w[0] <= w[1]), "monotone");
+    }
+
+    #[test]
+    fn ring_buffer_wraps_and_counts_drops() {
+        let mut r = Recorder::enabled(4);
+        for v in 0..7u64 {
+            r.emit(ev("tick", TraceEventKind::Instant, v));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.emitted(), 7);
+        assert_eq!(r.dropped(), 3);
+        // Oldest-first order survives the wrap: values 3..=6 remain.
+        let vals: Vec<u64> = r.events().iter().map(|e| e.value).collect();
+        assert_eq!(vals, vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn clear_resets_retention_but_not_totals() {
+        let mut r = Recorder::enabled(2);
+        r.emit(ev("a", TraceEventKind::Instant, 0));
+        r.emit(ev("b", TraceEventKind::Instant, 1));
+        r.emit(ev("c", TraceEventKind::Instant, 2));
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.emitted(), 3);
+        r.emit(ev("d", TraceEventKind::Instant, 9));
+        assert_eq!(r.events().len(), 1);
+        assert_eq!(r.events()[0].value, 9);
+    }
+
+    #[test]
+    fn zero_capacity_request_still_retains_one_event() {
+        let mut r = Recorder::enabled(0);
+        r.emit(ev("only", TraceEventKind::Instant, 5));
+        r.emit(ev("only", TraceEventKind::Instant, 6));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.events()[0].value, 6);
+    }
+}

@@ -84,18 +84,22 @@ impl VcdTracer {
     }
 
     /// Declare a variable; returns its handle for [`VcdTracer::record`].
+    ///
+    /// Names are sanitized to the VCD identifier charset, and a collision
+    /// with an already-declared variable gets a `_<index>` suffix so every
+    /// `$var` line stays unambiguous for waveform viewers.
     pub fn declare(&mut self, name: &str, sample: TraceValue) -> usize {
         let (width, real) = match sample {
             TraceValue::Bool(_) => (1, false),
             TraceValue::Bits { width, .. } => (width, false),
             TraceValue::Real(_) => (64, true),
         };
-        self.vars.push(VarDecl {
-            name: sanitize(name),
-            width,
-            real,
-        });
-        let id = self.vars.len() - 1;
+        let id = self.vars.len();
+        let mut name = sanitize(name);
+        if self.vars.iter().any(|v| v.name == name) {
+            name = format!("{name}_{id}");
+        }
+        self.vars.push(VarDecl { name, width, real });
         self.changes.push((SimTime::ZERO, id as u32, sample));
         id
     }
@@ -116,10 +120,47 @@ impl VcdTracer {
         self.vars.len()
     }
 
-    /// Render the accumulated trace as VCD text.
+    /// The coarsest VCD timescale that represents every recorded change
+    /// exactly: the largest power-of-1000 unit (fs, ps, ns, µs, ms, s)
+    /// dividing all timestamps. An empty or t=0-only trace reports `1 ns`
+    /// (the conventional default) rather than the vacuous femtosecond.
+    pub fn timescale(&self) -> (u64, &'static str) {
+        const UNITS: [(u64, &str); 6] = [
+            (1_000_000_000_000_000, "s"),
+            (1_000_000_000_000, "ms"),
+            (1_000_000_000, "us"),
+            (1_000_000, "ns"),
+            (1_000, "ps"),
+            (1, "fs"),
+        ];
+        let mut any_nonzero = false;
+        for &(fs_per_unit, unit) in &UNITS {
+            let mut divides_all = true;
+            for &(t, _, _) in &self.changes {
+                if t.as_fs() == 0 {
+                    continue;
+                }
+                any_nonzero = true;
+                if t.as_fs() % fs_per_unit != 0 {
+                    divides_all = false;
+                    break;
+                }
+            }
+            if divides_all && any_nonzero {
+                return (fs_per_unit, unit);
+            }
+        }
+        (1_000_000, "ns")
+    }
+
+    /// Render the accumulated trace as VCD text. The `$timescale` is
+    /// derived from the actual time resolution of the recorded changes
+    /// (see [`VcdTracer::timescale`]) and timestamps are scaled to it.
     pub fn render(&self) -> String {
+        let (fs_per_unit, unit) = self.timescale();
         let mut out = String::with_capacity(256 + self.changes.len() * 16);
-        out.push_str("$timescale 1 fs $end\n$scope module top $end\n");
+        let _ = writeln!(out, "$timescale 1 {unit} $end");
+        out.push_str("$scope module top $end\n");
         for (i, v) in self.vars.iter().enumerate() {
             let code = id_code(i);
             if v.real {
@@ -135,7 +176,7 @@ impl VcdTracer {
         // timestamp markers is already a valid VCD body.
         for &(t, var, val) in &self.changes {
             if last_time != Some(t) {
-                let _ = writeln!(out, "#{}", t.as_fs());
+                let _ = writeln!(out, "#{}", t.as_fs() / fs_per_unit);
                 last_time = Some(t);
             }
             let code = id_code(var as usize);
@@ -174,10 +215,25 @@ fn id_code(mut idx: usize) -> String {
     s
 }
 
+/// Restrict a variable name to printable, non-delimiter ASCII: whitespace,
+/// control characters, non-ASCII and `$` (the VCD keyword sigil) all map
+/// to `_`. An empty result becomes `_`.
 fn sanitize(name: &str) -> String {
-    name.chars()
-        .map(|c| if c.is_whitespace() { '_' } else { c })
-        .collect()
+    let s: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_graphic() && c != '$' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if s.is_empty() {
+        "_".to_string()
+    } else {
+        s
+    }
 }
 
 #[cfg(test)]
@@ -216,14 +272,81 @@ mod tests {
         );
         t.record(SimTime(2000), clk, TraceValue::Bool(false));
         let vcd = t.render();
-        assert!(vcd.contains("$timescale 1 fs $end"));
+        // 1000/2000 fs timestamps share a picosecond resolution, so the
+        // derived timescale is 1 ps and timestamps are scaled to it.
+        assert!(vcd.contains("$timescale 1 ps $end"));
         assert!(vcd.contains("$var wire 1 ! clk $end"));
         assert!(vcd.contains("$var wire 16 \" bus_addr $end"));
-        assert!(vcd.contains("#1000"));
+        assert!(vcd.contains("#1\n"));
         assert!(vcd.contains("b0000000010101011 \""));
-        assert!(vcd.contains("#2000"));
+        assert!(vcd.contains("#2\n"));
         assert_eq!(t.var_count(), 2);
         assert_eq!(t.change_count(), 5); // 2 initial + 3 recorded
+    }
+
+    #[test]
+    fn timescale_derivation_picks_coarsest_exact_unit() {
+        let mut t = VcdTracer::new();
+        let v = t.declare("v", TraceValue::Bool(false));
+        t.record(SimTime(3_000_000), v, TraceValue::Bool(true)); // 3 ns
+        t.record(SimTime(10_000_000), v, TraceValue::Bool(false)); // 10 ns
+        assert_eq!(t.timescale(), (1_000_000, "ns"));
+        // One femtosecond-odd change forces the finest unit.
+        t.record(SimTime(10_000_001), v, TraceValue::Bool(true));
+        assert_eq!(t.timescale(), (1, "fs"));
+    }
+
+    #[test]
+    fn empty_trace_defaults_to_ns_timescale() {
+        let mut t = VcdTracer::new();
+        t.declare("v", TraceValue::Bool(false)); // only a t=0 initial value
+        assert_eq!(t.timescale(), (1_000_000, "ns"));
+        assert!(t.render().contains("$timescale 1 ns $end"));
+    }
+
+    #[test]
+    fn many_variables_get_unique_multichar_codes() {
+        let mut t = VcdTracer::new();
+        for i in 0..120 {
+            t.declare(&format!("sig{i}"), TraceValue::Bool(false));
+        }
+        let vcd = t.render();
+        // Variable 94 is the first with a two-character identifier code.
+        let code94 = id_code(94);
+        assert_eq!(code94.len(), 2);
+        assert!(vcd.contains(&format!("$var wire 1 {code94} sig94 $end")));
+        // Every declaration line carries a distinct code.
+        let codes: Vec<&str> = vcd
+            .lines()
+            .filter(|l| l.starts_with("$var"))
+            .map(|l| l.split_whitespace().nth(3).unwrap())
+            .collect();
+        let unique: std::collections::HashSet<&&str> = codes.iter().collect();
+        assert_eq!(codes.len(), 120);
+        assert_eq!(unique.len(), 120);
+    }
+
+    #[test]
+    fn colliding_and_hostile_names_are_escaped_and_deduplicated() {
+        let mut t = VcdTracer::new();
+        t.declare("bus addr", TraceValue::Bool(false));
+        let dup = t.declare("bus\taddr", TraceValue::Bool(false)); // same after sanitize
+        t.declare("$dumpvars", TraceValue::Bool(false)); // keyword sigil
+        t.declare("", TraceValue::Bool(false)); // empty
+        let vcd = t.render();
+        assert!(vcd.contains("bus_addr $end"));
+        assert!(vcd.contains(&format!("bus_addr_{dup} $end")));
+        assert!(vcd.contains("_dumpvars $end"));
+        assert!(!vcd.contains('\t'));
+        // All four still declared and uniquely named.
+        let names: Vec<&str> = vcd
+            .lines()
+            .filter(|l| l.starts_with("$var"))
+            .map(|l| l.split_whitespace().nth(4).unwrap())
+            .collect();
+        let unique: std::collections::HashSet<&&str> = names.iter().collect();
+        assert_eq!(names.len(), 4);
+        assert_eq!(unique.len(), 4);
     }
 
     #[test]

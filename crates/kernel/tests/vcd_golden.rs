@@ -1,0 +1,34 @@
+//! Golden-file check for the VCD renderer: a small two-signal dump must
+//! reproduce the reference byte for byte (timescale derivation, identifier
+//! codes, scaled timestamps, change ordering).
+
+use drcf_kernel::prelude::*;
+use drcf_kernel::trace::VcdTracer;
+
+#[test]
+fn two_signal_dump_matches_golden_file() {
+    let mut t = VcdTracer::new();
+    let clk = t.declare("clk", TraceValue::Bool(false));
+    let data = t.declare("data", TraceValue::Bits { value: 0, width: 8 });
+    t.record(
+        SimTime(SimDuration::ns(5).as_fs()),
+        clk,
+        TraceValue::Bool(true),
+    );
+    t.record(
+        SimTime(SimDuration::ns(10).as_fs()),
+        clk,
+        TraceValue::Bool(false),
+    );
+    t.record(
+        SimTime(SimDuration::ns(10).as_fs()),
+        data,
+        TraceValue::Bits {
+            value: 0xA5,
+            width: 8,
+        },
+    );
+    let got = t.render();
+    let want = include_str!("golden_two_signal.vcd");
+    assert_eq!(got, want, "VCD output diverged from the golden file");
+}

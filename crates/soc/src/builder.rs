@@ -92,6 +92,9 @@ pub struct SocSpec {
     /// Fault injection: DRCF context ids whose loads are aborted
     /// mid-reconfiguration (forwarded to [`DrcfConfig::abort_load_of`]).
     pub abort_load_of: Vec<usize>,
+    /// Structured-tracing ring-buffer capacity in events. `None` leaves the
+    /// recorder disabled (zero overhead on the dispatch hot path).
+    pub trace_capacity: Option<usize>,
 }
 
 impl Default for SocSpec {
@@ -109,6 +112,7 @@ impl Default for SocSpec {
             copy_mode: SocCopyMode::CpuDirect,
             mapping: Mapping::AllFixed,
             abort_load_of: vec![],
+            trace_capacity: None,
         }
     }
 }
@@ -166,6 +170,11 @@ pub struct RunMetrics {
     pub ok: bool,
     /// The typed simulation error that ended the run, when `ok` is false.
     pub error: Option<String>,
+    /// Per-context reconfiguration timeline (§5.3 step-5 accounting);
+    /// empty without a fabric.
+    pub timeline: ReconfigTimeline,
+    /// Per-master bus grant-latency report.
+    pub bus_contention: BusContention,
 }
 
 /// Assign consecutive, gap-separated base addresses to the workload's
@@ -265,6 +274,9 @@ pub fn build_soc(workload: &Workload, spec: &SocSpec) -> SimResult<BuiltSoc> {
     }
 
     let mut sim = Simulator::new();
+    if let Some(cap) = spec.trace_capacity {
+        sim.enable_observe(cap);
+    }
     let cpu_id = 0;
     let bus_id = 1;
     let mem_id = 2;
@@ -456,12 +468,23 @@ pub fn run_soc(mut soc: BuiltSoc) -> (RunMetrics, BuiltSoc) {
         m.errors = cpu.port.errors;
     }
     {
+        let names: Vec<String> = (0..soc.sim.component_count())
+            .map(|id| soc.sim.component_name(id).to_string())
+            .collect();
         let bus = soc.sim.get::<Bus>(soc.bus);
         m.bus_utilization = bus.stats.utilization(now);
         m.bus_words = bus.stats.words;
+        m.bus_contention = bus.stats.contention(|id| {
+            names
+                .get(id)
+                .cloned()
+                .unwrap_or_else(|| format!("comp{id}"))
+        });
     }
     if let Some(d) = soc.drcf {
         let f = soc.sim.get::<Drcf>(d);
+        let names: Vec<&str> = (0..f.context_count()).map(|c| f.context_name(c)).collect();
+        m.timeline = ReconfigTimeline::from_stats(&f.stats, &names);
         m.switches = f.stats.switches;
         m.config_words = f.stats.config_words;
         m.reconfig_overhead = f.stats.reconfig_overhead(now);
@@ -639,6 +662,56 @@ mod tests {
             m.makespan
         };
         assert!(t(SocCopyMode::Dma) < t(SocCopyMode::CpuViaMemory));
+    }
+
+    #[test]
+    fn trace_capacity_records_events_and_metrics_carry_reports() {
+        let w = wireless_receiver(2, 32);
+        let spec = SocSpec {
+            mapping: drcf_mapping(vec!["fir".into(), "fft".into(), "viterbi".into()]),
+            trace_capacity: Some(1 << 16),
+            ..SocSpec::default()
+        };
+        let soc = build_soc(&w, &spec).unwrap();
+        assert!(soc.sim.recorder().is_enabled());
+        let (m, soc) = run_soc(soc);
+        assert!(m.ok, "{m:?}");
+        let events = soc.sim.observe_events();
+        assert!(!events.is_empty(), "tracing recorded events");
+        // Spans came from all three instrumented layers.
+        for cat in [
+            TraceCategory::Cpu,
+            TraceCategory::Bus,
+            TraceCategory::Fabric,
+        ] {
+            assert!(
+                events.iter().any(|e| e.cat == cat),
+                "no events in category {cat:?}"
+            );
+        }
+        // The §5.3 timeline rode along on the metrics.
+        assert_eq!(m.timeline.rows.len(), 3);
+        assert_eq!(m.timeline.switches, m.switches);
+        assert!(m.timeline.contexts_loaded >= 3);
+        assert!(m.timeline.total_reconfig > SimDuration::ZERO);
+        // So did the contention report, with resolved master names.
+        assert!(!m.bus_contention.is_empty());
+        assert!(
+            m.bus_contention.rows.iter().any(|r| r.master == "cpu"),
+            "{:?}",
+            m.bus_contention.rows
+        );
+    }
+
+    #[test]
+    fn tracing_off_by_default() {
+        let w = wireless_receiver(1, 16);
+        let soc = build_soc(&w, &SocSpec::default()).unwrap();
+        assert!(!soc.sim.recorder().is_enabled());
+        let (m, soc) = run_soc(soc);
+        assert!(m.ok);
+        assert!(soc.sim.observe_events().is_empty());
+        assert!(m.timeline.rows.is_empty(), "no fabric, no timeline");
     }
 
     #[test]

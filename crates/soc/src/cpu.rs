@@ -148,6 +148,7 @@ impl Cpu {
     }
 
     fn step(&mut self, api: &mut Api<'_>) {
+        api.trace_counter(TraceCategory::Cpu, "retired", self.stats.retired);
         let Some(instr) = self.program.get(self.pc) else {
             self.state = CpuState::Finished;
             self.finished_at = Some(api.now());
@@ -182,18 +183,21 @@ impl Cpu {
                 let d = self.cycles(cycles);
                 self.stats.compute_time += d;
                 self.state = CpuState::Computing;
+                api.trace_begin(TraceCategory::Cpu, "compute", cycles);
                 api.timer_in(d, TAG_COMPUTE_DONE);
             }
             Instr::Read { addr, burst } => {
                 self.pc += 1;
                 self.stats.retired += 1;
                 self.state = CpuState::WaitingBus;
+                api.trace_begin(TraceCategory::Cpu, "bus_access", addr);
                 self.port.read(api, addr, burst);
             }
             Instr::Write { addr, data } => {
                 self.pc += 1;
                 self.stats.retired += 1;
                 self.state = CpuState::WaitingBus;
+                api.trace_begin(TraceCategory::Cpu, "bus_access", addr);
                 self.port.write(api, addr, data);
             }
             Instr::Poll {
@@ -208,6 +212,7 @@ impl Cpu {
                     interval_cycles,
                 };
                 self.stats.polls += 1;
+                api.trace_instant(TraceCategory::Cpu, "poll", addr);
                 self.port.read(api, addr, 1);
             }
             Instr::WaitDmaIrq => {
@@ -227,6 +232,7 @@ impl Cpu {
     fn on_response(&mut self, api: &mut Api<'_>, resp: BusResponse) {
         match &self.state {
             CpuState::WaitingBus => {
+                api.trace_end(TraceCategory::Cpu, "bus_access", resp.addr);
                 if !resp.is_ok() {
                     api.raise(
                         SimErrorKind::BusError,
@@ -288,6 +294,7 @@ impl Component for Cpu {
                 self.step(api);
             }
             MsgKind::Timer(TAG_COMPUTE_DONE) => {
+                api.trace_end(TraceCategory::Cpu, "compute", 0);
                 self.state = CpuState::Ready;
                 self.step(api);
             }
@@ -298,6 +305,7 @@ impl Component for Cpu {
             MsgKind::Timer(TAG_POLL_AGAIN) => {
                 if let CpuState::Polling { addr, .. } = self.state {
                     self.stats.polls += 1;
+                    api.trace_instant(TraceCategory::Cpu, "poll", addr);
                     self.port.read(api, addr, 1);
                 }
             }

@@ -82,6 +82,47 @@ fn main() {
     }
     print!("{}", t.render());
 
+    // Re-run the MorphoSys point with structured tracing on: derive the
+    // §5.3 reconfiguration timeline and the bus-contention report, and dump
+    // a Perfetto-loadable Chrome trace of the whole run.
+    {
+        let tech = morphosys();
+        let slots = tech.on_chip_contexts.min(names.len()).max(1);
+        let spec = SocSpec {
+            memory: MemoryConfig {
+                base: 0,
+                size_words: 0x80000,
+                ..MemoryConfig::default()
+            },
+            mapping: Mapping::Drcf {
+                geometry: size_fabric(&w, &names, 1.1, slots),
+                candidates: names.clone(),
+                technology: tech,
+                config_path: SocConfigPath::SystemBus,
+                scheduler: SchedulerConfig {
+                    slots,
+                    ..SchedulerConfig::default()
+                },
+                overlap_load_exec: true,
+            },
+            trace_capacity: Some(1 << 20),
+            ..SocSpec::default()
+        };
+        let (m, soc) = run_soc(build_soc(&w, &spec).expect("traced build"));
+        assert!(m.ok);
+        println!("\nreconfiguration timeline (DRCF / MorphoSys):");
+        print!("{}", m.timeline);
+        println!("\nbus contention:");
+        print!("{}", m.bus_contention);
+        let trace_path = std::env::temp_dir().join("drcf_wireless_receiver_trace.json");
+        write_chrome_trace(&soc.sim, &trace_path).expect("write trace");
+        println!(
+            "\nwrote Chrome trace ({} events) to {} — open in https://ui.perfetto.dev",
+            soc.sim.observe_events().len(),
+            trace_path.display()
+        );
+    }
+
     // A small traced run: watch the Viterbi STATUS register over time.
     println!("\ntracing one frame (VCD)...");
     let mut sim = Simulator::new();

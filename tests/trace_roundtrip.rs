@@ -1,0 +1,128 @@
+//! Cross-crate integration: the structured-tracing pipeline end to end.
+//!
+//! A full-system DRCF run with the recorder on must export a Chrome
+//! trace-event document that (a) round-trips through the workspace JSON
+//! parser, (b) has one named track per active component, and (c) carries
+//! balanced, properly stacked begin/end span pairs on every track — the
+//! property that makes the file loadable by Perfetto without repair.
+
+use drcf::prelude::*;
+
+fn traced_soc() -> (RunMetrics, BuiltSoc) {
+    let w = wireless_receiver(2, 32);
+    let names: Vec<String> = w.accels.iter().map(|a| a.name.clone()).collect();
+    let spec = SocSpec {
+        mapping: Mapping::Drcf {
+            geometry: size_fabric(&w, &names, 1.2, 1),
+            candidates: names,
+            technology: morphosys(),
+            config_path: SocConfigPath::SystemBus,
+            scheduler: SchedulerConfig::default(),
+            overlap_load_exec: false,
+        },
+        trace_capacity: Some(1 << 18),
+        ..SocSpec::default()
+    };
+    run_soc(build_soc(&w, &spec).expect("build"))
+}
+
+#[test]
+fn perfetto_export_round_trips_with_balanced_spans() {
+    let (m, soc) = traced_soc();
+    assert!(m.ok, "{m:?}");
+    assert_eq!(
+        soc.sim.recorder().dropped(),
+        0,
+        "ring buffer was large enough — wraparound would unbalance spans"
+    );
+
+    let doc = chrome_trace(&soc.sim);
+    let text = doc.to_string_pretty();
+    let back = Json::parse(&text).expect("exported trace must parse");
+    let events = back
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+
+    // One named track per instrumented component (lane 0), plus the
+    // fabric's background-load lane and the kernel phase track.
+    let tracks: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) == Some("M"))
+        .filter_map(|e| e.get("args")?.get("name")?.as_str())
+        .collect();
+    for expected in ["cpu", "system_bus", "drcf", "drcf:1", "kernel"] {
+        assert!(
+            tracks.contains(&expected),
+            "missing track {expected:?} in {tracks:?}"
+        );
+    }
+
+    // Per track: every E closes a B, depth never goes negative, and the
+    // run ends with every span closed.
+    let tid_of = |e: &Json| e.get("tid").and_then(Json::as_f64).map(|t| t as i64);
+    let mut tids: Vec<i64> = events.iter().filter_map(tid_of).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    let mut total_spans = 0usize;
+    for tid in tids {
+        let mut depth = 0i64;
+        for e in events.iter().filter(|e| tid_of(e) == Some(tid)) {
+            match e.get("ph").and_then(Json::as_str) {
+                Some("B") => {
+                    depth += 1;
+                    total_spans += 1;
+                }
+                Some("E") => {
+                    depth -= 1;
+                    assert!(depth >= 0, "E without matching B on tid {tid}");
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(depth, 0, "unclosed spans on tid {tid}");
+    }
+    assert!(total_spans > 10, "a real run produces many spans");
+
+    // Timestamps are non-decreasing (Perfetto tolerates but flags
+    // out-of-order events; the recorder is chronological by construction).
+    let mut last = f64::MIN;
+    for e in events {
+        if let Some(ts) = e.get("ts").and_then(Json::as_f64) {
+            assert!(ts >= last, "timestamps regressed");
+            last = ts;
+        }
+    }
+}
+
+#[test]
+fn jsonl_export_parses_line_by_line() {
+    let (m, soc) = traced_soc();
+    assert!(m.ok);
+    let text = jsonl(&soc.sim);
+    let mut lines = 0;
+    for line in text.lines() {
+        let v = Json::parse(line).expect("each JSONL line parses");
+        assert!(v.get("ts_fs").is_some());
+        assert!(v.get("comp").and_then(Json::as_str).is_some());
+        lines += 1;
+    }
+    assert_eq!(lines, soc.sim.observe_events().len());
+}
+
+#[test]
+fn disabled_recorder_exports_empty_but_valid_documents() {
+    let w = wireless_receiver(1, 16);
+    let (m, soc) = run_soc(build_soc(&w, &SocSpec::default()).expect("build"));
+    assert!(m.ok);
+    let doc = chrome_trace(&soc.sim);
+    let back = Json::parse(&doc.to_string()).unwrap();
+    assert_eq!(
+        back.get("traceEvents")
+            .and_then(Json::as_arr)
+            .map(<[Json]>::len),
+        Some(0)
+    );
+    assert!(jsonl(&soc.sim).is_empty());
+}
