@@ -10,6 +10,13 @@
 //! scenario and writes a Perfetto-loadable Chrome trace-event file there,
 //! validating that the written JSON parses before exiting.
 
+/// Event dispatch allocates roughly 1.3 small blocks per event (boxed
+/// message payloads plus burst-data vectors); the pooled allocator turns
+/// those into thread-local free-list hits. Benchmarks therefore measure
+/// the allocator the workspace recommends for simulation binaries.
+#[global_allocator]
+static ALLOC: drcf_kernel::mempool::PoolAlloc = drcf_kernel::mempool::PoolAlloc;
+
 fn write_trace(path: &str) {
     use drcf_dse::prelude::Json;
     use drcf_soc::prelude::*;

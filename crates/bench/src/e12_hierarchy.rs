@@ -87,6 +87,7 @@ fn drcf(contexts_bus: ComponentId, config_words: u64) -> Drcf {
             scheduler: SchedulerConfig::default(),
             overlap_load_exec: false,
             abort_load_of: vec![],
+            coalesce_config_traffic: false,
         },
         vec![
             Context::new(

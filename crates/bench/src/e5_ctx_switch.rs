@@ -52,6 +52,25 @@ pub fn measure_switch_cost_stateful(
     cycles_per_word: u64,
     mem_latency: u64,
 ) -> SwitchPoint {
+    measure_switch_cost_opts(
+        config_words,
+        state_words,
+        cycles_per_word,
+        mem_latency,
+        false,
+    )
+}
+
+/// Full-knob variant: `coalesce` additionally enables the coalesced
+/// configuration-traffic fast path (timing-neutral; only the kernel event
+/// count changes).
+pub fn measure_switch_cost_opts(
+    config_words: u64,
+    state_words: u64,
+    cycles_per_word: u64,
+    mem_latency: u64,
+    coalesce: bool,
+) -> SwitchPoint {
     let mut sim = Simulator::new();
     let mut map = AddressMap::new();
     map.add(0x0000, 0x7FFF, 2).unwrap();
@@ -65,24 +84,23 @@ pub fn measure_switch_cost_stateful(
         script.push((BusOp::Write, base, i));
     }
     sim.add("probe", ScriptProbe::new(1, script));
-    sim.add(
-        "bus",
-        Bus::new(
-            BusConfig {
-                cycles_per_word,
-                ..BusConfig::default()
-            },
-            map,
-        ),
+    let mem_cfg = MemoryConfig {
+        size_words: 0x8000,
+        read_latency: mem_latency,
+        ..MemoryConfig::default()
+    };
+    let mut bus = Bus::new(
+        BusConfig {
+            cycles_per_word,
+            ..BusConfig::default()
+        },
+        map,
     );
-    sim.add(
-        "mem",
-        Memory::new(MemoryConfig {
-            size_words: 0x8000,
-            read_latency: mem_latency,
-            ..MemoryConfig::default()
-        }),
-    );
+    if coalesce {
+        bus.register_slave_timing(2, mem_cfg.slave_timing());
+    }
+    sim.add("bus", bus);
+    sim.add("mem", Memory::new(mem_cfg));
     let contexts = vec![
         Context::new(
             Box::new(RegisterFile::new("a", 0x8000, 16, 1)),
@@ -118,6 +136,7 @@ pub fn measure_switch_cost_stateful(
                 scheduler: SchedulerConfig::default(),
                 overlap_load_exec: false,
                 abort_load_of: vec![],
+                coalesce_config_traffic: coalesce,
             },
             contexts,
         ),
@@ -258,6 +277,26 @@ mod tests {
         let r = run();
         assert_eq!(r.tables[0].rows.len(), 24);
         assert_eq!(r.tables[1].rows.len(), 4);
+    }
+
+    #[test]
+    fn coalescing_is_timing_neutral_and_cheaper() {
+        for &(cfg, state, cyc, lat) in &[
+            (64u64, 0u64, 1u64, 2u64),
+            (1024, 256, 4, 8),
+            (4096, 0, 2, 2),
+        ] {
+            let per_burst = measure_switch_cost_opts(cfg, state, cyc, lat, false);
+            let coalesced = measure_switch_cost_opts(cfg, state, cyc, lat, true);
+            assert_eq!(per_burst.switch_cost_ns, coalesced.switch_cost_ns);
+            assert_eq!(per_burst.switches, coalesced.switches);
+            assert!(
+                coalesced.dispatched < per_burst.dispatched,
+                "coalescing must shrink the event count: {} vs {}",
+                coalesced.dispatched,
+                per_burst.dispatched
+            );
+        }
     }
 
     #[test]

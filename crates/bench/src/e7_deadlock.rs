@@ -74,6 +74,7 @@ pub fn run_case(mode: BusMode, flavor: PathFlavor) -> (SimResult<StopReason>, Si
                 scheduler: SchedulerConfig::default(),
                 overlap_load_exec: false,
                 abort_load_of: vec![],
+                coalesce_config_traffic: false,
             },
             vec![Context::new(
                 Box::new(RegisterFile::new("ctx", 0x8000, 16, 1)),

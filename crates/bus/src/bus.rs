@@ -18,7 +18,11 @@ use drcf_kernel::prelude::*;
 use crate::arbiter::{Arbiter, ArbiterKind, Candidate};
 use crate::map::AddressMap;
 use crate::monitor::BusStats;
-use crate::protocol::{Addr, BusOp, BusRequest, BusResponse, BusStatus, SlaveAccess, SlaveReply};
+use crate::protocol::{
+    Addr, BulkAccess, BusOp, BusRequest, BusResponse, BusStatus, ConfigTrain,
+    ConfigTrainDecoalesced, ConfigTrainDone, ConfigTrainRejected, InFlightBurst, ServeBurst,
+    SlaveAccess, SlaveReply, TrainBurst,
+};
 
 /// Blocking or split operation; see module docs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -103,6 +107,63 @@ impl BusConfig {
     }
 }
 
+/// Deterministic service timing of a slave, registered with the bus via
+/// [`Bus::register_slave_timing`] so coalesced configuration trains can be
+/// scheduled analytically. The contract: for a burst the bus delivers at
+/// time `t`, the slave's [`SlaveReply`] arrives back at
+/// `max(t, previous reply) + service(op, words)`. For
+/// [`crate::memory::Memory`] this is exactly
+/// [`crate::memory::MemoryConfig::slave_timing`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlaveTiming {
+    /// Slave clock in MHz.
+    pub clock_mhz: u64,
+    /// Cycles to the first word of a read.
+    pub read_latency: u64,
+    /// Cycles to accept the first word of a write.
+    pub write_latency: u64,
+    /// Additional cycles per burst word after the first.
+    pub per_word: u64,
+}
+
+impl SlaveTiming {
+    /// Service duration of one burst access.
+    pub fn service(&self, op: BusOp, burst: usize) -> SimDuration {
+        let first = match op {
+            BusOp::Read => self.read_latency,
+            BusOp::Write => self.write_latency,
+        };
+        let cycles = first + burst.saturating_sub(1) as u64 * self.per_word;
+        SimDuration::cycles_at_mhz(cycles, self.clock_mhz)
+    }
+}
+
+/// The four per-burst phase boundaries of one train burst: request granted
+/// at `grant`, slave access delivered at `access`, slave reply back at
+/// `reply`, response delivered to the master at `end` (== next grant).
+#[derive(Debug, Clone, Copy)]
+struct BurstSched {
+    grant: SimTime,
+    access: SimTime,
+    reply: SimTime,
+    end: SimTime,
+}
+
+/// An accepted, currently-active configuration train.
+struct TrainRun {
+    master: ComponentId,
+    priority: u8,
+    tag: u64,
+    slave: ComponentId,
+    started: SimTime,
+    /// The slave-occupancy model's value when the window opened, for
+    /// rewinding it on a de-coalesce before any burst reached the slave.
+    slave_busy_at_start: SimTime,
+    bursts: Vec<TrainBurst>,
+    sched: Vec<BurstSched>,
+    timer: TimerHandle,
+}
+
 enum Pending {
     Request {
         req: BusRequest,
@@ -153,6 +214,11 @@ enum State {
 const TAG_REQ_DONE: u64 = 1;
 const TAG_RESP_DONE: u64 = 2;
 const TAG_RETRY: u64 = 3;
+const TAG_TRAIN_DONE: u64 = 4;
+
+/// Transaction-id space the bus draws from for in-flight bursts handed back
+/// at de-coalesce time; master ports count up from 1 and never reach it.
+const TRAIN_TXN_BASE: u64 = 1 << 63;
 
 /// The shared bus component.
 pub struct Bus {
@@ -163,6 +229,18 @@ pub struct Bus {
     arrivals: u64,
     state: State,
     retry_armed: bool,
+    /// Registered analytic timings, keyed by slave component, together
+    /// with the bus's model of when that slave's port frees up. The model
+    /// mirrors the slave's own arrival-order port schedule, so a train's
+    /// analytic window can account for service still draining from earlier
+    /// traffic.
+    slave_timings: Vec<(ComponentId, SlaveTiming, SimTime)>,
+    /// Split-mode slave accesses whose replies have not returned yet.
+    outstanding_split: usize,
+    /// The active coalesced configuration train, if any.
+    train: Option<TrainRun>,
+    /// Ids handed out for de-coalesced in-flight bursts.
+    train_txns: u64,
     /// Accumulated statistics.
     pub stats: BusStats,
 }
@@ -179,7 +257,49 @@ impl Bus {
             arrivals: 0,
             state: State::Idle,
             retry_armed: false,
+            slave_timings: Vec::new(),
+            outstanding_split: 0,
+            train: None,
+            train_txns: 0,
             stats: BusStats::default(),
+        }
+    }
+
+    /// Register the deterministic service timing of `slave`, enabling the
+    /// coalesced configuration-train fast path for bursts that decode to
+    /// it. The timing must match the slave's actual reply behavior exactly,
+    /// or coalesced and per-burst runs will diverge.
+    pub fn register_slave_timing(&mut self, slave: ComponentId, timing: SlaveTiming) {
+        if let Some(e) = self.slave_timings.iter_mut().find(|e| e.0 == slave) {
+            e.1 = timing;
+        } else {
+            self.slave_timings.push((slave, timing, SimTime::ZERO));
+        }
+    }
+
+    /// Fold one slave access into the slave-occupancy model: the slave
+    /// starts serving when its port frees, and holds it for the
+    /// deterministic service time. No-op for slaves without a registered
+    /// timing.
+    fn note_slave_access(&mut self, now: SimTime, slave: ComponentId, op: BusOp, burst: usize) {
+        if let Some(e) = self.slave_timings.iter_mut().find(|e| e.0 == slave) {
+            let start = e.2.max(now);
+            e.2 = start + e.1.service(op, burst);
+        }
+    }
+
+    /// When the given slave's port frees up, per the occupancy model.
+    fn slave_free_at(&self, slave: ComponentId) -> SimTime {
+        self.slave_timings
+            .iter()
+            .find(|e| e.0 == slave)
+            .map_or(SimTime::ZERO, |e| e.2)
+    }
+
+    /// Overwrite the occupancy model for `slave` (train bookkeeping).
+    fn set_slave_busy_until(&mut self, slave: ComponentId, until: SimTime) {
+        if let Some(e) = self.slave_timings.iter_mut().find(|e| e.0 == slave) {
+            e.2 = until;
         }
     }
 
@@ -358,6 +478,7 @@ impl Bus {
         };
         api.trace_end(TraceCategory::Bus, "request_phase", req.master as u64);
         let me = api.me();
+        self.note_slave_access(api.now(), slave, req.op, req.burst);
         api.send(slave, SlaveAccess { req, bus: me }, Delay::Delta);
         match self.cfg.mode {
             BusMode::Blocking => {
@@ -366,6 +487,7 @@ impl Bus {
                 self.state = State::WaitSlave;
             }
             BusMode::Split => {
+                self.outstanding_split += 1;
                 self.stats.busy.set_idle(api.now());
                 self.try_grant(api);
             }
@@ -373,6 +495,9 @@ impl Bus {
     }
 
     fn reply_arrived(&mut self, api: &mut Api<'_>, reply: SlaveReply) {
+        if self.cfg.mode == BusMode::Split {
+            self.outstanding_split = self.outstanding_split.saturating_sub(1);
+        }
         match self.cfg.mode {
             BusMode::Blocking => {
                 debug_assert!(
@@ -408,6 +533,293 @@ impl Bus {
         self.stats.busy.set_idle(api.now());
         self.try_grant(api);
     }
+
+    /// Can this train run as one analytic window right now? Returns the
+    /// target slave and its registered timing when every validity condition
+    /// holds: split mode, a work-conserving arbiter, tracing off (per-burst
+    /// spans are observable), bus idle with nothing queued, every burst
+    /// decoding to the same timing-registered slave, and no fault range
+    /// overlapping any burst (those must take the per-burst path so the
+    /// fault fires exactly as it would have). Outstanding split replies are
+    /// fine: if one lands mid-window, `decoalesce` reconstructs the exact
+    /// per-burst bus state before it is processed.
+    fn train_target(&self, api: &Api<'_>, t: &ConfigTrain) -> Option<(ComponentId, SlaveTiming)> {
+        if self.cfg.mode != BusMode::Split
+            || matches!(self.cfg.arbiter, ArbiterKind::Tdma { .. })
+            || api.tracing_enabled()
+            || !matches!(self.state, State::Idle)
+            || !self.pending.is_empty()
+            || self.retry_armed
+            || t.bursts.is_empty()
+        {
+            return None;
+        }
+        let mut slave = None;
+        for b in &t.bursts {
+            if b.words == 0 || self.cfg.fault_at(b.addr, b.words) {
+                return None;
+            }
+            let s = self.map.decode_burst(b.addr, b.words)?;
+            match slave {
+                None => slave = Some(s),
+                Some(prev) if prev != s => return None,
+                _ => {}
+            }
+        }
+        let slave = slave?;
+        let timing = self.slave_timings.iter().find(|e| e.0 == slave)?.1;
+        Some((slave, timing))
+    }
+
+    /// A master offered a configuration train: accept it by precomputing
+    /// the whole per-burst phase schedule and arming one timer at the
+    /// window end, or reject it so the master falls back to per-burst.
+    fn train_offered(&mut self, api: &mut Api<'_>, t: ConfigTrain) {
+        let Some((slave, timing)) = self.train_target(api, &t) else {
+            api.send(t.master, ConfigTrainRejected { tag: t.tag }, Delay::Delta);
+            return;
+        };
+        let now = api.now();
+        let mut sched = Vec::with_capacity(t.bursts.len());
+        let mut grant = now;
+        // The slave may still be draining service from earlier traffic;
+        // the first reply can start no earlier than that point.
+        let slave_busy_at_start = self.slave_free_at(slave);
+        let mut slave_free = now.max(slave_busy_at_start);
+        for b in &t.bursts {
+            let access = grant + self.cfg.cycles(self.cfg.request_cycles(b.op, b.words));
+            let reply = access.max(slave_free) + timing.service(b.op, b.words);
+            slave_free = reply;
+            let end = reply + self.cfg.cycles(self.cfg.response_cycles(b.op, b.words));
+            sched.push(BurstSched {
+                grant,
+                access,
+                reply,
+                end,
+            });
+            grant = end;
+        }
+        // Non-empty is guaranteed by `train_target`.
+        let end = sched.last().map(|s| s.end).unwrap_or(now);
+        let last_reply = sched.last().map(|s| s.reply).unwrap_or(now);
+        let timer = api.timer_cancellable(end.since(now), TAG_TRAIN_DONE);
+        self.set_slave_busy_until(slave, last_reply);
+        self.train = Some(TrainRun {
+            master: t.master,
+            priority: t.priority,
+            tag: t.tag,
+            slave,
+            started: now,
+            slave_busy_at_start,
+            bursts: t.bursts,
+            sched,
+            timer,
+        });
+    }
+
+    /// Replay the request-grant side of one train burst into the stats,
+    /// exactly as `try_grant` + `request_phase_done` would have recorded it
+    /// (uncontended: zero wait, queue depth one, busy from grant to slave
+    /// access). The arrivals counter advances too, so arbiter arrival
+    /// tiebreaks after the window match the per-burst world.
+    fn replay_request_grant(&mut self, master: ComponentId, b: &TrainBurst, s: &BurstSched) {
+        self.stats.requests += 1;
+        self.arrivals += 1;
+        self.stats.max_queue = self.stats.max_queue.max(1);
+        self.stats.busy.set_busy(s.grant);
+        self.stats.record_grant(master);
+        self.stats.record_wait(master, SimDuration::ZERO);
+        if b.op == BusOp::Write {
+            self.stats.words += b.words as u64;
+        }
+        self.stats.busy.set_idle(s.access);
+    }
+
+    /// Replay the response-grant side of one train burst (the reply queued
+    /// and granted at `s.reply` with zero wait).
+    fn replay_response_grant(&mut self, master: ComponentId, b: &TrainBurst, s: &BurstSched) {
+        self.arrivals += 1;
+        self.stats.max_queue = self.stats.max_queue.max(1);
+        self.stats.busy.set_busy(s.reply);
+        self.stats.record_grant(master);
+        self.stats.record_wait(master, SimDuration::ZERO);
+        if b.op == BusOp::Read {
+            self.stats.words += b.words as u64;
+        }
+    }
+
+    /// Replay the response-phase completion of one train burst.
+    fn replay_response_done(&mut self, s: &BurstSched) {
+        self.stats.responses += 1;
+        self.stats.busy.set_idle(s.end);
+    }
+
+    /// Replay the first `upto` bursts of a train as fully completed.
+    fn replay_train_prefix(&mut self, tr: &TrainRun, upto: usize) {
+        for (b, s) in tr.bursts.iter().zip(&tr.sched).take(upto) {
+            let s = *s;
+            self.replay_request_grant(tr.master, b, &s);
+            self.replay_response_grant(tr.master, b, &s);
+            self.replay_response_done(&s);
+        }
+    }
+
+    /// The train window elapsed with no interference: replay every burst
+    /// into the stats, fast-forward the slave, and tell the master.
+    fn train_window_done(&mut self, api: &mut Api<'_>) {
+        let Some(tr) = self.train.take() else {
+            api.raise(
+                SimErrorKind::Internal,
+                "train-done timer fired with no active train",
+            );
+            return;
+        };
+        self.replay_train_prefix(&tr, tr.bursts.len());
+        let words: u64 = tr.bursts.iter().map(|b| b.words as u64).sum();
+        let busy_until = tr.sched.last().map(|s| s.reply).unwrap_or(tr.started);
+        let tag = tr.tag;
+        let master = tr.master;
+        api.send(
+            tr.slave,
+            BulkAccess {
+                bursts: tr.bursts,
+                busy_until,
+                serve: None,
+            },
+            Delay::Delta,
+        );
+        api.send(master, ConfigTrainDone { tag, words }, Delay::Delta);
+    }
+
+    /// Foreign traffic arrived mid-window: collapse the train back into the
+    /// per-burst world at the current instant. Completed bursts are
+    /// replayed; the burst mid-transaction (if any) is rebuilt onto the
+    /// real bus machinery so it finishes through the normal phases; the
+    /// rest is handed back to the master, which continues per-burst (or
+    /// re-offers a train once the contention clears). Runs *before* the
+    /// foreign message is processed, so the foreign grant/queue decisions
+    /// see exactly the state the per-burst world would have had.
+    fn decoalesce(&mut self, api: &mut Api<'_>) {
+        let Some(tr) = self.train.take() else { return };
+        api.cancel_timer(tr.timer);
+        let now = api.now();
+        let done = tr.sched.iter().take_while(|s| s.end <= now).count();
+        self.replay_train_prefix(&tr, done);
+        let mut in_flight = None;
+        let mut serve = None;
+        let mut slave_prefix = done;
+        if done < tr.bursts.len() {
+            let b = tr.bursts[done];
+            let s = tr.sched[done];
+            // The burst is mid-transaction iff its grant already happened.
+            // A grant exactly *at* `now` only counts for the first burst:
+            // the train offer (== the per-burst request) was granted
+            // earlier in this very timestep, whereas later bursts would be
+            // re-issued only after their predecessor's response delta.
+            let granted = s.grant < now || (done == 0 && s.grant == now);
+            if granted {
+                let id = TRAIN_TXN_BASE | self.train_txns;
+                self.train_txns += 1;
+                self.replay_request_grant(tr.master, &b, &s);
+                let req = BusRequest {
+                    id,
+                    master: tr.master,
+                    op: b.op,
+                    addr: b.addr,
+                    burst: b.words,
+                    data: match b.op {
+                        BusOp::Write => vec![0; b.words],
+                        BusOp::Read => vec![],
+                    },
+                    priority: tr.priority,
+                };
+                if now < s.access {
+                    // Request phase: rebuild it; the slave access and reply
+                    // then flow through the real machinery.
+                    api.timer_in(s.access.since(now), TAG_REQ_DONE);
+                    self.state = State::RequestPhase {
+                        req,
+                        slave: tr.slave,
+                    };
+                } else if now < s.reply {
+                    // The slave is servicing the burst: hand it the access
+                    // so it owes the real reply at the scheduled time.
+                    self.outstanding_split += 1;
+                    serve = Some(ServeBurst {
+                        req,
+                        bus: api.me(),
+                        reply_at: s.reply,
+                    });
+                } else {
+                    // Response phase: rebuild it. Read payloads are the
+                    // implied zeros — configuration traffic is timing-only,
+                    // the master discards data content.
+                    self.replay_response_grant(tr.master, &b, &s);
+                    api.timer_in(s.end.since(now), TAG_RESP_DONE);
+                    let data = match b.op {
+                        BusOp::Read => vec![0; b.words],
+                        BusOp::Write => vec![],
+                    };
+                    self.state = State::ResponsePhase {
+                        reply: SlaveReply {
+                            resp: BusResponse {
+                                id,
+                                op: b.op,
+                                addr: b.addr,
+                                status: BusStatus::Ok,
+                                data,
+                            },
+                            master: tr.master,
+                        },
+                    };
+                    // The slave already serviced this burst.
+                    slave_prefix = done + 1;
+                }
+                in_flight = Some(InFlightBurst {
+                    id,
+                    op: b.op,
+                    addr: b.addr,
+                    words: b.words,
+                    issued_at: s.grant,
+                });
+            }
+        }
+        // Rewind the slave-occupancy model to the bursts that actually
+        // reached the slave; a burst still in its request phase re-enters
+        // it through the normal `request_phase_done` path.
+        let accessed = tr.sched.iter().take_while(|s| s.access <= now).count();
+        let slave_busy = if accessed == 0 {
+            tr.slave_busy_at_start
+        } else {
+            tr.sched[accessed - 1].reply
+        };
+        self.set_slave_busy_until(tr.slave, slave_busy);
+        if slave_prefix > 0 || serve.is_some() {
+            let busy_until = if slave_prefix > 0 {
+                tr.sched[slave_prefix - 1].reply
+            } else {
+                tr.started
+            };
+            api.send(
+                tr.slave,
+                BulkAccess {
+                    bursts: tr.bursts[..slave_prefix].to_vec(),
+                    busy_until,
+                    serve,
+                },
+                Delay::Delta,
+            );
+        }
+        api.send(
+            tr.master,
+            ConfigTrainDecoalesced {
+                tag: tr.tag,
+                done_bursts: done,
+                in_flight,
+            },
+            Delay::Delta,
+        );
+    }
 }
 
 impl Component for Bus {
@@ -419,17 +831,34 @@ impl Component for Bus {
                 self.retry_armed = false;
                 self.try_grant(api);
             }
+            MsgKind::Timer(TAG_TRAIN_DONE) => self.train_window_done(api),
             MsgKind::Start => {}
             _ => {
                 let msg = match msg.user::<BusRequest>() {
                     Ok(req) => {
+                        if self.train.is_some() {
+                            self.decoalesce(api);
+                        }
                         self.enqueue_request(api, req);
                         return;
                     }
                     Err(m) => m,
                 };
-                if let Ok(reply) = msg.user::<SlaveReply>() {
-                    self.reply_arrived(api, reply);
+                let msg = match msg.user::<SlaveReply>() {
+                    Ok(reply) => {
+                        if self.train.is_some() {
+                            self.decoalesce(api);
+                        }
+                        self.reply_arrived(api, reply);
+                        return;
+                    }
+                    Err(m) => m,
+                };
+                if let Ok(t) = msg.user::<ConfigTrain>() {
+                    if self.train.is_some() {
+                        self.decoalesce(api);
+                    }
+                    self.train_offered(api, t);
                 }
             }
         }
@@ -839,5 +1268,276 @@ mod tests {
         assert!(u > 0.0 && u <= 1.0, "utilization {u}");
         assert!(b.stats.max_queue >= 1);
         assert_eq!(b.stats.total_grants(), b.stats.requests + b.stats.responses);
+    }
+
+    // ---- configuration-train fast path -------------------------------
+
+    use crate::memory::{Memory, MemoryConfig};
+    use crate::protocol::{
+        ConfigTrain, ConfigTrainDecoalesced, ConfigTrainDone, ConfigTrainRejected, TrainBurst,
+    };
+
+    /// Offers its whole burst list as one [`ConfigTrain`] and falls back to
+    /// per-burst transactions on rejection or de-coalesce, exactly like the
+    /// fabric's configuration controller.
+    struct TrainMaster {
+        bus: ComponentId,
+        port: MasterPort,
+        bursts: Vec<TrainBurst>,
+        pc: usize,
+        outcome: Option<&'static str>,
+        done_words: u64,
+        deco: Option<ConfigTrainDecoalesced>,
+        finished_at: Option<SimTime>,
+    }
+
+    impl TrainMaster {
+        fn new(bus: ComponentId, bursts: Vec<TrainBurst>) -> Self {
+            TrainMaster {
+                bus,
+                port: MasterPort::new(bus, 1),
+                bursts,
+                pc: 0,
+                outcome: None,
+                done_words: 0,
+                deco: None,
+                finished_at: None,
+            }
+        }
+
+        fn issue_next(&mut self, api: &mut Api<'_>) {
+            if let Some(b) = self.bursts.get(self.pc).cloned() {
+                self.pc += 1;
+                match b.op {
+                    BusOp::Read => {
+                        self.port.read(api, b.addr, b.words);
+                    }
+                    BusOp::Write => {
+                        self.port.write(api, b.addr, vec![0; b.words]);
+                    }
+                }
+            } else {
+                self.finished_at = Some(api.now());
+            }
+        }
+    }
+
+    impl Component for TrainMaster {
+        fn handle(&mut self, api: &mut Api<'_>, msg: Msg) {
+            let msg = match msg.kind {
+                MsgKind::Start => {
+                    api.send(
+                        self.bus,
+                        ConfigTrain {
+                            master: api.me(),
+                            priority: 1,
+                            tag: 42,
+                            bursts: self.bursts.clone(),
+                        },
+                        Delay::Delta,
+                    );
+                    return;
+                }
+                _ => msg,
+            };
+            let msg = match msg.user::<ConfigTrainDone>() {
+                Ok(d) => {
+                    self.outcome = Some("done");
+                    self.done_words = d.words;
+                    self.finished_at = Some(api.now());
+                    return;
+                }
+                Err(m) => m,
+            };
+            let msg = match msg.user::<ConfigTrainRejected>() {
+                Ok(_) => {
+                    self.outcome = Some("rejected");
+                    self.issue_next(api);
+                    return;
+                }
+                Err(m) => m,
+            };
+            let msg = match msg.user::<ConfigTrainDecoalesced>() {
+                Ok(d) => {
+                    self.outcome = Some("decoalesced");
+                    self.deco = Some(d);
+                    self.pc = d.done_bursts;
+                    if let Some(f) = d.in_flight {
+                        self.port.adopt(api, f.id, f.issued_at);
+                        self.pc += 1;
+                    } else {
+                        self.issue_next(api);
+                    }
+                    return;
+                }
+                Err(m) => m,
+            };
+            if self.port.take_response(api, msg).is_ok() {
+                self.issue_next(api);
+            }
+        }
+    }
+
+    /// A rival master that issues one read after a fixed delay.
+    struct DelayedReader {
+        port: MasterPort,
+        delay: SimDuration,
+        got: bool,
+    }
+
+    impl Component for DelayedReader {
+        fn handle(&mut self, api: &mut Api<'_>, msg: Msg) {
+            match msg.kind {
+                MsgKind::Start => api.timer_in(self.delay, 0),
+                MsgKind::Timer(_) => {
+                    self.port.read(api, 0x210, 2);
+                }
+                _ => {
+                    if self.port.take_response(api, msg).is_ok() {
+                        self.got = true;
+                    }
+                }
+            }
+        }
+    }
+
+    fn train_bursts() -> Vec<TrainBurst> {
+        vec![
+            TrainBurst {
+                op: BusOp::Write,
+                addr: 0x200,
+                words: 8,
+            },
+            TrainBurst {
+                op: BusOp::Read,
+                addr: 0x208,
+                words: 8,
+            },
+            TrainBurst {
+                op: BusOp::Read,
+                addr: 0x210,
+                words: 8,
+            },
+        ]
+    }
+
+    /// ids: 0 = train/seq master, 1 = bus, 2 = memory, 3 = rival (optional).
+    /// `rival_delay` arms the delayed reader; `train` selects the offering
+    /// master vs the per-burst reference master with the same program.
+    fn build_train_world(
+        train: bool,
+        register_timing: bool,
+        rival_delay: Option<SimDuration>,
+    ) -> (Simulator, ComponentId, ComponentId) {
+        let mut sim = Simulator::new();
+        let mut map = AddressMap::new();
+        ok(map.add(0x200, 0x3FF, 2));
+        let mem_cfg = MemoryConfig {
+            base: 0x200,
+            size_words: 0x200,
+            ..MemoryConfig::default()
+        };
+        let master = if train {
+            sim.add("train", TrainMaster::new(1, train_bursts()))
+        } else {
+            let program: Vec<(BusOp, u64, Vec<u64>)> = train_bursts()
+                .into_iter()
+                .map(|b| {
+                    let payload = match b.op {
+                        BusOp::Read => vec![b.words as u64],
+                        BusOp::Write => vec![0; b.words],
+                    };
+                    (b.op, b.addr, payload)
+                })
+                .collect();
+            sim.add("train", SeqMaster::new(1, program))
+        };
+        let mut bus = Bus::new(BusConfig::default(), map);
+        if register_timing {
+            bus.register_slave_timing(2, mem_cfg.slave_timing());
+        }
+        let bus = sim.add("bus", bus);
+        let _mem = sim.add("mem", Memory::new(mem_cfg));
+        if let Some(delay) = rival_delay {
+            sim.add(
+                "rival",
+                DelayedReader {
+                    port: MasterPort::new(1, 2),
+                    delay,
+                    got: false,
+                },
+            );
+        }
+        (sim, master, bus)
+    }
+
+    /// Reference observables: finish time plus the bus statistics the train
+    /// path must reproduce bit for bit.
+    fn observe(train: bool, rival_delay: Option<SimDuration>) -> (SimTime, u64, u64, u64, String) {
+        let (mut sim, master, bus) = build_train_world(train, true, rival_delay);
+        ok(sim.run());
+        // Sanity: the master observed the end of its whole program.
+        if train {
+            assert!(sim.get::<TrainMaster>(master).finished_at.is_some());
+        } else {
+            assert_eq!(sim.get::<SeqMaster>(master).responses.len(), 3);
+        }
+        let b = sim.get::<Bus>(bus);
+        let waits = format!("{:?}", b.stats.contention(|id| format!("m{id}")));
+        (
+            // Quiescent time covers the master's and the rival's traffic.
+            sim.now(),
+            b.stats.requests,
+            b.stats.responses,
+            b.stats.words,
+            waits,
+        )
+    }
+
+    #[test]
+    fn config_train_accepted_and_matches_per_burst_timing() {
+        let (mut sim, master, _) = build_train_world(true, true, None);
+        ok(sim.run());
+        let m = sim.get::<TrainMaster>(master);
+        assert_eq!(m.outcome, Some("done"));
+        assert_eq!(m.done_words, 24);
+        // The per-burst reference world ends at the same simulated time
+        // with identical bus statistics and per-master waits.
+        assert_eq!(observe(true, None), observe(false, None));
+    }
+
+    #[test]
+    fn config_train_rejected_without_registered_slave_timing() {
+        let (mut sim, master, _) = build_train_world(true, false, None);
+        ok(sim.run());
+        let m = sim.get::<TrainMaster>(master);
+        assert_eq!(m.outcome, Some("rejected"));
+        // The fallback still moves every word.
+        assert!(m.finished_at.is_some());
+    }
+
+    #[test]
+    fn config_train_decoalesces_on_foreign_traffic_and_stays_equivalent() {
+        // Sweep the rival's arrival across the window so every de-coalesce
+        // case (request phase, slave service, response phase, done prefix)
+        // is exercised; each must match the per-burst world exactly.
+        let mut saw_decoalesce = false;
+        for ns in (0..400).step_by(7) {
+            let delay = SimDuration::ns(ns);
+            let (mut sim, master, _) = build_train_world(true, true, Some(delay));
+            ok(sim.run());
+            let m = sim.get::<TrainMaster>(master);
+            if m.outcome == Some("decoalesced") {
+                saw_decoalesce = true;
+                let d = m.deco.as_ref().map(|d| d.done_bursts);
+                assert!(d.unwrap_or(0) <= 3, "prefix within the train: {d:?}");
+            }
+            assert_eq!(
+                observe(true, Some(delay)),
+                observe(false, Some(delay)),
+                "divergence with rival at {ns}ns"
+            );
+        }
+        assert!(saw_decoalesce, "the sweep must hit mid-window arrivals");
     }
 }

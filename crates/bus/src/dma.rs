@@ -75,6 +75,21 @@ pub struct DmaDone {
     pub words: u64,
 }
 
+/// Self-re-arming transfer request: run `program`, then re-run it until
+/// `count` transfers have completed, idling `period` between a completion
+/// and the next start. Models a recurring bursty master (a descriptor-ring
+/// DMA draining a periodic source) without an external driver component;
+/// each repetition raises its own [`DmaDone`].
+#[derive(Debug, Clone)]
+pub struct DmaAutoRepeat {
+    /// The transfer to repeat.
+    pub program: DmaProgram,
+    /// Idle gap between a completion and the next start.
+    pub period: SimDuration,
+    /// Total number of transfers (0 is ignored).
+    pub count: u64,
+}
+
 /// DMA parameters.
 #[derive(Debug, Clone)]
 pub struct DmaConfig {
@@ -104,6 +119,17 @@ enum State {
     Writing,
 }
 
+/// Armed auto-repeat state.
+struct AutoRepeat {
+    program: DmaProgram,
+    period: SimDuration,
+    /// Transfers not yet started.
+    left: u64,
+}
+
+/// Timer tag: start the next auto-repeat transfer.
+const TAG_AUTO_NEXT: u64 = 1;
+
 /// The DMA controller component.
 pub struct Dma {
     cfg: DmaConfig,
@@ -114,6 +140,7 @@ pub struct Dma {
     cur_src: Addr,
     cur_dst: Addr,
     notify: Option<(ComponentId, u64)>,
+    auto: Option<AutoRepeat>,
     /// Total words moved across all transfers.
     pub words_moved: u64,
     /// Completed transfers.
@@ -133,6 +160,7 @@ impl Dma {
             cur_src: 0,
             cur_dst: 0,
             notify: None,
+            auto: None,
             words_moved: 0,
             transfers: 0,
         }
@@ -174,6 +202,25 @@ impl Dma {
             let words = self.regs[regs::LEN as usize];
             api.send(target, DmaDone { tag, words }, Delay::Delta);
         }
+        match &self.auto {
+            Some(a) if a.left > 0 => api.timer_in(a.period, TAG_AUTO_NEXT),
+            Some(_) => self.auto = None,
+            None => {}
+        }
+    }
+
+    /// Start the next transfer of an armed auto-repeat sequence.
+    fn start_auto(&mut self, api: &mut Api<'_>) {
+        let Some(a) = self.auto.as_mut() else {
+            return;
+        };
+        a.left -= 1;
+        let p = a.program.clone();
+        self.notify = Some((p.notify, p.tag));
+        self.regs[regs::SRC as usize] = p.src;
+        self.regs[regs::DST as usize] = p.dst;
+        self.regs[regs::LEN as usize] = p.words;
+        self.start(api, p.src, p.dst, p.words);
     }
 
     fn on_response(&mut self, api: &mut Api<'_>, resp: BusResponse) {
@@ -266,6 +313,10 @@ impl Dma {
 
 impl Component for Dma {
     fn handle(&mut self, api: &mut Api<'_>, msg: Msg) {
+        if matches!(msg.kind, MsgKind::Timer(TAG_AUTO_NEXT)) {
+            self.start_auto(api);
+            return;
+        }
         let msg = match self.port.take_response(api, msg) {
             Ok(resp) => {
                 self.on_response(api, resp);
@@ -280,19 +331,41 @@ impl Component for Dma {
             }
             Err(m) => m,
         };
-        if let Ok(prog) = msg.user::<DmaProgram>() {
-            if matches!(self.state, State::Idle) {
-                self.notify = Some((prog.notify, prog.tag));
-                self.regs[regs::SRC as usize] = prog.src;
-                self.regs[regs::DST as usize] = prog.dst;
-                self.regs[regs::LEN as usize] = prog.words;
-                self.start(api, prog.src, prog.dst, prog.words);
-            } else {
+        let msg = match msg.user::<DmaProgram>() {
+            Ok(prog) => {
+                if matches!(self.state, State::Idle) {
+                    self.notify = Some((prog.notify, prog.tag));
+                    self.regs[regs::SRC as usize] = prog.src;
+                    self.regs[regs::DST as usize] = prog.dst;
+                    self.regs[regs::LEN as usize] = prog.words;
+                    self.start(api, prog.src, prog.dst, prog.words);
+                } else {
+                    api.log(
+                        Severity::Warning,
+                        "DMA program rejected: controller busy".to_string(),
+                    );
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        if let Ok(auto) = msg.user::<DmaAutoRepeat>() {
+            if auto.count == 0 {
+                return;
+            }
+            if !matches!(self.state, State::Idle) || self.auto.is_some() {
                 api.log(
                     Severity::Warning,
-                    "DMA program rejected: controller busy".to_string(),
+                    "DMA auto-repeat rejected: controller busy".to_string(),
                 );
+                return;
             }
+            self.auto = Some(AutoRepeat {
+                program: auto.program,
+                period: auto.period,
+                left: auto.count,
+            });
+            self.start_auto(api);
         }
     }
 }
@@ -436,6 +509,62 @@ mod tests {
         for i in 0..8u64 {
             assert_eq!(mem.peek(0x400 + i), Some(7 + i));
         }
+    }
+
+    #[test]
+    fn auto_repeat_runs_count_transfers_with_gaps() {
+        let mut sim = Simulator::new();
+        let mut map = AddressMap::new();
+        ok(map.add(0x0000, 0x0FFF, 2));
+        ok(map.add(0xD000, 0xD003, 3));
+        let times = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let t2 = times.clone();
+        sim.add(
+            "driver",
+            FnComponent::new(move |api, msg| match &msg.kind {
+                MsgKind::Start => {
+                    api.send(
+                        3,
+                        DmaAutoRepeat {
+                            program: DmaProgram {
+                                src: 0x000,
+                                dst: 0x800,
+                                words: 8,
+                                notify: 0,
+                                tag: 9,
+                            },
+                            period: SimDuration::us(1),
+                            count: 3,
+                        },
+                        Delay::Delta,
+                    );
+                }
+                _ => {
+                    if let Some(d) = msg.user_ref::<DmaDone>() {
+                        assert_eq!(d.tag, 9);
+                        t2.borrow_mut().push(api.now());
+                    }
+                }
+            }),
+        );
+        sim.add("bus", Bus::new(BusConfig::default(), map));
+        sim.add(
+            "mem",
+            Memory::new(MemoryConfig {
+                size_words: 0x1000,
+                ..MemoryConfig::default()
+            }),
+        );
+        sim.add("dma", Dma::new(DmaConfig::default(), 1));
+        assert_eq!(sim.run(), Ok(StopReason::Quiescent));
+        let dma = sim.get::<Dma>(3);
+        assert_eq!(dma.transfers, 3);
+        assert_eq!(dma.words_moved, 24);
+        let times = times.borrow();
+        assert_eq!(times.len(), 3);
+        // Each repetition starts one period after the previous completion.
+        assert!(times[1].since(times[0]) >= SimDuration::us(1));
+        assert!(times[2].since(times[1]) >= SimDuration::us(1));
     }
 
     #[test]

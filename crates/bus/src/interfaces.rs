@@ -234,6 +234,19 @@ impl MasterPort {
         self.issue(api, BusOp::Write, addr, burst, data)
     }
 
+    /// Adopt an externally-created transaction: the in-flight burst a
+    /// de-coalesced configuration train hands back
+    /// ([`crate::protocol::InFlightBurst`]). The bus chose `id` from its
+    /// own id space and will deliver the [`BusResponse`] to this component;
+    /// adopting makes it claimable via [`MasterPort::take_response`] with
+    /// the usual obligation accounting, as if this port had issued it at
+    /// `issued_at`.
+    pub fn adopt(&mut self, api: &mut Api<'_>, id: TxnId, issued_at: SimTime) {
+        self.in_flight.push((id, issued_at));
+        self.issued += 1;
+        api.obligation_begin();
+    }
+
     /// Claim a [`BusResponse`] belonging to this port. Returns the message
     /// untouched when it is not one of ours.
     pub fn take_response(&mut self, api: &mut Api<'_>, msg: Msg) -> Result<BusResponse, Msg> {

@@ -30,8 +30,8 @@ pub mod protocol;
 pub mod prelude {
     pub use crate::arbiter::{Arbiter, ArbiterKind, Candidate};
     pub use crate::bridge::{BridgeConfig, BusBridge};
-    pub use crate::bus::{Bus, BusConfig, BusMode};
-    pub use crate::dma::{Dma, DmaConfig, DmaDone, DmaProgram};
+    pub use crate::bus::{Bus, BusConfig, BusMode, SlaveTiming};
+    pub use crate::dma::{Dma, DmaAutoRepeat, DmaConfig, DmaDone, DmaProgram};
     pub use crate::interfaces::{
         apply_request, BusSlaveModel, MasterPort, RegisterFile, SlaveAdapter,
     };
@@ -39,7 +39,8 @@ pub mod prelude {
     pub use crate::memory::{Memory, MemoryConfig, MemoryStats};
     pub use crate::monitor::{BusContention, BusStats, ContentionRow};
     pub use crate::protocol::{
-        Addr, BusOp, BusRequest, BusResponse, BusStatus, DirectReadDone, DirectReadReq,
-        SlaveAccess, SlaveReply, TxnId, Word,
+        Addr, BulkAccess, BusOp, BusRequest, BusResponse, BusStatus, ConfigTrain,
+        ConfigTrainDecoalesced, ConfigTrainDone, ConfigTrainRejected, DirectReadDone,
+        DirectReadReq, InFlightBurst, ServeBurst, SlaveAccess, SlaveReply, TrainBurst, TxnId, Word,
     };
 }

@@ -16,9 +16,12 @@
 
 use drcf_kernel::prelude::*;
 
+use crate::bus::SlaveTiming;
 use crate::interfaces::apply_request;
 use crate::interfaces::BusSlaveModel;
-use crate::protocol::{Addr, BusOp, DirectReadDone, DirectReadReq, SlaveAccess, SlaveReply, Word};
+use crate::protocol::{
+    Addr, BulkAccess, BusOp, DirectReadDone, DirectReadReq, SlaveAccess, SlaveReply, Word,
+};
 
 /// Memory timing/organization parameters.
 #[derive(Debug, Clone)]
@@ -75,6 +78,20 @@ impl MemoryConfig {
             BusOp::Write => self.write_latency,
         };
         first + burst.saturating_sub(1) as u64 * self.per_word
+    }
+
+    /// The bus-side analytic timing of this memory, for
+    /// [`crate::bus::Bus::register_slave_timing`]. Mirrors
+    /// [`MemoryConfig::service_cycles`] exactly — the reply to an access at
+    /// `t` arrives at `max(t, port free) + service`, which is precisely
+    /// what [`Memory`]'s bus-port handler computes.
+    pub fn slave_timing(&self) -> SlaveTiming {
+        SlaveTiming {
+            clock_mhz: self.clock_mhz,
+            read_latency: self.read_latency,
+            write_latency: self.write_latency,
+            per_word: self.per_word,
+        }
     }
 }
 
@@ -227,6 +244,62 @@ impl Component for Memory {
                     },
                     delay,
                 );
+                return;
+            }
+            Err(m) => m,
+        };
+        // Coalesced-train fast-forward: account (and, for writes, apply)
+        // a completed burst prefix in one step, then service the one burst
+        // that was mid-flight when the train de-coalesced, if any.
+        let msg = match msg.user::<BulkAccess>() {
+            Ok(bulk) => {
+                for b in &bulk.bursts {
+                    match b.op {
+                        BusOp::Read => {
+                            self.stats.reads += 1;
+                            self.stats.words_read += b.words as u64;
+                        }
+                        BusOp::Write => {
+                            self.stats.writes += 1;
+                            self.stats.words_written += b.words as u64;
+                            // Train writes carry implied-zero payloads; the
+                            // bus never coalesces over poisoned/unmapped
+                            // words, so these cannot fail.
+                            for i in 0..b.words as u64 {
+                                let applied = self.write(b.addr + i, 0);
+                                debug_assert!(applied.is_ok(), "bulk write rejected");
+                            }
+                        }
+                    }
+                }
+                if bulk.busy_until > self.bus_busy_until {
+                    self.bus_busy_until = bulk.busy_until;
+                }
+                if let Some(s) = bulk.serve {
+                    let resp = apply_request(self, &s.req);
+                    debug_assert!(resp.is_ok(), "in-flight train burst rejected");
+                    match s.req.op {
+                        BusOp::Read => {
+                            self.stats.reads += 1;
+                            self.stats.words_read += s.req.burst as u64;
+                        }
+                        BusOp::Write => {
+                            self.stats.writes += 1;
+                            self.stats.words_written += s.req.burst as u64;
+                        }
+                    }
+                    if s.reply_at > self.bus_busy_until {
+                        self.bus_busy_until = s.reply_at;
+                    }
+                    api.send_in(
+                        s.bus,
+                        SlaveReply {
+                            resp,
+                            master: s.req.master,
+                        },
+                        s.reply_at.since(api.now()),
+                    );
+                }
                 return;
             }
             Err(m) => m,

@@ -7,7 +7,7 @@
 //! with the requesting master holding a kernel *obligation* in between (so
 //! a never-answered call is a detectable deadlock, not silent quiescence).
 
-use drcf_kernel::prelude::ComponentId;
+use drcf_kernel::prelude::{ComponentId, SimTime};
 
 /// Bus address, in word units (the whole workspace addresses memory at
 /// word granularity, matching the `sc_uint<ADDW>` addresses of the paper's
@@ -147,6 +147,114 @@ pub struct DirectReadDone {
     pub tag: u64,
     /// Words transferred.
     pub words: usize,
+}
+
+/// One burst of a coalesced configuration train. Trains are timing-only
+/// traffic: write payloads are implied zeros and read data is discarded by
+/// the fabric, so only `(op, addr, words)` needs to travel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrainBurst {
+    /// Read (image/state fetch) or write (state save).
+    pub op: BusOp,
+    /// Start address.
+    pub addr: Addr,
+    /// Words in this burst (>= 1).
+    pub words: usize,
+}
+
+/// Master → bus: offer to run a whole multi-burst configuration load as a
+/// single analytically-timed bus-occupancy window. The bus either accepts
+/// (answering later with [`ConfigTrainDone`] or [`ConfigTrainDecoalesced`])
+/// or answers [`ConfigTrainRejected`] immediately, in which case the master
+/// falls back to per-burst transactions.
+#[derive(Debug, Clone)]
+pub struct ConfigTrain {
+    /// Component to deliver the outcome to.
+    pub master: ComponentId,
+    /// Arbitration priority the per-burst requests would have used.
+    pub priority: u8,
+    /// Caller-chosen tag echoed in every outcome message.
+    pub tag: u64,
+    /// The bursts, in issue order.
+    pub bursts: Vec<TrainBurst>,
+}
+
+/// Bus → master: the whole train completed without interference; simulated
+/// time now equals the instant the last per-burst response would have been
+/// delivered.
+#[derive(Debug, Clone, Copy)]
+pub struct ConfigTrainDone {
+    /// Tag from the [`ConfigTrain`].
+    pub tag: u64,
+    /// Total words transferred.
+    pub words: u64,
+}
+
+/// Bus → master: the train could not be accepted (wrong bus mode, pending
+/// traffic, fault-range overlap, unregistered slave timing, ...).
+#[derive(Debug, Clone, Copy)]
+pub struct ConfigTrainRejected {
+    /// Tag from the [`ConfigTrain`].
+    pub tag: u64,
+}
+
+/// The single burst that was mid-transaction when a train de-coalesced,
+/// rebuilt onto the real bus machinery. The master adopts transaction `id`
+/// and receives its [`BusResponse`] through the normal split-transaction
+/// path.
+#[derive(Debug, Clone, Copy)]
+pub struct InFlightBurst {
+    /// Bus-chosen transaction id (outside any master port's id space).
+    pub id: TxnId,
+    /// Operation.
+    pub op: BusOp,
+    /// Start address.
+    pub addr: Addr,
+    /// Burst length in words.
+    pub words: usize,
+    /// When the per-burst request would have been issued (its grant time).
+    pub issued_at: SimTime,
+}
+
+/// Bus → master: foreign traffic arrived mid-window, so the remainder of
+/// the train falls back to per-burst transactions. `done_bursts` bursts
+/// completed inside the window exactly as their per-burst counterparts
+/// would have; `in_flight`, when present, is the burst currently on the
+/// bus/slave, which completes through the real machinery.
+#[derive(Debug, Clone, Copy)]
+pub struct ConfigTrainDecoalesced {
+    /// Tag from the [`ConfigTrain`].
+    pub tag: u64,
+    /// Fully-completed burst count (prefix of the train's burst list).
+    pub done_bursts: usize,
+    /// The burst mid-transaction at de-coalesce time, if any.
+    pub in_flight: Option<InFlightBurst>,
+}
+
+/// Bus → slave: fast-forward the slave over a completed train prefix (stat
+/// counters, functional writes of the implied zeros, and port occupancy),
+/// plus an optional burst to service for real (its reply is owed at
+/// [`ServeBurst::reply_at`]).
+#[derive(Debug, Clone)]
+pub struct BulkAccess {
+    /// Completed bursts to account for.
+    pub bursts: Vec<TrainBurst>,
+    /// Port occupancy after the last completed burst (ignored when earlier
+    /// than the slave's current horizon).
+    pub busy_until: SimTime,
+    /// A burst the slave was servicing at de-coalesce time.
+    pub serve: Option<ServeBurst>,
+}
+
+/// The in-service burst carried by a [`BulkAccess`].
+#[derive(Debug, Clone)]
+pub struct ServeBurst {
+    /// The reconstructed request (write payloads are the implied zeros).
+    pub req: BusRequest,
+    /// Bus expecting the [`SlaveReply`].
+    pub bus: ComponentId,
+    /// Absolute time the reply must arrive at the bus.
+    pub reply_at: SimTime,
 }
 
 #[cfg(test)]

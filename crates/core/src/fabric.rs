@@ -23,8 +23,9 @@
 use std::collections::VecDeque;
 
 use drcf_bus::prelude::{
-    apply_request, BusOp, BusResponse, BusStatus, DirectReadDone, DirectReadReq, MasterPort,
-    SlaveAccess, SlaveReply,
+    apply_request, BusOp, BusResponse, BusStatus, ConfigTrain, ConfigTrainDecoalesced,
+    ConfigTrainDone, ConfigTrainRejected, DirectReadDone, DirectReadReq, MasterPort, SlaveAccess,
+    SlaveReply, TrainBurst,
 };
 use drcf_kernel::prelude::*;
 
@@ -82,6 +83,15 @@ pub struct DrcfConfig {
     /// `SlaveError` replies, and the run ends with a
     /// [`SimErrorKind::ConfigLoad`] error.
     pub abort_load_of: Vec<ContextId>,
+    /// Offer every [`ConfigPath::SystemBus`] load to the bus as a coalesced
+    /// configuration train (one analytically-timed occupancy window instead
+    /// of per-burst events). Timing, statistics and run outcomes are
+    /// bit-identical either way; the bus falls back to per-burst whenever
+    /// another master contends, a fault range overlaps, or tracing is on.
+    /// Requires the bus to have the target memory's timing registered
+    /// ([`drcf_bus::bus::Bus::register_slave_timing`]) for the fast path to
+    /// ever engage.
+    pub coalesce_config_traffic: bool,
 }
 
 impl Default for DrcfConfig {
@@ -95,6 +105,7 @@ impl Default for DrcfConfig {
             scheduler: SchedulerConfig::default(),
             overlap_load_exec: false,
             abort_load_of: Vec::new(),
+            coalesce_config_traffic: false,
         }
     }
 }
@@ -123,6 +134,9 @@ struct LoadOp {
     restore_total: u64,
     prefetch: bool,
     started: SimTime,
+    /// A coalesced configuration train covering all remaining words is
+    /// outstanding at the bus (offer, window, or in-flight hand-back).
+    train_pending: bool,
 }
 
 const TAG_EXEC_DONE: u64 = 1;
@@ -510,6 +524,7 @@ impl Drcf {
                     restore_total,
                     prefetch,
                     started: api.now(),
+                    train_pending: false,
                 });
                 if prefetch {
                     self.stats.prefetches += 1;
@@ -527,56 +542,46 @@ impl Drcf {
 
     /// Generate configuration-memory traffic (§5.3 step 4): victim-state
     /// write-back, then the configuration image, then the target's saved
-    /// state, in that order.
+    /// state, in that order. On the system-bus path with
+    /// [`DrcfConfig::coalesce_config_traffic`] set (and tracing off, which
+    /// would need the per-burst spans), the whole remainder is first
+    /// offered to the bus as a coalesced train.
     fn issue_config_transfer(&mut self, api: &mut Api<'_>) {
-        let Some(load) = self.loading.as_mut() else {
+        if self.loading.is_none() {
             api.raise(
                 SimErrorKind::Internal,
                 "configuration transfer issued with no load in progress",
             );
             return;
-        };
-        match &self.cfg.config_path {
-            ConfigPath::SystemBus { burst, .. } => {
-                let burst = (*burst).max(1);
-                let Some(port) = self.port.as_mut() else {
-                    api.raise(
-                        SimErrorKind::Internal,
-                        "system-bus configuration path has no master port",
-                    );
+        }
+        match self.cfg.config_path {
+            ConfigPath::SystemBus {
+                priority, burst, ..
+            } => {
+                let burst = burst.max(1);
+                let coalesce = self.cfg.coalesce_config_traffic && !api.tracing_enabled();
+                if coalesce && self.offer_train(api, burst, priority) {
                     return;
-                };
-                if load.save_remaining > 0 {
-                    // State write-back of the evicted context(s).
-                    let chunk = (load.save_remaining as usize).min(burst);
-                    load.save_in_flight = chunk as u64;
-                    let addr = load.state_addr;
-                    port.write(api, addr, vec![0; chunk]);
-                } else if load.image_remaining > 0 {
-                    let chunk = (load.image_remaining as usize).min(burst);
-                    let addr = load.next_addr;
-                    port.read(api, addr, chunk);
-                } else {
-                    // Restore the target's saved state.
-                    let chunk = (load.restore_remaining as usize).min(burst);
-                    let addr = load.state_addr;
-                    port.read(api, addr, chunk);
                 }
+                self.issue_bus_burst(api, burst);
             }
             ConfigPath::DirectPort { memory } => {
+                let Some(load) = self.loading.as_ref() else {
+                    return;
+                };
                 // One aggregate streaming request: save + image + restore
                 // words move over the dedicated port back to back (the
                 // direction split does not change the port timing model).
-                let memory = *memory;
                 let words =
                     (load.save_remaining + load.image_remaining + load.restore_remaining) as usize;
                 let ctx = load.ctx;
+                let addr = load.next_addr;
                 api.obligation_begin();
                 api.send(
                     memory,
                     DirectReadReq {
                         requester: api.me(),
-                        addr: load.next_addr,
+                        addr,
                         words,
                         tag: ctx as u64,
                     },
@@ -587,10 +592,239 @@ impl Drcf {
                 words_per_cycle,
                 clock_mhz,
             } => {
+                let Some(load) = self.loading.as_ref() else {
+                    return;
+                };
                 let total = load.save_remaining + load.image_remaining + load.restore_remaining;
-                let cycles = total.div_ceil((*words_per_cycle).max(1));
-                let d = SimDuration::cycles_at_mhz(cycles, *clock_mhz);
+                let cycles = total.div_ceil(words_per_cycle.max(1));
+                let d = SimDuration::cycles_at_mhz(cycles, clock_mhz);
                 api.timer_in(d, TAG_FIXED_XFER_DONE);
+            }
+        }
+    }
+
+    /// Issue the next single per-burst transaction of the load.
+    fn issue_bus_burst(&mut self, api: &mut Api<'_>, burst: usize) {
+        let Some(load) = self.loading.as_mut() else {
+            return;
+        };
+        let Some(port) = self.port.as_mut() else {
+            api.raise(
+                SimErrorKind::Internal,
+                "system-bus configuration path has no master port",
+            );
+            return;
+        };
+        if load.save_remaining > 0 {
+            // State write-back of the evicted context(s).
+            let chunk = (load.save_remaining as usize).min(burst);
+            load.save_in_flight = chunk as u64;
+            let addr = load.state_addr;
+            port.write(api, addr, vec![0; chunk]);
+        } else if load.image_remaining > 0 {
+            let chunk = (load.image_remaining as usize).min(burst);
+            let addr = load.next_addr;
+            port.read(api, addr, chunk);
+        } else {
+            // Restore the target's saved state.
+            let chunk = (load.restore_remaining as usize).min(burst);
+            let addr = load.state_addr;
+            port.read(api, addr, chunk);
+        }
+    }
+
+    /// The per-burst chunk sequence of the load's remaining words, in issue
+    /// order — exactly the bursts [`Drcf::issue_bus_burst`] would generate
+    /// one at a time. Shared by the train offer and the de-coalesce
+    /// accounting so both agree with the per-burst world.
+    fn train_bursts(load: &LoadOp, burst: usize) -> Vec<TrainBurst> {
+        let mut v = Vec::new();
+        let mut save = load.save_remaining;
+        while save > 0 {
+            let words = (save as usize).min(burst);
+            v.push(TrainBurst {
+                op: BusOp::Write,
+                addr: load.state_addr,
+                words,
+            });
+            save -= words as u64;
+        }
+        let mut image = load.image_remaining;
+        let mut addr = load.next_addr;
+        while image > 0 {
+            let words = (image as usize).min(burst);
+            v.push(TrainBurst {
+                op: BusOp::Read,
+                addr,
+                words,
+            });
+            addr += words as u64;
+            image -= words as u64;
+        }
+        let mut restore = load.restore_remaining;
+        while restore > 0 {
+            let words = (restore as usize).min(burst);
+            v.push(TrainBurst {
+                op: BusOp::Read,
+                addr: load.state_addr,
+                words,
+            });
+            restore -= words as u64;
+        }
+        v
+    }
+
+    /// Apply a de-coalesced train's completed burst prefix to the load
+    /// accounting, replaying the same save/image/restore classification the
+    /// per-burst responses would have performed.
+    fn apply_train_progress(load: &mut LoadOp, bursts: &[TrainBurst]) {
+        for b in bursts {
+            match b.op {
+                BusOp::Write => {
+                    load.save_remaining = load.save_remaining.saturating_sub(b.words as u64);
+                }
+                BusOp::Read => {
+                    if load.image_remaining > 0 {
+                        load.image_remaining = load.image_remaining.saturating_sub(b.words as u64);
+                        load.next_addr += b.words as u64;
+                    } else {
+                        load.restore_remaining =
+                            load.restore_remaining.saturating_sub(b.words as u64);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Offer the whole remaining load to the bus as one coalesced train.
+    /// Returns false when there is nothing to offer (degenerate empty
+    /// load); the caller then falls back to the per-burst path.
+    fn offer_train(&mut self, api: &mut Api<'_>, burst: usize, priority: u8) -> bool {
+        let Some(load) = self.loading.as_mut() else {
+            return false;
+        };
+        let bursts = Self::train_bursts(load, burst);
+        if bursts.is_empty() {
+            return false;
+        }
+        let Some(port) = self.port.as_ref() else {
+            return false;
+        };
+        let bus = port.bus();
+        load.train_pending = true;
+        let tag = load.ctx as u64;
+        let master = api.me();
+        api.obligation_begin();
+        api.send(
+            bus,
+            ConfigTrain {
+                master,
+                priority,
+                tag,
+                bursts,
+            },
+            Delay::Delta,
+        );
+        true
+    }
+
+    /// The bus ran the whole train uncontended: every remaining word has
+    /// transferred, at exactly the per-burst completion instant.
+    fn on_train_done(&mut self, api: &mut Api<'_>, done: ConfigTrainDone) {
+        api.obligation_end();
+        let Some(load) = self.loading.as_mut() else {
+            api.raise(
+                SimErrorKind::Internal,
+                "train completion with no load in progress",
+            );
+            return;
+        };
+        debug_assert!(load.train_pending, "train completion without an offer");
+        debug_assert_eq!(
+            load.save_remaining + load.image_remaining + load.restore_remaining,
+            done.words
+        );
+        load.train_pending = false;
+        load.next_addr += load.image_remaining;
+        load.save_remaining = 0;
+        load.image_remaining = 0;
+        load.restore_remaining = 0;
+        self.transfer_complete(api);
+    }
+
+    /// The bus could not coalesce (busy, contended, fault overlap, no
+    /// registered slave timing): transfer the next chunk per-burst. Every
+    /// completed chunk re-offers a train, so coalescing resumes as soon as
+    /// the contention clears.
+    fn on_train_rejected(&mut self, api: &mut Api<'_>, _rej: ConfigTrainRejected) {
+        api.obligation_end();
+        let Some(load) = self.loading.as_mut() else {
+            api.raise(
+                SimErrorKind::Internal,
+                "train rejection with no load in progress",
+            );
+            return;
+        };
+        debug_assert!(load.train_pending, "train rejection without an offer");
+        load.train_pending = false;
+        let ConfigPath::SystemBus { burst, .. } = self.cfg.config_path else {
+            api.raise(
+                SimErrorKind::Internal,
+                "train rejection without a system-bus configuration path",
+            );
+            return;
+        };
+        self.issue_bus_burst(api, burst.max(1));
+    }
+
+    /// Foreign traffic broke the window: account the completed prefix,
+    /// adopt the in-flight burst (if any) so its response flows through the
+    /// normal split-transaction path, and continue per-burst/re-offer.
+    fn on_train_decoalesced(&mut self, api: &mut Api<'_>, d: ConfigTrainDecoalesced) {
+        api.obligation_end();
+        let ConfigPath::SystemBus { burst, .. } = self.cfg.config_path else {
+            api.raise(
+                SimErrorKind::Internal,
+                "train de-coalesce without a system-bus configuration path",
+            );
+            return;
+        };
+        let burst = burst.max(1);
+        let Some(load) = self.loading.as_mut() else {
+            api.raise(
+                SimErrorKind::Internal,
+                "train de-coalesce with no load in progress",
+            );
+            return;
+        };
+        debug_assert!(load.train_pending, "train de-coalesce without an offer");
+        load.train_pending = false;
+        let bursts = Self::train_bursts(load, burst);
+        let done = d.done_bursts.min(bursts.len());
+        Self::apply_train_progress(load, &bursts[..done]);
+        match d.in_flight {
+            Some(f) => {
+                // Replicate the issue-time bookkeeping of the per-burst
+                // path; `on_bus_response` takes over when the response
+                // arrives (and re-issues or completes from there).
+                if f.op == BusOp::Write {
+                    load.save_in_flight = f.words as u64;
+                }
+                let Some(port) = self.port.as_mut() else {
+                    api.raise(
+                        SimErrorKind::Internal,
+                        "system-bus configuration path has no master port",
+                    );
+                    return;
+                };
+                port.adopt(api, f.id, f.issued_at);
+            }
+            None => {
+                if load.save_remaining + load.image_remaining + load.restore_remaining == 0 {
+                    self.transfer_complete(api);
+                } else {
+                    self.issue_config_transfer(api);
+                }
             }
         }
     }
@@ -804,6 +1038,27 @@ impl Component for Drcf {
                     }
                     Err(m) => m,
                 };
+                let msg = match msg.user::<ConfigTrainDone>() {
+                    Ok(done) => {
+                        self.on_train_done(api, done);
+                        return;
+                    }
+                    Err(m) => m,
+                };
+                let msg = match msg.user::<ConfigTrainRejected>() {
+                    Ok(rej) => {
+                        self.on_train_rejected(api, rej);
+                        return;
+                    }
+                    Err(m) => m,
+                };
+                let msg = match msg.user::<ConfigTrainDecoalesced>() {
+                    Ok(d) => {
+                        self.on_train_decoalesced(api, d);
+                        return;
+                    }
+                    Err(m) => m,
+                };
                 if let Ok(done) = msg.user::<DirectReadDone>() {
                     self.on_direct_done(api, done);
                 }
@@ -892,6 +1147,7 @@ mod tests {
                 },
                 overlap_load_exec: false,
                 abort_load_of: vec![],
+                coalesce_config_traffic: false,
             },
             contexts,
         )
@@ -1149,6 +1405,7 @@ mod tests {
                     },
                     overlap_load_exec: true,
                     abort_load_of: vec![],
+                    coalesce_config_traffic: false,
                 },
                 vec![ctx("a", 0x000, 400), ctx("b", 0x100, 400)],
             )

@@ -115,6 +115,7 @@ fn build_system(bus_mode: BusMode, script: Vec<(BusOp, Addr, Word)>) -> Simulato
                 scheduler: SchedulerConfig::default(),
                 overlap_load_exec: false,
                 abort_load_of: vec![],
+                coalesce_config_traffic: false,
             },
             contexts,
         ),
@@ -211,6 +212,7 @@ fn direct_config_port_generates_no_bus_traffic() {
                 scheduler: SchedulerConfig::default(),
                 overlap_load_exec: false,
                 abort_load_of: vec![],
+                coalesce_config_traffic: false,
             },
             vec![Context::new(
                 Box::new(RegisterFile::new("hwa", 0x2000, 16, 2)),
@@ -346,6 +348,7 @@ fn stateful_context_over_system_bus() {
                 scheduler: SchedulerConfig::default(),
                 overlap_load_exec: false,
                 abort_load_of: vec![],
+                coalesce_config_traffic: false,
             },
             vec![ctx_a, ctx_b],
         ),
@@ -398,6 +401,7 @@ fn larger_contexts_cost_proportionally_more() {
                     scheduler: SchedulerConfig::default(),
                     overlap_load_exec: false,
                     abort_load_of: vec![],
+                    coalesce_config_traffic: false,
                 },
                 vec![Context::new(
                     Box::new(RegisterFile::new("hwa", 0x8000, 16, 2)),

@@ -80,6 +80,7 @@ fn build_fabric(n_contexts: usize, slots: usize, sizes: &[u64]) -> Drcf {
             },
             overlap_load_exec: false,
             abort_load_of: vec![],
+            coalesce_config_traffic: false,
         },
         contexts,
     )

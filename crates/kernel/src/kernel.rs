@@ -80,6 +80,10 @@ pub struct KernelMetrics {
     /// Subscriber notifications fanned out (clock edges, FIFO events, and
     /// signal changes delivered to subscribers).
     pub notifications: u64,
+    /// Largest number of entries the timed-event queue held at once. Feed
+    /// it back via [`Simulator::prereserve_queue`] between runs of a sweep
+    /// so the next run's first timestep pays no regrow costs.
+    pub queue_high_water: u64,
 }
 
 pub(crate) struct KernelState {
@@ -141,7 +145,16 @@ impl KernelState {
             seq,
             delivery,
         });
+        self.note_queue_depth();
         seq
+    }
+
+    #[inline]
+    fn note_queue_depth(&mut self) {
+        let depth = self.queue.len() as u64;
+        if depth > self.metrics.queue_high_water {
+            self.metrics.queue_high_water = depth;
+        }
     }
 
     fn check_target(&self, target: ComponentId) {
@@ -179,6 +192,7 @@ impl KernelState {
                 seq,
                 delivery: Self::clock_delivery(idx, edge),
             });
+            self.note_queue_depth();
         } else {
             let c = &mut self.clocks[idx];
             debug_assert!(!c.armed, "a clock has at most one pending edge");
@@ -189,8 +203,10 @@ impl KernelState {
         }
     }
 
-    /// Earliest pending time across the heap and the armed clock slots.
-    fn next_pending_time(&self) -> Option<SimTime> {
+    /// Earliest pending time across the queue and the armed clock slots.
+    /// `&mut` because peeking the timing wheel may rotate it forward to the
+    /// next occupied bucket.
+    fn next_pending_time(&mut self) -> Option<SimTime> {
         let mut t = self.queue.peek_time();
         for c in &self.clocks {
             if c.armed && t.is_none_or(|x| c.next_time < x) {
@@ -238,7 +254,9 @@ impl KernelState {
             return; // caller peeked an entry, so this cannot happen
         };
         self.metrics.heap_events += 1;
-        if self.canceled.remove(&e.seq) {
+        // Cancellation is rare; skip the hash probe entirely when no timer
+        // was ever cancelled (the common case in clock/bus-heavy runs).
+        if !self.canceled.is_empty() && self.canceled.remove(&e.seq) {
             return; // timer was cancelled before firing
         }
         self.next_delta.push(e.delivery);
@@ -897,6 +915,22 @@ impl Simulator {
     /// against the reference path; benchmarks use it to measure the win.
     pub fn set_legacy_clock_path(&mut self, on: bool) {
         self.st.legacy_clock_path = on;
+    }
+
+    /// Route timed events through the reference binary heap instead of the
+    /// hierarchical timing wheel. Both structures dispatch in the same
+    /// global `(time, seq)` order; pending entries migrate on toggle.
+    /// Determinism regression tests use this to diff the wheel against the
+    /// reference path.
+    pub fn set_legacy_timed_queue(&mut self, on: bool) {
+        self.st.queue.set_legacy(on);
+    }
+
+    /// Pre-reserve timed-queue storage for roughly `n` concurrent entries —
+    /// typically the previous run's [`KernelMetrics::queue_high_water`] —
+    /// so a sweep point's first timestep doesn't pay regrow costs.
+    pub fn prereserve_queue(&mut self, n: usize) {
+        self.st.queue.reserve(n);
     }
 
     /// Current simulated time.

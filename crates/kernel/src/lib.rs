@@ -59,6 +59,7 @@ pub mod error;
 pub mod event;
 pub mod fifo;
 pub mod kernel;
+pub mod mempool;
 pub mod observe;
 pub mod process;
 pub mod queue;

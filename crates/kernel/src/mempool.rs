@@ -1,0 +1,234 @@
+//! A size-class pooled allocator for message-bound simulations.
+//!
+//! Event-driven simulation at the ADRIATIC abstraction level is
+//! allocation-bound: every user message (`Api::send`) boxes its payload,
+//! and bus models shuttle burst-data vectors through each transaction.
+//! Those blocks are small (tens to hundreds of bytes), short-lived, and
+//! churn at event rate — the profile general-purpose allocators handle
+//! worst. SystemC ships `sc_mempool` for exactly this reason; this module
+//! is the equivalent for this workspace.
+//!
+//! [`PoolAlloc`] caches freed blocks of up to [`MAX_POOLED_SIZE`] bytes in
+//! per-thread, per-size-class intrusive free lists (the link pointer lives
+//! inside the freed block, so the cache itself never allocates). Hits cost
+//! a pointer swap; misses and oversized requests fall through to the system
+//! allocator. Binaries opt in:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: drcf_kernel::mempool::PoolAlloc = drcf_kernel::mempool::PoolAlloc;
+//! ```
+//!
+//! The pool is thread-safe in the only way a thread-local cache needs to
+//! be: each thread frees into its own lists, so blocks migrate between
+//! threads harmlessly (all blocks of a class share one layout), and each
+//! cache returns its blocks to the system allocator when its thread exits.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+/// Number of size classes: 16, 32, 64, 128, 256, 512, 1024 bytes.
+const NUM_CLASSES: usize = 7;
+/// Largest pooled block size.
+pub const MAX_POOLED_SIZE: usize = 16 << (NUM_CLASSES - 1);
+/// Every pooled block is allocated with this alignment, so any block of a
+/// class can serve any request of that class.
+const POOL_ALIGN: usize = 16;
+/// Per-class cache bound; beyond this, frees go to the system allocator.
+const MAX_CACHED_PER_CLASS: usize = 512;
+
+/// Size class for a layout the pool serves, or `None` to pass through.
+#[inline]
+fn class_of(layout: Layout) -> Option<usize> {
+    if layout.size() == 0 || layout.size() > MAX_POOLED_SIZE || layout.align() > POOL_ALIGN {
+        return None;
+    }
+    let rounded = layout.size().next_power_of_two().max(16);
+    Some(rounded.trailing_zeros() as usize - 4)
+}
+
+/// The layout every block of `class` is allocated with.
+#[inline]
+fn class_layout(class: usize) -> Layout {
+    // Size and alignment are compile-time-valid powers of two.
+    unsafe { Layout::from_size_align_unchecked(16 << class, POOL_ALIGN) }
+}
+
+struct ClassList {
+    head: Cell<*mut u8>,
+    len: Cell<usize>,
+}
+
+struct Cache {
+    lists: [ClassList; NUM_CLASSES],
+}
+
+impl Cache {
+    const fn new() -> Self {
+        Cache {
+            lists: [const {
+                ClassList {
+                    head: Cell::new(std::ptr::null_mut()),
+                    len: Cell::new(0),
+                }
+            }; NUM_CLASSES],
+        }
+    }
+
+    #[inline]
+    fn pop(&self, class: usize) -> Option<*mut u8> {
+        let list = &self.lists[class];
+        let p = list.head.get();
+        if p.is_null() {
+            return None;
+        }
+        // The first word of a cached block stores the next link.
+        let next = unsafe { *(p as *mut *mut u8) };
+        list.head.set(next);
+        list.len.set(list.len.get() - 1);
+        Some(p)
+    }
+
+    /// Returns false when the class cache is full (caller frees to System).
+    #[inline]
+    fn push(&self, class: usize, p: *mut u8) -> bool {
+        let list = &self.lists[class];
+        if list.len.get() >= MAX_CACHED_PER_CLASS {
+            return false;
+        }
+        unsafe { *(p as *mut *mut u8) = list.head.get() };
+        list.head.set(p);
+        list.len.set(list.len.get() + 1);
+        true
+    }
+}
+
+impl Drop for Cache {
+    fn drop(&mut self) {
+        for (class, list) in self.lists.iter().enumerate() {
+            let layout = class_layout(class);
+            let mut p = list.head.get();
+            while !p.is_null() {
+                let next = unsafe { *(p as *mut *mut u8) };
+                unsafe { System.dealloc(p, layout) };
+                p = next;
+            }
+            list.head.set(std::ptr::null_mut());
+            list.len.set(0);
+        }
+    }
+}
+
+thread_local! {
+    static CACHE: Cache = const { Cache::new() };
+}
+
+/// The pooled global allocator. See the module docs for usage.
+pub struct PoolAlloc;
+
+// SAFETY: every layout with `class_of(l) == Some(c)` is allocated with
+// `class_layout(c)` — whether served from the cache or the system
+// allocator — and `class_layout(c)` satisfies the requested layout (size
+// and alignment are both at least as large). Deallocation recomputes the
+// same class from the same layout, so blocks always return (to the cache
+// or to System) under the exact layout they were allocated with.
+// Pass-through layouts go to System verbatim.
+unsafe impl GlobalAlloc for PoolAlloc {
+    #[inline]
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        match class_of(layout) {
+            Some(class) => {
+                // `try_with` so allocation during TLS teardown still works.
+                if let Ok(Some(p)) = CACHE.try_with(|c| c.pop(class)) {
+                    return p;
+                }
+                System.alloc(class_layout(class))
+            }
+            None => System.alloc(layout),
+        }
+    }
+
+    #[inline]
+    unsafe fn dealloc(&self, p: *mut u8, layout: Layout) {
+        match class_of(layout) {
+            Some(class) => {
+                if CACHE.try_with(|c| c.push(class, p)).unwrap_or(false) {
+                    return;
+                }
+                System.dealloc(p, class_layout(class));
+            }
+            None => System.dealloc(p, layout),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_round_up() {
+        let l = |s, a| Layout::from_size_align(s, a).unwrap();
+        assert_eq!(class_of(l(1, 1)), Some(0)); // -> 16
+        assert_eq!(class_of(l(16, 8)), Some(0));
+        assert_eq!(class_of(l(17, 8)), Some(1)); // -> 32
+        assert_eq!(class_of(l(64, 16)), Some(2));
+        assert_eq!(class_of(l(1024, 8)), Some(6));
+        assert_eq!(class_of(l(1025, 8)), None);
+        assert_eq!(class_of(l(64, 32)), None); // over-aligned
+    }
+
+    #[test]
+    fn class_layout_satisfies_requests() {
+        for size in [1usize, 15, 16, 17, 100, 128, 500, 1024] {
+            for align in [1usize, 2, 4, 8, 16] {
+                let req = Layout::from_size_align(size, align).unwrap();
+                if let Some(c) = class_of(req) {
+                    let cl = class_layout(c);
+                    assert!(cl.size() >= req.size());
+                    assert!(cl.align() >= req.align());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alloc_roundtrip_and_reuse() {
+        let a = PoolAlloc;
+        let layout = Layout::from_size_align(48, 8).unwrap();
+        unsafe {
+            let p1 = a.alloc(layout);
+            assert!(!p1.is_null());
+            std::ptr::write_bytes(p1, 0xAB, 48);
+            a.dealloc(p1, layout);
+            // Same class (64B) must come back from the cache.
+            let p2 = a.alloc(Layout::from_size_align(60, 16).unwrap());
+            assert_eq!(p1, p2);
+            a.dealloc(p2, Layout::from_size_align(60, 16).unwrap());
+        }
+    }
+
+    #[test]
+    fn oversized_passes_through() {
+        let a = PoolAlloc;
+        let layout = Layout::from_size_align(4096, 8).unwrap();
+        unsafe {
+            let p = a.alloc(layout);
+            assert!(!p.is_null());
+            std::ptr::write_bytes(p, 0, 4096);
+            a.dealloc(p, layout);
+        }
+    }
+
+    #[test]
+    fn cross_thread_free_is_safe() {
+        let a = &PoolAlloc;
+        let layout = Layout::from_size_align(64, 8).unwrap();
+        let p = unsafe { a.alloc(layout) } as usize;
+        std::thread::spawn(move || {
+            unsafe { PoolAlloc.dealloc(p as *mut u8, Layout::from_size_align(64, 8).unwrap()) };
+        })
+        .join()
+        .unwrap();
+    }
+}

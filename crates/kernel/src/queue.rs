@@ -1,16 +1,46 @@
 //! The timed event queue.
 //!
-//! A binary heap keyed by `(time, sequence)`. The sequence number is a
-//! monotonically increasing counter assigned at insertion, which makes the
-//! dispatch order a *total* order: two events at the same timestamp are
-//! always dispatched in the order they were scheduled. This is the property
-//! every determinism test in the workspace leans on.
+//! A two-level **hierarchical timing wheel** keyed by `(time, sequence)`.
+//! The sequence number is a monotonically increasing counter assigned at
+//! insertion, which makes the dispatch order a *total* order: two events at
+//! the same timestamp are always dispatched in the order they were
+//! scheduled. This is the property every determinism test in the workspace
+//! leans on.
+//!
+//! # Structure
+//!
+//! * **Near level** — a ring of `NBUCKETS` per-tick buckets covering the
+//!   next `NBUCKETS << TICK_SHIFT` femtoseconds past `base`. Scheduling
+//!   into the ring is an O(1) `Vec::push`; because `seq` is monotone, a
+//!   ring bucket is already in insertion (= dispatch) order.
+//! * **Active bucket** — the bucket currently being drained, held sorted in
+//!   *reverse* `(time, seq)` order so `pop` is an O(1) `Vec::pop` from the
+//!   back. Late arrivals for the current tick binary-insert here.
+//! * **Far heap** — a `BinaryHeap` for everything at or beyond the horizon
+//!   (`base + NBUCKETS` buckets). Whenever `base` advances, eligible far
+//!   entries are eagerly refilled into the ring, restoring the invariant
+//!   that every far entry sorts after every wheel entry.
+//!
+//! An occupancy bitmap (`occ`) lets bucket advance skip empty ticks in
+//! word-sized strides, so sparse timelines don't pay a linear scan. Bucket
+//! vectors are swap-recycled (capacity is retained across rotations), the
+//! same allocation-free discipline PR 1 gave the delta buffers.
+//!
+//! `set_legacy(true)` collapses the queue back to the plain binary heap —
+//! kept as a reference implementation for the wheel-vs-heap determinism
+//! proptest in `tests/determinism.rs`.
 
-use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::event::Delivery;
 use crate::time::SimTime;
+
+/// log2 of the tick width in femtoseconds: 2^20 fs ≈ 1.05 ns per bucket.
+const TICK_SHIFT: u32 = 20;
+/// Ring size; horizon = `NBUCKETS << TICK_SHIFT` ≈ 1.07 µs.
+const NBUCKETS: usize = 1024;
+/// Words in the occupancy bitmap.
+const OCC_WORDS: usize = NBUCKETS / 64;
 
 pub(crate) struct TimedEntry {
     pub time: SimTime,
@@ -26,15 +56,16 @@ impl PartialEq for TimedEntry {
 impl Eq for TimedEntry {}
 
 impl PartialOrd for TimedEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
 
 impl Ord for TimedEntry {
-    fn cmp(&self, other: &Self) -> Ordering {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
-        // first.
+        // first. This also makes `sort_unstable` produce reverse (time, seq)
+        // order, which is exactly the active-bucket layout.
         other
             .time
             .cmp(&self.time)
@@ -42,20 +73,112 @@ impl Ord for TimedEntry {
     }
 }
 
+#[inline]
+fn key(e: &TimedEntry) -> (SimTime, u64) {
+    (e.time, e.seq)
+}
+
+#[inline]
+fn bucket_of(t: SimTime) -> u64 {
+    t.0 >> TICK_SHIFT
+}
+
 /// Deterministic future-event queue.
-#[derive(Default)]
 pub(crate) struct EventQueue {
-    heap: BinaryHeap<TimedEntry>,
+    /// Absolute bucket index of the active bucket.
+    base: u64,
+    /// The bucket being drained, reverse-sorted by `(time, seq)` so the
+    /// earliest entry is at the back.
+    active: Vec<TimedEntry>,
+    /// Near-future ring; slot `b % NBUCKETS` holds absolute bucket `b` for
+    /// `b` in `(base, base + NBUCKETS)`.
+    buckets: Vec<Vec<TimedEntry>>,
+    /// Occupancy bitmap over ring slots.
+    occ: [u64; OCC_WORDS],
+    /// Far-future overflow: entries with bucket `>= base + NBUCKETS`.
+    far: BinaryHeap<TimedEntry>,
+    /// Total entries across active + ring + far.
+    len: usize,
     /// Count of non-background entries, maintained incrementally so the
     /// kernel can answer "is any foreground work pending?" in O(1).
     foreground: usize,
+    /// Reference mode: single binary heap, no wheel.
+    legacy: bool,
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl EventQueue {
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::with_capacity(128),
+            base: 0,
+            active: Vec::with_capacity(32),
+            buckets: (0..NBUCKETS).map(|_| Vec::new()).collect(),
+            occ: [0; OCC_WORDS],
+            far: BinaryHeap::with_capacity(128),
+            len: 0,
             foreground: 0,
+            legacy: false,
+        }
+    }
+
+    /// Switch between the timing wheel (default) and the reference binary
+    /// heap. Pending entries are migrated, so the toggle is safe mid-run.
+    pub fn set_legacy(&mut self, legacy: bool) {
+        if self.legacy == legacy {
+            return;
+        }
+        self.legacy = legacy;
+        if legacy {
+            // Drain the wheel into the heap.
+            self.far.extend(self.active.drain(..));
+            for slot in 0..NBUCKETS {
+                if !self.buckets[slot].is_empty() {
+                    let mut v = std::mem::take(&mut self.buckets[slot]);
+                    self.far.extend(v.drain(..));
+                    self.buckets[slot] = v;
+                }
+            }
+            self.occ = [0; OCC_WORDS];
+        } else {
+            // Re-distribute heap entries through the wheel's placement rule.
+            let drained: Vec<TimedEntry> = std::mem::take(&mut self.far).into_vec();
+            for e in drained {
+                self.place(e);
+            }
+        }
+    }
+
+    /// Grow internal storage so roughly `n` pending entries fit without
+    /// reallocation (the between-runs high-water pre-reserve).
+    pub fn reserve(&mut self, n: usize) {
+        let extra = n.saturating_sub(self.far.len() + self.active.len());
+        self.far.reserve(extra);
+        self.active
+            .reserve(n.min(256).saturating_sub(self.active.capacity()));
+    }
+
+    /// Place an entry into wheel storage (never touches counters).
+    #[inline]
+    fn place(&mut self, entry: TimedEntry) {
+        let b = bucket_of(entry.time);
+        if b >= self.base + NBUCKETS as u64 {
+            self.far.push(entry);
+        } else if b <= self.base {
+            // Current tick (or, rarely, an earlier bucket reached while the
+            // active front sits later than `now` — a clock edge can advance
+            // `now` past `base`'s rotation point). Keep `active` the sorted
+            // front run.
+            let at = self.active.partition_point(|e| key(e) > key(&entry));
+            self.active.insert(at, entry);
+        } else {
+            let slot = (b % NBUCKETS as u64) as usize;
+            self.buckets[slot].push(entry);
+            self.occ[slot / 64] |= 1u64 << (slot % 64);
         }
     }
 
@@ -63,11 +186,108 @@ impl EventQueue {
         if !entry.delivery.background {
             self.foreground += 1;
         }
-        self.heap.push(entry);
+        self.len += 1;
+        if self.legacy {
+            self.far.push(entry);
+        } else {
+            self.place(entry);
+        }
+    }
+
+    /// Next occupied ring slot strictly after the active slot, as a
+    /// distance in `1..NBUCKETS`, or `None` when the ring is empty.
+    fn next_occupied_distance(&self) -> Option<u64> {
+        let cur = (self.base % NBUCKETS as u64) as usize;
+        let start = (cur + 1) % NBUCKETS;
+        let mut w = start / 64;
+        let mut mask = !0u64 << (start % 64);
+        // Scan at most one full wrap of the bitmap.
+        for _ in 0..=OCC_WORDS {
+            let bits = self.occ[w] & mask;
+            if bits != 0 {
+                let slot = w * 64 + bits.trailing_zeros() as usize;
+                let d = (slot + NBUCKETS - cur) % NBUCKETS;
+                // slot == cur is impossible (that slot drained into active),
+                // so d is never 0 here; guard anyway for safety.
+                if d != 0 {
+                    return Some(d as u64);
+                }
+            }
+            w = (w + 1) % OCC_WORDS;
+            mask = !0;
+        }
+        None
+    }
+
+    /// Move far entries that now fall inside the horizon into the wheel.
+    fn refill_from_far(&mut self) {
+        let horizon = self.base + NBUCKETS as u64;
+        while let Some(top) = self.far.peek() {
+            let b = bucket_of(top.time);
+            if b >= horizon {
+                break;
+            }
+            let e = match self.far.pop() {
+                Some(e) => e,
+                None => break,
+            };
+            if b <= self.base {
+                // Lands in the active bucket; caller sorts afterwards.
+                self.active.push(e);
+            } else {
+                let slot = (b % NBUCKETS as u64) as usize;
+                self.buckets[slot].push(e);
+                self.occ[slot / 64] |= 1u64 << (slot % 64);
+            }
+        }
+    }
+
+    /// Sort `active` into reverse `(time, seq)` order. The common case — a
+    /// ring bucket appended in seq order with monotone times — is already
+    /// ascending, so a reverse suffices.
+    fn sort_active(&mut self) {
+        let ascending = self.active.windows(2).all(|w| key(&w[0]) < key(&w[1]));
+        if ascending {
+            self.active.reverse();
+        } else {
+            // TimedEntry's inverted Ord makes plain sort produce reverse
+            // (time, seq) order.
+            self.active.sort_unstable();
+        }
+    }
+
+    /// Ensure `active` holds the queue front (non-legacy mode). After this,
+    /// `active` is empty iff the queue is empty.
+    fn ensure_active(&mut self) {
+        if self.legacy || !self.active.is_empty() || self.len == 0 {
+            return;
+        }
+        if let Some(d) = self.next_occupied_distance() {
+            self.base += d;
+            let slot = (self.base % NBUCKETS as u64) as usize;
+            std::mem::swap(&mut self.buckets[slot], &mut self.active);
+            self.occ[slot / 64] &= !(1u64 << (slot % 64));
+            self.refill_from_far();
+        } else {
+            // Ring empty: jump straight to the earliest far bucket.
+            let front = match self.far.peek() {
+                Some(e) => bucket_of(e.time),
+                None => return,
+            };
+            self.base = front;
+            self.refill_from_far();
+        }
+        self.sort_active();
     }
 
     pub fn pop(&mut self) -> Option<TimedEntry> {
-        let e = self.heap.pop()?;
+        let e = if self.legacy {
+            self.far.pop()?
+        } else {
+            self.ensure_active();
+            self.active.pop()?
+        };
+        self.len -= 1;
         if !e.delivery.background {
             self.foreground -= 1;
         }
@@ -75,26 +295,36 @@ impl EventQueue {
     }
 
     /// Time of the earliest pending entry.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.peek().map(|(t, _)| t)
     }
 
     /// `(time, seq)` of the earliest pending entry. The dispatch loop uses
-    /// the sequence number to merge heap entries with the per-clock
+    /// the sequence number to merge queue entries with the per-clock
     /// next-edge slots while preserving the global `(time, seq)` order.
-    pub fn peek(&self) -> Option<(SimTime, u64)> {
-        self.heap.peek().map(|e| (e.time, e.seq))
+    pub fn peek(&mut self) -> Option<(SimTime, u64)> {
+        if self.legacy {
+            return self.far.peek().map(|e| (e.time, e.seq));
+        }
+        self.ensure_active();
+        self.active.last().map(|e| (e.time, e.seq))
     }
 
     /// Time of the earliest pending *foreground* entry. O(n) but only
     /// consulted when deciding whether to stop, never in the hot loop.
     #[allow(dead_code)]
     pub fn peek_foreground_time(&self) -> Option<SimTime> {
-        self.heap
-            .iter()
+        self.iter_all()
             .filter(|e| !e.delivery.background)
             .map(|e| e.time)
             .min()
+    }
+
+    fn iter_all(&self) -> impl Iterator<Item = &TimedEntry> {
+        self.active
+            .iter()
+            .chain(self.buckets.iter().flatten())
+            .chain(self.far.iter())
     }
 
     pub fn has_foreground(&self) -> bool {
@@ -102,26 +332,34 @@ impl EventQueue {
     }
 
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     #[allow(dead_code)]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 
-    /// Drop every pending entry and reset the foreground counter.
+    /// Drop every pending entry and reset the foreground counter. Bucket
+    /// capacity is retained for reuse.
     #[allow(dead_code)]
     pub fn clear(&mut self) {
         self.debug_assert_foreground_consistent();
-        self.heap.clear();
+        self.active.clear();
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.occ = [0; OCC_WORDS];
+        self.far.clear();
+        self.base = 0;
+        self.len = 0;
         self.foreground = 0;
     }
 
     /// Recount foreground entries the slow way (audit for the incremental
     /// counter).
     pub fn foreground_recount(&self) -> usize {
-        self.heap.iter().filter(|e| !e.delivery.background).count()
+        self.iter_all().filter(|e| !e.delivery.background).count()
     }
 
     /// Debug-build audit: the incrementally maintained `foreground` counter
@@ -132,6 +370,11 @@ impl EventQueue {
             self.foreground,
             self.foreground_recount(),
             "incremental foreground counter diverged from recount"
+        );
+        debug_assert_eq!(
+            self.len,
+            self.iter_all().count(),
+            "incremental len counter diverged from recount"
         );
     }
 }
@@ -239,5 +482,110 @@ mod tests {
         while q.pop().is_some() {
             q.debug_assert_foreground_consistent();
         }
+    }
+
+    /// Cross-bucket and past-horizon traffic pops in global (time, seq)
+    /// order, both in wheel and legacy mode.
+    #[test]
+    fn wheel_orders_across_buckets_and_horizon() {
+        const TICK: u64 = 1 << TICK_SHIFT;
+        let horizon = TICK * NBUCKETS as u64;
+        for legacy in [false, true] {
+            let mut q = EventQueue::new();
+            q.set_legacy(legacy);
+            // Same bucket, same tick, far future, next bucket, mid-ring.
+            let times = [
+                3,
+                7,
+                horizon * 3 + 5, // far heap
+                TICK + 1,        // next bucket
+                TICK * 500,      // mid-ring
+                horizon * 3 + 5, // far, same time, later seq
+            ];
+            for (seq, t) in times.iter().enumerate() {
+                q.push(entry(*t, seq as u64, false));
+            }
+            let mut popped: Vec<(u64, u64)> = Vec::new();
+            while let Some(e) = q.pop() {
+                popped.push((e.time.0, e.seq));
+            }
+            let mut expect: Vec<(u64, u64)> = times
+                .iter()
+                .enumerate()
+                .map(|(s, t)| (*t, s as u64))
+                .collect();
+            expect.sort_unstable();
+            assert_eq!(popped, expect, "legacy={legacy}");
+        }
+    }
+
+    /// Entries pushed for a bucket the wheel has already rotated past (time
+    /// moved forward through a clock slot while the queue front sat later)
+    /// still pop before the previously queued front.
+    #[test]
+    fn late_push_before_active_front_pops_first() {
+        const TICK: u64 = 1 << TICK_SHIFT;
+        let mut q = EventQueue::new();
+        q.push(entry(TICK * 800 + 3, 0, false));
+        // Rotate: peek advances base to bucket 800.
+        assert_eq!(q.peek_time(), Some(SimTime(TICK * 800 + 3)));
+        // Now a component schedules something earlier (bucket 10 < base).
+        q.push(entry(TICK * 10, 1, false));
+        assert_eq!(q.pop().unwrap().seq, 1);
+        assert_eq!(q.pop().unwrap().seq, 0);
+        assert!(q.is_empty());
+    }
+
+    /// Toggling legacy mode mid-stream keeps every pending entry and the
+    /// global order.
+    #[test]
+    fn legacy_toggle_migrates_entries() {
+        const TICK: u64 = 1 << TICK_SHIFT;
+        let horizon = TICK * NBUCKETS as u64;
+        let mut q = EventQueue::new();
+        q.push(entry(5, 0, false));
+        q.push(entry(horizon + 17, 1, true));
+        q.push(entry(TICK * 3, 2, false));
+        q.set_legacy(true);
+        q.debug_assert_foreground_consistent();
+        q.push(entry(6, 3, false));
+        q.set_legacy(false);
+        q.debug_assert_foreground_consistent();
+        let seqs: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 3, 2, 1]);
+    }
+
+    /// The far heap refills the ring when the wheel rotates across the
+    /// horizon repeatedly (multi-horizon sweep).
+    #[test]
+    fn far_refill_across_many_horizons() {
+        const TICK: u64 = 1 << TICK_SHIFT;
+        let horizon = TICK * NBUCKETS as u64;
+        let mut q = EventQueue::new();
+        let mut times: Vec<u64> = Vec::new();
+        for i in 0..40u64 {
+            // Scatter across 5 horizons, some colliding in one bucket.
+            let t = (i % 5) * horizon + (i * 37 % 900) * TICK + (i % 3);
+            times.push(t);
+            q.push(entry(t, i, false));
+        }
+        let mut expect: Vec<(u64, u64)> = times
+            .iter()
+            .enumerate()
+            .map(|(s, t)| (*t, s as u64))
+            .collect();
+        expect.sort_unstable();
+        let got: Vec<(u64, u64)> = std::iter::from_fn(|| q.pop())
+            .map(|e| (e.time.0, e.seq))
+            .collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn reserve_is_harmless() {
+        let mut q = EventQueue::new();
+        q.reserve(10_000);
+        q.push(entry(1, 0, false));
+        assert_eq!(q.pop().unwrap().seq, 0);
     }
 }

@@ -239,6 +239,9 @@ pub struct DispatchProfile {
     pub fast_clock_fraction: f64,
     /// Subscriber notifications fanned out per dispatched event.
     pub notifications_per_event: f64,
+    /// Peak number of entries resident in the timed-event queue — the
+    /// pre-reserve hint for the next run of a sweep.
+    pub queue_high_water: u64,
 }
 
 impl DispatchProfile {
@@ -260,6 +263,7 @@ impl DispatchProfile {
             avg_deltas_per_timestep: frac(m.delta_cycles, m.timesteps),
             fast_clock_fraction: frac(m.clock_edges_fast, m.clock_edges_fast + m.heap_events),
             notifications_per_event: frac(m.notifications, m.dispatched),
+            queue_high_water: m.queue_high_water,
         }
     }
 }
@@ -342,12 +346,14 @@ mod tests {
             clock_edges_fast: 300,
             heap_events: 100,
             notifications: 2500,
+            queue_high_water: 42,
         };
         let p = DispatchProfile::from_metrics(&m, 0.5);
         assert_eq!(p.events_per_sec, 2000.0);
         assert_eq!(p.avg_deltas_per_timestep, 2.0);
         assert_eq!(p.fast_clock_fraction, 0.75);
         assert_eq!(p.notifications_per_event, 2.5);
+        assert_eq!(p.queue_high_water, 42);
         // Degenerate denominators are zero, not NaN.
         let z = DispatchProfile::from_metrics(&crate::kernel::KernelMetrics::default(), 0.0);
         assert_eq!(z.events_per_sec, 0.0);

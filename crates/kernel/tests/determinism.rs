@@ -4,13 +4,16 @@
 //! signals and a shared FIFO, a timer-driven stimulus) and runs it three
 //! ways:
 //!
-//! 1. the optimized dispatch path (per-clock next-edge slots),
+//! 1. the optimized dispatch path (per-clock next-edge slots + the
+//!    hierarchical timing wheel),
 //! 2. the optimized path again (replay determinism),
-//! 3. the legacy path (`set_legacy_clock_path(true)`), which routes every
-//!    clock edge through the general timed-event heap — the schedule the
-//!    kernel used before the periodic fast path existed.
+//! 3. the legacy clock path (`set_legacy_clock_path(true)`), which routes
+//!    every clock edge through the general timed-event queue — the schedule
+//!    the kernel used before the periodic fast path existed,
+//! 4. the reference timed queue (`set_legacy_timed_queue(true)`), which
+//!    replaces the timing wheel with the original binary heap.
 //!
-//! All three must produce byte-identical VCD traces, identical event logs,
+//! All four must produce byte-identical VCD traces, identical event logs,
 //! identical per-signal change counts, and identical kernel metrics (for
 //! the counters that do not describe the internal data path itself).
 
@@ -39,10 +42,12 @@ fn run_world(
     workers: &[(u8, bool, u8)], // (clock choice, both edges, fifo put cadence)
     plan: &[(u64, u64)],        // stimulus timers: (delay_ns, tag)
     horizon_ns: u64,
-    legacy: bool,
+    legacy_clock: bool,
+    heap_queue: bool,
 ) -> Observation {
     let mut sim = Simulator::new();
-    sim.set_legacy_clock_path(legacy);
+    sim.set_legacy_clock_path(legacy_clock);
+    sim.set_legacy_timed_queue(heap_queue);
     sim.enable_trace();
     let log: Log = Rc::new(RefCell::new(Vec::new()));
 
@@ -153,8 +158,9 @@ fn run_world(
 }
 
 proptest! {
-    /// Random graphs replay identically on the fast path, and the fast
-    /// path reproduces the legacy (heap-only) schedule bit for bit.
+    /// Random graphs replay identically on the fast path, the fast path
+    /// reproduces the legacy clock schedule bit for bit, and the timing
+    /// wheel reproduces the reference binary-heap schedule bit for bit.
     #[test]
     fn dispatch_paths_agree(
         raw_clocks in proptest::collection::vec((2u64..16, 0u64..100, 0u64..6), 1..4),
@@ -167,11 +173,16 @@ proptest! {
             .iter()
             .map(|&(p, h, o)| (p, 1 + h % (p - 1), o))
             .collect();
-        let fast1 = run_world(&clocks, &workers, &plan, horizon_ns, false);
-        let fast2 = run_world(&clocks, &workers, &plan, horizon_ns, false);
-        let legacy = run_world(&clocks, &workers, &plan, horizon_ns, true);
+        let fast1 = run_world(&clocks, &workers, &plan, horizon_ns, false, false);
+        let fast2 = run_world(&clocks, &workers, &plan, horizon_ns, false, false);
+        let legacy_clk = run_world(&clocks, &workers, &plan, horizon_ns, true, false);
+        let heap = run_world(&clocks, &workers, &plan, horizon_ns, false, true);
+        // Legacy clock path + heap queue: every event through the heap.
+        let all_legacy = run_world(&clocks, &workers, &plan, horizon_ns, true, true);
         prop_assert_eq!(&fast1, &fast2);
-        prop_assert_eq!(&fast1, &legacy);
+        prop_assert_eq!(&fast1, &legacy_clk);
+        prop_assert_eq!(&fast1, &heap);
+        prop_assert_eq!(&fast1, &all_legacy);
     }
 }
 

@@ -95,6 +95,13 @@ pub struct SocSpec {
     /// Structured-tracing ring-buffer capacity in events. `None` leaves the
     /// recorder disabled (zero overhead on the dispatch hot path).
     pub trace_capacity: Option<usize>,
+    /// Coalesce uncontended configuration traffic into analytically timed
+    /// bus windows (system-bus config path only). Timing-neutral: every
+    /// run observable (makespan, bus/memory statistics, per-master waits)
+    /// is bit-identical to the per-burst path; the bus falls back to
+    /// per-burst transactions whenever another master contends, a fault
+    /// range overlaps, or tracing is enabled.
+    pub coalesce_config_traffic: bool,
 }
 
 impl Default for SocSpec {
@@ -113,6 +120,7 @@ impl Default for SocSpec {
             mapping: Mapping::AllFixed,
             abort_load_of: vec![],
             trace_capacity: None,
+            coalesce_config_traffic: true,
         }
     }
 }
@@ -315,7 +323,23 @@ pub fn build_soc(workload: &Workload, spec: &SocSpec) -> SimResult<BuiltSoc> {
     // CPU.
     let got = sim.add("cpu", Cpu::new(spec.cpu.clone(), bus_id, program));
     debug_assert_eq!(got, cpu_id);
-    let got = sim.add("system_bus", Bus::new(spec.bus.clone(), map));
+    let mut system_bus = Bus::new(spec.bus.clone(), map);
+    if spec.coalesce_config_traffic
+        && spec.memory.poison.is_empty()
+        && matches!(
+            &spec.mapping,
+            Mapping::Drcf {
+                config_path: SocConfigPath::SystemBus,
+                ..
+            }
+        )
+    {
+        // Publishing the memory's deterministic service timing lets the bus
+        // accept coalesced configuration trains; without it every offer is
+        // rejected and the fabric stays on the per-burst path.
+        system_bus.register_slave_timing(mem_id, spec.memory.slave_timing());
+    }
+    let got = sim.add("system_bus", system_bus);
     debug_assert_eq!(got, bus_id);
     let got = sim.add("memory", Memory::new(spec.memory.clone()));
     debug_assert_eq!(got, mem_id);
@@ -377,6 +401,7 @@ pub fn build_soc(workload: &Workload, spec: &SocSpec) -> SimResult<BuiltSoc> {
                 scheduler,
                 overlap_load_exec: overlap,
                 abort_load_of: spec.abort_load_of.clone(),
+                coalesce_config_traffic: spec.coalesce_config_traffic,
             },
             contexts,
         )?;

@@ -261,6 +261,10 @@ pub fn elaborate(
                             },
                             overlap_load_exec: spec.overlap_load_exec,
                             abort_load_of: vec![],
+                            // Elaborated netlists have no slave timing
+                            // registered, so coalescing would never engage;
+                            // keep the per-burst path explicit.
+                            coalesce_config_traffic: false,
                         },
                         contexts,
                     ),

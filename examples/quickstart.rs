@@ -110,6 +110,7 @@ fn main() {
                 scheduler: SchedulerConfig::default(), // reactive, 1 slot
                 overlap_load_exec: false,
                 abort_load_of: vec![],
+                coalesce_config_traffic: false,
             },
             contexts,
         ),

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate for BENCH_kernel.json.
+
+Usage: perf_gate.py [path-to-BENCH_kernel.json]
+
+Reads the bench JSON written by `experiments --bench-json`, embeds the
+commit SHA (from $GITHUB_SHA, or `git rev-parse HEAD` as a fallback) into
+the file as a `"commit"` field so the uploaded artifact is traceable to
+the exact revision, and exits non-zero if any `speedup_vs_baseline`
+entry has dropped below 1.0 — i.e. if the current tree is slower than
+the baked per-scenario baseline on any workload.
+
+The baselines live in `crates/bench/src/hotpath.rs`
+(`BASELINE_EVENTS_PER_SEC`); see EXPERIMENTS.md for how they were
+measured and how to re-bake them.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_kernel.json"
+    with open(path, encoding="utf-8") as f:
+        bench = json.load(f)
+
+    sha = os.environ.get("GITHUB_SHA")
+    if not sha:
+        try:
+            sha = subprocess.check_output(
+                ["git", "rev-parse", "HEAD"], text=True
+            ).strip()
+        except (OSError, subprocess.CalledProcessError):
+            sha = "unknown"
+    bench["commit"] = sha
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(bench, f, indent=2)
+        f.write("\n")
+
+    speedups = bench.get("speedup_vs_baseline", {})
+    if not speedups:
+        print(f"perf gate: no speedup_vs_baseline in {path}", file=sys.stderr)
+        return 1
+
+    failed = []
+    for name in sorted(speedups):
+        ratio = speedups[name]
+        verdict = "ok" if ratio >= 1.0 else "REGRESSION"
+        print(f"perf gate: {name:24s} {ratio:6.2f}x vs baseline  [{verdict}]")
+        if ratio < 1.0:
+            failed.append(name)
+
+    ratio = bench.get("ctx_switch_storm_on_vs_off")
+    if ratio is not None:
+        print(f"perf gate: storm coalescing on-vs-off {ratio:.2f}x")
+
+    if failed:
+        print(
+            f"perf gate: FAILED — slower than baseline on: {', '.join(failed)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"perf gate: all {len(speedups)} scenarios at or above baseline ({sha[:12]})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

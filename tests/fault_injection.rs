@@ -47,6 +47,7 @@ fn drcf_system(
                 scheduler: SchedulerConfig::default(),
                 overlap_load_exec: false,
                 abort_load_of: abort,
+                coalesce_config_traffic: false,
             },
             vec![Context::new(
                 Box::new(RegisterFile::new("hwa", 0x2000, 16, 2)),

@@ -191,6 +191,7 @@ fn dma_and_fabric_share_the_bus() {
                 scheduler: SchedulerConfig::default(),
                 overlap_load_exec: false,
                 abort_load_of: vec![],
+                coalesce_config_traffic: false,
             },
             vec![Context::new(
                 Box::new(RegisterFile::new("ctx", 0x8000, 16, 1)),
