@@ -9,6 +9,13 @@
 //! `--trace-out <path>` instead runs a small traced wireless-receiver
 //! scenario and writes a Perfetto-loadable Chrome trace-event file there,
 //! validating that the written JSON parses before exiting.
+//!
+//! `--snapshot-out <path> [--at-ns N]` runs the canonical wireless-receiver
+//! DRCF scenario up to `N` ns (default: half its makespan) and writes the
+//! deterministic snapshot document there. `--resume-from <path>` restores
+//! that snapshot into a freshly built system, runs it to completion, and
+//! cross-checks the resumed metrics against a straight run before printing
+//! them.
 
 /// Event dispatch allocates roughly 1.3 small blocks per event (boxed
 /// message payloads plus burst-data vectors); the pooled allocator turns
@@ -51,6 +58,74 @@ fn write_trace(path: &str) {
     eprintln!("wrote {path} ({n} trace events, JSON validated)");
 }
 
+/// The fixed scenario the snapshot flags operate on: both `--snapshot-out`
+/// and `--resume-from` must describe the identical system or restore will
+/// reject the document.
+fn snapshot_scenario() -> (drcf_soc::prelude::Workload, drcf_soc::prelude::SocSpec) {
+    use drcf_soc::prelude::*;
+    let w = wireless_receiver(2, 32);
+    let names: Vec<String> = w.accels.iter().map(|a| a.name.clone()).collect();
+    let spec = SocSpec {
+        mapping: Mapping::Drcf {
+            candidates: names.clone(),
+            technology: drcf_core::prelude::morphosys(),
+            geometry: drcf_dse::prelude::size_fabric(&w, &names, 1.2, 1),
+            config_path: SocConfigPath::SystemBus,
+            scheduler: drcf_core::prelude::SchedulerConfig::default(),
+            overlap_load_exec: false,
+        },
+        ..SocSpec::default()
+    };
+    (w, spec)
+}
+
+fn write_snapshot(path: &str, at_ns: Option<u64>) {
+    use drcf_kernel::prelude::SimDuration;
+    use drcf_soc::prelude::*;
+    let (w, spec) = snapshot_scenario();
+    let at = match at_ns {
+        Some(n) => SimDuration::ns(n),
+        None => {
+            let (m, _) = run_soc(build_soc(&w, &spec).expect("build snapshot scenario"));
+            assert!(m.ok, "snapshot scenario failed: {:?}", m.error);
+            SimDuration::fs(m.makespan.as_fs() / 2)
+        }
+    };
+    let snap = snapshot_prefix(&w, &spec, at).expect("capture snapshot");
+    let text = snap.to_text();
+    std::fs::write(path, &text).expect("write snapshot file");
+    eprintln!(
+        "wrote {path} ({} bytes, snapshot at {} ns)",
+        text.len(),
+        at.as_fs() / 1_000_000
+    );
+}
+
+fn resume_snapshot(path: &str) {
+    use drcf_kernel::prelude::Snapshot;
+    use drcf_soc::prelude::*;
+    let (w, spec) = snapshot_scenario();
+    let text = std::fs::read_to_string(path).expect("read snapshot file");
+    let snap = Snapshot::parse(&text).expect("snapshot must parse");
+    let (m, _) = run_soc(restore_soc(&w, &spec, &snap).expect("restore snapshot"));
+    assert!(m.ok, "resumed run failed: {:?}", m.error);
+    // The resumed run must land exactly where a straight run does.
+    let (straight, _) = run_soc(build_soc(&w, &spec).expect("build straight run"));
+    assert_eq!(
+        m.makespan, straight.makespan,
+        "resumed run diverged from the straight run"
+    );
+    assert_eq!(m.bus_words, straight.bus_words, "bus traffic diverged");
+    assert_eq!(m.switches, straight.switches, "context switches diverged");
+    println!(
+        "resumed from {path}: makespan {} ns, {} bus words, {} context switches (verified \
+         bit-identical to a straight run)",
+        m.makespan.as_fs() / 1_000_000,
+        m.bus_words,
+        m.switches
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--bench-json") {
@@ -63,6 +138,21 @@ fn main() {
     if let Some(i) = args.iter().position(|a| a == "--trace-out") {
         let path = args.get(i + 1).expect("--trace-out needs a path");
         write_trace(path);
+        return;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--snapshot-out") {
+        let path = args.get(i + 1).expect("--snapshot-out needs a path");
+        let at_ns = args.iter().position(|a| a == "--at-ns").map(|j| {
+            args.get(j + 1)
+                .and_then(|v| v.parse().ok())
+                .expect("--at-ns needs an integer nanosecond count")
+        });
+        write_snapshot(path, at_ns);
+        return;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--resume-from") {
+        let path = args.get(i + 1).expect("--resume-from needs a path");
+        resume_snapshot(path);
         return;
     }
     let markdown = args.iter().any(|a| a == "--markdown");

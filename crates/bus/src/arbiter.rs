@@ -4,6 +4,7 @@
 //! Three classic policies are provided: fixed priority, round-robin, and
 //! TDMA. All are deterministic.
 
+use drcf_kernel::json::{ju64, ju64_of, Json};
 use drcf_kernel::prelude::{ComponentId, SimDuration, SimTime};
 
 /// Summary of one queued request, as seen by the arbiter.
@@ -30,6 +31,17 @@ pub trait Arbiter: 'static {
 
     /// Policy name for reports.
     fn name(&self) -> &'static str;
+
+    /// Capture grant history (for `Simulator::snapshot`). Stateless
+    /// policies keep the default.
+    fn snapshot_state(&self) -> Json {
+        Json::Null
+    }
+
+    /// Restore state captured by [`Arbiter::snapshot_state`].
+    fn restore_state(&mut self, _state: &Json) -> Result<(), String> {
+        Ok(())
+    }
 }
 
 /// Selects pending responses before requests; among the given subset,
@@ -95,6 +107,40 @@ impl Arbiter for RoundRobinArbiter {
     }
     fn name(&self) -> &'static str {
         "round-robin"
+    }
+
+    fn snapshot_state(&self) -> Json {
+        Json::obj()
+            .with(
+                "history",
+                Json::Arr(
+                    self.history
+                        .iter()
+                        .map(|&(id, g)| Json::Arr(vec![ju64(id as u64), ju64(g)]))
+                        .collect(),
+                ),
+            )
+            .with("grants", ju64(self.grants))
+    }
+
+    fn restore_state(&mut self, state: &Json) -> Result<(), String> {
+        let hist = state
+            .get("history")
+            .and_then(Json::as_arr)
+            .ok_or("round-robin history missing")?;
+        self.history.clear();
+        for e in hist {
+            let pair = e.as_arr().filter(|p| p.len() == 2);
+            let (id, g) = pair
+                .and_then(|p| Some((ju64_of(&p[0])?, ju64_of(&p[1])?)))
+                .ok_or("malformed round-robin history entry")?;
+            self.history.push((id as ComponentId, g));
+        }
+        self.grants = state
+            .get("grants")
+            .and_then(ju64_of)
+            .ok_or("round-robin grants missing")?;
+        Ok(())
     }
 }
 

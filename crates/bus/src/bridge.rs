@@ -15,10 +15,13 @@
 
 use std::collections::VecDeque;
 
+use drcf_kernel::json::{ju64, Json};
 use drcf_kernel::prelude::*;
+use drcf_kernel::snapshot::{self as snap, Snapshotable};
 
 use crate::interfaces::MasterPort;
 use crate::protocol::{BusResponse, SlaveAccess, SlaveReply, TxnId};
+use crate::snapshot::req_of;
 
 /// Bridge parameters.
 #[derive(Debug, Clone)]
@@ -134,6 +137,65 @@ impl BusBridge {
 }
 
 impl Component for BusBridge {
+    fn snapshot(&mut self) -> SimResult<Json> {
+        Ok(Json::obj()
+            .with("port", self.port.snapshot_json())
+            .with(
+                "pending_forward",
+                Json::Arr(
+                    self.pending_forward
+                        .iter()
+                        .map(|a| {
+                            Json::obj()
+                                .with("req", crate::snapshot::req_json(&a.req))
+                                .with("bus", ju64(a.bus as u64))
+                        })
+                        .collect(),
+                ),
+            )
+            .with(
+                "in_flight",
+                Json::Arr(
+                    self.in_flight
+                        .iter()
+                        .map(|f| {
+                            Json::obj()
+                                .with("downstream_txn", ju64(f.downstream_txn))
+                                .with("upstream_txn", ju64(f.upstream_txn))
+                                .with("upstream_master", ju64(f.upstream_master as u64))
+                                .with("upstream_bus", ju64(f.upstream_bus as u64))
+                        })
+                        .collect(),
+                ),
+            )
+            .with("forwarded", ju64(self.forwarded))
+            .with("returned", ju64(self.returned)))
+    }
+
+    fn restore(&mut self, state: &Json) -> SimResult<()> {
+        self.port.restore_json(snap::field(state, "port")?)?;
+        self.pending_forward.clear();
+        for a in snap::arr_field(state, "pending_forward")? {
+            self.pending_forward.push_back(SlaveAccess {
+                req: req_of(snap::field(a, "req")?)
+                    .ok_or_else(|| snap::err("malformed bridged request"))?,
+                bus: snap::usize_field(a, "bus")?,
+            });
+        }
+        self.in_flight.clear();
+        for f in snap::arr_field(state, "in_flight")? {
+            self.in_flight.push(InFlight {
+                downstream_txn: snap::u64_field(f, "downstream_txn")?,
+                upstream_txn: snap::u64_field(f, "upstream_txn")?,
+                upstream_master: snap::usize_field(f, "upstream_master")?,
+                upstream_bus: snap::usize_field(f, "upstream_bus")?,
+            });
+        }
+        self.forwarded = snap::u64_field(state, "forwarded")?;
+        self.returned = snap::u64_field(state, "returned")?;
+        Ok(())
+    }
+
     fn handle(&mut self, api: &mut Api<'_>, msg: Msg) {
         match msg.kind {
             MsgKind::Timer(TAG_FORWARD) => self.forward_now(api),

@@ -13,7 +13,9 @@
 //! * **Split** — the bus is released between the address phase and the
 //!   response phase, so slaves may master the bus while owing responses.
 
+use drcf_kernel::json::{ju64, Json};
 use drcf_kernel::prelude::*;
+use drcf_kernel::snapshot::{self as snap, Snapshotable};
 
 use crate::arbiter::{Arbiter, ArbiterKind, Candidate};
 use crate::map::AddressMap;
@@ -248,6 +250,7 @@ pub struct Bus {
 impl Bus {
     /// New bus with the given configuration and decode map.
     pub fn new(cfg: BusConfig, map: AddressMap) -> Self {
+        crate::snapshot::register_bus_codecs();
         let arbiter = cfg.arbiter.build();
         Bus {
             cfg,
@@ -822,7 +825,236 @@ impl Bus {
     }
 }
 
+impl Bus {
+    fn pending_json(&self) -> Json {
+        use crate::snapshot::{reply_json, req_json, time_json};
+        Json::Arr(
+            self.pending
+                .iter()
+                .map(|p| match p {
+                    Pending::Request {
+                        req,
+                        arrival,
+                        arrived_at,
+                    } => Json::obj()
+                        .with("kind", "req".into())
+                        .with("req", req_json(req))
+                        .with("arrival", ju64(*arrival))
+                        .with("arrived_at", time_json(*arrived_at)),
+                    Pending::Response {
+                        reply,
+                        arrival,
+                        arrived_at,
+                    } => Json::obj()
+                        .with("kind", "resp".into())
+                        .with("reply", reply_json(reply))
+                        .with("arrival", ju64(*arrival))
+                        .with("arrived_at", time_json(*arrived_at)),
+                })
+                .collect(),
+        )
+    }
+
+    fn restore_pending(&mut self, state: &Json) -> SimResult<()> {
+        use crate::snapshot::{reply_of, req_of, time_of};
+        self.pending.clear();
+        for p in snap::arr_field(state, "pending")? {
+            let arrival = snap::u64_field(p, "arrival")?;
+            let arrived_at =
+                time_of(snap::field(p, "arrived_at")?).ok_or_else(|| snap::err("bad time"))?;
+            let entry = match snap::str_field(p, "kind")? {
+                "req" => Pending::Request {
+                    req: req_of(snap::field(p, "req")?)
+                        .ok_or_else(|| snap::err("malformed pending bus request"))?,
+                    arrival,
+                    arrived_at,
+                },
+                "resp" => Pending::Response {
+                    reply: reply_of(snap::field(p, "reply")?)
+                        .ok_or_else(|| snap::err("malformed pending slave reply"))?,
+                    arrival,
+                    arrived_at,
+                },
+                other => return Err(snap::err(format!("unknown pending kind `{other}`"))),
+            };
+            self.pending.push(entry);
+        }
+        Ok(())
+    }
+
+    fn state_json(&self) -> Json {
+        use crate::snapshot::{reply_json, req_json};
+        match &self.state {
+            State::Idle => Json::obj().with("kind", "idle".into()),
+            State::RequestPhase { req, slave } => Json::obj()
+                .with("kind", "request".into())
+                .with("req", req_json(req))
+                .with("slave", ju64(*slave as u64)),
+            State::WaitSlave => Json::obj().with("kind", "wait_slave".into()),
+            State::ResponsePhase { reply } => Json::obj()
+                .with("kind", "response".into())
+                .with("reply", reply_json(reply)),
+        }
+    }
+
+    fn restore_state(&mut self, state: &Json) -> SimResult<()> {
+        use crate::snapshot::{reply_of, req_of};
+        let j = snap::field(state, "state")?;
+        self.state = match snap::str_field(j, "kind")? {
+            "idle" => State::Idle,
+            "request" => State::RequestPhase {
+                req: req_of(snap::field(j, "req")?)
+                    .ok_or_else(|| snap::err("malformed in-phase bus request"))?,
+                slave: snap::usize_field(j, "slave")?,
+            },
+            "wait_slave" => State::WaitSlave,
+            "response" => State::ResponsePhase {
+                reply: reply_of(snap::field(j, "reply")?)
+                    .ok_or_else(|| snap::err("malformed in-phase slave reply"))?,
+            },
+            other => return Err(snap::err(format!("unknown bus state `{other}`"))),
+        };
+        Ok(())
+    }
+
+    fn train_json(&self) -> Json {
+        use crate::snapshot::{burst_json, time_json};
+        match &self.train {
+            None => Json::Null,
+            Some(t) => Json::obj()
+                .with("master", ju64(t.master as u64))
+                .with("priority", ju64(t.priority as u64))
+                .with("tag", ju64(t.tag))
+                .with("slave", ju64(t.slave as u64))
+                .with("started", time_json(t.started))
+                .with("slave_busy_at_start", time_json(t.slave_busy_at_start))
+                .with(
+                    "bursts",
+                    Json::Arr(t.bursts.iter().map(burst_json).collect()),
+                )
+                .with(
+                    "sched",
+                    Json::Arr(
+                        t.sched
+                            .iter()
+                            .map(|s| {
+                                Json::Arr(vec![
+                                    time_json(s.grant),
+                                    time_json(s.access),
+                                    time_json(s.reply),
+                                    time_json(s.end),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                )
+                .with("timer", ju64(t.timer.raw())),
+        }
+    }
+
+    fn restore_train(&mut self, state: &Json) -> SimResult<()> {
+        use crate::snapshot::{burst_of, time_of};
+        let j = snap::field(state, "train")?;
+        if matches!(j, Json::Null) {
+            self.train = None;
+            return Ok(());
+        }
+        let bursts = snap::arr_field(j, "bursts")?
+            .iter()
+            .map(burst_of)
+            .collect::<Option<Vec<TrainBurst>>>()
+            .ok_or_else(|| snap::err("malformed train burst"))?;
+        let mut sched = Vec::new();
+        for s in snap::arr_field(j, "sched")? {
+            let q = s
+                .as_arr()
+                .filter(|q| q.len() == 4)
+                .ok_or_else(|| snap::err("malformed train schedule entry"))?;
+            let mut times = [SimTime::ZERO; 4];
+            for (slot, t) in times.iter_mut().zip(q.iter()) {
+                *slot = time_of(t).ok_or_else(|| snap::err("bad time"))?;
+            }
+            sched.push(BurstSched {
+                grant: times[0],
+                access: times[1],
+                reply: times[2],
+                end: times[3],
+            });
+        }
+        self.train = Some(TrainRun {
+            master: snap::usize_field(j, "master")?,
+            priority: snap::u64_field(j, "priority")? as u8,
+            tag: snap::u64_field(j, "tag")?,
+            slave: snap::usize_field(j, "slave")?,
+            started: time_of(snap::field(j, "started")?).ok_or_else(|| snap::err("bad time"))?,
+            slave_busy_at_start: time_of(snap::field(j, "slave_busy_at_start")?)
+                .ok_or_else(|| snap::err("bad time"))?,
+            bursts,
+            sched,
+            timer: TimerHandle::from_raw(snap::u64_field(j, "timer")?),
+        });
+        Ok(())
+    }
+}
+
 impl Component for Bus {
+    fn snapshot(&mut self) -> SimResult<Json> {
+        use crate::snapshot::time_json;
+        Ok(Json::obj()
+            .with("arbiter", self.arbiter.snapshot_state())
+            .with("pending", self.pending_json())
+            .with("arrivals", ju64(self.arrivals))
+            .with("state", self.state_json())
+            .with("retry_armed", Json::Bool(self.retry_armed))
+            .with(
+                "slave_busy",
+                Json::Arr(
+                    self.slave_timings
+                        .iter()
+                        .map(|&(id, _, busy)| Json::Arr(vec![ju64(id as u64), time_json(busy)]))
+                        .collect(),
+                ),
+            )
+            .with("outstanding_split", ju64(self.outstanding_split as u64))
+            .with("train", self.train_json())
+            .with("train_txns", ju64(self.train_txns))
+            .with("stats", self.stats.snapshot_json()))
+    }
+
+    fn restore(&mut self, state: &Json) -> SimResult<()> {
+        use crate::snapshot::time_of;
+        self.arbiter
+            .restore_state(snap::field(state, "arbiter")?)
+            .map_err(snap::err)?;
+        self.restore_pending(state)?;
+        self.arrivals = snap::u64_field(state, "arrivals")?;
+        self.restore_state(state)?;
+        self.retry_armed = snap::bool_field(state, "retry_armed")?;
+        for e in snap::arr_field(state, "slave_busy")? {
+            let pair = e
+                .as_arr()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| snap::err("malformed slave-busy entry"))?;
+            let id = drcf_kernel::json::ju64_of(&pair[0])
+                .ok_or_else(|| snap::err("slave-busy id is not a u64"))?
+                as ComponentId;
+            let busy = time_of(&pair[1]).ok_or_else(|| snap::err("bad time"))?;
+            let slot = self
+                .slave_timings
+                .iter_mut()
+                .find(|t| t.0 == id)
+                .ok_or_else(|| {
+                    snap::err(format!("snapshot names unregistered slave timing {id}"))
+                })?;
+            slot.2 = busy;
+        }
+        self.outstanding_split = snap::usize_field(state, "outstanding_split")?;
+        self.restore_train(state)?;
+        self.train_txns = snap::u64_field(state, "train_txns")?;
+        self.stats.restore_json(snap::field(state, "stats")?)?;
+        Ok(())
+    }
+
     fn handle(&mut self, api: &mut Api<'_>, msg: Msg) {
         match msg.kind {
             MsgKind::Timer(TAG_REQ_DONE) => self.request_phase_done(api),
@@ -906,6 +1138,32 @@ mod tests {
     }
 
     impl Component for SeqMaster {
+        fn snapshot(&mut self) -> SimResult<Json> {
+            Ok(Json::obj()
+                .with("port", self.port.snapshot_json())
+                .with("pc", ju64(self.pc as u64))
+                .with(
+                    "responses",
+                    Json::Arr(
+                        self.responses
+                            .iter()
+                            .map(crate::snapshot::resp_json)
+                            .collect(),
+                    ),
+                ))
+        }
+
+        fn restore(&mut self, state: &Json) -> SimResult<()> {
+            self.port.restore_json(snap::field(state, "port")?)?;
+            self.pc = snap::usize_field(state, "pc")?;
+            self.responses = snap::arr_field(state, "responses")?
+                .iter()
+                .map(crate::snapshot::resp_of)
+                .collect::<Option<Vec<_>>>()
+                .ok_or_else(|| snap::err("malformed recorded response"))?;
+            Ok(())
+        }
+
         fn handle(&mut self, api: &mut Api<'_>, msg: Msg) {
             match msg.kind {
                 MsgKind::Start => self.issue_next(api),
@@ -1323,6 +1581,58 @@ mod tests {
     }
 
     impl Component for TrainMaster {
+        fn snapshot(&mut self) -> SimResult<Json> {
+            use crate::snapshot::time_json;
+            Ok(Json::obj()
+                .with("port", self.port.snapshot_json())
+                .with("pc", ju64(self.pc as u64))
+                .with(
+                    "outcome",
+                    self.outcome.map_or(Json::Null, |s| Json::Str(s.into())),
+                )
+                .with("done_words", ju64(self.done_words))
+                .with(
+                    "deco",
+                    match &self.deco {
+                        None => Json::Null,
+                        Some(d) => drcf_kernel::snapshot::encode_payload(d)?,
+                    },
+                )
+                .with(
+                    "finished_at",
+                    self.finished_at.map_or(Json::Null, time_json),
+                ))
+        }
+
+        fn restore(&mut self, state: &Json) -> SimResult<()> {
+            use crate::snapshot::time_of;
+            self.port.restore_json(snap::field(state, "port")?)?;
+            self.pc = snap::usize_field(state, "pc")?;
+            self.outcome = match snap::field(state, "outcome")? {
+                Json::Null => None,
+                j => match j.as_str() {
+                    Some("done") => Some("done"),
+                    Some("rejected") => Some("rejected"),
+                    Some("decoalesced") => Some("decoalesced"),
+                    _ => return Err(snap::err("unknown train outcome")),
+                },
+            };
+            self.done_words = snap::u64_field(state, "done_words")?;
+            self.deco = match snap::field(state, "deco")? {
+                Json::Null => None,
+                j => Some(
+                    *drcf_kernel::snapshot::decode_payload(j)?
+                        .downcast::<ConfigTrainDecoalesced>()
+                        .map_err(|_| snap::err("deco payload has the wrong type"))?,
+                ),
+            };
+            self.finished_at = match snap::field(state, "finished_at")? {
+                Json::Null => None,
+                j => Some(time_of(j).ok_or_else(|| snap::err("bad time"))?),
+            };
+            Ok(())
+        }
+
         fn handle(&mut self, api: &mut Api<'_>, msg: Msg) {
             let msg = match msg.kind {
                 MsgKind::Start => {
@@ -1539,5 +1849,73 @@ mod tests {
             );
         }
         assert!(saw_decoalesce, "the sweep must hit mid-window arrivals");
+    }
+
+    /// Everything the split-world run can externally observe, for
+    /// restore-vs-straight comparisons.
+    fn split_observables(sim: &Simulator, master: ComponentId, bus: ComponentId) -> String {
+        let m = sim.get::<SeqMaster>(master);
+        let b = sim.get::<Bus>(bus);
+        format!(
+            "now={:?} responses={:?} stats={}",
+            sim.now(),
+            m.responses,
+            b.stats.snapshot_json(),
+        )
+    }
+
+    #[test]
+    fn snapshot_mid_split_transaction_restores_bit_identical() {
+        // Run to 15 ns: the write's 3-cycle request phase (30 ns) is still
+        // in flight, so the bus is mid-transaction with a timer pending.
+        let (mut sim, master, bus) = build(BusMode::Split);
+        ok(sim.run_until(SimTime::ZERO + SimDuration::ns(15)));
+        assert!(
+            !matches!(sim.get::<Bus>(bus).state, State::Idle),
+            "snapshot must land mid-transaction"
+        );
+        let snap = ok(sim.snapshot());
+
+        let (mut fresh, master2, bus2) = build(BusMode::Split);
+        ok(fresh.restore(&snap));
+        ok(fresh.run());
+        ok(sim.run());
+        assert_eq!(
+            split_observables(&sim, master, bus),
+            split_observables(&fresh, master2, bus2),
+        );
+    }
+
+    #[test]
+    fn snapshot_mid_config_train_restores_bit_identical() {
+        // Run into the analytic train window, snapshot while the train is
+        // active, and check the restored world finishes identically.
+        let (mut sim, master, bus) = build_train_world(true, true, None);
+        ok(sim.run_until(SimTime::ZERO + SimDuration::ns(100)));
+        assert!(
+            sim.get::<Bus>(bus).train.is_some(),
+            "snapshot must land inside the train window"
+        );
+        let snap = ok(sim.snapshot());
+
+        let (mut fresh, master2, bus2) = build_train_world(true, true, None);
+        ok(fresh.restore(&snap));
+        ok(fresh.run());
+        ok(sim.run());
+
+        let view = |s: &Simulator, master: ComponentId, bus: ComponentId| {
+            let m = s.get::<TrainMaster>(master);
+            let b = s.get::<Bus>(bus);
+            format!(
+                "now={:?} outcome={:?} words={} finished={:?} stats={}",
+                s.now(),
+                m.outcome,
+                m.done_words,
+                m.finished_at,
+                b.stats.snapshot_json(),
+            )
+        };
+        assert_eq!(view(&sim, master, bus), view(&fresh, master2, bus2));
+        assert_eq!(sim.get::<TrainMaster>(master).outcome, Some("done"));
     }
 }

@@ -12,10 +12,13 @@
 //!
 //! On completion the programmer receives a [`DmaDone`].
 
+use drcf_kernel::json::{ju64, Json};
 use drcf_kernel::prelude::*;
+use drcf_kernel::snapshot::{self as snap, Snapshotable};
 
 use crate::interfaces::MasterPort;
 use crate::protocol::{Addr, BusOp, BusResponse, SlaveAccess, SlaveReply, Word};
+use crate::snapshot::{words_json, words_of};
 
 /// Register offsets from the DMA's base address.
 pub mod regs {
@@ -312,6 +315,95 @@ impl Dma {
 }
 
 impl Component for Dma {
+    fn snapshot(&mut self) -> SimResult<Json> {
+        Ok(Json::obj()
+            .with("regs", words_json(&self.regs))
+            .with("port", self.port.snapshot_json())
+            .with(
+                "state",
+                Json::from(match self.state {
+                    State::Idle => "idle",
+                    State::Reading => "reading",
+                    State::Writing => "writing",
+                }),
+            )
+            .with("remaining", ju64(self.remaining))
+            .with("cur_src", ju64(self.cur_src))
+            .with("cur_dst", ju64(self.cur_dst))
+            .with(
+                "notify",
+                match self.notify {
+                    Some((target, tag)) => Json::Arr(vec![ju64(target as u64), ju64(tag)]),
+                    None => Json::Null,
+                },
+            )
+            .with(
+                "auto",
+                match &self.auto {
+                    Some(a) => Json::obj()
+                        .with("src", ju64(a.program.src))
+                        .with("dst", ju64(a.program.dst))
+                        .with("words", ju64(a.program.words))
+                        .with("notify", ju64(a.program.notify as u64))
+                        .with("tag", ju64(a.program.tag))
+                        .with("period", ju64(a.period.as_fs()))
+                        .with("left", ju64(a.left)),
+                    None => Json::Null,
+                },
+            )
+            .with("words_moved", ju64(self.words_moved))
+            .with("transfers", ju64(self.transfers)))
+    }
+
+    fn restore(&mut self, state: &Json) -> SimResult<()> {
+        let regs = words_of(snap::field(state, "regs")?)
+            .filter(|r| r.len() == 4)
+            .ok_or_else(|| snap::err("DMA registers malformed"))?;
+        self.regs.copy_from_slice(&regs);
+        self.port.restore_json(snap::field(state, "port")?)?;
+        self.state = match snap::str_field(state, "state")? {
+            "idle" => State::Idle,
+            "reading" => State::Reading,
+            "writing" => State::Writing,
+            other => return Err(snap::err(format!("unknown DMA state {other:?}"))),
+        };
+        self.remaining = snap::u64_field(state, "remaining")?;
+        self.cur_src = snap::u64_field(state, "cur_src")?;
+        self.cur_dst = snap::u64_field(state, "cur_dst")?;
+        self.notify = match snap::field(state, "notify")? {
+            Json::Null => None,
+            j => {
+                let pair = j.as_arr().filter(|p| p.len() == 2);
+                let (target, tag) = pair
+                    .and_then(|p| {
+                        Some((
+                            drcf_kernel::json::ju64_of(&p[0])?,
+                            drcf_kernel::json::ju64_of(&p[1])?,
+                        ))
+                    })
+                    .ok_or_else(|| snap::err("malformed DMA notify entry"))?;
+                Some((target as ComponentId, tag))
+            }
+        };
+        self.auto = match snap::field(state, "auto")? {
+            Json::Null => None,
+            a => Some(AutoRepeat {
+                program: DmaProgram {
+                    src: snap::u64_field(a, "src")?,
+                    dst: snap::u64_field(a, "dst")?,
+                    words: snap::u64_field(a, "words")?,
+                    notify: snap::usize_field(a, "notify")?,
+                    tag: snap::u64_field(a, "tag")?,
+                },
+                period: SimDuration::fs(snap::u64_field(a, "period")?),
+                left: snap::u64_field(a, "left")?,
+            }),
+        };
+        self.words_moved = snap::u64_field(state, "words_moved")?;
+        self.transfers = snap::u64_field(state, "transfers")?;
+        Ok(())
+    }
+
     fn handle(&mut self, api: &mut Api<'_>, msg: Msg) {
         if matches!(msg.kind, MsgKind::Timer(TAG_AUTO_NEXT)) {
             self.start_auto(api);

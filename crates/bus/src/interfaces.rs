@@ -17,11 +17,14 @@
 //! master-side helper that issues split transactions and holds a kernel
 //! obligation until each response arrives.
 
+use drcf_kernel::json::{ju64, ju64_of, Json};
 use drcf_kernel::prelude::*;
+use drcf_kernel::snapshot::{self as snap, Snapshotable};
 
 use crate::protocol::{
     Addr, BusOp, BusRequest, BusResponse, BusStatus, SlaveAccess, SlaveReply, TxnId, Word,
 };
+use crate::snapshot::{time_json, time_of, words_json, words_of};
 
 /// A functional slave model: address range, word read/write, and a timing
 /// hook. This is the unit the DRCF methodology moves between "own hardware
@@ -46,6 +49,22 @@ pub trait BusSlaveModel: 'static {
     /// Model name for reports.
     fn model_name(&self) -> &str {
         "slave"
+    }
+    /// Capture the model's dynamic state for `Simulator::snapshot`. The
+    /// default fails loudly, like `Component::snapshot`: a stateful model
+    /// must opt in, or a restore would silently resurrect stale contents.
+    fn snapshot_state(&self) -> Result<Json, String> {
+        Err(format!(
+            "slave model {:?} does not implement snapshot",
+            self.model_name()
+        ))
+    }
+    /// Restore state captured by [`BusSlaveModel::snapshot_state`].
+    fn restore_state(&mut self, _state: &Json) -> Result<(), String> {
+        Err(format!(
+            "slave model {:?} does not implement restore",
+            self.model_name()
+        ))
     }
 }
 
@@ -103,6 +122,7 @@ pub struct SlaveAdapter<M: BusSlaveModel> {
 impl<M: BusSlaveModel> SlaveAdapter<M> {
     /// Wrap `model`, timing accesses against a clock of `clock_mhz` MHz.
     pub fn new(model: M, clock_mhz: u64) -> Self {
+        crate::snapshot::register_bus_codecs();
         SlaveAdapter {
             model,
             clock_mhz,
@@ -124,6 +144,25 @@ impl<M: BusSlaveModel> SlaveAdapter<M> {
 }
 
 impl<M: BusSlaveModel> Component for SlaveAdapter<M> {
+    fn snapshot(&mut self) -> SimResult<Json> {
+        Ok(Json::obj()
+            .with("model", self.model.snapshot_state().map_err(snap::err)?)
+            .with("busy_until", time_json(self.busy_until))
+            .with("accesses", ju64(self.accesses))
+            .with("busy_time", ju64(self.busy_time.as_fs())))
+    }
+
+    fn restore(&mut self, state: &Json) -> SimResult<()> {
+        self.model
+            .restore_state(snap::field(state, "model")?)
+            .map_err(snap::err)?;
+        self.busy_until = time_of(snap::field(state, "busy_until")?)
+            .ok_or_else(|| snap::err("slave adapter busy_until is not a time"))?;
+        self.accesses = snap::u64_field(state, "accesses")?;
+        self.busy_time = SimDuration::fs(snap::u64_field(state, "busy_time")?);
+        Ok(())
+    }
+
     fn handle(&mut self, api: &mut Api<'_>, msg: Msg) {
         let access = match msg.user::<SlaveAccess>() {
             Ok(a) => a,
@@ -174,6 +213,7 @@ pub struct MasterPort {
 impl MasterPort {
     /// New port talking to `bus`, issuing at `priority`.
     pub fn new(bus: ComponentId, priority: u8) -> Self {
+        crate::snapshot::register_bus_codecs();
         MasterPort {
             bus,
             priority,
@@ -271,6 +311,43 @@ impl MasterPort {
     }
 }
 
+impl Snapshotable for MasterPort {
+    fn snapshot_json(&self) -> Json {
+        Json::obj()
+            .with("next_txn", ju64(self.next_txn))
+            .with(
+                "in_flight",
+                Json::Arr(
+                    self.in_flight
+                        .iter()
+                        .map(|&(id, at)| Json::Arr(vec![ju64(id), time_json(at)]))
+                        .collect(),
+                ),
+            )
+            .with("issued", ju64(self.issued))
+            .with("completed", ju64(self.completed))
+            .with("errors", ju64(self.errors))
+            .with("latency", self.latency.snapshot_json())
+    }
+
+    fn restore_json(&mut self, state: &Json) -> SimResult<()> {
+        self.next_txn = snap::u64_field(state, "next_txn")?;
+        self.in_flight.clear();
+        for e in snap::arr_field(state, "in_flight")? {
+            let pair = e.as_arr().filter(|p| p.len() == 2);
+            let (id, at) = pair
+                .and_then(|p| Some((ju64_of(&p[0])?, time_of(&p[1])?)))
+                .ok_or_else(|| snap::err("malformed in-flight transaction entry"))?;
+            self.in_flight.push((id, at));
+        }
+        self.issued = snap::u64_field(state, "issued")?;
+        self.completed = snap::u64_field(state, "completed")?;
+        self.errors = snap::u64_field(state, "errors")?;
+        self.latency.restore_json(snap::field(state, "latency")?)?;
+        Ok(())
+    }
+}
+
 /// A trivially configurable register-file slave used in tests and as the
 /// control interface of simple accelerators.
 pub struct RegisterFile {
@@ -322,6 +399,25 @@ impl BusSlaveModel for RegisterFile {
     }
     fn model_name(&self) -> &str {
         &self.name
+    }
+    fn snapshot_state(&self) -> Result<Json, String> {
+        Ok(Json::obj().with("regs", words_json(&self.regs)))
+    }
+    fn restore_state(&mut self, state: &Json) -> Result<(), String> {
+        let regs = state
+            .get("regs")
+            .and_then(words_of)
+            .ok_or("register file regs missing")?;
+        if regs.len() != self.regs.len() {
+            return Err(format!(
+                "register file {:?} has {} registers, snapshot has {}",
+                self.name,
+                self.regs.len(),
+                regs.len()
+            ));
+        }
+        self.regs = regs;
+        Ok(())
     }
 }
 

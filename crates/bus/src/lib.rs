@@ -25,6 +25,7 @@ pub mod map;
 pub mod memory;
 pub mod monitor;
 pub mod protocol;
+pub mod snapshot;
 
 /// Commonly used items.
 pub mod prelude {
@@ -43,4 +44,5 @@ pub mod prelude {
         ConfigTrainDecoalesced, ConfigTrainDone, ConfigTrainRejected, DirectReadDone,
         DirectReadReq, InFlightBurst, ServeBurst, SlaveAccess, SlaveReply, TrainBurst, TxnId, Word,
     };
+    pub use crate::snapshot::register_bus_codecs;
 }

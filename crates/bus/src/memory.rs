@@ -14,7 +14,9 @@
 //! measure the effects of different memory organizations ... to the total
 //! system performance" (experiment E6).
 
+use drcf_kernel::json::{ju64, ju64_of, Json};
 use drcf_kernel::prelude::*;
+use drcf_kernel::snapshot as snap;
 
 use crate::bus::SlaveTiming;
 use crate::interfaces::apply_request;
@@ -125,6 +127,7 @@ pub struct Memory {
 impl Memory {
     /// New zero-initialized memory.
     pub fn new(cfg: MemoryConfig) -> Self {
+        crate::snapshot::register_bus_codecs();
         let data = vec![0; cfg.size_words];
         Memory {
             cfg,
@@ -169,6 +172,40 @@ impl Memory {
         *busy_until = done;
         done.since(now)
     }
+
+    /// Nonzero words as `[index, value]` pairs — memories are mostly zeros,
+    /// so snapshots stay proportional to live data, not capacity.
+    fn sparse_data_json(&self) -> Json {
+        Json::Arr(
+            self.data
+                .iter()
+                .enumerate()
+                .filter(|&(_, &w)| w != 0)
+                .map(|(i, &w)| Json::Arr(vec![ju64(i as u64), ju64(w)]))
+                .collect(),
+        )
+    }
+
+    fn restore_sparse_data(&mut self, j: &Json) -> SimResult<()> {
+        // The freshly built memory may have been preloaded by the harness;
+        // the snapshot is authoritative, so start from all-zeros.
+        self.data.fill(0);
+        for e in j
+            .as_arr()
+            .ok_or_else(|| snap::err("memory data is not an array"))?
+        {
+            let pair = e.as_arr().filter(|p| p.len() == 2);
+            let (i, w) = pair
+                .and_then(|p| Some((ju64_of(&p[0])?, ju64_of(&p[1])?)))
+                .ok_or_else(|| snap::err("malformed memory word entry"))?;
+            let slot = self
+                .data
+                .get_mut(i as usize)
+                .ok_or_else(|| snap::err(format!("memory word {i} outside capacity")))?;
+            *slot = w;
+        }
+        Ok(())
+    }
 }
 
 impl BusSlaveModel for Memory {
@@ -209,6 +246,39 @@ impl BusSlaveModel for Memory {
 }
 
 impl Component for Memory {
+    fn snapshot(&mut self) -> SimResult<Json> {
+        Ok(Json::obj()
+            .with("data", self.sparse_data_json())
+            .with("bus_busy_until", ju64(self.bus_busy_until.as_fs()))
+            .with("direct_busy_until", ju64(self.direct_busy_until.as_fs()))
+            .with(
+                "stats",
+                Json::obj()
+                    .with("reads", ju64(self.stats.reads))
+                    .with("writes", ju64(self.stats.writes))
+                    .with("words_read", ju64(self.stats.words_read))
+                    .with("words_written", ju64(self.stats.words_written))
+                    .with("direct_reads", ju64(self.stats.direct_reads))
+                    .with("direct_words", ju64(self.stats.direct_words)),
+            ))
+    }
+
+    fn restore(&mut self, state: &Json) -> SimResult<()> {
+        self.restore_sparse_data(snap::field(state, "data")?)?;
+        self.bus_busy_until = SimTime(snap::u64_field(state, "bus_busy_until")?);
+        self.direct_busy_until = SimTime(snap::u64_field(state, "direct_busy_until")?);
+        let s = snap::field(state, "stats")?;
+        self.stats = MemoryStats {
+            reads: snap::u64_field(s, "reads")?,
+            writes: snap::u64_field(s, "writes")?,
+            words_read: snap::u64_field(s, "words_read")?,
+            words_written: snap::u64_field(s, "words_written")?,
+            direct_reads: snap::u64_field(s, "direct_reads")?,
+            direct_words: snap::u64_field(s, "direct_words")?,
+        };
+        Ok(())
+    }
+
     fn handle(&mut self, api: &mut Api<'_>, msg: Msg) {
         // Bus port.
         let msg = match msg.user::<SlaveAccess>() {

@@ -2,7 +2,9 @@
 
 use std::fmt;
 
+use drcf_kernel::json::{ju64, Json};
 use drcf_kernel::prelude::*;
+use drcf_kernel::snapshot::{self as snap, Snapshotable};
 
 /// Statistics one bus instance accumulates during a run.
 #[derive(Default)]
@@ -88,6 +90,75 @@ impl BusStats {
             .collect();
         rows.sort_by_key(|r| std::cmp::Reverse(r.grants));
         BusContention { rows }
+    }
+}
+
+impl Snapshotable for BusStats {
+    fn snapshot_json(&self) -> Json {
+        Json::obj()
+            .with("busy", self.busy.snapshot_json())
+            .with(
+                "grants",
+                Json::Arr(
+                    self.grants
+                        .iter()
+                        .map(|&(id, g)| Json::Arr(vec![ju64(id as u64), ju64(g)]))
+                        .collect(),
+                ),
+            )
+            .with("requests", ju64(self.requests))
+            .with("responses", ju64(self.responses))
+            .with("words", ju64(self.words))
+            .with("decode_errors", ju64(self.decode_errors))
+            .with("injected_faults", ju64(self.injected_faults))
+            .with("wait", self.wait.snapshot_json())
+            .with(
+                "per_master_wait",
+                Json::Arr(
+                    self.per_master_wait
+                        .iter()
+                        .map(|(id, h)| Json::Arr(vec![ju64(*id as u64), h.snapshot_json()]))
+                        .collect(),
+                ),
+            )
+            .with("max_queue", ju64(self.max_queue as u64))
+    }
+
+    fn restore_json(&mut self, state: &Json) -> SimResult<()> {
+        self.busy.restore_json(snap::field(state, "busy")?)?;
+        self.grants.clear();
+        for e in snap::arr_field(state, "grants")? {
+            let pair = e.as_arr().filter(|p| p.len() == 2);
+            let (id, g) = pair
+                .and_then(|p| {
+                    Some((
+                        drcf_kernel::json::ju64_of(&p[0])?,
+                        drcf_kernel::json::ju64_of(&p[1])?,
+                    ))
+                })
+                .ok_or_else(|| snap::err("malformed bus-stats grant entry"))?;
+            self.grants.push((id as ComponentId, g));
+        }
+        self.requests = snap::u64_field(state, "requests")?;
+        self.responses = snap::u64_field(state, "responses")?;
+        self.words = snap::u64_field(state, "words")?;
+        self.decode_errors = snap::u64_field(state, "decode_errors")?;
+        self.injected_faults = snap::u64_field(state, "injected_faults")?;
+        self.wait.restore_json(snap::field(state, "wait")?)?;
+        self.per_master_wait.clear();
+        for e in snap::arr_field(state, "per_master_wait")? {
+            let pair = e
+                .as_arr()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| snap::err("malformed per-master wait entry"))?;
+            let id = drcf_kernel::json::ju64_of(&pair[0])
+                .ok_or_else(|| snap::err("per-master wait id is not a u64"))?;
+            let mut h = LatencyHistogram::new();
+            h.restore_json(&pair[1])?;
+            self.per_master_wait.push((id as ComponentId, h));
+        }
+        self.max_queue = snap::usize_field(state, "max_queue")?;
+        Ok(())
     }
 }
 

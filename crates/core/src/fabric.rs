@@ -27,7 +27,10 @@ use drcf_bus::prelude::{
     ConfigTrainDone, ConfigTrainRejected, DirectReadDone, DirectReadReq, MasterPort, SlaveAccess,
     SlaveReply, TrainBurst,
 };
+use drcf_bus::snapshot::{access_json, access_of, time_json, time_of};
+use drcf_kernel::json::{ju64, Json};
 use drcf_kernel::prelude::*;
+use drcf_kernel::snapshot::{self as snap, Snapshotable};
 
 use crate::context::{Context, ContextId};
 use crate::scheduler::{ContextScheduler, Lookup, SchedulerConfig};
@@ -225,6 +228,7 @@ impl Drcf {
     /// when the context set is empty, a context's parameters are invalid,
     /// or two contexts' interface ranges overlap.
     pub fn try_new(cfg: DrcfConfig, contexts: Vec<Context>) -> SimResult<Self> {
+        drcf_bus::snapshot::register_bus_codecs();
         if contexts.is_empty() {
             return Err(SimError::new(
                 SimErrorKind::Validation,
@@ -1004,7 +1008,161 @@ enum LoadStart {
     Impossible,
 }
 
+impl Drcf {
+    fn loading_json(&self) -> Json {
+        match &self.loading {
+            None => Json::Null,
+            Some(l) => Json::obj()
+                .with("ctx", ju64(l.ctx as u64))
+                .with("save_remaining", ju64(l.save_remaining))
+                .with("image_remaining", ju64(l.image_remaining))
+                .with("restore_remaining", ju64(l.restore_remaining))
+                .with("next_addr", ju64(l.next_addr))
+                .with("state_addr", ju64(l.state_addr))
+                .with("save_in_flight", ju64(l.save_in_flight))
+                .with("save_total", ju64(l.save_total))
+                .with("restore_total", ju64(l.restore_total))
+                .with("prefetch", Json::Bool(l.prefetch))
+                .with("started", time_json(l.started))
+                .with("train_pending", Json::Bool(l.train_pending)),
+        }
+    }
+
+    fn restore_loading(&mut self, state: &Json) -> SimResult<()> {
+        let j = snap::field(state, "loading")?;
+        self.loading = match j {
+            Json::Null => None,
+            j => Some(LoadOp {
+                ctx: snap::usize_field(j, "ctx")?,
+                save_remaining: snap::u64_field(j, "save_remaining")?,
+                image_remaining: snap::u64_field(j, "image_remaining")?,
+                restore_remaining: snap::u64_field(j, "restore_remaining")?,
+                next_addr: snap::u64_field(j, "next_addr")?,
+                state_addr: snap::u64_field(j, "state_addr")?,
+                save_in_flight: snap::u64_field(j, "save_in_flight")?,
+                save_total: snap::u64_field(j, "save_total")?,
+                restore_total: snap::u64_field(j, "restore_total")?,
+                prefetch: snap::bool_field(j, "prefetch")?,
+                started: time_of(snap::field(j, "started")?)
+                    .ok_or_else(|| snap::err("bad load start time"))?,
+                train_pending: snap::bool_field(j, "train_pending")?,
+            }),
+        };
+        Ok(())
+    }
+
+    fn bool_list(v: &[bool]) -> Json {
+        Json::Arr(v.iter().map(|&b| Json::Bool(b)).collect())
+    }
+
+    fn restore_bool_list(dst: &mut [bool], j: &Json, what: &str) -> SimResult<()> {
+        let src = j
+            .as_arr()
+            .filter(|a| a.len() == dst.len())
+            .ok_or_else(|| snap::err(format!("{what} list does not match this fabric")))?;
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d = s
+                .as_bool()
+                .ok_or_else(|| snap::err(format!("{what} entry is not a bool")))?;
+        }
+        Ok(())
+    }
+}
+
 impl Component for Drcf {
+    fn snapshot(&mut self) -> SimResult<Json> {
+        let mut models = Vec::with_capacity(self.contexts.len());
+        for c in &self.contexts {
+            models.push(
+                c.model
+                    .snapshot_state()
+                    .map_err(|e| snap::err(format!("context '{}': {e}", c.name())))?,
+            );
+        }
+        Ok(Json::obj()
+            .with("sched", self.sched.snapshot_json())
+            .with(
+                "port",
+                self.port.as_ref().map_or(Json::Null, |p| p.snapshot_json()),
+            )
+            .with(
+                "queue",
+                Json::Arr(
+                    self.queue
+                        .iter()
+                        .map(|q| {
+                            Json::obj()
+                                .with("access", access_json(&q.access))
+                                .with("arrived", time_json(q.arrived))
+                        })
+                        .collect(),
+                ),
+            )
+            .with("loading", self.loading_json())
+            .with("failed", Self::bool_list(&self.failed))
+            .with("has_saved_state", Self::bool_list(&self.has_saved_state))
+            .with("exec_busy_until", time_json(self.exec_busy_until))
+            .with(
+                "active_ctx",
+                self.active_ctx.map_or(Json::Null, |c| ju64(c as u64)),
+            )
+            .with("models", Json::Arr(models))
+            .with("stats", self.stats.snapshot_json()))
+    }
+
+    fn restore(&mut self, state: &Json) -> SimResult<()> {
+        self.sched.restore_json(snap::field(state, "sched")?)?;
+        match (snap::field(state, "port")?, self.port.as_mut()) {
+            (Json::Null, None) => {}
+            (j, Some(p)) if !matches!(j, Json::Null) => p.restore_json(j)?,
+            _ => {
+                return Err(snap::err(
+                    "snapshot and fabric disagree about the configuration port",
+                ))
+            }
+        }
+        self.queue.clear();
+        for q in snap::arr_field(state, "queue")? {
+            self.queue.push_back(Queued {
+                access: access_of(snap::field(q, "access")?)
+                    .ok_or_else(|| snap::err("malformed queued access"))?,
+                arrived: time_of(snap::field(q, "arrived")?)
+                    .ok_or_else(|| snap::err("bad queued-access arrival time"))?,
+            });
+        }
+        self.restore_loading(state)?;
+        Self::restore_bool_list(&mut self.failed, snap::field(state, "failed")?, "failed")?;
+        Self::restore_bool_list(
+            &mut self.has_saved_state,
+            snap::field(state, "has_saved_state")?,
+            "has_saved_state",
+        )?;
+        self.exec_busy_until = time_of(snap::field(state, "exec_busy_until")?)
+            .ok_or_else(|| snap::err("bad exec_busy_until"))?;
+        self.active_ctx = match snap::field(state, "active_ctx")? {
+            Json::Null => None,
+            j => Some(
+                drcf_kernel::json::ju64_of(j)
+                    .ok_or_else(|| snap::err("active_ctx is not a context id"))?
+                    as ContextId,
+            ),
+        };
+        let models = snap::arr_field(state, "models")?;
+        if models.len() != self.contexts.len() {
+            return Err(snap::err(
+                "snapshot context count does not match this fabric",
+            ));
+        }
+        for (c, j) in self.contexts.iter_mut().zip(models) {
+            let name = c.name().to_string();
+            c.model
+                .restore_state(j)
+                .map_err(|e| snap::err(format!("context '{name}': {e}")))?;
+        }
+        self.stats.restore_json(snap::field(state, "stats")?)?;
+        Ok(())
+    }
+
     fn handle(&mut self, api: &mut Api<'_>, msg: Msg) {
         match msg.kind {
             MsgKind::Timer(TAG_EXEC_DONE) => {

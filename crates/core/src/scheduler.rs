@@ -14,7 +14,9 @@
 //! decision unit- and property-testable in isolation.
 
 use crate::context::ContextId;
+use drcf_kernel::json::{ju64, Json};
 use drcf_kernel::prelude::{SimError, SimErrorKind, SimResult};
+use drcf_kernel::snapshot::{self as snap, Snapshotable};
 
 /// How the next context to prefetch is predicted.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -253,6 +255,25 @@ impl ContextScheduler {
         Ok(std::mem::take(&mut r.prefetched))
     }
 
+    fn restore_resident(&mut self, j: &Json) -> SimResult<()> {
+        for (slot, e) in self
+            .resident
+            .iter_mut()
+            .zip(snap::arr_field(j, "resident")?)
+        {
+            *slot = match e {
+                Json::Null => None,
+                e => Some(Resident {
+                    slots: snap::usize_list(e, "slots")?,
+                    last_used: snap::u64_field(e, "last_used")?,
+                    loaded_seq: snap::u64_field(e, "loaded_seq")?,
+                    prefetched: snap::bool_field(e, "prefetched")?,
+                }),
+            };
+        }
+        Ok(())
+    }
+
     /// Predict the context worth prefetching after `current`, if any.
     pub fn predict_next(&self, current: ContextId) -> Option<ContextId> {
         let pred = match &self.cfg.prefetch {
@@ -268,6 +289,82 @@ impl ContextScheduler {
         } else {
             None
         }
+    }
+}
+
+impl Snapshotable for ContextScheduler {
+    fn snapshot_json(&self) -> Json {
+        Json::obj()
+            .with(
+                "resident",
+                Json::Arr(
+                    self.resident
+                        .iter()
+                        .map(|r| match r {
+                            None => Json::Null,
+                            Some(r) => Json::obj()
+                                .with("slots", snap::usize_list_json(&r.slots))
+                                .with("last_used", ju64(r.last_used))
+                                .with("loaded_seq", ju64(r.loaded_seq))
+                                .with("prefetched", Json::Bool(r.prefetched)),
+                        })
+                        .collect(),
+                ),
+            )
+            .with("free_slots", ju64(self.free_slots as u64))
+            .with("tick", ju64(self.tick))
+            .with("load_seq", ju64(self.load_seq))
+            .with(
+                "successor",
+                Json::Arr(
+                    self.successor
+                        .iter()
+                        .map(|s| s.map_or(Json::Null, |c| ju64(c as u64)))
+                        .collect(),
+                ),
+            )
+            .with(
+                "last_activated",
+                self.last_activated.map_or(Json::Null, |c| ju64(c as u64)),
+            )
+    }
+
+    fn restore_json(&mut self, state: &Json) -> SimResult<()> {
+        let n = self.resident.len();
+        let shape_ok = snap::arr_field(state, "resident")?.len() == n
+            && snap::arr_field(state, "successor")?.len() == n;
+        if !shape_ok {
+            return Err(snap::err(
+                "scheduler snapshot context count does not match this fabric",
+            ));
+        }
+        self.restore_resident(state)?;
+        self.free_slots = snap::usize_field(state, "free_slots")?;
+        self.tick = snap::u64_field(state, "tick")?;
+        self.load_seq = snap::u64_field(state, "load_seq")?;
+        for (slot, e) in self
+            .successor
+            .iter_mut()
+            .zip(snap::arr_field(state, "successor")?)
+        {
+            *slot = match e {
+                Json::Null => None,
+                e => Some(
+                    drcf_kernel::json::ju64_of(e)
+                        .ok_or_else(|| snap::err("successor entry is not a context id"))?
+                        as ContextId,
+                ),
+            };
+        }
+        self.last_activated = match snap::field(state, "last_activated")? {
+            Json::Null => None,
+            j => Some(
+                drcf_kernel::json::ju64_of(j)
+                    .ok_or_else(|| snap::err("last_activated is not a context id"))?
+                    as ContextId,
+            ),
+        };
+        Ok(())
     }
 }
 

@@ -7,7 +7,9 @@
 //! time + idle time = elapsed time — is asserted in tests and exposed for
 //! harnesses.
 
-use drcf_kernel::prelude::{SimDuration, SimTime};
+use drcf_kernel::json::{ju64, ju64_of, Json};
+use drcf_kernel::prelude::{SimDuration, SimResult, SimTime};
+use drcf_kernel::snapshot::{self as snap, Snapshotable};
 
 use crate::context::ContextId;
 
@@ -36,7 +38,7 @@ pub struct FabricEvent {
 }
 
 /// Counters for one context.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ContextStats {
     /// Time this context spent actively processing accesses.
     pub active: SimDuration,
@@ -52,7 +54,7 @@ pub struct ContextStats {
 }
 
 /// Counters for a whole fabric.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FabricStats {
     /// Per-context counters, indexed by `ContextId`.
     pub per_context: Vec<ContextStats>,
@@ -167,6 +169,119 @@ impl FabricStats {
             w = width - 1
         );
         out
+    }
+}
+
+fn event_kind_json(k: FabricEventKind) -> Json {
+    Json::from(match k {
+        FabricEventKind::SwitchStart => "switch_start",
+        FabricEventKind::SwitchDone => "switch_done",
+        FabricEventKind::ExecStart => "exec_start",
+        FabricEventKind::Evict => "evict",
+    })
+}
+
+fn event_kind_of(j: &Json) -> Option<FabricEventKind> {
+    match j.as_str()? {
+        "switch_start" => Some(FabricEventKind::SwitchStart),
+        "switch_done" => Some(FabricEventKind::SwitchDone),
+        "exec_start" => Some(FabricEventKind::ExecStart),
+        "evict" => Some(FabricEventKind::Evict),
+        _ => None,
+    }
+}
+
+impl Snapshotable for ContextStats {
+    fn snapshot_json(&self) -> Json {
+        Json::obj()
+            .with("active", ju64(self.active.as_fs()))
+            .with("switches_in", ju64(self.switches_in))
+            .with("accesses", ju64(self.accesses))
+            .with("config_words", ju64(self.config_words))
+            .with("wait", ju64(self.wait.as_fs()))
+    }
+
+    fn restore_json(&mut self, state: &Json) -> SimResult<()> {
+        self.active = SimDuration::fs(snap::u64_field(state, "active")?);
+        self.switches_in = snap::u64_field(state, "switches_in")?;
+        self.accesses = snap::u64_field(state, "accesses")?;
+        self.config_words = snap::u64_field(state, "config_words")?;
+        self.wait = SimDuration::fs(snap::u64_field(state, "wait")?);
+        Ok(())
+    }
+}
+
+impl Snapshotable for FabricStats {
+    fn snapshot_json(&self) -> Json {
+        Json::obj()
+            .with(
+                "per_context",
+                Json::Arr(self.per_context.iter().map(|c| c.snapshot_json()).collect()),
+            )
+            .with("reconfig", ju64(self.reconfig.as_fs()))
+            .with(
+                "reconfig_overlapped",
+                ju64(self.reconfig_overlapped.as_fs()),
+            )
+            .with("switches", ju64(self.switches))
+            .with("config_words", ju64(self.config_words))
+            .with("state_words", ju64(self.state_words))
+            .with("hits", ju64(self.hits))
+            .with("misses", ju64(self.misses))
+            .with("prefetches", ju64(self.prefetches))
+            .with("prefetch_hits", ju64(self.prefetch_hits))
+            .with(
+                "events",
+                Json::Arr(
+                    self.events
+                        .iter()
+                        .map(|e| {
+                            Json::Arr(vec![
+                                ju64(e.at.as_fs()),
+                                ju64(e.ctx as u64),
+                                event_kind_json(e.kind),
+                            ])
+                        })
+                        .collect(),
+                ),
+            )
+    }
+
+    fn restore_json(&mut self, state: &Json) -> SimResult<()> {
+        let per = snap::arr_field(state, "per_context")?;
+        if per.len() != self.per_context.len() {
+            return Err(snap::err(
+                "fabric-stats snapshot context count does not match this fabric",
+            ));
+        }
+        for (slot, j) in self.per_context.iter_mut().zip(per) {
+            slot.restore_json(j)?;
+        }
+        self.reconfig = SimDuration::fs(snap::u64_field(state, "reconfig")?);
+        self.reconfig_overlapped = SimDuration::fs(snap::u64_field(state, "reconfig_overlapped")?);
+        self.switches = snap::u64_field(state, "switches")?;
+        self.config_words = snap::u64_field(state, "config_words")?;
+        self.state_words = snap::u64_field(state, "state_words")?;
+        self.hits = snap::u64_field(state, "hits")?;
+        self.misses = snap::u64_field(state, "misses")?;
+        self.prefetches = snap::u64_field(state, "prefetches")?;
+        self.prefetch_hits = snap::u64_field(state, "prefetch_hits")?;
+        self.events.clear();
+        for e in snap::arr_field(state, "events")? {
+            let t = e
+                .as_arr()
+                .filter(|t| t.len() == 3)
+                .ok_or_else(|| snap::err("malformed fabric event"))?;
+            self.events.push(FabricEvent {
+                at: SimTime(
+                    ju64_of(&t[0]).ok_or_else(|| snap::err("fabric event time is not a u64"))?,
+                ),
+                ctx: ju64_of(&t[1]).ok_or_else(|| snap::err("fabric event ctx is not a u64"))?
+                    as ContextId,
+                kind: event_kind_of(&t[2]).ok_or_else(|| snap::err("unknown fabric event kind"))?,
+            });
+        }
+        Ok(())
     }
 }
 

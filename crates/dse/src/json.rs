@@ -1,528 +1,8 @@
 //! Minimal JSON value type, writer and parser.
 //!
-//! The workspace builds fully offline, so instead of serde the DSE layer
-//! carries its own small JSON module: enough to round-trip run records and
-//! to emit benchmark/report files ([`crate::metrics::RunRecord`],
-//! `BENCH_kernel.json`). Numbers are stored as `f64`; the writer prints
-//! integral values without a fractional part so counters stay readable.
+//! The implementation moved to `drcf_kernel::json` when the snapshot
+//! subsystem started serializing kernel state; this module re-exports it
+//! so DSE callers (`crate::metrics::RunRecord`, `BENCH_kernel.json`
+//! emitters) keep their import paths.
 
-use std::fmt::Write as _;
-
-/// A JSON value.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`
-    Null,
-    /// `true` / `false`
-    Bool(bool),
-    /// Any number (stored as f64).
-    Num(f64),
-    /// A string.
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object; insertion order is preserved.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Empty object.
-    pub fn obj() -> Json {
-        Json::Obj(Vec::new())
-    }
-
-    /// Insert (or append) a field on an object; errors on non-objects
-    /// instead of panicking.
-    pub fn set(&mut self, key: &str, value: Json) -> Result<(), JsonError> {
-        match self {
-            Json::Obj(fields) => {
-                fields.push((key.to_string(), value));
-                Ok(())
-            }
-            other => Err(JsonError {
-                pos: 0,
-                message: format!("Json::set on non-object {other:?}"),
-            }),
-        }
-    }
-
-    /// Builder-style [`Json::set`]; leaves `self` unchanged when it is not
-    /// an object (asserting in debug builds).
-    pub fn with(mut self, key: &str, value: Json) -> Json {
-        let r = self.set(key, value);
-        debug_assert!(r.is_ok(), "Json::with on a non-object");
-        self
-    }
-
-    /// Field of an object.
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    /// Number as f64.
-    pub fn as_f64(&self) -> Option<f64> {
-        match self {
-            Json::Num(v) => Some(*v),
-            _ => None,
-        }
-    }
-
-    /// Number as u64 (must be integral and in range).
-    pub fn as_u64(&self) -> Option<u64> {
-        match self {
-            Json::Num(v) if *v >= 0.0 && v.fract() == 0.0 && *v <= u64::MAX as f64 => {
-                Some(*v as u64)
-            }
-            _ => None,
-        }
-    }
-
-    /// String contents.
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    /// Boolean value.
-    pub fn as_bool(&self) -> Option<bool> {
-        match self {
-            Json::Bool(b) => Some(*b),
-            _ => None,
-        }
-    }
-
-    /// Array elements.
-    pub fn as_arr(&self) -> Option<&[Json]> {
-        match self {
-            Json::Arr(v) => Some(v),
-            _ => None,
-        }
-    }
-
-    /// Pretty serialization (two-space indent). Compact serialization is
-    /// the `Display` impl / `to_string()`.
-    pub fn to_string_pretty(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out, Some(2), 0);
-        out
-    }
-
-    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
-        let (nl, pad, pad_in) = match indent {
-            Some(w) => ("\n", " ".repeat(w * depth), " ".repeat(w * (depth + 1))),
-            None => ("", String::new(), String::new()),
-        };
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Num(v) => write_num(out, *v),
-            Json::Str(s) => write_str(out, s),
-            Json::Arr(items) => {
-                if items.is_empty() {
-                    out.push_str("[]");
-                    return;
-                }
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push_str(nl);
-                    out.push_str(&pad_in);
-                    item.write(out, indent, depth + 1);
-                }
-                out.push_str(nl);
-                out.push_str(&pad);
-                out.push(']');
-            }
-            Json::Obj(fields) => {
-                if fields.is_empty() {
-                    out.push_str("{}");
-                    return;
-                }
-                out.push('{');
-                for (i, (k, v)) in fields.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push_str(nl);
-                    out.push_str(&pad_in);
-                    write_str(out, k);
-                    out.push(':');
-                    if indent.is_some() {
-                        out.push(' ');
-                    }
-                    v.write(out, indent, depth + 1);
-                }
-                out.push_str(nl);
-                out.push_str(&pad);
-                out.push('}');
-            }
-        }
-    }
-
-    /// Parse a JSON document.
-    pub fn parse(text: &str) -> Result<Json, JsonError> {
-        let mut p = Parser {
-            bytes: text.as_bytes(),
-            pos: 0,
-        };
-        p.skip_ws();
-        let v = p.value()?;
-        p.skip_ws();
-        if p.pos != p.bytes.len() {
-            return Err(p.err("trailing characters"));
-        }
-        Ok(v)
-    }
-}
-
-impl std::fmt::Display for Json {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let mut out = String::new();
-        self.write(&mut out, None, 0);
-        f.write_str(&out)
-    }
-}
-
-impl From<&str> for Json {
-    fn from(s: &str) -> Json {
-        Json::Str(s.to_string())
-    }
-}
-impl From<String> for Json {
-    fn from(s: String) -> Json {
-        Json::Str(s)
-    }
-}
-impl From<f64> for Json {
-    fn from(v: f64) -> Json {
-        Json::Num(v)
-    }
-}
-impl From<u64> for Json {
-    fn from(v: u64) -> Json {
-        Json::Num(v as f64)
-    }
-}
-impl From<usize> for Json {
-    fn from(v: usize) -> Json {
-        Json::Num(v as f64)
-    }
-}
-impl From<bool> for Json {
-    fn from(v: bool) -> Json {
-        Json::Bool(v)
-    }
-}
-
-fn write_num(out: &mut String, v: f64) {
-    if !v.is_finite() {
-        // JSON has no Inf/NaN; encode as null like most emitters.
-        out.push_str("null");
-    } else if v.fract() == 0.0 && v.abs() < 1e15 {
-        let _ = write!(out, "{}", v as i64);
-    } else {
-        let _ = write!(out, "{v}");
-    }
-}
-
-fn write_str(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-/// Parse failure with a byte offset.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct JsonError {
-    /// Byte position of the failure.
-    pub pos: usize,
-    /// What went wrong.
-    pub message: String,
-}
-
-impl std::fmt::Display for JsonError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "JSON error at byte {}: {}", self.pos, self.message)
-    }
-}
-impl std::error::Error for JsonError {}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl Parser<'_> {
-    fn err(&self, msg: &str) -> JsonError {
-        JsonError {
-            pos: self.pos,
-            message: msg.to_string(),
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn skip_ws(&mut self) {
-        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-            self.pos += 1;
-        }
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(self.err(&format!("expected '{}'", b as char)))
-        }
-    }
-
-    fn literal(&mut self, word: &str, v: Json) -> Result<Json, JsonError> {
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
-            self.pos += word.len();
-            Ok(v)
-        } else {
-            Err(self.err(&format!("expected '{word}'")))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, JsonError> {
-        match self.peek() {
-            Some(b'n') => self.literal("null", Json::Null),
-            Some(b't') => self.literal("true", Json::Bool(true)),
-            Some(b'f') => self.literal("false", Json::Bool(false)),
-            Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b'[') => self.array(),
-            Some(b'{') => self.object(),
-            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
-            _ => Err(self.err("expected a JSON value")),
-        }
-    }
-
-    fn string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"')?;
-        let mut s = String::new();
-        loop {
-            match self.peek() {
-                None => return Err(self.err("unterminated string")),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(s);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    match self.peek() {
-                        Some(b'"') => s.push('"'),
-                        Some(b'\\') => s.push('\\'),
-                        Some(b'/') => s.push('/'),
-                        Some(b'n') => s.push('\n'),
-                        Some(b'r') => s.push('\r'),
-                        Some(b't') => s.push('\t'),
-                        Some(b'b') => s.push('\u{8}'),
-                        Some(b'f') => s.push('\u{c}'),
-                        Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .ok_or_else(|| self.err("bad \\u escape"))?;
-                            let hex =
-                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| self.err("bad \\u escape"))?;
-                            // Surrogate pairs are not needed for our data.
-                            s.push(
-                                char::from_u32(code)
-                                    .ok_or_else(|| self.err("bad \\u code point"))?,
-                            );
-                            self.pos += 4;
-                        }
-                        _ => return Err(self.err("bad escape")),
-                    }
-                    self.pos += 1;
-                }
-                Some(_) => {
-                    // Consume one UTF-8 scalar.
-                    let rest = &self.bytes[self.pos..];
-                    let text = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
-                    let Some(c) = text.chars().next() else {
-                        return Err(self.err("unterminated string"));
-                    };
-                    s.push(c);
-                    self.pos += c.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, JsonError> {
-        let start = self.pos;
-        if self.peek() == Some(b'-') {
-            self.pos += 1;
-        }
-        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
-        {
-            self.pos += 1;
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| self.err("bad number"))?;
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| self.err("bad number"))
-    }
-
-    fn array(&mut self) -> Result<Json, JsonError> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            self.skip_ws();
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                _ => return Err(self.err("expected ',' or ']'")),
-            }
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, JsonError> {
-        self.expect(b'{')?;
-        let mut fields = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Json::Obj(fields));
-        }
-        loop {
-            self.skip_ws();
-            let k = self.string()?;
-            self.skip_ws();
-            self.expect(b':')?;
-            self.skip_ws();
-            let v = self.value()?;
-            fields.push((k, v));
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Obj(fields));
-                }
-                _ => return Err(self.err("expected ',' or '}'")),
-            }
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn round_trips_compact_and_pretty() {
-        let v = Json::obj()
-            .with("name", "drcf".into())
-            .with("n", 42u64.into())
-            .with("pi", 3.5.into())
-            .with("ok", true.into())
-            .with(
-                "arr",
-                Json::Arr(vec![Json::Null, 1u64.into(), "x\n\"y".into()]),
-            );
-        for text in [v.to_string(), v.to_string_pretty()] {
-            assert_eq!(Json::parse(&text).unwrap(), v);
-        }
-    }
-
-    #[test]
-    fn accessors() {
-        let v = Json::parse(r#"{"a": 3, "b": "s", "c": [true, null], "d": -1.5}"#).unwrap();
-        assert_eq!(v.get("a").unwrap().as_u64(), Some(3));
-        assert_eq!(v.get("b").unwrap().as_str(), Some("s"));
-        assert_eq!(v.get("c").unwrap().as_arr().unwrap().len(), 2);
-        assert_eq!(
-            v.get("c").unwrap().as_arr().unwrap()[0].as_bool(),
-            Some(true)
-        );
-        assert_eq!(v.get("d").unwrap().as_f64(), Some(-1.5));
-        assert_eq!(v.get("d").unwrap().as_u64(), None);
-        assert!(v.get("missing").is_none());
-    }
-
-    #[test]
-    fn integral_numbers_print_without_fraction() {
-        assert_eq!(Json::Num(7.0).to_string(), "7");
-        assert_eq!(Json::Num(7.25).to_string(), "7.25");
-    }
-
-    #[test]
-    fn rejects_garbage() {
-        assert!(Json::parse("{").is_err());
-        assert!(Json::parse("[1,]").is_err());
-        assert!(Json::parse("tru").is_err());
-        assert!(Json::parse("1 2").is_err());
-    }
-
-    #[test]
-    fn set_on_non_object_is_an_error_not_a_panic() {
-        let mut v = Json::Num(1.0);
-        let err = v
-            .set("k", Json::Null)
-            .expect_err("non-object must reject set");
-        assert!(err.message.contains("non-object"), "{}", err.message);
-        assert_eq!(v, Json::Num(1.0), "value is untouched");
-        let mut o = Json::obj();
-        assert!(o.set("k", true.into()).is_ok());
-        assert_eq!(o.get("k").and_then(Json::as_bool), Some(true));
-    }
-
-    #[test]
-    fn malformed_inputs_are_errors_with_positions() {
-        for bad in ["-", "1e", "\"", "\"ab", "[1, }", "{\"a\"}", "nul", "+1", ""] {
-            let err = Json::parse(bad).expect_err(bad);
-            assert!(!err.message.is_empty());
-            assert!(err.pos <= bad.len(), "{}: pos {}", bad, err.pos);
-        }
-    }
-
-    #[test]
-    fn non_finite_numbers_serialize_as_null() {
-        assert_eq!(Json::Num(f64::INFINITY).to_string(), "null");
-        assert_eq!(Json::Num(f64::NAN).to_string(), "null");
-    }
-
-    #[test]
-    fn parses_escapes() {
-        let v = Json::parse(r#""aA\n\t\"\\""#).unwrap();
-        assert_eq!(v.as_str(), Some("aA\n\t\"\\"));
-    }
-}
+pub use drcf_kernel::json::*;

@@ -12,6 +12,8 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use drcf_kernel::prelude::Snapshot;
+
 use crate::metrics::RunRecord;
 
 /// Render a `catch_unwind` payload as a message.
@@ -47,6 +49,26 @@ where
             ),
         })
         .collect()
+}
+
+/// Warm-fork sweep: evaluate every point from a shared in-memory prefix
+/// snapshot instead of re-simulating the prefix per point.
+///
+/// The caller captures the snapshot once (e.g. with
+/// `drcf_soc::prelude::snapshot_prefix`); `eval` receives each point plus a
+/// reference to the snapshot and typically rebuilds the system for that
+/// point, restores, and runs the remaining tail. When the shared prefix
+/// dominates the run — fault-injection campaigns, tail-parameter sweeps —
+/// this trades one prefix simulation for `points.len()` of them.
+///
+/// Same ordering and fault-isolation contract as [`sweep`]: one record per
+/// point, in input order, panics becoming `RunRecord::failed` entries.
+pub fn sweep_warm_fork<P, F>(points: &[P], snapshot: &Snapshot, eval: F) -> Vec<RunRecord>
+where
+    P: Sync,
+    F: Fn(&P, &Snapshot) -> RunRecord + Sync,
+{
+    sweep(points, |p| eval(p, snapshot))
 }
 
 /// Serial reference implementation (for equivalence tests and debugging).
@@ -101,32 +123,42 @@ where
 
     let cursor = AtomicUsize::new(0);
     let mut out: Vec<Option<Result<R, String>>> = (0..n).map(|_| None).collect();
+    // Results stream back over a channel the moment each point finishes.
+    // Batching them in a per-worker Vec returned through join() loses every
+    // completed point of a worker that dies mid-sweep (a panic that escapes
+    // catch_unwind, e.g. a panic payload whose Drop itself panics while the
+    // message is rendered) — only the point that killed the worker should
+    // surface as an error.
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, Result<R, String>)>();
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 let cursor = &cursor;
                 let run_point = &run_point;
-                s.spawn(move || {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        local.push((i, run_point(i)));
+                let tx = tx.clone();
+                s.spawn(move || loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
                     }
-                    local
+                    let r = run_point(i);
+                    if tx.send((i, r)).is_err() {
+                        break;
+                    }
                 })
             })
             .collect();
+        // Drop the scope's own sender so the drain ends once every worker
+        // has exited (normally or by unwinding, which drops its clone).
+        drop(tx);
+        for (i, r) in rx {
+            out[i] = Some(r);
+        }
         for h in handles {
             // Workers catch evaluation panics, so a join failure means the
-            // thread itself died; the affected points surface as Err below.
-            if let Ok(local) = h.join() {
-                for (i, r) in local {
-                    out[i] = Some(r);
-                }
-            }
+            // thread itself died; its completed points already arrived over
+            // the channel and anything unclaimed surfaces as Err below.
+            let _ = h.join();
         }
     });
     out.into_iter()
@@ -218,5 +250,71 @@ mod tests {
     fn sweep_empty_points() {
         let out = sweep_with::<u64, u64, _>(&[], |x| *x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn worker_death_loses_no_completed_points() {
+        // A panic payload whose Drop panics detonates *after* catch_unwind,
+        // while the message is rendered — the worker thread itself dies.
+        // Every point it had already completed must still be reported.
+        struct Bomb;
+        impl Drop for Bomb {
+            fn drop(&mut self) {
+                if !std::thread::panicking() {
+                    panic!("panic payload detonated on drop");
+                }
+            }
+        }
+        if std::thread::available_parallelism().map_or(1, |p| p.get()) < 2 {
+            // The single-threaded fallback runs on the caller's thread and
+            // cannot model a dying worker.
+            return;
+        }
+        let points: Vec<usize> = (0..64).collect();
+        let out = sweep_catch(&points, |&p| {
+            if p == 40 {
+                std::panic::panic_any(Bomb);
+            }
+            p * 2
+        });
+        assert_eq!(out.len(), points.len(), "one result per point");
+        for (i, r) in out.iter().enumerate() {
+            if i == 40 {
+                assert!(r.is_err(), "the killing point reports an error");
+            } else {
+                assert_eq!(*r, Ok(i * 2), "point {i} must survive the dead worker");
+            }
+        }
+    }
+
+    #[test]
+    fn warm_fork_matches_cold_runs() {
+        let w = wireless_receiver(2, 32);
+        let spec = SocSpec {
+            mapping: Mapping::Drcf {
+                candidates: vec!["fir".into(), "fft".into(), "viterbi".into()],
+                technology: drcf_core::prelude::morphosys(),
+                geometry: drcf_core::prelude::FabricGeometry::new(24_000, 1),
+                config_path: SocConfigPath::SystemBus,
+                scheduler: drcf_core::prelude::SchedulerConfig::default(),
+                overlap_load_exec: false,
+            },
+            ..SocSpec::default()
+        };
+        let eval_cold = |_: &usize| {
+            let (m, _) = run_soc(build_soc(&w, &spec).expect("build"));
+            RunRecord::from_metrics("cold", vec![], &m)
+        };
+        let cold = sweep(&[0usize, 1, 2], eval_cold);
+        assert!(cold.iter().all(|r| r.ok));
+        // Fork each point from a snapshot taken halfway through the run.
+        let makespan_fs = (cold[0].makespan_ns * 1_000_000.0) as u64;
+        let at = drcf_kernel::prelude::SimDuration::fs(makespan_fs / 2);
+        let snap = snapshot_prefix(&w, &spec, at).expect("prefix");
+        let warm = sweep_warm_fork(&[0usize, 1, 2], &snap, |_, s| {
+            let (m, _) = run_soc(restore_soc(&w, &spec, s).expect("restore"));
+            RunRecord::from_metrics("cold", vec![], &m)
+        });
+        assert_eq!(warm, cold, "warm forks must be bit-identical to cold runs");
     }
 }

@@ -7,7 +7,9 @@
 
 use std::any::Any;
 
+use crate::error::SimResult;
 use crate::event::Msg;
+use crate::json::Json;
 use crate::kernel::Api;
 
 /// A simulation component.
@@ -18,6 +20,24 @@ pub trait Component: Any {
     /// Deliver one message. The component may read/write channels, schedule
     /// timers, and send messages through `api`; it must not block.
     fn handle(&mut self, api: &mut Api<'_>, msg: Msg);
+
+    /// Capture this component's dynamic state for `Simulator::snapshot`.
+    ///
+    /// The default fails loudly: a component that keeps state the kernel
+    /// cannot see (closure captures, model registers) must opt in
+    /// explicitly, otherwise a snapshot would silently restore a stale
+    /// model. Stateless components can return `Ok(Json::Null)`.
+    fn snapshot(&mut self) -> SimResult<Json> {
+        Err(crate::snapshot::err(
+            "component does not implement snapshot",
+        ))
+    }
+
+    /// Restore state captured by [`Component::snapshot`] onto a freshly
+    /// constructed component of the same configuration.
+    fn restore(&mut self, _state: &Json) -> SimResult<()> {
+        Err(crate::snapshot::err("component does not implement restore"))
+    }
 }
 
 /// Adapter turning a closure into a [`Component`]; handy for testbenches.
@@ -45,4 +65,12 @@ pub struct NullComponent;
 
 impl Component for NullComponent {
     fn handle(&mut self, _api: &mut Api<'_>, _msg: Msg) {}
+
+    fn snapshot(&mut self) -> SimResult<Json> {
+        Ok(Json::Null)
+    }
+
+    fn restore(&mut self, _state: &Json) -> SimResult<()> {
+        Ok(())
+    }
 }

@@ -23,10 +23,12 @@ use crate::event::{
     StopReason,
 };
 use crate::fifo::{AnyFifoSlot, FifoRef, FifoSlot};
+use crate::json::{ju64, Json};
 use crate::observe::{Recorder, SimEvent, TraceCategory, TraceEventKind, KERNEL_SOURCE};
 use crate::queue::{EventQueue, TimedEntry};
 use crate::report::{Reporter, Severity};
 use crate::signal::{AnySignalSlot, SignalRef, SignalSlot, SignalValue};
+use crate::snapshot::{self as snap, Snapshot, Snapshotable};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{Traceable, VcdTracer};
 
@@ -40,6 +42,21 @@ pub struct ClockRef(pub(crate) ClockIdx);
 /// Handle to a cancellable timer (see `Api::timer_cancellable`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TimerHandle(u64);
+
+impl TimerHandle {
+    /// The underlying queue sequence number. Snapshot support: components
+    /// holding live handles serialize this value.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuild a handle from [`TimerHandle::raw`] (snapshot restore).
+    /// Sequence numbers are global to a run, so a restored handle is only
+    /// meaningful inside the simulator whose snapshot produced it.
+    pub fn from_raw(seq: u64) -> TimerHandle {
+        TimerHandle(seq)
+    }
+}
 
 struct ClockState {
     name: String,
@@ -441,6 +458,350 @@ impl KernelState {
             .downcast_mut::<FifoSlot<T>>()
             .expect("fifo type mismatch")
     }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot support: channel value codecs and message-kind serialization
+// ---------------------------------------------------------------------------
+
+/// Primitive channel value types the snapshot subsystem understands.
+/// Signals and FIFOs instantiated at other types fail the snapshot with a
+/// typed error naming the channel, so unsupported state is never silently
+/// dropped.
+trait SnapPrim: Clone + PartialEq + std::fmt::Debug + 'static {
+    const TAG: &'static str;
+    fn enc(&self) -> Json;
+    fn dec(j: &Json) -> Option<Self>;
+}
+
+impl SnapPrim for bool {
+    const TAG: &'static str = "bool";
+    fn enc(&self) -> Json {
+        Json::Bool(*self)
+    }
+    fn dec(j: &Json) -> Option<bool> {
+        j.as_bool()
+    }
+}
+
+macro_rules! snap_prim_small_uint {
+    ($($t:ty => $tag:literal),*) => {$(
+        impl SnapPrim for $t {
+            const TAG: &'static str = $tag;
+            fn enc(&self) -> Json {
+                Json::Num(*self as f64)
+            }
+            fn dec(j: &Json) -> Option<$t> {
+                <$t>::try_from(j.as_u64()?).ok()
+            }
+        }
+    )*};
+}
+snap_prim_small_uint!(u8 => "u8", u16 => "u16", u32 => "u32");
+
+impl SnapPrim for u64 {
+    const TAG: &'static str = "u64";
+    fn enc(&self) -> Json {
+        ju64(*self)
+    }
+    fn dec(j: &Json) -> Option<u64> {
+        crate::json::ju64_of(j)
+    }
+}
+
+impl SnapPrim for usize {
+    const TAG: &'static str = "usize";
+    fn enc(&self) -> Json {
+        ju64(*self as u64)
+    }
+    fn dec(j: &Json) -> Option<usize> {
+        usize::try_from(crate::json::ju64_of(j)?).ok()
+    }
+}
+
+impl SnapPrim for i32 {
+    const TAG: &'static str = "i32";
+    fn enc(&self) -> Json {
+        Json::Num(*self as f64)
+    }
+    fn dec(j: &Json) -> Option<i32> {
+        i32::try_from(crate::json::ji64_of(j)?).ok()
+    }
+}
+
+impl SnapPrim for i64 {
+    const TAG: &'static str = "i64";
+    fn enc(&self) -> Json {
+        crate::json::ji64(*self)
+    }
+    fn dec(j: &Json) -> Option<i64> {
+        crate::json::ji64_of(j)
+    }
+}
+
+impl SnapPrim for f64 {
+    const TAG: &'static str = "f64";
+    fn enc(&self) -> Json {
+        Json::Num(*self)
+    }
+    fn dec(j: &Json) -> Option<f64> {
+        j.as_f64()
+    }
+}
+
+fn signal_snapshot_typed<T: SnapPrim>(any: &dyn AnySignalSlot) -> Option<SimResult<Json>> {
+    let slot = any.as_any().downcast_ref::<SignalSlot<T>>()?;
+    Some(if slot.pending.is_some() {
+        Err(snap::err(format!(
+            "signal {:?} has an unapplied write; snapshot only between run slices",
+            slot.name
+        )))
+    } else {
+        Ok(Json::obj()
+            .with("name", Json::from(slot.name.as_str()))
+            .with("type", Json::from(T::TAG))
+            .with("current", slot.current.enc())
+            .with("change_count", ju64(slot.change_count))
+            .with("last_change", ju64(slot.last_change.0))
+            .with("subs", snap::usize_list_json(&slot.subscribers)))
+    })
+}
+
+fn signal_restore_typed<T: SnapPrim>(any: &mut dyn AnySignalSlot, state: &Json) -> SimResult<bool> {
+    let Some(slot) = any.as_any_mut().downcast_mut::<SignalSlot<T>>() else {
+        return Ok(false);
+    };
+    let cur = snap::field(state, "current")?;
+    slot.current = T::dec(cur).ok_or_else(|| {
+        snap::err(format!(
+            "signal {:?}: bad {} value {cur}",
+            slot.name,
+            T::TAG
+        ))
+    })?;
+    slot.pending = None;
+    slot.change_count = snap::u64_field(state, "change_count")?;
+    slot.last_change = SimTime(snap::u64_field(state, "last_change")?);
+    slot.subscribers = snap::usize_list(state, "subs")?;
+    Ok(true)
+}
+
+macro_rules! for_each_snap_prim {
+    ($m:ident) => {
+        $m!(bool);
+        $m!(u8);
+        $m!(u16);
+        $m!(u32);
+        $m!(u64);
+        $m!(usize);
+        $m!(i32);
+        $m!(i64);
+        $m!(f64);
+    };
+}
+
+fn signal_snapshot(idx: usize, any: &dyn AnySignalSlot) -> SimResult<Json> {
+    macro_rules! try_type {
+        ($t:ty) => {
+            if let Some(r) = signal_snapshot_typed::<$t>(any) {
+                return r;
+            }
+        };
+    }
+    for_each_snap_prim!(try_type);
+    Err(snap::err(format!(
+        "signal {idx} ({:?}) holds a type the snapshot subsystem does not support",
+        any.name()
+    )))
+}
+
+fn signal_restore(idx: usize, any: &mut dyn AnySignalSlot, state: &Json) -> SimResult<()> {
+    let tag = snap::str_field(state, "type")?;
+    macro_rules! try_type {
+        ($t:ty) => {
+            if tag == <$t as SnapPrim>::TAG {
+                return if signal_restore_typed::<$t>(any, state)? {
+                    Ok(())
+                } else {
+                    Err(snap::err(format!(
+                        "signal {idx} ({:?}) is not of snapshot type {tag:?}",
+                        any.name()
+                    )))
+                };
+            }
+        };
+    }
+    for_each_snap_prim!(try_type);
+    Err(snap::err(format!("unknown signal type tag {tag:?}")))
+}
+
+fn fifo_snapshot_typed<T: SnapPrim>(any: &dyn AnyFifoSlot) -> Option<Json> {
+    let slot = any.as_any().downcast_ref::<FifoSlot<T>>()?;
+    let items: Vec<Json> = slot.items.iter().map(SnapPrim::enc).collect();
+    Some(
+        Json::obj()
+            .with("name", Json::from(slot.name.as_str()))
+            .with("type", Json::from(T::TAG))
+            .with("items", Json::Arr(items))
+            .with("total_written", ju64(slot.total_written))
+            .with("total_read", ju64(slot.total_read))
+            .with("high_watermark", ju64(slot.high_watermark as u64))
+            .with("subs", snap::usize_list_json(&slot.subscribers)),
+    )
+}
+
+fn fifo_restore_typed<T: SnapPrim>(any: &mut dyn AnyFifoSlot, state: &Json) -> SimResult<bool> {
+    let Some(slot) = any.as_any_mut().downcast_mut::<FifoSlot<T>>() else {
+        return Ok(false);
+    };
+    let mut items = std::collections::VecDeque::new();
+    for it in snap::arr_field(state, "items")? {
+        items.push_back(
+            T::dec(it).ok_or_else(|| {
+                snap::err(format!("fifo {:?}: bad {} item {it}", slot.name, T::TAG))
+            })?,
+        );
+    }
+    if items.len() > slot.capacity {
+        return Err(snap::err(format!(
+            "fifo {:?}: snapshot holds {} items, capacity is {}",
+            slot.name,
+            items.len(),
+            slot.capacity
+        )));
+    }
+    slot.items = items;
+    slot.total_written = snap::u64_field(state, "total_written")?;
+    slot.total_read = snap::u64_field(state, "total_read")?;
+    slot.high_watermark = snap::usize_field(state, "high_watermark")?;
+    slot.subscribers = snap::usize_list(state, "subs")?;
+    Ok(true)
+}
+
+fn fifo_snapshot(idx: usize, any: &dyn AnyFifoSlot) -> SimResult<Json> {
+    macro_rules! try_type {
+        ($t:ty) => {
+            if let Some(j) = fifo_snapshot_typed::<$t>(any) {
+                return Ok(j);
+            }
+        };
+    }
+    for_each_snap_prim!(try_type);
+    Err(snap::err(format!(
+        "fifo {idx} ({:?}) holds a type the snapshot subsystem does not support",
+        any.name()
+    )))
+}
+
+fn fifo_restore(idx: usize, any: &mut dyn AnyFifoSlot, state: &Json) -> SimResult<()> {
+    let tag = snap::str_field(state, "type")?;
+    macro_rules! try_type {
+        ($t:ty) => {
+            if tag == <$t as SnapPrim>::TAG {
+                return if fifo_restore_typed::<$t>(any, state)? {
+                    Ok(())
+                } else {
+                    Err(snap::err(format!(
+                        "fifo {idx} ({:?}) is not of snapshot type {tag:?}",
+                        any.name()
+                    )))
+                };
+            }
+        };
+    }
+    for_each_snap_prim!(try_type);
+    Err(snap::err(format!("unknown fifo type tag {tag:?}")))
+}
+
+fn edge_str(e: Edge) -> &'static str {
+    match e {
+        Edge::Pos => "pos",
+        Edge::Neg => "neg",
+    }
+}
+
+fn edge_of(s: &str) -> SimResult<Edge> {
+    match s {
+        "pos" => Ok(Edge::Pos),
+        "neg" => Ok(Edge::Neg),
+        other => Err(snap::err(format!("unknown clock edge {other:?}"))),
+    }
+}
+
+fn msg_kind_json(kind: &MsgKind) -> SimResult<Json> {
+    Ok(match kind {
+        MsgKind::Start => Json::obj().with("k", Json::from("start")),
+        MsgKind::SignalChanged(i) => Json::obj()
+            .with("k", Json::from("signal"))
+            .with("idx", ju64(*i as u64)),
+        MsgKind::ClockEdge(i, e) => Json::obj()
+            .with("k", Json::from("clock"))
+            .with("idx", ju64(*i as u64))
+            .with("edge", Json::from(edge_str(*e))),
+        MsgKind::Fifo(i, ev) => Json::obj()
+            .with("k", Json::from("fifo"))
+            .with("idx", ju64(*i as u64))
+            .with(
+                "ev",
+                Json::from(match ev {
+                    FifoEventKind::DataWritten => "written",
+                    FifoEventKind::DataRead => "read",
+                }),
+            ),
+        MsgKind::Timer(tag) => Json::obj()
+            .with("k", Json::from("timer"))
+            .with("tag", ju64(*tag)),
+        MsgKind::User(payload) => Json::obj()
+            .with("k", Json::from("user"))
+            .with("payload", snap::encode_payload(payload.as_ref())?),
+    })
+}
+
+fn msg_kind_of(j: &Json) -> SimResult<MsgKind> {
+    Ok(match snap::str_field(j, "k")? {
+        "start" => MsgKind::Start,
+        "signal" => MsgKind::SignalChanged(snap::usize_field(j, "idx")?),
+        "clock" => MsgKind::ClockEdge(
+            snap::usize_field(j, "idx")?,
+            edge_of(snap::str_field(j, "edge")?)?,
+        ),
+        "fifo" => MsgKind::Fifo(
+            snap::usize_field(j, "idx")?,
+            match snap::str_field(j, "ev")? {
+                "written" => FifoEventKind::DataWritten,
+                "read" => FifoEventKind::DataRead,
+                other => return Err(snap::err(format!("unknown fifo event {other:?}"))),
+            },
+        ),
+        "timer" => MsgKind::Timer(snap::u64_field(j, "tag")?),
+        "user" => MsgKind::User(snap::decode_payload(snap::field(j, "payload")?)?),
+        other => return Err(snap::err(format!("unknown message kind {other:?}"))),
+    })
+}
+
+fn metrics_json(m: &KernelMetrics) -> Json {
+    Json::obj()
+        .with("dispatched", ju64(m.dispatched))
+        .with("delta_cycles", ju64(m.delta_cycles))
+        .with("timesteps", ju64(m.timesteps))
+        .with("max_deltas_in_step", ju64(m.max_deltas_in_step))
+        .with("clock_edges_fast", ju64(m.clock_edges_fast))
+        .with("heap_events", ju64(m.heap_events))
+        .with("notifications", ju64(m.notifications))
+        .with("queue_high_water", ju64(m.queue_high_water))
+}
+
+fn metrics_of(j: &Json) -> SimResult<KernelMetrics> {
+    Ok(KernelMetrics {
+        dispatched: snap::u64_field(j, "dispatched")?,
+        delta_cycles: snap::u64_field(j, "delta_cycles")?,
+        timesteps: snap::u64_field(j, "timesteps")?,
+        max_deltas_in_step: snap::u64_field(j, "max_deltas_in_step")?,
+        clock_edges_fast: snap::u64_field(j, "clock_edges_fast")?,
+        heap_events: snap::u64_field(j, "heap_events")?,
+        notifications: snap::u64_field(j, "notifications")?,
+        queue_high_water: snap::u64_field(j, "queue_high_water")?,
+    })
 }
 
 /// The interface a component uses while handling a message.
@@ -1110,6 +1471,297 @@ impl Simulator {
     pub fn run_for(&mut self, d: SimDuration) -> SimResult<StopReason> {
         let horizon = self.st.now + d;
         self.run_inner(Some(horizon))
+    }
+
+    /// Capture the complete dynamic state of this simulation as a
+    /// [`Snapshot`] (see [`crate::snapshot`] for the contract).
+    ///
+    /// Legal only *between* run slices — after a `run_until` returned and
+    /// before the next `run*` call — when no delta work or signal update is
+    /// in flight. `&mut` because inspecting the timed queue may rotate the
+    /// timing wheel (which never changes the dispatch order).
+    ///
+    /// The report log is deliberately not captured; everything else that
+    /// influences future dispatch is.
+    pub fn snapshot(&mut self) -> SimResult<Snapshot> {
+        if !self.started {
+            return Err(snap::err(
+                "snapshot before the run started; run at least one slice first",
+            ));
+        }
+        if !self.st.next_delta.is_empty() || !self.st.update_requests.is_empty() {
+            return Err(snap::err(
+                "snapshot mid-delta-cycle; snapshot only between run slices",
+            ));
+        }
+        if self.st.pending_error.is_some() {
+            return Err(snap::err("snapshot with a pending simulation error"));
+        }
+
+        // Pending timed events, in global (time, seq) dispatch order so the
+        // document is canonical and restore re-inserts front-to-back.
+        let mut entries: Vec<&TimedEntry> = self.st.queue.iter_entries().collect();
+        entries.sort_by_key(|e| (e.time, e.seq));
+        let mut queue = Vec::with_capacity(entries.len());
+        for e in entries {
+            queue.push(
+                Json::obj()
+                    .with("t", ju64(e.time.0))
+                    .with("seq", ju64(e.seq))
+                    .with("target", ju64(e.delivery.target as u64))
+                    .with(
+                        "source",
+                        match e.delivery.msg.source {
+                            Some(s) => ju64(s as u64),
+                            None => Json::Null,
+                        },
+                    )
+                    .with("background", Json::Bool(e.delivery.background))
+                    .with("kind", msg_kind_json(&e.delivery.msg.kind)?),
+            );
+        }
+
+        let mut canceled: Vec<u64> = self.st.canceled.iter().copied().collect();
+        canceled.sort_unstable();
+
+        let clocks: Vec<Json> = self
+            .st
+            .clocks
+            .iter()
+            .map(|c| {
+                Json::obj()
+                    .with("name", Json::from(c.name.as_str()))
+                    .with("started", Json::Bool(c.started))
+                    .with("pos_edges", ju64(c.pos_edges))
+                    .with("armed", Json::Bool(c.armed))
+                    .with("next_time", ju64(c.next_time.0))
+                    .with("next_seq", ju64(c.next_seq))
+                    .with("next_edge", Json::from(edge_str(c.next_edge)))
+                    .with("pos_subs", snap::usize_list_json(&c.pos_subs))
+                    .with("neg_subs", snap::usize_list_json(&c.neg_subs))
+            })
+            .collect();
+
+        let mut signals = Vec::with_capacity(self.st.signals.len());
+        for (i, s) in self.st.signals.iter().enumerate() {
+            signals.push(signal_snapshot(i, s.as_ref())?);
+        }
+        let mut fifos = Vec::with_capacity(self.st.fifos.len());
+        for (i, f) in self.st.fifos.iter().enumerate() {
+            fifos.push(fifo_snapshot(i, f.as_ref())?);
+        }
+
+        let mut components = Vec::with_capacity(self.comps.len());
+        for slot in &mut self.comps {
+            let comp = slot
+                .comp
+                .as_mut()
+                .ok_or_else(|| snap::err(format!("component {:?} is mid-dispatch", slot.name)))?;
+            let state = comp.snapshot().map_err(|e| e.in_component(&slot.name))?;
+            components.push(
+                Json::obj()
+                    .with("name", Json::from(slot.name.as_str()))
+                    .with("state", state),
+            );
+        }
+
+        let tracer = match &self.st.tracer {
+            Some(t) => t.snapshot_json(),
+            None => Json::Null,
+        };
+
+        Ok(Snapshot::from_state(
+            Json::obj()
+                .with("schema", Json::from(snap::SNAPSHOT_SCHEMA))
+                .with("now", ju64(self.st.now.0))
+                .with("seq", ju64(self.st.seq))
+                .with("obligations", ju64(self.st.obligations))
+                .with("delta_limit", ju64(self.st.delta_limit))
+                .with("metrics", metrics_json(&self.st.metrics))
+                .with(
+                    "canceled",
+                    Json::Arr(canceled.into_iter().map(ju64).collect()),
+                )
+                .with("queue", Json::Arr(queue))
+                .with("clocks", Json::Arr(clocks))
+                .with("signals", Json::Arr(signals))
+                .with("fifos", Json::Arr(fifos))
+                .with("tracer", tracer)
+                .with("recorder", self.st.recorder.snapshot_json())
+                .with("components", Json::Arr(components)),
+        ))
+    }
+
+    /// Restore a [`Snapshot`] into this freshly built simulator. The
+    /// simulator must have the same static shape (components, channels,
+    /// clocks — by name and order) as the one that produced the snapshot;
+    /// configuration parameters may differ, which is what warm-fork sweeps
+    /// exploit.
+    ///
+    /// After a successful restore the simulator behaves exactly as the
+    /// original did at snapshot time: `Start` is *not* re-delivered (all
+    /// subscriptions are part of the snapshot), and a subsequent `run*`
+    /// continues the deterministic `(time, seq)` dispatch order. On error
+    /// the simulator is partially restored and must be discarded.
+    pub fn restore(&mut self, snapshot: &Snapshot) -> SimResult<()> {
+        if self.started {
+            return Err(snap::err(
+                "restore requires a freshly built simulator (run not started)",
+            ));
+        }
+        let j = snapshot.json();
+        match j.get("schema").and_then(Json::as_str) {
+            Some(snap::SNAPSHOT_SCHEMA) => {}
+            other => {
+                return Err(snap::err(format!(
+                    "snapshot schema mismatch: expected {}, found {other:?}",
+                    snap::SNAPSHOT_SCHEMA
+                )))
+            }
+        }
+
+        let components = snap::arr_field(j, "components")?;
+        if components.len() != self.comps.len() {
+            return Err(snap::err(format!(
+                "snapshot has {} components, simulator has {}",
+                components.len(),
+                self.comps.len()
+            )));
+        }
+        for (slot, cj) in self.comps.iter_mut().zip(components) {
+            let name = snap::str_field(cj, "name")?;
+            if name != slot.name {
+                return Err(snap::err(format!(
+                    "component name mismatch: simulator has {:?}, snapshot has {name:?}",
+                    slot.name
+                )));
+            }
+            let comp = slot
+                .comp
+                .as_mut()
+                .ok_or_else(|| snap::err(format!("component {name:?} is mid-dispatch")))?;
+            comp.restore(snap::field(cj, "state")?)
+                .map_err(|e| e.in_component(name))?;
+        }
+
+        let signals = snap::arr_field(j, "signals")?;
+        if signals.len() != self.st.signals.len() {
+            return Err(snap::err(format!(
+                "snapshot has {} signals, simulator has {}",
+                signals.len(),
+                self.st.signals.len()
+            )));
+        }
+        for (i, sj) in signals.iter().enumerate() {
+            let name = snap::str_field(sj, "name")?;
+            if name != self.st.signals[i].name() {
+                return Err(snap::err(format!(
+                    "signal {i} name mismatch: simulator has {:?}, snapshot has {name:?}",
+                    self.st.signals[i].name()
+                )));
+            }
+            signal_restore(i, self.st.signals[i].as_mut(), sj)?;
+        }
+
+        let fifos = snap::arr_field(j, "fifos")?;
+        if fifos.len() != self.st.fifos.len() {
+            return Err(snap::err(format!(
+                "snapshot has {} fifos, simulator has {}",
+                fifos.len(),
+                self.st.fifos.len()
+            )));
+        }
+        for (i, fj) in fifos.iter().enumerate() {
+            let name = snap::str_field(fj, "name")?;
+            if name != self.st.fifos[i].name() {
+                return Err(snap::err(format!(
+                    "fifo {i} name mismatch: simulator has {:?}, snapshot has {name:?}",
+                    self.st.fifos[i].name()
+                )));
+            }
+            fifo_restore(i, self.st.fifos[i].as_mut(), fj)?;
+        }
+
+        let clocks = snap::arr_field(j, "clocks")?;
+        if clocks.len() != self.st.clocks.len() {
+            return Err(snap::err(format!(
+                "snapshot has {} clocks, simulator has {}",
+                clocks.len(),
+                self.st.clocks.len()
+            )));
+        }
+        for (c, cj) in self.st.clocks.iter_mut().zip(clocks) {
+            let name = snap::str_field(cj, "name")?;
+            if name != c.name {
+                return Err(snap::err(format!(
+                    "clock name mismatch: simulator has {:?}, snapshot has {name:?}",
+                    c.name
+                )));
+            }
+            c.started = snap::bool_field(cj, "started")?;
+            c.pos_edges = snap::u64_field(cj, "pos_edges")?;
+            c.armed = snap::bool_field(cj, "armed")?;
+            c.next_time = SimTime(snap::u64_field(cj, "next_time")?);
+            c.next_seq = snap::u64_field(cj, "next_seq")?;
+            c.next_edge = edge_of(snap::str_field(cj, "next_edge")?)?;
+            c.pos_subs = snap::usize_list(cj, "pos_subs")?;
+            c.neg_subs = snap::usize_list(cj, "neg_subs")?;
+        }
+
+        // Timed queue: re-insert every entry with its *original* sequence
+        // number, front-to-back, so the wheel (or the legacy heap) rebuilds
+        // the identical (time, seq) dispatch order.
+        for ej in snap::arr_field(j, "queue")? {
+            let target = snap::u64_field(ej, "target")? as ComponentId;
+            let source = match snap::field(ej, "source")? {
+                Json::Null => None,
+                s => Some(
+                    crate::json::ju64_of(s)
+                        .ok_or_else(|| snap::err("queue entry source is not a u64"))?
+                        as ComponentId,
+                ),
+            };
+            self.st.queue.push(TimedEntry {
+                time: SimTime(snap::u64_field(ej, "t")?),
+                seq: snap::u64_field(ej, "seq")?,
+                delivery: Delivery {
+                    target,
+                    msg: Msg {
+                        source,
+                        kind: msg_kind_of(snap::field(ej, "kind")?)?,
+                    },
+                    background: snap::bool_field(ej, "background")?,
+                },
+            });
+        }
+        self.st.canceled = snap::u64_list(j, "canceled")?.into_iter().collect();
+
+        match (snap::field(j, "tracer")?, self.st.tracer.as_mut()) {
+            (Json::Null, None) => {}
+            (Json::Null, Some(_)) => {
+                return Err(snap::err(
+                    "simulator has a VCD tracer but the snapshot does not",
+                ))
+            }
+            (_, None) => {
+                return Err(snap::err(
+                    "snapshot has a VCD tracer but the simulator does not",
+                ))
+            }
+            (t, Some(tracer)) => tracer.restore_json(t)?,
+        }
+        self.st.recorder.restore_json(snap::field(j, "recorder")?)?;
+
+        self.st.now = SimTime(snap::u64_field(j, "now")?);
+        self.st.seq = snap::u64_field(j, "seq")?;
+        self.st.obligations = snap::u64_field(j, "obligations")?;
+        self.st.delta_limit = snap::u64_field(j, "delta_limit")?;
+        self.st.metrics = metrics_of(snap::field(j, "metrics")?)?;
+
+        // Start must never re-fire: the snapshot already contains every
+        // subscription and timer Start handlers created.
+        self.started = true;
+        Ok(())
     }
 
     /// The first error raised during this run: a typed `Api::raise` if one

@@ -58,6 +58,7 @@ pub mod component;
 pub mod error;
 pub mod event;
 pub mod fifo;
+pub mod json;
 pub mod kernel;
 pub mod mempool;
 pub mod observe;
@@ -65,6 +66,7 @@ pub mod process;
 pub mod queue;
 pub mod report;
 pub mod signal;
+pub mod snapshot;
 pub mod stats;
 pub mod sync;
 pub mod testing;
@@ -77,11 +79,13 @@ pub mod prelude {
     pub use crate::error::{SimError, SimErrorKind, SimResult};
     pub use crate::event::{ComponentId, Delay, Edge, FifoEventKind, Msg, MsgKind, StopReason};
     pub use crate::fifo::FifoRef;
+    pub use crate::json::{Json, JsonError};
     pub use crate::kernel::{Api, ClockRef, KernelMetrics, Simulator, TimerHandle};
     pub use crate::observe::{Recorder, SimEvent, TraceCategory, TraceEventKind, KERNEL_SOURCE};
     pub use crate::process::{Script, ScriptBuilder, Step};
     pub use crate::report::Severity;
     pub use crate::signal::SignalRef;
+    pub use crate::snapshot::{PayloadCodec, Snapshot, Snapshotable};
     pub use crate::stats::{BusyTracker, DispatchProfile, LatencyHistogram, Summary};
     pub use crate::sync::{SemGranted, SemPost, SemWait, Semaphore};
     pub use crate::time::{SimDuration, SimTime};

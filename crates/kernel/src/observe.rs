@@ -24,7 +24,10 @@
 //! lane's spans nest properly — which is exactly what the Chrome
 //! trace-event `B`/`E` stack model requires.
 
+use crate::error::SimResult;
 use crate::event::ComponentId;
+use crate::json::{ju64, Json};
+use crate::snapshot as snap;
 use crate::time::SimTime;
 
 /// Pseudo component id used for events emitted by the kernel itself
@@ -57,6 +60,18 @@ impl TraceCategory {
             TraceCategory::User => "user",
         }
     }
+
+    /// Inverse of [`TraceCategory::as_str`] (snapshot restore).
+    pub fn from_name(s: &str) -> Option<TraceCategory> {
+        Some(match s {
+            "kernel" => TraceCategory::Kernel,
+            "bus" => TraceCategory::Bus,
+            "fabric" => TraceCategory::Fabric,
+            "cpu" => TraceCategory::Cpu,
+            "user" => TraceCategory::User,
+            _ => return None,
+        })
+    }
 }
 
 /// What kind of mark an event is.
@@ -71,6 +86,29 @@ pub enum TraceEventKind {
     /// A sampled counter value (monotonic or gauge, by convention of the
     /// emitter; the exporters plot whatever sequence was recorded).
     Counter,
+}
+
+impl TraceEventKind {
+    /// Stable lowercase name (exports and snapshots).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TraceEventKind::Begin => "begin",
+            TraceEventKind::End => "end",
+            TraceEventKind::Instant => "instant",
+            TraceEventKind::Counter => "counter",
+        }
+    }
+
+    /// Inverse of [`TraceEventKind::as_str`] (snapshot restore).
+    pub fn from_name(s: &str) -> Option<TraceEventKind> {
+        Some(match s {
+            "begin" => TraceEventKind::Begin,
+            "end" => TraceEventKind::End,
+            "instant" => TraceEventKind::Instant,
+            "counter" => TraceEventKind::Counter,
+            _ => return None,
+        })
+    }
 }
 
 /// One structured trace event.
@@ -207,6 +245,69 @@ impl Recorder {
     pub fn clear(&mut self) {
         self.buf.clear();
         self.head = 0;
+    }
+}
+
+impl crate::snapshot::Snapshotable for Recorder {
+    fn snapshot_json(&self) -> Json {
+        let events: Vec<Json> = self
+            .events()
+            .iter()
+            .map(|e| {
+                Json::obj()
+                    .with("at", ju64(e.at.0))
+                    .with("delta", ju64(e.delta))
+                    .with("comp", ju64(e.comp as u64))
+                    .with("lane", Json::from(e.lane as u64))
+                    .with("cat", Json::from(e.cat.as_str()))
+                    .with("name", Json::from(e.name))
+                    .with("kind", Json::from(e.kind.as_str()))
+                    .with("value", ju64(e.value))
+            })
+            .collect();
+        Json::obj()
+            .with("enabled", Json::Bool(self.enabled))
+            .with("capacity", Json::from(self.capacity as u64))
+            .with("emitted", ju64(self.emitted))
+            .with("dropped", ju64(self.dropped))
+            .with("events", Json::Arr(events))
+    }
+
+    fn restore_json(&mut self, state: &Json) -> SimResult<()> {
+        let enabled = snap::bool_field(state, "enabled")?;
+        let capacity = snap::usize_field(state, "capacity")?;
+        *self = if enabled {
+            Recorder::enabled(capacity)
+        } else {
+            Recorder::disabled()
+        };
+        self.emitted = snap::u64_field(state, "emitted")?;
+        self.dropped = snap::u64_field(state, "dropped")?;
+        for e in snap::arr_field(state, "events")? {
+            let cat_s = snap::str_field(e, "cat")?;
+            let kind_s = snap::str_field(e, "kind")?;
+            let ev = SimEvent {
+                at: SimTime(snap::u64_field(e, "at")?),
+                delta: snap::u64_field(e, "delta")?,
+                comp: snap::u64_field(e, "comp")? as ComponentId,
+                lane: snap::u64_field(e, "lane")? as u8,
+                cat: TraceCategory::from_name(cat_s)
+                    .ok_or_else(|| snap::err(format!("unknown trace category {cat_s:?}")))?,
+                name: crate::snapshot::intern(snap::str_field(e, "name")?),
+                kind: TraceEventKind::from_name(kind_s)
+                    .ok_or_else(|| snap::err(format!("unknown trace event kind {kind_s:?}")))?,
+                value: snap::u64_field(e, "value")?,
+            };
+            // Bypass emit(): the emitted/dropped totals were restored above
+            // and must not double-count the retained events.
+            if self.buf.len() < self.capacity {
+                self.buf.push(ev);
+            }
+        }
+        // Restored oldest-first with head 0: the next wrap overwrites the
+        // oldest retained event, exactly as the live ring would.
+        self.head = 0;
+        Ok(())
     }
 }
 

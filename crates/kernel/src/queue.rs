@@ -175,6 +175,12 @@ impl EventQueue {
             // front run.
             let at = self.active.partition_point(|e| key(e) > key(&entry));
             self.active.insert(at, entry);
+            // Neighbor check: the insert must not break the reverse
+            // (time, seq) layout even mid-drain.
+            debug_assert!(at == 0 || key(&self.active[at - 1]) > key(&self.active[at]));
+            debug_assert!(
+                at + 1 >= self.active.len() || key(&self.active[at]) > key(&self.active[at + 1])
+            );
         } else {
             let slot = (b % NBUCKETS as u64) as usize;
             self.buckets[slot].push(entry);
@@ -278,6 +284,23 @@ impl EventQueue {
             self.refill_from_far();
         }
         self.sort_active();
+        self.debug_assert_active_sorted();
+    }
+
+    /// Debug-build audit: `active` must be in strict reverse `(time, seq)`
+    /// order whenever a rotation completes (the invariant `pop`/`peek` and
+    /// mid-drain `place` inserts rely on).
+    fn debug_assert_active_sorted(&self) {
+        debug_assert!(
+            self.active.windows(2).all(|w| key(&w[0]) > key(&w[1])),
+            "active bucket lost reverse (time, seq) order after rotation"
+        );
+    }
+
+    /// Iterate every pending entry, in no particular order (snapshot
+    /// support; callers sort by `(time, seq)`).
+    pub(crate) fn iter_entries(&self) -> impl Iterator<Item = &TimedEntry> {
+        self.iter_all()
     }
 
     pub fn pop(&mut self) -> Option<TimedEntry> {
@@ -579,6 +602,99 @@ mod tests {
             .map(|e| (e.time.0, e.seq))
             .collect();
         assert_eq!(got, expect);
+    }
+
+    /// Pop from `q` and a parallel legacy-heap oracle simultaneously; the
+    /// streams must match element for element.
+    fn drain_against_oracle(q: &mut EventQueue, oracle: &mut EventQueue) {
+        loop {
+            let got = q.pop().map(|e| (e.time.0, e.seq));
+            let want = oracle.pop().map(|e| (e.time.0, e.seq));
+            assert_eq!(got, want, "wheel diverged from legacy heap oracle");
+            if want.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// Satellite regression (ISSUE 5): events scheduled mid-drain with
+    /// `b <= base` — exactly at the rotation point and at
+    /// `base + NBUCKETS ± 1` — keep global (time, seq) order. The wheel is
+    /// checked against the legacy binary heap fed the identical schedule.
+    #[test]
+    fn mid_drain_push_at_rotation_point_and_horizon_edges() {
+        const TICK: u64 = 1 << TICK_SHIFT;
+        // Rotate base to bucket 700 by parking two entries there and
+        // peeking; then drain one so `active` is mid-drain.
+        let rot = 700 * TICK;
+        let mut q = EventQueue::new();
+        let mut oracle = EventQueue::new();
+        oracle.set_legacy(true);
+        for (t, s) in [(rot + 9, 0u64), (rot + 20, 1)] {
+            q.push(entry(t, s, false));
+            oracle.push(entry(t, s, false));
+        }
+        assert_eq!(q.peek(), Some((SimTime(rot + 9), 0)));
+        assert_eq!(q.pop().map(|e| e.seq), Some(0));
+        assert_eq!(oracle.pop().map(|e| e.seq), Some(0));
+        // Mid-drain arrivals at every boundary the placement rule branches
+        // on: the rotation point itself (start of the active bucket, i.e.
+        // earlier than the remaining front), the last ring slot, the
+        // horizon, and one past it. Plus one earlier-than-base straggler.
+        let horizon = NBUCKETS as u64 * TICK;
+        let late = [
+            rot,                  // rotation point, before remaining front
+            rot + 10,             // active bucket, before remaining front
+            rot + 21,             // active bucket, after remaining front
+            rot + horizon - TICK, // base + NBUCKETS - 1 (last ring slot)
+            rot + horizon - 1,    // last fs of the ring
+            rot + horizon,        // exactly the horizon -> far heap
+            rot + horizon + 1,    // one past the horizon
+            rot + horizon + TICK, // base + NBUCKETS + 1
+            rot - TICK,           // bucket base - 1 (time moved past it)
+        ];
+        for (k, &t) in late.iter().enumerate() {
+            q.push(entry(t, 2 + k as u64, false));
+            oracle.push(entry(t, 2 + k as u64, false));
+        }
+        drain_against_oracle(&mut q, &mut oracle);
+    }
+
+    /// Satellite regression (ISSUE 5): `refill_from_far` entries landing on
+    /// the *current* bucket (`b <= base`) after a `peek`-driven base advance
+    /// must interleave correctly with entries already placed there. Far
+    /// entries sharing one bucket arrive out of (time, seq) order relative
+    /// to ring contents; the drain must still match the legacy heap.
+    #[test]
+    fn refill_from_far_onto_current_bucket_keeps_order() {
+        const TICK: u64 = 1 << TICK_SHIFT;
+        let horizon = NBUCKETS as u64 * TICK;
+        // Target bucket far beyond the first horizon so the entries start
+        // life in the far heap.
+        let b = horizon * 2 + 37 * TICK;
+        let mut q = EventQueue::new();
+        let mut oracle = EventQueue::new();
+        oracle.set_legacy(true);
+        // Same far bucket, times deliberately not in seq order.
+        let seed = [(b + 7, 0u64), (b + 2, 1), (b + 7, 2), (b, 3)];
+        // And one a full horizon later, so the refill loop has a stop case.
+        let tail = (b + horizon + 5, 4u64);
+        for &(t, s) in seed.iter().chain([&tail]) {
+            q.push(entry(t, s, false));
+            oracle.push(entry(t, s, false));
+        }
+        // peek() advances base straight to bucket `b` (far jump) and pulls
+        // the four eligible far entries into the active bucket.
+        assert_eq!(q.peek(), Some((SimTime(b), 3)));
+        // Mid-drain: schedule more traffic landing on the current bucket,
+        // both before and after the remaining front.
+        assert_eq!(q.pop().map(|e| e.seq), Some(3));
+        assert_eq!(oracle.pop().map(|e| e.seq), Some(3));
+        for &(t, s) in &[(b + 1, 5u64), (b + 7, 6), (b + 2, 7)] {
+            q.push(entry(t, s, false));
+            oracle.push(entry(t, s, false));
+        }
+        drain_against_oracle(&mut q, &mut oracle);
     }
 
     #[test]

@@ -1,0 +1,372 @@
+//! Deterministic snapshot & restore of simulator state.
+//!
+//! A [`Snapshot`] is a JSON document capturing everything dynamic about a
+//! simulation — current time, the global sequence counter, every pending
+//! timed event (with its original sequence number, so the restored run
+//! dispatches in exactly the same `(time, seq)` total order), signal and
+//! FIFO contents, clock phases, subscriptions created by `Start` handlers,
+//! kernel metrics, trace buffers, and each component's model state.
+//!
+//! The contract the round-trip tests enforce: for any time `t`,
+//!
+//! ```text
+//! run_until(t); snapshot(); restore-into-fresh-sim; run()
+//! ```
+//!
+//! produces *bit-identical* observable results (stats, records, trace event
+//! streams) to a single uninterrupted `run()`. Restoring never replays
+//! `Start` — subscriptions are part of the snapshot — and the snapshot
+//! contains no wall-clock or RNG state, so it is reproducible by
+//! construction.
+//!
+//! Static configuration (component graph, channel names, clock periods,
+//! address maps …) is deliberately **not** captured: a snapshot is restored
+//! into a freshly built simulator of the same shape. That split is what
+//! makes warm-fork DSE sweeps work — the shared prefix is snapshot once,
+//! then each sweep point rebuilds its (parameter-varied) world and restores
+//! the common dynamic state into it.
+//!
+//! The report log ([`crate::report::Reporter`]) is intentionally excluded:
+//! it is a diagnostic artifact of a particular process, not simulation
+//! state, and restoring it would duplicate entries already surfaced to the
+//! user when the prefix ran.
+//!
+//! In-flight user payloads (`MsgKind::User(Box<dyn Any>)`) are serialized
+//! through a process-global [`PayloadCodec`] registry; model crates
+//! register codecs for their message types at construction time (see
+//! `drcf-bus`). Payload types without a codec fail the snapshot with a
+//! typed error naming the payload's type id.
+
+use std::any::Any;
+use std::collections::HashSet;
+use std::sync::{Mutex, OnceLock};
+
+use crate::error::{SimError, SimErrorKind, SimResult};
+use crate::json::Json;
+
+/// Schema identifier embedded in every snapshot document.
+pub const SNAPSHOT_SCHEMA: &str = "drcf-snapshot-v1";
+
+/// A serialized simulation state (see the module docs for the contract).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    state: Json,
+}
+
+impl Snapshot {
+    /// Wrap a state document produced by `Simulator::snapshot`.
+    pub(crate) fn from_state(state: Json) -> Snapshot {
+        Snapshot { state }
+    }
+
+    /// The underlying JSON document.
+    pub fn json(&self) -> &Json {
+        &self.state
+    }
+
+    /// Serialize (pretty-printed, suitable for a file).
+    pub fn to_text(&self) -> String {
+        self.state.to_string_pretty()
+    }
+
+    /// Parse a snapshot previously written with [`Snapshot::to_text`],
+    /// validating the schema marker.
+    pub fn parse(text: &str) -> SimResult<Snapshot> {
+        let state = Json::parse(text).map_err(|e| err(format!("snapshot parse failed: {e}")))?;
+        match state.get("schema").and_then(Json::as_str) {
+            Some(SNAPSHOT_SCHEMA) => Ok(Snapshot { state }),
+            Some(other) => Err(err(format!(
+                "snapshot schema mismatch: expected {SNAPSHOT_SCHEMA}, found {other}"
+            ))),
+            None => Err(err("snapshot document has no schema field")),
+        }
+    }
+}
+
+/// Anything that can capture and restore its dynamic state as JSON.
+///
+/// Model crates implement this for stats blocks, ports and other plain
+/// state holders; [`crate::component::Component`] has equivalent
+/// `snapshot`/`restore` hooks for the polymorphic component slots.
+pub trait Snapshotable {
+    /// Capture dynamic state. Must be a pure function of model state —
+    /// no wall-clock, RNG, or environment reads.
+    fn snapshot_json(&self) -> Json;
+    /// Restore state captured by [`Snapshotable::snapshot_json`] on a
+    /// freshly constructed value.
+    fn restore_json(&mut self, state: &Json) -> SimResult<()>;
+}
+
+/// Construct the typed error all snapshot/restore failures use.
+pub fn err(msg: impl Into<String>) -> SimError {
+    SimError::new(SimErrorKind::Validation, msg)
+}
+
+// ---------------------------------------------------------------------------
+// Payload codecs
+// ---------------------------------------------------------------------------
+
+/// Encoder/decoder pair for one concrete user-payload type.
+///
+/// `encode` returns `None` when the payload is not of this codec's type
+/// (the registry probes codecs in registration order); `decode` returns
+/// `None` when the data document is malformed.
+#[derive(Clone, Copy)]
+pub struct PayloadCodec {
+    /// Stable codec name, written into the snapshot document.
+    pub name: &'static str,
+    /// Try to encode a payload of this codec's type.
+    pub encode: fn(&dyn Any) -> Option<Json>,
+    /// Decode a document written by `encode` into a fresh boxed payload.
+    pub decode: fn(&Json) -> Option<Box<dyn Any>>,
+}
+
+impl std::fmt::Debug for PayloadCodec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PayloadCodec({})", self.name)
+    }
+}
+
+fn codec_registry() -> &'static Mutex<Vec<PayloadCodec>> {
+    static REGISTRY: OnceLock<Mutex<Vec<PayloadCodec>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Register a payload codec process-wide. Registering the same name twice
+/// is idempotent (the first registration wins), so model constructors can
+/// call this unconditionally.
+pub fn register_payload_codec(codec: PayloadCodec) {
+    let Ok(mut reg) = codec_registry().lock() else {
+        return; // a poisoned registry only ever loses idempotent re-adds
+    };
+    if !reg.iter().any(|c| c.name == codec.name) {
+        reg.push(codec);
+    }
+}
+
+/// Encode an in-flight user payload via the codec registry. The result is
+/// `{"codec": <name>, "data": <codec document>}`.
+pub fn encode_payload(payload: &dyn Any) -> SimResult<Json> {
+    let reg = codec_registry()
+        .lock()
+        .map_err(|_| err("payload codec registry poisoned"))?;
+    for c in reg.iter() {
+        if let Some(data) = (c.encode)(payload) {
+            return Ok(Json::obj()
+                .with("codec", Json::from(c.name))
+                .with("data", data));
+        }
+    }
+    Err(err(format!(
+        "no payload codec registered for in-flight message (type id {:?}); \
+         register a PayloadCodec before snapshotting",
+        payload.type_id()
+    )))
+}
+
+/// Decode a payload document written by [`encode_payload`].
+pub fn decode_payload(doc: &Json) -> SimResult<Box<dyn Any>> {
+    let name = str_field(doc, "codec")?;
+    let data = field(doc, "data")?;
+    let reg = codec_registry()
+        .lock()
+        .map_err(|_| err("payload codec registry poisoned"))?;
+    let codec = reg
+        .iter()
+        .find(|c| c.name == name)
+        .ok_or_else(|| err(format!("unknown payload codec {name:?}")))?;
+    (codec.decode)(data).ok_or_else(|| err(format!("payload codec {name:?} rejected its data")))
+}
+
+// ---------------------------------------------------------------------------
+// Static-string interning (trace event names survive the round trip)
+// ---------------------------------------------------------------------------
+
+/// Return a `&'static str` equal to `s`. Structured-trace event names are
+/// `&'static str` so recording never allocates; restoring a snapshot needs
+/// to materialize names parsed from JSON, which this process-global intern
+/// table does (each distinct name is leaked exactly once).
+pub fn intern(s: &str) -> &'static str {
+    static TABLE: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let table = TABLE.get_or_init(|| Mutex::new(HashSet::new()));
+    let Ok(mut set) = table.lock() else {
+        // Poisoned table: fall back to a fresh leak. Correct, merely
+        // wasteful, and only reachable after a panic mid-intern.
+        return Box::leak(s.to_string().into_boxed_str());
+    };
+    if let Some(&existing) = set.get(s) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+    set.insert(leaked);
+    leaked
+}
+
+// ---------------------------------------------------------------------------
+// Field-access helpers (shared by every restore implementation)
+// ---------------------------------------------------------------------------
+
+/// Required object field.
+pub fn field<'a>(j: &'a Json, key: &str) -> SimResult<&'a Json> {
+    j.get(key)
+        .ok_or_else(|| err(format!("snapshot field {key:?} missing")))
+}
+
+/// Required `u64` field (accepts the lossless [`crate::json::ju64`] forms).
+pub fn u64_field(j: &Json, key: &str) -> SimResult<u64> {
+    crate::json::ju64_of(field(j, key)?)
+        .ok_or_else(|| err(format!("snapshot field {key:?} is not a u64")))
+}
+
+/// Required `usize` field.
+pub fn usize_field(j: &Json, key: &str) -> SimResult<usize> {
+    Ok(u64_field(j, key)? as usize)
+}
+
+/// Required `i64` field (accepts the lossless [`crate::json::ji64`] forms).
+pub fn i64_field(j: &Json, key: &str) -> SimResult<i64> {
+    crate::json::ji64_of(field(j, key)?)
+        .ok_or_else(|| err(format!("snapshot field {key:?} is not an i64")))
+}
+
+/// Required `f64` field.
+pub fn f64_field(j: &Json, key: &str) -> SimResult<f64> {
+    field(j, key)?
+        .as_f64()
+        .ok_or_else(|| err(format!("snapshot field {key:?} is not a number")))
+}
+
+/// Required boolean field.
+pub fn bool_field(j: &Json, key: &str) -> SimResult<bool> {
+    field(j, key)?
+        .as_bool()
+        .ok_or_else(|| err(format!("snapshot field {key:?} is not a bool")))
+}
+
+/// Required string field.
+pub fn str_field<'a>(j: &'a Json, key: &str) -> SimResult<&'a str> {
+    field(j, key)?
+        .as_str()
+        .ok_or_else(|| err(format!("snapshot field {key:?} is not a string")))
+}
+
+/// Required array field.
+pub fn arr_field<'a>(j: &'a Json, key: &str) -> SimResult<&'a [Json]> {
+    field(j, key)?
+        .as_arr()
+        .ok_or_else(|| err(format!("snapshot field {key:?} is not an array")))
+}
+
+/// Decode an array of `u64` values (component-id lists, subscriber lists).
+pub fn u64_list(j: &Json, key: &str) -> SimResult<Vec<u64>> {
+    arr_field(j, key)?
+        .iter()
+        .map(|v| {
+            crate::json::ju64_of(v)
+                .ok_or_else(|| err(format!("snapshot field {key:?} has a non-u64 element")))
+        })
+        .collect()
+}
+
+/// Decode an array of `usize` values.
+pub fn usize_list(j: &Json, key: &str) -> SimResult<Vec<usize>> {
+    Ok(u64_list(j, key)?.into_iter().map(|v| v as usize).collect())
+}
+
+/// Encode a list of `usize` (subscriber lists and similar).
+pub fn usize_list_json(v: &[usize]) -> Json {
+    Json::Arr(v.iter().map(|&x| crate::json::ju64(x as u64)).collect())
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct TestPayload {
+        a: u64,
+    }
+
+    fn test_codec() -> PayloadCodec {
+        PayloadCodec {
+            name: "test-payload",
+            encode: |any| {
+                let p = any.downcast_ref::<TestPayload>()?;
+                Some(Json::obj().with("a", crate::json::ju64(p.a)))
+            },
+            decode: |data| {
+                let a = crate::json::ju64_of(data.get("a")?)?;
+                Some(Box::new(TestPayload { a }))
+            },
+        }
+    }
+
+    #[test]
+    fn payload_codec_round_trips() {
+        register_payload_codec(test_codec());
+        register_payload_codec(test_codec()); // idempotent
+        let doc = encode_payload(&TestPayload { a: 1 << 60 }).unwrap();
+        assert_eq!(doc.get("codec").unwrap().as_str(), Some("test-payload"));
+        let back = decode_payload(&doc).unwrap();
+        let p = back.downcast_ref::<TestPayload>().unwrap();
+        assert_eq!(p, &TestPayload { a: 1 << 60 });
+    }
+
+    #[test]
+    fn unregistered_payload_is_a_typed_error() {
+        struct Opaque;
+        let e = encode_payload(&Opaque).unwrap_err();
+        assert_eq!(e.kind, SimErrorKind::Validation);
+        assert!(e.message.contains("no payload codec"));
+    }
+
+    #[test]
+    fn unknown_codec_name_is_a_typed_error() {
+        let doc = Json::obj()
+            .with("codec", Json::from("no-such-codec"))
+            .with("data", Json::obj());
+        assert!(decode_payload(&doc).is_err());
+    }
+
+    #[test]
+    fn intern_deduplicates() {
+        let a = intern("snapshot-test-name");
+        let b = intern(&String::from("snapshot-test-name"));
+        assert!(std::ptr::eq(a, b));
+        assert_eq!(a, "snapshot-test-name");
+    }
+
+    #[test]
+    fn snapshot_text_round_trip_validates_schema() {
+        let s = Snapshot::from_state(
+            Json::obj()
+                .with("schema", Json::from(SNAPSHOT_SCHEMA))
+                .with("now", crate::json::ju64(42)),
+        );
+        let text = s.to_text();
+        let back = Snapshot::parse(&text).unwrap();
+        assert_eq!(&back, &s);
+        assert!(Snapshot::parse("{}").is_err());
+        assert!(Snapshot::parse("{\"schema\":\"other\"}").is_err());
+        assert!(Snapshot::parse("not json").is_err());
+    }
+
+    #[test]
+    fn field_helpers_report_missing_and_mistyped() {
+        let j = Json::obj()
+            .with("n", Json::Num(7.0))
+            .with("s", Json::from("x"))
+            .with("b", Json::Bool(true))
+            .with("a", Json::Arr(vec![Json::Num(1.0)]))
+            .with("i", crate::json::ji64(-5));
+        assert_eq!(u64_field(&j, "n").unwrap(), 7);
+        assert_eq!(str_field(&j, "s").unwrap(), "x");
+        assert!(bool_field(&j, "b").unwrap());
+        assert_eq!(arr_field(&j, "a").unwrap().len(), 1);
+        assert_eq!(i64_field(&j, "i").unwrap(), -5);
+        assert!(field(&j, "missing").is_err());
+        assert!(u64_field(&j, "s").is_err());
+        assert!(str_field(&j, "n").is_err());
+    }
+}

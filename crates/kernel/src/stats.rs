@@ -4,6 +4,10 @@
 //! [`SimTime`]/[`SimDuration`] arguments, so models embed them directly and
 //! harnesses read them back after a run.
 
+use crate::error::SimResult;
+use crate::json::{ju64, Json};
+use crate::snapshot as snap;
+use crate::snapshot::Snapshotable;
 use crate::time::{SimDuration, SimTime};
 
 /// Tracks how long a binary resource (bus, fabric slot, accelerator) spent
@@ -58,6 +62,24 @@ impl BusyTracker {
     /// Busy fraction over `[SimTime::ZERO, now]`.
     pub fn utilization(&self, now: SimTime) -> f64 {
         self.busy_time(now).fraction_of(now.since(SimTime::ZERO))
+    }
+}
+
+impl Snapshotable for BusyTracker {
+    fn snapshot_json(&self) -> Json {
+        Json::obj()
+            .with("busy", Json::Bool(self.busy))
+            .with("since", ju64(self.since.0))
+            .with("accumulated", ju64(self.accumulated.0))
+            .with("activations", ju64(self.activations))
+    }
+
+    fn restore_json(&mut self, state: &Json) -> SimResult<()> {
+        self.busy = snap::bool_field(state, "busy")?;
+        self.since = SimTime(snap::u64_field(state, "since")?);
+        self.accumulated = SimDuration(snap::u64_field(state, "accumulated")?);
+        self.activations = snap::u64_field(state, "activations")?;
+        Ok(())
     }
 }
 
@@ -138,6 +160,17 @@ impl LatencyHistogram {
         self.max
     }
 
+    /// Structural equality (used by snapshot round-trip assertions; the
+    /// type itself avoids `PartialEq` so accidental float-style comparisons
+    /// of histograms stay deliberate).
+    pub fn same_as(&self, other: &LatencyHistogram) -> bool {
+        self.buckets == other.buckets
+            && self.count == other.count
+            && self.sum == other.sum
+            && self.min == other.min
+            && self.max == other.max
+    }
+
     /// Approximate quantile (bucket upper edge), q in `[0, 1]`.
     pub fn quantile(&self, q: f64) -> SimDuration {
         if self.count == 0 {
@@ -153,6 +186,52 @@ impl LatencyHistogram {
             }
         }
         self.max
+    }
+}
+
+impl Snapshotable for LatencyHistogram {
+    fn snapshot_json(&self) -> Json {
+        // Buckets are serialized sparsely: most of the 40 log2 buckets are
+        // empty in any given run.
+        let buckets: Vec<Json> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c != 0)
+            .map(|(i, &c)| Json::Arr(vec![Json::from(i as u64), ju64(c)]))
+            .collect();
+        Json::obj()
+            .with("buckets", Json::Arr(buckets))
+            .with("count", ju64(self.count))
+            .with("sum", ju64(self.sum.0))
+            .with("min", ju64(self.min.0))
+            .with("max", ju64(self.max.0))
+    }
+
+    fn restore_json(&mut self, state: &Json) -> SimResult<()> {
+        *self = LatencyHistogram::new();
+        for pair in snap::arr_field(state, "buckets")? {
+            let p = pair
+                .as_arr()
+                .ok_or_else(|| snap::err("histogram bucket entry is not a pair"))?;
+            let (i, c) = match p {
+                [i, c] => (
+                    crate::json::ju64_of(i).ok_or_else(|| snap::err("bad bucket index"))?,
+                    crate::json::ju64_of(c).ok_or_else(|| snap::err("bad bucket count"))?,
+                ),
+                _ => return Err(snap::err("histogram bucket entry is not a pair")),
+            };
+            let i = i as usize;
+            if i >= self.buckets.len() {
+                return Err(snap::err(format!("histogram bucket {i} out of range")));
+            }
+            self.buckets[i] = c;
+        }
+        self.count = snap::u64_field(state, "count")?;
+        self.sum = SimDuration(snap::u64_field(state, "sum")?);
+        self.min = SimDuration(snap::u64_field(state, "min")?);
+        self.max = SimDuration(snap::u64_field(state, "max")?);
+        Ok(())
     }
 }
 

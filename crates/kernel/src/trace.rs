@@ -8,6 +8,9 @@
 
 use std::fmt::Write as _;
 
+use crate::error::SimResult;
+use crate::json::{ju64, Json};
+use crate::snapshot as snap;
 use crate::time::SimTime;
 
 /// A traced value sample.
@@ -198,6 +201,95 @@ impl VcdTracer {
     /// Write the trace to a file.
     pub fn write_to(&self, path: &std::path::Path) -> std::io::Result<()> {
         std::fs::write(path, self.render())
+    }
+}
+
+fn trace_value_json(v: TraceValue) -> Json {
+    match v {
+        TraceValue::Bool(b) => Json::obj().with("b", Json::Bool(b)),
+        TraceValue::Bits { value, width } => Json::obj()
+            .with("v", ju64(value))
+            .with("w", Json::from(width as u64)),
+        TraceValue::Real(r) => Json::obj().with("r", Json::Num(r)),
+    }
+}
+
+fn trace_value_of(j: &Json) -> SimResult<TraceValue> {
+    if let Some(b) = j.get("b").and_then(Json::as_bool) {
+        return Ok(TraceValue::Bool(b));
+    }
+    if let Some(v) = j.get("v").and_then(crate::json::ju64_of) {
+        let w = snap::u64_field(j, "w")? as u8;
+        return Ok(TraceValue::Bits { value: v, width: w });
+    }
+    if let Some(r) = j.get("r").and_then(Json::as_f64) {
+        return Ok(TraceValue::Real(r));
+    }
+    Err(snap::err(format!("malformed trace value {j}")))
+}
+
+impl crate::snapshot::Snapshotable for VcdTracer {
+    fn snapshot_json(&self) -> Json {
+        let vars: Vec<Json> = self
+            .vars
+            .iter()
+            .map(|v| {
+                Json::obj()
+                    .with("name", Json::from(v.name.as_str()))
+                    .with("width", Json::from(v.width as u64))
+                    .with("real", Json::Bool(v.real))
+            })
+            .collect();
+        let changes: Vec<Json> = self
+            .changes
+            .iter()
+            .map(|&(t, var, val)| {
+                Json::obj()
+                    .with("t", ju64(t.0))
+                    .with("var", Json::from(var as u64))
+                    .with("val", trace_value_json(val))
+            })
+            .collect();
+        Json::obj()
+            .with("vars", Json::Arr(vars))
+            .with("changes", Json::Arr(changes))
+    }
+
+    /// Restore into a tracer whose variables were re-declared by the fresh
+    /// build. Declarations must match the snapshot (same spec, same
+    /// registration order); the change log — including the initial t=0
+    /// samples `declare` pushed — is replaced wholesale.
+    fn restore_json(&mut self, state: &Json) -> SimResult<()> {
+        let vars = snap::arr_field(state, "vars")?;
+        if vars.len() != self.vars.len() {
+            return Err(snap::err(format!(
+                "tracer has {} vars, snapshot has {}",
+                self.vars.len(),
+                vars.len()
+            )));
+        }
+        for (i, v) in vars.iter().enumerate() {
+            let name = snap::str_field(v, "name")?;
+            if name != self.vars[i].name {
+                return Err(snap::err(format!(
+                    "tracer var {i} is {:?}, snapshot has {name:?}",
+                    self.vars[i].name
+                )));
+            }
+        }
+        self.changes.clear();
+        for c in snap::arr_field(state, "changes")? {
+            let var = snap::usize_field(c, "var")?;
+            if var >= self.vars.len() {
+                return Err(snap::err(format!("trace change var {var} out of range")));
+            }
+            self.changes.push((
+                SimTime(snap::u64_field(c, "t")?),
+                var as u32,
+                trace_value_of(snap::field(c, "val")?)?,
+            ));
+        }
+        Ok(())
     }
 }
 

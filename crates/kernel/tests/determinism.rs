@@ -40,7 +40,7 @@ type Observation = (
 fn run_world(
     clocks: &[(u64, u64, u64)], // (period_ns, high_ns, offset_ns)
     workers: &[(u8, bool, u8)], // (clock choice, both edges, fifo put cadence)
-    plan: &[(u64, u64)],        // stimulus timers: (delay_ns, tag)
+    plan: &[(u64, u64, u8)],    // stimulus timers: (delay_fs, tag, rechedule hops)
     horizon_ns: u64,
     legacy_clock: bool,
     heap_queue: bool,
@@ -121,13 +121,22 @@ fn run_world(
         "stim",
         FnComponent::new(move |api, msg| match msg.kind {
             MsgKind::Start => {
-                for &(d, tag) in &plan2 {
-                    api.timer_in(SimDuration::ns(d), tag);
+                for (i, &(d, _, hops)) in plan2.iter().enumerate() {
+                    api.timer_in(SimDuration::fs(d), (i as u64) | ((hops as u64) << 32));
                 }
             }
-            MsgKind::Timer(tag) => {
+            MsgKind::Timer(t) => {
+                // Low half: plan index. High half: remaining reschedule
+                // hops, so boundary delays are also exercised relative to
+                // mid-run `now` values, not just time zero.
+                let idx = (t & 0xFFFF_FFFF) as usize;
+                let hops = t >> 32;
+                let (d, tag, _) = plan2[idx];
                 api.write(bus, tag);
                 l3.borrow_mut().push((api.now().as_fs(), 5000, tag as i64));
+                if hops > 0 {
+                    api.timer_in(SimDuration::fs(d), (idx as u64) | ((hops - 1) << 32));
+                }
             }
             _ => {}
         }),
@@ -173,6 +182,11 @@ proptest! {
             .iter()
             .map(|&(p, h, o)| (p, 1 + h % (p - 1), o))
             .collect();
+        // One-shot timers at ns granularity.
+        let plan: Vec<(u64, u64, u8)> = plan
+            .iter()
+            .map(|&(d_ns, tag)| (d_ns * 1_000_000, tag, 0))
+            .collect();
         let fast1 = run_world(&clocks, &workers, &plan, horizon_ns, false, false);
         let fast2 = run_world(&clocks, &workers, &plan, horizon_ns, false, false);
         let legacy_clk = run_world(&clocks, &workers, &plan, horizon_ns, true, false);
@@ -183,6 +197,45 @@ proptest! {
         prop_assert_eq!(&fast1, &legacy_clk);
         prop_assert_eq!(&fast1, &heap);
         prop_assert_eq!(&fast1, &all_legacy);
+    }
+
+    /// Satellite regression (ISSUE 5): timer delays drawn from the timing
+    /// wheel's boundary set — {0, TICK−1, TICK, horizon−1, horizon,
+    /// horizon+1} femtoseconds (TICK = 2^20 fs bucket width, horizon =
+    /// 2^30 fs wheel span) — with rescheduling hops so the boundaries are
+    /// hit from arbitrary mid-run `now` values, i.e. exactly at active
+    /// bucket rotation points and at `base + NBUCKETS ± 1`. The wheel must
+    /// reproduce the reference binary heap bit for bit.
+    #[test]
+    fn wheel_boundary_delays_agree(
+        raw_clocks in proptest::collection::vec((2u64..16, 0u64..100, 0u64..6), 1..3),
+        workers in proptest::collection::vec((0u8..8, any::<bool>(), 1u8..4), 1..3),
+        picks in proptest::collection::vec((0usize..6, 0u64..32, 0u8..3), 1..12),
+        horizon_ns in 1100u64..2400,
+    ) {
+        const TICK_FS: u64 = 1 << 20;
+        const WHEEL_HORIZON_FS: u64 = 1 << 30;
+        const BOUNDARY_FS: [u64; 6] = [
+            0,
+            TICK_FS - 1,
+            TICK_FS,
+            WHEEL_HORIZON_FS - 1,
+            WHEEL_HORIZON_FS,
+            WHEEL_HORIZON_FS + 1,
+        ];
+        let clocks: Vec<(u64, u64, u64)> = raw_clocks
+            .iter()
+            .map(|&(p, h, o)| (p, 1 + h % (p - 1), o))
+            .collect();
+        let plan: Vec<(u64, u64, u8)> = picks
+            .iter()
+            .map(|&(b, tag, hops)| (BOUNDARY_FS[b], tag, hops))
+            .collect();
+        let fast = run_world(&clocks, &workers, &plan, horizon_ns, false, false);
+        let heap = run_world(&clocks, &workers, &plan, horizon_ns, false, true);
+        let all_legacy = run_world(&clocks, &workers, &plan, horizon_ns, true, true);
+        prop_assert_eq!(&fast, &heap);
+        prop_assert_eq!(&fast, &all_legacy);
     }
 }
 

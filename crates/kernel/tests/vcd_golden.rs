@@ -32,3 +32,22 @@ fn two_signal_dump_matches_golden_file() {
     let want = include_str!("golden_two_signal.vcd");
     assert_eq!(got, want, "VCD output diverged from the golden file");
 }
+
+#[test]
+fn t0_only_dump_falls_back_to_ns_timescale() {
+    // Declares record initial values at t=0; with no later change the
+    // timescale derivation has nothing to measure and must fall back to
+    // the conventional 1 ns rather than the vacuous femtosecond.
+    let mut t = VcdTracer::new();
+    t.declare("clk", TraceValue::Bool(false));
+    t.declare("data", TraceValue::Bits { value: 3, width: 8 });
+    assert_eq!(t.timescale(), (1_000_000, "ns"));
+    let got = t.render();
+    let want = include_str!("golden_t0_only.vcd");
+    assert_eq!(got, want, "VCD output diverged from the golden file");
+}
+
+#[test]
+fn empty_tracer_reports_ns_timescale() {
+    assert_eq!(VcdTracer::new().timescale(), (1_000_000, "ns"));
+}

@@ -21,6 +21,8 @@
 //! fabric.
 
 use drcf_bus::prelude::{Addr, BusOp, BusSlaveModel, Word};
+use drcf_bus::snapshot::{words_json, words_of};
+use drcf_kernel::json::{ju64, ju64_of, Json};
 
 /// STATUS register values.
 pub mod status {
@@ -331,6 +333,37 @@ impl BusSlaveModel for KernelAccelerator {
 
     fn model_name(&self) -> &str {
         &self.name
+    }
+
+    fn snapshot_state(&self) -> Result<Json, String> {
+        Ok(Json::obj()
+            .with("ctrl", ju64(self.ctrl))
+            .with("status", ju64(self.status))
+            .with("len", ju64(self.len))
+            .with("window", words_json(&self.window))
+            .with("runs", ju64(self.runs))
+            .with("compute_cycles", ju64(self.compute_cycles)))
+    }
+
+    fn restore_state(&mut self, state: &Json) -> Result<(), String> {
+        let field = |key: &str| {
+            state
+                .get(key)
+                .and_then(ju64_of)
+                .ok_or_else(|| format!("accelerator '{}': bad field `{key}`", self.name))
+        };
+        self.ctrl = field("ctrl")?;
+        self.status = field("status")?;
+        self.len = field("len")?;
+        let window = state
+            .get("window")
+            .and_then(words_of)
+            .filter(|w| w.len() == self.window_words)
+            .ok_or_else(|| format!("accelerator '{}': bad data window", self.name))?;
+        self.window = window;
+        self.runs = field("runs")?;
+        self.compute_cycles = field("compute_cycles")?;
+        Ok(())
     }
 }
 

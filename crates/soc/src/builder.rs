@@ -102,6 +102,10 @@ pub struct SocSpec {
     /// per-burst transactions whenever another master contends, a fault
     /// range overlaps, or tracing is enabled.
     pub coalesce_config_traffic: bool,
+    /// Pause the run at this simulated offset and capture a deterministic
+    /// [`Snapshot`] before resuming to completion ([`run_soc`] stores it in
+    /// [`BuiltSoc::snapshot`]). `None` runs straight through.
+    pub snapshot_at: Option<SimDuration>,
 }
 
 impl Default for SocSpec {
@@ -121,6 +125,7 @@ impl Default for SocSpec {
             abort_load_of: vec![],
             trace_capacity: None,
             coalesce_config_traffic: true,
+            snapshot_at: None,
         }
     }
 }
@@ -149,6 +154,10 @@ pub struct BuiltSoc {
     pub power_model: Option<PowerModel>,
     /// Fabric clock, MHz.
     pub fabric_clock_mhz: u64,
+    /// When set, [`run_soc`] pauses here to capture a snapshot.
+    pub snapshot_at: Option<SimDuration>,
+    /// The snapshot captured by [`run_soc`] at [`Self::snapshot_at`].
+    pub snapshot: Option<Snapshot>,
 }
 
 /// Metrics of one run.
@@ -474,12 +483,56 @@ pub fn build_soc(workload: &Workload, spec: &SocSpec) -> SimResult<BuiltSoc> {
         context_params: context_params_out,
         power_model,
         fabric_clock_mhz: fabric_clock,
+        snapshot_at: spec.snapshot_at,
+        snapshot: None,
     })
 }
 
+/// Rebuild the SoC for `workload` under `spec` and restore `snapshot` into
+/// it, ready to resume with [`run_soc`].
+///
+/// The spec must describe the same system the snapshot was taken from
+/// (restore validates component names, types, and per-component shape).
+/// The rebuilt SoC's own `snapshot_at` is cleared so the resumed run goes
+/// straight to completion.
+pub fn restore_soc(
+    workload: &Workload,
+    spec: &SocSpec,
+    snapshot: &Snapshot,
+) -> SimResult<BuiltSoc> {
+    let mut soc = build_soc(workload, spec)?;
+    soc.sim.restore(snapshot)?;
+    soc.snapshot_at = None;
+    Ok(soc)
+}
+
+/// Run the shared prefix of a sweep exactly once: build the SoC, run it to
+/// `at`, and return the snapshot. The tail of the run is discarded — warm
+/// forks ([`restore_soc`]) resume it per sweep point.
+pub fn snapshot_prefix(
+    workload: &Workload,
+    spec: &SocSpec,
+    at: SimDuration,
+) -> SimResult<Snapshot> {
+    let mut soc = build_soc(workload, spec)?;
+    soc.sim.run_until(SimTime::ZERO + at)?;
+    soc.sim.snapshot()
+}
+
 /// Run a built SoC to completion and extract the metric record.
+///
+/// When the SoC was built with [`SocSpec::snapshot_at`], the run pauses at
+/// that offset, captures a deterministic snapshot into
+/// [`BuiltSoc::snapshot`], and then resumes to completion — the metrics are
+/// bit-identical to a straight run.
 pub fn run_soc(mut soc: BuiltSoc) -> (RunMetrics, BuiltSoc) {
-    let reason = soc.sim.run();
+    let reason = match soc.snapshot_at {
+        Some(at) => soc.sim.run_until(SimTime::ZERO + at).and_then(|_| {
+            soc.snapshot = Some(soc.sim.snapshot()?);
+            soc.sim.run()
+        }),
+        None => soc.sim.run(),
+    };
     let now = soc.sim.now();
     let mut m = RunMetrics {
         ok: reason == Ok(StopReason::Quiescent),
@@ -737,6 +790,70 @@ mod tests {
         assert!(m.ok);
         assert!(soc.sim.observe_events().is_empty());
         assert!(m.timeline.rows.is_empty(), "no fabric, no timeline");
+    }
+
+    #[test]
+    fn snapshot_mid_run_resumes_bit_identical() {
+        let w = wireless_receiver(2, 32);
+        let spec = SocSpec {
+            mapping: drcf_mapping(vec!["fir".into(), "fft".into(), "viterbi".into()]),
+            ..SocSpec::default()
+        };
+        let (straight, straight_soc) = run_soc(build_soc(&w, &spec).unwrap());
+        assert!(straight.ok, "{straight:?}");
+        // Pause halfway through the straight makespan — inside the
+        // context-switch traffic — and capture a snapshot on the way.
+        let at = SimDuration::fs(straight.makespan.as_fs() / 2);
+        let snap_spec = SocSpec {
+            snapshot_at: Some(at),
+            ..spec.clone()
+        };
+        let (paused, paused_soc) = run_soc(build_soc(&w, &snap_spec).unwrap());
+        assert!(paused.ok, "{paused:?}");
+        // Pausing to snapshot must not perturb any run observable.
+        assert_eq!(paused.makespan, straight.makespan);
+        assert_eq!(paused.bus_words, straight.bus_words);
+        assert_eq!(paused.switches, straight.switches);
+        assert_eq!(paused.config_words, straight.config_words);
+        // Resume from the snapshot through the serialized text form.
+        let text = paused_soc.snapshot.expect("snapshot captured").to_text();
+        let snap = Snapshot::parse(&text).unwrap();
+        let (m, resumed_soc) = run_soc(restore_soc(&w, &spec, &snap).unwrap());
+        assert!(m.ok, "{m:?}");
+        assert_eq!(m.makespan, straight.makespan);
+        assert_eq!(m.bus_words, straight.bus_words);
+        assert_eq!(m.switches, straight.switches);
+        assert_eq!(m.config_words, straight.config_words);
+        assert_eq!(
+            resumed_soc.sim.get::<Cpu>(0).read_log,
+            straight_soc.sim.get::<Cpu>(0).read_log,
+            "bus-visible data must match after resume"
+        );
+        assert_eq!(
+            resumed_soc.sim.get::<Drcf>(3).stats,
+            straight_soc.sim.get::<Drcf>(3).stats,
+            "fabric statistics must match after resume"
+        );
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_spec() {
+        let w = wireless_receiver(1, 16);
+        let spec = SocSpec {
+            snapshot_at: Some(SimDuration::us(1)),
+            ..SocSpec::default()
+        };
+        let (m, soc) = run_soc(build_soc(&w, &spec).unwrap());
+        assert!(m.ok);
+        let snap = soc.snapshot.expect("snapshot captured");
+        // A spec with a different copy mode builds a different component
+        // roster; restore must refuse it rather than resume nonsense.
+        let other = SocSpec {
+            copy_mode: SocCopyMode::Dma,
+            snapshot_at: None,
+            ..SocSpec::default()
+        };
+        assert!(restore_soc(&w, &other, &snap).is_err());
     }
 
     #[test]

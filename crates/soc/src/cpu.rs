@@ -7,7 +7,10 @@
 //! generates, not its semantics.
 
 use drcf_bus::prelude::*;
+use drcf_bus::snapshot::{time_json, time_of, words_json, words_of};
+use drcf_kernel::json::{ju64, Json};
 use drcf_kernel::prelude::*;
+use drcf_kernel::snapshot::{self as snap, Snapshotable};
 
 /// One CPU program step.
 #[derive(Debug, Clone)]
@@ -286,7 +289,99 @@ impl Cpu {
     }
 }
 
+impl Cpu {
+    fn state_json(&self) -> Json {
+        match &self.state {
+            CpuState::Ready => Json::obj().with("kind", "ready".into()),
+            CpuState::Issuing => Json::obj().with("kind", "issuing".into()),
+            CpuState::Computing => Json::obj().with("kind", "computing".into()),
+            CpuState::WaitingBus => Json::obj().with("kind", "waiting_bus".into()),
+            CpuState::Polling {
+                addr,
+                expect,
+                interval_cycles,
+            } => Json::obj()
+                .with("kind", "polling".into())
+                .with("addr", ju64(*addr))
+                .with("expect", ju64(*expect))
+                .with("interval_cycles", ju64(*interval_cycles)),
+            CpuState::WaitingIrq => Json::obj().with("kind", "waiting_irq".into()),
+            CpuState::Finished => Json::obj().with("kind", "finished".into()),
+        }
+    }
+
+    fn restore_cpu_state(&mut self, state: &Json) -> SimResult<()> {
+        let j = snap::field(state, "state")?;
+        self.state = match snap::str_field(j, "kind")? {
+            "ready" => CpuState::Ready,
+            "issuing" => CpuState::Issuing,
+            "computing" => CpuState::Computing,
+            "waiting_bus" => CpuState::WaitingBus,
+            "polling" => CpuState::Polling {
+                addr: snap::u64_field(j, "addr")?,
+                expect: snap::u64_field(j, "expect")?,
+                interval_cycles: snap::u64_field(j, "interval_cycles")?,
+            },
+            "waiting_irq" => CpuState::WaitingIrq,
+            "finished" => CpuState::Finished,
+            other => return Err(snap::err(format!("unknown CPU state `{other}`"))),
+        };
+        Ok(())
+    }
+}
+
 impl Component for Cpu {
+    fn snapshot(&mut self) -> SimResult<Json> {
+        Ok(Json::obj()
+            .with("port", self.port.snapshot_json())
+            .with("pc", ju64(self.pc as u64))
+            .with("state", self.state_json())
+            .with(
+                "read_log",
+                Json::Arr(
+                    self.read_log
+                        .iter()
+                        .map(|(addr, data)| Json::Arr(vec![ju64(*addr), words_json(data)]))
+                        .collect(),
+                ),
+            )
+            .with(
+                "finished_at",
+                self.finished_at.map_or(Json::Null, time_json),
+            )
+            .with("pending_irqs", ju64(self.pending_irqs as u64))
+            .with("retired", ju64(self.stats.retired))
+            .with("compute_time", ju64(self.stats.compute_time.as_fs()))
+            .with("polls", ju64(self.stats.polls)))
+    }
+
+    fn restore(&mut self, state: &Json) -> SimResult<()> {
+        self.port.restore_json(snap::field(state, "port")?)?;
+        self.pc = snap::usize_field(state, "pc")?;
+        self.restore_cpu_state(state)?;
+        self.read_log.clear();
+        for e in snap::arr_field(state, "read_log")? {
+            let pair = e
+                .as_arr()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| snap::err("malformed read-log entry"))?;
+            let addr = drcf_kernel::json::ju64_of(&pair[0])
+                .ok_or_else(|| snap::err("read-log address is not a u64"))?;
+            let data = words_of(&pair[1]).ok_or_else(|| snap::err("malformed read-log data"))?;
+            self.read_log.push((addr, data));
+        }
+        self.finished_at = match snap::field(state, "finished_at")? {
+            Json::Null => None,
+            j => Some(time_of(j).ok_or_else(|| snap::err("bad finish time"))?),
+        };
+        self.pending_irqs = u32::try_from(snap::u64_field(state, "pending_irqs")?)
+            .map_err(|_| snap::err("pending_irqs out of range"))?;
+        self.stats.retired = snap::u64_field(state, "retired")?;
+        self.stats.compute_time = SimDuration::fs(snap::u64_field(state, "compute_time")?);
+        self.stats.polls = snap::u64_field(state, "polls")?;
+        Ok(())
+    }
+
     fn handle(&mut self, api: &mut Api<'_>, msg: Msg) {
         match msg.kind {
             MsgKind::Start => {

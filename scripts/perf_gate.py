@@ -8,7 +8,9 @@ commit SHA (from $GITHUB_SHA, or `git rev-parse HEAD` as a fallback) into
 the file as a `"commit"` field so the uploaded artifact is traceable to
 the exact revision, and exits non-zero if any `speedup_vs_baseline`
 entry has dropped below 1.0 — i.e. if the current tree is slower than
-the baked per-scenario baseline on any workload.
+the baked per-scenario baseline on any workload — or if the live
+`warm_fork_speedup` (cold DSE sweep vs. snapshot-forked sweep, measured
+in the same process) falls below 1.5x.
 
 The baselines live in `crates/bench/src/hotpath.rs`
 (`BASELINE_EVENTS_PER_SEC`); see EXPERIMENTS.md for how they were
@@ -55,6 +57,13 @@ def main() -> int:
     ratio = bench.get("ctx_switch_storm_on_vs_off")
     if ratio is not None:
         print(f"perf gate: storm coalescing on-vs-off {ratio:.2f}x")
+
+    warm = bench.get("warm_fork_speedup")
+    if warm is not None:
+        verdict = "ok" if warm >= 1.5 else "REGRESSION"
+        print(f"perf gate: warm-fork DSE speedup {warm:.2f}x (floor 1.5x)  [{verdict}]")
+        if warm < 1.5:
+            failed.append("warm_fork_speedup")
 
     if failed:
         print(
