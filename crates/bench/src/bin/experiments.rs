@@ -16,6 +16,10 @@
 //! that snapshot into a freshly built system, runs it to completion, and
 //! cross-checks the resumed metrics against a straight run before printing
 //! them.
+//!
+//! `--shards N` runs the multi-fabric `sharded_soc` bench topology with N
+//! worker shards against the single-threaded oracle, verifies the reports
+//! are bit-identical, and prints both wall times and the live speedup.
 
 /// Event dispatch allocates roughly 1.3 small blocks per event (boxed
 /// message payloads plus burst-data vectors); the pooled allocator turns
@@ -126,6 +130,38 @@ fn resume_snapshot(path: &str) {
     );
 }
 
+fn run_sharded(shards: usize) {
+    use std::time::Instant;
+    let spec = drcf_bench::hotpath::sharded_soc_spec();
+    let t0 = Instant::now();
+    let oracle = spec.run_with_shards(1).expect("oracle run");
+    let serial = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let par = spec.run_with_shards(shards).expect("sharded run");
+    let wall = t1.elapsed().as_secs_f64();
+    assert!(
+        oracle.report.same_outcome(&par.report),
+        "sharded run diverged from the oracle at {:?}",
+        oracle.report.first_divergence(&par.report)
+    );
+    println!(
+        "sharded_soc: {} tiles, horizon {} ns, {} events",
+        spec.tiles,
+        spec.horizon.as_fs() / 1_000_000,
+        par.events(),
+    );
+    println!(
+        "  serial (1 shard):  {serial:.3}s\n  sharded ({} shards, {} rounds, {} cross-shard \
+         messages): {wall:.3}s\n  speedup {:.2}x — reports bit-identical (per-LP metrics, \
+         probes, {} state-hash slices per tile)",
+        par.report.shards,
+        par.report.rounds,
+        par.report.messages,
+        serial / wall,
+        par.report.lps.first().map_or(0, |l| l.slice_hashes.len()),
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--bench-json") {
@@ -153,6 +189,14 @@ fn main() {
     if let Some(i) = args.iter().position(|a| a == "--resume-from") {
         let path = args.get(i + 1).expect("--resume-from needs a path");
         resume_snapshot(path);
+        return;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--shards") {
+        let shards: usize = args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .expect("--shards needs a shard count");
+        run_sharded(shards);
         return;
     }
     let markdown = args.iter().any(|a| a == "--markdown");

@@ -37,7 +37,7 @@ pub fn run_flow() -> FlowArtifacts {
     let tasks = w.graph.tasks.len();
 
     // 2. Profiling (the partitioning phase's input).
-    let (profile, _) = asap_profile(&w);
+    let (profile, _) = asap_profile(&w).expect("library workloads are acyclic");
     let busy: Vec<(String, f64)> = profile
         .blocks
         .iter()

@@ -16,7 +16,7 @@ use crate::common::{r1, ExperimentResult};
 
 /// Run the full rule-vs-exploration comparison for one workload.
 pub fn analyze_workload(w: &Workload) -> (Vec<String>, Vec<PartitionOutcome>, Vec<usize>) {
-    let (profile, _) = asap_profile(w);
+    let (profile, _) = asap_profile(w).expect("library workloads are acyclic");
     let groups = select_candidates(&profile, &SelectionRules::default());
     let proposed: Vec<String> = groups
         .first()
@@ -86,7 +86,7 @@ pub fn run() -> ExperimentResult {
     // Parallel-branch pipeline: DCT and motion estimation overlap, so the
     // rules must not group them.
     let wv = video_pipeline(3, 64);
-    let (profile_v, _) = asap_profile(&wv);
+    let (profile_v, _) = asap_profile(&wv).expect("library workloads are acyclic");
     let groups_v = select_candidates(&profile_v, &SelectionRules::default());
     let mut t2 = Table::new(
         "video pipeline (parallel branches): analytic profile",

@@ -466,6 +466,73 @@ pub fn warm_fork_dse() -> (HotpathMeasurement, f64) {
     (m, cold_secs / warm_secs)
 }
 
+/// Shard count the `sharded_soc` bench targets.
+pub const SHARDED_SOC_SHARDS: usize = 4;
+
+/// The multi-fabric topology the `sharded_soc` bench runs: wide enough
+/// (8 tiles) that 4 shards get 2 tiles each, heavy enough per window that
+/// cross-shard synchronization amortizes.
+pub fn sharded_soc_spec() -> drcf_soc::prelude::ShardedSocSpec {
+    use drcf_soc::prelude::*;
+    ShardedSocSpec {
+        tiles: 8,
+        work: 24,
+        fanout: 8,
+        horizon: SimDuration::us(300),
+        hash_slices: true,
+        ..ShardedSocSpec::default()
+    }
+}
+
+/// Measure one sharded run of `spec` (min wall time over `reps` passes).
+fn time_sharded(
+    spec: &drcf_soc::prelude::ShardedSocSpec,
+    shards: usize,
+    reps: usize,
+) -> (drcf_soc::prelude::ShardedSocRun, f64) {
+    let mut best = f64::INFINITY;
+    let mut run = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = match spec.run_with_shards(shards) {
+            Ok(r) => r,
+            Err(e) => panic!("sharded_soc run with {shards} shards failed: {e:?}"),
+        };
+        best = best.min(t0.elapsed().as_secs_f64());
+        run = Some(r);
+    }
+    match run {
+        Some(r) => (r, best),
+        None => panic!("sharded_soc needs at least one timing rep"),
+    }
+}
+
+/// Measure the sharded multi-fabric SoC bench: the identical 8-tile
+/// topology run single-threaded (the conservative-lookahead oracle) and
+/// with [`SHARDED_SOC_SHARDS`] worker shards. Returns the sharded
+/// measurement (events = total dispatched, seconds = sharded wall), the
+/// live serial-vs-sharded wall speedup, the shard count, and whether the
+/// two reports — per-LP metrics, probes, and per-window state hashes —
+/// matched bit-for-bit.
+pub fn sharded_soc() -> (HotpathMeasurement, f64, usize, bool) {
+    const TIMING_REPS: usize = 2;
+    let spec = sharded_soc_spec();
+    let (oracle, serial_secs) = time_sharded(&spec, 1, TIMING_REPS);
+    let (sharded, shard_secs) = time_sharded(&spec, SHARDED_SOC_SHARDS, TIMING_REPS);
+    let identical = oracle.report.same_outcome(&sharded.report);
+    assert!(
+        identical,
+        "sharded run diverged from the oracle at {:?}",
+        oracle.report.first_divergence(&sharded.report)
+    );
+    let m = HotpathMeasurement::new("sharded_soc", sharded.events(), shard_secs).with_note(
+        "8 fabric tiles over 4 worker shards, conservative bridge-latency lookahead; \
+         events and per-window state hashes asserted bit-identical to the single-threaded \
+         oracle; speedup is serial wall over sharded wall",
+    );
+    (m, serial_secs / shard_secs, SHARDED_SOC_SHARDS, identical)
+}
+
 /// Run the full hot-path suite with default sizes. Returns the
 /// measurements plus the storm's live coalescing-on-vs-off wall speedup
 /// and the warm-fork cold-vs-warm wall speedup.
@@ -502,7 +569,9 @@ pub const BASELINE_EVENTS_PER_SEC: &[(&str, f64)] = &[
 
 /// Render the whole suite (plus baseline and speedups) as JSON.
 pub fn bench_json() -> Json {
-    let (current, storm_on_vs_off, warm_fork_speedup) = run_suite();
+    let (mut current, storm_on_vs_off, warm_fork_speedup) = run_suite();
+    let (sharded, sharded_speedup, sharded_shards, sharded_identical) = sharded_soc();
+    current.push(sharded);
     let mut baseline_obj = Json::obj();
     for (name, eps) in BASELINE_EVENTS_PER_SEC {
         let _ = baseline_obj.set(name, (*eps).into());
@@ -515,6 +584,9 @@ pub fn bench_json() -> Json {
             }
         }
     }
+    let hw_threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
     Json::obj()
         .with("schema", "drcf-bench-kernel-v1".into())
         .with(
@@ -525,6 +597,10 @@ pub fn bench_json() -> Json {
         .with("speedup_vs_baseline", speedups)
         .with("ctx_switch_storm_on_vs_off", storm_on_vs_off.into())
         .with("warm_fork_speedup", warm_fork_speedup.into())
+        .with("sharded_soc_speedup", sharded_speedup.into())
+        .with("sharded_soc_shards", (sharded_shards as u64).into())
+        .with("sharded_soc_identical", Json::Bool(sharded_identical))
+        .with("hw_threads", (hw_threads as u64).into())
 }
 
 #[cfg(test)]
@@ -551,5 +627,23 @@ mod tests {
         let j = m.to_json();
         assert_eq!(j.get("events").unwrap().as_u64(), Some(100));
         assert_eq!(j.get("events_per_sec").unwrap().as_f64(), Some(200.0));
+    }
+
+    #[test]
+    fn sharded_soc_matches_oracle_on_a_small_topology() {
+        let spec = drcf_soc::prelude::ShardedSocSpec {
+            tiles: 4,
+            horizon: SimDuration::us(20),
+            hash_slices: true,
+            ..sharded_soc_spec()
+        };
+        let (a, _) = time_sharded(&spec, 1, 1);
+        let (b, _) = time_sharded(&spec, SHARDED_SOC_SHARDS, 1);
+        assert!(
+            a.report.same_outcome(&b.report),
+            "diverged at {:?}",
+            a.report.first_divergence(&b.report)
+        );
+        assert!(a.events() > 10_000, "events: {}", a.events());
     }
 }

@@ -36,6 +36,19 @@ pub struct BridgeConfig {
     pub priority: u8,
 }
 
+impl BridgeConfig {
+    /// Minimum end-to-end latency the bridge adds to a forwarded request:
+    /// `forward_cycles` at `clock_mhz`. Any transaction crossing the
+    /// bridge is delayed by at least this much, which makes it a safe
+    /// *conservative lookahead* for sharded simulation — a shard on one
+    /// side of the bridge can run this far ahead of the other side
+    /// without risking a message in its past
+    /// (see [`drcf_kernel::shard`]).
+    pub fn min_latency(&self) -> SimDuration {
+        SimDuration::cycles_at_mhz(self.forward_cycles.max(1), self.clock_mhz)
+    }
+}
+
 impl Default for BridgeConfig {
     fn default() -> Self {
         BridgeConfig {
@@ -227,6 +240,23 @@ mod tests {
     use crate::memory::{Memory, MemoryConfig};
     use crate::protocol::{Addr, BusOp, Word};
     use drcf_kernel::testing::ok;
+
+    #[test]
+    fn min_latency_is_forward_cycles_at_bridge_clock() {
+        let cfg = BridgeConfig {
+            forward_cycles: 100,
+            clock_mhz: 50,
+            ..BridgeConfig::default()
+        };
+        assert_eq!(cfg.min_latency(), SimDuration::cycles_at_mhz(100, 50));
+        // Never zero, even for a degenerate combinational bridge: a zero
+        // lookahead would stall the sharded executor's progress guarantee.
+        let zero = BridgeConfig {
+            forward_cycles: 0,
+            ..BridgeConfig::default()
+        };
+        assert!(zero.min_latency() > SimDuration::ZERO);
+    }
 
     /// Scripted master local to the bridge tests.
     struct Master {

@@ -163,7 +163,7 @@ impl Snapshotable for BusStats {
 }
 
 /// One master's row of the [`BusContention`] report.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ContentionRow {
     /// Master display name.
     pub master: String,
@@ -176,7 +176,7 @@ pub struct ContentionRow {
 /// Per-master grant-latency report: who got the bus, how often, and how
 /// long they queued for it. Derived from [`BusStats::per_master_wait`];
 /// render with `Display`.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BusContention {
     /// Rows, sorted by grant count (heaviest master first).
     pub rows: Vec<ContentionRow>,

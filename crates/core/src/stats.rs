@@ -286,7 +286,7 @@ impl Snapshotable for FabricStats {
 }
 
 /// One context's row of the [`ReconfigTimeline`] report.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TimelineRow {
     /// Context display name.
     pub name: String,
@@ -309,7 +309,7 @@ pub struct TimelineRow {
 /// time of suspended calls, per context, plus run totals. Derived from
 /// [`FabricStats`] (so it agrees with the step-5 counters by
 /// construction); render with `Display`.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ReconfigTimeline {
     /// Per-context rows, in context-id order.
     pub rows: Vec<TimelineRow>,

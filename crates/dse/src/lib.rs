@@ -10,6 +10,7 @@
 //! ([`report`]) and structured-trace exporters ([`trace`]).
 
 #![warn(missing_docs)]
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod json;
 pub mod metrics;
@@ -27,7 +28,10 @@ pub mod prelude {
     pub use crate::pareto::{dominates, objectives, pareto_front, Objective};
     pub use crate::partition::{explore_partitions, size_fabric, subsets, PartitionOutcome};
     pub use crate::report::{fmt_ns, fmt_pct, Table};
-    pub use crate::runner::{sweep, sweep_serial, sweep_with};
+    pub use crate::runner::{
+        sweep, sweep_catch, sweep_catch_workers, sweep_serial, sweep_sharded, sweep_warm_fork,
+        sweep_with, thread_split,
+    };
     pub use crate::space::{cartesian2, cartesian3, linear_steps, pow2_steps};
     pub use crate::trace::{
         chrome_trace, chrome_trace_events, jsonl, jsonl_events, write_chrome_trace, write_jsonl,

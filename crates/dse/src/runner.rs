@@ -101,6 +101,52 @@ where
         .collect()
 }
 
+/// Hardware threads available to this process.
+fn hw_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// Split the machine's thread budget between sweep points and simulation
+/// shards ([`drcf_kernel::shard`]): returns `(point_workers,
+/// shards_per_point)` such that `point_workers * shards_per_point` stays
+/// within the hardware parallelism.
+///
+/// Point-level parallelism is the better deal (zero synchronization), so
+/// it gets priority: shards only receive threads the points cannot use —
+/// a sweep of 16 points on 16 cores runs 16 × 1-shard, while a sweep of 2
+/// points on 16 cores runs 2 × 8-shard.
+pub fn thread_split(n_points: usize, shards_per_point: usize) -> (usize, usize) {
+    let par = hw_threads();
+    let want_shards = shards_per_point.max(1);
+    let point_workers = par.min(n_points.max(1));
+    let shard_budget = (par / point_workers).clamp(1, want_shards);
+    (point_workers, shard_budget)
+}
+
+/// [`sweep`] with the per-point shard budget from [`thread_split`]: `eval`
+/// receives each point plus the shard count it should run with.
+pub fn sweep_sharded<P, F>(points: &[P], shards_per_point: usize, eval: F) -> Vec<RunRecord>
+where
+    P: Sync,
+    F: Fn(&P, usize) -> RunRecord + Sync,
+{
+    let (workers, shards) = thread_split(points.len(), shards_per_point);
+    sweep_catch_workers(points, workers, |p| eval(p, shards))
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| match r {
+            Ok(rec) => rec,
+            Err(msg) => RunRecord::failed(
+                "sweep",
+                vec![("point".into(), i.to_string())],
+                format!("evaluator panicked: {msg}"),
+            ),
+        })
+        .collect()
+}
+
 /// Run `eval` over every point in parallel with per-point fault isolation:
 /// each evaluation runs under `catch_unwind`, so the result vector has one
 /// entry per point, in order — `Ok(payload)` or `Err(panic message)`.
@@ -110,13 +156,22 @@ where
     R: Send,
     F: Fn(&P) -> R + Sync,
 {
+    sweep_catch_workers(points, hw_threads(), eval)
+}
+
+/// [`sweep_catch`] with an explicit worker-thread count (the point-level
+/// half of a [`thread_split`] budget). `workers` is clamped to
+/// `[1, points.len()]`.
+pub fn sweep_catch_workers<P, R, F>(points: &[P], workers: usize, eval: F) -> Vec<Result<R, String>>
+where
+    P: Sync,
+    R: Send,
+    F: Fn(&P) -> R + Sync,
+{
     let n = points.len();
     let run_point =
         |i: usize| catch_unwind(AssertUnwindSafe(|| eval(&points[i]))).map_err(panic_message);
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n);
+    let workers = workers.max(1).min(n);
     if workers <= 1 {
         return (0..n).map(run_point).collect();
     }
@@ -169,6 +224,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use drcf_kernel::prelude::SimDuration;
     use drcf_soc::prelude::*;
 
     fn eval_frames(frames: &usize) -> RunRecord {
@@ -250,6 +306,53 @@ mod tests {
     fn sweep_empty_points() {
         let out = sweep_with::<u64, u64, _>(&[], |x| *x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn thread_split_stays_within_hardware_budget() {
+        let par = super::hw_threads();
+        for (points, shards) in [(1usize, 8usize), (2, 4), (16, 4), (100, 1), (0, 0)] {
+            let (w, s) = thread_split(points, shards);
+            assert!(w >= 1 && s >= 1, "({points},{shards}) -> ({w},{s})");
+            assert!(w <= points.max(1));
+            assert!(s <= shards.max(1));
+            assert!(w * s <= par.max(1) * 2, "budget blown: {w}x{s} on {par}");
+        }
+        // Plenty of points: points win the whole budget, shards get 1 each.
+        let (w, s) = thread_split(1000, 8);
+        assert_eq!(w, par.min(1000));
+        assert_eq!(s, (par / w).clamp(1, 8));
+        // One point: the whole budget goes to its shards.
+        let (w, s) = thread_split(1, 8);
+        assert_eq!(w, 1);
+        assert_eq!(s, par.clamp(1, 8));
+    }
+
+    #[test]
+    fn sweep_sharded_matches_serial_oracle_per_point() {
+        // Sweep tile counts; each point runs with whatever shard budget
+        // thread_split grants, and every result must equal the 1-shard run.
+        let points = vec![2usize, 3, 4];
+        let eval = |tiles: &usize, shards: usize| {
+            let spec = ShardedSocSpec {
+                tiles: *tiles,
+                horizon: SimDuration::us(20),
+                ..ShardedSocSpec::default()
+            };
+            let run = match spec.run_with_shards(shards) {
+                Ok(r) => r,
+                Err(e) => panic!("sharded run failed: {e:?}"),
+            };
+            RunRecord::from_metrics(
+                "sharded",
+                vec![("tiles".into(), tiles.to_string())],
+                &run.metrics,
+            )
+        };
+        let sharded = sweep_sharded(&points, 4, |p, s| eval(p, s));
+        let serial = sweep_serial(&points, |p| eval(p, 1));
+        assert_eq!(sharded, serial);
+        assert!(sharded.iter().all(|r| r.ok));
     }
 
     #[test]

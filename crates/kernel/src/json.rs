@@ -8,8 +8,6 @@
 //! `u64` values that exceed the `f64` integer range (sequence numbers,
 //! transaction tags) are encoded losslessly via [`ju64`]/[`ju64_of`].
 
-use std::fmt::Write as _;
-
 /// A JSON value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {
@@ -110,62 +108,87 @@ impl Json {
     /// the `Display` impl / `to_string()`.
     pub fn to_string_pretty(&self) -> String {
         let mut out = String::new();
-        self.write(&mut out, Some(2), 0);
+        // Writing into a String is infallible.
+        let _ = self.write(&mut out, Some(2), 0);
         out
     }
 
-    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+    /// Stream the compact rendering into any [`std::fmt::Write`] sink.
+    ///
+    /// This is the canonical byte sequence `to_string()` produces, but
+    /// without requiring the caller to materialize it — hashing sinks
+    /// ([`Fnv1a`]) consume snapshots this way without building the string.
+    pub fn write_compact<W: std::fmt::Write>(&self, sink: &mut W) -> std::fmt::Result {
+        self.write(sink, None, 0)
+    }
+
+    /// FNV-1a (64-bit) hash of the compact rendering.
+    ///
+    /// The rendering is streamed byte-by-byte into the hash state; no
+    /// intermediate string is allocated.
+    pub fn fnv1a64(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        // The hashing sink never errors.
+        let _ = self.write(&mut h, None, 0);
+        h.finish()
+    }
+
+    fn write<W: std::fmt::Write>(
+        &self,
+        out: &mut W,
+        indent: Option<usize>,
+        depth: usize,
+    ) -> std::fmt::Result {
         let (nl, pad, pad_in) = match indent {
             Some(w) => ("\n", " ".repeat(w * depth), " ".repeat(w * (depth + 1))),
             None => ("", String::new(), String::new()),
         };
         match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Num(v) => write_num(out, *v),
-            Json::Str(s) => write_str(out, s),
+            Json::Null => out.write_str("null")?,
+            Json::Bool(b) => out.write_str(if *b { "true" } else { "false" })?,
+            Json::Num(v) => write_num(out, *v)?,
+            Json::Str(s) => write_str(out, s)?,
             Json::Arr(items) => {
                 if items.is_empty() {
-                    out.push_str("[]");
-                    return;
+                    return out.write_str("[]");
                 }
-                out.push('[');
+                out.write_char('[')?;
                 for (i, item) in items.iter().enumerate() {
                     if i > 0 {
-                        out.push(',');
+                        out.write_char(',')?;
                     }
-                    out.push_str(nl);
-                    out.push_str(&pad_in);
-                    item.write(out, indent, depth + 1);
+                    out.write_str(nl)?;
+                    out.write_str(&pad_in)?;
+                    item.write(out, indent, depth + 1)?;
                 }
-                out.push_str(nl);
-                out.push_str(&pad);
-                out.push(']');
+                out.write_str(nl)?;
+                out.write_str(&pad)?;
+                out.write_char(']')?;
             }
             Json::Obj(fields) => {
                 if fields.is_empty() {
-                    out.push_str("{}");
-                    return;
+                    return out.write_str("{}");
                 }
-                out.push('{');
+                out.write_char('{')?;
                 for (i, (k, v)) in fields.iter().enumerate() {
                     if i > 0 {
-                        out.push(',');
+                        out.write_char(',')?;
                     }
-                    out.push_str(nl);
-                    out.push_str(&pad_in);
-                    write_str(out, k);
-                    out.push(':');
+                    out.write_str(nl)?;
+                    out.write_str(&pad_in)?;
+                    write_str(out, k)?;
+                    out.write_char(':')?;
                     if indent.is_some() {
-                        out.push(' ');
+                        out.write_char(' ')?;
                     }
-                    v.write(out, indent, depth + 1);
+                    v.write(out, indent, depth + 1)?;
                 }
-                out.push_str(nl);
-                out.push_str(&pad);
-                out.push('}');
+                out.write_str(nl)?;
+                out.write_str(&pad)?;
+                out.write_char('}')?;
             }
         }
+        Ok(())
     }
 
     /// Parse a JSON document.
@@ -186,9 +209,57 @@ impl Json {
 
 impl std::fmt::Display for Json {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let mut out = String::new();
-        self.write(&mut out, None, 0);
-        f.write_str(&out)
+        self.write(f, None, 0)
+    }
+}
+
+/// Streaming FNV-1a 64-bit hasher, usable as a [`std::fmt::Write`] sink.
+///
+/// Used by `Simulator::state_hash` to fingerprint canonical snapshot
+/// renderings without materializing them; also handy on its own for cheap
+/// replay validation of any JSON artifact.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a {
+    state: u64,
+}
+
+impl Fnv1a {
+    const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// Fresh hasher at the FNV offset basis.
+    pub fn new() -> Fnv1a {
+        Fnv1a {
+            state: Self::OFFSET_BASIS,
+        }
+    }
+
+    /// Fold bytes into the hash state.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut h = self.state;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(Self::PRIME);
+        }
+        self.state = h;
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Write for Fnv1a {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        self.update(s.as_bytes());
+        Ok(())
     }
 }
 
@@ -264,33 +335,33 @@ pub fn ji64_of(j: &Json) -> Option<i64> {
     }
 }
 
-fn write_num(out: &mut String, v: f64) {
+fn write_num<W: std::fmt::Write>(out: &mut W, v: f64) -> std::fmt::Result {
     if !v.is_finite() {
         // JSON has no Inf/NaN; encode as null like most emitters.
-        out.push_str("null");
+        out.write_str("null")
     } else if v.fract() == 0.0 && v.abs() < 1e15 {
-        let _ = write!(out, "{}", v as i64);
+        write!(out, "{}", v as i64)
     } else {
-        let _ = write!(out, "{v}");
+        write!(out, "{v}")
     }
 }
 
-fn write_str(out: &mut String, s: &str) {
-    out.push('"');
+fn write_str<W: std::fmt::Write>(out: &mut W, s: &str) -> std::fmt::Result {
+    out.write_char('"')?;
     for c in s.chars() {
         match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
+            '"' => out.write_str("\\\"")?,
+            '\\' => out.write_str("\\\\")?,
+            '\n' => out.write_str("\\n")?,
+            '\r' => out.write_str("\\r")?,
+            '\t' => out.write_str("\\t")?,
             c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
+                write!(out, "\\u{:04x}", c as u32)?;
             }
-            c => out.push(c),
+            c => out.write_char(c)?,
         }
     }
-    out.push('"');
+    out.write_char('"')
 }
 
 /// Parse failure with a byte offset.
@@ -572,6 +643,35 @@ mod tests {
     fn non_finite_numbers_serialize_as_null() {
         assert_eq!(Json::Num(f64::INFINITY).to_string(), "null");
         assert_eq!(Json::Num(f64::NAN).to_string(), "null");
+    }
+
+    #[test]
+    fn fnv1a_matches_hash_of_rendered_bytes() {
+        let v = Json::obj()
+            .with("name", "drcf".into())
+            .with("n", ju64(u64::MAX))
+            .with(
+                "arr",
+                Json::Arr(vec![Json::Null, 1.5.into(), "x\"y".into()]),
+            );
+        let mut h = Fnv1a::new();
+        h.update(v.to_string().as_bytes());
+        assert_eq!(v.fnv1a64(), h.finish(), "streamed hash == hash of bytes");
+        // Distinct documents hash apart.
+        assert_ne!(v.fnv1a64(), Json::obj().fnv1a64());
+        // Known vectors: empty input is the offset basis, "a" the classic one.
+        assert_eq!(Fnv1a::new().finish(), 0xcbf2_9ce4_8422_2325);
+        let mut a = Fnv1a::new();
+        a.update(b"a");
+        assert_eq!(a.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn write_compact_streams_display_form() {
+        let v = Json::Arr(vec![Json::Bool(true), Json::Num(2.0)]);
+        let mut s = String::new();
+        v.write_compact(&mut s).unwrap();
+        assert_eq!(s, v.to_string());
     }
 
     #[test]

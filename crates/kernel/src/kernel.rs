@@ -1093,6 +1093,11 @@ pub struct Simulator {
     /// so the dispatch loop reuses two buffers forever instead of
     /// allocating one per delta cycle.
     runnable: Vec<Delivery>,
+    /// When set, running *under a horizon* with outstanding obligations and
+    /// no local work returns `TimeLimit` instead of a deadlock error — a
+    /// shard may be waiting on a cross-shard reply its coordinator injects
+    /// before the next slice. Unbounded `run()` still detects deadlock.
+    defer_deadlock: bool,
 }
 
 impl Default for Simulator {
@@ -1130,6 +1135,7 @@ impl Simulator {
             },
             started: false,
             runnable: Vec::new(),
+            defer_deadlock: false,
         }
     }
 
@@ -1285,6 +1291,20 @@ impl Simulator {
     /// reference path.
     pub fn set_legacy_timed_queue(&mut self, on: bool) {
         self.st.queue.set_legacy(on);
+    }
+
+    /// Treat quiescence-with-obligations under a `run_until` horizon as
+    /// [`StopReason::TimeLimit`] instead of a deadlock error.
+    ///
+    /// Sharded runs (see [`crate::shard`]) set this on every shard
+    /// simulator: a component blocked on a split transaction may be waiting
+    /// for a cross-shard reply that the coordinator injects before the next
+    /// window, which a single simulator cannot distinguish from true
+    /// deadlock. Unbounded `run()` calls still detect deadlock normally,
+    /// and the shard coordinator re-checks obligations once every shard has
+    /// reached the end horizon.
+    pub fn set_defer_deadlock(&mut self, on: bool) {
+        self.defer_deadlock = on;
     }
 
     /// Pre-reserve timed-queue storage for roughly `n` concurrent entries —
@@ -1592,6 +1612,21 @@ impl Simulator {
         ))
     }
 
+    /// FNV-1a (64-bit) fingerprint of the canonical snapshot document.
+    ///
+    /// The snapshot rendering is streamed byte-by-byte into the hash state
+    /// — no string is materialized — so this is cheap enough to call every
+    /// slice. Two simulators with equal hashes at the same slice have
+    /// bit-identical dynamic state (time, queue order, channels, component
+    /// state); sharded runs hash every shard at every horizon so a
+    /// parallel-vs-serial divergence pinpoints the first bad slice.
+    ///
+    /// Same legality rules as [`Simulator::snapshot`]: only between run
+    /// slices, and every component must implement `Component::snapshot`.
+    pub fn state_hash(&mut self) -> SimResult<u64> {
+        Ok(self.snapshot()?.json().fnv1a64())
+    }
+
     /// Restore a [`Snapshot`] into this freshly built simulator. The
     /// simulator must have the same static shape (components, channels,
     /// clocks — by name and order) as the one that produced the snapshot;
@@ -1884,6 +1919,16 @@ impl Simulator {
                         }
                     }
                     if self.st.obligations > 0 {
+                        if let (Some(h), true) = (horizon, self.defer_deadlock) {
+                            // Partitioned runs: the blocked transaction may
+                            // complete with a cross-shard reply injected
+                            // before the next slice, so quiescing with
+                            // obligations under a horizon is not yet a
+                            // deadlock. The coordinator checks obligations
+                            // once all shards reach the end horizon.
+                            self.st.now = h;
+                            return self.finish(StopReason::TimeLimit, mark);
+                        }
                         let mut e = SimError::deadlock(self.st.obligations).at(self.st.now);
                         if let Some(cause) = self.take_run_error(mark) {
                             e = e.caused_by(cause);

@@ -15,9 +15,13 @@
 //!   blocking-bus deadlock of the paper's §5.4 into a first-class,
 //!   detectable run outcome.
 //!
-//! The kernel is single-threaded and fully deterministic; parallelism in
-//! this workspace lives one level up, in `drcf-dse`, which fans whole
-//! simulations out with rayon.
+//! Each simulator instance is single-threaded and fully deterministic.
+//! Parallelism comes in two shapes: `drcf-dse` fans whole simulations out
+//! across sweep points, and the [`shard`] module partitions *one* model
+//! into logical processes connected by latency-bearing links, runs them on
+//! worker threads under a conservative lookahead protocol, and merges
+//! cross-shard traffic deterministically — bit-identical to the
+//! single-threaded oracle at any shard count.
 //!
 //! ## Quick example
 //!
@@ -65,6 +69,7 @@ pub mod observe;
 pub mod process;
 pub mod queue;
 pub mod report;
+pub mod shard;
 pub mod signal;
 pub mod snapshot;
 pub mod stats;
@@ -79,11 +84,15 @@ pub mod prelude {
     pub use crate::error::{SimError, SimErrorKind, SimResult};
     pub use crate::event::{ComponentId, Delay, Edge, FifoEventKind, Msg, MsgKind, StopReason};
     pub use crate::fifo::FifoRef;
-    pub use crate::json::{Json, JsonError};
+    pub use crate::json::{Fnv1a, Json, JsonError};
     pub use crate::kernel::{Api, ClockRef, KernelMetrics, Simulator, TimerHandle};
     pub use crate::observe::{Recorder, SimEvent, TraceCategory, TraceEventKind, KERNEL_SOURCE};
     pub use crate::process::{Script, ScriptBuilder, Step};
     pub use crate::report::Severity;
+    pub use crate::shard::{
+        partition_lps, run_sharded, LinkMsg, LinkPacket, LpIo, LpReport, ShardConfig,
+        ShardRunReport, ShardTopology,
+    };
     pub use crate::signal::SignalRef;
     pub use crate::snapshot::{PayloadCodec, Snapshot, Snapshotable};
     pub use crate::stats::{BusyTracker, DispatchProfile, LatencyHistogram, Summary};

@@ -1,0 +1,1467 @@
+//! Sharded multi-core simulation with conservative lookahead.
+//!
+//! A [`ShardTopology`] partitions a system into *logical processes* (LPs),
+//! each a complete single-threaded [`Simulator`], connected by directed
+//! [`links`](ShardTopology::add_link) with declared minimum latencies — the
+//! lookahead sources. Bus bridges and FIFO-style streams are the natural
+//! cut points: their transport latency is known statically, so an LP can
+//! safely simulate ahead of its neighbors by exactly that amount (classic
+//! conservative parallel discrete-event simulation à la Chandy–Misra–Bryant,
+//! specialized to a barrier-synchronous window protocol).
+//!
+//! ## The window protocol
+//!
+//! The coordinator repeatedly computes, for every LP *i*, a horizon
+//!
+//! ```text
+//! horizon(i) = min(end,
+//!                  committed(i) + window,
+//!                  min over incoming links l: committed(src(l)) + latency(l))
+//! ```
+//!
+//! and has every LP `run_until` its horizon. Messages sent across a link
+//! during a window are collected in per-link egress outboxes, stamped
+//! `(deliver_time, link, seq)` by the coordinator in a deterministic order
+//! (LP index, then send order), globally sorted by that stamp, and injected
+//! into their destination LPs before the next window. Because a message
+//! sent at time *t* on a link of latency *L* delivers at `t + L`, and the
+//! destination's horizon never exceeds `committed(src) + L`, every message
+//! arrives before the destination simulates past its delivery time —
+//! conservative safety with zero rollbacks.
+//!
+//! ## Determinism
+//!
+//! The merge order, the horizon schedule, and the per-LP kernels are all
+//! pure functions of the topology — none depends on how LPs are grouped
+//! onto worker threads. Running with 1 shard (the single-threaded oracle,
+//! executed inline on the calling thread like `set_legacy_timed_queue`'s
+//! reference heap) or with N worker threads therefore produces bit-identical
+//! results: same per-LP `(time, seq)` dispatch orders, same
+//! [`KernelMetrics`], same [`Simulator::state_hash`] at every window. The
+//! per-slice hashes are recorded in the [`ShardRunReport`] so a
+//! parallel-vs-serial divergence (a plumbing bug) pinpoints the first bad
+//! slice instead of requiring a full-state diff.
+//!
+//! Components are not `Send` (they may hold `Rc`s into model state), so LP
+//! simulators are *built on the worker thread that owns them* from `Send`
+//! builder closures; only plain data — link messages, horizons, hashes,
+//! metrics — ever crosses threads.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::rc::Rc;
+use std::sync::mpsc;
+
+use crate::component::Component;
+use crate::error::{SimError, SimErrorKind, SimResult};
+use crate::event::{ComponentId, Delay, Msg, StopReason};
+use crate::json::{ju64, ju64_of, Json};
+use crate::kernel::{Api, KernelMetrics, Simulator};
+use crate::snapshot::{register_payload_codec, PayloadCodec};
+use crate::time::{SimDuration, SimTime};
+
+/// A message crossing a shard boundary: plain `Send` data, no trait
+/// objects. `tag` identifies the message to the receiving model; `words`
+/// carry the payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkMsg {
+    /// Model-defined discriminator (packet id, opcode, ...).
+    pub tag: u64,
+    /// Payload words.
+    pub words: Vec<u64>,
+}
+
+/// What an ingress component receives: the original [`LinkMsg`] plus the
+/// `(link, seq)` stamp the deterministic merge assigned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkPacket {
+    /// Index of the link the message traveled on.
+    pub link: usize,
+    /// Per-link monotone sequence number (assigned in merge order).
+    pub seq: u64,
+    /// The message itself.
+    pub msg: LinkMsg,
+}
+
+/// A directed cross-shard connection with a declared minimum latency (the
+/// lookahead source) and a bounded per-window capacity.
+#[derive(Debug, Clone)]
+pub struct LinkInfo {
+    /// Index in the topology's link table.
+    pub index: usize,
+    /// Channel name (used for egress component names and diagnostics).
+    pub name: String,
+    /// Source LP index.
+    pub from: usize,
+    /// Destination LP index.
+    pub to: usize,
+    /// Minimum transport latency; must be positive — this is the lookahead.
+    pub min_latency: SimDuration,
+    /// Maximum messages in flight per synchronization window.
+    pub capacity: usize,
+}
+
+/// Default bounded-channel capacity per window.
+pub const DEFAULT_LINK_CAPACITY: usize = 4096;
+
+/// Builder closure: constructs one LP's simulator on its worker thread.
+pub type LpBuild = Box<dyn FnOnce(&mut Simulator, &mut LpIo) -> SimResult<()> + Send>;
+/// Probe closure: extracts a JSON summary from a finished LP.
+pub type LpProbe = Box<dyn FnOnce(&mut Simulator) -> SimResult<Json> + Send>;
+
+struct LpSpec {
+    name: String,
+    build: LpBuild,
+    probe: Option<LpProbe>,
+    weight: u64,
+}
+
+/// Per-LP wiring handed to the builder closure.
+///
+/// Egress components for every outgoing link are pre-registered (in link
+/// declaration order, occupying the first component ids); the builder reads
+/// their ids with [`LpIo::egress`] and must register an ingress target for
+/// every incoming link with [`LpIo::set_ingress`].
+pub struct LpIo {
+    lp: usize,
+    links: Vec<LinkInfo>,
+    egress: Vec<(usize, ComponentId)>,
+    ingress: Vec<(usize, Option<ComponentId>)>,
+}
+
+impl LpIo {
+    /// This LP's index in the topology.
+    pub fn lp(&self) -> usize {
+        self.lp
+    }
+
+    /// Links touching this LP (outgoing and incoming).
+    pub fn links(&self) -> &[LinkInfo] {
+        &self.links
+    }
+
+    /// Outgoing link indices, in declaration order.
+    pub fn outgoing(&self) -> Vec<usize> {
+        self.egress.iter().map(|&(l, _)| l).collect()
+    }
+
+    /// Incoming link indices, in declaration order.
+    pub fn incoming(&self) -> Vec<usize> {
+        self.ingress.iter().map(|&(l, _)| l).collect()
+    }
+
+    /// The pre-registered egress component for an outgoing link. Send a
+    /// [`LinkMsg`] to this component (any delay) to transmit on the link.
+    pub fn egress(&self, link: usize) -> SimResult<ComponentId> {
+        self.egress
+            .iter()
+            .find(|&&(l, _)| l == link)
+            .map(|&(_, id)| id)
+            .ok_or_else(|| shard_err(format!("link {link} is not an egress of LP {}", self.lp)))
+    }
+
+    /// Declare which component receives [`LinkPacket`]s for an incoming
+    /// link. Every incoming link must have exactly one ingress target.
+    pub fn set_ingress(&mut self, link: usize, target: ComponentId) -> SimResult<()> {
+        let lp = self.lp;
+        let slot = self
+            .ingress
+            .iter_mut()
+            .find(|(l, _)| *l == link)
+            .ok_or_else(|| shard_err(format!("link {link} is not an ingress of LP {lp}")))?;
+        slot.1 = Some(target);
+        Ok(())
+    }
+}
+
+/// A partitioned system: LPs plus the links (cut points) between them.
+#[derive(Default)]
+pub struct ShardTopology {
+    lps: Vec<LpSpec>,
+    links: Vec<LinkInfo>,
+}
+
+impl ShardTopology {
+    /// Empty topology.
+    pub fn new() -> ShardTopology {
+        ShardTopology::default()
+    }
+
+    /// Number of LPs.
+    pub fn lp_count(&self) -> usize {
+        self.lps.len()
+    }
+
+    /// Number of links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Add a logical process. The builder runs once, on the worker thread
+    /// that owns the LP, against a fresh simulator whose egress components
+    /// are already registered.
+    pub fn add_lp(
+        &mut self,
+        name: &str,
+        build: impl FnOnce(&mut Simulator, &mut LpIo) -> SimResult<()> + Send + 'static,
+    ) -> usize {
+        self.lps.push(LpSpec {
+            name: name.to_string(),
+            build: Box::new(build),
+            probe: None,
+            weight: 1,
+        });
+        self.lps.len() - 1
+    }
+
+    /// Attach a result probe to an LP; its JSON lands in the LP's report.
+    pub fn set_probe(
+        &mut self,
+        lp: usize,
+        probe: impl FnOnce(&mut Simulator) -> SimResult<Json> + Send + 'static,
+    ) {
+        if let Some(spec) = self.lps.get_mut(lp) {
+            spec.probe = Some(Box::new(probe));
+        }
+    }
+
+    /// Set an LP's load weight (relative cost estimate) for the
+    /// [`partition_lps`] auto-partitioner. Default 1.
+    pub fn set_weight(&mut self, lp: usize, weight: u64) {
+        if let Some(spec) = self.lps.get_mut(lp) {
+            spec.weight = weight;
+        }
+    }
+
+    /// LP load weights, indexed by LP.
+    pub fn weights(&self) -> Vec<u64> {
+        self.lps.iter().map(|s| s.weight).collect()
+    }
+
+    /// Add a directed link from LP `from` to LP `to` with the given minimum
+    /// transport latency (must be positive; validated at run time).
+    pub fn add_link(
+        &mut self,
+        name: &str,
+        from: usize,
+        to: usize,
+        min_latency: SimDuration,
+    ) -> usize {
+        let index = self.links.len();
+        self.links.push(LinkInfo {
+            index,
+            name: name.to_string(),
+            from,
+            to,
+            min_latency,
+            capacity: DEFAULT_LINK_CAPACITY,
+        });
+        index
+    }
+
+    /// Override a link's bounded per-window capacity.
+    pub fn set_link_capacity(&mut self, link: usize, capacity: usize) {
+        if let Some(l) = self.links.get_mut(link) {
+            l.capacity = capacity;
+        }
+    }
+
+    fn validate(&self) -> SimResult<()> {
+        if self.lps.is_empty() {
+            return Err(shard_err("topology has no LPs"));
+        }
+        for l in &self.links {
+            if l.from >= self.lps.len() || l.to >= self.lps.len() {
+                return Err(shard_err(format!(
+                    "link {:?} references LP {} out of {}",
+                    l.name,
+                    l.from.max(l.to),
+                    self.lps.len()
+                )));
+            }
+            if l.min_latency == SimDuration::ZERO {
+                return Err(shard_err(format!(
+                    "link {:?} has zero min latency; conservative lookahead requires a positive \
+                     link latency",
+                    l.name
+                )));
+            }
+            if l.capacity == 0 {
+                return Err(shard_err(format!("link {:?} has zero capacity", l.name)));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// How to execute a [`ShardTopology`].
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Worker threads. `1` runs every LP inline on the calling thread —
+    /// the single-threaded oracle the parallel modes are checked against.
+    pub shards: usize,
+    /// End horizon: every LP runs to exactly this time.
+    pub end: SimTime,
+    /// Maximum window an LP advances per round. Defaults to the smallest
+    /// link latency; also bounds egress outbox growth between barriers.
+    pub window: Option<SimDuration>,
+    /// Record a [`Simulator::state_hash`] for every LP at every window.
+    pub hash_slices: bool,
+    /// Explicit LP→shard assignment; defaults to [`partition_lps`] over the
+    /// LP weights.
+    pub assign: Option<Vec<usize>>,
+}
+
+impl ShardConfig {
+    /// Run to `end` on one shard (the sequential oracle).
+    pub fn to(end: SimTime) -> ShardConfig {
+        ShardConfig {
+            shards: 1,
+            end,
+            window: None,
+            hash_slices: false,
+            assign: None,
+        }
+    }
+
+    /// Set the worker-thread count.
+    pub fn shards(mut self, n: usize) -> ShardConfig {
+        self.shards = n.max(1);
+        self
+    }
+
+    /// Set the per-round window cap.
+    pub fn window(mut self, w: SimDuration) -> ShardConfig {
+        self.window = Some(w);
+        self
+    }
+
+    /// Enable per-slice state hashing.
+    pub fn hash_slices(mut self, on: bool) -> ShardConfig {
+        self.hash_slices = on;
+        self
+    }
+}
+
+/// Per-LP results of a sharded run. Everything in here is deterministic:
+/// equal across any shard count for the same topology and config.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpReport {
+    /// LP name.
+    pub name: String,
+    /// Final simulated time in femtoseconds (always the end horizon).
+    pub final_time_fs: u64,
+    /// Kernel counters for this LP's simulator.
+    pub metrics: KernelMetrics,
+    /// One state hash per window (empty unless `hash_slices` was set).
+    pub slice_hashes: Vec<u64>,
+    /// State hash at the end horizon.
+    pub state_hash: u64,
+    /// Outstanding obligations at the end (nonzero only in error paths).
+    pub obligations: u64,
+    /// Output of the LP's probe closure, or `Null`.
+    pub probe: Json,
+}
+
+/// Result of [`run_sharded`].
+#[derive(Debug, Clone)]
+pub struct ShardRunReport {
+    /// Per-LP reports, indexed by LP.
+    pub lps: Vec<LpReport>,
+    /// Synchronization rounds executed.
+    pub rounds: u64,
+    /// Cross-shard messages delivered.
+    pub messages: u64,
+    /// Messages still in flight at the end horizon (sent in the final
+    /// rounds with delivery at or beyond the end; never delivered, in
+    /// every execution mode alike).
+    pub in_flight_at_end: u64,
+    /// Worker threads actually used (not part of the deterministic outcome).
+    pub shards: usize,
+    /// Wall-clock run time (not part of the deterministic outcome).
+    pub wall_seconds: f64,
+}
+
+impl ShardRunReport {
+    /// Deterministic-outcome equality: per-LP reports, round count and
+    /// message count — everything except the execution-mode fields
+    /// (`shards`, `wall_seconds`).
+    pub fn same_outcome(&self, other: &ShardRunReport) -> bool {
+        self.lps == other.lps
+            && self.rounds == other.rounds
+            && self.messages == other.messages
+            && self.in_flight_at_end == other.in_flight_at_end
+    }
+
+    /// Locate the first diverging slice between two runs of the same
+    /// topology: `(lp index, window index)` of the earliest state-hash
+    /// mismatch, window-major so the earliest *time* divergence wins.
+    /// `None` when all recorded hashes agree.
+    pub fn first_divergence(&self, other: &ShardRunReport) -> Option<(usize, usize)> {
+        let windows = self
+            .lps
+            .iter()
+            .chain(other.lps.iter())
+            .map(|l| l.slice_hashes.len())
+            .max()?;
+        for w in 0..windows {
+            for (i, (a, b)) in self.lps.iter().zip(other.lps.iter()).enumerate() {
+                let (ha, hb) = (a.slice_hashes.get(w), b.slice_hashes.get(w));
+                if ha != hb {
+                    return Some((i, w));
+                }
+            }
+        }
+        None
+    }
+
+    /// Total kernel dispatches across all LPs.
+    pub fn total_dispatched(&self) -> u64 {
+        self.lps.iter().map(|l| l.metrics.dispatched).sum()
+    }
+
+    /// JSON rendering (for experiment output and bench artifacts).
+    pub fn json(&self) -> Json {
+        let lps = self
+            .lps
+            .iter()
+            .map(|l| {
+                Json::obj()
+                    .with("name", Json::from(l.name.as_str()))
+                    .with("final_time_fs", ju64(l.final_time_fs))
+                    .with("dispatched", ju64(l.metrics.dispatched))
+                    .with("state_hash", ju64(l.state_hash))
+                    .with("slices", ju64(l.slice_hashes.len() as u64))
+                    .with("probe", l.probe.clone())
+            })
+            .collect();
+        Json::obj()
+            .with("lps", Json::Arr(lps))
+            .with("rounds", ju64(self.rounds))
+            .with("messages", ju64(self.messages))
+            .with("in_flight_at_end", ju64(self.in_flight_at_end))
+            .with("shards", ju64(self.shards as u64))
+            .with("total_dispatched", ju64(self.total_dispatched()))
+            .with("wall_seconds", Json::Num(self.wall_seconds))
+    }
+}
+
+/// Longest-processing-time greedy partition: assign each LP (heaviest
+/// first, ties by index) to the least-loaded shard (ties by shard index).
+/// Deterministic, and within 4/3 of the optimal makespan — good enough for
+/// load-balancing event loops whose weights are estimates anyway.
+pub fn partition_lps(weights: &[u64], shards: usize) -> Vec<usize> {
+    let s = shards.max(1).min(weights.len().max(1));
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(weights[i]), i));
+    let mut load = vec![0u128; s];
+    let mut assign = vec![0usize; weights.len()];
+    for i in order {
+        let mut best = 0usize;
+        for (k, &l) in load.iter().enumerate() {
+            if l < load[best] {
+                best = k;
+            }
+        }
+        assign[i] = best;
+        load[best] += u128::from(weights[i].max(1));
+    }
+    assign
+}
+
+fn shard_err(msg: impl Into<String>) -> SimError {
+    SimError::new(SimErrorKind::Validation, msg)
+}
+
+// ---------------------------------------------------------------------------
+// Egress plumbing
+// ---------------------------------------------------------------------------
+
+type Outbox = Rc<RefCell<Vec<(SimTime, LinkMsg)>>>;
+
+/// Kernel-provided component that collects [`LinkMsg`]s sent to it into a
+/// per-link outbox the executor drains at every horizon.
+struct LinkEgress {
+    outbox: Outbox,
+}
+
+impl Component for LinkEgress {
+    fn handle(&mut self, api: &mut Api<'_>, msg: Msg) {
+        if let Ok(m) = msg.user::<LinkMsg>() {
+            self.outbox.borrow_mut().push((api.now(), m));
+        }
+    }
+
+    fn snapshot(&mut self) -> SimResult<Json> {
+        // The executor drains the outbox at every horizon and hashes are
+        // only taken between windows, so a non-empty outbox here means the
+        // protocol broke.
+        if self.outbox.borrow().is_empty() {
+            Ok(Json::Null)
+        } else {
+            Err(crate::snapshot::err("link egress outbox not drained"))
+        }
+    }
+
+    fn restore(&mut self, _state: &Json) -> SimResult<()> {
+        Ok(())
+    }
+}
+
+/// Codec so [`LinkPacket`]s pending in a timed queue survive snapshots and
+/// participate in state hashes.
+fn link_packet_codec() -> PayloadCodec {
+    PayloadCodec {
+        name: "drcf-shard-link-packet",
+        encode: |any| {
+            let p = any.downcast_ref::<LinkPacket>()?;
+            Some(
+                Json::obj()
+                    .with("link", ju64(p.link as u64))
+                    .with("seq", ju64(p.seq))
+                    .with("tag", ju64(p.msg.tag))
+                    .with(
+                        "words",
+                        Json::Arr(p.msg.words.iter().map(|&w| ju64(w)).collect()),
+                    ),
+            )
+        },
+        decode: |data| {
+            let link = ju64_of(data.get("link")?)? as usize;
+            let seq = ju64_of(data.get("seq")?)?;
+            let tag = ju64_of(data.get("tag")?)?;
+            let words = data
+                .get("words")?
+                .as_arr()?
+                .iter()
+                .map(ju64_of)
+                .collect::<Option<Vec<u64>>>()?;
+            Some(Box::new(LinkPacket {
+                link,
+                seq,
+                msg: LinkMsg { tag, words },
+            }))
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-LP runtime (lives on exactly one thread)
+// ---------------------------------------------------------------------------
+
+struct LpRuntime {
+    lp: usize,
+    name: String,
+    sim: Simulator,
+    outboxes: Vec<(usize, Outbox)>,
+    ingress: Vec<(usize, ComponentId)>,
+    slice_hashes: Vec<u64>,
+    probe: Option<LpProbe>,
+}
+
+/// A message drained from an egress outbox: `(send time, link, payload)`.
+type SentMsg = (SimTime, usize, LinkMsg);
+
+#[derive(Debug)]
+struct Envelope {
+    deliver_at: SimTime,
+    link: usize,
+    seq: u64,
+    msg: LinkMsg,
+}
+
+struct LpRoundCmd {
+    lp: usize,
+    horizon: SimTime,
+    inject: Vec<Envelope>,
+    hash: bool,
+}
+
+fn build_lp(spec: LpSpec, lp: usize, links: &[LinkInfo]) -> SimResult<LpRuntime> {
+    register_payload_codec(link_packet_codec());
+    let mut sim = Simulator::new();
+    sim.set_defer_deadlock(true);
+
+    let touching: Vec<LinkInfo> = links
+        .iter()
+        .filter(|l| l.from == lp || l.to == lp)
+        .cloned()
+        .collect();
+    let mut outboxes: Vec<(usize, Outbox)> = Vec::new();
+    let mut egress: Vec<(usize, ComponentId)> = Vec::new();
+    for l in links.iter().filter(|l| l.from == lp) {
+        let outbox: Outbox = Rc::new(RefCell::new(Vec::new()));
+        let id = sim.add(
+            &format!("egress:{}", l.name),
+            LinkEgress {
+                outbox: Rc::clone(&outbox),
+            },
+        );
+        outboxes.push((l.index, outbox));
+        egress.push((l.index, id));
+    }
+    let mut io = LpIo {
+        lp,
+        links: touching,
+        egress,
+        ingress: links
+            .iter()
+            .filter(|l| l.to == lp)
+            .map(|l| (l.index, None))
+            .collect(),
+    };
+    (spec.build)(&mut sim, &mut io)?;
+
+    let mut ingress = Vec::with_capacity(io.ingress.len());
+    for (link, target) in io.ingress {
+        let target = target.ok_or_else(|| {
+            shard_err(format!(
+                "LP {:?} did not register an ingress target for link {link}",
+                spec.name
+            ))
+        })?;
+        if target >= sim.component_count() {
+            return Err(shard_err(format!(
+                "LP {:?} ingress target {target} for link {link} is not a component",
+                spec.name
+            )));
+        }
+        ingress.push((link, target));
+    }
+    Ok(LpRuntime {
+        lp,
+        name: spec.name,
+        sim,
+        outboxes,
+        ingress,
+        slice_hashes: Vec::new(),
+        probe: spec.probe,
+    })
+}
+
+fn lp_round(rt: &mut LpRuntime, cmd: LpRoundCmd) -> SimResult<Vec<SentMsg>> {
+    // Inject this window's envelopes, already globally sorted by
+    // (deliver_at, link, seq): `post` assigns kernel sequence numbers in
+    // call order, so the injection order *is* the dispatch tiebreak and is
+    // identical in every execution mode.
+    for env in cmd.inject {
+        let now = rt.sim.now();
+        if env.deliver_at < now {
+            return Err(SimError::new(
+                SimErrorKind::Internal,
+                format!(
+                    "conservative lookahead violated: link {} message for t={} arrived at LP \
+                     {:?} already at t={}",
+                    env.link,
+                    env.deliver_at.as_fs(),
+                    rt.name,
+                    now.as_fs()
+                ),
+            ));
+        }
+        let target = rt
+            .ingress
+            .iter()
+            .find(|&&(l, _)| l == env.link)
+            .map(|&(_, t)| t)
+            .ok_or_else(|| {
+                shard_err(format!(
+                    "LP {:?} has no ingress for link {}",
+                    rt.name, env.link
+                ))
+            })?;
+        let delay = Delay::Time(env.deliver_at.saturating_since(now));
+        rt.sim.post(
+            target,
+            LinkPacket {
+                link: env.link,
+                seq: env.seq,
+                msg: env.msg,
+            },
+            delay,
+        );
+    }
+
+    match rt.sim.run_until(cmd.horizon)? {
+        StopReason::Quiescent | StopReason::TimeLimit => {}
+        StopReason::Stopped => {
+            return Err(shard_err(format!(
+                "LP {:?} called Api::stop, which sharded runs do not support",
+                rt.name
+            )));
+        }
+    }
+
+    let mut sent: Vec<SentMsg> = Vec::new();
+    for (link, outbox) in &rt.outboxes {
+        for (at, msg) in outbox.borrow_mut().drain(..) {
+            sent.push((at, *link, msg));
+        }
+    }
+    if cmd.hash {
+        rt.slice_hashes.push(rt.sim.state_hash()?);
+    }
+    Ok(sent)
+}
+
+fn lp_finish(mut rt: LpRuntime) -> SimResult<LpReport> {
+    let state_hash = rt.sim.state_hash()?;
+    let probe = match rt.probe.take() {
+        Some(p) => p(&mut rt.sim)?,
+        None => Json::Null,
+    };
+    Ok(LpReport {
+        name: rt.name,
+        final_time_fs: rt.sim.now().as_fs(),
+        metrics: rt.sim.metrics(),
+        slice_hashes: rt.slice_hashes,
+        state_hash,
+        obligations: rt.sim.obligations(),
+        probe,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Execution pools: inline (the oracle) and worker threads
+// ---------------------------------------------------------------------------
+
+trait ShardPool {
+    /// Run one window on every LP; returns `(lp, sent)` sorted by LP index.
+    fn round(&mut self, cmds: Vec<LpRoundCmd>) -> SimResult<Vec<(usize, Vec<SentMsg>)>>;
+    /// Tear down and collect per-LP reports, sorted by LP index.
+    fn finish(&mut self) -> SimResult<Vec<LpReport>>;
+}
+
+struct InlinePool {
+    rts: Vec<LpRuntime>,
+}
+
+impl ShardPool for InlinePool {
+    fn round(&mut self, cmds: Vec<LpRoundCmd>) -> SimResult<Vec<(usize, Vec<SentMsg>)>> {
+        let mut out = Vec::with_capacity(cmds.len());
+        for cmd in cmds {
+            let rt = self
+                .rts
+                .iter_mut()
+                .find(|r| r.lp == cmd.lp)
+                .ok_or_else(|| shard_err(format!("no runtime for LP {}", cmd.lp)))?;
+            let lp = cmd.lp;
+            out.push((lp, lp_round(rt, cmd)?));
+        }
+        Ok(out)
+    }
+
+    fn finish(&mut self) -> SimResult<Vec<LpReport>> {
+        let mut rts = std::mem::take(&mut self.rts);
+        rts.sort_by_key(|r| r.lp);
+        rts.into_iter().map(lp_finish).collect()
+    }
+}
+
+enum Cmd {
+    Round(Vec<LpRoundCmd>),
+    Finish,
+}
+
+enum Reply {
+    Built(SimResult<()>),
+    Round(SimResult<Vec<(usize, Vec<SentMsg>)>>),
+    Finished(SimResult<Vec<(usize, LpReport)>>),
+}
+
+fn worker_main(
+    specs: Vec<(usize, LpSpec)>,
+    links: Vec<LinkInfo>,
+    rx: mpsc::Receiver<Cmd>,
+    tx: mpsc::Sender<Reply>,
+) {
+    let built: SimResult<Vec<LpRuntime>> = specs
+        .into_iter()
+        .map(|(lp, spec)| build_lp(spec, lp, &links))
+        .collect();
+    let mut rts = match built {
+        Ok(rts) => {
+            let _ = tx.send(Reply::Built(Ok(())));
+            rts
+        }
+        Err(e) => {
+            let _ = tx.send(Reply::Built(Err(e)));
+            return;
+        }
+    };
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            Cmd::Round(cmds) => {
+                // Panics in component code must not escape the scoped
+                // thread (std::thread::scope would re-panic on join);
+                // surface them as typed errors like drcf-dse's sweeps do.
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    let mut out = Vec::with_capacity(cmds.len());
+                    for cmd in cmds {
+                        let rt = rts
+                            .iter_mut()
+                            .find(|r| r.lp == cmd.lp)
+                            .ok_or_else(|| shard_err(format!("no runtime for LP {}", cmd.lp)))?;
+                        let lp = cmd.lp;
+                        out.push((lp, lp_round(rt, cmd)?));
+                    }
+                    Ok(out)
+                }));
+                let reply = match result {
+                    Ok(r) => r,
+                    Err(p) => Err(SimError::new(
+                        SimErrorKind::Internal,
+                        format!("shard worker panicked: {}", panic_text(p)),
+                    )),
+                };
+                if tx.send(Reply::Round(reply)).is_err() {
+                    return;
+                }
+            }
+            Cmd::Finish => {
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    rts.sort_by_key(|r| r.lp);
+                    std::mem::take(&mut rts)
+                        .into_iter()
+                        .map(|rt| {
+                            let lp = rt.lp;
+                            lp_finish(rt).map(|r| (lp, r))
+                        })
+                        .collect()
+                }));
+                let reply = match result {
+                    Ok(r) => r,
+                    Err(p) => Err(SimError::new(
+                        SimErrorKind::Internal,
+                        format!("shard worker panicked: {}", panic_text(p)),
+                    )),
+                };
+                let _ = tx.send(Reply::Finished(reply));
+                return;
+            }
+        }
+    }
+}
+
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+struct ThreadPool<'a> {
+    txs: Vec<mpsc::Sender<Cmd>>,
+    rxs: Vec<mpsc::Receiver<Reply>>,
+    shard_of: &'a [usize],
+}
+
+impl ThreadPool<'_> {
+    fn dead_worker() -> SimError {
+        SimError::new(SimErrorKind::Internal, "shard worker disappeared")
+    }
+}
+
+impl ShardPool for ThreadPool<'_> {
+    fn round(&mut self, cmds: Vec<LpRoundCmd>) -> SimResult<Vec<(usize, Vec<SentMsg>)>> {
+        let mut per: Vec<Vec<LpRoundCmd>> = (0..self.txs.len()).map(|_| Vec::new()).collect();
+        for cmd in cmds {
+            per[self.shard_of[cmd.lp]].push(cmd);
+        }
+        for (tx, batch) in self.txs.iter().zip(per) {
+            tx.send(Cmd::Round(batch))
+                .map_err(|_| Self::dead_worker())?;
+        }
+        let mut out = Vec::new();
+        let mut first_err: Option<SimError> = None;
+        for rx in &self.rxs {
+            match rx.recv().map_err(|_| Self::dead_worker())? {
+                Reply::Round(Ok(v)) => out.extend(v),
+                Reply::Round(Err(e)) => {
+                    first_err.get_or_insert(e);
+                }
+                Reply::Built(_) | Reply::Finished(_) => {
+                    first_err.get_or_insert(SimError::new(
+                        SimErrorKind::Internal,
+                        "shard worker protocol violation",
+                    ));
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        out.sort_by_key(|&(lp, _)| lp);
+        Ok(out)
+    }
+
+    fn finish(&mut self) -> SimResult<Vec<LpReport>> {
+        for tx in &self.txs {
+            tx.send(Cmd::Finish).map_err(|_| Self::dead_worker())?;
+        }
+        let mut reports: Vec<(usize, LpReport)> = Vec::new();
+        let mut first_err: Option<SimError> = None;
+        for rx in &self.rxs {
+            match rx.recv().map_err(|_| Self::dead_worker())? {
+                Reply::Finished(Ok(v)) => reports.extend(v),
+                Reply::Finished(Err(e)) => {
+                    first_err.get_or_insert(e);
+                }
+                Reply::Built(_) | Reply::Round(_) => {
+                    first_err.get_or_insert(SimError::new(
+                        SimErrorKind::Internal,
+                        "shard worker protocol violation",
+                    ));
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        reports.sort_by_key(|&(lp, _)| lp);
+        Ok(reports.into_iter().map(|(_, r)| r).collect())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator
+// ---------------------------------------------------------------------------
+
+fn coordinate(
+    pool: &mut dyn ShardPool,
+    links: &[LinkInfo],
+    n: usize,
+    cfg: &ShardConfig,
+) -> SimResult<(Vec<LpReport>, u64, u64, u64)> {
+    let end = cfg.end;
+    let min_lat = links.iter().map(|l| l.min_latency).min();
+    let window = match cfg.window.or(min_lat) {
+        Some(w) if w > SimDuration::ZERO => w,
+        Some(_) => return Err(shard_err("window must be positive")),
+        // No links and no explicit window: one round covers the whole run.
+        None => SimDuration::fs(end.as_fs().max(1)),
+    };
+    let incoming: Vec<Vec<(usize, SimDuration)>> = (0..n)
+        .map(|i| {
+            links
+                .iter()
+                .filter(|l| l.to == i)
+                .map(|l| (l.from, l.min_latency))
+                .collect()
+        })
+        .collect();
+
+    let mut committed = vec![SimTime::ZERO; n];
+    let mut inject_next: Vec<Vec<Envelope>> = (0..n).map(|_| Vec::new()).collect();
+    let mut link_seq = vec![0u64; links.len()];
+    let mut rounds = 0u64;
+    let mut messages = 0u64;
+
+    while committed.iter().any(|&t| t < end) {
+        let mut horizons = vec![SimTime::ZERO; n];
+        for i in 0..n {
+            let mut h = (committed[i] + window).min(end);
+            for &(from, lat) in &incoming[i] {
+                h = h.min(committed[from] + lat);
+            }
+            horizons[i] = h.max(committed[i]);
+        }
+        let cmds: Vec<LpRoundCmd> = (0..n)
+            .map(|i| LpRoundCmd {
+                lp: i,
+                horizon: horizons[i],
+                inject: std::mem::take(&mut inject_next[i]),
+                hash: cfg.hash_slices,
+            })
+            .collect();
+        let outs = pool.round(cmds)?;
+        rounds += 1;
+
+        // Deterministic merge: stamp per-link sequence numbers in (LP
+        // index, send order), enforce the bounded-channel capacity, then
+        // deliver globally sorted by (deliver_at, link, seq).
+        let mut round_count = vec![0usize; links.len()];
+        let mut envs: Vec<Envelope> = Vec::new();
+        for (_lp, sent) in outs {
+            for (at, link, msg) in sent {
+                let l = &links[link];
+                round_count[link] += 1;
+                if round_count[link] > l.capacity {
+                    return Err(shard_err(format!(
+                        "link {:?} exceeded its bounded capacity of {} messages per window",
+                        l.name, l.capacity
+                    )));
+                }
+                let seq = link_seq[link];
+                link_seq[link] += 1;
+                envs.push(Envelope {
+                    deliver_at: at + l.min_latency,
+                    link,
+                    seq,
+                    msg,
+                });
+            }
+        }
+        messages += envs.len() as u64;
+        envs.sort_by_key(|e| (e.deliver_at, e.link, e.seq));
+        for e in envs {
+            let to = links[e.link].to;
+            inject_next[to].push(e);
+        }
+        committed.copy_from_slice(&horizons);
+    }
+
+    let in_flight: u64 = inject_next.iter().map(|v| v.len() as u64).sum();
+    // Everything still undelivered must lie at or beyond the end horizon;
+    // anything earlier would mean the lookahead protocol broke.
+    for v in &inject_next {
+        for e in v {
+            if e.deliver_at < end {
+                return Err(SimError::new(
+                    SimErrorKind::Internal,
+                    format!(
+                        "undelivered message on link {} at t={} before the end horizon",
+                        e.link,
+                        e.deliver_at.as_fs()
+                    ),
+                ));
+            }
+        }
+    }
+
+    let reports = pool.finish()?;
+    let pending: u64 = reports.iter().map(|r| r.obligations).sum();
+    if pending > 0 {
+        let blocked: Vec<&str> = reports
+            .iter()
+            .filter(|r| r.obligations > 0)
+            .map(|r| r.name.as_str())
+            .collect();
+        return Err(SimError::deadlock(pending).in_component(blocked.join(",")));
+    }
+    Ok((reports, rounds, messages, in_flight))
+}
+
+/// Execute a sharded topology to its end horizon.
+///
+/// With `cfg.shards == 1` every LP runs inline on the calling thread — the
+/// single-threaded oracle. With more shards, LPs are grouped by the
+/// [`partition_lps`] auto-partitioner (or `cfg.assign`) onto worker
+/// threads; results are bit-identical to the oracle in either mode (see
+/// the module docs for the argument).
+pub fn run_sharded(topo: ShardTopology, cfg: &ShardConfig) -> SimResult<ShardRunReport> {
+    topo.validate()?;
+    let n = topo.lps.len();
+    let shards = cfg.shards.max(1).min(n);
+    let started = std::time::Instant::now();
+
+    let assign = match &cfg.assign {
+        Some(a) => {
+            if a.len() != n || a.iter().any(|&s| s >= shards) {
+                return Err(shard_err(format!(
+                    "assignment must map {n} LPs onto {shards} shards"
+                )));
+            }
+            a.clone()
+        }
+        None => partition_lps(&topo.weights(), shards),
+    };
+
+    let (reports, rounds, messages, in_flight) = if shards <= 1 {
+        let rts: SimResult<Vec<LpRuntime>> = topo
+            .lps
+            .into_iter()
+            .enumerate()
+            .map(|(lp, spec)| build_lp(spec, lp, &topo.links))
+            .collect();
+        let mut pool = InlinePool { rts: rts? };
+        coordinate(&mut pool, &topo.links, n, cfg)?
+    } else {
+        let mut specs: Vec<Vec<(usize, LpSpec)>> = (0..shards).map(|_| Vec::new()).collect();
+        for (lp, spec) in topo.lps.into_iter().enumerate() {
+            specs[assign[lp]].push((lp, spec));
+        }
+        let links = topo.links;
+        std::thread::scope(|scope| -> SimResult<_> {
+            let mut txs = Vec::with_capacity(shards);
+            let mut rxs = Vec::with_capacity(shards);
+            for shard_specs in specs {
+                let (cmd_tx, cmd_rx) = mpsc::channel::<Cmd>();
+                let (rep_tx, rep_rx) = mpsc::channel::<Reply>();
+                let worker_links = links.clone();
+                scope.spawn(move || worker_main(shard_specs, worker_links, cmd_rx, rep_tx));
+                txs.push(cmd_tx);
+                rxs.push(rep_rx);
+            }
+            // Wait for every worker to build its LPs before round one.
+            let mut build_err: Option<SimError> = None;
+            for rx in &rxs {
+                match rx.recv() {
+                    Ok(Reply::Built(Ok(()))) => {}
+                    Ok(Reply::Built(Err(e))) => {
+                        build_err.get_or_insert(e);
+                    }
+                    Ok(_) | Err(_) => {
+                        build_err.get_or_insert(ThreadPool::dead_worker());
+                    }
+                }
+            }
+            if let Some(e) = build_err {
+                // Dropping the senders unblocks and terminates workers.
+                return Err(e);
+            }
+            let mut pool = ThreadPool {
+                txs,
+                rxs,
+                shard_of: &assign,
+            };
+            coordinate(&mut pool, &links, n, cfg)
+        })?
+    };
+
+    Ok(ShardRunReport {
+        lps: reports,
+        rounds,
+        messages,
+        in_flight_at_end: in_flight,
+        shards,
+        wall_seconds: started.elapsed().as_secs_f64(),
+    })
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::event::MsgKind;
+    use crate::json::ju64;
+
+    /// Snapshot-capable test node: counts ticks on a timer, folds every
+    /// received packet into a checksum, and periodically emits on all of
+    /// its egress links. Optionally holds an obligation open until it has
+    /// received `await_n` packets.
+    struct Node {
+        id: u64,
+        egress: Vec<ComponentId>,
+        period: SimDuration,
+        emit_every: u64,
+        ticks: u64,
+        received: u64,
+        checksum: u64,
+        await_n: u64,
+        waiting: bool,
+    }
+
+    impl Node {
+        fn new(id: u64, egress: Vec<ComponentId>, period_ns: u64, emit_every: u64) -> Node {
+            Node {
+                id,
+                egress,
+                period: SimDuration::ns(period_ns),
+                emit_every,
+                ticks: 0,
+                received: 0,
+                checksum: 0,
+                await_n: 0,
+                waiting: false,
+            }
+        }
+
+        fn mix(&mut self, v: u64) {
+            self.checksum = self
+                .checksum
+                .rotate_left(7)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(v);
+        }
+    }
+
+    impl Component for Node {
+        fn handle(&mut self, api: &mut Api<'_>, msg: Msg) {
+            match msg.kind {
+                MsgKind::Start => {
+                    if self.await_n > 0 {
+                        api.obligation_begin();
+                        self.waiting = true;
+                    }
+                    api.timer_in(self.period, 0);
+                }
+                MsgKind::Timer(_) => {
+                    self.ticks += 1;
+                    self.mix(self.ticks);
+                    if self.emit_every > 0 && self.ticks.is_multiple_of(self.emit_every) {
+                        for &e in &self.egress {
+                            api.send(
+                                e,
+                                LinkMsg {
+                                    tag: self.ticks,
+                                    words: vec![self.id, self.checksum],
+                                },
+                                Delay::Delta,
+                            );
+                        }
+                    }
+                    api.timer_in(self.period, 0);
+                }
+                _ => {
+                    if let Ok(p) = msg.user::<LinkPacket>() {
+                        self.received += 1;
+                        self.mix(p.seq);
+                        self.mix(p.msg.tag);
+                        for w in &p.msg.words {
+                            self.mix(*w);
+                        }
+                        if self.waiting && self.received >= self.await_n {
+                            self.waiting = false;
+                            api.obligation_end();
+                        }
+                    }
+                }
+            }
+        }
+
+        fn snapshot(&mut self) -> SimResult<Json> {
+            Ok(Json::obj()
+                .with("ticks", ju64(self.ticks))
+                .with("received", ju64(self.received))
+                .with("checksum", ju64(self.checksum))
+                .with("waiting", Json::Bool(self.waiting)))
+        }
+
+        fn restore(&mut self, state: &Json) -> SimResult<()> {
+            self.ticks = crate::snapshot::u64_field(state, "ticks")?;
+            self.received = crate::snapshot::u64_field(state, "received")?;
+            self.checksum = crate::snapshot::u64_field(state, "checksum")?;
+            self.waiting = crate::snapshot::bool_field(state, "waiting")?;
+            Ok(())
+        }
+    }
+
+    fn node_probe(sim: &mut Simulator, id: ComponentId) -> SimResult<Json> {
+        let n = sim.get::<Node>(id);
+        Ok(Json::obj()
+            .with("ticks", ju64(n.ticks))
+            .with("received", ju64(n.received))
+            .with("checksum", ju64(n.checksum)))
+    }
+
+    /// Ring of `n` nodes, each emitting every few ticks to its successor.
+    fn ring(n: usize, latency_ns: u64, await_n: u64) -> ShardTopology {
+        let mut topo2 = ShardTopology::new();
+        for i in 0..n {
+            let lp = topo2.add_lp(&format!("lp{i}"), move |sim, io| {
+                let out = io.outgoing();
+                let egress: SimResult<Vec<ComponentId>> =
+                    out.iter().map(|&l| io.egress(l)).collect();
+                let id = sim.add(
+                    &format!("node{i}"),
+                    Node {
+                        await_n,
+                        ..Node::new(i as u64, egress?, 100 + 10 * i as u64, 3)
+                    },
+                );
+                for l in io.incoming() {
+                    io.set_ingress(l, id)?;
+                }
+                Ok(())
+            });
+            topo2.set_probe(lp, move |sim| {
+                let id = sim.component_count() - 1;
+                node_probe(sim, id)
+            });
+            topo2.set_weight(lp, 1 + i as u64);
+        }
+        for i in 0..n {
+            topo2.add_link(
+                &format!("l{i}"),
+                i,
+                (i + 1) % n,
+                SimDuration::ns(latency_ns),
+            );
+        }
+        topo2
+    }
+
+    fn run_ring(shards: usize, latency_ns: u64) -> ShardRunReport {
+        let topo = ring(3, latency_ns, 0);
+        let cfg = ShardConfig::to(SimTime(SimDuration::us(20).0))
+            .shards(shards)
+            .hash_slices(true);
+        run_sharded(topo, &cfg).expect("run")
+    }
+
+    #[test]
+    fn sequential_oracle_produces_traffic() {
+        let r = run_ring(1, 500);
+        assert_eq!(r.shards, 1);
+        assert!(r.rounds > 1, "multiple windows: {}", r.rounds);
+        assert!(r.messages > 10, "cross-shard traffic: {}", r.messages);
+        for lp in &r.lps {
+            assert!(lp.metrics.dispatched > 0);
+            assert!(lp.probe.get("received").is_some());
+            assert_eq!(lp.slice_hashes.len() as u64, r.rounds);
+            assert_eq!(lp.final_time_fs, SimDuration::us(20).0);
+        }
+    }
+
+    #[test]
+    fn threaded_matches_oracle_bit_for_bit() {
+        let oracle = run_ring(1, 500);
+        for shards in [2usize, 3] {
+            let par = run_ring(shards, 500);
+            assert_eq!(par.shards, shards.min(3));
+            assert!(
+                oracle.same_outcome(&par),
+                "divergence at {:?}",
+                oracle.first_divergence(&par)
+            );
+            assert_eq!(oracle.first_divergence(&par), None);
+        }
+    }
+
+    #[test]
+    fn lookahead_size_changes_rounds_not_results() {
+        // A larger link latency means larger windows and fewer rounds, but
+        // identical final model state (probes), since delivery times are
+        // send + latency in every case... latency differs, so only compare
+        // within equal latency; here we compare round counts shrink.
+        let fine = run_ring(1, 200);
+        let coarse = run_ring(1, 2_000);
+        assert!(coarse.rounds < fine.rounds);
+    }
+
+    #[test]
+    fn obligations_deferred_across_windows_but_deadlock_still_detected() {
+        // Node 0 holds an obligation until it has received one packet; the
+        // ring delivers within a few windows, so the run must succeed.
+        let topo = ring(3, 500, 1);
+        let cfg = ShardConfig::to(SimTime(SimDuration::us(20).0));
+        let r = run_sharded(topo, &cfg).expect("obligation resolves");
+        assert!(r.lps.iter().all(|l| l.obligations == 0));
+
+        // An obligation that can never resolve is a deadlock at the end
+        // horizon, attributed to the blocked LPs.
+        let topo = ring(3, 500, u64::MAX);
+        let err = run_sharded(topo, &cfg).expect_err("unresolvable obligations");
+        assert!(err.is_deadlock(), "{err:?}");
+    }
+
+    #[test]
+    fn bounded_links_reject_overflow() {
+        let mut topo = ring(3, 500, 0);
+        for l in 0..topo.link_count() {
+            topo.set_link_capacity(l, 1);
+        }
+        let cfg = ShardConfig::to(SimTime(SimDuration::us(20).0));
+        let err = run_sharded(topo, &cfg).expect_err("capacity 1 must overflow");
+        assert!(err.message.contains("bounded capacity"), "{err:?}");
+    }
+
+    #[test]
+    fn validation_rejects_bad_topologies() {
+        let cfg = ShardConfig::to(SimTime(SimDuration::us(1).0));
+        let topo = ShardTopology::new();
+        assert!(run_sharded(topo, &cfg).is_err(), "no LPs");
+
+        let mut topo = ShardTopology::new();
+        topo.add_lp("a", |_, _| Ok(()));
+        topo.add_link("bad", 0, 5, SimDuration::ns(1));
+        assert!(run_sharded(topo, &cfg).is_err(), "dangling link");
+
+        let mut topo = ShardTopology::new();
+        topo.add_lp("a", |_, _| Ok(()));
+        topo.add_link("zero", 0, 0, SimDuration::ZERO);
+        assert!(run_sharded(topo, &cfg).is_err(), "zero latency");
+
+        // Missing ingress registration is caught at build time.
+        let mut topo = ShardTopology::new();
+        topo.add_lp("a", |sim, _| {
+            sim.add("n", crate::component::NullComponent);
+            Ok(())
+        });
+        let b = topo.add_lp("b", |sim, _| {
+            sim.add("n", crate::component::NullComponent);
+            Ok(())
+        });
+        topo.add_link("l", 0, b, SimDuration::ns(1));
+        let err = run_sharded(topo, &cfg).expect_err("missing ingress");
+        assert!(err.message.contains("ingress"), "{err:?}");
+    }
+
+    #[test]
+    fn lp_without_links_runs_to_end_in_one_window() {
+        let mut topo = ShardTopology::new();
+        topo.add_lp("solo", |sim, _| {
+            sim.add("node", Node::new(0, Vec::new(), 100, 0));
+            Ok(())
+        });
+        let cfg = ShardConfig::to(SimTime(SimDuration::us(5).0));
+        let r = run_sharded(topo, &cfg).expect("run");
+        assert_eq!(r.rounds, 1);
+        assert_eq!(r.messages, 0);
+        assert_eq!(r.lps[0].final_time_fs, SimDuration::us(5).0);
+    }
+
+    #[test]
+    fn partition_balances_and_is_deterministic() {
+        let w = [10u64, 1, 1, 1, 9, 2, 2, 2];
+        let a = partition_lps(&w, 2);
+        assert_eq!(a, partition_lps(&w, 2), "deterministic");
+        assert_eq!(a.len(), w.len());
+        assert!(a.iter().all(|&s| s < 2));
+        let load0: u64 = w
+            .iter()
+            .zip(&a)
+            .filter(|&(_, &s)| s == 0)
+            .map(|(w, _)| w)
+            .sum();
+        let load1: u64 = w
+            .iter()
+            .zip(&a)
+            .filter(|&(_, &s)| s == 1)
+            .map(|(w, _)| w)
+            .sum();
+        let (lo, hi) = (load0.min(load1), load0.max(load1));
+        assert!(hi - lo <= 2, "balanced: {load0} vs {load1}");
+        // More shards than LPs degrades gracefully.
+        assert_eq!(partition_lps(&[5], 4), vec![0]);
+        assert!(partition_lps(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_typed_error_not_a_crash() {
+        struct Bomb;
+        impl Component for Bomb {
+            fn handle(&mut self, api: &mut Api<'_>, msg: Msg) {
+                match msg.kind {
+                    MsgKind::Start => api.timer_in(SimDuration::ns(50), 0),
+                    MsgKind::Timer(_) => panic!("component detonated"),
+                    _ => {}
+                }
+            }
+            fn snapshot(&mut self) -> SimResult<Json> {
+                Ok(Json::Null)
+            }
+        }
+        let mut topo = ShardTopology::new();
+        topo.add_lp("a", |sim, _| {
+            sim.add("bomb", Bomb);
+            Ok(())
+        });
+        topo.add_lp("idle", |sim, io| {
+            let id = sim.add("n", crate::component::NullComponent);
+            for l in io.incoming() {
+                io.set_ingress(l, id)?;
+            }
+            Ok(())
+        });
+        topo.add_link("l", 0, 1, SimDuration::ns(100));
+        let cfg = ShardConfig::to(SimTime(SimDuration::us(1).0)).shards(2);
+        let err = run_sharded(topo, &cfg).expect_err("panic becomes an error");
+        assert_eq!(err.kind, SimErrorKind::Internal);
+        assert!(err.message.contains("panicked"), "{err:?}");
+    }
+}

@@ -69,6 +69,14 @@ impl Snapshot {
         self.state.to_string_pretty()
     }
 
+    /// FNV-1a (64-bit) fingerprint of the canonical compact rendering —
+    /// the same value `Simulator::state_hash` reports. Useful for cheap
+    /// replay validation: hash a stored snapshot and compare against a
+    /// re-simulated run without diffing full documents.
+    pub fn state_hash(&self) -> u64 {
+        self.state.fnv1a64()
+    }
+
     /// Parse a snapshot previously written with [`Snapshot::to_text`],
     /// validating the schema marker.
     pub fn parse(text: &str) -> SimResult<Snapshot> {

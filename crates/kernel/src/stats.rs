@@ -84,7 +84,7 @@ impl Snapshotable for BusyTracker {
 }
 
 /// Fixed-bucket latency histogram over durations (log2 buckets in ns).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LatencyHistogram {
     /// bucket[i] counts samples with ns in [2^(i-1), 2^i); bucket[0] is <1ns.
     buckets: Vec<u64>,

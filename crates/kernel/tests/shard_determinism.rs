@@ -1,0 +1,239 @@
+//! Property tests for the sharded executor: over random topologies (LP
+//! counts, link structure, link latencies, emission cadences, fault
+//! windows), running under 1, 2, and 4 shards must produce bit-identical
+//! reports — same metrics, same per-window state hashes, same probes.
+//!
+//! This is the workspace-level guarantee the bench and perf gate rely on:
+//! parallelism is a pure wall-clock optimisation, never a semantic one.
+
+use drcf_kernel::prelude::*;
+use drcf_kernel::snapshot::u64_field;
+use proptest::prelude::*;
+
+/// Everything needed to rebuild one topology from scratch. Builders are
+/// `FnOnce` and consumed per run, so each shard count gets a fresh
+/// topology constructed from the same parameters.
+#[derive(Clone, Debug)]
+struct Params {
+    lps: usize,
+    /// (from, to, latency_ns) — endpoints reduced mod `lps`.
+    links: Vec<(usize, usize, u64)>,
+    periods: Vec<u64>,
+    emit_every: u64,
+    /// Packets arriving inside [start, end) ns are dropped (a modelled
+    /// transient fault) — deterministically, since arrival times are.
+    fault_ns: (u64, u64),
+    horizon_ns: u64,
+}
+
+/// Snapshot-capable traffic generator/sink. Ticks on a timer, emits a
+/// packet on every outgoing link each `emit_every` ticks, and folds
+/// received packets into a checksum unless they arrive inside the fault
+/// window.
+struct Worker {
+    id: u64,
+    egress: Vec<ComponentId>,
+    period: SimDuration,
+    emit_every: u64,
+    fault: (SimTime, SimTime),
+    ticks: u64,
+    received: u64,
+    dropped: u64,
+    checksum: u64,
+}
+
+impl Worker {
+    fn mix(&mut self, v: u64) {
+        self.checksum = self
+            .checksum
+            .rotate_left(9)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(v);
+    }
+}
+
+impl Component for Worker {
+    fn handle(&mut self, api: &mut Api<'_>, msg: Msg) {
+        match msg.kind {
+            MsgKind::Start => api.timer_in(self.period, 0),
+            MsgKind::Timer(_) => {
+                self.ticks += 1;
+                self.mix(self.ticks);
+                if self.ticks.is_multiple_of(self.emit_every) {
+                    for &e in &self.egress {
+                        api.send(
+                            e,
+                            LinkMsg {
+                                tag: self.ticks,
+                                words: vec![self.id, self.checksum & 0xffff],
+                            },
+                            Delay::Delta,
+                        );
+                    }
+                }
+                api.timer_in(self.period, 0);
+            }
+            _ => {
+                if let Ok(p) = msg.user::<LinkPacket>() {
+                    let now = api.now();
+                    if now >= self.fault.0 && now < self.fault.1 {
+                        self.dropped += 1;
+                        return;
+                    }
+                    self.received += 1;
+                    self.mix(p.seq);
+                    self.mix(p.msg.tag);
+                    for w in &p.msg.words {
+                        self.mix(*w);
+                    }
+                }
+            }
+        }
+    }
+
+    fn snapshot(&mut self) -> SimResult<Json> {
+        Ok(Json::obj()
+            .with("ticks", drcf_kernel::json::ju64(self.ticks))
+            .with("received", drcf_kernel::json::ju64(self.received))
+            .with("dropped", drcf_kernel::json::ju64(self.dropped))
+            .with("checksum", drcf_kernel::json::ju64(self.checksum)))
+    }
+
+    fn restore(&mut self, state: &Json) -> SimResult<()> {
+        self.ticks = u64_field(state, "ticks")?;
+        self.received = u64_field(state, "received")?;
+        self.dropped = u64_field(state, "dropped")?;
+        self.checksum = u64_field(state, "checksum")?;
+        Ok(())
+    }
+}
+
+fn build(p: &Params) -> ShardTopology {
+    let mut topo = ShardTopology::new();
+    for i in 0..p.lps {
+        let period = p.periods[i % p.periods.len()];
+        let emit_every = p.emit_every;
+        let fault = p.fault_ns;
+        topo.add_lp(&format!("lp{i}"), move |sim, io| {
+            let egress: SimResult<Vec<ComponentId>> =
+                io.outgoing().iter().map(|&l| io.egress(l)).collect();
+            let id = sim.add(
+                &format!("w{i}"),
+                Worker {
+                    id: i as u64,
+                    egress: egress?,
+                    period: SimDuration::ns(period),
+                    emit_every,
+                    fault: (
+                        SimTime(SimDuration::ns(fault.0).0),
+                        SimTime(SimDuration::ns(fault.1).0),
+                    ),
+                    ticks: 0,
+                    received: 0,
+                    dropped: 0,
+                    checksum: 0,
+                },
+            );
+            for l in io.incoming() {
+                io.set_ingress(l, id)?;
+            }
+            Ok(())
+        });
+        topo.set_probe(i, move |sim| {
+            let last = sim.component_count() - 1;
+            let w = sim.get::<Worker>(last);
+            Ok(Json::obj()
+                .with("received", drcf_kernel::json::ju64(w.received))
+                .with("dropped", drcf_kernel::json::ju64(w.dropped))
+                .with("checksum", drcf_kernel::json::ju64(w.checksum)))
+        });
+        // Uneven weights exercise the partitioner.
+        topo.set_weight(i, 1 + (i as u64 % 3));
+    }
+    for (k, &(from, to, lat)) in p.links.iter().enumerate() {
+        topo.add_link(
+            &format!("l{k}"),
+            from % p.lps,
+            to % p.lps,
+            SimDuration::ns(lat),
+        );
+    }
+    topo
+}
+
+fn run(p: &Params, shards: usize) -> ShardRunReport {
+    let cfg = ShardConfig::to(SimTime(SimDuration::ns(p.horizon_ns).0))
+        .shards(shards)
+        .hash_slices(true);
+    match run_sharded(build(p), &cfg) {
+        Ok(r) => r,
+        Err(e) => panic!("run with {shards} shards failed: {e:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// 1, 2, and 4 shards produce bit-identical reports: same per-LP
+    /// kernel metrics, per-window state hashes, final hashes, and probes.
+    #[test]
+    fn shard_count_never_changes_results(
+        lps in 2usize..5,
+        links in proptest::collection::vec(
+            (0usize..8, 0usize..8, 200u64..2_000), 1..7),
+        periods in proptest::collection::vec(60u64..400, 3..4),
+        emit_every in 1u64..5,
+        fault_start in 0u64..8_000,
+        fault_len in 0u64..4_000,
+    ) {
+        let p = Params {
+            lps,
+            links,
+            periods,
+            emit_every,
+            fault_ns: (fault_start, fault_start + fault_len),
+            horizon_ns: 10_000,
+        };
+        let oracle = run(&p, 1);
+        prop_assert_eq!(oracle.shards, 1);
+        for shards in [2usize, 4] {
+            let par = run(&p, shards);
+            prop_assert!(
+                oracle.same_outcome(&par),
+                "shards={} diverged at {:?} for {:?}",
+                shards, oracle.first_divergence(&par), p
+            );
+            prop_assert_eq!(oracle.first_divergence(&par), None);
+            prop_assert_eq!(oracle.rounds, par.rounds);
+            prop_assert_eq!(oracle.messages, par.messages);
+            for (a, b) in oracle.lps.iter().zip(&par.lps) {
+                prop_assert_eq!(&a.slice_hashes, &b.slice_hashes);
+                prop_assert_eq!(a.state_hash, b.state_hash);
+                prop_assert_eq!(&a.probe, &b.probe);
+            }
+        }
+    }
+
+    /// Re-running the identical configuration reproduces the identical
+    /// report, including wall-clock-independent fields.
+    #[test]
+    fn sharded_runs_replay_exactly(
+        lps in 2usize..5,
+        links in proptest::collection::vec(
+            (0usize..8, 0usize..8, 200u64..2_000), 1..5),
+        shards in 1usize..5,
+    ) {
+        let p = Params {
+            lps,
+            links,
+            periods: vec![90, 130, 250],
+            emit_every: 2,
+            fault_ns: (0, 0),
+            horizon_ns: 8_000,
+        };
+        let a = run(&p, shards);
+        let b = run(&p, shards);
+        prop_assert!(a.same_outcome(&b));
+        prop_assert_eq!(a.rounds, b.rounds);
+    }
+}

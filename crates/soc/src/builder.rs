@@ -161,7 +161,7 @@ pub struct BuiltSoc {
 }
 
 /// Metrics of one run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunMetrics {
     /// Application makespan.
     pub makespan: SimDuration,
@@ -316,7 +316,8 @@ pub fn build_soc(workload: &Workload, spec: &SocSpec) -> SimResult<BuiltSoc> {
         if fold.contains(&a.name) {
             // One decode entry per folded context: a non-contiguous fold
             // must not swallow the address holes between its members.
-            map.add(b.base, high, drcf_planned.expect("fold implies a DRCF"))
+            // `fold` is non-empty here, so a DRCF is planned at id 3.
+            map.add(b.base, high, drcf_planned.unwrap_or(3))
                 .map_err(invalid)?;
         } else {
             map.add(b.base, high, next_id).map_err(invalid)?;

@@ -9,6 +9,7 @@
 //! ([`profile`]).
 
 #![warn(missing_docs)]
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod accelerator;
 
@@ -20,6 +21,7 @@ pub use drcf_bus::dma::status as dma_status;
 pub mod builder;
 pub mod cpu;
 pub mod profile;
+pub mod sharded;
 pub mod tasks;
 pub mod workloads;
 
@@ -32,6 +34,7 @@ pub mod prelude {
     };
     pub use crate::cpu::{Cpu, CpuConfig, CpuStats, Instr};
     pub use crate::profile::{asap_profile, estimate_task_cycles, measured_busy_fractions};
+    pub use crate::sharded::{FabricTile, ShardedSocRun, ShardedSocSpec, SHARDS_ENV};
     pub use crate::tasks::{
         compile, compile_with, task_input, AccelBinding, CompileOptions, CopyMode, Task, TaskGraph,
         TaskId, TaskKind,

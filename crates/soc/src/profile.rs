@@ -15,7 +15,7 @@
 //!   fractions of standalone accelerators.
 
 use drcf_bus::prelude::SlaveAdapter;
-use drcf_kernel::prelude::{SimDuration, SimTime};
+use drcf_kernel::prelude::{SimDuration, SimError, SimErrorKind, SimResult, SimTime};
 use drcf_transform::prelude::{BlockProfile, ProfileData};
 
 use crate::accelerator::KernelAccelerator;
@@ -79,11 +79,17 @@ impl BlockWindows {
 ///
 /// Software tasks run on an unbounded CPU pool (they never constrain
 /// hardware concurrency); each hardware block serializes its own tasks.
-pub fn asap_profile(workload: &Workload) -> (ProfileData, u64) {
+///
+/// Library workload graphs are acyclic by construction; a hand-built
+/// cyclic graph is reported as a validation error rather than a panic.
+pub fn asap_profile(workload: &Workload) -> SimResult<(ProfileData, u64)> {
     let graph = &workload.graph;
-    let order = graph
-        .topo_order()
-        .expect("workload graphs are acyclic by construction");
+    let order = graph.topo_order().map_err(|e| {
+        SimError::new(
+            SimErrorKind::Validation,
+            format!("cannot profile a cyclic task graph: {e}"),
+        )
+    })?;
     let mut finish = vec![0u64; graph.tasks.len()];
     let mut block_free: Vec<(String, u64)> = Vec::new();
     let mut windows: Vec<BlockWindows> = workload
@@ -131,20 +137,16 @@ pub fn asap_profile(workload: &Workload) -> (ProfileData, u64) {
     }
 
     let makespan = makespan.max(1);
+    // `windows` was built by mapping over `accels`, so the two line up.
     let blocks = workload
         .accels
         .iter()
-        .map(|a| {
-            let w = windows
-                .iter()
-                .find(|w| w.name == a.name)
-                .expect("window per accel");
-            BlockProfile {
-                instance: a.name.clone(),
-                busy_fraction: w.busy() as f64 / makespan as f64,
-                gate_count: a.kind.gate_count(),
-                change_prone: false,
-            }
+        .zip(&windows)
+        .map(|(a, w)| BlockProfile {
+            instance: a.name.clone(),
+            busy_fraction: w.busy() as f64 / makespan as f64,
+            gate_count: a.kind.gate_count(),
+            change_prone: false,
         })
         .collect();
     let mut overlap = Vec::new();
@@ -158,7 +160,7 @@ pub fn asap_profile(workload: &Workload) -> (ProfileData, u64) {
             ));
         }
     }
-    (ProfileData { blocks, overlap }, makespan)
+    Ok((ProfileData { blocks, overlap }, makespan))
 }
 
 /// Measured busy fractions of standalone accelerators after a run.
@@ -183,7 +185,7 @@ mod tests {
     #[test]
     fn serial_pipeline_has_near_zero_overlap() {
         let w = wireless_receiver(3, 64);
-        let (profile, makespan) = asap_profile(&w);
+        let (profile, makespan) = asap_profile(&w).unwrap();
         assert!(makespan > 0);
         assert_eq!(profile.blocks.len(), 3);
         for (a, b, f) in &profile.overlap {
@@ -202,7 +204,7 @@ mod tests {
         // video pipeline: DCT and motion estimation depend on the same
         // capture task and can run in parallel.
         let w = video_pipeline(3, 64);
-        let (profile, _) = asap_profile(&w);
+        let (profile, _) = asap_profile(&w).unwrap();
         let dct_me = profile.overlap_of("dct", "motion_est");
         assert!(dct_me > 0.0, "parallel branches must overlap");
         let dct_aes = profile.overlap_of("dct", "aes");
@@ -212,7 +214,7 @@ mod tests {
     #[test]
     fn busy_fractions_sum_to_at_most_schedule() {
         let w = video_pipeline(2, 32);
-        let (profile, _) = asap_profile(&w);
+        let (profile, _) = asap_profile(&w).unwrap();
         for b in &profile.blocks {
             assert!(b.busy_fraction <= 1.0);
         }

@@ -3,6 +3,7 @@
 //! on randomized workload parameters.
 
 use drcf_core::prelude::{morphosys, FabricGeometry, SchedulerConfig};
+use drcf_kernel::prelude::{SimDuration, SimTime};
 use drcf_soc::prelude::*;
 use proptest::prelude::*;
 
@@ -59,7 +60,7 @@ proptest! {
             video_pipeline(frames, samples.min(64)),
             multi_standard(frames * 2, samples.min(64), 1),
         ] {
-            let (profile, makespan) = asap_profile(&w);
+            let (profile, makespan) = asap_profile(&w).unwrap();
             prop_assert!(makespan > 0);
             for b in &profile.blocks {
                 prop_assert!(b.busy_fraction > 0.0 && b.busy_fraction <= 1.0,
@@ -113,6 +114,55 @@ proptest! {
         prop_assert_eq!(&a, &b);
         let c = task_input(seed.wrapping_add(1), 32);
         prop_assert_ne!(&a, &c);
+    }
+
+    /// Sharded multi-fabric runs are a pure wall-clock optimization: over
+    /// random tile counts, work mixes and fault windows, `RunMetrics`,
+    /// per-LP reports and per-slice state hashes are bit-identical under
+    /// 1, 2, and 4 shards.
+    #[test]
+    fn sharded_soc_is_shard_count_invariant(
+        tiles in 2usize..6,
+        work in 1u64..10,
+        fanout in 0u64..6,
+        emit_every in 1u64..5,
+        fault_start_us in 0u64..20,
+        fault_len_us in 0u64..10,
+    ) {
+        let spec = ShardedSocSpec {
+            tiles,
+            work,
+            fanout,
+            emit_every,
+            horizon: SimDuration::us(25),
+            fault_window: Some((
+                SimTime::ZERO + SimDuration::us(fault_start_us),
+                SimTime::ZERO + SimDuration::us(fault_start_us + fault_len_us),
+            )),
+            hash_slices: true,
+            ..ShardedSocSpec::default()
+        };
+        let oracle = match spec.run_with_shards(1) {
+            Ok(r) => r,
+            Err(e) => panic!("oracle run failed: {e:?}"),
+        };
+        for shards in [2usize, 4] {
+            let par = match spec.run_with_shards(shards) {
+                Ok(r) => r,
+                Err(e) => panic!("{shards}-shard run failed: {e:?}"),
+            };
+            prop_assert!(
+                oracle.report.same_outcome(&par.report),
+                "shards={} diverged at {:?}",
+                shards,
+                oracle.report.first_divergence(&par.report)
+            );
+            prop_assert_eq!(&oracle.metrics, &par.metrics);
+            for (a, b) in oracle.report.lps.iter().zip(&par.report.lps) {
+                prop_assert_eq!(&a.slice_hashes, &b.slice_hashes);
+                prop_assert_eq!(a.state_hash, b.state_hash);
+            }
+        }
     }
 }
 

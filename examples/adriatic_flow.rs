@@ -28,7 +28,7 @@ fn main() {
     );
 
     // ---- 2. Profiling ----------------------------------------------------
-    let (profile, sched_cycles) = asap_profile(&w);
+    let (profile, sched_cycles) = asap_profile(&w).expect("library workloads are acyclic");
     println!("[2] profiling (ASAP schedule, {sched_cycles} cycles):");
     for b in &profile.blocks {
         println!(

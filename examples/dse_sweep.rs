@@ -49,7 +49,7 @@ fn main() {
     print!("{}", t.render());
 
     // Cross-check against the §5.1 rules.
-    let (profile, _) = asap_profile(&w);
+    let (profile, _) = asap_profile(&w).expect("library workloads are acyclic");
     let groups = select_candidates(&profile, &SelectionRules::default());
     println!("\nrule-based proposal(s):");
     for g in &groups {

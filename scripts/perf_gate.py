@@ -6,11 +6,22 @@ Usage: perf_gate.py [path-to-BENCH_kernel.json]
 Reads the bench JSON written by `experiments --bench-json`, embeds the
 commit SHA (from $GITHUB_SHA, or `git rev-parse HEAD` as a fallback) into
 the file as a `"commit"` field so the uploaded artifact is traceable to
-the exact revision, and exits non-zero if any `speedup_vs_baseline`
-entry has dropped below 1.0 — i.e. if the current tree is slower than
-the baked per-scenario baseline on any workload — or if the live
-`warm_fork_speedup` (cold DSE sweep vs. snapshot-forked sweep, measured
-in the same process) falls below 1.5x.
+the exact revision, appends a one-line summary of the run to
+`BENCH_history.jsonl` (commit, timestamp, per-bench throughput and the
+live speedups) so the perf trajectory accumulates across PRs instead of
+being overwritten in place, and exits non-zero if:
+
+- any `speedup_vs_baseline` entry has dropped below 1.0 — i.e. the
+  current tree is slower than the baked per-scenario baseline;
+- the live `warm_fork_speedup` (cold DSE sweep vs. snapshot-forked sweep)
+  falls below 1.5x;
+- `sharded_soc_identical` is false — the sharded run diverged from the
+  single-threaded oracle (this is a correctness gate and applies on any
+  hardware);
+- `sharded_soc_speedup` falls below 2.0x *when the machine has at least
+  4 hardware threads* (`hw_threads`). On narrower machines the sharded
+  bench cannot exhibit parallel speedup, so the number is reported
+  informationally and only the bit-identity is enforced.
 
 The baselines live in `crates/bench/src/hotpath.rs`
 (`BASELINE_EVENTS_PER_SEC`); see EXPERIMENTS.md for how they were
@@ -21,6 +32,39 @@ import json
 import os
 import subprocess
 import sys
+import time
+
+HISTORY = "BENCH_history.jsonl"
+SHARDED_SPEEDUP_FLOOR = 2.0
+SHARDED_MIN_HW_THREADS = 4
+
+
+def append_history(bench: dict, sha: str, history_path: str) -> None:
+    """Append one line summarizing this run to the history file."""
+    entry = {
+        "commit": sha,
+        "timestamp": int(time.time()),
+        "schema": bench.get("schema"),
+        "events_per_sec": {
+            m["name"]: m.get("events_per_sec")
+            for m in bench.get("current", [])
+            if isinstance(m, dict) and "name" in m
+        },
+        "speedup_vs_baseline": bench.get("speedup_vs_baseline", {}),
+    }
+    for key in (
+        "ctx_switch_storm_on_vs_off",
+        "warm_fork_speedup",
+        "sharded_soc_speedup",
+        "sharded_soc_shards",
+        "sharded_soc_identical",
+        "hw_threads",
+    ):
+        if key in bench:
+            entry[key] = bench[key]
+    with open(history_path, "a", encoding="utf-8") as f:
+        json.dump(entry, f, separators=(",", ":"), sort_keys=True)
+        f.write("\n")
 
 
 def main() -> int:
@@ -40,6 +84,10 @@ def main() -> int:
     with open(path, "w", encoding="utf-8") as f:
         json.dump(bench, f, indent=2)
         f.write("\n")
+
+    history_path = os.path.join(os.path.dirname(path) or ".", HISTORY)
+    append_history(bench, sha, history_path)
+    print(f"perf gate: appended run {sha[:12]} to {history_path}")
 
     speedups = bench.get("speedup_vs_baseline", {})
     if not speedups:
@@ -65,9 +113,36 @@ def main() -> int:
         if warm < 1.5:
             failed.append("warm_fork_speedup")
 
+    identical = bench.get("sharded_soc_identical")
+    if identical is not None and not identical:
+        print(
+            "perf gate: sharded_soc DIVERGED from the single-threaded oracle",
+            file=sys.stderr,
+        )
+        failed.append("sharded_soc_identical")
+
+    sharded = bench.get("sharded_soc_speedup")
+    if sharded is not None:
+        hw = bench.get("hw_threads", 1)
+        shards = bench.get("sharded_soc_shards", "?")
+        if hw >= SHARDED_MIN_HW_THREADS:
+            verdict = "ok" if sharded >= SHARDED_SPEEDUP_FLOOR else "REGRESSION"
+            print(
+                f"perf gate: sharded_soc speedup {sharded:.2f}x at {shards} shards "
+                f"(floor {SHARDED_SPEEDUP_FLOOR}x, {hw} hw threads)  [{verdict}]"
+            )
+            if sharded < SHARDED_SPEEDUP_FLOOR:
+                failed.append("sharded_soc_speedup")
+        else:
+            print(
+                f"perf gate: sharded_soc speedup {sharded:.2f}x at {shards} shards "
+                f"(informational: only {hw} hw thread(s), floor needs "
+                f">= {SHARDED_MIN_HW_THREADS}; bit-identity still enforced)"
+            )
+
     if failed:
         print(
-            f"perf gate: FAILED — slower than baseline on: {', '.join(failed)}",
+            f"perf gate: FAILED — {', '.join(failed)}",
             file=sys.stderr,
         )
         return 1
