@@ -160,6 +160,39 @@ fn run_sharded(shards: usize) {
         serial / wall,
         par.report.lps.first().map_or(0, |l| l.slice_hashes.len()),
     );
+
+    // The same exercise for the automatically partitioned E12 hierarchical
+    // topology: an arbitrary SocGraph cut at its bus bridges.
+    use drcf_bench::e12_hierarchy::{e12_switches, run_sharded_e12};
+    use drcf_bench::hotpath::{sharded_e12_graph, SHARDED_E12_HORIZON};
+    let graph = sharded_e12_graph();
+    let t2 = Instant::now();
+    let oracle = run_sharded_e12(&graph, 1, SHARDED_E12_HORIZON);
+    let serial = t2.elapsed().as_secs_f64();
+    let t3 = Instant::now();
+    let par = run_sharded_e12(&graph, shards, SHARDED_E12_HORIZON);
+    let wall = t3.elapsed().as_secs_f64();
+    assert!(
+        oracle.report.same_outcome(&par.report),
+        "sharded E12 run diverged from the oracle at {:?}",
+        oracle.report.first_divergence(&par.report)
+    );
+    println!(
+        "sharded_e12: {} LPs ({} bridges cut), horizon {} ns, {} events, {} context switches",
+        par.plan.lp_count(),
+        par.plan.cut.len(),
+        SHARDED_E12_HORIZON.as_fs() / 1_000_000,
+        par.events(),
+        e12_switches(&par),
+    );
+    println!(
+        "  serial (1 shard):  {serial:.3}s\n  sharded ({} shards, {} rounds, {} cross-shard \
+         messages): {wall:.3}s\n  speedup {:.2}x — reports bit-identical",
+        par.report.shards,
+        par.report.rounds,
+        par.report.messages,
+        serial / wall,
+    );
 }
 
 fn main() {

@@ -9,10 +9,15 @@
 //! latency a latency-sensitive local master observes while the fabric
 //! thrashes, in both topologies.
 
+use std::sync::Arc;
+
 use drcf_bus::prelude::*;
 use drcf_core::prelude::*;
 use drcf_dse::prelude::*;
+use drcf_kernel::json::{ju64, Json};
 use drcf_kernel::prelude::*;
+use drcf_kernel::snapshot as snap;
+use drcf_soc::prelude::{run_partitioned, Part, PartitionedRun, SocGraph};
 
 use crate::common::{r2, ExperimentResult};
 
@@ -43,6 +48,18 @@ impl Component for Prober {
             }
         }
     }
+
+    fn snapshot(&mut self) -> SimResult<Json> {
+        Ok(Json::obj()
+            .with("port", self.port.snapshot_json())
+            .with("reads_left", ju64(u64::from(self.reads_left))))
+    }
+
+    fn restore(&mut self, state: &Json) -> SimResult<()> {
+        self.port.restore_json(snap::field(state, "port")?)?;
+        self.reads_left = snap::u64_field(state, "reads_left")? as u32;
+        Ok(())
+    }
 }
 
 /// A churn master: alternates accesses between two DRCF contexts, forcing
@@ -72,6 +89,20 @@ impl Component for Churner {
                 }
             }
         }
+    }
+
+    fn snapshot(&mut self) -> SimResult<Json> {
+        Ok(Json::obj()
+            .with("port", self.port.snapshot_json())
+            .with("accesses_left", ju64(u64::from(self.accesses_left)))
+            .with("i", ju64(self.i as u64)))
+    }
+
+    fn restore(&mut self, state: &Json) -> SimResult<()> {
+        self.port.restore_json(snap::field(state, "port")?)?;
+        self.accesses_left = snap::u64_field(state, "accesses_left")? as u32;
+        self.i = snap::usize_field(state, "i")?;
+        Ok(())
     }
 }
 
@@ -218,6 +249,195 @@ pub fn run_hierarchical(config_words: u64) -> (f64, u64) {
     (mean, max)
 }
 
+/// Base of fabric cluster `c`'s address window in the sharded topology.
+/// Clusters are spaced 1 MiW apart so every cluster's register + config
+/// ranges are disjoint and a single bridge window covers exactly one.
+fn fabric_base(c: usize) -> Addr {
+    0x10_0000 * (c as Addr + 1)
+}
+
+/// The E12 system as a partitionable [`SocGraph`]: one CPU segment
+/// (prober + local memory + one churn master per fabric cluster) and
+/// `fabrics` peripheral segments, each holding its own config memory and
+/// DRCF behind a slow bridge (100 forward / 100 return cycles at 10 MHz,
+/// i.e. 10 us of conservative lookahead per direction). Cutting at the
+/// bridges yields `fabrics + 1` logical processes whose context-switch
+/// storms advance concurrently.
+pub fn sharded_e12_graph(
+    config_words: u64,
+    fabrics: usize,
+    accesses: u32,
+    probe_reads: u32,
+) -> SocGraph {
+    let mut g = SocGraph::new();
+    let cpu = g.add_segment("cpu", Some(BusConfig::default()));
+    g.add_part(
+        cpu,
+        Part::new("prober", move |sim, ctx| {
+            let bus = ctx.bus()?;
+            Ok(sim.add(
+                "prober",
+                Prober {
+                    port: MasterPort::new(bus, 1),
+                    period: SimDuration::ns(500),
+                    reads_left: probe_reads,
+                    addr: 0x10,
+                },
+            ))
+        })
+        .with_weight(2)
+        .with_probe(|sim, id| {
+            let p = sim.get::<Prober>(id);
+            Ok(Json::obj()
+                .with("reads", ju64(p.port.latency.count()))
+                .with("mean_latency_fs", ju64(p.port.latency.mean().as_fs()))
+                .with("max_latency_fs", ju64(p.port.latency.max().as_fs())))
+        }),
+    );
+    g.add_part(cpu, mem_part("local_mem", 0x0000, 0x1000));
+    for c in 0..fabrics {
+        let base = fabric_base(c);
+        g.add_part(
+            cpu,
+            Part::new(&format!("churner{c}"), move |sim, ctx| {
+                let bus = ctx.bus()?;
+                Ok(sim.add(
+                    &format!("churner{c}"),
+                    Churner {
+                        port: MasterPort::new(bus, 1),
+                        accesses_left: accesses,
+                        bases: [base + 0x8000, base + 0x8100],
+                        i: 0,
+                    },
+                ))
+            })
+            .with_probe(|sim, id| {
+                let ch = sim.get::<Churner>(id);
+                Ok(Json::obj()
+                    .with("issued", ju64(ch.i as u64))
+                    .with("accesses_left", ju64(u64::from(ch.accesses_left))))
+            }),
+        );
+        let fab = g.add_segment(&format!("fabric{c}"), Some(BusConfig::default()));
+        g.add_part(
+            fab,
+            mem_part(&format!("cfg_mem{c}"), base + 0x1_0000, 0x8000),
+        );
+        g.add_part(
+            fab,
+            Part::new(&format!("drcf{c}"), move |sim, ctx| {
+                let bus = ctx.bus()?;
+                Ok(sim.add(
+                    &format!("drcf{c}"),
+                    Drcf::new(
+                        DrcfConfig {
+                            clock_mhz: 100,
+                            config_path: ConfigPath::SystemBus {
+                                bus,
+                                priority: 3,
+                                burst: 16,
+                            },
+                            scheduler: SchedulerConfig::default(),
+                            overlap_load_exec: false,
+                            abort_load_of: vec![],
+                            coalesce_config_traffic: false,
+                        },
+                        vec![
+                            Context::new(
+                                Box::new(RegisterFile::new("ctx_a", base + 0x8000, 16, 1)),
+                                ContextParams {
+                                    config_addr: base + 0x1_0100,
+                                    config_size_words: config_words,
+                                    ..ContextParams::default()
+                                },
+                            ),
+                            Context::new(
+                                Box::new(RegisterFile::new("ctx_b", base + 0x8100, 16, 1)),
+                                ContextParams {
+                                    config_addr: base + 0x1_0100 + config_words,
+                                    config_size_words: config_words,
+                                    ..ContextParams::default()
+                                },
+                            ),
+                        ],
+                    ),
+                ))
+            })
+            .with_claim(base + 0x8000, base + 0x800F)
+            .with_claim(base + 0x8100, base + 0x810F)
+            .with_weight(4)
+            .with_probe(|sim, id| {
+                let f = sim.get::<Drcf>(id);
+                Ok(Json::obj()
+                    .with("switches", ju64(f.stats.switches))
+                    .with("config_words", ju64(f.stats.config_words)))
+            }),
+        );
+        g.add_bridge(
+            &format!("bridge{c}"),
+            BridgeConfig {
+                forward_cycles: 100,
+                return_cycles: 100,
+                clock_mhz: 10,
+                priority: 1,
+            },
+            cpu,
+            fab,
+            (base + 0x8000, base + 0x1_FFFF),
+        );
+    }
+    g
+}
+
+/// A memory part claiming `[base, base + words)` with deterministic slave
+/// timing registered at its segment bus (required for coalescing and for
+/// the partitioner's address map).
+fn mem_part(name: &str, base: Addr, words: usize) -> Part {
+    let cfg = MemoryConfig {
+        base,
+        size_words: words,
+        ..MemoryConfig::default()
+    };
+    let timing = cfg.slave_timing();
+    let owned = name.to_string();
+    Part::new(name, move |sim, _ctx| {
+        Ok(sim.add(&owned, Memory::new(cfg.clone())))
+    })
+    .with_claim(base, base + words as Addr - 1)
+    .with_timing(timing)
+}
+
+/// Run the sharded E12 graph to `horizon` with per-window state hashing.
+/// `shards == 1` is the single-LP oracle; any other count must be
+/// bit-identical to it.
+pub fn run_sharded_e12(
+    graph: &Arc<SocGraph>,
+    shards: usize,
+    horizon: SimDuration,
+) -> PartitionedRun {
+    let cfg = ShardConfig::to(SimTime::ZERO + horizon)
+        .shards(shards)
+        .hash_slices(true);
+    match run_partitioned(graph, &cfg) {
+        Ok(r) => r,
+        Err(e) => panic!("sharded E12 run with {shards} shards failed: {e:?}"),
+    }
+}
+
+/// Total context switches across every fabric segment of a sharded E12 run.
+pub fn e12_switches(run: &PartitionedRun) -> u64 {
+    let mut total = 0;
+    for lp in &run.report.lps {
+        let parts = lp.probe.get("parts").and_then(Json::as_obj).unwrap_or(&[]);
+        for (name, p) in parts {
+            if name.starts_with("drcf") {
+                total += p.get("switches").and_then(Json::as_u64).unwrap_or(0);
+            }
+        }
+    }
+    total
+}
+
 /// Execute E12.
 pub fn run() -> ExperimentResult {
     let mut res = ExperimentResult::new(
@@ -287,5 +507,35 @@ mod tests {
     fn e12_renders() {
         let r = run();
         assert_eq!(r.tables[0].rows.len(), 4);
+    }
+
+    #[test]
+    fn sharded_e12_cuts_into_one_lp_per_fabric_plus_cpu() {
+        let g = Arc::new(sharded_e12_graph(256, 2, 4, 20));
+        let plan = drcf_soc::prelude::plan_partition(&g).expect("plan");
+        assert_eq!(plan.lp_count(), 3, "cpu + 2 fabric segments");
+        assert_eq!(plan.cut.len(), 2, "both bridges cut");
+        assert!(plan.local.is_empty(), "no merged bridges");
+    }
+
+    #[test]
+    fn sharded_e12_matches_the_single_lp_oracle() {
+        let g = Arc::new(sharded_e12_graph(256, 1, 6, 100));
+        let horizon = SimDuration::us(300);
+        let oracle = run_sharded_e12(&g, 1, horizon);
+        let sharded = run_sharded_e12(&g, 2, horizon);
+        assert!(
+            oracle.report.same_outcome(&sharded.report),
+            "diverged at {:?}",
+            oracle.report.first_divergence(&sharded.report)
+        );
+        assert_eq!(oracle.metrics, sharded.metrics);
+        // The churn actually completed: every access forced a switch.
+        assert_eq!(
+            e12_switches(&sharded),
+            6,
+            "churn must finish in the horizon"
+        );
+        assert!(sharded.report.messages > 0, "traffic must cross the cut");
     }
 }

@@ -533,6 +533,80 @@ pub fn sharded_soc() -> (HotpathMeasurement, f64, usize, bool) {
     (m, serial_secs / shard_secs, SHARDED_SOC_SHARDS, identical)
 }
 
+/// Shard count the `sharded_e12` bench targets (the partitioner cuts the
+/// topology into [`SHARDED_E12_FABRICS`]` + 1` logical processes).
+pub const SHARDED_E12_SHARDS: usize = 4;
+/// Fabric clusters in the `sharded_e12` bench topology.
+pub const SHARDED_E12_FABRICS: usize = 3;
+/// Context switches each churn master forces in the `sharded_e12` bench.
+pub const SHARDED_E12_SWITCHES: u32 = 20;
+
+/// The E12 hierarchical topology the `sharded_e12` bench runs: three DRCF
+/// clusters behind slow bridges, each thrashed by its own churn master
+/// while a latency probe works the CPU-local memory. Heavy 4096-word
+/// contexts keep every fabric LP busy between the 10 us bridge-lookahead
+/// synchronization windows.
+pub fn sharded_e12_graph() -> std::sync::Arc<drcf_soc::prelude::SocGraph> {
+    std::sync::Arc::new(crate::e12_hierarchy::sharded_e12_graph(
+        4096,
+        SHARDED_E12_FABRICS,
+        SHARDED_E12_SWITCHES,
+        400,
+    ))
+}
+
+/// Simulated horizon of the `sharded_e12` bench (covers the full churn —
+/// [`SHARDED_E12_SWITCHES`] switches of 4096 words per cluster plus bridge
+/// round trips, quiescent around 2.5 ms — with deterministic headroom).
+pub const SHARDED_E12_HORIZON: SimDuration = SimDuration::ms(3);
+
+/// Measure one partitioned E12 run (min wall time over `reps` passes).
+fn time_sharded_e12(
+    graph: &std::sync::Arc<drcf_soc::prelude::SocGraph>,
+    shards: usize,
+    reps: usize,
+) -> (drcf_soc::prelude::PartitionedRun, f64) {
+    let mut best = f64::INFINITY;
+    let mut run = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = crate::e12_hierarchy::run_sharded_e12(graph, shards, SHARDED_E12_HORIZON);
+        best = best.min(t0.elapsed().as_secs_f64());
+        run = Some(r);
+    }
+    match run {
+        Some(r) => (r, best),
+        None => panic!("sharded_e12 needs at least one timing rep"),
+    }
+}
+
+/// Measure the sharded E12 bench: the identical hierarchical SocSpec cut
+/// at its bus bridges by the automatic partitioner, run single-threaded
+/// (the oracle) and with [`SHARDED_E12_SHARDS`] worker shards. Returns the
+/// sharded measurement, the live serial-vs-sharded wall speedup, the shard
+/// count, and whether the reports matched bit-for-bit.
+pub fn sharded_e12() -> (HotpathMeasurement, f64, usize, bool) {
+    const TIMING_REPS: usize = 2;
+    let graph = sharded_e12_graph();
+    let (oracle, serial_secs) = time_sharded_e12(&graph, 1, TIMING_REPS);
+    let (sharded, shard_secs) = time_sharded_e12(&graph, SHARDED_E12_SHARDS, TIMING_REPS);
+    let identical = oracle.report.same_outcome(&sharded.report);
+    assert!(
+        identical,
+        "sharded E12 run diverged from the oracle at {:?}",
+        oracle.report.first_divergence(&sharded.report)
+    );
+    let expected = SHARDED_E12_FABRICS as u64 * u64::from(SHARDED_E12_SWITCHES);
+    let switches = crate::e12_hierarchy::e12_switches(&sharded);
+    assert_eq!(switches, expected, "every churn access must force a switch");
+    let m = HotpathMeasurement::new("sharded_e12", sharded.events(), shard_secs).with_note(
+        "3 DRCF clusters behind bridges, cut into 4 LPs by the automatic partitioner; \
+         events and per-window state hashes asserted bit-identical to the single-threaded \
+         oracle; speedup is serial wall over sharded wall",
+    );
+    (m, serial_secs / shard_secs, SHARDED_E12_SHARDS, identical)
+}
+
 /// Run the full hot-path suite with default sizes. Returns the
 /// measurements plus the storm's live coalescing-on-vs-off wall speedup
 /// and the warm-fork cold-vs-warm wall speedup.
@@ -572,6 +646,8 @@ pub fn bench_json() -> Json {
     let (mut current, storm_on_vs_off, warm_fork_speedup) = run_suite();
     let (sharded, sharded_speedup, sharded_shards, sharded_identical) = sharded_soc();
     current.push(sharded);
+    let (e12, e12_speedup, e12_shards, e12_identical) = sharded_e12();
+    current.push(e12);
     let mut baseline_obj = Json::obj();
     for (name, eps) in BASELINE_EVENTS_PER_SEC {
         let _ = baseline_obj.set(name, (*eps).into());
@@ -600,6 +676,9 @@ pub fn bench_json() -> Json {
         .with("sharded_soc_speedup", sharded_speedup.into())
         .with("sharded_soc_shards", (sharded_shards as u64).into())
         .with("sharded_soc_identical", Json::Bool(sharded_identical))
+        .with("sharded_e12_speedup", e12_speedup.into())
+        .with("sharded_e12_shards", (e12_shards as u64).into())
+        .with("sharded_e12_identical", Json::Bool(e12_identical))
         .with("hw_threads", (hw_threads as u64).into())
 }
 

@@ -47,6 +47,15 @@ impl BridgeConfig {
     pub fn min_latency(&self) -> SimDuration {
         SimDuration::cycles_at_mhz(self.forward_cycles.max(1), self.clock_mhz)
     }
+
+    /// Latency the bridge adds when returning a response upstream:
+    /// `return_cycles` at `clock_mhz`, exactly as [`BusBridge`] pays it.
+    /// This is the reverse link's lookahead when the bridge is cut across
+    /// shards; a zero value means the bridge cannot be cut (the partitioner
+    /// falls back to keeping both segments in one LP).
+    pub fn return_latency(&self) -> SimDuration {
+        SimDuration::cycles_at_mhz(self.return_cycles, self.clock_mhz)
+    }
 }
 
 impl Default for BridgeConfig {

@@ -25,6 +25,7 @@ pub mod map;
 pub mod memory;
 pub mod monitor;
 pub mod protocol;
+pub mod remote;
 pub mod snapshot;
 
 /// Commonly used items.
@@ -44,5 +45,6 @@ pub mod prelude {
         ConfigTrainDecoalesced, ConfigTrainDone, ConfigTrainRejected, DirectReadDone,
         DirectReadReq, InFlightBurst, ServeBurst, SlaveAccess, SlaveReply, TrainBurst, TxnId, Word,
     };
+    pub use crate::remote::{BridgeDownstream, BridgeUpstream};
     pub use crate::snapshot::register_bus_codecs;
 }

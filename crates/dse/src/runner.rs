@@ -147,6 +147,51 @@ where
         .collect()
 }
 
+/// Sweep arbitrary SoC graphs through the automatic partitioner
+/// ([`drcf_soc::partition`]): `plan` maps each point to its scenario
+/// parameters, a [`drcf_soc::prelude::SocGraph`] and a base
+/// [`drcf_kernel::prelude::ShardConfig`]; the runner splits the machine's
+/// thread budget between sweep points and per-point simulation shards with
+/// [`thread_split`] and runs every graph with `run_partitioned` under its
+/// granted shard count. Because sharded execution is bit-identical to the
+/// single-LP oracle by construction, the records are independent of the
+/// budget split.
+///
+/// Same ordering and fault-isolation contract as [`sweep`]: one
+/// [`RunRecord`] per point, in input order; a failed or panicking point
+/// becomes a `RunRecord::failed` entry and every other point completes.
+pub fn sweep_partitioned<P, F>(points: &[P], shards_per_point: usize, plan: F) -> Vec<RunRecord>
+where
+    P: Sync,
+    F: Fn(
+            &P,
+        ) -> (
+            Vec<(String, String)>,
+            std::sync::Arc<drcf_soc::prelude::SocGraph>,
+            drcf_kernel::prelude::ShardConfig,
+        ) + Sync,
+{
+    let (workers, shards) = thread_split(points.len(), shards_per_point);
+    sweep_catch_workers(points, workers, |p| {
+        let (params, graph, cfg) = plan(p);
+        match drcf_soc::prelude::run_partitioned(&graph, &cfg.shards(shards)) {
+            Ok(run) => RunRecord::from_metrics("partitioned", params, &run.metrics),
+            Err(e) => RunRecord::failed("partitioned", params, e.to_string()),
+        }
+    })
+    .into_iter()
+    .enumerate()
+    .map(|(i, r)| match r {
+        Ok(rec) => rec,
+        Err(msg) => RunRecord::failed(
+            "partitioned",
+            vec![("point".into(), i.to_string())],
+            format!("evaluator panicked: {msg}"),
+        ),
+    })
+    .collect()
+}
+
 /// Run `eval` over every point in parallel with per-point fault isolation:
 /// each evaluation runs under `catch_unwind`, so the result vector has one
 /// entry per point, in order — `Ok(payload)` or `Err(panic message)`.
@@ -353,6 +398,77 @@ mod tests {
         let serial = sweep_serial(&points, |p| eval(p, 1));
         assert_eq!(sharded, serial);
         assert!(sharded.iter().all(|r| r.ok));
+    }
+
+    #[test]
+    fn sweep_partitioned_runs_plain_graphs_through_the_cut() {
+        use drcf_bus::prelude::*;
+        use drcf_kernel::prelude::{ShardConfig, SimTime};
+        use std::sync::Arc;
+
+        // A plain two-segment SocSpec-style graph per point: a CPU whose
+        // program hammers a remote memory through a bridge, sweeping the
+        // burst size. The partitioner must cut it into 2 LPs and every
+        // record must match the single-shard oracle sweep bit for bit.
+        let build_graph = |bursts: usize| {
+            let mut g = SocGraph::new();
+            let cpu_seg = g.add_segment("cpu", Some(BusConfig::default()));
+            g.add_part(
+                cpu_seg,
+                Part::new("cpu", move |sim, ctx| {
+                    let bus = ctx.bus()?;
+                    let mut program = Vec::new();
+                    for i in 0..bursts {
+                        program.push(Instr::Write {
+                            addr: 0x1_0000 + 8 * i as Addr,
+                            data: vec![i as Word; 4],
+                        });
+                        program.push(Instr::Read {
+                            addr: 0x1_0000 + 8 * i as Addr,
+                            burst: 4,
+                        });
+                    }
+                    Ok(sim.add("cpu", Cpu::new(CpuConfig::default(), bus, program)))
+                }),
+            );
+            let mem_seg = g.add_segment("mem", Some(BusConfig::default()));
+            g.add_part(
+                mem_seg,
+                Part::new("remote_mem", |sim, _| {
+                    Ok(sim.add(
+                        "remote_mem",
+                        Memory::new(MemoryConfig {
+                            base: 0x1_0000,
+                            size_words: 0x1000,
+                            ..MemoryConfig::default()
+                        }),
+                    ))
+                })
+                .with_claim(0x1_0000, 0x1_0FFF),
+            );
+            g.add_bridge(
+                "br",
+                BridgeConfig::default(),
+                cpu_seg,
+                mem_seg,
+                (0x1_0000, 0x1_FFFF),
+            );
+            Arc::new(g)
+        };
+        let points = vec![4usize, 8, 16];
+        let plan = |bursts: &usize| {
+            (
+                vec![("bursts".into(), bursts.to_string())],
+                build_graph(*bursts),
+                ShardConfig::to(SimTime::ZERO + SimDuration::us(200)).hash_slices(true),
+            )
+        };
+        let sharded = sweep_partitioned(&points, 2, plan);
+        let serial = sweep_partitioned(&points, 1, plan);
+        assert_eq!(sharded, serial);
+        assert!(sharded.iter().all(|r| r.ok), "{sharded:?}");
+        // More bursts cross the bridge -> more bus words observed.
+        assert!(sharded[0].bus_words < sharded[2].bus_words);
     }
 
     #[test]

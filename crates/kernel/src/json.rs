@@ -104,6 +104,14 @@ impl Json {
         }
     }
 
+    /// Object key/value pairs, in insertion order.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
     /// Pretty serialization (two-space indent). Compact serialization is
     /// the `Display` impl / `to_string()`.
     pub fn to_string_pretty(&self) -> String {
@@ -601,6 +609,10 @@ mod tests {
         assert_eq!(v.get("d").unwrap().as_f64(), Some(-1.5));
         assert_eq!(v.get("d").unwrap().as_u64(), None);
         assert!(v.get("missing").is_none());
+        let pairs = v.as_obj().unwrap();
+        assert_eq!(pairs.len(), 4);
+        assert_eq!(pairs[0].0, "a");
+        assert!(v.get("c").unwrap().as_obj().is_none());
     }
 
     #[test]

@@ -160,6 +160,15 @@ impl LpIo {
             .ok_or_else(|| shard_err(format!("link {link} is not an egress of LP {}", self.lp)))
     }
 
+    /// A bound transmit handle for an outgoing link — the preferred way to
+    /// wire a [`LinkEndpoint`] to its channel.
+    pub fn tx(&self, link: usize) -> SimResult<LinkTx> {
+        Ok(LinkTx {
+            link,
+            egress: self.egress(link)?,
+        })
+    }
+
     /// Declare which component receives [`LinkPacket`]s for an incoming
     /// link. Every incoming link must have exactly one ingress target.
     pub fn set_ingress(&mut self, link: usize, target: ComponentId) -> SimResult<()> {
@@ -172,6 +181,50 @@ impl LpIo {
         slot.1 = Some(target);
         Ok(())
     }
+}
+
+/// A bound transmit handle for one outgoing link: the link index plus the
+/// pre-registered egress component id. Components hold one of these per
+/// outgoing channel and call [`LinkTx::send`] to transmit — the message is
+/// delivered to the egress in the same timestep, stamped with the current
+/// simulation time, and carried across the shard boundary by the
+/// deterministic merge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkTx {
+    link: usize,
+    egress: ComponentId,
+}
+
+impl LinkTx {
+    /// Index of the link this handle transmits on.
+    pub fn link(&self) -> usize {
+        self.link
+    }
+
+    /// The egress component id (useful for models that pre-date the
+    /// handle and address egress components directly).
+    pub fn egress(&self) -> ComponentId {
+        self.egress
+    }
+
+    /// Transmit a [`LinkMsg`] on this link. The message is stamped with
+    /// the current simulation time and delivered to the peer LP no earlier
+    /// than `now + min_latency` of the link.
+    pub fn send(&self, api: &mut Api<'_>, msg: LinkMsg) {
+        api.send(self.egress, msg, Delay::Delta);
+    }
+}
+
+/// Adapter trait for components that terminate a cross-shard link — the
+/// bus bridge stubs implement it, as does any model that forwards local
+/// traffic into [`LinkMsg`] envelopes. The partitioner constructs the
+/// endpoint, hands it its transmit handles via [`LinkEndpoint::attach_tx`],
+/// then registers it as the ingress target of the matching reverse link.
+pub trait LinkEndpoint: Component {
+    /// Hand the endpoint a transmit handle for one of its outgoing links.
+    /// Called once per outgoing link, in link declaration order, before
+    /// the component is added to the simulator.
+    fn attach_tx(&mut self, tx: LinkTx);
 }
 
 /// A partitioned system: LPs plus the links (cut points) between them.

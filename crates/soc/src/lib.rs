@@ -20,6 +20,7 @@ pub use drcf_bus::dma::regs as dma_regs;
 pub use drcf_bus::dma::status as dma_status;
 pub mod builder;
 pub mod cpu;
+pub mod partition;
 pub mod profile;
 pub mod sharded;
 pub mod tasks;
@@ -33,8 +34,14 @@ pub mod prelude {
         RunMetrics, SocConfigPath, SocCopyMode, SocSpec,
     };
     pub use crate::cpu::{Cpu, CpuConfig, CpuStats, Instr};
+    pub use crate::partition::{
+        partition_topology, plan_partition, run_partitioned, BridgeSpec, LinkKind, MergedBridge,
+        Part, PartCtx, PartitionPlan, PartitionedRun, PlannedLink, Segment, SocGraph, StreamSpec,
+    };
     pub use crate::profile::{asap_profile, estimate_task_cycles, measured_busy_fractions};
-    pub use crate::sharded::{FabricTile, ShardedSocRun, ShardedSocSpec, SHARDS_ENV};
+    pub use crate::sharded::{
+        shards_env_override, tile_stat, FabricTile, ShardedSocRun, ShardedSocSpec, SHARDS_ENV,
+    };
     pub use crate::tasks::{
         compile, compile_with, task_input, AccelBinding, CompileOptions, CopyMode, Task, TaskGraph,
         TaskId, TaskKind,

@@ -18,15 +18,39 @@
 //! overrides the shard count at run time (CI uses it for a 2-shard smoke
 //! pass over the whole suite).
 
+use std::sync::Arc;
+
 use drcf_bus::prelude::BridgeConfig;
 use drcf_kernel::json::{ju64, Json};
 use drcf_kernel::prelude::*;
 use drcf_kernel::snapshot::u64_field;
 
 use crate::builder::RunMetrics;
+use crate::partition::{partition_topology, Part, SocGraph};
 
 /// Environment variable overriding [`ShardedSocSpec::shards`] at run time.
 pub const SHARDS_ENV: &str = "DRCF_SHARDS";
+
+/// Parse the [`SHARDS_ENV`] override. Unset means no override; a positive
+/// integer overrides the shard count; anything else is a typed
+/// configuration error — a malformed `DRCF_SHARDS=two` must not silently
+/// fall back to the spec's default.
+pub fn shards_env_override() -> SimResult<Option<usize>> {
+    match std::env::var(SHARDS_ENV) {
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(std::env::VarError::NotUnicode(_)) => Err(SimError::new(
+            SimErrorKind::Validation,
+            format!("{SHARDS_ENV} is not valid unicode"),
+        )),
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(Some(n)),
+            _ => Err(SimError::new(
+                SimErrorKind::Validation,
+                format!("{SHARDS_ENV}={v:?} is not a positive shard count"),
+            )),
+        },
+    }
+}
 
 /// One reconfigurable fabric tile, modeled as a self-clocked component:
 /// every clock tick it performs `work` units of local computation and
@@ -191,71 +215,75 @@ impl Default for ShardedSocSpec {
 
 impl ShardedSocSpec {
     /// The shard count actually used by [`run`](Self::run): the
-    /// `DRCF_SHARDS` env var when set and parseable, else `self.shards`.
-    pub fn effective_shards(&self) -> usize {
-        match std::env::var(SHARDS_ENV) {
-            Ok(v) => v.trim().parse().unwrap_or(self.shards),
-            Err(_) => self.shards,
-        }
+    /// `DRCF_SHARDS` env var when set (a malformed value is a typed
+    /// error — see [`shards_env_override`]), else `self.shards`.
+    pub fn effective_shards(&self) -> SimResult<usize> {
+        Ok(shards_env_override()?.unwrap_or(self.shards))
     }
 
-    /// Build the shard topology: a ring of [`FabricTile`] LPs.
-    pub fn topology(&self) -> ShardTopology {
-        let mut topo = ShardTopology::new();
+    /// Express the ring as a partitionable [`SocGraph`]: one bus-less
+    /// segment per tile, joined by bridge-latency streams. All topology
+    /// construction lives in [`crate::partition`]; this spec is a preset.
+    pub fn graph(&self) -> SocGraph {
+        let mut g = SocGraph::new();
+        let period = SimDuration::cycles_at_mhz(1, self.clock_mhz);
         for i in 0..self.tiles {
-            let period = SimDuration::cycles_at_mhz(1, self.clock_mhz);
+            let seg = g.add_segment(&format!("tile{i}"), None);
             let (work, fanout, emit_every, fault) =
                 (self.work, self.fanout, self.emit_every, self.fault_window);
-            topo.add_lp(&format!("tile{i}"), move |sim, io| {
-                let egress: SimResult<Vec<ComponentId>> =
-                    io.outgoing().iter().map(|&l| io.egress(l)).collect();
-                let id = sim.add(
-                    &format!("fabric{i}"),
-                    FabricTile {
-                        id: i as u64,
-                        egress: egress?,
-                        period,
-                        work,
-                        fanout,
-                        emit_every,
-                        fault,
-                        ticks: 0,
-                        received: 0,
-                        dropped: 0,
-                        checksum: 0,
-                    },
-                );
-                for l in io.incoming() {
-                    io.set_ingress(l, id)?;
-                }
-                Ok(())
-            });
-            topo.set_probe(i, move |sim| {
-                let last = sim.component_count() - 1;
-                let t = sim.get::<FabricTile>(last);
-                Ok(Json::obj()
-                    .with("ticks", ju64(t.ticks))
-                    .with("received", ju64(t.received))
-                    .with("dropped", ju64(t.dropped))
-                    .with("checksum", ju64(t.checksum)))
-            });
+            g.add_part(
+                seg,
+                Part::new(&format!("fabric{i}"), move |sim, ctx| {
+                    Ok(sim.add(
+                        &format!("fabric{i}"),
+                        FabricTile {
+                            id: i as u64,
+                            egress: ctx.stream_egress(),
+                            period,
+                            work,
+                            fanout,
+                            emit_every,
+                            fault,
+                            ticks: 0,
+                            received: 0,
+                            dropped: 0,
+                            checksum: 0,
+                        },
+                    ))
+                })
+                .with_probe(|sim, id| {
+                    let t = sim.get::<FabricTile>(id);
+                    Ok(Json::obj()
+                        .with("ticks", ju64(t.ticks))
+                        .with("received", ju64(t.received))
+                        .with("dropped", ju64(t.dropped))
+                        .with("checksum", ju64(t.checksum)))
+                }),
+            );
         }
         if self.tiles > 1 {
             for i in 0..self.tiles {
-                topo.add_link(
+                g.add_stream(
                     &format!("bridge{i}"),
-                    i,
-                    (i + 1) % self.tiles,
+                    (i, 0),
+                    ((i + 1) % self.tiles, 0),
                     self.link_latency,
                 );
             }
         }
-        topo
+        g
+    }
+
+    /// Build the shard topology — a ring of [`FabricTile`] LPs — through
+    /// the general partitioner.
+    pub fn topology(&self) -> SimResult<ShardTopology> {
+        let (topo, _) = partition_topology(&Arc::new(self.graph()))?;
+        Ok(topo)
     }
 
     /// Run with the effective shard count (env-overridable).
     pub fn run(&self) -> SimResult<ShardedSocRun> {
-        self.run_with_shards(self.effective_shards())
+        self.run_with_shards(self.effective_shards()?)
     }
 
     /// Run with an explicit shard count, ignoring `DRCF_SHARDS` — this is
@@ -264,7 +292,7 @@ impl ShardedSocSpec {
         let cfg = ShardConfig::to(SimTime::ZERO + self.horizon)
             .shards(shards)
             .hash_slices(self.hash_slices);
-        let report = run_sharded(self.topology(), &cfg)?;
+        let report = run_sharded(self.topology()?, &cfg)?;
         let metrics = self.metrics_of(&report);
         Ok(ShardedSocRun { report, metrics })
     }
@@ -274,16 +302,7 @@ impl ShardedSocSpec {
     /// Only the fields a tile topology actually produces are populated;
     /// fabric-scheduler metrics stay at their defaults.
     fn metrics_of(&self, report: &ShardRunReport) -> RunMetrics {
-        let bus_words: u64 = report
-            .lps
-            .iter()
-            .map(|lp| {
-                lp.probe
-                    .get("received")
-                    .and_then(drcf_kernel::json::ju64_of)
-                    .unwrap_or(0)
-            })
-            .sum();
+        let bus_words: u64 = report.lps.iter().map(|lp| tile_stat(lp, "received")).sum();
         RunMetrics {
             makespan: self.horizon,
             bus_words,
@@ -291,6 +310,18 @@ impl ShardedSocSpec {
             ..RunMetrics::default()
         }
     }
+}
+
+/// Sum a [`FabricTile`] counter across the tile parts of an LP's probe
+/// (the partitioner nests part probes under `"parts"`, keyed by name).
+pub fn tile_stat(lp: &LpReport, key: &str) -> u64 {
+    let Some(parts) = lp.probe.get("parts").and_then(Json::as_obj) else {
+        return 0;
+    };
+    parts
+        .iter()
+        .map(|(_, p)| p.get(key).and_then(drcf_kernel::json::ju64_of).unwrap_or(0))
+        .sum()
 }
 
 /// A completed sharded run: the full per-LP report plus the distilled
@@ -351,17 +382,7 @@ mod tests {
         let a = spec.run_with_shards(1).expect("run a");
         let b = spec.run_with_shards(4).expect("run b");
         assert!(a.report.same_outcome(&b.report));
-        let dropped: u64 = a
-            .report
-            .lps
-            .iter()
-            .map(|lp| {
-                lp.probe
-                    .get("dropped")
-                    .and_then(drcf_kernel::json::ju64_of)
-                    .unwrap_or(0)
-            })
-            .sum();
+        let dropped: u64 = a.report.lps.iter().map(|lp| tile_stat(lp, "dropped")).sum();
         assert!(dropped > 0, "fault window must drop packets");
         let clean = small().run_with_shards(1).expect("clean");
         assert_ne!(
@@ -378,11 +399,20 @@ mod tests {
         let spec = small();
         let saved = std::env::var(SHARDS_ENV).ok();
         std::env::remove_var(SHARDS_ENV);
-        assert_eq!(spec.effective_shards(), spec.shards);
+        assert_eq!(spec.effective_shards().unwrap(), spec.shards);
         std::env::set_var(SHARDS_ENV, "3");
-        assert_eq!(spec.effective_shards(), 3);
+        assert_eq!(spec.effective_shards().unwrap(), 3);
+        // A malformed override is a typed config error, not a silent
+        // fallback to the spec default.
         std::env::set_var(SHARDS_ENV, "not-a-number");
-        assert_eq!(spec.effective_shards(), spec.shards);
+        let err = spec.effective_shards().unwrap_err();
+        assert_eq!(err.kind, SimErrorKind::Validation);
+        assert!(
+            err.to_string().contains(SHARDS_ENV),
+            "error must name the variable: {err}"
+        );
+        std::env::set_var(SHARDS_ENV, "0");
+        assert!(spec.effective_shards().is_err(), "zero shards is malformed");
         match saved {
             Some(v) => std::env::set_var(SHARDS_ENV, v),
             None => std::env::remove_var(SHARDS_ENV),

@@ -8,20 +8,22 @@ commit SHA (from $GITHUB_SHA, or `git rev-parse HEAD` as a fallback) into
 the file as a `"commit"` field so the uploaded artifact is traceable to
 the exact revision, appends a one-line summary of the run to
 `BENCH_history.jsonl` (commit, timestamp, per-bench throughput and the
-live speedups) so the perf trajectory accumulates across PRs instead of
-being overwritten in place, and exits non-zero if:
+live speedups; the file is deduplicated by commit SHA, keeping the latest
+entry per commit, so re-runs of the same revision don't inflate the
+trajectory), and exits non-zero if:
 
 - any `speedup_vs_baseline` entry has dropped below 1.0 — i.e. the
   current tree is slower than the baked per-scenario baseline;
 - the live `warm_fork_speedup` (cold DSE sweep vs. snapshot-forked sweep)
   falls below 1.5x;
-- `sharded_soc_identical` is false — the sharded run diverged from the
-  single-threaded oracle (this is a correctness gate and applies on any
-  hardware);
-- `sharded_soc_speedup` falls below 2.0x *when the machine has at least
-  4 hardware threads* (`hw_threads`). On narrower machines the sharded
-  bench cannot exhibit parallel speedup, so the number is reported
-  informationally and only the bit-identity is enforced.
+- `sharded_soc_identical` or `sharded_e12_identical` is false — a sharded
+  run diverged from its single-threaded oracle (correctness gates; they
+  apply on any hardware);
+- `sharded_soc_speedup` falls below 2.0x, or `sharded_e12_speedup` (the
+  automatically partitioned E12 hierarchical topology) below 1.5x, *when
+  the machine has at least 4 hardware threads* (`hw_threads`). On narrower
+  machines a sharded bench cannot exhibit parallel speedup, so the number
+  is reported informationally and only the bit-identity is enforced.
 
 The baselines live in `crates/bench/src/hotpath.rs`
 (`BASELINE_EVENTS_PER_SEC`); see EXPERIMENTS.md for how they were
@@ -36,11 +38,12 @@ import time
 
 HISTORY = "BENCH_history.jsonl"
 SHARDED_SPEEDUP_FLOOR = 2.0
+SHARDED_E12_SPEEDUP_FLOOR = 1.5
 SHARDED_MIN_HW_THREADS = 4
 
 
-def append_history(bench: dict, sha: str, history_path: str) -> None:
-    """Append one line summarizing this run to the history file."""
+def history_entry(bench: dict, sha: str) -> dict:
+    """The one-line summary of this run for the history file."""
     entry = {
         "commit": sha,
         "timestamp": int(time.time()),
@@ -58,13 +61,75 @@ def append_history(bench: dict, sha: str, history_path: str) -> None:
         "sharded_soc_speedup",
         "sharded_soc_shards",
         "sharded_soc_identical",
+        "sharded_e12_speedup",
+        "sharded_e12_shards",
+        "sharded_e12_identical",
         "hw_threads",
     ):
         if key in bench:
             entry[key] = bench[key]
-    with open(history_path, "a", encoding="utf-8") as f:
-        json.dump(entry, f, separators=(",", ":"), sort_keys=True)
-        f.write("\n")
+    return entry
+
+
+def append_history(bench: dict, sha: str, history_path: str) -> None:
+    """Append this run to the history file, deduplicating by commit SHA.
+
+    The file stays one line per commit: an existing entry for the same SHA
+    is replaced by the new one (latest wins, moved to the end), entries for
+    other commits keep their relative order, and unparseable lines are
+    dropped rather than replayed forever.
+    """
+    kept = []
+    try:
+        with open(history_path, encoding="utf-8") as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    old = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(old, dict) and old.get("commit") != sha:
+                    kept.append(old)
+    except FileNotFoundError:
+        pass
+    kept.append(history_entry(bench, sha))
+    with open(history_path, "w", encoding="utf-8") as f:
+        for entry in kept:
+            json.dump(entry, f, separators=(",", ":"), sort_keys=True)
+            f.write("\n")
+
+
+def gate_sharded(bench: dict, prefix: str, floor: float, failed: list) -> None:
+    """Apply the bit-identity (always) and speedup (wide machines only)
+    gates for one sharded bench, named by its key prefix."""
+    identical = bench.get(f"{prefix}_identical")
+    if identical is not None and not identical:
+        print(
+            f"perf gate: {prefix} DIVERGED from the single-threaded oracle",
+            file=sys.stderr,
+        )
+        failed.append(f"{prefix}_identical")
+
+    speedup = bench.get(f"{prefix}_speedup")
+    if speedup is not None:
+        hw = bench.get("hw_threads", 1)
+        shards = bench.get(f"{prefix}_shards", "?")
+        if hw >= SHARDED_MIN_HW_THREADS:
+            verdict = "ok" if speedup >= floor else "REGRESSION"
+            print(
+                f"perf gate: {prefix} speedup {speedup:.2f}x at {shards} shards "
+                f"(floor {floor}x, {hw} hw threads)  [{verdict}]"
+            )
+            if speedup < floor:
+                failed.append(f"{prefix}_speedup")
+        else:
+            print(
+                f"perf gate: {prefix} speedup {speedup:.2f}x at {shards} shards "
+                f"(informational: only {hw} hw thread(s), floor needs "
+                f">= {SHARDED_MIN_HW_THREADS}; bit-identity still enforced)"
+            )
 
 
 def main() -> int:
@@ -87,7 +152,7 @@ def main() -> int:
 
     history_path = os.path.join(os.path.dirname(path) or ".", HISTORY)
     append_history(bench, sha, history_path)
-    print(f"perf gate: appended run {sha[:12]} to {history_path}")
+    print(f"perf gate: appended run {sha[:12]} to {history_path} (deduped by commit)")
 
     speedups = bench.get("speedup_vs_baseline", {})
     if not speedups:
@@ -113,32 +178,8 @@ def main() -> int:
         if warm < 1.5:
             failed.append("warm_fork_speedup")
 
-    identical = bench.get("sharded_soc_identical")
-    if identical is not None and not identical:
-        print(
-            "perf gate: sharded_soc DIVERGED from the single-threaded oracle",
-            file=sys.stderr,
-        )
-        failed.append("sharded_soc_identical")
-
-    sharded = bench.get("sharded_soc_speedup")
-    if sharded is not None:
-        hw = bench.get("hw_threads", 1)
-        shards = bench.get("sharded_soc_shards", "?")
-        if hw >= SHARDED_MIN_HW_THREADS:
-            verdict = "ok" if sharded >= SHARDED_SPEEDUP_FLOOR else "REGRESSION"
-            print(
-                f"perf gate: sharded_soc speedup {sharded:.2f}x at {shards} shards "
-                f"(floor {SHARDED_SPEEDUP_FLOOR}x, {hw} hw threads)  [{verdict}]"
-            )
-            if sharded < SHARDED_SPEEDUP_FLOOR:
-                failed.append("sharded_soc_speedup")
-        else:
-            print(
-                f"perf gate: sharded_soc speedup {sharded:.2f}x at {shards} shards "
-                f"(informational: only {hw} hw thread(s), floor needs "
-                f">= {SHARDED_MIN_HW_THREADS}; bit-identity still enforced)"
-            )
+    gate_sharded(bench, "sharded_soc", SHARDED_SPEEDUP_FLOOR, failed)
+    gate_sharded(bench, "sharded_e12", SHARDED_E12_SPEEDUP_FLOOR, failed)
 
     if failed:
         print(

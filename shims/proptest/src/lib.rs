@@ -8,7 +8,9 @@
 //!   `#![proptest_config(ProptestConfig::with_cases(n))]` header),
 //! - `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`,
 //! - strategies built from integer ranges, tuples of strategies,
-//!   [`collection::vec`], and [`any`] for primitive types.
+//!   [`collection::vec`], and [`any`] for primitive types,
+//! - combinators: [`strategy::Strategy::prop_map`], [`strategy::Just`] and
+//!   the [`prop_oneof!`] macro (uniform choice, no weights).
 //!
 //! Sampling is **deterministic**: every test function derives its RNG seed
 //! from its own name and the case index, so failures reproduce exactly
@@ -27,6 +29,73 @@ pub mod strategy {
         type Value: std::fmt::Debug;
         /// Sample one value.
         fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map sampled values through `f` (the real crate's `prop_map`).
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            T: std::fmt::Debug,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy adapter returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, T, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        T: std::fmt::Debug,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Strategy producing one fixed value (the real crate's `Just`).
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+    impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (built by [`prop_oneof!`];
+    /// the real crate's weighted unions are not supported).
+    pub struct Union<T>(Vec<Box<dyn Strategy<Value = T>>>);
+
+    impl<T: std::fmt::Debug> Union<T> {
+        /// New union over `alternatives` (must be non-empty).
+        pub fn new(alternatives: Vec<Box<dyn Strategy<Value = T>>>) -> Union<T> {
+            assert!(!alternatives.is_empty(), "empty prop_oneof!");
+            Union(alternatives)
+        }
+    }
+
+    impl<T: std::fmt::Debug> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = (rng.next_u64() % self.0.len() as u64) as usize;
+            self.0[i].generate(rng)
+        }
+    }
+
+    /// Box a strategy for [`Union`] (used by the [`prop_oneof!`] macro).
+    pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(s)
     }
 
     macro_rules! int_range_strategy {
@@ -197,9 +266,11 @@ pub mod test_runner {
 
 pub mod prelude {
     pub use crate::collection;
-    pub use crate::strategy::{Any, Strategy};
+    pub use crate::strategy::{Any, Just, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestRng};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 
     /// Strategy producing arbitrary values of a primitive type.
     pub fn any<T>() -> Any<T>
@@ -226,6 +297,14 @@ macro_rules! prop_assert_eq {
 #[macro_export]
 macro_rules! prop_assert_ne {
     ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Choose uniformly between alternative strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($s)),+])
+    };
 }
 
 /// Skip the current case when its sampled inputs are uninteresting.
@@ -324,6 +403,21 @@ mod tests {
             assert!((2..7).contains(&v.len()));
             assert!(v.iter().all(|&x| x < 5));
         }
+    }
+
+    #[test]
+    fn oneof_map_and_just_compose() {
+        let strat = prop_oneof![Just(0u64), (10u64..20).prop_map(|v| v * 2)];
+        let mut rng = TestRng::deterministic("oneof", 0);
+        let mut saw_zero = false;
+        let mut saw_even = false;
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!(v == 0 || (20..40).contains(&v), "{v}");
+            saw_zero |= v == 0;
+            saw_even |= v >= 20;
+        }
+        assert!(saw_zero && saw_even, "both branches must be sampled");
     }
 
     proptest! {
