@@ -19,7 +19,14 @@
 //!
 //! `--shards N` runs the multi-fabric `sharded_soc` bench topology with N
 //! worker shards against the single-threaded oracle, verifies the reports
-//! are bit-identical, and prints both wall times and the live speedup.
+//! are bit-identical, and prints both wall times, the live speedup, and
+//! the critical-link and parallel-efficiency reports from the run profile.
+//!
+//! `--shards N --trace-out <path>` composes the two: it runs the E12
+//! hierarchical graph with every LP's event recorder enabled, merges all
+//! LPs into one Perfetto-loadable Chrome trace document at `path` (one
+//! process track per LP plus synthesized `round` spans on each kernel
+//! track), and self-validates the written file before exiting.
 
 /// Event dispatch allocates roughly 1.3 small blocks per event (boxed
 /// message payloads plus burst-data vectors); the pooled allocator turns
@@ -130,6 +137,87 @@ fn resume_snapshot(path: &str) {
     );
 }
 
+/// Assert bit-identity between an oracle and a sharded run, printing the
+/// resolved divergence detail (time, link, seq, both hashes) when the
+/// window protocol went wrong instead of a bare slice index.
+fn assert_identical(
+    oracle: &drcf_kernel::prelude::ShardRunReport,
+    par: &drcf_kernel::prelude::ShardRunReport,
+    what: &str,
+) {
+    if oracle.same_outcome(par) {
+        return;
+    }
+    match par.divergence_detail(oracle) {
+        Some(d) => eprintln!("{what} diverged from the oracle: {d}"),
+        None => eprintln!(
+            "{what} diverged from the oracle outside the hashed slices \
+             (rounds {} vs {}, messages {} vs {})",
+            par.rounds, oracle.rounds, par.messages, oracle.messages
+        ),
+    }
+    panic!("{what} diverged from the oracle");
+}
+
+/// Run the E12 graph with per-LP tracing at `shards` shards, verify
+/// bit-identity against the traced oracle, merge every LP into one
+/// Chrome trace document at `path`, and self-validate the written file.
+fn run_sharded_traced(shards: usize, path: &str) {
+    use drcf_bench::e12_hierarchy::run_sharded_e12_with;
+    use drcf_bench::hotpath::{sharded_e12_graph, SHARDED_E12_HORIZON};
+    use drcf_dse::prelude::Json;
+    use drcf_kernel::prelude::{ShardConfig, SimDuration, SimTime};
+
+    let graph = sharded_e12_graph();
+    // A window cap well above the bridges' 10 us lookahead makes the cut
+    // links the strictly-binding horizon term, so the critical-link
+    // report attributes stalls to a named bridge rather than to the cap.
+    let cfg = ShardConfig::to(SimTime::ZERO + SHARDED_E12_HORIZON)
+        .hash_slices(true)
+        .window(SimDuration::us(100))
+        .trace(1 << 16);
+    let oracle = run_sharded_e12_with(&graph, &cfg.clone().shards(1));
+    let par = run_sharded_e12_with(&graph, &cfg.clone().shards(shards));
+    assert_identical(&oracle.report, &par.report, "traced sharded E12 run");
+    drcf_dse::prelude::write_chrome_trace_sharded(&par.report, std::path::Path::new(path))
+        .expect("write merged sharded trace");
+    // Self-check: the merged document must parse, carry one process track
+    // per LP, and contain the synthesized round/horizon spans.
+    let text = std::fs::read_to_string(path).expect("read merged trace back");
+    let doc = Json::parse(&text).expect("merged trace JSON must parse");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    let processes = events
+        .iter()
+        .filter(|e| e.get("name").and_then(Json::as_str) == Some("process_name"))
+        .count();
+    assert_eq!(
+        processes,
+        par.report.lps.len(),
+        "merged trace must carry one process track per LP"
+    );
+    let rounds = events
+        .iter()
+        .filter(|e| {
+            e.get("name").and_then(Json::as_str) == Some("round")
+                && e.get("ph").and_then(Json::as_str) == Some("B")
+        })
+        .count();
+    assert!(rounds > 0, "merged trace has no round spans");
+    println!(
+        "sharded_e12 traced: {} LPs over {} shards, {} events merged into {path} \
+         ({} trace events, {processes} process tracks, {rounds} round spans, JSON validated)",
+        par.report.lps.len(),
+        par.report.shards,
+        par.events(),
+        events.len(),
+    );
+    print!("{}", par.critical_links().render());
+    print!("{}", par.efficiency().render());
+}
+
 fn run_sharded(shards: usize) {
     use std::time::Instant;
     let spec = drcf_bench::hotpath::sharded_soc_spec();
@@ -139,11 +227,7 @@ fn run_sharded(shards: usize) {
     let t1 = Instant::now();
     let par = spec.run_with_shards(shards).expect("sharded run");
     let wall = t1.elapsed().as_secs_f64();
-    assert!(
-        oracle.report.same_outcome(&par.report),
-        "sharded run diverged from the oracle at {:?}",
-        oracle.report.first_divergence(&par.report)
-    );
+    assert_identical(&oracle.report, &par.report, "sharded_soc run");
     println!(
         "sharded_soc: {} tiles, horizon {} ns, {} events",
         spec.tiles,
@@ -160,6 +244,7 @@ fn run_sharded(shards: usize) {
         serial / wall,
         par.report.lps.first().map_or(0, |l| l.slice_hashes.len()),
     );
+    print!("{}", par.report.profile.efficiency().render());
 
     // The same exercise for the automatically partitioned E12 hierarchical
     // topology: an arbitrary SocGraph cut at its bus bridges.
@@ -172,11 +257,7 @@ fn run_sharded(shards: usize) {
     let t3 = Instant::now();
     let par = run_sharded_e12(&graph, shards, SHARDED_E12_HORIZON);
     let wall = t3.elapsed().as_secs_f64();
-    assert!(
-        oracle.report.same_outcome(&par.report),
-        "sharded E12 run diverged from the oracle at {:?}",
-        oracle.report.first_divergence(&par.report)
-    );
+    assert_identical(&oracle.report, &par.report, "sharded E12 run");
     println!(
         "sharded_e12: {} LPs ({} bridges cut), horizon {} ns, {} events, {} context switches",
         par.plan.lp_count(),
@@ -193,6 +274,8 @@ fn run_sharded(shards: usize) {
         par.report.messages,
         serial / wall,
     );
+    print!("{}", par.critical_links().render());
+    print!("{}", par.efficiency().render());
 }
 
 fn main() {
@@ -204,9 +287,21 @@ fn main() {
         eprintln!("wrote BENCH_kernel.json");
         return;
     }
+    let shards_arg = args.iter().position(|a| a == "--shards").map(|i| {
+        args.get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .expect("--shards needs a shard count")
+    });
     if let Some(i) = args.iter().position(|a| a == "--trace-out") {
         let path = args.get(i + 1).expect("--trace-out needs a path");
-        write_trace(path);
+        // With --shards the two flags compose: trace every LP of the
+        // sharded E12 run and merge them into one document (previously
+        // --shards was silently ignored here and the single-simulator
+        // wireless trace was written instead).
+        match shards_arg {
+            Some(shards) => run_sharded_traced(shards, path),
+            None => write_trace(path),
+        }
         return;
     }
     if let Some(i) = args.iter().position(|a| a == "--snapshot-out") {
@@ -224,11 +319,7 @@ fn main() {
         resume_snapshot(path);
         return;
     }
-    if let Some(i) = args.iter().position(|a| a == "--shards") {
-        let shards: usize = args
-            .get(i + 1)
-            .and_then(|v| v.parse().ok())
-            .expect("--shards needs a shard count");
+    if let Some(shards) = shards_arg {
         run_sharded(shards);
         return;
     }

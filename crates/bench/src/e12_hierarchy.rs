@@ -418,9 +418,16 @@ pub fn run_sharded_e12(
     let cfg = ShardConfig::to(SimTime::ZERO + horizon)
         .shards(shards)
         .hash_slices(true);
-    match run_partitioned(graph, &cfg) {
+    run_sharded_e12_with(graph, &cfg)
+}
+
+/// Run the sharded E12 graph under an explicit [`ShardConfig`] — the
+/// hook the experiments CLI uses to enable per-LP tracing
+/// (`ShardConfig::trace`) on top of the standard hashing setup.
+pub fn run_sharded_e12_with(graph: &Arc<SocGraph>, cfg: &ShardConfig) -> PartitionedRun {
+    match run_partitioned(graph, cfg) {
         Ok(r) => r,
-        Err(e) => panic!("sharded E12 run with {shards} shards failed: {e:?}"),
+        Err(e) => panic!("sharded E12 run with {} shards failed: {e:?}", cfg.shards),
     }
 }
 

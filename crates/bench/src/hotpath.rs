@@ -513,8 +513,15 @@ fn time_sharded(
 /// measurement (events = total dispatched, seconds = sharded wall), the
 /// live serial-vs-sharded wall speedup, the shard count, and whether the
 /// two reports — per-LP metrics, probes, and per-window state hashes —
-/// matched bit-for-bit.
-pub fn sharded_soc() -> (HotpathMeasurement, f64, usize, bool) {
+/// matched bit-for-bit, and the sharded run itself (for its
+/// parallel-efficiency profile).
+pub fn sharded_soc() -> (
+    HotpathMeasurement,
+    f64,
+    usize,
+    bool,
+    drcf_soc::prelude::ShardedSocRun,
+) {
     const TIMING_REPS: usize = 2;
     let spec = sharded_soc_spec();
     let (oracle, serial_secs) = time_sharded(&spec, 1, TIMING_REPS);
@@ -530,7 +537,13 @@ pub fn sharded_soc() -> (HotpathMeasurement, f64, usize, bool) {
          events and per-window state hashes asserted bit-identical to the single-threaded \
          oracle; speedup is serial wall over sharded wall",
     );
-    (m, serial_secs / shard_secs, SHARDED_SOC_SHARDS, identical)
+    (
+        m,
+        serial_secs / shard_secs,
+        SHARDED_SOC_SHARDS,
+        identical,
+        sharded,
+    )
 }
 
 /// Shard count the `sharded_e12` bench targets (the partitioner cuts the
@@ -584,8 +597,15 @@ fn time_sharded_e12(
 /// at its bus bridges by the automatic partitioner, run single-threaded
 /// (the oracle) and with [`SHARDED_E12_SHARDS`] worker shards. Returns the
 /// sharded measurement, the live serial-vs-sharded wall speedup, the shard
-/// count, and whether the reports matched bit-for-bit.
-pub fn sharded_e12() -> (HotpathMeasurement, f64, usize, bool) {
+/// count, whether the reports matched bit-for-bit, and the sharded run
+/// itself (for its critical-link and parallel-efficiency reports).
+pub fn sharded_e12() -> (
+    HotpathMeasurement,
+    f64,
+    usize,
+    bool,
+    drcf_soc::prelude::PartitionedRun,
+) {
     const TIMING_REPS: usize = 2;
     let graph = sharded_e12_graph();
     let (oracle, serial_secs) = time_sharded_e12(&graph, 1, TIMING_REPS);
@@ -604,7 +624,13 @@ pub fn sharded_e12() -> (HotpathMeasurement, f64, usize, bool) {
          events and per-window state hashes asserted bit-identical to the single-threaded \
          oracle; speedup is serial wall over sharded wall",
     );
-    (m, serial_secs / shard_secs, SHARDED_E12_SHARDS, identical)
+    (
+        m,
+        serial_secs / shard_secs,
+        SHARDED_E12_SHARDS,
+        identical,
+        sharded,
+    )
 }
 
 /// Run the full hot-path suite with default sizes. Returns the
@@ -644,10 +670,18 @@ pub const BASELINE_EVENTS_PER_SEC: &[(&str, f64)] = &[
 /// Render the whole suite (plus baseline and speedups) as JSON.
 pub fn bench_json() -> Json {
     let (mut current, storm_on_vs_off, warm_fork_speedup) = run_suite();
-    let (sharded, sharded_speedup, sharded_shards, sharded_identical) = sharded_soc();
+    let (sharded, sharded_speedup, sharded_shards, sharded_identical, soc_run) = sharded_soc();
     current.push(sharded);
-    let (e12, e12_speedup, e12_shards, e12_identical) = sharded_e12();
+    let (e12, e12_speedup, e12_shards, e12_identical, e12_run) = sharded_e12();
     current.push(e12);
+    let eff_json = |eff: &drcf_kernel::prelude::EfficiencyReport| {
+        Json::obj()
+            .with("parallel_efficiency", eff.parallel_efficiency.into())
+            .with("load_imbalance", eff.load_imbalance.into())
+    };
+    let soc_eff = soc_run.report.profile.efficiency();
+    let e12_eff = e12_run.efficiency();
+    let e12_cl = e12_run.critical_links();
     let mut baseline_obj = Json::obj();
     for (name, eps) in BASELINE_EVENTS_PER_SEC {
         let _ = baseline_obj.set(name, (*eps).into());
@@ -679,6 +713,9 @@ pub fn bench_json() -> Json {
         .with("sharded_e12_speedup", e12_speedup.into())
         .with("sharded_e12_shards", (e12_shards as u64).into())
         .with("sharded_e12_identical", Json::Bool(e12_identical))
+        .with("sharded_soc_efficiency", eff_json(&soc_eff))
+        .with("sharded_e12_efficiency", eff_json(&e12_eff))
+        .with("sharded_e12_critical_link", e12_cl.json())
         .with("hw_threads", (hw_threads as u64).into())
 }
 

@@ -129,6 +129,10 @@ pub struct BridgeUpstream {
     pub forwarded: u64,
     /// Responses returned upstream.
     pub returned: u64,
+    /// Payload words shipped on the request link.
+    pub forwarded_words: u64,
+    /// Payload words received on the response link.
+    pub returned_words: u64,
 }
 
 impl BridgeUpstream {
@@ -142,6 +146,8 @@ impl BridgeUpstream {
             crossing: Vec::new(),
             forwarded: 0,
             returned: 0,
+            forwarded_words: 0,
+            returned_words: 0,
         }
     }
 
@@ -170,13 +176,9 @@ impl BridgeUpstream {
         // locally-quiescent LP defers its deadlock verdict to the
         // coordinator instead of failing while the transaction is remote.
         api.obligation_begin();
-        tx.send(
-            api,
-            LinkMsg {
-                tag: corr,
-                words: encode_request(&access.req),
-            },
-        );
+        let words = encode_request(&access.req);
+        self.forwarded_words += words.len() as u64;
+        tx.send(api, LinkMsg { tag: corr, words });
         self.forwarded += 1;
     }
 
@@ -192,6 +194,7 @@ impl BridgeUpstream {
             return;
         };
         let c = self.crossing.remove(pos);
+        self.returned_words += pkt.msg.words.len() as u64;
         let Some((status, op, addr, data)) = decode_response(&pkt.msg.words) else {
             api.raise(
                 SimErrorKind::Decode,
@@ -244,7 +247,9 @@ impl Component for BridgeUpstream {
                 ),
             )
             .with("forwarded", ju64(self.forwarded))
-            .with("returned", ju64(self.returned)))
+            .with("returned", ju64(self.returned))
+            .with("forwarded_words", ju64(self.forwarded_words))
+            .with("returned_words", ju64(self.returned_words)))
     }
 
     fn restore(&mut self, state: &Json) -> SimResult<()> {
@@ -260,6 +265,8 @@ impl Component for BridgeUpstream {
         }
         self.forwarded = snap::u64_field(state, "forwarded")?;
         self.returned = snap::u64_field(state, "returned")?;
+        self.forwarded_words = snap::u64_field(state, "forwarded_words")?;
+        self.returned_words = snap::u64_field(state, "returned_words")?;
         Ok(())
     }
 
@@ -297,6 +304,10 @@ pub struct BridgeDownstream {
     pub replayed: u64,
     /// Responses shipped back across the cut.
     pub returned: u64,
+    /// Payload words received on the request link.
+    pub replayed_words: u64,
+    /// Payload words shipped on the response link.
+    pub returned_words: u64,
 }
 
 impl BridgeDownstream {
@@ -310,6 +321,8 @@ impl BridgeDownstream {
             in_flight: Vec::new(),
             replayed: 0,
             returned: 0,
+            replayed_words: 0,
+            returned_words: 0,
         }
     }
 
@@ -319,6 +332,7 @@ impl BridgeDownstream {
     }
 
     fn on_request(&mut self, api: &mut Api<'_>, pkt: LinkPacket) {
+        self.replayed_words += pkt.msg.words.len() as u64;
         let Some((op, addr, burst, data)) = decode_request(&pkt.msg.words) else {
             api.raise(
                 SimErrorKind::Decode,
@@ -350,13 +364,9 @@ impl BridgeDownstream {
             );
             return;
         };
-        tx.send(
-            api,
-            LinkMsg {
-                tag: corr,
-                words: encode_response(&resp),
-            },
-        );
+        let words = encode_response(&resp);
+        self.returned_words += words.len() as u64;
+        tx.send(api, LinkMsg { tag: corr, words });
         self.returned += 1;
     }
 }
@@ -375,7 +385,9 @@ impl Component for BridgeDownstream {
                 ),
             )
             .with("replayed", ju64(self.replayed))
-            .with("returned", ju64(self.returned)))
+            .with("returned", ju64(self.returned))
+            .with("replayed_words", ju64(self.replayed_words))
+            .with("returned_words", ju64(self.returned_words)))
     }
 
     fn restore(&mut self, state: &Json) -> SimResult<()> {
@@ -397,6 +409,8 @@ impl Component for BridgeDownstream {
         }
         self.replayed = snap::u64_field(state, "replayed")?;
         self.returned = snap::u64_field(state, "returned")?;
+        self.replayed_words = snap::u64_field(state, "replayed_words")?;
+        self.returned_words = snap::u64_field(state, "returned_words")?;
         Ok(())
     }
 

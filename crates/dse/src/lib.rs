@@ -34,6 +34,7 @@ pub mod prelude {
     };
     pub use crate::space::{cartesian2, cartesian3, linear_steps, pow2_steps};
     pub use crate::trace::{
-        chrome_trace, chrome_trace_events, jsonl, jsonl_events, write_chrome_trace, write_jsonl,
+        chrome_trace, chrome_trace_events, chrome_trace_sharded, jsonl, jsonl_events,
+        jsonl_sharded, write_chrome_trace, write_chrome_trace_sharded, write_jsonl,
     };
 }

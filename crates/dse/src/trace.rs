@@ -19,7 +19,10 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
-use drcf_kernel::prelude::{ComponentId, SimEvent, Simulator, TraceEventKind, KERNEL_SOURCE};
+use drcf_kernel::prelude::{
+    ComponentId, LpReport, ShardRunReport, SimError, SimErrorKind, SimEvent, SimResult, Simulator,
+    TraceEventKind, KERNEL_SOURCE,
+};
 
 use crate::json::Json;
 
@@ -179,6 +182,231 @@ pub fn write_jsonl(sim: &Simulator, path: &Path) -> io::Result<()> {
     fs::write(path, jsonl(sim))
 }
 
+// ---------------------------------------------------------------------------
+// Sharded trace merge: one multi-process document from N harvested LPs
+// ---------------------------------------------------------------------------
+
+/// Name resolver backed by an [`LpReport`]'s harvested component table.
+fn lp_resolver(lp: &LpReport) -> impl Fn(ComponentId) -> Option<String> + '_ {
+    move |id| lp.component_names.get(id).cloned()
+}
+
+/// Refuse to merge a run whose recorders were never enabled — the trace
+/// would silently be empty, which is exactly the failure mode this layer
+/// exists to remove.
+fn check_traced(report: &ShardRunReport) -> SimResult<()> {
+    if report.lps.iter().all(|l| l.trace_capacity == 0) {
+        return Err(SimError::new(
+            SimErrorKind::Validation,
+            "sharded tracing is off: no LP recorder was enabled — set \
+             ShardConfig::trace(capacity) (or the spec's trace_capacity) before the run",
+        ));
+    }
+    Ok(())
+}
+
+/// Merge a sharded run into one Chrome trace-event document: one Perfetto
+/// *process* per LP (`pid = lp + 1`, named after the LP), each with its
+/// own `(component, lane)` thread tracks, plus synthesized window-protocol
+/// `round` spans on every LP's `kernel` track (`B` at the window's start,
+/// `E` at its horizon, with the bounding min-term, and envelope counts in
+/// `args`).
+///
+/// The document contains only simulated-time data — harvested
+/// [`SimEvent`]s and the profile's deterministic window records — so the
+/// merge of the same topology is byte-identical at any shard count.
+/// Errors if no LP had its recorder enabled.
+pub fn chrome_trace_sharded(report: &ShardRunReport) -> SimResult<Json> {
+    check_traced(report)?;
+    let mut out: Vec<Json> = Vec::new();
+    for (lp, rep) in report.lps.iter().enumerate() {
+        let pid = (lp + 1) as f64;
+        out.push(
+            Json::obj()
+                .with("name", Json::Str("process_name".into()))
+                .with("ph", Json::Str("M".into()))
+                .with("pid", Json::Num(pid))
+                .with("tid", Json::Num(0.0))
+                .with(
+                    "args",
+                    Json::obj().with("name", Json::Str(rep.name.clone())),
+                ),
+        );
+        let resolve = lp_resolver(rep);
+        // Register the kernel track first so the synthesized round spans
+        // and the kernel's own counters share tid 0 on every process.
+        let mut tracks: Vec<(ComponentId, u8)> = vec![(KERNEL_SOURCE, 0)];
+        out.push(
+            Json::obj()
+                .with("name", Json::Str("thread_name".into()))
+                .with("ph", Json::Str("M".into()))
+                .with("pid", Json::Num(pid))
+                .with("tid", Json::Num(0.0))
+                .with("args", Json::obj().with("name", Json::Str("kernel".into()))),
+        );
+        for e in &rep.trace_events {
+            let tid = match tracks.iter().position(|&t| t == (e.comp, e.lane)) {
+                Some(i) => i,
+                None => {
+                    tracks.push((e.comp, e.lane));
+                    let tid = tracks.len() - 1;
+                    out.push(
+                        Json::obj()
+                            .with("name", Json::Str("thread_name".into()))
+                            .with("ph", Json::Str("M".into()))
+                            .with("pid", Json::Num(pid))
+                            .with("tid", Json::Num(tid as f64))
+                            .with(
+                                "args",
+                                Json::obj()
+                                    .with("name", Json::Str(track_name(e.comp, e.lane, &resolve))),
+                            ),
+                    );
+                    tid
+                }
+            };
+            let base = Json::obj()
+                .with("name", Json::Str(e.name.to_string()))
+                .with("cat", Json::Str(e.cat.as_str().to_string()))
+                .with("ts", Json::Num(ts_us(e.at.as_fs())))
+                .with("pid", Json::Num(pid))
+                .with("tid", Json::Num(tid as f64));
+            let ev = match e.kind {
+                TraceEventKind::Begin => base
+                    .with("ph", Json::Str("B".into()))
+                    .with("args", Json::obj().with("value", Json::Num(e.value as f64))),
+                TraceEventKind::End => base
+                    .with("ph", Json::Str("E".into()))
+                    .with("args", Json::obj().with("value", Json::Num(e.value as f64))),
+                TraceEventKind::Instant => base
+                    .with("ph", Json::Str("i".into()))
+                    .with("s", Json::Str("t".into()))
+                    .with("args", Json::obj().with("value", Json::Num(e.value as f64))),
+                TraceEventKind::Counter => {
+                    let series = format!("{}.{}", source_name(e.comp, &resolve), e.name);
+                    Json::obj()
+                        .with("name", Json::Str(series))
+                        .with("cat", Json::Str(e.cat.as_str().to_string()))
+                        .with("ts", Json::Num(ts_us(e.at.as_fs())))
+                        .with("pid", Json::Num(pid))
+                        .with("tid", Json::Num(tid as f64))
+                        .with("ph", Json::Str("C".into()))
+                        .with("args", Json::obj().with("value", Json::Num(e.value as f64)))
+                }
+            };
+            out.push(ev);
+        }
+        // Synthesized window-protocol spans on the kernel track (tid 0).
+        // The kernel itself emits only counters and instants there, so the
+        // added B/E pairs cannot unbalance the track. Only deterministic
+        // simulated-time fields go into args — never wall-clock ones.
+        if let Some(prof) = report.profile.lps.get(lp) {
+            for w in &prof.windows {
+                let bound = match w.bound {
+                    drcf_kernel::prelude::HorizonBound::End => "end".to_string(),
+                    drcf_kernel::prelude::HorizonBound::Window => "window".to_string(),
+                    drcf_kernel::prelude::HorizonBound::Link(l) => report
+                        .profile
+                        .links
+                        .get(l)
+                        .map(|li| format!("link:{}", li.name))
+                        .unwrap_or_else(|| format!("link:{l}")),
+                };
+                out.push(
+                    Json::obj()
+                        .with("name", Json::Str("round".into()))
+                        .with("cat", Json::Str("kernel".into()))
+                        .with("ts", Json::Num(ts_us(w.start_fs)))
+                        .with("pid", Json::Num(pid))
+                        .with("tid", Json::Num(0.0))
+                        .with("ph", Json::Str("B".into()))
+                        .with(
+                            "args",
+                            Json::obj()
+                                .with("round", Json::Num(w.round as f64))
+                                .with("bound", Json::Str(bound))
+                                .with("sent", Json::Num(w.sent as f64))
+                                .with("received", Json::Num(w.received as f64)),
+                        ),
+                );
+                out.push(
+                    Json::obj()
+                        .with("name", Json::Str("round".into()))
+                        .with("cat", Json::Str("kernel".into()))
+                        .with("ts", Json::Num(ts_us(w.horizon_fs)))
+                        .with("pid", Json::Num(pid))
+                        .with("tid", Json::Num(0.0))
+                        .with("ph", Json::Str("E".into()))
+                        .with("args", Json::obj()),
+                );
+            }
+        }
+    }
+    Ok(Json::obj()
+        .with("traceEvents", Json::Arr(out))
+        .with("displayTimeUnit", Json::Str("ns".into())))
+}
+
+/// Merge a sharded run into JSONL: every harvested event as one line
+/// (tagged with its LP), then one `kind:"round"` line per LP window.
+/// Deterministic under the same rules as [`chrome_trace_sharded`].
+pub fn jsonl_sharded(report: &ShardRunReport) -> SimResult<String> {
+    check_traced(report)?;
+    let mut out = String::new();
+    for (lp, rep) in report.lps.iter().enumerate() {
+        let resolve = lp_resolver(rep);
+        for e in &rep.trace_events {
+            let kind = match e.kind {
+                TraceEventKind::Begin => "begin",
+                TraceEventKind::End => "end",
+                TraceEventKind::Instant => "instant",
+                TraceEventKind::Counter => "counter",
+            };
+            let line = Json::obj()
+                .with("lp", Json::Num(lp as f64))
+                .with("lp_name", Json::Str(rep.name.clone()))
+                .with("ts_fs", Json::Num(e.at.as_fs() as f64))
+                .with("delta", Json::Num(e.delta as f64))
+                .with("comp", Json::Str(source_name(e.comp, &resolve)))
+                .with("lane", Json::Num(e.lane as f64))
+                .with("cat", Json::Str(e.cat.as_str().to_string()))
+                .with("name", Json::Str(e.name.to_string()))
+                .with("kind", Json::Str(kind.into()))
+                .with("value", Json::Num(e.value as f64));
+            let _ = writeln!(out, "{line}");
+        }
+    }
+    for prof in &report.profile.lps {
+        for w in &prof.windows {
+            let line = Json::obj()
+                .with("lp", Json::Num(prof.lp as f64))
+                .with("lp_name", Json::Str(prof.name.clone()))
+                .with("kind", Json::Str("round".into()))
+                .with("round", Json::Num(w.round as f64))
+                .with("start_fs", Json::Num(w.start_fs as f64))
+                .with("horizon_fs", Json::Num(w.horizon_fs as f64))
+                .with("bound", Json::Str(w.bound.label().into()))
+                .with("sent", Json::Num(w.sent as f64))
+                .with("received", Json::Num(w.received as f64));
+            let _ = writeln!(out, "{line}");
+        }
+    }
+    Ok(out)
+}
+
+/// Write the merged Chrome trace of a sharded run to `path`. Errors with
+/// [`SimErrorKind::Validation`] if tracing was off, and surfaces write
+/// failures as [`SimErrorKind::Internal`].
+pub fn write_chrome_trace_sharded(report: &ShardRunReport, path: &Path) -> SimResult<()> {
+    let doc = chrome_trace_sharded(report)?;
+    fs::write(path, doc.to_string_pretty()).map_err(|e| {
+        SimError::new(
+            SimErrorKind::Internal,
+            format!("writing merged trace {}: {e}", path.display()),
+        )
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -293,6 +521,111 @@ mod tests {
         let first = Json::parse(lines[0]).unwrap();
         assert_eq!(first.get("kind").and_then(Json::as_str), Some("instant"));
         assert_eq!(first.get("ts_fs").and_then(Json::as_u64), Some(500));
+    }
+
+    #[test]
+    fn sharded_merge_refuses_untraced_runs_and_builds_process_tracks() {
+        use drcf_kernel::prelude::{KernelMetrics, LpWindow, ShardProfile};
+
+        let lp_report = |name: &str, traced: bool| LpReport {
+            name: name.to_string(),
+            final_time_fs: 2_000_000,
+            metrics: KernelMetrics::default(),
+            slice_hashes: Vec::new(),
+            state_hash: 0,
+            obligations: 0,
+            probe: Json::Null,
+            trace_events: if traced {
+                vec![
+                    ev(0, 0, 0, "work", TraceEventKind::Begin, 1),
+                    ev(1_000_000, 0, 0, "work", TraceEventKind::End, 1),
+                ]
+            } else {
+                Vec::new()
+            },
+            component_names: vec!["node".to_string()],
+            trace_capacity: if traced { 16 } else { 0 },
+            trace_emitted: if traced { 2 } else { 0 },
+            trace_dropped: 0,
+        };
+        let mut report = ShardRunReport {
+            lps: vec![lp_report("lp0", false), lp_report("lp1", false)],
+            rounds: 1,
+            messages: 0,
+            in_flight_at_end: 0,
+            shards: 1,
+            wall_seconds: 0.0,
+            profile: ShardProfile::default(),
+        };
+        let err = chrome_trace_sharded(&report).expect_err("tracing off must error");
+        assert!(err.message.contains("tracing is off"), "{err:?}");
+        assert!(jsonl_sharded(&report).is_err());
+
+        report.lps = vec![lp_report("lp0", true), lp_report("lp1", true)];
+        report.profile.lps = (0..2)
+            .map(|lp| drcf_kernel::prelude::LpProfile {
+                lp,
+                name: format!("lp{lp}"),
+                weight: 1,
+                windows: vec![LpWindow {
+                    round: 0,
+                    start_fs: 0,
+                    horizon_fs: 2_000_000,
+                    bound: drcf_kernel::prelude::HorizonBound::End,
+                    sent: 0,
+                    received: 0,
+                    last_inject: None,
+                    busy_ns: 5,
+                    blocked_ns: 7,
+                }],
+                busy_ns: 5,
+                blocked_ns: 7,
+                sent: 0,
+                received: 0,
+            })
+            .collect();
+        let doc = chrome_trace_sharded(&report).expect("merge");
+        let arr = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        // One process per LP (pids 1 and 2), with a kernel track each.
+        let process_names: Vec<&str> = arr
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("process_name"))
+            .map(|e| {
+                e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(process_names, vec!["lp0", "lp1"]);
+        // Per (pid, tid): balanced B/E counts, including the round spans.
+        for pid in [1.0, 2.0] {
+            let count = |ph: &str| {
+                arr.iter()
+                    .filter(|e| {
+                        e.get("pid").and_then(Json::as_f64) == Some(pid)
+                            && e.get("ph").and_then(Json::as_str) == Some(ph)
+                    })
+                    .count()
+            };
+            assert_eq!(count("B"), count("E"), "pid {pid} spans balanced");
+            assert_eq!(count("B"), 2, "work span + round span");
+        }
+        // Round spans carry only simulated-time args.
+        let round_b = arr
+            .iter()
+            .find(|e| {
+                e.get("name").and_then(Json::as_str) == Some("round")
+                    && e.get("ph").and_then(Json::as_str) == Some("B")
+            })
+            .unwrap();
+        let args = round_b.get("args").unwrap();
+        assert_eq!(args.get("bound").and_then(Json::as_str), Some("end"));
+        assert!(args.get("busy_ns").is_none(), "no wall-clock data");
+
+        let lines = jsonl_sharded(&report).expect("jsonl");
+        let round_lines = lines.lines().filter(|l| l.contains("\"round\"")).count();
+        assert_eq!(round_lines, 2);
     }
 
     #[test]

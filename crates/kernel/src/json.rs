@@ -484,14 +484,18 @@ impl Parser<'_> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar.
-                    let rest = &self.bytes[self.pos..];
-                    let text = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
-                    let Some(c) = text.chars().next() else {
-                        return Err(self.err("unterminated string"));
-                    };
-                    s.push(c);
-                    self.pos += c.len_utf8();
+                    // Consume a maximal run of unescaped bytes in one go.
+                    // Validating only the run keeps parsing linear — a
+                    // per-character `from_utf8` of the whole tail made
+                    // multi-megabyte documents (merged sharded traces)
+                    // quadratic.
+                    let start = self.pos;
+                    while matches!(self.peek(), Some(c) if c != b'"' && c != b'\\') {
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    s.push_str(run);
                 }
             }
         }

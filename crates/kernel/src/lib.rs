@@ -90,8 +90,10 @@ pub mod prelude {
     pub use crate::process::{Script, ScriptBuilder, Step};
     pub use crate::report::Severity;
     pub use crate::shard::{
-        partition_lps, run_sharded, LinkEndpoint, LinkInfo, LinkMsg, LinkPacket, LinkTx, LpIo,
-        LpReport, ShardConfig, ShardRunReport, ShardTopology, DEFAULT_LINK_CAPACITY,
+        partition_lps, run_sharded, DivergenceDetail, EfficiencyReport, HorizonBound, LinkEndpoint,
+        LinkInfo, LinkMsg, LinkPacket, LinkProfile, LinkTx, LpEfficiency, LpIo, LpProfile,
+        LpReport, LpWindow, ShardConfig, ShardProfile, ShardRunReport, ShardTopology,
+        DEFAULT_LINK_CAPACITY,
     };
     pub use crate::signal::SignalRef;
     pub use crate::snapshot::{PayloadCodec, Snapshot, Snapshotable};

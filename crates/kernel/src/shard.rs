@@ -363,6 +363,10 @@ pub struct ShardConfig {
     /// Explicit LP→shard assignment; defaults to [`partition_lps`] over the
     /// LP weights.
     pub assign: Option<Vec<usize>>,
+    /// Structured-trace ring capacity per LP ([`crate::observe`]); `None`
+    /// leaves every LP recorder disabled. Recorded events are harvested
+    /// into [`LpReport::trace_events`] at the end of the run.
+    pub trace_capacity: Option<usize>,
 }
 
 impl ShardConfig {
@@ -374,6 +378,7 @@ impl ShardConfig {
             window: None,
             hash_slices: false,
             assign: None,
+            trace_capacity: None,
         }
     }
 
@@ -393,6 +398,396 @@ impl ShardConfig {
     pub fn hash_slices(mut self, on: bool) -> ShardConfig {
         self.hash_slices = on;
         self
+    }
+
+    /// Enable per-LP structured tracing with the given ring capacity.
+    pub fn trace(mut self, capacity: usize) -> ShardConfig {
+        self.trace_capacity = Some(capacity);
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shard profile: per-round observability of the window protocol
+// ---------------------------------------------------------------------------
+
+/// Which term of the horizon minimum bound an LP's window:
+/// `horizon(i) = min(end, committed(i)+window, min_l committed(src(l))+lat(l))`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HorizonBound {
+    /// The global end horizon — the LP is finishing, not stalled.
+    End,
+    /// The per-round window cap — the LP advanced as far as allowed.
+    Window,
+    /// An incoming link's `committed(src) + latency` — the LP is waiting
+    /// on its neighbor; this link's lookahead is the bottleneck.
+    Link(usize),
+}
+
+impl HorizonBound {
+    /// Stable lowercase label (`"end"`, `"window"`, `"link"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            HorizonBound::End => "end",
+            HorizonBound::Window => "window",
+            HorizonBound::Link(_) => "link",
+        }
+    }
+}
+
+/// One LP's record of one synchronization round. The simulated-time
+/// fields (`start_fs`, `horizon_fs`, `bound`, `sent`, `received`,
+/// `last_inject`) are deterministic — identical at any shard count; the
+/// wall-clock fields (`busy_ns`, `blocked_ns`) describe this execution
+/// only.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpWindow {
+    /// Round index (0-based).
+    pub round: u64,
+    /// Committed time entering the round, femtoseconds.
+    pub start_fs: u64,
+    /// Committed time reached (the horizon), femtoseconds.
+    pub horizon_fs: u64,
+    /// Which min-term bound the horizon.
+    pub bound: HorizonBound,
+    /// Cross-shard messages this LP sent during the round.
+    pub sent: u64,
+    /// Envelopes injected into this LP at the start of the round.
+    pub received: u64,
+    /// `(link, seq)` of the last envelope injected this round — the
+    /// newest cross-shard influence on this LP's state, which is what a
+    /// divergence report wants to name.
+    pub last_inject: Option<(usize, u64)>,
+    /// Wall nanoseconds spent inside `run_until` (simulating).
+    pub busy_ns: u64,
+    /// Wall nanoseconds the round barrier outlasted this LP's work — an
+    /// upper bound on barrier stall (includes coordinator merge time).
+    pub blocked_ns: u64,
+}
+
+/// Per-LP profile totals plus the per-round records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpProfile {
+    /// LP index.
+    pub lp: usize,
+    /// LP name.
+    pub name: String,
+    /// Load weight the partitioner balanced with.
+    pub weight: u64,
+    /// Per-round records, in round order.
+    pub windows: Vec<LpWindow>,
+    /// Total wall nanoseconds simulating.
+    pub busy_ns: u64,
+    /// Total wall nanoseconds blocked at round barriers.
+    pub blocked_ns: u64,
+    /// Total cross-shard messages sent.
+    pub sent: u64,
+    /// Total envelopes received.
+    pub received: u64,
+}
+
+impl LpProfile {
+    /// Fraction of this LP's wall time spent simulating (0 when no wall
+    /// time was recorded).
+    pub fn busy_fraction(&self) -> f64 {
+        let total = self.busy_ns + self.blocked_ns;
+        if total == 0 {
+            0.0
+        } else {
+            self.busy_ns as f64 / total as f64
+        }
+    }
+
+    /// Fraction of this LP's wall time spent blocked at round barriers.
+    pub fn blocked_fraction(&self) -> f64 {
+        let total = self.busy_ns + self.blocked_ns;
+        if total == 0 {
+            0.0
+        } else {
+            self.blocked_ns as f64 / total as f64
+        }
+    }
+}
+
+/// Per-link profile totals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkProfile {
+    /// Link index in the topology's link table.
+    pub link: usize,
+    /// Link name.
+    pub name: String,
+    /// Source LP.
+    pub from: usize,
+    /// Destination LP.
+    pub to: usize,
+    /// Declared minimum latency (the lookahead), femtoseconds.
+    pub min_latency_fs: u64,
+    /// Messages carried over the whole run.
+    pub messages: u64,
+    /// Merge-queue high water: the most messages this link carried in any
+    /// single window (compare against [`LinkInfo::capacity`]).
+    pub peak_window_messages: u64,
+    /// Rounds in which this link's `committed(src)+latency` term bound
+    /// some LP's horizon — how often its lookahead was the bottleneck.
+    pub bound_windows: u64,
+}
+
+/// Whole-run profile of the window protocol, assembled by the
+/// coordinator. Carried on [`ShardRunReport::profile`]; NOT part of
+/// [`ShardRunReport::same_outcome`], because the wall-clock fields differ
+/// between executions (the simulated-time fields do not).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ShardProfile {
+    /// Per-LP profiles, indexed by LP.
+    pub lps: Vec<LpProfile>,
+    /// Per-link profiles, indexed by link.
+    pub links: Vec<LinkProfile>,
+    /// Synchronization rounds executed.
+    pub rounds: u64,
+    /// Rounds that moved zero cross-shard messages — pure barrier
+    /// overhead where the coordinator only re-checked global quiescence.
+    pub quiescent_rounds: u64,
+    /// Rounds at whose barrier some LP still held open obligations, so
+    /// its local deadlock verdict was deferred to the coordinator's
+    /// global end-of-run check.
+    pub deadlock_deferrals: u64,
+}
+
+impl ShardProfile {
+    /// The link whose lookahead bound LP horizons most often — the
+    /// critical link limiting achievable speedup. Ties resolve to the
+    /// lower link index; `None` when no link ever bound a horizon.
+    pub fn critical_link(&self) -> Option<&LinkProfile> {
+        self.links
+            .iter()
+            .filter(|l| l.bound_windows > 0)
+            .max_by(|a, b| {
+                a.bound_windows
+                    .cmp(&b.bound_windows)
+                    .then(b.link.cmp(&a.link))
+            })
+    }
+
+    /// Distill the parallel-efficiency report from the per-LP totals.
+    pub fn efficiency(&self) -> EfficiencyReport {
+        EfficiencyReport::from_lps(&self.lps)
+    }
+
+    /// JSON summary (totals only; the per-window records are exported by
+    /// the merged trace instead).
+    pub fn json(&self) -> Json {
+        let lps = self
+            .lps
+            .iter()
+            .map(|l| {
+                Json::obj()
+                    .with("lp", ju64(l.lp as u64))
+                    .with("name", Json::from(l.name.as_str()))
+                    .with("weight", ju64(l.weight))
+                    .with("busy_ns", ju64(l.busy_ns))
+                    .with("blocked_ns", ju64(l.blocked_ns))
+                    .with("sent", ju64(l.sent))
+                    .with("received", ju64(l.received))
+            })
+            .collect();
+        let links = self
+            .links
+            .iter()
+            .map(|l| {
+                Json::obj()
+                    .with("link", ju64(l.link as u64))
+                    .with("name", Json::from(l.name.as_str()))
+                    .with("from", ju64(l.from as u64))
+                    .with("to", ju64(l.to as u64))
+                    .with("min_latency_fs", ju64(l.min_latency_fs))
+                    .with("messages", ju64(l.messages))
+                    .with("peak_window_messages", ju64(l.peak_window_messages))
+                    .with("bound_windows", ju64(l.bound_windows))
+            })
+            .collect();
+        Json::obj()
+            .with("rounds", ju64(self.rounds))
+            .with("quiescent_rounds", ju64(self.quiescent_rounds))
+            .with("deadlock_deferrals", ju64(self.deadlock_deferrals))
+            .with("lps", Json::Arr(lps))
+            .with("links", Json::Arr(links))
+    }
+}
+
+/// One LP's row in the parallel-efficiency report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpEfficiency {
+    /// LP index.
+    pub lp: usize,
+    /// LP name.
+    pub name: String,
+    /// Load weight the partitioner balanced with.
+    pub weight: u64,
+    /// Fraction of wall time spent simulating.
+    pub busy_fraction: f64,
+    /// Fraction of wall time blocked at round barriers.
+    pub blocked_fraction: f64,
+    /// This LP's share of the total busy time across all LPs — the
+    /// *measured* load.
+    pub busy_share: f64,
+    /// This LP's share of the total declared weight — the *predicted*
+    /// load the partitioner balanced with. A large gap between the two
+    /// shares means the weight estimate misled the partitioner.
+    pub weight_share: f64,
+}
+
+/// Parallel-efficiency report: per-LP busy/blocked fractions and the load
+/// imbalance of the run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EfficiencyReport {
+    /// Per-LP rows, indexed by LP.
+    pub lps: Vec<LpEfficiency>,
+    /// Total busy time over total LP wall time (`1.0` = every LP
+    /// simulated the whole run; low values mean barrier stalls dominate).
+    pub parallel_efficiency: f64,
+    /// Max per-LP busy time over mean per-LP busy time (`1.0` = perfectly
+    /// balanced; `n` = one LP did all the work).
+    pub load_imbalance: f64,
+}
+
+impl EfficiencyReport {
+    /// Compute the report from per-LP profile totals (pure math, testable
+    /// on hand-built profiles).
+    pub fn from_lps(lps: &[LpProfile]) -> EfficiencyReport {
+        let total_busy: u64 = lps.iter().map(|l| l.busy_ns).sum();
+        let total_wall: u64 = lps.iter().map(|l| l.busy_ns + l.blocked_ns).sum();
+        let total_weight: u64 = lps.iter().map(|l| l.weight).sum();
+        let max_busy = lps.iter().map(|l| l.busy_ns).max().unwrap_or(0);
+        let mean_busy = if lps.is_empty() {
+            0.0
+        } else {
+            total_busy as f64 / lps.len() as f64
+        };
+        let rows = lps
+            .iter()
+            .map(|l| LpEfficiency {
+                lp: l.lp,
+                name: l.name.clone(),
+                weight: l.weight,
+                busy_fraction: l.busy_fraction(),
+                blocked_fraction: l.blocked_fraction(),
+                busy_share: if total_busy == 0 {
+                    0.0
+                } else {
+                    l.busy_ns as f64 / total_busy as f64
+                },
+                weight_share: if total_weight == 0 {
+                    0.0
+                } else {
+                    l.weight as f64 / total_weight as f64
+                },
+            })
+            .collect();
+        EfficiencyReport {
+            lps: rows,
+            parallel_efficiency: if total_wall == 0 {
+                0.0
+            } else {
+                total_busy as f64 / total_wall as f64
+            },
+            load_imbalance: if mean_busy == 0.0 {
+                1.0
+            } else {
+                max_busy as f64 / mean_busy
+            },
+        }
+    }
+
+    /// JSON rendering (bench artifacts and history records).
+    pub fn json(&self) -> Json {
+        let lps = self
+            .lps
+            .iter()
+            .map(|l| {
+                Json::obj()
+                    .with("lp", ju64(l.lp as u64))
+                    .with("name", Json::from(l.name.as_str()))
+                    .with("weight", ju64(l.weight))
+                    .with("busy_fraction", Json::Num(l.busy_fraction))
+                    .with("blocked_fraction", Json::Num(l.blocked_fraction))
+                    .with("busy_share", Json::Num(l.busy_share))
+                    .with("weight_share", Json::Num(l.weight_share))
+            })
+            .collect();
+        Json::obj()
+            .with("parallel_efficiency", Json::Num(self.parallel_efficiency))
+            .with("load_imbalance", Json::Num(self.load_imbalance))
+            .with("lps", Json::Arr(lps))
+    }
+
+    /// Human-readable rendering for the experiments CLI.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "parallel efficiency {:.1}% (load imbalance {:.2}x, 1.00x = balanced)",
+            100.0 * self.parallel_efficiency,
+            self.load_imbalance
+        );
+        for l in &self.lps {
+            let _ = writeln!(
+                out,
+                "  lp{} {:16} busy {:5.1}%  blocked {:5.1}%  load share {:5.1}% (weight predicted {:5.1}%)",
+                l.lp,
+                l.name,
+                100.0 * l.busy_fraction,
+                100.0 * l.blocked_fraction,
+                100.0 * l.busy_share,
+                100.0 * l.weight_share
+            );
+        }
+        out
+    }
+}
+
+/// Human-readable description of the first diverging slice between two
+/// runs — what [`ShardRunReport::first_divergence`] locates, resolved to
+/// names, times and hashes so the CLI can print it without a debugger.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DivergenceDetail {
+    /// Diverging LP index.
+    pub lp: usize,
+    /// Diverging LP name.
+    pub lp_name: String,
+    /// Window index of the first mismatching state hash.
+    pub window: usize,
+    /// Simulated time the window committed to, femtoseconds (from the
+    /// profile; `None` when the profile has no record for the window).
+    pub time_fs: Option<u64>,
+    /// `(link, seq)` of the last envelope injected into the LP during the
+    /// diverging window — the newest cross-shard influence on its state.
+    pub last_inject: Option<(usize, u64)>,
+    /// State hash recorded by `self`.
+    pub hash_self: Option<u64>,
+    /// State hash recorded by `other`.
+    pub hash_other: Option<u64>,
+}
+
+impl std::fmt::Display for DivergenceDetail {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "LP {} ({:?}) diverged at window {}",
+            self.lp, self.lp_name, self.window
+        )?;
+        if let Some(t) = self.time_fs {
+            write!(f, ", t={t} fs")?;
+        }
+        match self.last_inject {
+            Some((link, seq)) => write!(f, ", last injected envelope (link {link}, seq {seq})")?,
+            None => write!(f, ", no envelope injected that window")?,
+        }
+        let h = |v: Option<u64>| match v {
+            Some(h) => format!("{h:#018x}"),
+            None => "<missing>".to_string(),
+        };
+        write!(f, ": hash {} vs {}", h(self.hash_self), h(self.hash_other))
     }
 }
 
@@ -414,10 +809,27 @@ pub struct LpReport {
     pub obligations: u64,
     /// Output of the LP's probe closure, or `Null`.
     pub probe: Json,
+    /// Structured-trace events harvested from this LP's [`Recorder`]
+    /// (empty unless [`ShardConfig::trace_capacity`] was set). Event
+    /// timestamps are simulated time, so the harvest is deterministic and
+    /// participates in [`ShardRunReport::same_outcome`].
+    ///
+    /// [`Recorder`]: crate::observe::Recorder
+    pub trace_events: Vec<crate::observe::SimEvent>,
+    /// Component names of this LP's simulator, indexed by [`ComponentId`]
+    /// (always harvested; the trace merge resolves sources against it).
+    pub component_names: Vec<String>,
+    /// Ring capacity the recorder ran with (0 = tracing disabled).
+    pub trace_capacity: u64,
+    /// Events emitted into the recorder over the whole run.
+    pub trace_emitted: u64,
+    /// Events evicted because the ring wrapped (nonzero means
+    /// [`LpReport::trace_events`] is a suffix, not the full history).
+    pub trace_dropped: u64,
 }
 
 /// Result of [`run_sharded`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct ShardRunReport {
     /// Per-LP reports, indexed by LP.
     pub lps: Vec<LpReport>,
@@ -433,12 +845,15 @@ pub struct ShardRunReport {
     pub shards: usize,
     /// Wall-clock run time (not part of the deterministic outcome).
     pub wall_seconds: f64,
+    /// Window-protocol profile (not part of the deterministic outcome:
+    /// its wall-clock fields differ between executions).
+    pub profile: ShardProfile,
 }
 
 impl ShardRunReport {
     /// Deterministic-outcome equality: per-LP reports, round count and
     /// message count — everything except the execution-mode fields
-    /// (`shards`, `wall_seconds`).
+    /// (`shards`, `wall_seconds`, `profile`).
     pub fn same_outcome(&self, other: &ShardRunReport) -> bool {
         self.lps == other.lps
             && self.rounds == other.rounds
@@ -466,6 +881,32 @@ impl ShardRunReport {
             }
         }
         None
+    }
+
+    /// Resolve [`ShardRunReport::first_divergence`] against this run's
+    /// profile into a printable [`DivergenceDetail`] — the window's
+    /// committed time, the last envelope injected into the diverging LP
+    /// that window, and both state hashes. `None` when the runs agree.
+    pub fn divergence_detail(&self, other: &ShardRunReport) -> Option<DivergenceDetail> {
+        let (lp, window) = self.first_divergence(other)?;
+        let rec = self.profile.lps.get(lp).and_then(|p| p.windows.get(window));
+        Some(DivergenceDetail {
+            lp,
+            lp_name: self.lps.get(lp).map(|l| l.name.clone()).unwrap_or_default(),
+            window,
+            time_fs: rec.map(|w| w.horizon_fs),
+            last_inject: rec.and_then(|w| w.last_inject),
+            hash_self: self
+                .lps
+                .get(lp)
+                .and_then(|l| l.slice_hashes.get(window))
+                .copied(),
+            hash_other: other
+                .lps
+                .get(lp)
+                .and_then(|l| l.slice_hashes.get(window))
+                .copied(),
+        })
     }
 
     /// Total kernel dispatches across all LPs.
@@ -496,6 +937,7 @@ impl ShardRunReport {
             .with("shards", ju64(self.shards as u64))
             .with("total_dispatched", ju64(self.total_dispatched()))
             .with("wall_seconds", Json::Num(self.wall_seconds))
+            .with("profile", self.profile.json())
     }
 }
 
@@ -630,10 +1072,29 @@ struct LpRoundCmd {
     hash: bool,
 }
 
-fn build_lp(spec: LpSpec, lp: usize, links: &[LinkInfo]) -> SimResult<LpRuntime> {
+/// What one LP reports back from one window: the drained egress traffic
+/// plus the observability payload the coordinator folds into the profile.
+struct LpRoundOut {
+    lp: usize,
+    sent: Vec<SentMsg>,
+    /// Wall nanoseconds spent inside `run_until`.
+    busy_ns: u64,
+    /// Open obligations at the round barrier (deadlock verdict deferred).
+    obligations: u64,
+}
+
+fn build_lp(
+    spec: LpSpec,
+    lp: usize,
+    links: &[LinkInfo],
+    trace_capacity: Option<usize>,
+) -> SimResult<LpRuntime> {
     register_payload_codec(link_packet_codec());
     let mut sim = Simulator::new();
     sim.set_defer_deadlock(true);
+    if let Some(cap) = trace_capacity {
+        sim.enable_observe(cap);
+    }
 
     let touching: Vec<LinkInfo> = links
         .iter()
@@ -692,7 +1153,8 @@ fn build_lp(spec: LpSpec, lp: usize, links: &[LinkInfo]) -> SimResult<LpRuntime>
     })
 }
 
-fn lp_round(rt: &mut LpRuntime, cmd: LpRoundCmd) -> SimResult<Vec<SentMsg>> {
+fn lp_round(rt: &mut LpRuntime, cmd: LpRoundCmd) -> SimResult<LpRoundOut> {
+    let lp = cmd.lp;
     // Inject this window's envelopes, already globally sorted by
     // (deliver_at, link, seq): `post` assigns kernel sequence numbers in
     // call order, so the injection order *is* the dispatch tiebreak and is
@@ -735,6 +1197,7 @@ fn lp_round(rt: &mut LpRuntime, cmd: LpRoundCmd) -> SimResult<Vec<SentMsg>> {
         );
     }
 
+    let sim_started = std::time::Instant::now();
     match rt.sim.run_until(cmd.horizon)? {
         StopReason::Quiescent | StopReason::TimeLimit => {}
         StopReason::Stopped => {
@@ -744,6 +1207,7 @@ fn lp_round(rt: &mut LpRuntime, cmd: LpRoundCmd) -> SimResult<Vec<SentMsg>> {
             )));
         }
     }
+    let busy_ns = sim_started.elapsed().as_nanos() as u64;
 
     let mut sent: Vec<SentMsg> = Vec::new();
     for (link, outbox) in &rt.outboxes {
@@ -754,7 +1218,12 @@ fn lp_round(rt: &mut LpRuntime, cmd: LpRoundCmd) -> SimResult<Vec<SentMsg>> {
     if cmd.hash {
         rt.slice_hashes.push(rt.sim.state_hash()?);
     }
-    Ok(sent)
+    Ok(LpRoundOut {
+        lp,
+        sent,
+        busy_ns,
+        obligations: rt.sim.obligations(),
+    })
 }
 
 fn lp_finish(mut rt: LpRuntime) -> SimResult<LpReport> {
@@ -763,6 +1232,15 @@ fn lp_finish(mut rt: LpRuntime) -> SimResult<LpReport> {
         Some(p) => p(&mut rt.sim)?,
         None => Json::Null,
     };
+    let component_names = (0..rt.sim.component_count())
+        .map(|id| rt.sim.component_name(id).to_string())
+        .collect();
+    let recorder = rt.sim.recorder();
+    let (trace_capacity, trace_emitted, trace_dropped) = (
+        recorder.capacity() as u64,
+        recorder.emitted(),
+        recorder.dropped(),
+    );
     Ok(LpReport {
         name: rt.name,
         final_time_fs: rt.sim.now().as_fs(),
@@ -771,6 +1249,11 @@ fn lp_finish(mut rt: LpRuntime) -> SimResult<LpReport> {
         state_hash,
         obligations: rt.sim.obligations(),
         probe,
+        trace_events: rt.sim.observe_events(),
+        component_names,
+        trace_capacity,
+        trace_emitted,
+        trace_dropped,
     })
 }
 
@@ -779,8 +1262,9 @@ fn lp_finish(mut rt: LpRuntime) -> SimResult<LpReport> {
 // ---------------------------------------------------------------------------
 
 trait ShardPool {
-    /// Run one window on every LP; returns `(lp, sent)` sorted by LP index.
-    fn round(&mut self, cmds: Vec<LpRoundCmd>) -> SimResult<Vec<(usize, Vec<SentMsg>)>>;
+    /// Run one window on every LP; returns per-LP round outputs sorted by
+    /// LP index.
+    fn round(&mut self, cmds: Vec<LpRoundCmd>) -> SimResult<Vec<LpRoundOut>>;
     /// Tear down and collect per-LP reports, sorted by LP index.
     fn finish(&mut self) -> SimResult<Vec<LpReport>>;
 }
@@ -790,7 +1274,7 @@ struct InlinePool {
 }
 
 impl ShardPool for InlinePool {
-    fn round(&mut self, cmds: Vec<LpRoundCmd>) -> SimResult<Vec<(usize, Vec<SentMsg>)>> {
+    fn round(&mut self, cmds: Vec<LpRoundCmd>) -> SimResult<Vec<LpRoundOut>> {
         let mut out = Vec::with_capacity(cmds.len());
         for cmd in cmds {
             let rt = self
@@ -798,8 +1282,7 @@ impl ShardPool for InlinePool {
                 .iter_mut()
                 .find(|r| r.lp == cmd.lp)
                 .ok_or_else(|| shard_err(format!("no runtime for LP {}", cmd.lp)))?;
-            let lp = cmd.lp;
-            out.push((lp, lp_round(rt, cmd)?));
+            out.push(lp_round(rt, cmd)?);
         }
         Ok(out)
     }
@@ -818,19 +1301,20 @@ enum Cmd {
 
 enum Reply {
     Built(SimResult<()>),
-    Round(SimResult<Vec<(usize, Vec<SentMsg>)>>),
+    Round(SimResult<Vec<LpRoundOut>>),
     Finished(SimResult<Vec<(usize, LpReport)>>),
 }
 
 fn worker_main(
     specs: Vec<(usize, LpSpec)>,
     links: Vec<LinkInfo>,
+    trace_capacity: Option<usize>,
     rx: mpsc::Receiver<Cmd>,
     tx: mpsc::Sender<Reply>,
 ) {
     let built: SimResult<Vec<LpRuntime>> = specs
         .into_iter()
-        .map(|(lp, spec)| build_lp(spec, lp, &links))
+        .map(|(lp, spec)| build_lp(spec, lp, &links, trace_capacity))
         .collect();
     let mut rts = match built {
         Ok(rts) => {
@@ -855,8 +1339,7 @@ fn worker_main(
                             .iter_mut()
                             .find(|r| r.lp == cmd.lp)
                             .ok_or_else(|| shard_err(format!("no runtime for LP {}", cmd.lp)))?;
-                        let lp = cmd.lp;
-                        out.push((lp, lp_round(rt, cmd)?));
+                        out.push(lp_round(rt, cmd)?);
                     }
                     Ok(out)
                 }));
@@ -919,7 +1402,7 @@ impl ThreadPool<'_> {
 }
 
 impl ShardPool for ThreadPool<'_> {
-    fn round(&mut self, cmds: Vec<LpRoundCmd>) -> SimResult<Vec<(usize, Vec<SentMsg>)>> {
+    fn round(&mut self, cmds: Vec<LpRoundCmd>) -> SimResult<Vec<LpRoundOut>> {
         let mut per: Vec<Vec<LpRoundCmd>> = (0..self.txs.len()).map(|_| Vec::new()).collect();
         for cmd in cmds {
             per[self.shard_of[cmd.lp]].push(cmd);
@@ -928,7 +1411,7 @@ impl ShardPool for ThreadPool<'_> {
             tx.send(Cmd::Round(batch))
                 .map_err(|_| Self::dead_worker())?;
         }
-        let mut out = Vec::new();
+        let mut out: Vec<LpRoundOut> = Vec::new();
         let mut first_err: Option<SimError> = None;
         for rx in &self.rxs {
             match rx.recv().map_err(|_| Self::dead_worker())? {
@@ -947,7 +1430,7 @@ impl ShardPool for ThreadPool<'_> {
         if let Some(e) = first_err {
             return Err(e);
         }
-        out.sort_by_key(|&(lp, _)| lp);
+        out.sort_by_key(|o| o.lp);
         Ok(out)
     }
 
@@ -988,7 +1471,9 @@ fn coordinate(
     links: &[LinkInfo],
     n: usize,
     cfg: &ShardConfig,
-) -> SimResult<(Vec<LpReport>, u64, u64, u64)> {
+    names: &[String],
+    weights: &[u64],
+) -> SimResult<(Vec<LpReport>, u64, u64, u64, ShardProfile)> {
     let end = cfg.end;
     let min_lat = links.iter().map(|l| l.min_latency).min();
     let window = match cfg.window.or(min_lat) {
@@ -997,12 +1482,12 @@ fn coordinate(
         // No links and no explicit window: one round covers the whole run.
         None => SimDuration::fs(end.as_fs().max(1)),
     };
-    let incoming: Vec<Vec<(usize, SimDuration)>> = (0..n)
+    let incoming: Vec<Vec<(usize, SimDuration, usize)>> = (0..n)
         .map(|i| {
             links
                 .iter()
                 .filter(|l| l.to == i)
-                .map(|l| (l.from, l.min_latency))
+                .map(|l| (l.from, l.min_latency, l.index))
                 .collect()
         })
         .collect();
@@ -1013,14 +1498,77 @@ fn coordinate(
     let mut rounds = 0u64;
     let mut messages = 0u64;
 
+    let mut profile = ShardProfile {
+        lps: (0..n)
+            .map(|i| LpProfile {
+                lp: i,
+                name: names.get(i).cloned().unwrap_or_default(),
+                weight: weights.get(i).copied().unwrap_or(1),
+                windows: Vec::new(),
+                busy_ns: 0,
+                blocked_ns: 0,
+                sent: 0,
+                received: 0,
+            })
+            .collect(),
+        links: links
+            .iter()
+            .map(|l| LinkProfile {
+                link: l.index,
+                name: l.name.clone(),
+                from: l.from,
+                to: l.to,
+                min_latency_fs: l.min_latency.0,
+                messages: 0,
+                peak_window_messages: 0,
+                bound_windows: 0,
+            })
+            .collect(),
+        rounds: 0,
+        quiescent_rounds: 0,
+        deadlock_deferrals: 0,
+    };
+
     while committed.iter().any(|&t| t < end) {
         let mut horizons = vec![SimTime::ZERO; n];
+        let mut bounds = vec![HorizonBound::Window; n];
         for i in 0..n {
-            let mut h = (committed[i] + window).min(end);
-            for &(from, lat) in &incoming[i] {
-                h = h.min(committed[from] + lat);
+            let mut h = committed[i] + window;
+            let mut b = HorizonBound::Window;
+            if end < h {
+                h = end;
+                b = HorizonBound::End;
+            }
+            for &(from, lat, link) in &incoming[i] {
+                let limit = committed[from] + lat;
+                if limit < h {
+                    h = limit;
+                    b = HorizonBound::Link(link);
+                }
             }
             horizons[i] = h.max(committed[i]);
+            bounds[i] = b;
+        }
+        // Record the deterministic half of each LP's window record before
+        // the inject queues are handed to the round.
+        for i in 0..n {
+            let received = inject_next[i].len() as u64;
+            let last_inject = inject_next[i].last().map(|e| (e.link, e.seq));
+            profile.lps[i].received += received;
+            if let HorizonBound::Link(l) = bounds[i] {
+                profile.links[l].bound_windows += 1;
+            }
+            profile.lps[i].windows.push(LpWindow {
+                round: rounds,
+                start_fs: committed[i].as_fs(),
+                horizon_fs: horizons[i].as_fs(),
+                bound: bounds[i],
+                sent: 0,
+                received,
+                last_inject,
+                busy_ns: 0,
+                blocked_ns: 0,
+            });
         }
         let cmds: Vec<LpRoundCmd> = (0..n)
             .map(|i| LpRoundCmd {
@@ -1030,7 +1578,9 @@ fn coordinate(
                 hash: cfg.hash_slices,
             })
             .collect();
+        let round_started = std::time::Instant::now();
         let outs = pool.round(cmds)?;
+        let round_wall_ns = round_started.elapsed().as_nanos() as u64;
         rounds += 1;
 
         // Deterministic merge: stamp per-link sequence numbers in (LP
@@ -1038,8 +1588,22 @@ fn coordinate(
         // deliver globally sorted by (deliver_at, link, seq).
         let mut round_count = vec![0usize; links.len()];
         let mut envs: Vec<Envelope> = Vec::new();
-        for (_lp, sent) in outs {
-            for (at, link, msg) in sent {
+        let mut any_obligations = false;
+        for out in outs {
+            let lprof = &mut profile.lps[out.lp];
+            lprof.sent += out.sent.len() as u64;
+            lprof.busy_ns += out.busy_ns;
+            // Barrier stall approximation: how long the slowest LP of the
+            // round (plus merge overhead) outlasted this LP's own work.
+            let blocked = round_wall_ns.saturating_sub(out.busy_ns);
+            lprof.blocked_ns += blocked;
+            if let Some(w) = lprof.windows.last_mut() {
+                w.sent = out.sent.len() as u64;
+                w.busy_ns = out.busy_ns;
+                w.blocked_ns = blocked;
+            }
+            any_obligations |= out.obligations > 0;
+            for (at, link, msg) in out.sent {
                 let l = &links[link];
                 round_count[link] += 1;
                 if round_count[link] > l.capacity {
@@ -1058,6 +1622,17 @@ fn coordinate(
                 });
             }
         }
+        for (link, &count) in round_count.iter().enumerate() {
+            let lprof = &mut profile.links[link];
+            lprof.messages += count as u64;
+            lprof.peak_window_messages = lprof.peak_window_messages.max(count as u64);
+        }
+        if envs.is_empty() {
+            profile.quiescent_rounds += 1;
+        }
+        if any_obligations {
+            profile.deadlock_deferrals += 1;
+        }
         messages += envs.len() as u64;
         envs.sort_by_key(|e| (e.deliver_at, e.link, e.seq));
         for e in envs {
@@ -1066,6 +1641,7 @@ fn coordinate(
         }
         committed.copy_from_slice(&horizons);
     }
+    profile.rounds = rounds;
 
     let in_flight: u64 = inject_next.iter().map(|v| v.len() as u64).sum();
     // Everything still undelivered must lie at or beyond the end horizon;
@@ -1095,7 +1671,7 @@ fn coordinate(
             .collect();
         return Err(SimError::deadlock(pending).in_component(blocked.join(",")));
     }
-    Ok((reports, rounds, messages, in_flight))
+    Ok((reports, rounds, messages, in_flight, profile))
 }
 
 /// Execute a sharded topology to its end horizon.
@@ -1122,16 +1698,18 @@ pub fn run_sharded(topo: ShardTopology, cfg: &ShardConfig) -> SimResult<ShardRun
         }
         None => partition_lps(&topo.weights(), shards),
     };
+    let names: Vec<String> = topo.lps.iter().map(|s| s.name.clone()).collect();
+    let weights = topo.weights();
 
-    let (reports, rounds, messages, in_flight) = if shards <= 1 {
+    let (reports, rounds, messages, in_flight, profile) = if shards <= 1 {
         let rts: SimResult<Vec<LpRuntime>> = topo
             .lps
             .into_iter()
             .enumerate()
-            .map(|(lp, spec)| build_lp(spec, lp, &topo.links))
+            .map(|(lp, spec)| build_lp(spec, lp, &topo.links, cfg.trace_capacity))
             .collect();
         let mut pool = InlinePool { rts: rts? };
-        coordinate(&mut pool, &topo.links, n, cfg)?
+        coordinate(&mut pool, &topo.links, n, cfg, &names, &weights)?
     } else {
         let mut specs: Vec<Vec<(usize, LpSpec)>> = (0..shards).map(|_| Vec::new()).collect();
         for (lp, spec) in topo.lps.into_iter().enumerate() {
@@ -1145,7 +1723,10 @@ pub fn run_sharded(topo: ShardTopology, cfg: &ShardConfig) -> SimResult<ShardRun
                 let (cmd_tx, cmd_rx) = mpsc::channel::<Cmd>();
                 let (rep_tx, rep_rx) = mpsc::channel::<Reply>();
                 let worker_links = links.clone();
-                scope.spawn(move || worker_main(shard_specs, worker_links, cmd_rx, rep_tx));
+                let trace_capacity = cfg.trace_capacity;
+                scope.spawn(move || {
+                    worker_main(shard_specs, worker_links, trace_capacity, cmd_rx, rep_tx)
+                });
                 txs.push(cmd_tx);
                 rxs.push(rep_rx);
             }
@@ -1171,7 +1752,7 @@ pub fn run_sharded(topo: ShardTopology, cfg: &ShardConfig) -> SimResult<ShardRun
                 rxs,
                 shard_of: &assign,
             };
-            coordinate(&mut pool, &links, n, cfg)
+            coordinate(&mut pool, &links, n, cfg, &names, &weights)
         })?
     };
 
@@ -1182,6 +1763,7 @@ pub fn run_sharded(topo: ShardTopology, cfg: &ShardConfig) -> SimResult<ShardRun
         in_flight_at_end: in_flight,
         shards,
         wall_seconds: started.elapsed().as_secs_f64(),
+        profile,
     })
 }
 
@@ -1516,5 +2098,197 @@ mod tests {
         let err = run_sharded(topo, &cfg).expect_err("panic becomes an error");
         assert_eq!(err.kind, SimErrorKind::Internal);
         assert!(err.message.contains("panicked"), "{err:?}");
+    }
+
+    #[test]
+    fn profile_counters_reconcile_with_the_report() {
+        let r = run_ring(1, 500);
+        let p = &r.profile;
+        assert_eq!(p.rounds, r.rounds);
+        assert_eq!(p.lps.len(), 3);
+        assert_eq!(p.links.len(), 3);
+        // Every message the run counted was drained from some egress and
+        // attributed to its link; deliveries are receipts.
+        let link_msgs: u64 = p.links.iter().map(|l| l.messages).sum();
+        let sent: u64 = p.lps.iter().map(|l| l.sent).sum();
+        let received: u64 = p.lps.iter().map(|l| l.received).sum();
+        assert_eq!(link_msgs, r.messages);
+        assert_eq!(sent, r.messages);
+        assert_eq!(received, r.messages - r.in_flight_at_end);
+        for l in &p.links {
+            assert!(l.peak_window_messages <= l.messages);
+            assert_eq!(l.min_latency_fs, SimDuration::ns(500).0);
+        }
+        for lp in &p.lps {
+            assert_eq!(lp.windows.len() as u64, p.rounds);
+            assert_eq!(lp.sent, lp.windows.iter().map(|w| w.sent).sum::<u64>());
+            assert_eq!(
+                lp.received,
+                lp.windows.iter().map(|w| w.received).sum::<u64>()
+            );
+            assert_eq!(lp.windows.last().unwrap().horizon_fs, SimDuration::us(20).0);
+        }
+    }
+
+    #[test]
+    fn profile_simulated_time_fields_are_shard_count_invariant() {
+        let a = run_ring(1, 500);
+        let b = run_ring(3, 500);
+        type WindowKey = (u64, u64, u64, HorizonBound, u64, u64);
+        let det = |r: &ShardRunReport| -> Vec<Vec<WindowKey>> {
+            r.profile
+                .lps
+                .iter()
+                .map(|l| {
+                    l.windows
+                        .iter()
+                        .map(|w| {
+                            (
+                                w.round,
+                                w.start_fs,
+                                w.horizon_fs,
+                                w.bound,
+                                w.sent,
+                                w.received,
+                            )
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+        assert_eq!(det(&a), det(&b));
+        assert_eq!(a.profile.quiescent_rounds, b.profile.quiescent_rounds);
+        assert_eq!(a.profile.deadlock_deferrals, b.profile.deadlock_deferrals);
+    }
+
+    #[test]
+    fn link_bound_horizons_surface_the_critical_link() {
+        // With the window forced above the link latency, every LP's
+        // horizon is bound by its incoming link, not the window cap.
+        let topo = ring(3, 500, 0);
+        let cfg = ShardConfig::to(SimTime(SimDuration::us(10).0)).window(SimDuration::us(2));
+        let r = run_sharded(topo, &cfg).expect("run");
+        let p = &r.profile;
+        assert!(
+            p.lps
+                .iter()
+                .flat_map(|l| &l.windows)
+                .any(|w| matches!(w.bound, HorizonBound::Link(_))),
+            "some window must be link-bound"
+        );
+        let crit = p.critical_link().expect("a link bound some horizon");
+        assert!(crit.bound_windows > 0);
+        // All three ring links bind symmetrically; the tie resolves to the
+        // lowest link index.
+        assert_eq!(crit.link, 0);
+    }
+
+    #[test]
+    fn solo_lp_round_is_quiescent_and_unbound_by_links() {
+        let mut topo = ShardTopology::new();
+        topo.add_lp("solo", |sim, _| {
+            sim.add("node", Node::new(0, Vec::new(), 100, 0));
+            Ok(())
+        });
+        let cfg = ShardConfig::to(SimTime(SimDuration::us(5).0));
+        let r = run_sharded(topo, &cfg).expect("run");
+        assert_eq!(r.profile.rounds, 1);
+        assert_eq!(r.profile.quiescent_rounds, 1);
+        assert_eq!(r.profile.deadlock_deferrals, 0);
+        assert!(r.profile.critical_link().is_none());
+    }
+
+    #[test]
+    fn deferred_obligations_count_as_deadlock_deferrals() {
+        let topo = ring(3, 500, 1);
+        let cfg = ShardConfig::to(SimTime(SimDuration::us(20).0));
+        let r = run_sharded(topo, &cfg).expect("obligation resolves");
+        assert!(
+            r.profile.deadlock_deferrals > 0,
+            "the awaiting node holds an obligation across early barriers"
+        );
+        assert!(r.profile.deadlock_deferrals < r.profile.rounds);
+    }
+
+    #[test]
+    fn efficiency_report_math_on_hand_built_profiles() {
+        let mk = |lp: usize, weight: u64, busy: u64, blocked: u64| LpProfile {
+            lp,
+            name: format!("lp{lp}"),
+            weight,
+            windows: Vec::new(),
+            busy_ns: busy,
+            blocked_ns: blocked,
+            sent: 0,
+            received: 0,
+        };
+        let lps = [mk(0, 3, 300, 100), mk(1, 1, 100, 300)];
+        let e = EfficiencyReport::from_lps(&lps);
+        assert!((e.parallel_efficiency - 0.5).abs() < 1e-12);
+        assert!((e.load_imbalance - 1.5).abs() < 1e-12);
+        assert!((e.lps[0].busy_fraction - 0.75).abs() < 1e-12);
+        assert!((e.lps[1].busy_fraction - 0.25).abs() < 1e-12);
+        assert!((e.lps[0].busy_share - 0.75).abs() < 1e-12);
+        assert!((e.lps[0].weight_share - 0.75).abs() < 1e-12);
+        assert!((e.lps[1].weight_share - 0.25).abs() < 1e-12);
+
+        // Degenerate inputs stay finite.
+        let idle = [mk(0, 0, 0, 0)];
+        let e = EfficiencyReport::from_lps(&idle);
+        assert_eq!(e.parallel_efficiency, 0.0);
+        assert_eq!(e.load_imbalance, 1.0);
+        assert_eq!(e.lps[0].busy_share, 0.0);
+        let empty = EfficiencyReport::from_lps(&[]);
+        assert_eq!(empty.parallel_efficiency, 0.0);
+        assert_eq!(empty.load_imbalance, 1.0);
+
+        // Rendering mentions every LP by name.
+        let text = EfficiencyReport::from_lps(&lps).render();
+        assert!(text.contains("lp0") && text.contains("lp1"), "{text}");
+    }
+
+    #[test]
+    fn divergence_detail_resolves_names_times_and_hashes() {
+        let a = run_ring(1, 500);
+        assert!(a.divergence_detail(&a).is_none());
+        let mut b = a.clone();
+        b.lps[1].slice_hashes[2] ^= 1;
+        let d = a.divergence_detail(&b).expect("forced divergence");
+        assert_eq!((d.lp, d.window), (1, 2));
+        assert_eq!(d.lp_name, "lp1");
+        assert_eq!(d.time_fs, Some(a.profile.lps[1].windows[2].horizon_fs));
+        assert_ne!(d.hash_self, d.hash_other);
+        let text = d.to_string();
+        assert!(text.contains("lp1") && text.contains("window 2"), "{text}");
+    }
+
+    #[test]
+    fn trace_harvest_is_deterministic_across_shard_counts() {
+        let run = |shards: usize| {
+            let topo = ring(3, 500, 0);
+            let cfg = ShardConfig::to(SimTime(SimDuration::us(20).0))
+                .shards(shards)
+                .hash_slices(true)
+                .trace(4096);
+            run_sharded(topo, &cfg).expect("run")
+        };
+        let oracle = run(1);
+        for lp in &oracle.lps {
+            assert_eq!(lp.trace_capacity, 4096);
+            assert!(!lp.trace_events.is_empty(), "kernel events recorded");
+            assert!(!lp.component_names.is_empty());
+            assert_eq!(lp.trace_dropped, 0);
+            assert_eq!(lp.trace_emitted, lp.trace_events.len() as u64);
+        }
+        let par = run(3);
+        assert!(
+            oracle.same_outcome(&par),
+            "tracing must not perturb the outcome: {:?}",
+            oracle.first_divergence(&par)
+        );
+        // Untraced reports carry no events and say so.
+        let untraced = run_ring(1, 500);
+        assert!(untraced.lps.iter().all(|l| l.trace_capacity == 0));
+        assert!(untraced.lps.iter().all(|l| l.trace_events.is_empty()));
     }
 }

@@ -35,8 +35,9 @@ pub mod prelude {
     };
     pub use crate::cpu::{Cpu, CpuConfig, CpuStats, Instr};
     pub use crate::partition::{
-        partition_topology, plan_partition, run_partitioned, BridgeSpec, LinkKind, MergedBridge,
-        Part, PartCtx, PartitionPlan, PartitionedRun, PlannedLink, Segment, SocGraph, StreamSpec,
+        partition_topology, plan_partition, run_partitioned, BridgeSpec, BridgeTraffic,
+        CriticalLinkReport, LinkKind, MergedBridge, Part, PartCtx, PartitionPlan, PartitionedRun,
+        PlannedLink, Segment, SocGraph, StreamSpec,
     };
     pub use crate::profile::{asap_profile, estimate_task_cycles, measured_busy_fractions};
     pub use crate::sharded::{

@@ -723,7 +723,20 @@ fn probe_lp(
                 &graph.bridges[b].name,
                 Json::obj()
                     .with("forwarded", ju64(stub.forwarded))
-                    .with("returned", ju64(stub.returned)),
+                    .with("returned", ju64(stub.returned))
+                    .with("forwarded_words", ju64(stub.forwarded_words))
+                    .with("returned_words", ju64(stub.returned_words)),
+            );
+        }
+        if let Some(id) = lay.down_stub[b] {
+            let stub = sim.get::<BridgeDownstream>(id);
+            bridges = bridges.with(
+                &format!("{}:down", graph.bridges[b].name),
+                Json::obj()
+                    .with("replayed", ju64(stub.replayed))
+                    .with("returned", ju64(stub.returned))
+                    .with("replayed_words", ju64(stub.replayed_words))
+                    .with("returned_words", ju64(stub.returned_words)),
             );
         }
     }
@@ -790,6 +803,232 @@ impl PartitionedRun {
     /// Total kernel events dispatched across all LPs.
     pub fn events(&self) -> u64 {
         self.report.total_dispatched()
+    }
+
+    /// Distill the critical-link report: per cut bridge, how often each of
+    /// its two links' lookahead bound an LP horizon (from the run profile)
+    /// and the per-direction traffic its stubs counted (from the probes).
+    pub fn critical_links(&self) -> CriticalLinkReport {
+        let prof = &self.report.profile;
+        let stalled_windows: u64 = prof.links.iter().map(|l| l.bound_windows).sum();
+        let mut bridges = Vec::new();
+        for (b, links) in self.plan.bridge_links.iter().enumerate() {
+            let Some((req, rsp)) = *links else { continue };
+            let (Some(req_l), Some(rsp_l)) = (prof.links.get(req), prof.links.get(rsp)) else {
+                continue;
+            };
+            let name = req_l
+                .name
+                .strip_suffix(":req")
+                .unwrap_or(&req_l.name)
+                .to_string();
+            // The upstream stub lives in exactly one LP; its counters see
+            // both directions (requests shipped, responses received).
+            let mut traffic = BridgeTraffic {
+                bridge: b,
+                name: name.clone(),
+                forward_lookahead_fs: req_l.min_latency_fs,
+                return_lookahead_fs: rsp_l.min_latency_fs,
+                forwarded: 0,
+                forwarded_words: 0,
+                returned: 0,
+                returned_words: 0,
+                req_bound_windows: req_l.bound_windows,
+                rsp_bound_windows: rsp_l.bound_windows,
+            };
+            for lp in &self.report.lps {
+                let Some(stub) = lp.probe.get("bridges").and_then(|bs| bs.get(&name)) else {
+                    continue;
+                };
+                traffic.forwarded += stub.get("forwarded").and_then(ju64_of).unwrap_or(0);
+                traffic.forwarded_words +=
+                    stub.get("forwarded_words").and_then(ju64_of).unwrap_or(0);
+                traffic.returned += stub.get("returned").and_then(ju64_of).unwrap_or(0);
+                traffic.returned_words += stub.get("returned_words").and_then(ju64_of).unwrap_or(0);
+            }
+            bridges.push(traffic);
+        }
+        bridges.sort_by(|a, b| {
+            b.bound_windows()
+                .cmp(&a.bound_windows())
+                .then(a.bridge.cmp(&b.bridge))
+        });
+        let streams = prof
+            .links
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| {
+                matches!(
+                    self.plan.links.get(i).map(|l| l.kind),
+                    Some(LinkKind::Stream(_))
+                )
+            })
+            .map(|(_, l)| l.clone())
+            .collect();
+        CriticalLinkReport {
+            bridges,
+            streams,
+            rounds: self.report.rounds,
+            stalled_windows,
+        }
+    }
+
+    /// The parallel-efficiency report of the run (per-LP busy/blocked
+    /// fractions and load imbalance versus the declared [`Part::weight`]s).
+    pub fn efficiency(&self) -> EfficiencyReport {
+        self.report.profile.efficiency()
+    }
+}
+
+/// Per-direction traffic and lookahead of one cut bridge, joined from the
+/// run profile (which link bound horizons) and the stub probes (message
+/// and word counts).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BridgeTraffic {
+    /// Bridge index in [`SocGraph::bridges`].
+    pub bridge: usize,
+    /// Bridge name.
+    pub name: String,
+    /// Request-link lookahead (forward latency), femtoseconds.
+    pub forward_lookahead_fs: u64,
+    /// Response-link lookahead (return latency), femtoseconds.
+    pub return_lookahead_fs: u64,
+    /// Requests forwarded across the cut (upstream → downstream).
+    pub forwarded: u64,
+    /// Payload words those requests carried.
+    pub forwarded_words: u64,
+    /// Responses returned across the cut (downstream → upstream).
+    pub returned: u64,
+    /// Payload words those responses carried.
+    pub returned_words: u64,
+    /// Windows in which the request link's lookahead bound a horizon.
+    pub req_bound_windows: u64,
+    /// Windows in which the response link's lookahead bound a horizon.
+    pub rsp_bound_windows: u64,
+}
+
+impl BridgeTraffic {
+    /// Total windows either direction of this bridge was the bottleneck.
+    pub fn bound_windows(&self) -> u64 {
+        self.req_bound_windows + self.rsp_bound_windows
+    }
+}
+
+/// Which cut's lookahead limits the achievable speedup: cut bridges
+/// sorted most-binding first, plus stream links with their profile
+/// counters, against the run's total round count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalLinkReport {
+    /// Cut bridges, descending by [`BridgeTraffic::bound_windows`] (ties
+    /// by bridge index).
+    pub bridges: Vec<BridgeTraffic>,
+    /// Stream links with their profile counters (in stream order).
+    pub streams: Vec<LinkProfile>,
+    /// Synchronization rounds in the run.
+    pub rounds: u64,
+    /// Total link-bound windows across all links — how often any cut's
+    /// lookahead (rather than the window cap or end horizon) was the
+    /// limit.
+    pub stalled_windows: u64,
+}
+
+impl CriticalLinkReport {
+    /// The bridge that bound horizons most often, if any did.
+    pub fn bounding(&self) -> Option<&BridgeTraffic> {
+        self.bridges.first().filter(|b| b.bound_windows() > 0)
+    }
+
+    /// JSON rendering (bench artifacts and history records).
+    pub fn json(&self) -> Json {
+        let bridges = self
+            .bridges
+            .iter()
+            .map(|b| {
+                Json::obj()
+                    .with("bridge", ju64(b.bridge as u64))
+                    .with("name", Json::from(b.name.as_str()))
+                    .with("forward_lookahead_fs", ju64(b.forward_lookahead_fs))
+                    .with("return_lookahead_fs", ju64(b.return_lookahead_fs))
+                    .with("forwarded", ju64(b.forwarded))
+                    .with("forwarded_words", ju64(b.forwarded_words))
+                    .with("returned", ju64(b.returned))
+                    .with("returned_words", ju64(b.returned_words))
+                    .with("req_bound_windows", ju64(b.req_bound_windows))
+                    .with("rsp_bound_windows", ju64(b.rsp_bound_windows))
+            })
+            .collect();
+        let streams = self
+            .streams
+            .iter()
+            .map(|l| {
+                Json::obj()
+                    .with("name", Json::from(l.name.as_str()))
+                    .with("min_latency_fs", ju64(l.min_latency_fs))
+                    .with("messages", ju64(l.messages))
+                    .with("peak_window_messages", ju64(l.peak_window_messages))
+                    .with("bound_windows", ju64(l.bound_windows))
+            })
+            .collect();
+        Json::obj()
+            .with("rounds", ju64(self.rounds))
+            .with("stalled_windows", ju64(self.stalled_windows))
+            .with("bridges", Json::Arr(bridges))
+            .with("streams", Json::Arr(streams))
+    }
+
+    /// Human-readable rendering for the experiments CLI.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let ns = |fs: u64| fs as f64 / 1e6;
+        let mut out = String::new();
+        match self.bounding() {
+            Some(b) => {
+                let _ = writeln!(
+                    out,
+                    "critical link: bridge {:?} bound {} LP-windows over {} rounds \
+                     (fwd lookahead {:.0} ns, rsp {:.0} ns)",
+                    b.name,
+                    b.bound_windows(),
+                    self.rounds,
+                    ns(b.forward_lookahead_fs),
+                    ns(b.return_lookahead_fs),
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "critical link: none — no cut bridge bound a horizon in {} rounds",
+                    self.rounds
+                );
+            }
+        }
+        for b in &self.bridges {
+            let _ = writeln!(
+                out,
+                "  bridge {:12} fwd {:6} msgs / {:8} words  rsp {:6} msgs / {:8} words  \
+                 bound {:4} windows (req {}, rsp {})",
+                b.name,
+                b.forwarded,
+                b.forwarded_words,
+                b.returned,
+                b.returned_words,
+                b.bound_windows(),
+                b.req_bound_windows,
+                b.rsp_bound_windows,
+            );
+        }
+        for l in &self.streams {
+            let _ = writeln!(
+                out,
+                "  stream {:12} {:6} msgs (peak {}/window)  lookahead {:.0} ns  bound {:4} windows",
+                l.name,
+                l.messages,
+                l.peak_window_messages,
+                ns(l.min_latency_fs),
+                l.bound_windows,
+            );
+        }
+        out
     }
 }
 
@@ -1162,6 +1401,145 @@ mod tests {
         let err = plan_partition(&g).expect_err("zero-latency stream");
         assert_eq!(err.kind, SimErrorKind::Validation);
         assert!(err.message.contains("zero latency"), "{}", err.message);
+    }
+
+    #[test]
+    fn critical_link_report_names_the_bounding_bridge_with_traffic() {
+        let graph = Arc::new(bridged_graph(BridgeConfig::default()));
+        // A window cap far above the bridge's ~20 ns lookahead keeps the
+        // cut links the strictly-binding horizon term.
+        let cfg = ShardConfig::to(SimTime::ZERO + SimDuration::us(4))
+            .shards(2)
+            .hash_slices(true)
+            .window(SimDuration::us(1));
+        let r = run_partitioned(&graph, &cfg).expect("partitioned run");
+        let cl = r.critical_links();
+        assert_eq!(cl.rounds, r.report.rounds);
+        assert_eq!(cl.bridges.len(), 1);
+        assert!(cl.streams.is_empty());
+        let b = &cl.bridges[0];
+        assert_eq!(b.name, "bridge");
+        assert_eq!(b.bridge, 0);
+        // The 4-op script forwards 4 requests and returns 4 responses.
+        assert_eq!(b.forwarded, 4);
+        assert_eq!(b.returned, 4);
+        // Two writes of one word ([op, addr, burst, prio, w]) and two
+        // reads ([op, addr, burst, prio]) forward; every response is
+        // [status, op, addr] plus the read payload.
+        assert_eq!(b.forwarded_words, 2 * 5 + 2 * 4);
+        assert_eq!(b.returned_words, 4 * 3 + 2);
+        assert_eq!(
+            b.forward_lookahead_fs,
+            BridgeConfig::default().min_latency().as_fs()
+        );
+        assert_eq!(
+            b.return_lookahead_fs,
+            BridgeConfig::default().return_latency().as_fs()
+        );
+        // The short default window keeps the cut's lookahead binding.
+        let bounding = cl.bounding().expect("a bridge bound some horizon");
+        assert_eq!(bounding.name, "bridge");
+        assert_eq!(
+            cl.stalled_windows,
+            b.req_bound_windows + b.rsp_bound_windows
+        );
+        // Rendering names the bridge and its traffic for the CLI.
+        let text = cl.render();
+        assert!(text.contains("critical link: bridge \"bridge\""), "{text}");
+        assert!(text.contains("fwd      4 msgs"), "{text}");
+        // JSON carries the same counts for BENCH_history records.
+        let j = cl.json();
+        let jb = &j.get("bridges").and_then(Json::as_arr).expect("bridges")[0];
+        assert_eq!(jb.get("forwarded").and_then(ju64_of), Some(4));
+        assert_eq!(jb.get("returned_words").and_then(ju64_of), Some(14));
+    }
+
+    #[test]
+    fn critical_link_report_sorts_bridges_most_binding_first() {
+        // Hand-built run: two cut bridges whose profile counters disagree
+        // about who bound more windows; the report must sort descending
+        // and break ties by bridge index.
+        let mk_link = |i: usize, name: &str, bound: u64| LinkProfile {
+            link: i,
+            name: name.to_string(),
+            from: 0,
+            to: 1,
+            min_latency_fs: 1_000_000,
+            messages: 10,
+            peak_window_messages: 2,
+            bound_windows: bound,
+        };
+        let mk_planned = |name: &str, kind: LinkKind| PlannedLink {
+            name: name.to_string(),
+            from_lp: 0,
+            to_lp: 1,
+            latency: SimDuration::ns(1),
+            kind,
+            capacity: None,
+        };
+        let profile = ShardProfile {
+            links: vec![
+                mk_link(0, "a:req", 1),
+                mk_link(1, "a:rsp", 2),
+                mk_link(2, "b:req", 4),
+                mk_link(3, "b:rsp", 0),
+                mk_link(4, "wire", 3),
+            ],
+            rounds: 20,
+            ..ShardProfile::default()
+        };
+        let report = ShardRunReport {
+            rounds: 20,
+            profile,
+            ..ShardRunReport::default()
+        };
+        let plan = PartitionPlan {
+            links: vec![
+                mk_planned("a:req", LinkKind::BridgeRequest(0)),
+                mk_planned("a:rsp", LinkKind::BridgeResponse(0)),
+                mk_planned("b:req", LinkKind::BridgeRequest(1)),
+                mk_planned("b:rsp", LinkKind::BridgeResponse(1)),
+                mk_planned("wire", LinkKind::Stream(0)),
+            ],
+            bridge_links: vec![Some((0, 1)), Some((2, 3))],
+            cut: vec![0, 1],
+            ..PartitionPlan::default()
+        };
+        let run = PartitionedRun {
+            report,
+            metrics: RunMetrics::default(),
+            plan,
+        };
+        let cl = run.critical_links();
+        assert_eq!(cl.bridges.len(), 2);
+        // b bound 4 windows, a bound 3: b first despite higher index.
+        assert_eq!(cl.bridges[0].name, "b");
+        assert_eq!(cl.bridges[0].bound_windows(), 4);
+        assert_eq!(cl.bridges[1].name, "a");
+        assert_eq!(cl.streams.len(), 1);
+        assert_eq!(cl.streams[0].name, "wire");
+        assert_eq!(cl.stalled_windows, 1 + 2 + 4 + 3);
+        assert_eq!(cl.bounding().map(|b| b.bridge), Some(1));
+    }
+
+    #[test]
+    fn efficiency_report_comes_from_the_run_profile() {
+        let graph = Arc::new(bridged_graph(BridgeConfig::default()));
+        let r = run(&graph, 2);
+        let eff = r.efficiency();
+        assert_eq!(eff.lps.len(), 2);
+        // Segment LPs are named after their segments; weights come from
+        // the declared parts (pinger has weight 4, memories default 1).
+        assert_eq!(eff.lps[0].name, "cpu");
+        assert_eq!(eff.lps[0].weight, 5);
+        assert_eq!(eff.lps[1].name, "periph");
+        assert_eq!(eff.lps[1].weight, 1);
+        for lp in &eff.lps {
+            assert!(lp.busy_fraction >= 0.0 && lp.busy_fraction <= 1.0);
+            assert!((lp.busy_fraction + lp.blocked_fraction - 1.0).abs() < 1e-9);
+        }
+        assert!(eff.parallel_efficiency > 0.0 && eff.parallel_efficiency <= 1.0);
+        assert!(eff.load_imbalance >= 1.0);
     }
 
     #[test]

@@ -188,6 +188,11 @@ pub struct ShardedSocSpec {
     pub fault_window: Option<(SimTime, SimTime)>,
     /// Record a per-tile state hash at every synchronization window.
     pub hash_slices: bool,
+    /// Enable each LP's event recorder with this ring-buffer capacity so
+    /// the run can be merged into one cross-LP trace document
+    /// ([`drcf_dse::trace::chrome_trace_sharded`] — named by path here to
+    /// avoid a dependency cycle). `None` leaves tracing off.
+    pub trace_capacity: Option<usize>,
 }
 
 impl Default for ShardedSocSpec {
@@ -209,6 +214,7 @@ impl Default for ShardedSocSpec {
             horizon: SimDuration::us(200),
             fault_window: None,
             hash_slices: false,
+            trace_capacity: None,
         }
     }
 }
@@ -289,9 +295,12 @@ impl ShardedSocSpec {
     /// Run with an explicit shard count, ignoring `DRCF_SHARDS` — this is
     /// how oracle comparisons pin the single-threaded reference.
     pub fn run_with_shards(&self, shards: usize) -> SimResult<ShardedSocRun> {
-        let cfg = ShardConfig::to(SimTime::ZERO + self.horizon)
+        let mut cfg = ShardConfig::to(SimTime::ZERO + self.horizon)
             .shards(shards)
             .hash_slices(self.hash_slices);
+        if let Some(cap) = self.trace_capacity {
+            cfg = cfg.trace(cap);
+        }
         let report = run_sharded(self.topology()?, &cfg)?;
         let metrics = self.metrics_of(&report);
         Ok(ShardedSocRun { report, metrics })

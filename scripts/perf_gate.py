@@ -7,10 +7,12 @@ Reads the bench JSON written by `experiments --bench-json`, embeds the
 commit SHA (from $GITHUB_SHA, or `git rev-parse HEAD` as a fallback) into
 the file as a `"commit"` field so the uploaded artifact is traceable to
 the exact revision, appends a one-line summary of the run to
-`BENCH_history.jsonl` (commit, timestamp, per-bench throughput and the
-live speedups; the file is deduplicated by commit SHA, keeping the latest
-entry per commit, so re-runs of the same revision don't inflate the
-trajectory), and exits non-zero if:
+`BENCH_history.jsonl` (commit, timestamp, per-bench throughput, the
+live speedups, the sharded runs' critical-link and parallel-efficiency
+reports, and a `host` record with the hardware thread count and any
+`DRCF_SHARDS` override; the file is deduplicated by commit SHA, keeping
+the latest entry per commit, so re-runs of the same revision don't
+inflate the trajectory), and exits non-zero if:
 
 - any `speedup_vs_baseline` entry has dropped below 1.0 — i.e. the
   current tree is slower than the baked per-scenario baseline;
@@ -61,13 +63,22 @@ def history_entry(bench: dict, sha: str) -> dict:
         "sharded_soc_speedup",
         "sharded_soc_shards",
         "sharded_soc_identical",
+        "sharded_soc_efficiency",
         "sharded_e12_speedup",
         "sharded_e12_shards",
         "sharded_e12_identical",
+        "sharded_e12_efficiency",
+        "sharded_e12_critical_link",
         "hw_threads",
     ):
         if key in bench:
             entry[key] = bench[key]
+    # Host context: the parallel-efficiency numbers are only comparable
+    # between runs on similar machines, so record what this one was.
+    entry["host"] = {
+        "hw_threads": bench.get("hw_threads", os.cpu_count()),
+        "drcf_shards": os.environ.get("DRCF_SHARDS"),
+    }
     return entry
 
 
