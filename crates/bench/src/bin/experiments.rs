@@ -10,12 +10,17 @@
 //! scenario and writes a Perfetto-loadable Chrome trace-event file there,
 //! validating that the written JSON parses before exiting.
 //!
-//! `--snapshot-out <path> [--at-ns N]` runs the canonical wireless-receiver
-//! DRCF scenario up to `N` ns (default: half its makespan) and writes the
-//! deterministic snapshot document there. `--resume-from <path>` restores
-//! that snapshot into a freshly built system, runs it to completion, and
-//! cross-checks the resumed metrics against a straight run before printing
-//! them.
+//! `--snapshot-out <path> [--at-ns N] [--deltas K]` runs the canonical
+//! wireless-receiver DRCF scenario up to `N` ns (default: half its
+//! makespan) and writes the deterministic snapshot document there. With
+//! `--deltas K` it then continues the same timeline in `K` equal steps
+//! toward the makespan, writing one incremental `drcf-snapshot-delta-v1`
+//! document per step as `<path>.d1 … <path>.dK`, each chained to its
+//! predecessor by parent hash. `--resume-from <path>` restores the
+//! snapshot into a freshly built system, applies any `<path>.dN` chain in
+//! order (a parent-hash mismatch is reported as a typed `snapshot-chain`
+//! error, exit code 2), runs to completion, and cross-checks the resumed
+//! metrics against a straight run before printing them.
 //!
 //! `--shards N` runs the multi-fabric `sharded_soc` bench topology with N
 //! worker shards against the single-threaded oracle, verifies the reports
@@ -90,17 +95,16 @@ fn snapshot_scenario() -> (drcf_soc::prelude::Workload, drcf_soc::prelude::SocSp
     (w, spec)
 }
 
-fn write_snapshot(path: &str, at_ns: Option<u64>) {
-    use drcf_kernel::prelude::SimDuration;
+fn write_snapshot(path: &str, at_ns: Option<u64>, deltas: usize) {
+    use drcf_kernel::prelude::{SimDuration, SimTime};
     use drcf_soc::prelude::*;
     let (w, spec) = snapshot_scenario();
+    let (m, _) = run_soc(build_soc(&w, &spec).expect("build snapshot scenario"));
+    assert!(m.ok, "snapshot scenario failed: {:?}", m.error);
+    let makespan = m.makespan;
     let at = match at_ns {
         Some(n) => SimDuration::ns(n),
-        None => {
-            let (m, _) = run_soc(build_soc(&w, &spec).expect("build snapshot scenario"));
-            assert!(m.ok, "snapshot scenario failed: {:?}", m.error);
-            SimDuration::fs(m.makespan.as_fs() / 2)
-        }
+        None => SimDuration::fs(makespan.as_fs() / 2),
     };
     let snap = snapshot_prefix(&w, &spec, at).expect("capture snapshot");
     let text = snap.to_text();
@@ -110,15 +114,69 @@ fn write_snapshot(path: &str, at_ns: Option<u64>) {
         text.len(),
         at.as_fs() / 1_000_000
     );
+    if deltas == 0 {
+        return;
+    }
+    // Continue the same timeline in `deltas` equal steps toward the
+    // makespan, writing one incremental document per step: `path.d1` is
+    // chained to the full snapshot, `path.dK` to `path.d(K-1)`.
+    let mut soc = restore_soc(&w, &spec, &snap).expect("restore for delta chain");
+    let mut parent_hash = snap.state_hash();
+    let span = makespan.as_fs().saturating_sub(at.as_fs());
+    for k in 1..=deltas {
+        let t = at.as_fs() + span * k as u64 / deltas as u64;
+        soc.sim
+            .run_until(SimTime::ZERO + SimDuration::fs(t))
+            .expect("advance to delta point");
+        let delta = soc
+            .sim
+            .snapshot_delta_from(parent_hash)
+            .expect("capture delta");
+        parent_hash = delta.child_hash();
+        let dp = format!("{path}.d{k}");
+        let dtext = delta.to_text();
+        std::fs::write(&dp, &dtext).expect("write delta file");
+        eprintln!(
+            "wrote {dp} ({} bytes, delta at {} ns, parent {:016x} -> child {:016x})",
+            dtext.len(),
+            t / 1_000_000,
+            delta.parent_hash(),
+            delta.child_hash()
+        );
+    }
 }
 
 fn resume_snapshot(path: &str) {
-    use drcf_kernel::prelude::Snapshot;
+    use drcf_kernel::prelude::{Snapshot, SnapshotDelta};
     use drcf_soc::prelude::*;
     let (w, spec) = snapshot_scenario();
     let text = std::fs::read_to_string(path).expect("read snapshot file");
     let snap = Snapshot::parse(&text).expect("snapshot must parse");
-    let (m, _) = run_soc(restore_soc(&w, &spec, &snap).expect("restore snapshot"));
+    let mut soc = restore_soc(&w, &spec, &snap).expect("restore snapshot");
+    // Apply any chained delta documents sitting next to the snapshot
+    // (`path.d1`, `path.d2`, ...) in order. A delta whose parent hash does
+    // not match the state we are standing at is a typed `snapshot-chain`
+    // error, reported as such instead of a panic.
+    let mut k = 1usize;
+    loop {
+        let dp = format!("{path}.d{k}");
+        let Ok(dtext) = std::fs::read_to_string(&dp) else {
+            break;
+        };
+        let delta = SnapshotDelta::parse(&dtext).expect("delta must parse");
+        if let Err(e) = soc.sim.restore_delta(&delta) {
+            eprintln!("error[{}]: cannot apply {dp}: {e}", e.kind.label());
+            std::process::exit(2);
+        }
+        eprintln!(
+            "applied {dp} (parent {:016x} -> child {:016x})",
+            delta.parent_hash(),
+            delta.child_hash()
+        );
+        k += 1;
+    }
+    let applied = k - 1;
+    let m = run_soc_mut(&mut soc);
     assert!(m.ok, "resumed run failed: {:?}", m.error);
     // The resumed run must land exactly where a straight run does.
     let (straight, _) = run_soc(build_soc(&w, &spec).expect("build straight run"));
@@ -129,8 +187,9 @@ fn resume_snapshot(path: &str) {
     assert_eq!(m.bus_words, straight.bus_words, "bus traffic diverged");
     assert_eq!(m.switches, straight.switches, "context switches diverged");
     println!(
-        "resumed from {path}: makespan {} ns, {} bus words, {} context switches (verified \
-         bit-identical to a straight run)",
+        "resumed from {path} (+{applied} delta{}): makespan {} ns, {} bus words, {} context \
+         switches (verified bit-identical to a straight run)",
+        if applied == 1 { "" } else { "s" },
         m.makespan.as_fs() / 1_000_000,
         m.bus_words,
         m.switches
@@ -311,7 +370,12 @@ fn main() {
                 .and_then(|v| v.parse().ok())
                 .expect("--at-ns needs an integer nanosecond count")
         });
-        write_snapshot(path, at_ns);
+        let deltas = args.iter().position(|a| a == "--deltas").map_or(0, |j| {
+            args.get(j + 1)
+                .and_then(|v| v.parse().ok())
+                .expect("--deltas needs an integer delta count")
+        });
+        write_snapshot(path, at_ns, deltas);
         return;
     }
     if let Some(i) = args.iter().position(|a| a == "--resume-from") {

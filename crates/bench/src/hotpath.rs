@@ -20,10 +20,14 @@
 //!   event-count reference. Exercises accept, de-coalesce and re-coalesce.
 //! - **warm_fork_dse** — an 8-point DSE sweep over the wireless-receiver
 //!   DRCF scenario evaluated warm-fork style: the shared prefix is
-//!   simulated once, snapshotted at 9/10 of the makespan, and every point
-//!   resumes from the in-memory snapshot. The cold sweep (each point
-//!   re-simulating the prefix) is the event-count reference; the live
-//!   cold-vs-warm wall speedup is reported as `warm_fork_speedup`.
+//!   simulated once, snapshotted at 9/10 of the makespan, and one live
+//!   base is rewound copy-on-write to the fork per point (only state the
+//!   tail dirtied is restored). The cold sweep (each point re-simulating
+//!   the prefix) is the event-count reference; the live cold-vs-warm wall
+//!   speedup is reported as `warm_fork_speedup`, with the same sweep
+//!   forked at 1/2 of the makespan reported as `warm_fork_speedup_half`
+//!   (the prefix-length scaling check) and a full→delta→restore round
+//!   trip hash-checked as `warm_fork_delta_identical`.
 //!
 //! Each measurement reports kernel events dispatched per wall-clock
 //! second. [`bench_json`] renders the suite (plus the recorded
@@ -400,13 +404,35 @@ pub fn ctx_switch_storm() -> (HotpathMeasurement, f64) {
     (m, secs_off / secs_on)
 }
 
-/// Sweep points in the warm-fork DSE benchmark.
-const WARM_FORK_POINTS: usize = 8;
+/// Sweep points in the warm-fork DSE benchmark. Wide enough that the
+/// shared prefix run amortizes well below one cold run per point.
+const WARM_FORK_POINTS: usize = 16;
+
+/// Everything the warm-fork bench proves beyond its wall measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct WarmForkStats {
+    /// Cold-vs-warm wall speedup with the fork at 9/10 of the makespan.
+    pub speedup: f64,
+    /// Same sweep with the fork at 1/2 of the makespan: a shorter shared
+    /// prefix must help less, so `speedup_half < speedup` is the scaling
+    /// assertion `scripts/perf_gate.py` enforces.
+    pub speedup_half: f64,
+    /// Whether a delta capture applied onto a full-snapshot restore landed
+    /// on the same `state_hash` as a cold (never-snapshotted) run.
+    pub delta_identical: bool,
+    /// Compact byte size of the full snapshot at the fork point.
+    pub full_bytes: u64,
+    /// Compact byte size of the delta document fork→9/10 point.
+    pub delta_bytes: u64,
+    /// Components the delta capture actually serialized.
+    pub dirty_components: u64,
+}
 
 /// Measure the warm-fork DSE sweep. Returns the warm measurement (events =
-/// cold-sweep reference dispatch count, seconds = warm wall time) plus the
-/// live cold-vs-warm wall speedup.
-pub fn warm_fork_dse() -> (HotpathMeasurement, f64) {
+/// cold-sweep reference dispatch count, seconds = warm wall time at the
+/// 9/10 fork) plus the [`WarmForkStats`] detail.
+pub fn warm_fork_dse() -> (HotpathMeasurement, WarmForkStats) {
+    use drcf_dse::prelude::*;
     use drcf_soc::prelude::*;
     let w = wireless_receiver(96, 64);
     let names: Vec<String> = w.accels.iter().map(|a| a.name.clone()).collect();
@@ -421,9 +447,9 @@ pub fn warm_fork_dse() -> (HotpathMeasurement, f64) {
         },
         ..SocSpec::default()
     };
-    // Both phases timed twice, keeping the faster pass: min-time is the
-    // standard way to strip scheduler/allocator noise from a ratio gate.
-    const TIMING_REPS: usize = 2;
+    // Both phases timed three times, keeping the fastest pass: min-time is
+    // the standard way to strip scheduler/allocator noise from a ratio gate.
+    const TIMING_REPS: usize = 3;
     // Cold reference: every point pays the full run.
     let mut cold_events = 0u64;
     let mut makespan = SimDuration::ZERO;
@@ -440,30 +466,80 @@ pub fn warm_fork_dse() -> (HotpathMeasurement, f64) {
         }
         cold_secs = cold_secs.min(t0.elapsed().as_secs_f64());
     }
-    // Warm: one shared prefix, snapshotted at 9/10 of the makespan, then
-    // every point forks from the in-memory snapshot. The prefix run is
-    // inside the timed region — it is part of what a warm sweep costs.
-    let mut warm_secs = f64::INFINITY;
-    for _ in 0..TIMING_REPS {
-        let t1 = Instant::now();
-        let at = SimDuration::fs(makespan.as_fs() * 9 / 10);
-        let snap = snapshot_prefix(&w, &spec, at).expect("capture prefix");
-        for _ in 0..WARM_FORK_POINTS {
-            let (m, _) = run_soc(restore_soc(&w, &spec, &snap).expect("restore fork"));
-            assert!(m.ok, "warm point failed: {:?}", m.error);
-            assert_eq!(
-                m.makespan, makespan,
-                "a warm fork must land exactly where the straight run does"
+    // Warm: one shared prefix snapshot, then every point forks from a live
+    // base copy-on-write — `sweep_warm_fork` restores the base once and
+    // rewinds it in place per point, so per-point cost is the tail plus
+    // the diff the tail dirtied. The prefix run is inside the timed region
+    // — it is part of what a warm sweep costs.
+    let warm_at = |num: u64, den: u64| -> f64 {
+        let points: Vec<usize> = (0..WARM_FORK_POINTS).collect();
+        let mut secs = f64::INFINITY;
+        for _ in 0..TIMING_REPS {
+            let t1 = Instant::now();
+            let at = SimDuration::fs(makespan.as_fs() * num / den);
+            let snap = snapshot_prefix(&w, &spec, at).expect("capture prefix");
+            let recs = sweep_warm_fork(
+                &points,
+                &snap,
+                WarmFork::default(),
+                || restore_soc(&w, &spec, &snap),
+                |_, soc| {
+                    let m = run_soc_mut(soc);
+                    assert!(m.ok, "warm point failed: {:?}", m.error);
+                    assert_eq!(
+                        m.makespan, makespan,
+                        "a warm fork must land exactly where the straight run does"
+                    );
+                    RunRecord::from_metrics("warm", vec![], &m)
+                },
             );
+            assert!(recs.iter().all(|r| r.ok), "all warm points must succeed");
+            secs = secs.min(t1.elapsed().as_secs_f64());
         }
-        warm_secs = warm_secs.min(t1.elapsed().as_secs_f64());
-    }
+        secs
+    };
+    let warm_secs = warm_at(9, 10);
+    let warm_secs_half = warm_at(1, 2);
+    // Delta round trip (untimed): prove the incremental path the sweep
+    // rests on. Fork at 1/2, advance a live sim to 9/10, capture the delta
+    // against the fork, then apply it onto a *fresh* full restore of the
+    // fork — the patched simulator must land on the same state hash as a
+    // cold run paused at 9/10 that never saw a snapshot.
+    let at_half = SimDuration::fs(makespan.as_fs() / 2);
+    let at_nine = SimDuration::fs(makespan.as_fs() * 9 / 10);
+    let snap_half = snapshot_prefix(&w, &spec, at_half).expect("capture half prefix");
+    let mut live = restore_soc(&w, &spec, &snap_half).expect("restore live base");
+    live.sim
+        .run_until(drcf_kernel::prelude::SimTime::ZERO + at_nine)
+        .expect("advance to 9/10");
+    let delta = live.sim.snapshot_delta(&snap_half).expect("capture delta");
+    let km = live.sim.metrics();
+    let cold_nine = snapshot_prefix(&w, &spec, at_nine).expect("cold 9/10 capture");
+    let mut patched = restore_soc(&w, &spec, &snap_half).expect("full restore of fork");
+    patched.sim.restore_delta(&delta).expect("apply delta");
+    let delta_identical = patched.sim.current_doc_hash() == Some(delta.child_hash())
+        && delta.child_hash() == cold_nine.state_hash();
+    // The patched simulator must also *run* like the straight one.
+    let m_tail = run_soc_mut(&mut patched);
+    assert!(m_tail.ok, "delta-patched tail failed: {:?}", m_tail.error);
+    assert_eq!(
+        m_tail.makespan, makespan,
+        "delta-patched resume must land exactly where the straight run does"
+    );
     let m = HotpathMeasurement::new("warm_fork_dse", cold_events, warm_secs).with_note(
         "effective throughput: cold-sweep event count over warm-fork wall time (shared prefix \
-         snapshotted once at 9/10 of the makespan, each point restored in memory; identical \
-         per-point results asserted)",
+         snapshotted once at 9/10 of the makespan, one live base rewound copy-on-write per \
+         point; identical per-point results asserted, delta round trip hash-checked)",
     );
-    (m, cold_secs / warm_secs)
+    let stats = WarmForkStats {
+        speedup: cold_secs / warm_secs,
+        speedup_half: cold_secs / warm_secs_half,
+        delta_identical,
+        full_bytes: snap_half.byte_len() as u64,
+        delta_bytes: km.snapshot_delta_bytes,
+        dirty_components: km.snapshot_dirty_components,
+    };
+    (m, stats)
 }
 
 /// Shard count the `sharded_soc` bench targets.
@@ -635,10 +711,11 @@ pub fn sharded_e12() -> (
 
 /// Run the full hot-path suite with default sizes. Returns the
 /// measurements plus the storm's live coalescing-on-vs-off wall speedup
-/// and the warm-fork cold-vs-warm wall speedup.
-pub fn run_suite() -> (Vec<HotpathMeasurement>, f64, f64) {
+/// and the warm-fork stats (speedups at both fork depths, delta
+/// round-trip identity, snapshot sizes).
+pub fn run_suite() -> (Vec<HotpathMeasurement>, f64, WarmForkStats) {
     let (storm, on_vs_off) = ctx_switch_storm();
-    let (warm_fork, warm_speedup) = warm_fork_dse();
+    let (warm_fork, warm_stats) = warm_fork_dse();
     (
         vec![
             dense_clock(3000),
@@ -648,7 +725,7 @@ pub fn run_suite() -> (Vec<HotpathMeasurement>, f64, f64) {
             warm_fork,
         ],
         on_vs_off,
-        warm_speedup,
+        warm_stats,
     )
 }
 
@@ -669,7 +746,7 @@ pub const BASELINE_EVENTS_PER_SEC: &[(&str, f64)] = &[
 
 /// Render the whole suite (plus baseline and speedups) as JSON.
 pub fn bench_json() -> Json {
-    let (mut current, storm_on_vs_off, warm_fork_speedup) = run_suite();
+    let (mut current, storm_on_vs_off, warm_stats) = run_suite();
     let (sharded, sharded_speedup, sharded_shards, sharded_identical, soc_run) = sharded_soc();
     current.push(sharded);
     let (e12, e12_speedup, e12_shards, e12_identical, e12_run) = sharded_e12();
@@ -706,7 +783,24 @@ pub fn bench_json() -> Json {
         .with("baseline_events_per_sec", baseline_obj)
         .with("speedup_vs_baseline", speedups)
         .with("ctx_switch_storm_on_vs_off", storm_on_vs_off.into())
-        .with("warm_fork_speedup", warm_fork_speedup.into())
+        .with("warm_fork_speedup", warm_stats.speedup.into())
+        .with("warm_fork_speedup_half", warm_stats.speedup_half.into())
+        .with(
+            "warm_fork_delta_identical",
+            Json::Bool(warm_stats.delta_identical),
+        )
+        .with(
+            "warm_fork_snapshot_full_bytes",
+            warm_stats.full_bytes.into(),
+        )
+        .with(
+            "warm_fork_snapshot_delta_bytes",
+            warm_stats.delta_bytes.into(),
+        )
+        .with(
+            "warm_fork_snapshot_dirty_components",
+            warm_stats.dirty_components.into(),
+        )
         .with("sharded_soc_speedup", sharded_speedup.into())
         .with("sharded_soc_shards", (sharded_shards as u64).into())
         .with("sharded_soc_identical", Json::Bool(sharded_identical))

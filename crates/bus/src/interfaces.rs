@@ -66,6 +66,16 @@ pub trait BusSlaveModel: 'static {
             self.model_name()
         ))
     }
+    /// Deterministic mutation counter: bumped on every state change, equal
+    /// between two points in a run iff the model's state is unchanged
+    /// between them. Containers embedding many models (a DRCF holding one
+    /// model per context) serialize it next to `snapshot_state` and use it
+    /// during *live* restores along a snapshot lineage to skip re-parsing
+    /// models whose epoch matches the document. `None` (the default) opts
+    /// out: the model is always re-parsed.
+    fn change_epoch(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Apply a whole [`BusRequest`] to a model functionally, producing the

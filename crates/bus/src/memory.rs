@@ -114,10 +114,21 @@ pub struct MemoryStats {
     pub direct_words: u64,
 }
 
+/// Words per dirty-tracking page. Each page carries a deterministic write
+/// epoch; a live restore along a snapshot lineage (`Simulator::rewind`,
+/// `Simulator::restore_delta`) skips re-filling pages whose epoch matches
+/// the document, so warm forks pay for the words that changed, not the
+/// whole image.
+pub const PAGE_WORDS: usize = 64;
+
 /// The RAM component.
 pub struct Memory {
     cfg: MemoryConfig,
     data: Vec<Word>,
+    /// Per-page write counters — monotonically non-decreasing along a run,
+    /// so epoch equality between two points on one timeline implies the
+    /// page content is unchanged between them.
+    page_epochs: Vec<u64>,
     bus_busy_until: SimTime,
     direct_busy_until: SimTime,
     /// Accumulated statistics.
@@ -129,9 +140,11 @@ impl Memory {
     pub fn new(cfg: MemoryConfig) -> Self {
         crate::snapshot::register_bus_codecs();
         let data = vec![0; cfg.size_words];
+        let page_epochs = vec![0; cfg.size_words.div_ceil(PAGE_WORDS)];
         Memory {
             cfg,
             data,
+            page_epochs,
             bus_busy_until: SimTime::ZERO,
             direct_busy_until: SimTime::ZERO,
             stats: MemoryStats::default(),
@@ -154,12 +167,19 @@ impl Memory {
     pub fn poke(&mut self, addr: Addr, v: Word) {
         let i = (addr - self.cfg.base) as usize;
         self.data[i] = v;
+        self.page_epochs[i / PAGE_WORDS] += 1;
     }
 
     /// Preload a block of words starting at `addr`.
     pub fn load(&mut self, addr: Addr, words: &[Word]) {
         let start = (addr - self.cfg.base) as usize;
         self.data[start..start + words.len()].copy_from_slice(words);
+        if !words.is_empty() {
+            let last = (start + words.len() - 1) / PAGE_WORDS;
+            for p in (start / PAGE_WORDS)..=last {
+                self.page_epochs[p] += 1;
+            }
+        }
     }
 
     fn schedule_on_port(
@@ -206,6 +226,52 @@ impl Memory {
         }
         Ok(())
     }
+
+    /// Nonzero page epochs as `[page, epoch]` pairs.
+    fn page_epochs_json(&self) -> Json {
+        Json::Arr(
+            self.page_epochs
+                .iter()
+                .enumerate()
+                .filter(|&(_, &e)| e != 0)
+                .map(|(p, &e)| Json::Arr(vec![ju64(p as u64), ju64(e)]))
+                .collect(),
+        )
+    }
+
+    /// The document's page-epoch table, densified to this memory's page
+    /// count.
+    fn doc_page_epochs(&self, state: &Json) -> SimResult<Vec<u64>> {
+        let mut epochs = vec![0u64; self.page_epochs.len()];
+        for e in snap::arr_field(state, "page_epochs")? {
+            let pair = e.as_arr().filter(|p| p.len() == 2);
+            let (p, ep) = pair
+                .and_then(|p| Some((ju64_of(&p[0])?, ju64_of(&p[1])?)))
+                .ok_or_else(|| snap::err("malformed memory page-epoch entry"))?;
+            let slot = epochs
+                .get_mut(p as usize)
+                .ok_or_else(|| snap::err(format!("memory page {p} outside capacity")))?;
+            *slot = ep;
+        }
+        Ok(epochs)
+    }
+
+    /// Restore the non-image fields shared by [`Component::restore`] and
+    /// [`Component::restore_live`].
+    fn restore_meta(&mut self, state: &Json) -> SimResult<()> {
+        self.bus_busy_until = SimTime(snap::u64_field(state, "bus_busy_until")?);
+        self.direct_busy_until = SimTime(snap::u64_field(state, "direct_busy_until")?);
+        let s = snap::field(state, "stats")?;
+        self.stats = MemoryStats {
+            reads: snap::u64_field(s, "reads")?,
+            writes: snap::u64_field(s, "writes")?,
+            words_read: snap::u64_field(s, "words_read")?,
+            words_written: snap::u64_field(s, "words_written")?,
+            direct_reads: snap::u64_field(s, "direct_reads")?,
+            direct_words: snap::u64_field(s, "direct_words")?,
+        };
+        Ok(())
+    }
 }
 
 impl BusSlaveModel for Memory {
@@ -232,6 +298,7 @@ impl BusSlaveModel for Memory {
         match self.data.get_mut(i) {
             Some(w) => {
                 *w = data;
+                self.page_epochs[i / PAGE_WORDS] += 1;
                 Ok(())
             }
             None => Err(()),
@@ -249,6 +316,7 @@ impl Component for Memory {
     fn snapshot(&mut self) -> SimResult<Json> {
         Ok(Json::obj()
             .with("data", self.sparse_data_json())
+            .with("page_epochs", self.page_epochs_json())
             .with("bus_busy_until", ju64(self.bus_busy_until.as_fs()))
             .with("direct_busy_until", ju64(self.direct_busy_until.as_fs()))
             .with(
@@ -264,19 +332,47 @@ impl Component for Memory {
     }
 
     fn restore(&mut self, state: &Json) -> SimResult<()> {
+        // A cross-simulator restore trusts nothing about the live image:
+        // force-parse every word, then adopt the document's epochs.
         self.restore_sparse_data(snap::field(state, "data")?)?;
-        self.bus_busy_until = SimTime(snap::u64_field(state, "bus_busy_until")?);
-        self.direct_busy_until = SimTime(snap::u64_field(state, "direct_busy_until")?);
-        let s = snap::field(state, "stats")?;
-        self.stats = MemoryStats {
-            reads: snap::u64_field(s, "reads")?,
-            writes: snap::u64_field(s, "writes")?,
-            words_read: snap::u64_field(s, "words_read")?,
-            words_written: snap::u64_field(s, "words_written")?,
-            direct_reads: snap::u64_field(s, "direct_reads")?,
-            direct_words: snap::u64_field(s, "direct_words")?,
-        };
-        Ok(())
+        self.page_epochs = self.doc_page_epochs(state)?;
+        self.restore_meta(state)
+    }
+
+    fn restore_live(&mut self, state: &Json) -> SimResult<()> {
+        // Live restore along a snapshot lineage: page epochs are
+        // monotonically non-decreasing along the one timeline the document
+        // and the live state share, so epoch equality means no write
+        // touched the page between the two points — its words are already
+        // correct. Only mismatching pages are zeroed and re-filled.
+        let doc_epochs = self.doc_page_epochs(state)?;
+        let dirty: Vec<bool> = doc_epochs
+            .iter()
+            .zip(&self.page_epochs)
+            .map(|(d, l)| d != l)
+            .collect();
+        if dirty.iter().any(|&d| d) {
+            for (p, _) in dirty.iter().enumerate().filter(|&(_, &d)| d) {
+                let lo = p * PAGE_WORDS;
+                let hi = ((p + 1) * PAGE_WORDS).min(self.data.len());
+                self.data[lo..hi].fill(0);
+            }
+            for e in snap::arr_field(state, "data")? {
+                let pair = e.as_arr().filter(|p| p.len() == 2);
+                let (i, w) = pair
+                    .and_then(|p| Some((ju64_of(&p[0])?, ju64_of(&p[1])?)))
+                    .ok_or_else(|| snap::err("malformed memory word entry"))?;
+                let i = i as usize;
+                if i >= self.data.len() {
+                    return Err(snap::err(format!("memory word {i} outside capacity")));
+                }
+                if dirty[i / PAGE_WORDS] {
+                    self.data[i] = w;
+                }
+            }
+        }
+        self.page_epochs = doc_epochs;
+        self.restore_meta(state)
     }
 
     fn handle(&mut self, api: &mut Api<'_>, msg: Msg) {

@@ -1067,6 +1067,48 @@ impl Drcf {
         }
         Ok(())
     }
+
+    /// Restore everything except the per-context model images — the part
+    /// shared by [`Component::restore`] and [`Component::restore_live`].
+    fn restore_frame(&mut self, state: &Json) -> SimResult<()> {
+        self.sched.restore_json(snap::field(state, "sched")?)?;
+        match (snap::field(state, "port")?, self.port.as_mut()) {
+            (Json::Null, None) => {}
+            (j, Some(p)) if !matches!(j, Json::Null) => p.restore_json(j)?,
+            _ => {
+                return Err(snap::err(
+                    "snapshot and fabric disagree about the configuration port",
+                ))
+            }
+        }
+        self.queue.clear();
+        for q in snap::arr_field(state, "queue")? {
+            self.queue.push_back(Queued {
+                access: access_of(snap::field(q, "access")?)
+                    .ok_or_else(|| snap::err("malformed queued access"))?,
+                arrived: time_of(snap::field(q, "arrived")?)
+                    .ok_or_else(|| snap::err("bad queued-access arrival time"))?,
+            });
+        }
+        self.restore_loading(state)?;
+        Self::restore_bool_list(&mut self.failed, snap::field(state, "failed")?, "failed")?;
+        Self::restore_bool_list(
+            &mut self.has_saved_state,
+            snap::field(state, "has_saved_state")?,
+            "has_saved_state",
+        )?;
+        self.exec_busy_until = time_of(snap::field(state, "exec_busy_until")?)
+            .ok_or_else(|| snap::err("bad exec_busy_until"))?;
+        self.active_ctx = match snap::field(state, "active_ctx")? {
+            Json::Null => None,
+            j => Some(
+                drcf_kernel::json::ju64_of(j)
+                    .ok_or_else(|| snap::err("active_ctx is not a context id"))?
+                    as ContextId,
+            ),
+        };
+        self.stats.restore_json(snap::field(state, "stats")?)
+    }
 }
 
 impl Component for Drcf {
@@ -1111,42 +1153,9 @@ impl Component for Drcf {
     }
 
     fn restore(&mut self, state: &Json) -> SimResult<()> {
-        self.sched.restore_json(snap::field(state, "sched")?)?;
-        match (snap::field(state, "port")?, self.port.as_mut()) {
-            (Json::Null, None) => {}
-            (j, Some(p)) if !matches!(j, Json::Null) => p.restore_json(j)?,
-            _ => {
-                return Err(snap::err(
-                    "snapshot and fabric disagree about the configuration port",
-                ))
-            }
-        }
-        self.queue.clear();
-        for q in snap::arr_field(state, "queue")? {
-            self.queue.push_back(Queued {
-                access: access_of(snap::field(q, "access")?)
-                    .ok_or_else(|| snap::err("malformed queued access"))?,
-                arrived: time_of(snap::field(q, "arrived")?)
-                    .ok_or_else(|| snap::err("bad queued-access arrival time"))?,
-            });
-        }
-        self.restore_loading(state)?;
-        Self::restore_bool_list(&mut self.failed, snap::field(state, "failed")?, "failed")?;
-        Self::restore_bool_list(
-            &mut self.has_saved_state,
-            snap::field(state, "has_saved_state")?,
-            "has_saved_state",
-        )?;
-        self.exec_busy_until = time_of(snap::field(state, "exec_busy_until")?)
-            .ok_or_else(|| snap::err("bad exec_busy_until"))?;
-        self.active_ctx = match snap::field(state, "active_ctx")? {
-            Json::Null => None,
-            j => Some(
-                drcf_kernel::json::ju64_of(j)
-                    .ok_or_else(|| snap::err("active_ctx is not a context id"))?
-                    as ContextId,
-            ),
-        };
+        self.restore_frame(state)?;
+        // A cross-simulator restore trusts nothing: every context model is
+        // force-parsed regardless of epochs.
         let models = snap::arr_field(state, "models")?;
         if models.len() != self.contexts.len() {
             return Err(snap::err(
@@ -1159,7 +1168,32 @@ impl Component for Drcf {
                 .restore_state(j)
                 .map_err(|e| snap::err(format!("context '{name}': {e}")))?;
         }
-        self.stats.restore_json(snap::field(state, "stats")?)?;
+        Ok(())
+    }
+
+    fn restore_live(&mut self, state: &Json) -> SimResult<()> {
+        self.restore_frame(state)?;
+        // Live restore along a snapshot lineage: a context whose model
+        // publishes a change epoch (`BusSlaveModel::change_epoch`) equal to
+        // the document's recorded epoch has not been written between the
+        // two points, so its (potentially large) context image is skipped.
+        let models = snap::arr_field(state, "models")?;
+        if models.len() != self.contexts.len() {
+            return Err(snap::err(
+                "snapshot context count does not match this fabric",
+            ));
+        }
+        for (c, j) in self.contexts.iter_mut().zip(models) {
+            if let Some(live) = c.model.change_epoch() {
+                if j.get("epoch").and_then(drcf_kernel::json::ju64_of) == Some(live) {
+                    continue;
+                }
+            }
+            let name = c.name().to_string();
+            c.model
+                .restore_state(j)
+                .map_err(|e| snap::err(format!("context '{name}': {e}")))?;
+        }
         Ok(())
     }
 

@@ -30,7 +30,7 @@ pub mod prelude {
     pub use crate::report::{fmt_ns, fmt_pct, Table};
     pub use crate::runner::{
         sweep, sweep_catch, sweep_catch_workers, sweep_partitioned, sweep_serial, sweep_sharded,
-        sweep_warm_fork, sweep_with, thread_split,
+        sweep_warm_fork, sweep_with, thread_split, WarmFork,
     };
     pub use crate::space::{cartesian2, cartesian3, linear_steps, pow2_steps};
     pub use crate::trace::{

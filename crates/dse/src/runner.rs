@@ -12,7 +12,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use drcf_kernel::prelude::Snapshot;
+use drcf_kernel::prelude::{SimResult, Simulator, Snapshot};
 
 use crate::metrics::RunRecord;
 
@@ -51,24 +51,165 @@ where
         .collect()
 }
 
-/// Warm-fork sweep: evaluate every point from a shared in-memory prefix
-/// snapshot instead of re-simulating the prefix per point.
+/// Tuning knobs for [`sweep_warm_fork`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WarmFork {
+    /// Number of copy-on-write forks a worker serves from one live base
+    /// before rebasing — dropping the base and rebuilding it from the full
+    /// snapshot. `0` means never rebase: the base lives for the whole
+    /// sweep, which is fastest but lets the in-place restore chain grow
+    /// unboundedly deep. A small nonzero depth periodically re-proves the
+    /// base against the full document, the warm-fork analogue of
+    /// `SnapshotChain`'s full-snapshot rebase.
+    pub delta_chain: usize,
+}
+
+/// Evaluate one warm-fork point on a worker's live base, (re)building the
+/// base as needed. Returns the record plus whether the base survived.
+#[allow(clippy::too_many_arguments)]
+fn warm_point<P, S, B, F>(
+    i: usize,
+    points: &[P],
+    fork: &Snapshot,
+    cfg: WarmFork,
+    build: &B,
+    eval: &F,
+    base: &mut Option<S>,
+    forks: &mut usize,
+) -> RunRecord
+where
+    S: AsMut<Simulator>,
+    B: Fn() -> SimResult<S>,
+    F: Fn(&P, &mut S) -> RunRecord,
+{
+    let fail =
+        |msg: String| RunRecord::failed("warm-fork", vec![("point".into(), i.to_string())], msg);
+    // Periodic full rebase: bound how many in-place forks one base serves.
+    if cfg.delta_chain > 0 && *forks >= cfg.delta_chain {
+        *base = None;
+        *forks = 0;
+    }
+    let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<RunRecord, String> {
+        if base.is_none() {
+            *base = Some(build().map_err(|e| format!("building warm-fork base: {e}"))?);
+        }
+        if let Some(b) = base.as_mut() {
+            // Copy-on-write return to the fork point: only state touched
+            // since the capture is restored. A refusal (the capture fell
+            // out of the simulator's window, or the base is a stranger to
+            // this snapshot) falls back to one cold rebuild, which stands
+            // at the fork by construction.
+            if let Err(e) = b.as_mut().rewind(fork) {
+                *base = None;
+                *base = Some(build().map_err(|err| {
+                    format!("rebuilding warm-fork base after rewind refusal ({e}): {err}")
+                })?);
+            }
+        }
+        match base.as_mut() {
+            Some(b) => Ok(eval(&points[i], b)),
+            None => Err("warm-fork base missing after build".into()),
+        }
+    }));
+    match outcome {
+        Ok(Ok(rec)) => {
+            *forks += 1;
+            rec
+        }
+        Ok(Err(msg)) => {
+            *base = None;
+            fail(msg)
+        }
+        Err(payload) => {
+            // The panic may have left the base mid-mutation; never fork
+            // from it again.
+            *base = None;
+            fail(format!("evaluator panicked: {}", panic_message(payload)))
+        }
+    }
+}
+
+/// Warm-fork sweep: every worker keeps ONE live simulator standing at a
+/// shared prefix snapshot and forks each point from it copy-on-write.
 ///
-/// The caller captures the snapshot once (e.g. with
-/// `drcf_soc::prelude::snapshot_prefix`); `eval` receives each point plus a
-/// reference to the snapshot and typically rebuilds the system for that
-/// point, restores, and runs the remaining tail. When the shared prefix
-/// dominates the run — fault-injection campaigns, tail-parameter sweeps —
-/// this trades one prefix simulation for `points.len()` of them.
+/// The caller captures the fork point once (e.g. with
+/// `drcf_soc::prelude::snapshot_prefix`). `build` constructs a worker's
+/// base — typically `restore_soc(&workload, &spec, &snap)` — and must
+/// leave it standing exactly at `fork` with that document registered as a
+/// capture (restoring from the snapshot does both). For each point the
+/// runner rewinds the base to the fork in place ([`Simulator::rewind`]
+/// touches only state dirtied since the capture, so per-point cost scales
+/// with the tail's diff, not the prefix), then hands it to `eval`, which
+/// applies the point's parameters to the live system and runs the tail —
+/// e.g. via `drcf_soc::prelude::run_soc_mut`.
+///
+/// [`WarmFork::delta_chain`] bounds how many forks one base serves before
+/// a full rebuild; a rewind refusal or an `eval` panic also retires the
+/// base, so a poisoned point costs one cold build, never the sweep.
 ///
 /// Same ordering and fault-isolation contract as [`sweep`]: one record per
 /// point, in input order, panics becoming `RunRecord::failed` entries.
-pub fn sweep_warm_fork<P, F>(points: &[P], snapshot: &Snapshot, eval: F) -> Vec<RunRecord>
+pub fn sweep_warm_fork<P, S, B, F>(
+    points: &[P],
+    fork: &Snapshot,
+    cfg: WarmFork,
+    build: B,
+    eval: F,
+) -> Vec<RunRecord>
 where
     P: Sync,
-    F: Fn(&P, &Snapshot) -> RunRecord + Sync,
+    B: Fn() -> SimResult<S> + Sync,
+    F: Fn(&P, &mut S) -> RunRecord + Sync,
+    S: AsMut<Simulator>,
 {
-    sweep(points, |p| eval(p, snapshot))
+    let n = points.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = hw_threads().clamp(1, n);
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, RunRecord)>();
+    let mut out: Vec<Option<RunRecord>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let build = &build;
+            let eval = &eval;
+            scope.spawn(move || {
+                // The live base is thread-local: it is born, forked, and
+                // retired on this worker, so `S` needs no Send/Sync.
+                let mut base: Option<S> = None;
+                let mut forks = 0usize;
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let rec = warm_point(i, points, fork, cfg, build, eval, &mut base, &mut forks);
+                    if tx.send((i, rec)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(tx);
+        for (i, rec) in rx {
+            out[i] = Some(rec);
+        }
+    });
+    out.into_iter()
+        .enumerate()
+        .map(|(i, r)| {
+            r.unwrap_or_else(|| {
+                RunRecord::failed(
+                    "warm-fork",
+                    vec![("point".into(), i.to_string())],
+                    "worker died before reporting",
+                )
+            })
+        })
+        .collect()
 }
 
 /// Serial reference implementation (for equivalence tests and debugging).
@@ -524,16 +665,58 @@ mod tests {
             let (m, _) = run_soc(build_soc(&w, &spec).expect("build"));
             RunRecord::from_metrics("cold", vec![], &m)
         };
-        let cold = sweep(&[0usize, 1, 2], eval_cold);
+        let cold = sweep(&[0usize, 1, 2, 3, 4], eval_cold);
         assert!(cold.iter().all(|r| r.ok));
         // Fork each point from a snapshot taken halfway through the run.
         let makespan_fs = (cold[0].makespan_ns * 1_000_000.0) as u64;
         let at = drcf_kernel::prelude::SimDuration::fs(makespan_fs / 2);
         let snap = snapshot_prefix(&w, &spec, at).expect("prefix");
-        let warm = sweep_warm_fork(&[0usize, 1, 2], &snap, |_, s| {
-            let (m, _) = run_soc(restore_soc(&w, &spec, s).expect("restore"));
-            RunRecord::from_metrics("cold", vec![], &m)
-        });
+        // delta_chain = 2 exercises the periodic full rebase mid-sweep.
+        let warm = sweep_warm_fork(
+            &[0usize, 1, 2, 3, 4],
+            &snap,
+            WarmFork { delta_chain: 2 },
+            || restore_soc(&w, &spec, &snap),
+            |_, soc| {
+                let m = run_soc_mut(soc);
+                RunRecord::from_metrics("cold", vec![], &m)
+            },
+        );
         assert_eq!(warm, cold, "warm forks must be bit-identical to cold runs");
+    }
+
+    #[test]
+    fn warm_fork_survives_a_panicking_point() {
+        let w = wireless_receiver(2, 32);
+        let spec = SocSpec::default();
+        let (m, soc) = run_soc(build_soc(&w, &spec).expect("build"));
+        assert!(m.ok);
+        let reference = RunRecord::from_metrics("p", vec![], &m);
+        let at = SimDuration::fs(m.makespan.as_fs() / 2);
+        let snap = snapshot_prefix(&w, &spec, at).expect("prefix");
+        drop(soc);
+        let out = sweep_warm_fork(
+            &[0usize, 1, 2, 3],
+            &snap,
+            WarmFork::default(),
+            || restore_soc(&w, &spec, &snap),
+            |&p, soc| {
+                if p == 1 {
+                    panic!("poisoned point");
+                }
+                let m = run_soc_mut(soc);
+                RunRecord::from_metrics("p", vec![], &m)
+            },
+        );
+        assert_eq!(out.len(), 4, "one record per point");
+        for (i, r) in out.iter().enumerate() {
+            if i == 1 {
+                assert!(!r.ok, "the panicking point reports a failure");
+                let err = r.error.as_deref().unwrap_or("");
+                assert!(err.contains("poisoned point"), "panic message kept: {err}");
+            } else {
+                assert_eq!(r, &reference, "point {i} unharmed by the poisoned base");
+            }
+        }
     }
 }

@@ -38,6 +38,18 @@ pub trait Component: Any {
     fn restore(&mut self, _state: &Json) -> SimResult<()> {
         Err(crate::snapshot::err("component does not implement restore"))
     }
+
+    /// Restore onto the *live* component instance the document was captured
+    /// from (or one of its lineage: `Simulator::rewind` applies an ancestor
+    /// state, `Simulator::restore_delta` a descendant one). Because live
+    /// state and document lie on one timeline, implementations may exploit
+    /// the overlap — skip re-parsing payloads whose change epoch matches,
+    /// truncate grow-only logs — where a cross-simulator [`Component::restore`]
+    /// must parse everything. The default does a full restore, which is
+    /// always correct.
+    fn restore_live(&mut self, state: &Json) -> SimResult<()> {
+        self.restore(state)
+    }
 }
 
 /// Adapter turning a closure into a [`Component`]; handy for testbenches.

@@ -54,6 +54,10 @@ pub enum SimErrorKind {
     /// Static validation failed (builder specs, address maps, transform
     /// limitations).
     Validation,
+    /// A delta-snapshot chain broke: a delta's parent hash does not match
+    /// the state it is being applied to, or the parent of a warm rewind is
+    /// not a captured ancestor of the live simulator.
+    SnapshotChain,
     /// An injected fault fired (poisoned memory range, forced abort).
     Fault,
     /// A kernel-internal invariant failed; the run cannot be trusted.
@@ -72,6 +76,7 @@ impl SimErrorKind {
             SimErrorKind::ConfigLoad => "config-load",
             SimErrorKind::Scheduler => "scheduler",
             SimErrorKind::Validation => "validation",
+            SimErrorKind::SnapshotChain => "snapshot-chain",
             SimErrorKind::Fault => "fault",
             SimErrorKind::Internal => "internal",
         }

@@ -135,10 +135,18 @@ impl Json {
     /// The rendering is streamed byte-by-byte into the hash state; no
     /// intermediate string is allocated.
     pub fn fnv1a64(&self) -> u64 {
+        self.fnv1a64_with_len().0
+    }
+
+    /// FNV-1a (64-bit) hash *and* byte length of the compact rendering,
+    /// in one streaming pass. The length is what `to_string().len()` would
+    /// report, without materializing the string — snapshot size accounting
+    /// rides along with the hash for free.
+    pub fn fnv1a64_with_len(&self) -> (u64, u64) {
         let mut h = Fnv1a::new();
         // The hashing sink never errors.
         let _ = self.write(&mut h, None, 0);
-        h.finish()
+        (h.finish(), h.bytes())
     }
 
     fn write<W: std::fmt::Write>(
@@ -229,6 +237,7 @@ impl std::fmt::Display for Json {
 #[derive(Debug, Clone, Copy)]
 pub struct Fnv1a {
     state: u64,
+    bytes: u64,
 }
 
 impl Fnv1a {
@@ -239,6 +248,7 @@ impl Fnv1a {
     pub fn new() -> Fnv1a {
         Fnv1a {
             state: Self::OFFSET_BASIS,
+            bytes: 0,
         }
     }
 
@@ -250,11 +260,17 @@ impl Fnv1a {
             h = h.wrapping_mul(Self::PRIME);
         }
         self.state = h;
+        self.bytes += bytes.len() as u64;
     }
 
     /// The current hash value.
     pub fn finish(&self) -> u64 {
         self.state
+    }
+
+    /// Total bytes folded in so far.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
     }
 }
 

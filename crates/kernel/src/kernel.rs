@@ -28,7 +28,7 @@ use crate::observe::{Recorder, SimEvent, TraceCategory, TraceEventKind, KERNEL_S
 use crate::queue::{EventQueue, TimedEntry};
 use crate::report::{Reporter, Severity};
 use crate::signal::{AnySignalSlot, SignalRef, SignalSlot, SignalValue};
-use crate::snapshot::{self as snap, Snapshot, Snapshotable};
+use crate::snapshot::{self as snap, Snapshot, SnapshotDelta, Snapshotable};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{Traceable, VcdTracer};
 
@@ -101,6 +101,21 @@ pub struct KernelMetrics {
     /// it back via [`Simulator::prereserve_queue`] between runs of a sweep
     /// so the next run's first timestep pays no regrow costs.
     pub queue_high_water: u64,
+    /// Compact byte size of the most recent full snapshot document.
+    ///
+    /// This and the two counters below are *process-local* observability:
+    /// they are deliberately excluded from the serialized snapshot metrics
+    /// (and preserved across restore/rewind), because a run that happened
+    /// to snapshot must stay bit-identical — same `state_hash` — to one
+    /// that never did.
+    pub snapshot_full_bytes: u64,
+    /// Compact byte size of the most recent delta document
+    /// ([`Simulator::snapshot_delta`]).
+    pub snapshot_delta_bytes: u64,
+    /// Components that were dirty (changed since the parent) in the most
+    /// recent delta capture or warm rewind — the numerator of how
+    /// incremental the incremental path actually was.
+    pub snapshot_dirty_components: u64,
 }
 
 pub(crate) struct KernelState {
@@ -135,6 +150,16 @@ pub(crate) struct KernelState {
     /// First typed error raised during the current run (`Api::raise`); the
     /// source id is resolved to a component name when the run finishes.
     pending_error: Option<(Option<ComponentId>, SimError)>,
+    /// Dirty-tracking generation. Every mutation of a component, signal, or
+    /// FIFO stamps the owning slot with the current generation; every
+    /// capture point (snapshot, restore, rewind, delta) records the
+    /// generation and then advances it. A slot is dirty relative to a
+    /// capture iff its stamp is greater than the capture's generation.
+    gen: u64,
+    /// Per-signal dirty stamps, parallel to `signals`.
+    signal_touched: Vec<u64>,
+    /// Per-FIFO dirty stamps, parallel to `fifos`.
+    fifo_touched: Vec<u64>,
 }
 
 impl KernelState {
@@ -801,6 +826,12 @@ fn metrics_of(j: &Json) -> SimResult<KernelMetrics> {
         heap_events: snap::u64_field(j, "heap_events")?,
         notifications: snap::u64_field(j, "notifications")?,
         queue_high_water: snap::u64_field(j, "queue_high_water")?,
+        // Snapshot-size counters are process-local observability and are
+        // deliberately absent from the serialized document (their values
+        // would differ between a straight run and a restored one, breaking
+        // state-hash bit-identity). `restore_globals_from` preserves the
+        // live values across a restore.
+        ..KernelMetrics::default()
     })
 }
 
@@ -902,6 +933,7 @@ impl Api<'_> {
 
     /// Request a signal update; visible to readers in the next delta cycle.
     pub fn write<T: SignalValue>(&mut self, s: SignalRef<T>, v: T) {
+        self.st.signal_touched[s.idx] = self.st.gen;
         self.st.signal_slot_mut::<T>(s.idx).pending = Some(v);
         self.st.update_requests.push(s.idx);
     }
@@ -909,6 +941,7 @@ impl Api<'_> {
     /// Subscribe to change notifications of a signal.
     pub fn subscribe_signal<T: SignalValue>(&mut self, s: SignalRef<T>) {
         let me = self.me;
+        self.st.signal_touched[s.idx] = self.st.gen;
         self.st.signals[s.idx].subscribe(me);
     }
 
@@ -935,6 +968,7 @@ impl Api<'_> {
         let slot = self.st.fifo_slot_mut::<T>(f.idx);
         match slot.try_put(v) {
             Ok(()) => {
+                self.st.fifo_touched[f.idx] = self.st.gen;
                 self.st.notify_fifo(f.idx, FifoEventKind::DataWritten);
                 Ok(())
             }
@@ -948,6 +982,7 @@ impl Api<'_> {
         let slot = self.st.fifo_slot_mut::<T>(f.idx);
         match slot.try_get() {
             Some(v) => {
+                self.st.fifo_touched[f.idx] = self.st.gen;
                 self.st.notify_fifo(f.idx, FifoEventKind::DataRead);
                 Some(v)
             }
@@ -968,6 +1003,7 @@ impl Api<'_> {
     /// Subscribe to a FIFO's data-written/data-read notifications.
     pub fn subscribe_fifo<T: 'static>(&mut self, f: FifoRef<T>) {
         let me = self.me;
+        self.st.fifo_touched[f.idx] = self.st.gen;
         self.st.fifos[f.idx].subscribe(me);
     }
 
@@ -1082,13 +1118,30 @@ impl Api<'_> {
 struct CompSlot {
     name: String,
     comp: Option<Box<dyn Component>>,
+    /// Generation of the last mutation (dispatch or `get_mut`); see
+    /// `KernelState::gen`.
+    touched_gen: u64,
 }
+
+/// Most recent capture points the kernel remembers for delta chaining and
+/// warm rewind; older captures fall off and can no longer serve as parents.
+const CAPTURED_CAP: usize = 64;
 
 /// The simulator: owns all components and channels and runs the event loop.
 pub struct Simulator {
     comps: Vec<CompSlot>,
     st: KernelState,
     started: bool,
+    /// `(document hash, generation at capture)` of recent capture points,
+    /// oldest first, capped at [`CAPTURED_CAP`]. `rewind` and
+    /// `snapshot_delta` look parents up here; a hash that is not present
+    /// (never captured on this simulator, or evicted, or pruned because it
+    /// belonged to an abandoned branch) is a typed `SnapshotChain` error.
+    captured: Vec<(u64, u64)>,
+    /// Hash of the document the live state is known to equal — set by every
+    /// capture point, invalidated by running. `restore_delta` requires it
+    /// to match the delta's parent hash.
+    current_doc_hash: Option<u64>,
     /// Recycled delta-cycle buffer; swapped with `st.next_delta` each delta
     /// so the dispatch loop reuses two buffers forever instead of
     /// allocating one per delta cycle.
@@ -1132,8 +1185,13 @@ impl Simulator {
                 metrics: KernelMetrics::default(),
                 component_count: 0,
                 pending_error: None,
+                gen: 1,
+                signal_touched: Vec::new(),
+                fifo_touched: Vec::new(),
             },
             started: false,
+            captured: Vec::new(),
+            current_doc_hash: None,
             runnable: Vec::new(),
             defer_deadlock: false,
         }
@@ -1145,6 +1203,7 @@ impl Simulator {
         self.comps.push(CompSlot {
             name: name.to_string(),
             comp: Some(comp),
+            touched_gen: 0,
         });
         self.st.component_count = self.comps.len();
         self.comps.len() - 1
@@ -1160,6 +1219,7 @@ impl Simulator {
         self.st
             .signals
             .push(Box::new(SignalSlot::new(name.to_string(), init)));
+        self.st.signal_touched.push(0);
         SignalRef::new(self.st.signals.len() - 1)
     }
 
@@ -1168,6 +1228,7 @@ impl Simulator {
         self.st
             .fifos
             .push(Box::new(FifoSlot::<T>::new(name.to_string(), capacity)));
+        self.st.fifo_touched.push(0);
         FifoRef::new(self.st.fifos.len() - 1)
     }
 
@@ -1356,6 +1417,9 @@ impl Simulator {
 
     /// Mutable downcast (for injecting state between runs in tests).
     pub fn get_mut<T: Component>(&mut self, id: ComponentId) -> &mut T {
+        // Handing out `&mut` may mutate the component — conservatively mark
+        // it dirty for the incremental-snapshot machinery.
+        self.comps[id].touched_gen = self.st.gen;
         let name = self.comps[id].name.clone();
         match self.comps[id]
             .comp
@@ -1448,6 +1512,7 @@ impl Simulator {
             return;
         }
         self.st.metrics.dispatched += 1;
+        self.comps[d.target].touched_gen = self.st.gen;
         let Some(mut comp) = self.comps[d.target].comp.take() else {
             // The single-threaded kernel never re-enters dispatch, so a
             // vacant slot means the invariant broke; surface it as a typed
@@ -1590,7 +1655,7 @@ impl Simulator {
             None => Json::Null,
         };
 
-        Ok(Snapshot::from_state(
+        let snapshot = Snapshot::from_state(
             Json::obj()
                 .with("schema", Json::from(snap::SNAPSHOT_SCHEMA))
                 .with("now", ju64(self.st.now.0))
@@ -1609,7 +1674,98 @@ impl Simulator {
                 .with("tracer", tracer)
                 .with("recorder", self.st.recorder.snapshot_json())
                 .with("components", Json::Arr(components)),
-        ))
+        );
+        self.st.metrics.snapshot_full_bytes = snapshot.byte_len();
+        self.register_capture(snapshot.state_hash());
+        Ok(snapshot)
+    }
+
+    /// Record a capture point: the live state equals the document with this
+    /// hash, at the current generation. Future mutations stamp a strictly
+    /// greater generation, so dirtiness relative to this capture is one
+    /// integer comparison.
+    fn register_capture(&mut self, hash: u64) {
+        self.captured.push((hash, self.st.gen));
+        self.st.gen += 1;
+        if self.captured.len() > CAPTURED_CAP {
+            self.captured.remove(0);
+        }
+        self.current_doc_hash = Some(hash);
+    }
+
+    /// Generation at which `hash` was captured, if it is still remembered.
+    /// The latest registration wins (re-capturing the same document narrows
+    /// the dirty set).
+    fn captured_gen(&self, hash: u64) -> Option<u64> {
+        self.captured
+            .iter()
+            .rev()
+            .find(|&&(h, _)| h == hash)
+            .map(|&(_, g)| g)
+    }
+
+    /// Hash of the document the live state is known to equal, if the
+    /// simulator is standing exactly at a capture point (it hasn't run
+    /// since the last snapshot/restore/rewind/delta).
+    pub fn current_doc_hash(&self) -> Option<u64> {
+        self.current_doc_hash
+    }
+
+    /// Compare this simulator's static roster (component, signal, FIFO,
+    /// and clock names, in order) against `snapshot`'s, reporting *every*
+    /// mismatching field in one message. `None` means the shapes agree.
+    ///
+    /// [`Simulator::restore`] stops at the first mismatch it encounters;
+    /// this gives callers validating a resume spec (e.g. a SoC builder
+    /// handed a snapshot from a different configuration) the full diff up
+    /// front so the error names what actually differs.
+    pub fn roster_mismatch(&self, snapshot: &Snapshot) -> Option<String> {
+        let j = snapshot.json();
+        let doc_names = |key: &str| -> Vec<String> {
+            j.get(key)
+                .and_then(Json::as_arr)
+                .map(|a| {
+                    a.iter()
+                        .map(|e| {
+                            e.get("name")
+                                .and_then(Json::as_str)
+                                .unwrap_or("?")
+                                .to_string()
+                        })
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+        fn diff(what: &str, doc: &[String], live: &[&str], out: &mut Vec<String>) {
+            if doc.len() != live.len() {
+                out.push(format!(
+                    "{what} count: snapshot has {}, simulator has {}",
+                    doc.len(),
+                    live.len()
+                ));
+            }
+            for (i, (d, l)) in doc.iter().zip(live).enumerate() {
+                if d != l {
+                    out.push(format!(
+                        "{what} {i}: snapshot has {d:?}, simulator has {l:?}"
+                    ));
+                }
+            }
+        }
+        let mut diffs = Vec::new();
+        let comps: Vec<&str> = self.comps.iter().map(|c| c.name.as_str()).collect();
+        diff("component", &doc_names("components"), &comps, &mut diffs);
+        let sigs: Vec<&str> = self.st.signals.iter().map(|s| s.name()).collect();
+        diff("signal", &doc_names("signals"), &sigs, &mut diffs);
+        let fifos: Vec<&str> = self.st.fifos.iter().map(|f| f.name()).collect();
+        diff("fifo", &doc_names("fifos"), &fifos, &mut diffs);
+        let clocks: Vec<&str> = self.st.clocks.iter().map(|c| c.name.as_str()).collect();
+        diff("clock", &doc_names("clocks"), &clocks, &mut diffs);
+        if diffs.is_empty() {
+            None
+        } else {
+            Some(diffs.join("; "))
+        }
     }
 
     /// FNV-1a (64-bit) fingerprint of the canonical snapshot document.
@@ -1717,6 +1873,20 @@ impl Simulator {
             fifo_restore(i, self.st.fifos[i].as_mut(), fj)?;
         }
 
+        self.restore_clocks_from(j)?;
+        self.restore_queue_from(j)?;
+        self.restore_globals_from(j)?;
+
+        // Start must never re-fire: the snapshot already contains every
+        // subscription and timer Start handlers created.
+        self.started = true;
+        self.register_capture(snapshot.state_hash());
+        Ok(())
+    }
+
+    /// Restore the clock array from a full or delta document (clocks are
+    /// always carried in full: their state is a handful of scalars).
+    fn restore_clocks_from(&mut self, j: &Json) -> SimResult<()> {
         let clocks = snap::arr_field(j, "clocks")?;
         if clocks.len() != self.st.clocks.len() {
             return Err(snap::err(format!(
@@ -1742,10 +1912,17 @@ impl Simulator {
             c.pos_subs = snap::usize_list(cj, "pos_subs")?;
             c.neg_subs = snap::usize_list(cj, "neg_subs")?;
         }
+        Ok(())
+    }
 
-        // Timed queue: re-insert every entry with its *original* sequence
-        // number, front-to-back, so the wheel (or the legacy heap) rebuilds
-        // the identical (time, seq) dispatch order.
+    /// Rebuild the timed queue and the cancellation set from a document.
+    /// Existing entries are dropped first (a no-op on a fresh simulator).
+    ///
+    /// Entries are re-inserted with their *original* sequence numbers,
+    /// front-to-back, so the wheel (or the legacy heap) rebuilds the
+    /// identical `(time, seq)` dispatch order.
+    fn restore_queue_from(&mut self, j: &Json) -> SimResult<()> {
+        self.st.queue.clear();
         for ej in snap::arr_field(j, "queue")? {
             let target = snap::u64_field(ej, "target")? as ComponentId;
             let source = match snap::field(ej, "source")? {
@@ -1770,7 +1947,13 @@ impl Simulator {
             });
         }
         self.st.canceled = snap::u64_list(j, "canceled")?.into_iter().collect();
+        Ok(())
+    }
 
+    /// Restore tracer, recorder, and the scalar globals from a document.
+    /// The process-local snapshot-size counters survive: they are not part
+    /// of the serialized metrics (see [`KernelMetrics`]).
+    fn restore_globals_from(&mut self, j: &Json) -> SimResult<()> {
         match (snap::field(j, "tracer")?, self.st.tracer.as_mut()) {
             (Json::Null, None) => {}
             (Json::Null, Some(_)) => {
@@ -1791,11 +1974,301 @@ impl Simulator {
         self.st.seq = snap::u64_field(j, "seq")?;
         self.st.obligations = snap::u64_field(j, "obligations")?;
         self.st.delta_limit = snap::u64_field(j, "delta_limit")?;
+        let keep = (
+            self.st.metrics.snapshot_full_bytes,
+            self.st.metrics.snapshot_delta_bytes,
+            self.st.metrics.snapshot_dirty_components,
+        );
         self.st.metrics = metrics_of(snap::field(j, "metrics")?)?;
+        (
+            self.st.metrics.snapshot_full_bytes,
+            self.st.metrics.snapshot_delta_bytes,
+            self.st.metrics.snapshot_dirty_components,
+        ) = keep;
+        Ok(())
+    }
 
-        // Start must never re-fire: the snapshot already contains every
-        // subscription and timer Start handlers created.
-        self.started = true;
+    /// Drop any in-flight work left by an errored run so a rewound state is
+    /// clean: pending delta deliveries, unapplied signal updates, a pending
+    /// stop/error. Everything here is rebuilt from the document or simply
+    /// must not survive the rewind.
+    fn clear_transients(&mut self) {
+        self.st.next_delta.clear();
+        self.st.update_requests.clear();
+        self.st.update_scratch.clear();
+        self.runnable.clear();
+        self.st.stop = false;
+        self.st.pending_error = None;
+    }
+
+    /// Reset this *live* simulator back to `parent` — an earlier capture of
+    /// this same simulator — restoring only what changed since.
+    ///
+    /// This is the copy-on-write warm fork: components, signals, and FIFOs
+    /// untouched since the parent capture are still bit-identical to the
+    /// document and are skipped wholesale; touched ones are restored through
+    /// [`Component::restore_live`], which may itself exploit the lineage
+    /// (epoch-skip heavy payloads). Clocks, the timed queue, and the scalar
+    /// globals are always restored — they are small and always move.
+    ///
+    /// `parent` must have been captured *on this simulator* (by `snapshot`,
+    /// `restore`, or a previous `rewind`) and still be remembered; otherwise
+    /// a typed [`SimErrorKind::SnapshotChain`] error is returned and the
+    /// simulator is left untouched — callers fall back to a cold rebuild.
+    /// After a successful rewind, captures taken on the abandoned branch are
+    /// forgotten (they are no longer ancestors of the live state).
+    ///
+    /// On any other error the simulator is partially restored and must be
+    /// discarded, exactly like [`Simulator::restore`].
+    pub fn rewind(&mut self, parent: &Snapshot) -> SimResult<()> {
+        if !self.started {
+            return Err(snap::err(
+                "rewind requires a live (started) simulator; use restore on a fresh one",
+            ));
+        }
+        let phash = parent.state_hash();
+        let Some(pg) = self.captured_gen(phash) else {
+            return Err(SimError::new(
+                SimErrorKind::SnapshotChain,
+                format!(
+                    "rewind parent {phash:016x} was not captured on this simulator \
+                     (or fell out of the {CAPTURED_CAP}-entry capture window)"
+                ),
+            ));
+        };
+        let j = parent.json();
+
+        let components = snap::arr_field(j, "components")?;
+        if components.len() != self.comps.len() {
+            return Err(snap::err(format!(
+                "snapshot has {} components, simulator has {}",
+                components.len(),
+                self.comps.len()
+            )));
+        }
+        let mut dirty: u64 = 0;
+        for (slot, cj) in self.comps.iter_mut().zip(components) {
+            if slot.touched_gen <= pg {
+                continue; // untouched since the parent capture
+            }
+            let name = snap::str_field(cj, "name")?;
+            if name != slot.name {
+                return Err(snap::err(format!(
+                    "component name mismatch: simulator has {:?}, snapshot has {name:?}",
+                    slot.name
+                )));
+            }
+            let comp = slot
+                .comp
+                .as_mut()
+                .ok_or_else(|| snap::err(format!("component {name:?} is mid-dispatch")))?;
+            comp.restore_live(snap::field(cj, "state")?)
+                .map_err(|e| e.in_component(name))?;
+            dirty += 1;
+        }
+
+        let signals = snap::arr_field(j, "signals")?;
+        if signals.len() != self.st.signals.len() {
+            return Err(snap::err(format!(
+                "snapshot has {} signals, simulator has {}",
+                signals.len(),
+                self.st.signals.len()
+            )));
+        }
+        for (i, sj) in signals.iter().enumerate() {
+            if self.st.signal_touched[i] <= pg {
+                continue;
+            }
+            signal_restore(i, self.st.signals[i].as_mut(), sj)?;
+        }
+
+        let fifos = snap::arr_field(j, "fifos")?;
+        if fifos.len() != self.st.fifos.len() {
+            return Err(snap::err(format!(
+                "snapshot has {} fifos, simulator has {}",
+                fifos.len(),
+                self.st.fifos.len()
+            )));
+        }
+        for (i, fj) in fifos.iter().enumerate() {
+            if self.st.fifo_touched[i] <= pg {
+                continue;
+            }
+            fifo_restore(i, self.st.fifos[i].as_mut(), fj)?;
+        }
+
+        self.restore_clocks_from(j)?;
+        self.restore_queue_from(j)?;
+        self.restore_globals_from(j)?;
+        self.clear_transients();
+        self.st.metrics.snapshot_dirty_components = dirty;
+
+        // Captures taken after the parent belong to the branch being
+        // abandoned; a future delta against them would silently compare
+        // stamps across diverged timelines, so forget them.
+        self.captured.retain(|&(_, g)| g <= pg);
+        self.register_capture(phash);
+        Ok(())
+    }
+
+    /// Capture an incremental snapshot against `parent`: a
+    /// [`SnapshotDelta`] carrying only the components, signals, and FIFOs
+    /// that changed since the parent capture (plus the always-moving queue,
+    /// clocks, and globals), chained to the parent by its state hash.
+    ///
+    /// Serialization cost is dominated by the full-document pass (the child
+    /// hash *is* the full snapshot hash, so chains validate against
+    /// `state_hash` exactly); the win is the document size and, on the
+    /// apply side, `restore_delta` patching a live simulator in place.
+    pub fn snapshot_delta(&mut self, parent: &Snapshot) -> SimResult<SnapshotDelta> {
+        self.snapshot_delta_from(parent.state_hash())
+    }
+
+    /// [`Simulator::snapshot_delta`] by parent hash alone — enough to chain
+    /// delta-on-delta without keeping parent documents alive.
+    pub fn snapshot_delta_from(&mut self, parent_hash: u64) -> SimResult<SnapshotDelta> {
+        let Some(pg) = self.captured_gen(parent_hash) else {
+            return Err(SimError::new(
+                SimErrorKind::SnapshotChain,
+                format!(
+                    "delta parent {parent_hash:016x} was not captured on this simulator \
+                     (or fell out of the {CAPTURED_CAP}-entry capture window)"
+                ),
+            ));
+        };
+        // Dirty masks must be read before `snapshot` advances the
+        // generation (capturing must not make anything look clean).
+        let dirty_comps: Vec<bool> = self.comps.iter().map(|s| s.touched_gen > pg).collect();
+        let dirty_signals: Vec<bool> = self.st.signal_touched.iter().map(|&g| g > pg).collect();
+        let dirty_fifos: Vec<bool> = self.st.fifo_touched.iter().map(|&g| g > pg).collect();
+
+        let full = self.snapshot()?;
+        let j = full.json();
+        let take = |key: &str| -> SimResult<Json> { Ok(snap::field(j, key)?.clone()) };
+        // Dirty entries only, each tagged with its slot index so the apply
+        // side can patch in place.
+        let pick = |key: &str, mask: &[bool]| -> SimResult<Json> {
+            let arr = snap::arr_field(j, key)?;
+            let mut out = Vec::new();
+            for (i, e) in arr.iter().enumerate() {
+                if mask.get(i).copied().unwrap_or(true) {
+                    out.push(Json::obj().with("i", ju64(i as u64)).with("d", e.clone()));
+                }
+            }
+            Ok(Json::Arr(out))
+        };
+
+        let state = Json::obj()
+            .with("schema", Json::from(snap::DELTA_SCHEMA))
+            .with("parent", ju64(parent_hash))
+            .with("child", ju64(full.state_hash()))
+            .with("now", take("now")?)
+            .with("seq", take("seq")?)
+            .with("obligations", take("obligations")?)
+            .with("delta_limit", take("delta_limit")?)
+            .with("metrics", take("metrics")?)
+            .with("canceled", take("canceled")?)
+            .with("queue", take("queue")?)
+            .with("clocks", take("clocks")?)
+            .with("signals", pick("signals", &dirty_signals)?)
+            .with("fifos", pick("fifos", &dirty_fifos)?)
+            .with("tracer", take("tracer")?)
+            .with("recorder", take("recorder")?)
+            .with("components", pick("components", &dirty_comps)?);
+        let delta = SnapshotDelta::from_state(state)?;
+        self.st.metrics.snapshot_delta_bytes = delta.byte_len();
+        self.st.metrics.snapshot_dirty_components =
+            dirty_comps.iter().filter(|&&d| d).count() as u64;
+        Ok(delta)
+    }
+
+    /// Apply an incremental snapshot to this *live* simulator, patching it
+    /// forward from the delta's parent state to its child state.
+    ///
+    /// The simulator must be standing exactly at the parent document — at a
+    /// capture point whose hash equals [`SnapshotDelta::parent_hash`];
+    /// running since the last capture invalidates that (the state is no
+    /// longer provably the parent). A mismatch is a typed
+    /// [`SimErrorKind::SnapshotChain`] error naming both hashes, and leaves
+    /// the simulator untouched. After a successful apply, `state_hash`
+    /// equals [`SnapshotDelta::child_hash`].
+    pub fn restore_delta(&mut self, delta: &SnapshotDelta) -> SimResult<()> {
+        if !self.started {
+            return Err(snap::err(
+                "restore_delta requires a live (started) simulator; restore the chain's \
+                 base snapshot first",
+            ));
+        }
+        let Some(cur) = self.current_doc_hash else {
+            return Err(SimError::new(
+                SimErrorKind::SnapshotChain,
+                "restore_delta needs the simulator standing exactly at a captured document \
+                 (snapshot, restore, or rewind first; running since invalidates it)",
+            ));
+        };
+        if cur != delta.parent_hash() {
+            return Err(SimError::new(
+                SimErrorKind::SnapshotChain,
+                format!(
+                    "delta parent hash {:016x} does not match the live state {:016x}",
+                    delta.parent_hash(),
+                    cur
+                ),
+            ));
+        }
+        let j = delta.json();
+
+        let mut dirty: u64 = 0;
+        for ej in snap::arr_field(j, "components")? {
+            let i = snap::usize_field(ej, "i")?;
+            let cj = snap::field(ej, "d")?;
+            let gen = self.st.gen;
+            let slot = self
+                .comps
+                .get_mut(i)
+                .ok_or_else(|| snap::err(format!("delta component index {i} out of range")))?;
+            let name = snap::str_field(cj, "name")?;
+            if name != slot.name {
+                return Err(snap::err(format!(
+                    "component name mismatch: simulator has {:?}, delta has {name:?}",
+                    slot.name
+                )));
+            }
+            let comp = slot
+                .comp
+                .as_mut()
+                .ok_or_else(|| snap::err(format!("component {name:?} is mid-dispatch")))?;
+            comp.restore_live(snap::field(cj, "state")?)
+                .map_err(|e| e.in_component(name))?;
+            // The patched slot now differs from every pre-delta capture.
+            slot.touched_gen = gen;
+            dirty += 1;
+        }
+
+        for ej in snap::arr_field(j, "signals")? {
+            let i = snap::usize_field(ej, "i")?;
+            if i >= self.st.signals.len() {
+                return Err(snap::err(format!("delta signal index {i} out of range")));
+            }
+            signal_restore(i, self.st.signals[i].as_mut(), snap::field(ej, "d")?)?;
+            self.st.signal_touched[i] = self.st.gen;
+        }
+
+        for ej in snap::arr_field(j, "fifos")? {
+            let i = snap::usize_field(ej, "i")?;
+            if i >= self.st.fifos.len() {
+                return Err(snap::err(format!("delta fifo index {i} out of range")));
+            }
+            fifo_restore(i, self.st.fifos[i].as_mut(), snap::field(ej, "d")?)?;
+            self.st.fifo_touched[i] = self.st.gen;
+        }
+
+        self.restore_clocks_from(j)?;
+        self.restore_queue_from(j)?;
+        self.restore_globals_from(j)?;
+        self.clear_transients();
+        self.st.metrics.snapshot_dirty_components = dirty;
+        self.register_capture(delta.child_hash());
         Ok(())
     }
 
@@ -1836,6 +2309,10 @@ impl Simulator {
 
     fn run_inner(&mut self, horizon: Option<SimTime>) -> SimResult<StopReason> {
         self.ensure_started();
+        // Running diverges the live state from whatever document it last
+        // equalled, so delta application is no longer legal until the next
+        // capture point.
+        self.current_doc_hash = None;
         // Errors logged before this run (e.g. in an earlier run_until slice
         // that already reported them) do not re-escalate.
         let mark = self.st.reporter.entries().len();

@@ -96,7 +96,9 @@ pub mod prelude {
         DEFAULT_LINK_CAPACITY,
     };
     pub use crate::signal::SignalRef;
-    pub use crate::snapshot::{PayloadCodec, Snapshot, Snapshotable};
+    pub use crate::snapshot::{
+        ChainDoc, PayloadCodec, Snapshot, SnapshotChain, SnapshotDelta, Snapshotable,
+    };
     pub use crate::stats::{BusyTracker, DispatchProfile, LatencyHistogram, Summary};
     pub use crate::sync::{SemGranted, SemPost, SemWait, Semaphore};
     pub use crate::time::{SimDuration, SimTime};

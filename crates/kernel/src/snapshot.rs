@@ -47,16 +47,26 @@ use crate::json::Json;
 /// Schema identifier embedded in every snapshot document.
 pub const SNAPSHOT_SCHEMA: &str = "drcf-snapshot-v1";
 
+/// Schema identifier embedded in every delta-snapshot document.
+pub const DELTA_SCHEMA: &str = "drcf-snapshot-delta-v1";
+
 /// A serialized simulation state (see the module docs for the contract).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Snapshot {
     state: Json,
+    /// FNV-1a 64 of the compact rendering, computed once at construction.
+    /// Delta chaining compares parent hashes on every fork, so the
+    /// fingerprint is cached instead of re-streaming the document.
+    hash: u64,
+    /// Compact-rendering byte length (size accounting for the perf bench).
+    bytes: u64,
 }
 
 impl Snapshot {
     /// Wrap a state document produced by `Simulator::snapshot`.
     pub(crate) fn from_state(state: Json) -> Snapshot {
-        Snapshot { state }
+        let (hash, bytes) = state.fnv1a64_with_len();
+        Snapshot { state, hash, bytes }
     }
 
     /// The underlying JSON document.
@@ -72,9 +82,16 @@ impl Snapshot {
     /// FNV-1a (64-bit) fingerprint of the canonical compact rendering —
     /// the same value `Simulator::state_hash` reports. Useful for cheap
     /// replay validation: hash a stored snapshot and compare against a
-    /// re-simulated run without diffing full documents.
+    /// re-simulated run without diffing full documents. Cached at
+    /// construction, so calling it is free.
     pub fn state_hash(&self) -> u64 {
-        self.state.fnv1a64()
+        self.hash
+    }
+
+    /// Byte length of the compact rendering (what `json().to_string()`
+    /// would occupy). Cached at construction.
+    pub fn byte_len(&self) -> u64 {
+        self.bytes
     }
 
     /// Parse a snapshot previously written with [`Snapshot::to_text`],
@@ -82,12 +99,264 @@ impl Snapshot {
     pub fn parse(text: &str) -> SimResult<Snapshot> {
         let state = Json::parse(text).map_err(|e| err(format!("snapshot parse failed: {e}")))?;
         match state.get("schema").and_then(Json::as_str) {
-            Some(SNAPSHOT_SCHEMA) => Ok(Snapshot { state }),
+            Some(SNAPSHOT_SCHEMA) => Ok(Snapshot::from_state(state)),
             Some(other) => Err(err(format!(
                 "snapshot schema mismatch: expected {SNAPSHOT_SCHEMA}, found {other}"
             ))),
             None => Err(err("snapshot document has no schema field")),
         }
+    }
+}
+
+/// An incremental snapshot: only the components/channels that changed since
+/// a parent snapshot, chained to that parent by its state hash.
+///
+/// Produced by `Simulator::snapshot_delta` and applied with
+/// `Simulator::restore_delta`, which patches a *live* simulator standing at
+/// the parent state instead of rebuilding one. The document records both
+/// the parent hash (what the live state must equal before applying) and the
+/// child hash (what `state_hash()` reports after a successful apply), so a
+/// chain of deltas is self-validating end to end.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotDelta {
+    state: Json,
+    parent: u64,
+    child: u64,
+    bytes: u64,
+}
+
+impl SnapshotDelta {
+    /// Wrap a delta document produced by `Simulator::snapshot_delta`,
+    /// validating the schema marker and extracting the chain hashes.
+    pub(crate) fn from_state(state: Json) -> SimResult<SnapshotDelta> {
+        match state.get("schema").and_then(Json::as_str) {
+            Some(DELTA_SCHEMA) => {}
+            Some(other) => {
+                return Err(err(format!(
+                    "delta schema mismatch: expected {DELTA_SCHEMA}, found {other}"
+                )))
+            }
+            None => return Err(err("delta document has no schema field")),
+        }
+        let parent = u64_field(&state, "parent")?;
+        let child = u64_field(&state, "child")?;
+        let (_, bytes) = state.fnv1a64_with_len();
+        Ok(SnapshotDelta {
+            state,
+            parent,
+            child,
+            bytes,
+        })
+    }
+
+    /// The underlying JSON document.
+    pub fn json(&self) -> &Json {
+        &self.state
+    }
+
+    /// Serialize (pretty-printed, suitable for a file).
+    pub fn to_text(&self) -> String {
+        self.state.to_string_pretty()
+    }
+
+    /// State hash of the snapshot this delta chains onto: the live
+    /// simulator must be at exactly this state for `restore_delta`.
+    pub fn parent_hash(&self) -> u64 {
+        self.parent
+    }
+
+    /// State hash after this delta is applied (the full-snapshot hash of
+    /// the child state).
+    pub fn child_hash(&self) -> u64 {
+        self.child
+    }
+
+    /// Compact-rendering byte length — the size the delta actually costs,
+    /// versus `Snapshot::byte_len` for the full document.
+    pub fn byte_len(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Parse a delta previously written with [`SnapshotDelta::to_text`].
+    pub fn parse(text: &str) -> SimResult<SnapshotDelta> {
+        let state = Json::parse(text).map_err(|e| err(format!("delta parse failed: {e}")))?;
+        SnapshotDelta::from_state(state)
+    }
+}
+
+/// One link of a snapshot chain: either a full (rebase) document or a delta
+/// chained onto the previous link.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChainDoc {
+    /// A full snapshot — the chain can be entered (restored) here.
+    Full(Snapshot),
+    /// An incremental delta onto the preceding link.
+    Delta(SnapshotDelta),
+}
+
+impl ChainDoc {
+    /// Parse a document that may be either a full snapshot or a delta,
+    /// dispatching on the schema marker.
+    pub fn parse(text: &str) -> SimResult<ChainDoc> {
+        let state = Json::parse(text).map_err(|e| err(format!("snapshot parse failed: {e}")))?;
+        match state.get("schema").and_then(Json::as_str) {
+            Some(SNAPSHOT_SCHEMA) => Ok(ChainDoc::Full(Snapshot::from_state(state))),
+            Some(DELTA_SCHEMA) => Ok(ChainDoc::Delta(SnapshotDelta::from_state(state)?)),
+            Some(other) => Err(err(format!(
+                "unknown snapshot schema {other:?} (expected {SNAPSHOT_SCHEMA} or {DELTA_SCHEMA})"
+            ))),
+            None => Err(err("snapshot document has no schema field")),
+        }
+    }
+
+    /// State hash after this link is applied.
+    pub fn tip_hash(&self) -> u64 {
+        match self {
+            ChainDoc::Full(s) => s.state_hash(),
+            ChainDoc::Delta(d) => d.child_hash(),
+        }
+    }
+
+    /// Serialize (pretty-printed, suitable for a file).
+    pub fn to_text(&self) -> String {
+        match self {
+            ChainDoc::Full(s) => s.to_text(),
+            ChainDoc::Delta(d) => d.to_text(),
+        }
+    }
+
+    /// Compact-rendering byte length.
+    pub fn byte_len(&self) -> u64 {
+        match self {
+            ChainDoc::Full(s) => s.byte_len(),
+            ChainDoc::Delta(d) => d.byte_len(),
+        }
+    }
+}
+
+/// A checkpoint chain: one full base snapshot followed by deltas, with a
+/// periodic full-snapshot rebase every `delta_chain` links so restore cost
+/// and failure blast radius stay bounded (DESIGN.md §15).
+///
+/// `checkpoint` captures the next link from a live simulator (delta against
+/// the current tip, or a full rebase when the chain since the last full
+/// document reaches `delta_chain`); `push` validates and appends documents
+/// read back from disk; `restore_into` replays the whole chain into a
+/// freshly built simulator.
+#[derive(Debug, Clone)]
+pub struct SnapshotChain {
+    docs: Vec<ChainDoc>,
+    /// Rebase period: after this many consecutive deltas the next
+    /// checkpoint is a full snapshot. `0` disables deltas entirely (every
+    /// checkpoint is full).
+    delta_chain: usize,
+}
+
+impl SnapshotChain {
+    /// Start a chain from a full base snapshot.
+    pub fn new(base: Snapshot, delta_chain: usize) -> SnapshotChain {
+        SnapshotChain {
+            docs: vec![ChainDoc::Full(base)],
+            delta_chain,
+        }
+    }
+
+    /// The rebase period.
+    pub fn delta_chain(&self) -> usize {
+        self.delta_chain
+    }
+
+    /// All links, oldest first (the first is always a full snapshot).
+    pub fn docs(&self) -> &[ChainDoc] {
+        &self.docs
+    }
+
+    /// Number of links in the chain.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// A chain always has at least its base document.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// State hash at the tip of the chain.
+    pub fn tip_hash(&self) -> u64 {
+        // The chain is never empty: `new` seeds the base document.
+        self.docs.last().map_or(0, ChainDoc::tip_hash)
+    }
+
+    /// Consecutive deltas since the most recent full document.
+    fn deltas_since_rebase(&self) -> usize {
+        self.docs
+            .iter()
+            .rev()
+            .take_while(|d| matches!(d, ChainDoc::Delta(_)))
+            .count()
+    }
+
+    /// Capture the next checkpoint from a live simulator: a delta against
+    /// the current tip, or a full rebase once `delta_chain` consecutive
+    /// deltas have accumulated (and always when `delta_chain` is 0).
+    /// Returns the document just appended, for the caller to persist.
+    pub fn checkpoint(&mut self, sim: &mut crate::kernel::Simulator) -> SimResult<&ChainDoc> {
+        let doc = if self.delta_chain == 0 || self.deltas_since_rebase() >= self.delta_chain {
+            ChainDoc::Full(sim.snapshot()?)
+        } else {
+            ChainDoc::Delta(sim.snapshot_delta_from(self.tip_hash())?)
+        };
+        self.docs.push(doc);
+        match self.docs.last() {
+            Some(d) => Ok(d),
+            None => Err(err("snapshot chain invariant broken: empty after push")),
+        }
+    }
+
+    /// Replay the chain into a freshly built simulator: restore the most
+    /// recent full document, then apply every delta after it. Rebasing is
+    /// what keeps this bounded — at most `delta_chain` deltas ever need
+    /// applying.
+    pub fn restore_into(&self, sim: &mut crate::kernel::Simulator) -> SimResult<()> {
+        let start = self
+            .docs
+            .iter()
+            .rposition(|d| matches!(d, ChainDoc::Full(_)))
+            .ok_or_else(|| err("snapshot chain has no full document to restore from"))?;
+        if let ChainDoc::Full(base) = &self.docs[start] {
+            sim.restore(base)?;
+        }
+        for doc in &self.docs[start + 1..] {
+            match doc {
+                ChainDoc::Delta(d) => sim.restore_delta(d)?,
+                ChainDoc::Full(_) => {
+                    return Err(err(
+                        "snapshot chain has a full document after the last rebase",
+                    ))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Append a document read back from storage, validating the chain
+    /// linkage: a delta must name the current tip as its parent.
+    pub fn push(&mut self, doc: ChainDoc) -> SimResult<()> {
+        if let ChainDoc::Delta(d) = &doc {
+            let tip = self.tip_hash();
+            if d.parent_hash() != tip {
+                return Err(SimError::new(
+                    SimErrorKind::SnapshotChain,
+                    format!(
+                        "delta parent hash {:016x} does not match chain tip {:016x}",
+                        d.parent_hash(),
+                        tip
+                    ),
+                ));
+            }
+        }
+        self.docs.push(doc);
+        Ok(())
     }
 }
 

@@ -321,6 +321,16 @@ pub struct DispatchProfile {
     /// Peak number of entries resident in the timed-event queue — the
     /// pre-reserve hint for the next run of a sweep.
     pub queue_high_water: u64,
+    /// Compact byte size of the most recent full snapshot document
+    /// (0 when the run never snapshotted).
+    pub snapshot_full_bytes: u64,
+    /// Compact byte size of the most recent delta document (0 when no
+    /// delta was captured) — compare against `snapshot_full_bytes` for the
+    /// incremental-snapshot compression ratio.
+    pub snapshot_delta_bytes: u64,
+    /// Components restored or serialized by the most recent incremental
+    /// operation (delta capture or warm rewind).
+    pub snapshot_dirty_components: u64,
 }
 
 impl DispatchProfile {
@@ -343,6 +353,9 @@ impl DispatchProfile {
             fast_clock_fraction: frac(m.clock_edges_fast, m.clock_edges_fast + m.heap_events),
             notifications_per_event: frac(m.notifications, m.dispatched),
             queue_high_water: m.queue_high_water,
+            snapshot_full_bytes: m.snapshot_full_bytes,
+            snapshot_delta_bytes: m.snapshot_delta_bytes,
+            snapshot_dirty_components: m.snapshot_dirty_components,
         }
     }
 }
@@ -426,6 +439,7 @@ mod tests {
             heap_events: 100,
             notifications: 2500,
             queue_high_water: 42,
+            ..Default::default()
         };
         let p = DispatchProfile::from_metrics(&m, 0.5);
         assert_eq!(p.events_per_sec, 2000.0);

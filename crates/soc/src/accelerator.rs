@@ -237,6 +237,11 @@ pub struct KernelAccelerator {
     pub runs: u64,
     /// Total compute cycles consumed.
     pub compute_cycles: u64,
+    /// Deterministic mutation counter: bumped on every accepted register or
+    /// window write, serialized next to the state so delta-aware container
+    /// restores (the DRCF's per-context skip) can tell untouched contexts
+    /// from changed ones.
+    mut_epoch: u64,
 }
 
 impl KernelAccelerator {
@@ -254,6 +259,7 @@ impl KernelAccelerator {
             window: vec![0; window_words],
             runs: 0,
             compute_cycles: 0,
+            mut_epoch: 0,
         }
     }
 
@@ -292,7 +298,7 @@ impl BusSlaveModel for KernelAccelerator {
 
     fn write(&mut self, addr: Addr, data: Word) -> Result<(), ()> {
         let off = addr.checked_sub(self.base).ok_or(())?;
-        match off {
+        let accepted = match off {
             x if x == regs::CTRL => {
                 self.ctrl = data;
                 if data != 0 {
@@ -317,7 +323,11 @@ impl BusSlaveModel for KernelAccelerator {
                 Ok(())
             }
             _ => Err(()),
+        };
+        if accepted.is_ok() {
+            self.mut_epoch += 1;
         }
+        accepted
     }
 
     fn access_cycles(&self, op: BusOp, addr: Addr, burst: usize) -> u64 {
@@ -342,7 +352,8 @@ impl BusSlaveModel for KernelAccelerator {
             .with("len", ju64(self.len))
             .with("window", words_json(&self.window))
             .with("runs", ju64(self.runs))
-            .with("compute_cycles", ju64(self.compute_cycles)))
+            .with("compute_cycles", ju64(self.compute_cycles))
+            .with("epoch", ju64(self.mut_epoch)))
     }
 
     fn restore_state(&mut self, state: &Json) -> Result<(), String> {
@@ -363,7 +374,12 @@ impl BusSlaveModel for KernelAccelerator {
         self.window = window;
         self.runs = field("runs")?;
         self.compute_cycles = field("compute_cycles")?;
+        self.mut_epoch = field("epoch")?;
         Ok(())
+    }
+
+    fn change_epoch(&self) -> Option<u64> {
+        Some(self.mut_epoch)
     }
 }
 

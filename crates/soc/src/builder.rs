@@ -160,6 +160,15 @@ pub struct BuiltSoc {
     pub snapshot: Option<Snapshot>,
 }
 
+/// Warm-fork sweeps (`drcf_dse::runner::sweep_warm_fork`) address the
+/// simulator inside a live SoC through this, rewinding it back to the
+/// fork point between point evaluations.
+impl AsMut<Simulator> for BuiltSoc {
+    fn as_mut(&mut self) -> &mut Simulator {
+        &mut self.sim
+    }
+}
+
 /// Metrics of one run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunMetrics {
@@ -502,6 +511,15 @@ pub fn restore_soc(
     snapshot: &Snapshot,
 ) -> SimResult<BuiltSoc> {
     let mut soc = build_soc(workload, spec)?;
+    if let Some(diff) = soc.sim.roster_mismatch(snapshot) {
+        return Err(SimError::new(
+            SimErrorKind::Validation,
+            format!(
+                "snapshot does not fit the SoC this spec builds — \
+                 the workload/spec must match the run that captured it: {diff}"
+            ),
+        ));
+    }
     soc.sim.restore(snapshot)?;
     soc.snapshot_at = None;
     Ok(soc)
@@ -527,6 +545,16 @@ pub fn snapshot_prefix(
 /// [`BuiltSoc::snapshot`], and then resumes to completion — the metrics are
 /// bit-identical to a straight run.
 pub fn run_soc(mut soc: BuiltSoc) -> (RunMetrics, BuiltSoc) {
+    let m = run_soc_mut(&mut soc);
+    (m, soc)
+}
+
+/// By-reference variant of [`run_soc`]: run the SoC to completion in place
+/// and return the metric record, leaving the (now finished) SoC usable —
+/// warm-fork sweeps keep one live SoC per worker and
+/// [`drcf_kernel::kernel::Simulator::rewind`] it back to the fork point
+/// between evaluations instead of rebuilding.
+pub fn run_soc_mut(soc: &mut BuiltSoc) -> RunMetrics {
     let reason = match soc.snapshot_at {
         Some(at) => soc.sim.run_until(SimTime::ZERO + at).and_then(|_| {
             soc.snapshot = Some(soc.sim.snapshot()?);
@@ -574,7 +602,7 @@ pub fn run_soc(mut soc: BuiltSoc) -> (RunMetrics, BuiltSoc) {
                     .total_mj();
         }
     }
-    (m, soc)
+    m
 }
 
 #[cfg(test)]

@@ -328,6 +328,35 @@ impl Cpu {
         };
         Ok(())
     }
+
+    fn read_log_entry(e: &Json) -> SimResult<(Addr, Vec<Word>)> {
+        let pair = e
+            .as_arr()
+            .filter(|p| p.len() == 2)
+            .ok_or_else(|| snap::err("malformed read-log entry"))?;
+        let addr = drcf_kernel::json::ju64_of(&pair[0])
+            .ok_or_else(|| snap::err("read-log address is not a u64"))?;
+        let data = words_of(&pair[1]).ok_or_else(|| snap::err("malformed read-log data"))?;
+        Ok((addr, data))
+    }
+
+    /// Everything but the read log — shared by [`Component::restore`] and
+    /// [`Component::restore_live`].
+    fn restore_frame(&mut self, state: &Json) -> SimResult<()> {
+        self.port.restore_json(snap::field(state, "port")?)?;
+        self.pc = snap::usize_field(state, "pc")?;
+        self.restore_cpu_state(state)?;
+        self.finished_at = match snap::field(state, "finished_at")? {
+            Json::Null => None,
+            j => Some(time_of(j).ok_or_else(|| snap::err("bad finish time"))?),
+        };
+        self.pending_irqs = u32::try_from(snap::u64_field(state, "pending_irqs")?)
+            .map_err(|_| snap::err("pending_irqs out of range"))?;
+        self.stats.retired = snap::u64_field(state, "retired")?;
+        self.stats.compute_time = SimDuration::fs(snap::u64_field(state, "compute_time")?);
+        self.stats.polls = snap::u64_field(state, "polls")?;
+        Ok(())
+    }
 }
 
 impl Component for Cpu {
@@ -356,29 +385,29 @@ impl Component for Cpu {
     }
 
     fn restore(&mut self, state: &Json) -> SimResult<()> {
-        self.port.restore_json(snap::field(state, "port")?)?;
-        self.pc = snap::usize_field(state, "pc")?;
-        self.restore_cpu_state(state)?;
+        self.restore_frame(state)?;
         self.read_log.clear();
         for e in snap::arr_field(state, "read_log")? {
-            let pair = e
-                .as_arr()
-                .filter(|p| p.len() == 2)
-                .ok_or_else(|| snap::err("malformed read-log entry"))?;
-            let addr = drcf_kernel::json::ju64_of(&pair[0])
-                .ok_or_else(|| snap::err("read-log address is not a u64"))?;
-            let data = words_of(&pair[1]).ok_or_else(|| snap::err("malformed read-log data"))?;
-            self.read_log.push((addr, data));
+            self.read_log.push(Self::read_log_entry(e)?);
         }
-        self.finished_at = match snap::field(state, "finished_at")? {
-            Json::Null => None,
-            j => Some(time_of(j).ok_or_else(|| snap::err("bad finish time"))?),
-        };
-        self.pending_irqs = u32::try_from(snap::u64_field(state, "pending_irqs")?)
-            .map_err(|_| snap::err("pending_irqs out of range"))?;
-        self.stats.retired = snap::u64_field(state, "retired")?;
-        self.stats.compute_time = SimDuration::fs(snap::u64_field(state, "compute_time")?);
-        self.stats.polls = snap::u64_field(state, "polls")?;
+        Ok(())
+    }
+
+    fn restore_live(&mut self, state: &Json) -> SimResult<()> {
+        self.restore_frame(state)?;
+        // The read log is grow-only along a run, and a live restore's
+        // document lies on the same timeline as the live state (lineage
+        // contract), so the shared prefix is already in place: truncate to
+        // an ancestor's length, or parse only a descendant's new suffix —
+        // O(difference) instead of O(log length).
+        let log = snap::arr_field(state, "read_log")?;
+        if log.len() <= self.read_log.len() {
+            self.read_log.truncate(log.len());
+        } else {
+            for e in &log[self.read_log.len()..] {
+                self.read_log.push(Self::read_log_entry(e)?);
+            }
+        }
         Ok(())
     }
 

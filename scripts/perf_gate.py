@@ -16,8 +16,15 @@ inflate the trajectory), and exits non-zero if:
 
 - any `speedup_vs_baseline` entry has dropped below 1.0 — i.e. the
   current tree is slower than the baked per-scenario baseline;
-- the live `warm_fork_speedup` (cold DSE sweep vs. snapshot-forked sweep)
-  falls below 1.5x;
+- the live `warm_fork_speedup` (cold DSE sweep vs. copy-on-write
+  warm-forked sweep, fork at 9/10 of the makespan) falls below 3.0x;
+- `warm_fork_speedup` does not exceed `warm_fork_speedup_half` (the same
+  sweep forked at 1/2 of the makespan): a longer shared prefix must help
+  more, or the incremental fork path has stopped scaling with prefix
+  length;
+- `warm_fork_delta_identical` is false — a delta capture applied onto a
+  full-snapshot restore landed on a different `state_hash` than a cold
+  run (correctness gate, applies on any hardware);
 - `sharded_soc_identical` or `sharded_e12_identical` is false — a sharded
   run diverged from its single-threaded oracle (correctness gates; they
   apply on any hardware);
@@ -39,6 +46,7 @@ import sys
 import time
 
 HISTORY = "BENCH_history.jsonl"
+WARM_FORK_SPEEDUP_FLOOR = 3.0
 SHARDED_SPEEDUP_FLOOR = 2.0
 SHARDED_E12_SPEEDUP_FLOOR = 1.5
 SHARDED_MIN_HW_THREADS = 4
@@ -60,6 +68,11 @@ def history_entry(bench: dict, sha: str) -> dict:
     for key in (
         "ctx_switch_storm_on_vs_off",
         "warm_fork_speedup",
+        "warm_fork_speedup_half",
+        "warm_fork_delta_identical",
+        "warm_fork_snapshot_full_bytes",
+        "warm_fork_snapshot_delta_bytes",
+        "warm_fork_snapshot_dirty_components",
         "sharded_soc_speedup",
         "sharded_soc_shards",
         "sharded_soc_identical",
@@ -184,10 +197,36 @@ def main() -> int:
 
     warm = bench.get("warm_fork_speedup")
     if warm is not None:
-        verdict = "ok" if warm >= 1.5 else "REGRESSION"
-        print(f"perf gate: warm-fork DSE speedup {warm:.2f}x (floor 1.5x)  [{verdict}]")
-        if warm < 1.5:
+        floor = WARM_FORK_SPEEDUP_FLOOR
+        verdict = "ok" if warm >= floor else "REGRESSION"
+        print(
+            f"perf gate: warm-fork DSE speedup {warm:.2f}x at 9/10 fork "
+            f"(floor {floor}x)  [{verdict}]"
+        )
+        if warm < floor:
             failed.append("warm_fork_speedup")
+        # Prefix-length scaling: forking later (9/10 of the makespan) skips
+        # more shared prefix than forking at 1/2, so it must pay off more.
+        half = bench.get("warm_fork_speedup_half")
+        if half is not None:
+            verdict = "ok" if warm > half else "REGRESSION"
+            print(
+                f"perf gate: warm-fork speedup scaling {half:.2f}x @1/2 -> "
+                f"{warm:.2f}x @9/10  [{verdict}]"
+            )
+            if warm <= half:
+                failed.append("warm_fork_prefix_scaling")
+
+    delta_ok = bench.get("warm_fork_delta_identical")
+    if delta_ok is not None:
+        if delta_ok:
+            print("perf gate: warm-fork delta round trip bit-identical  [ok]")
+        else:
+            print(
+                "perf gate: warm-fork delta restore DIVERGED from the cold run",
+                file=sys.stderr,
+            )
+            failed.append("warm_fork_delta_identical")
 
     gate_sharded(bench, "sharded_soc", SHARDED_SPEEDUP_FLOOR, failed)
     gate_sharded(bench, "sharded_e12", SHARDED_E12_SPEEDUP_FLOOR, failed)

@@ -142,6 +142,101 @@ fn snapshot_with_fault_overlap_decoalesce_resumes_identically() {
     assert!(got.contains("ok: false"), "round-trip preserved the error");
 }
 
+/// Delta-chain round trip on the full SoC: full snapshot at `cuts[0]`,
+/// one text-round-tripped `drcf-snapshot-delta-v1` document per later cut
+/// (all captured on one live timeline), applied in order onto a fresh
+/// full-restored system. Verifies parent-hash linkage at every link, that
+/// the chain tip's `state_hash` equals an unsnapshotted run paused at the
+/// last cut, and that the patched system resumes bit-identically to the
+/// straight run.
+fn assert_delta_chain(w: &Workload, spec: &SocSpec, cuts: &[SimDuration]) {
+    assert!(cuts.len() >= 2, "need a base cut plus at least one delta");
+    let (straight_m, straight) = run_soc(build_soc(w, spec).expect("build straight"));
+    let want = observables(&straight_m, &straight);
+    // One live timeline: full capture at the first cut, deltas after it.
+    let base = snapshot_prefix(w, spec, cuts[0]).expect("capture base");
+    let mut live = restore_soc(w, spec, &base).expect("restore live timeline");
+    let mut deltas = Vec::new();
+    let mut parent = base.state_hash();
+    for &at in &cuts[1..] {
+        live.sim
+            .run_until(SimTime::ZERO + at)
+            .expect("advance live timeline");
+        let d = live.sim.snapshot_delta_from(parent).expect("capture delta");
+        assert_eq!(d.parent_hash(), parent, "delta chains to its parent");
+        parent = d.child_hash();
+        // The delta document must survive the text round trip, like full
+        // snapshots do.
+        deltas.push(SnapshotDelta::parse(&d.to_text()).expect("delta text parses"));
+    }
+    // The chain tip must be the same state an unsnapshotted run paused at
+    // the last cut captures.
+    let cold = snapshot_prefix(w, spec, *cuts.last().expect("cuts")).expect("cold capture");
+    assert_eq!(
+        parent,
+        cold.state_hash(),
+        "delta-chain tip diverged from the never-snapshotted run"
+    );
+    // Fresh system: full restore of the base, then patch delta by delta.
+    let mut patched = restore_soc(w, spec, &base).expect("full restore of base");
+    for d in &deltas {
+        patched.sim.restore_delta(d).expect("apply delta");
+    }
+    assert_eq!(
+        patched.sim.current_doc_hash(),
+        Some(parent),
+        "patched simulator stands at the chain tip"
+    );
+    let resumed_m = run_soc_mut(&mut patched);
+    assert_eq!(
+        observables(&resumed_m, &patched),
+        want,
+        "delta-chain resume diverged from the straight run"
+    );
+}
+
+/// Every `(SwitchStart, SwitchDone)` window of the straight run's fabric
+/// event log, in order.
+fn switch_windows(w: &Workload, spec: &SocSpec) -> (SimDuration, Vec<(SimTime, SimTime)>) {
+    let (m, soc) = run_soc(build_soc(w, spec).expect("build probe"));
+    assert!(m.ok, "{m:?}");
+    let drcf = soc.drcf.expect("fabric mapping");
+    let mut windows = Vec::new();
+    let mut start = None;
+    for e in &soc.sim.get::<Drcf>(drcf).stats.events {
+        match e.kind {
+            FabricEventKind::SwitchStart => start = Some(e.at),
+            FabricEventKind::SwitchDone => {
+                if let Some(s) = start.take() {
+                    windows.push((s, e.at));
+                }
+            }
+            _ => {}
+        }
+    }
+    (m.makespan, windows)
+}
+
+#[test]
+fn delta_chain_through_config_trains_resumes_bit_identical() {
+    let w = wireless_receiver(2, 32);
+    let spec = drcf_spec(&w);
+    let (makespan, windows) = switch_windows(&w, &spec);
+    assert!(windows.len() >= 2, "need two reconfiguration windows");
+    let mid =
+        |(s, d): (SimTime, SimTime)| SimTime((s.as_fs() + d.as_fs()) / 2).since(SimTime::ZERO);
+    // Base captured mid-first-train (configuration words on the bus), one
+    // delta captured mid-second-train, one near the end of the run: both
+    // the full document and the incremental ones carry in-flight coalesced
+    // train state.
+    let cuts = [
+        mid(windows[0]),
+        mid(windows[1]),
+        SimDuration::fs(makespan.as_fs() * 9 / 10),
+    ];
+    assert_delta_chain(&w, &spec, &cuts);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -164,5 +259,42 @@ proptest! {
         prop_assert!(m.ok, "{m:?}");
         let at = SimDuration::fs(m.makespan.as_fs() * num / 8);
         assert_roundtrip(&w, &spec, at);
+    }
+
+    /// Random mutation schedules: a full snapshot at a random fraction of
+    /// the makespan followed by deltas captured at random later fractions
+    /// (all on one live timeline) must chain by parent hash, land on the
+    /// identical `state_hash` as an unsnapshotted run, and resume
+    /// bit-identically to the straight run after a full-restore + patch.
+    #[test]
+    fn delta_chain_vs_full_restore_and_straight_run(
+        frames in 1usize..3,
+        samples_pow in 4u32..6,
+        base in 1u64..6,
+        steps in proptest::collection::vec(1u64..4, 1..4),
+        traced in any::<bool>(),
+    ) {
+        let w = wireless_receiver(frames, 1usize << samples_pow);
+        let mut spec = drcf_spec(&w);
+        if traced {
+            spec.trace_capacity = Some(1 << 14);
+        }
+        let (m, _) = run_soc(build_soc(&w, &spec).expect("build probe"));
+        prop_assert!(m.ok, "{m:?}");
+        // Strictly increasing tenths of the makespan: the base fraction,
+        // then one cut per step, capped inside the run.
+        let mut tenths = vec![base];
+        for s in steps {
+            let last = *tenths.last().expect("cuts");
+            let next = (last + s).min(9);
+            if next > last {
+                tenths.push(next);
+            }
+        }
+        let cuts: Vec<SimDuration> = tenths
+            .iter()
+            .map(|&n| SimDuration::fs(m.makespan.as_fs() * n / 10))
+            .collect();
+        assert_delta_chain(&w, &spec, &cuts);
     }
 }
