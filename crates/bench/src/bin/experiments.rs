@@ -337,6 +337,89 @@ fn run_sharded(shards: usize) {
     print!("{}", par.efficiency().render());
 }
 
+/// Run the simulation service: bind a loopback socket, publish its address
+/// at `<root>/serve.addr`, and answer sweep requests from the
+/// content-addressed snapshot store until a client sends `shutdown`.
+fn serve_store(root: &str, workers: usize) {
+    use drcf_serve::prelude::*;
+    match SweepServer::start(root, workers) {
+        Ok(server) => {
+            eprintln!(
+                "serving sweeps from {root} at {} with {workers} workers; \
+                 send {{\"op\":\"shutdown\"}} (or --sweep-client {root} --shutdown) to stop",
+                server.addr()
+            );
+            server.serve_forever();
+            eprintln!("server stopped");
+        }
+        Err(e) => {
+            eprintln!("error[{}]: {e}", e.kind.label());
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Submit one sweep to the server advertised in `<root>/serve.addr` and
+/// print the records plus the cache accounting.
+fn sweep_client(root: &str, req: &drcf_serve::prelude::SweepRequest, shutdown: bool) {
+    use drcf_serve::prelude::*;
+    let fail = |e: drcf_kernel::prelude::SimError| -> ! {
+        eprintln!("error[{}]: {e}", e.kind.label());
+        std::process::exit(1);
+    };
+    let mut client = Client::connect_store(root).unwrap_or_else(|e| fail(e));
+    if shutdown && req.points.is_empty() {
+        client.shutdown().unwrap_or_else(|e| fail(e));
+        eprintln!("server asked to shut down");
+        return;
+    }
+    let reply = client.sweep(req).unwrap_or_else(|e| fail(e));
+    let mut table =
+        drcf_dse::prelude::Table::new("served sweep", &["clock (MHz)", "makespan (ns)", "ok"]);
+    for r in &reply.records {
+        table.row(vec![
+            r.param("clock_mhz").unwrap_or("?").to_string(),
+            format!("{:.0}", r.makespan_ns),
+            r.ok.to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+    println!(
+        "key {:016x}: {} from cache, {} simulated",
+        reply.key, reply.from_cache, reply.simulated
+    );
+    if shutdown {
+        client.shutdown().unwrap_or_else(|e| fail(e));
+        eprintln!("server asked to shut down");
+    }
+}
+
+/// Report a command-line usage error with the same typed-error shape the
+/// snapshot-chain resume path uses — `error[<kind>]: message` on stderr,
+/// exit code 2 — instead of an `expect` panic with a backtrace.
+fn usage_error(msg: String) -> ! {
+    use drcf_kernel::prelude::{SimError, SimErrorKind};
+    let e = SimError::new(SimErrorKind::Validation, msg);
+    eprintln!("error[{}]: {e}", e.kind.label());
+    std::process::exit(2);
+}
+
+/// The operand following flag `args[i]`, or a typed usage error when the
+/// flag ends the argument list or is followed by another flag.
+fn operand<'a>(args: &'a [String], i: usize, flag: &str, what: &str) -> &'a str {
+    match args.get(i + 1) {
+        Some(v) if !v.starts_with("--") => v,
+        _ => usage_error(format!("{flag} needs {what}")),
+    }
+}
+
+/// [`operand`], parsed; a non-parsing operand is a typed usage error too.
+fn parsed_operand<T: std::str::FromStr>(args: &[String], i: usize, flag: &str, what: &str) -> T {
+    let v = operand(args, i, flag, what);
+    v.parse()
+        .unwrap_or_else(|_| usage_error(format!("{flag} needs {what}, got {v:?}")))
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--bench-json") {
@@ -346,13 +429,12 @@ fn main() {
         eprintln!("wrote BENCH_kernel.json");
         return;
     }
-    let shards_arg = args.iter().position(|a| a == "--shards").map(|i| {
-        args.get(i + 1)
-            .and_then(|v| v.parse().ok())
-            .expect("--shards needs a shard count")
-    });
+    let shards_arg = args
+        .iter()
+        .position(|a| a == "--shards")
+        .map(|i| parsed_operand::<usize>(&args, i, "--shards", "a shard count"));
     if let Some(i) = args.iter().position(|a| a == "--trace-out") {
-        let path = args.get(i + 1).expect("--trace-out needs a path");
+        let path = operand(&args, i, "--trace-out", "a path");
         // With --shards the two flags compose: trace every LP of the
         // sharded E12 run and merge them into one document (previously
         // --shards was silently ignored here and the single-simulator
@@ -364,23 +446,63 @@ fn main() {
         return;
     }
     if let Some(i) = args.iter().position(|a| a == "--snapshot-out") {
-        let path = args.get(i + 1).expect("--snapshot-out needs a path");
-        let at_ns = args.iter().position(|a| a == "--at-ns").map(|j| {
-            args.get(j + 1)
-                .and_then(|v| v.parse().ok())
-                .expect("--at-ns needs an integer nanosecond count")
-        });
+        let path = operand(&args, i, "--snapshot-out", "a path");
+        let at_ns = args
+            .iter()
+            .position(|a| a == "--at-ns")
+            .map(|j| parsed_operand::<u64>(&args, j, "--at-ns", "an integer nanosecond count"));
         let deltas = args.iter().position(|a| a == "--deltas").map_or(0, |j| {
-            args.get(j + 1)
-                .and_then(|v| v.parse().ok())
-                .expect("--deltas needs an integer delta count")
+            parsed_operand::<usize>(&args, j, "--deltas", "an integer delta count")
         });
         write_snapshot(path, at_ns, deltas);
         return;
     }
     if let Some(i) = args.iter().position(|a| a == "--resume-from") {
-        let path = args.get(i + 1).expect("--resume-from needs a path");
+        let path = operand(&args, i, "--resume-from", "a path");
         resume_snapshot(path);
+        return;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--serve") {
+        let root = operand(&args, i, "--serve", "a store directory");
+        let workers = args.iter().position(|a| a == "--workers").map_or(2, |j| {
+            parsed_operand::<usize>(&args, j, "--workers", "a worker count")
+        });
+        serve_store(root, workers);
+        return;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--sweep-client") {
+        let root = operand(&args, i, "--sweep-client", "a store directory");
+        let shutdown = args.iter().any(|a| a == "--shutdown");
+        let points: Vec<u64> =
+            args.iter()
+                .position(|a| a == "--points")
+                .map_or_else(Vec::new, |j| {
+                    let list = operand(&args, j, "--points", "a comma-separated MHz list");
+                    list.split(',')
+                        .map(|p| {
+                            p.trim().parse().unwrap_or_else(|_| {
+                                usage_error(format!(
+                                    "--points needs a comma-separated MHz list, got {p:?}"
+                                ))
+                            })
+                        })
+                        .collect()
+                });
+        if points.is_empty() && !shutdown {
+            usage_error("--sweep-client needs --points (or --shutdown)".into());
+        }
+        let mut req = drcf_serve::prelude::SweepRequest::small(4_000, points);
+        if let Some(j) = args.iter().position(|a| a == "--frames") {
+            req.frames = parsed_operand::<usize>(&args, j, "--frames", "a frame count");
+        }
+        if let Some(j) = args.iter().position(|a| a == "--samples") {
+            req.samples = parsed_operand::<usize>(&args, j, "--samples", "a sample count");
+        }
+        if let Some(j) = args.iter().position(|a| a == "--fork-ns") {
+            req.fork_ns =
+                parsed_operand::<u64>(&args, j, "--fork-ns", "an integer nanosecond count");
+        }
+        sweep_client(root, &req, shutdown);
         return;
     }
     if let Some(shards) = shards_arg {

@@ -709,6 +709,52 @@ pub fn sharded_e12() -> (
     )
 }
 
+/// Serve-layer cache outcome: the same sweep requested cold (empty store)
+/// and then warm (answered from the content-addressed snapshot store).
+pub struct ServeCacheStats {
+    /// Cold wall time over warm wall time for the identical request.
+    pub speedup: f64,
+    /// Points the warm request answered from the store.
+    pub hits: u64,
+    /// Points in the request.
+    pub points: u64,
+    /// Warm records are bit-identical to the cold ones.
+    pub identical: bool,
+}
+
+/// Measure the simulation-as-a-service cache: serve one clock sweep from an
+/// empty store (simulates prefix + every point), then serve the identical
+/// request again (everything answered from durable records). The warm
+/// answer must be bit-identical; the wall ratio is the cache-hit speedup
+/// the perf gate tracks.
+pub fn serve_cache_bench() -> (HotpathMeasurement, ServeCacheStats) {
+    use drcf_serve::prelude::*;
+    let dir = std::env::temp_dir().join(format!("drcf-serve-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = SnapshotStore::open(&dir).expect("open bench store");
+    let req = SweepRequest::small(4_000, vec![150, 250, 350, 500, 700]);
+
+    let t0 = Instant::now();
+    let cold = process_sweep(&store, &req).expect("cold serve sweep");
+    let cold_secs = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let warm = process_sweep(&store, &req).expect("warm serve sweep");
+    let warm_secs = t1.elapsed().as_secs_f64();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let stats = ServeCacheStats {
+        speedup: cold_secs / warm_secs.max(1e-9),
+        hits: warm.from_cache as u64,
+        points: req.points.len() as u64,
+        identical: warm.records == cold.records && cold.simulated == req.points.len(),
+    };
+    let m = HotpathMeasurement::new("serve_cache", req.points.len() as u64, cold_secs).with_note(
+        "5-point CPU-clock sweep served cold from an empty snapshot store, then re-served \
+         warm from durable records; events counts sweep points, seconds is the cold wall",
+    );
+    (m, stats)
+}
+
 /// Run the full hot-path suite with default sizes. Returns the
 /// measurements plus the storm's live coalescing-on-vs-off wall speedup
 /// and the warm-fork stats (speedups at both fork depths, delta
@@ -751,6 +797,8 @@ pub fn bench_json() -> Json {
     current.push(sharded);
     let (e12, e12_speedup, e12_shards, e12_identical, e12_run) = sharded_e12();
     current.push(e12);
+    let (serve_m, serve_stats) = serve_cache_bench();
+    current.push(serve_m);
     let eff_json = |eff: &drcf_kernel::prelude::EfficiencyReport| {
         Json::obj()
             .with("parallel_efficiency", eff.parallel_efficiency.into())
@@ -810,6 +858,10 @@ pub fn bench_json() -> Json {
         .with("sharded_soc_efficiency", eff_json(&soc_eff))
         .with("sharded_e12_efficiency", eff_json(&e12_eff))
         .with("sharded_e12_critical_link", e12_cl.json())
+        .with("serve_cache_hit_speedup", serve_stats.speedup.into())
+        .with("serve_cache_hits", serve_stats.hits.into())
+        .with("serve_points", serve_stats.points.into())
+        .with("serve_identical", Json::Bool(serve_stats.identical))
         .with("hw_threads", (hw_threads as u64).into())
 }
 

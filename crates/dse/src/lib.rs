@@ -24,13 +24,13 @@ pub mod trace;
 /// Commonly used items.
 pub mod prelude {
     pub use crate::json::Json;
-    pub use crate::metrics::{records_to_json, RunRecord};
+    pub use crate::metrics::{record_jsonl_line, records_from_jsonl, records_to_json, RunRecord};
     pub use crate::pareto::{dominates, objectives, pareto_front, Objective};
     pub use crate::partition::{explore_partitions, size_fabric, subsets, PartitionOutcome};
     pub use crate::report::{fmt_ns, fmt_pct, Table};
     pub use crate::runner::{
         sweep, sweep_catch, sweep_catch_workers, sweep_partitioned, sweep_serial, sweep_sharded,
-        sweep_warm_fork, sweep_with, thread_split, WarmFork,
+        sweep_warm_fork, sweep_warm_fork_resume, sweep_with, thread_split, WarmFork,
     };
     pub use crate::space::{cartesian2, cartesian3, linear_steps, pow2_steps};
     pub use crate::trace::{

@@ -162,42 +162,82 @@ where
     F: Fn(&P, &mut S) -> RunRecord + Sync,
     S: AsMut<Simulator>,
 {
+    sweep_warm_fork_resume(points, fork, cfg, build, eval, &[], &|_, _| {})
+}
+
+/// Crash-resumable [`sweep_warm_fork`]: skip already-finished points and
+/// stream each completed record out as it lands.
+///
+/// `done` holds the records recovered from a previous (interrupted) run of
+/// the same sweep, aligned with `points`; `Some` entries are returned
+/// verbatim without simulating, `None` (or missing — `done` may be shorter
+/// than `points`, including empty) entries are evaluated. `on_record` is
+/// invoked on the worker thread for every *freshly evaluated* record,
+/// before the result is merged — a persistence hook: append the record to
+/// durable storage there and an interruption at any instant loses at most
+/// the points currently in flight. Recovered records are not re-announced.
+///
+/// Ordering and fault isolation are exactly [`sweep_warm_fork`]'s: one
+/// record per point, in input order.
+pub fn sweep_warm_fork_resume<P, S, B, F>(
+    points: &[P],
+    fork: &Snapshot,
+    cfg: WarmFork,
+    build: B,
+    eval: F,
+    done: &[Option<RunRecord>],
+    on_record: &(dyn Fn(usize, &RunRecord) + Sync),
+) -> Vec<RunRecord>
+where
+    P: Sync,
+    B: Fn() -> SimResult<S> + Sync,
+    F: Fn(&P, &mut S) -> RunRecord + Sync,
+    S: AsMut<Simulator>,
+{
     let n = points.len();
     if n == 0 {
         return Vec::new();
     }
-    let workers = hw_threads().clamp(1, n);
-    let cursor = AtomicUsize::new(0);
-    let (tx, rx) = std::sync::mpsc::channel::<(usize, RunRecord)>();
-    let mut out: Vec<Option<RunRecord>> = (0..n).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            let tx = tx.clone();
-            let cursor = &cursor;
-            let build = &build;
-            let eval = &eval;
-            scope.spawn(move || {
-                // The live base is thread-local: it is born, forked, and
-                // retired on this worker, so `S` needs no Send/Sync.
-                let mut base: Option<S> = None;
-                let mut forks = 0usize;
-                loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
+    let mut out: Vec<Option<RunRecord>> = (0..n)
+        .map(|i| done.get(i).cloned().unwrap_or(None))
+        .collect();
+    let todo: Vec<usize> = (0..n).filter(|&i| out[i].is_none()).collect();
+    if !todo.is_empty() {
+        let workers = hw_threads().clamp(1, todo.len());
+        let cursor = AtomicUsize::new(0);
+        let (tx, rx) = std::sync::mpsc::channel::<(usize, RunRecord)>();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let cursor = &cursor;
+                let todo = &todo;
+                let build = &build;
+                let eval = &eval;
+                scope.spawn(move || {
+                    // The live base is thread-local: it is born, forked, and
+                    // retired on this worker, so `S` needs no Send/Sync.
+                    let mut base: Option<S> = None;
+                    let mut forks = 0usize;
+                    loop {
+                        let k = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&i) = todo.get(k) else {
+                            break;
+                        };
+                        let rec =
+                            warm_point(i, points, fork, cfg, build, eval, &mut base, &mut forks);
+                        on_record(i, &rec);
+                        if tx.send((i, rec)).is_err() {
+                            break;
+                        }
                     }
-                    let rec = warm_point(i, points, fork, cfg, build, eval, &mut base, &mut forks);
-                    if tx.send((i, rec)).is_err() {
-                        break;
-                    }
-                }
-            });
-        }
-        drop(tx);
-        for (i, rec) in rx {
-            out[i] = Some(rec);
-        }
-    });
+                });
+            }
+            drop(tx);
+            for (i, rec) in rx {
+                out[i] = Some(rec);
+            }
+        });
+    }
     out.into_iter()
         .enumerate()
         .map(|(i, r)| {

@@ -1127,17 +1127,30 @@ struct CompSlot {
 /// warm rewind; older captures fall off and can no longer serve as parents.
 const CAPTURED_CAP: usize = 64;
 
+/// One remembered capture point: the live state equalled the document with
+/// this hash at this generation, with the recorder and tracer at these
+/// mutation epochs. The epochs let `snapshot_delta_from` skip the heavy
+/// recorder/tracer globals when they have not changed since the parent
+/// capture (the dominant payload of deltas over traced runs).
+#[derive(Debug, Clone, Copy)]
+struct Capture {
+    hash: u64,
+    gen: u64,
+    recorder_epoch: u64,
+    tracer_epoch: u64,
+}
+
 /// The simulator: owns all components and channels and runs the event loop.
 pub struct Simulator {
     comps: Vec<CompSlot>,
     st: KernelState,
     started: bool,
-    /// `(document hash, generation at capture)` of recent capture points,
-    /// oldest first, capped at [`CAPTURED_CAP`]. `rewind` and
-    /// `snapshot_delta` look parents up here; a hash that is not present
-    /// (never captured on this simulator, or evicted, or pruned because it
-    /// belonged to an abandoned branch) is a typed `SnapshotChain` error.
-    captured: Vec<(u64, u64)>,
+    /// Recent capture points, oldest first, capped at [`CAPTURED_CAP`].
+    /// `rewind` and `snapshot_delta` look parents up here; a hash that is
+    /// not present (never captured on this simulator, or evicted, or pruned
+    /// because it belonged to an abandoned branch) is a typed
+    /// `SnapshotChain` error.
+    captured: Vec<Capture>,
     /// Hash of the document the live state is known to equal — set by every
     /// capture point, invalidated by running. `restore_delta` requires it
     /// to match the delta's parent hash.
@@ -1301,13 +1314,19 @@ impl Simulator {
     /// Enable structured tracing ([`crate::observe`]) with a ring buffer
     /// holding the most recent `capacity` events.
     pub fn enable_observe(&mut self, capacity: usize) {
+        let floor = self.st.recorder.epoch();
         self.st.recorder = Recorder::enabled(capacity);
+        self.st.recorder.bump_epoch_past(floor);
     }
 
     /// Install a preconfigured recorder (e.g. [`Recorder::disabled`] to
-    /// turn tracing back off between runs).
+    /// turn tracing back off between runs). The mutation epoch stays
+    /// monotonic across the swap so older capture points can never
+    /// mistake the new recorder for an unchanged one.
     pub fn set_recorder(&mut self, r: Recorder) {
+        let floor = self.st.recorder.epoch();
         self.st.recorder = r;
+        self.st.recorder.bump_epoch_past(floor);
     }
 
     /// The structured-trace recorder.
@@ -1685,7 +1704,12 @@ impl Simulator {
     /// greater generation, so dirtiness relative to this capture is one
     /// integer comparison.
     fn register_capture(&mut self, hash: u64) {
-        self.captured.push((hash, self.st.gen));
+        self.captured.push(Capture {
+            hash,
+            gen: self.st.gen,
+            recorder_epoch: self.st.recorder.epoch(),
+            tracer_epoch: self.st.tracer.as_ref().map_or(0, VcdTracer::epoch),
+        });
         self.st.gen += 1;
         if self.captured.len() > CAPTURED_CAP {
             self.captured.remove(0);
@@ -1693,15 +1717,16 @@ impl Simulator {
         self.current_doc_hash = Some(hash);
     }
 
-    /// Generation at which `hash` was captured, if it is still remembered.
+    /// The capture point registered for `hash`, if it is still remembered.
     /// The latest registration wins (re-capturing the same document narrows
     /// the dirty set).
+    fn captured_entry(&self, hash: u64) -> Option<Capture> {
+        self.captured.iter().rev().find(|c| c.hash == hash).copied()
+    }
+
+    /// Generation at which `hash` was captured, if it is still remembered.
     fn captured_gen(&self, hash: u64) -> Option<u64> {
-        self.captured
-            .iter()
-            .rev()
-            .find(|&&(h, _)| h == hash)
-            .map(|&(_, g)| g)
+        self.captured_entry(hash).map(|c| c.gen)
     }
 
     /// Hash of the document the live state is known to equal, if the
@@ -1954,21 +1979,31 @@ impl Simulator {
     /// The process-local snapshot-size counters survive: they are not part
     /// of the serialized metrics (see [`KernelMetrics`]).
     fn restore_globals_from(&mut self, j: &Json) -> SimResult<()> {
-        match (snap::field(j, "tracer")?, self.st.tracer.as_mut()) {
-            (Json::Null, None) => {}
-            (Json::Null, Some(_)) => {
-                return Err(snap::err(
-                    "simulator has a VCD tracer but the snapshot does not",
-                ))
+        // Delta documents elide an epoch-stable tracer/recorder with an
+        // "unchanged" marker: the parent-hash check that guards every
+        // delta apply proves the live copy already equals the child's, so
+        // the marker means "leave it alone", never "missing".
+        let tj = snap::field(j, "tracer")?;
+        if !snap::is_unchanged_mark(tj) {
+            match (tj, self.st.tracer.as_mut()) {
+                (Json::Null, None) => {}
+                (Json::Null, Some(_)) => {
+                    return Err(snap::err(
+                        "simulator has a VCD tracer but the snapshot does not",
+                    ))
+                }
+                (_, None) => {
+                    return Err(snap::err(
+                        "snapshot has a VCD tracer but the simulator does not",
+                    ))
+                }
+                (t, Some(tracer)) => tracer.restore_json(t)?,
             }
-            (_, None) => {
-                return Err(snap::err(
-                    "snapshot has a VCD tracer but the simulator does not",
-                ))
-            }
-            (t, Some(tracer)) => tracer.restore_json(t)?,
         }
-        self.st.recorder.restore_json(snap::field(j, "recorder")?)?;
+        let rj = snap::field(j, "recorder")?;
+        if !snap::is_unchanged_mark(rj) {
+            self.st.recorder.restore_json(rj)?;
+        }
 
         self.st.now = SimTime(snap::u64_field(j, "now")?);
         self.st.seq = snap::u64_field(j, "seq")?;
@@ -2106,7 +2141,7 @@ impl Simulator {
         // Captures taken after the parent belong to the branch being
         // abandoned; a future delta against them would silently compare
         // stamps across diverged timelines, so forget them.
-        self.captured.retain(|&(_, g)| g <= pg);
+        self.captured.retain(|c| c.gen <= pg);
         self.register_capture(phash);
         Ok(())
     }
@@ -2127,7 +2162,7 @@ impl Simulator {
     /// [`Simulator::snapshot_delta`] by parent hash alone — enough to chain
     /// delta-on-delta without keeping parent documents alive.
     pub fn snapshot_delta_from(&mut self, parent_hash: u64) -> SimResult<SnapshotDelta> {
-        let Some(pg) = self.captured_gen(parent_hash) else {
+        let Some(parent) = self.captured_entry(parent_hash) else {
             return Err(SimError::new(
                 SimErrorKind::SnapshotChain,
                 format!(
@@ -2136,11 +2171,21 @@ impl Simulator {
                 ),
             ));
         };
+        let pg = parent.gen;
         // Dirty masks must be read before `snapshot` advances the
         // generation (capturing must not make anything look clean).
         let dirty_comps: Vec<bool> = self.comps.iter().map(|s| s.touched_gen > pg).collect();
         let dirty_signals: Vec<bool> = self.st.signal_touched.iter().map(|&g| g > pg).collect();
         let dirty_fifos: Vec<bool> = self.st.fifo_touched.iter().map(|&g| g > pg).collect();
+        // Epoch-stable recorder/tracer globals are elided: restore_delta
+        // only ever applies onto a live state proven (by parent-hash check)
+        // to equal the parent, so "unchanged since the parent capture in
+        // the producer" implies the consumer's live copy already equals the
+        // child's. The child hash is computed from the *full* document, so
+        // eliding here never weakens chain validation.
+        let recorder_unchanged = self.st.recorder.epoch() == parent.recorder_epoch;
+        let tracer_unchanged =
+            self.st.tracer.as_ref().map_or(0, VcdTracer::epoch) == parent.tracer_epoch;
 
         let full = self.snapshot()?;
         let j = full.json();
@@ -2172,8 +2217,22 @@ impl Simulator {
             .with("clocks", take("clocks")?)
             .with("signals", pick("signals", &dirty_signals)?)
             .with("fifos", pick("fifos", &dirty_fifos)?)
-            .with("tracer", take("tracer")?)
-            .with("recorder", take("recorder")?)
+            .with(
+                "tracer",
+                if tracer_unchanged {
+                    snap::unchanged_mark()
+                } else {
+                    take("tracer")?
+                },
+            )
+            .with(
+                "recorder",
+                if recorder_unchanged {
+                    snap::unchanged_mark()
+                } else {
+                    take("recorder")?
+                },
+            )
             .with("components", pick("components", &dirty_comps)?);
         let delta = SnapshotDelta::from_state(state)?;
         self.st.metrics.snapshot_delta_bytes = delta.byte_len();

@@ -147,6 +147,12 @@ pub struct Recorder {
     head: usize,
     emitted: u64,
     dropped: u64,
+    /// Process-local mutation counter: bumped by every state change
+    /// (emit-when-enabled, clear, restore). Never serialized and never
+    /// reset backwards, so two equal epochs on the same `Recorder` value
+    /// always mean "no mutation in between" — the delta snapshot layer
+    /// uses this to skip re-serializing an unchanged recorder.
+    epoch: u64,
 }
 
 impl Default for Recorder {
@@ -166,6 +172,7 @@ impl Recorder {
             head: 0,
             emitted: 0,
             dropped: 0,
+            epoch: 0,
         }
     }
 
@@ -179,7 +186,23 @@ impl Recorder {
             head: 0,
             emitted: 0,
             dropped: 0,
+            epoch: 0,
         }
+    }
+
+    /// Mutation epoch: changes iff the recorder's observable state may
+    /// have changed since the last time the epoch was read. Monotonic
+    /// within a process; meaningless across processes.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Force the epoch to at least `floor` (used when a simulator swaps
+    /// in a freshly-built recorder, so the new value can never repeat an
+    /// epoch already associated with an older capture point).
+    pub(crate) fn bump_epoch_past(&mut self, floor: u64) {
+        self.epoch = self.epoch.max(floor) + 1;
     }
 
     /// Whether events are being recorded. Emitters with any per-event cost
@@ -195,6 +218,7 @@ impl Recorder {
         if !self.enabled {
             return;
         }
+        self.epoch += 1;
         self.emitted += 1;
         if self.buf.len() < self.capacity {
             self.buf.push(ev);
@@ -243,6 +267,7 @@ impl Recorder {
 
     /// Drop all retained events (counters keep accumulating).
     pub fn clear(&mut self) {
+        self.epoch += 1;
         self.buf.clear();
         self.head = 0;
     }
@@ -276,11 +301,16 @@ impl crate::snapshot::Snapshotable for Recorder {
     fn restore_json(&mut self, state: &Json) -> SimResult<()> {
         let enabled = snap::bool_field(state, "enabled")?;
         let capacity = snap::usize_field(state, "capacity")?;
+        // The epoch is process-local and must stay monotonic through a
+        // restore: a restored recorder is a new state, so it gets a fresh
+        // epoch strictly above everything this instance handed out before.
+        let epoch = self.epoch + 1;
         *self = if enabled {
             Recorder::enabled(capacity)
         } else {
             Recorder::disabled()
         };
+        self.epoch = epoch;
         self.emitted = snap::u64_field(state, "emitted")?;
         self.dropped = snap::u64_field(state, "dropped")?;
         for e in snap::arr_field(state, "events")? {

@@ -50,6 +50,22 @@ pub const SNAPSHOT_SCHEMA: &str = "drcf-snapshot-v1";
 /// Schema identifier embedded in every delta-snapshot document.
 pub const DELTA_SCHEMA: &str = "drcf-snapshot-delta-v1";
 
+/// Marker a delta document carries in place of a heavy global (tracer,
+/// recorder) whose mutation epoch is unchanged since the parent capture.
+/// Unambiguous because every real payload in those positions is an object
+/// or `null`, never a bare string.
+pub const UNCHANGED_MARK: &str = "unchanged";
+
+/// The [`UNCHANGED_MARK`] as a JSON value.
+pub fn unchanged_mark() -> Json {
+    Json::from(UNCHANGED_MARK)
+}
+
+/// Whether `j` is the [`UNCHANGED_MARK`].
+pub fn is_unchanged_mark(j: &Json) -> bool {
+    matches!(j, Json::Str(s) if s == UNCHANGED_MARK)
+}
+
 /// A serialized simulation state (see the module docs for the contract).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Snapshot {
@@ -105,6 +121,32 @@ impl Snapshot {
             ))),
             None => Err(err("snapshot document has no schema field")),
         }
+    }
+
+    /// Parse a *stored* snapshot and validate its content against the
+    /// state hash recorded when it was written (the snapshot-store
+    /// cache-validation idiom). A document that parses but hashes
+    /// differently — truncated tail, bit flip, stale overwrite — is a
+    /// typed [`SimErrorKind::SnapshotChain`] error, so callers can fall
+    /// back to a cold re-simulation instead of restoring a wrong state.
+    pub fn parse_validated(text: &str, expected_hash: u64) -> SimResult<Snapshot> {
+        let snap = Snapshot::parse(text).map_err(|e| {
+            SimError::new(
+                SimErrorKind::SnapshotChain,
+                format!("stored snapshot is unreadable: {}", e.message),
+            )
+        })?;
+        if snap.state_hash() != expected_hash {
+            return Err(SimError::new(
+                SimErrorKind::SnapshotChain,
+                format!(
+                    "stored snapshot hashes to {:016x}, expected {expected_hash:016x} \
+                     (corrupt or stale store entry)",
+                    snap.state_hash()
+                ),
+            ));
+        }
+        Ok(snap)
     }
 }
 
@@ -231,6 +273,32 @@ impl ChainDoc {
             ChainDoc::Full(s) => s.byte_len(),
             ChainDoc::Delta(d) => d.byte_len(),
         }
+    }
+
+    /// Parse a *stored* chain link and validate it against the tip hash
+    /// recorded when it was written (see [`Snapshot::parse_validated`]).
+    /// For a full document the tip is its own state hash; for a delta it
+    /// is the child hash, whose declared value is checked against the
+    /// expectation so a corrupted link surfaces as a typed
+    /// [`SimErrorKind::SnapshotChain`] error rather than a wrong restore.
+    pub fn parse_validated(text: &str, expected_tip: u64) -> SimResult<ChainDoc> {
+        let doc = ChainDoc::parse(text).map_err(|e| {
+            SimError::new(
+                SimErrorKind::SnapshotChain,
+                format!("stored chain link is unreadable: {}", e.message),
+            )
+        })?;
+        if doc.tip_hash() != expected_tip {
+            return Err(SimError::new(
+                SimErrorKind::SnapshotChain,
+                format!(
+                    "stored chain link tips at {:016x}, expected {expected_tip:016x} \
+                     (corrupt or stale store entry)",
+                    doc.tip_hash()
+                ),
+            ));
+        }
+        Ok(doc)
     }
 }
 

@@ -78,12 +78,24 @@ struct VarDecl {
 pub struct VcdTracer {
     vars: Vec<VarDecl>,
     changes: Vec<(SimTime, u32, TraceValue)>,
+    /// Process-local mutation counter (see [`Recorder::epoch`]
+    /// (crate::observe::Recorder::epoch)): bumped by declare/record/
+    /// restore, never serialized, never moves backwards. Lets the delta
+    /// snapshot layer skip re-serializing an unchanged trace log.
+    epoch: u64,
 }
 
 impl VcdTracer {
     /// New, empty tracer.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Mutation epoch: changes iff the trace log may have changed since
+    /// the epoch was last read. Monotonic within a process.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Declare a variable; returns its handle for [`VcdTracer::record`].
@@ -97,6 +109,7 @@ impl VcdTracer {
             TraceValue::Bits { width, .. } => (width, false),
             TraceValue::Real(_) => (64, true),
         };
+        self.epoch += 1;
         let id = self.vars.len();
         let mut name = sanitize(name);
         if self.vars.iter().any(|v| v.name == name) {
@@ -110,6 +123,7 @@ impl VcdTracer {
     /// Record a value change at `time`.
     pub fn record(&mut self, time: SimTime, var: usize, value: TraceValue) {
         debug_assert!(var < self.vars.len(), "trace var out of range");
+        self.epoch += 1;
         self.changes.push((time, var as u32, value));
     }
 
@@ -277,6 +291,7 @@ impl crate::snapshot::Snapshotable for VcdTracer {
                 )));
             }
         }
+        self.epoch += 1;
         self.changes.clear();
         for c in snap::arr_field(state, "changes")? {
             let var = snap::usize_field(c, "var")?;

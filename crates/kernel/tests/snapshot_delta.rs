@@ -429,6 +429,106 @@ fn chain_push_rejects_broken_linkage() {
     assert!(err.message.contains("does not match chain tip"), "{err}");
 }
 
+/// Regression (ISSUE 10): delta documents used to carry the recorder and
+/// tracer globals in full on every capture, dominating delta size on
+/// traced runs. With epoch stamping, a capture over an idle recorder and
+/// tracer elides both — the delta must be strictly smaller than the
+/// globals payload it used to embed.
+#[test]
+fn unchanged_recorder_and_tracer_are_elided_from_deltas() {
+    let mut w = build_world();
+    w.sim.run_until(at(100)).expect("prefix");
+    let full = w.sim.snapshot().expect("full");
+    // Nothing ran between the captures, so the recorder/tracer epochs are
+    // unchanged and the delta carries markers instead of payloads.
+    let delta = w.sim.snapshot_delta(&full).expect("delta");
+    assert!(
+        w.sim.recorder().emitted() > 0,
+        "the prefix must have produced recorder traffic for this test to bite"
+    );
+    let globals_bytes = (w.sim.recorder().snapshot_json().to_string().len()
+        + w.sim
+            .tracer()
+            .map_or(0, |t| t.snapshot_json().to_string().len())) as u64;
+    assert!(
+        delta.byte_len() < globals_bytes,
+        "idle-globals delta ({}) must be strictly below the recorder+tracer \
+         payload ({}) deltas used to carry in full",
+        delta.byte_len(),
+        globals_bytes
+    );
+    for key in ["recorder", "tracer"] {
+        assert!(
+            snapshot::is_unchanged_mark(snapshot::field(delta.json(), key).expect(key)),
+            "{key} should be elided as an unchanged marker"
+        );
+    }
+}
+
+/// The elision is sound across simulators: a delta whose globals are
+/// markers applies onto a fresh process-equivalent simulator standing at
+/// the parent, landing bit-identically on the child hash and resuming
+/// identically to the straight run.
+#[test]
+fn elided_globals_apply_bit_identically_across_simulators() {
+    // No tracer, recorder disabled: the epochs never move, so every delta
+    // elides the globals while the component state keeps changing.
+    fn build_quiet() -> World {
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock(
+            "clk",
+            SimDuration::ns(10),
+            SimDuration::ns(4),
+            SimDuration::ns(1),
+        );
+        let sig = sim.add_signal("pulse", 0u64);
+        let fifo = sim.add_fifo::<u64>("queue", 4);
+        let pulse = sim.add(
+            "pulse",
+            Pulse {
+                clk,
+                sig,
+                fifo,
+                edges: 0,
+            },
+        );
+        let drain = sim.add("drain", Drain { fifo, sum: 0 });
+        World {
+            sim,
+            pulse,
+            drain,
+            sig,
+        }
+    }
+
+    let mut w = build_quiet();
+    w.sim.run_until(at(45)).expect("t1");
+    let full1 = w.sim.snapshot().expect("full1");
+    w.sim.run_until(at(120)).expect("t2");
+    let delta = w.sim.snapshot_delta(&full1).expect("delta");
+    let full2 = w.sim.snapshot().expect("full2");
+    assert!(
+        snapshot::is_unchanged_mark(snapshot::field(delta.json(), "recorder").expect("recorder")),
+        "disabled recorder must be elided even across a run slice"
+    );
+
+    let mut fresh = build_quiet();
+    fresh.sim.restore(&full1).expect("restore full1");
+    fresh.sim.restore_delta(&delta).expect("apply delta");
+    assert_eq!(
+        fresh.sim.snapshot().expect("at t2").state_hash(),
+        full2.state_hash(),
+        "marker delta must land exactly on the child state"
+    );
+    fresh.sim.run_until(at(300)).expect("tail");
+    w.sim.run_until(at(300)).expect("straight tail");
+    assert_eq!(
+        fresh.sim.snapshot().expect("resumed tip").state_hash(),
+        w.sim.snapshot().expect("straight tip").state_hash(),
+        "resume from a marker delta diverged from the straight run"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 

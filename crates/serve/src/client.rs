@@ -1,0 +1,106 @@
+//! Blocking line-JSON client for [`crate::server::SweepServer`].
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::Path;
+
+use drcf_kernel::prelude::{SimError, SimErrorKind, SimResult};
+
+use crate::protocol::{Reply, Request, SweepReply};
+use crate::scenario::SweepRequest;
+
+fn net_err(what: &str, e: std::io::Error) -> SimError {
+    SimError::new(SimErrorKind::Internal, format!("client {what}: {e}"))
+}
+
+/// One connection to a running sweep server. Requests are serialized per
+/// connection; open more clients for concurrency.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to an explicit `host:port`.
+    pub fn connect(addr: &str) -> SimResult<Client> {
+        let stream = TcpStream::connect(addr).map_err(|e| net_err("connect", e))?;
+        let writer = stream.try_clone().map_err(|e| net_err("clone stream", e))?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Connect to the server advertised in `<root>/serve.addr` — the
+    /// discovery file [`crate::server::SweepServer::start`] publishes.
+    pub fn connect_store(root: impl AsRef<Path>) -> SimResult<Client> {
+        let path = root.as_ref().join("serve.addr");
+        let addr = std::fs::read_to_string(&path).map_err(|e| {
+            SimError::new(
+                SimErrorKind::Validation,
+                format!("no server advertised at {} ({e})", path.display()),
+            )
+        })?;
+        Client::connect(addr.trim())
+    }
+
+    fn round_trip(&mut self, req: &Request) -> SimResult<Reply> {
+        let mut line = req.to_json().to_string();
+        line.push('\n');
+        self.writer
+            .write_all(line.as_bytes())
+            .map_err(|e| net_err("send", e))?;
+        self.writer.flush().map_err(|e| net_err("flush", e))?;
+        let mut reply = String::new();
+        let n = self
+            .reader
+            .read_line(&mut reply)
+            .map_err(|e| net_err("receive", e))?;
+        if n == 0 {
+            return Err(SimError::new(
+                SimErrorKind::Internal,
+                "server closed the connection before replying",
+            ));
+        }
+        Reply::parse(reply.trim_end())
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> SimResult<()> {
+        match self.round_trip(&Request::Ping)? {
+            Reply::Pong => Ok(()),
+            other => Err(unexpected("pong", &other)),
+        }
+    }
+
+    /// Submit a sweep and block for the answer. Server-side failures come
+    /// back as typed errors re-raised with their original kind label.
+    pub fn sweep(&mut self, req: &SweepRequest) -> SimResult<SweepReply> {
+        match self.round_trip(&Request::Sweep(req.clone()))? {
+            Reply::Sweep(r) => Ok(r),
+            other => Err(unexpected("sweep reply", &other)),
+        }
+    }
+
+    /// Ask the server to exit once in-flight work finishes.
+    pub fn shutdown(&mut self) -> SimResult<()> {
+        match self.round_trip(&Request::Shutdown)? {
+            Reply::Bye => Ok(()),
+            other => Err(unexpected("bye", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Reply) -> SimError {
+    match got {
+        Reply::Error { kind, message } => SimError::new(
+            SimErrorKind::Internal,
+            format!("server error [{kind}]: {message}"),
+        ),
+        other => SimError::new(
+            SimErrorKind::Decode,
+            format!("expected {wanted}, got {other:?}"),
+        ),
+    }
+}

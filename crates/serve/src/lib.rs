@@ -1,0 +1,44 @@
+//! # drcf-serve — simulation as a service
+//!
+//! The paper's methodology sells *reuse*: "the same models are used for
+//! architecture exploration and for the transaction-level golden reference"
+//! (RAW/IPDPS 2003). This crate pushes reuse across process and client
+//! boundaries. A long-running server answers what-if sweep requests over a
+//! local socket, backed by a content-addressed on-disk snapshot store: the
+//! shared prefix of a scenario is simulated once, filed under the
+//! `(workload, spec)` fingerprint, and every later request — from any
+//! client, thread, or process — restores it instead of re-running it.
+//! Completed sweep points are append-streamed to durable JSONL, so a
+//! crashed or killed sweep resumes where it stopped and the merged answer
+//! is bit-identical to an uninterrupted run.
+//!
+//! Layering:
+//!
+//! - [`scenario`] — the canonical request shape and its `(workload, spec)`
+//!   realization + content key.
+//! - [`store`] — the on-disk entry format: snapshot-chain links, per-fork
+//!   record logs, leases, manifest. Every load is validated against the
+//!   hash recorded at write time; corruption is a typed error, never a
+//!   wrong answer.
+//! - [`server`] — [`server::process_sweep`] (the store-backed sweep, usable
+//!   without sockets) and [`server::SweepServer`] (job queue + worker pool
+//!   over line-delimited JSON on a loopback TCP socket).
+//! - [`protocol`] / [`client`] — the wire shapes and a blocking client.
+
+#![warn(missing_docs)]
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+pub mod client;
+pub mod protocol;
+pub mod scenario;
+pub mod server;
+pub mod store;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::client::Client;
+    pub use crate::protocol::{Reply, Request, SweepReply};
+    pub use crate::scenario::SweepRequest;
+    pub use crate::server::{process_sweep, SweepServer};
+    pub use crate::store::{ChainLink, SnapshotStore, StoreMeta};
+}

@@ -1,0 +1,248 @@
+//! Wire protocol: one JSON object per line, one reply line per request.
+//!
+//! Requests:
+//!
+//! ```text
+//! {"op":"ping"}
+//! {"op":"sweep","frames":1,"samples":16,"fork_ns":4000,"points":[150,300]}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! Replies:
+//!
+//! ```text
+//! {"ok":true,"op":"pong"}
+//! {"ok":true,"op":"sweep","key":...,"from_cache":1,"simulated":1,"records":[...]}
+//! {"ok":true,"op":"bye"}
+//! {"ok":false,"kind":"validation","message":"..."}
+//! ```
+//!
+//! Errors travel as data, never as dropped connections: a malformed or
+//! failing request produces an `ok:false` line carrying the typed
+//! [`SimErrorKind`](drcf_kernel::prelude::SimErrorKind) label, and the
+//! connection stays usable for the next request.
+
+use drcf_dse::prelude::{records_to_json, RunRecord};
+use drcf_kernel::json::{self, Json};
+use drcf_kernel::prelude::{SimError, SimErrorKind, SimResult};
+
+use crate::scenario::SweepRequest;
+
+/// A client request, one per line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Run (or answer from the store) a clock sweep.
+    Sweep(SweepRequest),
+    /// Stop the server after replying.
+    Shutdown,
+}
+
+impl Request {
+    /// Encode as a single JSON line (no trailing newline).
+    pub fn to_json(&self) -> Json {
+        match self {
+            Request::Ping => Json::obj().with("op", "ping".into()),
+            Request::Shutdown => Json::obj().with("op", "shutdown".into()),
+            Request::Sweep(r) => {
+                let Json::Obj(fields) = r.to_json() else {
+                    return Json::obj().with("op", "sweep".into());
+                };
+                let mut out = vec![("op".to_string(), Json::from("sweep"))];
+                out.extend(fields);
+                Json::Obj(out)
+            }
+        }
+    }
+
+    /// Parse one request line.
+    pub fn parse(line: &str) -> SimResult<Request> {
+        let j = Json::parse(line).map_err(|e| {
+            SimError::new(
+                SimErrorKind::Validation,
+                format!("request is not JSON: {e}"),
+            )
+        })?;
+        match j.get("op").and_then(Json::as_str) {
+            Some("ping") => Ok(Request::Ping),
+            Some("shutdown") => Ok(Request::Shutdown),
+            Some("sweep") => Ok(Request::Sweep(SweepRequest::from_json(&j)?)),
+            Some(other) => Err(SimError::new(
+                SimErrorKind::Validation,
+                format!("unknown op {other:?} (expected ping, sweep, or shutdown)"),
+            )),
+            None => Err(SimError::new(
+                SimErrorKind::Validation,
+                "request has no op field",
+            )),
+        }
+    }
+}
+
+/// A completed sweep answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReply {
+    /// The store key the scenario hashed to.
+    pub key: u64,
+    /// Points answered from durable records without simulating.
+    pub from_cache: usize,
+    /// Points evaluated fresh by this request.
+    pub simulated: usize,
+    /// One record per requested point, in request order.
+    pub records: Vec<RunRecord>,
+}
+
+/// A server reply, one per request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Answer to [`Request::Sweep`].
+    Sweep(SweepReply),
+    /// Answer to [`Request::Shutdown`]; the server exits afterwards.
+    Bye,
+    /// Any failure, carrying the typed error kind label and message.
+    Error {
+        /// [`SimErrorKind::label`](drcf_kernel::prelude::SimErrorKind::label) of the failure.
+        kind: String,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl Reply {
+    /// Wrap a typed simulation error.
+    pub fn from_error(e: &SimError) -> Reply {
+        Reply::Error {
+            kind: e.kind.label().to_string(),
+            message: e.to_string(),
+        }
+    }
+
+    /// Encode as a single JSON line (no trailing newline).
+    pub fn to_json(&self) -> Json {
+        match self {
+            Reply::Pong => Json::obj()
+                .with("ok", true.into())
+                .with("op", "pong".into()),
+            Reply::Bye => Json::obj().with("ok", true.into()).with("op", "bye".into()),
+            Reply::Error { kind, message } => Json::obj()
+                .with("ok", false.into())
+                .with("kind", kind.as_str().into())
+                .with("message", message.as_str().into()),
+            Reply::Sweep(r) => Json::obj()
+                .with("ok", true.into())
+                .with("op", "sweep".into())
+                .with("key", json::ju64(r.key))
+                .with("from_cache", Json::from(r.from_cache as u64))
+                .with("simulated", Json::from(r.simulated as u64))
+                .with("records", records_to_json(&r.records)),
+        }
+    }
+
+    /// Parse one reply line.
+    pub fn parse(line: &str) -> SimResult<Reply> {
+        let bad = |msg: String| SimError::new(SimErrorKind::Decode, msg);
+        let j = Json::parse(line).map_err(|e| bad(format!("reply is not JSON: {e}")))?;
+        match j.get("ok").and_then(Json::as_bool) {
+            Some(true) => {}
+            Some(false) => {
+                return Ok(Reply::Error {
+                    kind: j
+                        .get("kind")
+                        .and_then(Json::as_str)
+                        .unwrap_or("internal")
+                        .to_string(),
+                    message: j
+                        .get("message")
+                        .and_then(Json::as_str)
+                        .unwrap_or("unspecified server error")
+                        .to_string(),
+                })
+            }
+            None => return Err(bad("reply has no ok field".into())),
+        }
+        match j.get("op").and_then(Json::as_str) {
+            Some("pong") => Ok(Reply::Pong),
+            Some("bye") => Ok(Reply::Bye),
+            Some("sweep") => {
+                let mut records = Vec::new();
+                for rj in j
+                    .get("records")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| bad("sweep reply has no records array".into()))?
+                {
+                    records.push(
+                        RunRecord::from_json(rj)
+                            .map_err(|e| bad(format!("sweep reply record: {e}")))?,
+                    );
+                }
+                Ok(Reply::Sweep(SweepReply {
+                    key: j
+                        .get("key")
+                        .and_then(json::ju64_of)
+                        .ok_or_else(|| bad("sweep reply has no key".into()))?,
+                    from_cache: j
+                        .get("from_cache")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| bad("sweep reply has no from_cache".into()))?
+                        as usize,
+                    simulated: j
+                        .get("simulated")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| bad("sweep reply has no simulated".into()))?
+                        as usize,
+                    records,
+                }))
+            }
+            other => Err(bad(format!("reply has unknown op {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        for req in [
+            Request::Ping,
+            Request::Shutdown,
+            Request::Sweep(SweepRequest::small(4_000, vec![100, 600])),
+        ] {
+            let line = req.to_json().to_string();
+            assert_eq!(Request::parse(&line).unwrap(), req, "{line}");
+        }
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        let reply = Reply::Sweep(SweepReply {
+            key: u64::MAX - 7,
+            from_cache: 2,
+            simulated: 1,
+            records: vec![RunRecord::failed("serve", vec![], "boom")],
+        });
+        for r in [
+            Reply::Pong,
+            Reply::Bye,
+            reply,
+            Reply::Error {
+                kind: "validation".into(),
+                message: "nope".into(),
+            },
+        ] {
+            let line = r.to_json().to_string();
+            assert_eq!(Reply::parse(&line).unwrap(), r, "{line}");
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_typed_errors() {
+        assert!(Request::parse("{\"op\":\"dance\"}").is_err());
+        assert!(Request::parse("not json").is_err());
+        assert!(Reply::parse("{}").is_err());
+    }
+}

@@ -1,0 +1,177 @@
+//! Canonical sweep scenarios and their content-addressed identity.
+//!
+//! A request names a scenario by *parameters*, not by opaque state: the
+//! server realizes `(frames, samples)` into the canonical wireless-receiver
+//! workload mapped onto the DRCF fabric, exactly the configuration the
+//! `experiments` binary snapshots. Two requests with equal parameters
+//! therefore produce byte-equal `(workload, spec)` pairs and hash to the
+//! same store key on every process and machine — the precondition for
+//! cross-client prefix sharing.
+
+use drcf_kernel::prelude::{SimError, SimErrorKind, SimResult};
+use drcf_kernel::{json, json::Json};
+use drcf_soc::prelude::{
+    scenario_fingerprint, wireless_receiver, Mapping, SocConfigPath, SocSpec, Workload,
+};
+
+/// A what-if sweep over the tail CPU clock: simulate the canonical
+/// receiver scenario up to `fork_ns`, then fork once per point and finish
+/// the run with the CPU retuned to that clock.
+///
+/// The clock is the one spec knob that is *static configuration rather
+/// than snapshot state*: every fork restores the identical prefix
+/// (identical state hash), then [`drcf_soc::prelude::Cpu::set_clock_mhz`]
+/// retunes the tail — so all points of all requests share one stored
+/// prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepRequest {
+    /// Frames of the wireless-receiver workload.
+    pub frames: usize,
+    /// Samples per frame.
+    pub samples: usize,
+    /// Fork offset in nanoseconds: the shared prefix runs `[0, fork_ns)`.
+    pub fork_ns: u64,
+    /// Sweep points: tail CPU clock in MHz, one fork per entry.
+    pub points: Vec<u64>,
+}
+
+impl SweepRequest {
+    /// A small, fast default scenario (used by benches and smoke tests).
+    pub fn small(fork_ns: u64, points: Vec<u64>) -> SweepRequest {
+        SweepRequest {
+            frames: 1,
+            samples: 16,
+            fork_ns,
+            points,
+        }
+    }
+
+    /// Reject malformed requests with a typed validation error before any
+    /// store or simulator work happens.
+    pub fn validate(&self) -> SimResult<()> {
+        let bad = |msg: &str| Err(SimError::new(SimErrorKind::Validation, msg.to_string()));
+        if self.frames == 0 {
+            return bad("sweep request needs at least one frame");
+        }
+        if self.samples == 0 {
+            return bad("sweep request needs at least one sample per frame");
+        }
+        if self.fork_ns == 0 {
+            return bad("sweep request needs a nonzero fork offset (fork_ns)");
+        }
+        if self.points.is_empty() {
+            return bad("sweep request needs at least one clock point");
+        }
+        if self.points.contains(&0) {
+            return bad("sweep clock points must be nonzero MHz values");
+        }
+        Ok(())
+    }
+
+    /// Realize the request into the canonical workload and SoC spec — the
+    /// same construction `experiments --snapshot-out` uses, parameterized.
+    pub fn scenario(&self) -> (Workload, SocSpec) {
+        let w = wireless_receiver(self.frames, self.samples);
+        let names: Vec<String> = w.accels.iter().map(|a| a.name.clone()).collect();
+        let spec = SocSpec {
+            mapping: Mapping::Drcf {
+                candidates: names.clone(),
+                technology: drcf_core::prelude::morphosys(),
+                geometry: drcf_dse::prelude::size_fabric(&w, &names, 1.2, 1),
+                config_path: SocConfigPath::SystemBus,
+                scheduler: drcf_core::prelude::SchedulerConfig::default(),
+                overlap_load_exec: false,
+            },
+            ..SocSpec::default()
+        };
+        (w, spec)
+    }
+
+    /// The content key the store files this scenario under. Deliberately
+    /// excludes `fork_ns` and `points`: every fork time and clock point of
+    /// the same scenario shares one entry (one prefix chain), and records
+    /// are filed per fork inside it.
+    pub fn key(&self) -> u64 {
+        let (w, spec) = self.scenario();
+        scenario_fingerprint(&w, &spec)
+    }
+
+    /// Encode as a JSON object (the `sweep` op's payload).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("frames", Json::from(self.frames as u64))
+            .with("samples", Json::from(self.samples as u64))
+            .with("fork_ns", json::ju64(self.fork_ns))
+            .with(
+                "points",
+                Json::Arr(self.points.iter().map(|&p| json::ju64(p)).collect()),
+            )
+    }
+
+    /// Decode from the JSON produced by [`SweepRequest::to_json`].
+    pub fn from_json(j: &Json) -> SimResult<SweepRequest> {
+        let bad = |what: &str| {
+            SimError::new(
+                SimErrorKind::Validation,
+                format!("sweep request is missing or malforms {what}"),
+            )
+        };
+        let int = |k: &str| j.get(k).and_then(json::ju64_of).ok_or_else(|| bad(k));
+        let mut points = Vec::new();
+        for p in j
+            .get("points")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("points"))?
+        {
+            points.push(json::ju64_of(p).ok_or_else(|| bad("points"))?);
+        }
+        Ok(SweepRequest {
+            frames: int("frames")? as usize,
+            samples: int("samples")? as usize,
+            fork_ns: int("fork_ns")?,
+            points,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_requests_share_a_key_across_forks_and_points() {
+        let a = SweepRequest::small(4_000, vec![100, 300]);
+        let b = SweepRequest::small(9_000, vec![700]);
+        assert_eq!(a.key(), b.key(), "fork and points must not split the entry");
+        let c = SweepRequest {
+            samples: 32,
+            ..a.clone()
+        };
+        assert_ne!(a.key(), c.key(), "different scenario, different entry");
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let r = SweepRequest::small(12_345, vec![150, 300, 600]);
+        let back =
+            SweepRequest::from_json(&Json::parse(&r.to_json().to_string()).unwrap()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_requests() {
+        for bad in [
+            SweepRequest::small(0, vec![100]),
+            SweepRequest::small(100, vec![]),
+            SweepRequest::small(100, vec![0]),
+            SweepRequest {
+                frames: 0,
+                ..SweepRequest::small(100, vec![100])
+            },
+        ] {
+            let e = bad.validate().unwrap_err();
+            assert_eq!(e.kind, drcf_kernel::prelude::SimErrorKind::Validation);
+        }
+        SweepRequest::small(100, vec![100]).validate().unwrap();
+    }
+}

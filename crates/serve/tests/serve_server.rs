@@ -1,0 +1,116 @@
+//! Socket server end-to-end: discovery, ping, sweeps from concurrent
+//! clients, typed wire errors, shutdown.
+
+use drcf_serve::prelude::*;
+use std::path::PathBuf;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("drcf-serve-server-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn server_answers_sweeps_and_caches_repeats() {
+    let dir = scratch("roundtrip");
+    let server = SweepServer::start(&dir, 2).expect("start server");
+    let mut client = Client::connect_store(&dir).expect("discover server");
+    client.ping().expect("ping");
+
+    let req = SweepRequest::small(4_000, vec![200, 500]);
+    let cold = client.sweep(&req).expect("cold sweep");
+    assert_eq!(cold.simulated, 2);
+
+    let warm = client.sweep(&req).expect("warm sweep");
+    assert_eq!(warm.simulated, 0);
+    assert_eq!(warm.from_cache, 2);
+    assert_eq!(warm.records, cold.records);
+
+    // A second client sees the same cache.
+    let mut other = Client::connect_store(&dir).expect("second client");
+    let third = other.sweep(&req).expect("third sweep");
+    assert_eq!(third.simulated, 0);
+    assert_eq!(third.records, cold.records);
+
+    server.store().write_manifest().expect("manifest");
+    client.shutdown().expect("shutdown");
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_clients_racing_one_key_cost_one_simulation() {
+    let dir = scratch("race");
+    let server = SweepServer::start(&dir, 2).expect("start server");
+    let req = SweepRequest::small(4_000, vec![150, 350, 550]);
+    let (a, b) = std::thread::scope(|s| {
+        let dir_a = dir.clone();
+        let dir_b = dir.clone();
+        let ra = &req;
+        let rb = &req;
+        let ta = s.spawn(move || {
+            let mut c = Client::connect_store(&dir_a).expect("client a");
+            c.sweep(ra).expect("sweep a")
+        });
+        let tb = s.spawn(move || {
+            let mut c = Client::connect_store(&dir_b).expect("client b");
+            c.sweep(rb).expect("sweep b")
+        });
+        (ta.join().expect("join a"), tb.join().expect("join b"))
+    });
+    assert_eq!(
+        a.simulated + b.simulated,
+        req.points.len(),
+        "{a:?} vs {b:?}"
+    );
+    assert_eq!(a.records, b.records);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn malformed_and_invalid_requests_come_back_as_typed_wire_errors() {
+    use std::io::{BufRead, BufReader, Write};
+    let dir = scratch("errors");
+    let server = SweepServer::start(&dir, 1).expect("start server");
+    let addr = std::fs::read_to_string(dir.join("serve.addr")).expect("addr file");
+    let stream = std::net::TcpStream::connect(addr.trim()).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+
+    let mut ask = |line: &str| {
+        writer.write_all(line.as_bytes()).expect("send");
+        writer.write_all(b"\n").expect("send newline");
+        writer.flush().expect("flush");
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("receive");
+        Reply::parse(reply.trim_end()).expect("reply parses")
+    };
+
+    // Not JSON at all.
+    let Reply::Error { kind, .. } = ask("garbage") else {
+        panic!("expected error");
+    };
+    assert_eq!(kind, "validation");
+
+    // Valid JSON, unknown op.
+    let Reply::Error { kind, .. } = ask("{\"op\":\"dance\"}") else {
+        panic!("expected error");
+    };
+    assert_eq!(kind, "validation");
+
+    // Valid sweep shape, degenerate parameters (zero points).
+    let Reply::Error { kind, .. } =
+        ask("{\"op\":\"sweep\",\"frames\":1,\"samples\":16,\"fork_ns\":4000,\"points\":[]}")
+    else {
+        panic!("expected error");
+    };
+    assert_eq!(kind, "validation");
+
+    // The connection survives all of that.
+    let Reply::Pong = ask("{\"op\":\"ping\"}") else {
+        panic!("connection must stay usable after errors");
+    };
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

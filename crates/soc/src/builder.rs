@@ -525,6 +525,25 @@ pub fn restore_soc(
     Ok(soc)
 }
 
+/// Content fingerprint of a `(workload, spec)` pair — the cache key the
+/// snapshot-store layer (`drcf-serve`) files prefix snapshots and sweep
+/// records under, so identical scenarios hash identically across
+/// processes and clients.
+///
+/// FNV-1a 64 over the canonical `Debug` rendering of both values: cheap,
+/// covers every field, and adding a field changes the key (the safe
+/// direction — a stale entry is missed, never wrongly hit). Correctness
+/// never rests on this key alone: a store entry is additionally validated
+/// against its recorded `state_hash` and [`restore_soc`]'s roster check
+/// before anything is restored from it.
+pub fn scenario_fingerprint(workload: &Workload, spec: &SocSpec) -> u64 {
+    let mut h = Fnv1a::new();
+    h.update(format!("{workload:?}").as_bytes());
+    h.update(&[0xff]); // unambiguous separator: Debug output never emits 0xff
+    h.update(format!("{spec:?}").as_bytes());
+    h.finish()
+}
+
 /// Run the shared prefix of a sweep exactly once: build the SoC, run it to
 /// `at`, and return the snapshot. The tail of the run is discarded — warm
 /// forks ([`restore_soc`]) resume it per sweep point.

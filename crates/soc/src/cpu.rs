@@ -146,6 +146,20 @@ impl Cpu {
         matches!(self.state, CpuState::Finished)
     }
 
+    /// Current core clock, MHz.
+    pub fn clock_mhz(&self) -> u64 {
+        self.cfg.clock_mhz
+    }
+
+    /// Retune the core clock on a *live* CPU: every cycle count converted
+    /// to time from here on uses the new frequency. This is the what-if
+    /// knob sweep services vary per warm fork without rebuilding the SoC —
+    /// the clock is static configuration, not snapshot state, so a rewind
+    /// leaves it alone and each fork must set it explicitly.
+    pub fn set_clock_mhz(&mut self, mhz: u64) {
+        self.cfg.clock_mhz = mhz.max(1);
+    }
+
     fn cycles(&self, c: u64) -> SimDuration {
         SimDuration::cycles_at_mhz(c, self.cfg.clock_mhz)
     }

@@ -30,8 +30,8 @@ pub mod workloads;
 pub mod prelude {
     pub use crate::accelerator::{regs, status, KernelAccelerator, KernelKind};
     pub use crate::builder::{
-        assign_bindings, build_soc, restore_soc, run_soc, run_soc_mut, snapshot_prefix, BuiltSoc,
-        Mapping, RunMetrics, SocConfigPath, SocCopyMode, SocSpec,
+        assign_bindings, build_soc, restore_soc, run_soc, run_soc_mut, scenario_fingerprint,
+        snapshot_prefix, BuiltSoc, Mapping, RunMetrics, SocConfigPath, SocCopyMode, SocSpec,
     };
     pub use crate::cpu::{Cpu, CpuConfig, CpuStats, Instr};
     pub use crate::partition::{

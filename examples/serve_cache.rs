@@ -1,0 +1,43 @@
+//! Simulation-as-a-service cache demo: the same clock sweep served cold
+//! (simulated) and then warm (answered from the content-addressed snapshot
+//! store), with bit-identical records.
+//!
+//! ```text
+//! cargo run --release --example serve_cache
+//! ```
+
+use drcf::serve::scenario::SweepRequest;
+use drcf::serve::server::process_sweep;
+use drcf::serve::store::SnapshotStore;
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("drcf-serve-demo-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = SnapshotStore::open(&dir).expect("open store");
+    let req = SweepRequest::small(4_000, vec![150, 300, 600]);
+
+    let t0 = std::time::Instant::now();
+    let cold = process_sweep(&store, &req).expect("cold sweep");
+    let cold_t = t0.elapsed();
+    let t1 = std::time::Instant::now();
+    let warm = process_sweep(&store, &req).expect("warm sweep");
+    let warm_t = t1.elapsed();
+
+    println!(
+        "cold: simulated={} from_cache={} in {cold_t:?}",
+        cold.simulated, cold.from_cache
+    );
+    println!(
+        "warm: simulated={} from_cache={} in {warm_t:?}",
+        warm.simulated, warm.from_cache
+    );
+    println!("bit-identical: {}", cold.records == warm.records);
+    for r in &cold.records {
+        println!(
+            "  clock {:>4} MHz -> makespan {:.0} ns",
+            r.param("clock_mhz").unwrap_or("?"),
+            r.makespan_ns
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -32,7 +32,12 @@ inflate the trajectory), and exits non-zero if:
   automatically partitioned E12 hierarchical topology) below 1.5x, *when
   the machine has at least 4 hardware threads* (`hw_threads`). On narrower
   machines a sharded bench cannot exhibit parallel speedup, so the number
-  is reported informationally and only the bit-identity is enforced.
+  is reported informationally and only the bit-identity is enforced;
+- `serve_cache_hit_speedup` (the identical sweep request re-served from
+  the content-addressed snapshot store vs. served cold) falls below 2.0x,
+  `serve_cache_hits` < `serve_points` (a repeat request failed to answer
+  entirely from the store), or `serve_identical` is false — the warm
+  answer must be bit-identical to the cold one (correctness gate).
 
 The baselines live in `crates/bench/src/hotpath.rs`
 (`BASELINE_EVENTS_PER_SEC`); see EXPERIMENTS.md for how they were
@@ -50,6 +55,7 @@ WARM_FORK_SPEEDUP_FLOOR = 3.0
 SHARDED_SPEEDUP_FLOOR = 2.0
 SHARDED_E12_SPEEDUP_FLOOR = 1.5
 SHARDED_MIN_HW_THREADS = 4
+SERVE_CACHE_SPEEDUP_FLOOR = 2.0
 
 
 def history_entry(bench: dict, sha: str) -> dict:
@@ -82,6 +88,10 @@ def history_entry(bench: dict, sha: str) -> dict:
         "sharded_e12_identical",
         "sharded_e12_efficiency",
         "sharded_e12_critical_link",
+        "serve_cache_hit_speedup",
+        "serve_cache_hits",
+        "serve_points",
+        "serve_identical",
         "hw_threads",
     ):
         if key in bench:
@@ -230,6 +240,31 @@ def main() -> int:
 
     gate_sharded(bench, "sharded_soc", SHARDED_SPEEDUP_FLOOR, failed)
     gate_sharded(bench, "sharded_e12", SHARDED_E12_SPEEDUP_FLOOR, failed)
+
+    serve = bench.get("serve_cache_hit_speedup")
+    if serve is not None:
+        floor = SERVE_CACHE_SPEEDUP_FLOOR
+        hits = bench.get("serve_cache_hits", 0)
+        points = bench.get("serve_points", 0)
+        verdict = "ok" if serve >= floor else "REGRESSION"
+        print(
+            f"perf gate: serve cache-hit speedup {serve:.2f}x, "
+            f"{hits}/{points} points from store (floor {floor}x)  [{verdict}]"
+        )
+        if serve < floor:
+            failed.append("serve_cache_hit_speedup")
+        if hits < points:
+            print(
+                "perf gate: repeat sweep request was NOT fully answered from the store",
+                file=sys.stderr,
+            )
+            failed.append("serve_cache_hits")
+        if not bench.get("serve_identical", True):
+            print(
+                "perf gate: store-served records DIVERGED from the cold run",
+                file=sys.stderr,
+            )
+            failed.append("serve_identical")
 
     if failed:
         print(

@@ -23,6 +23,7 @@ pub use drcf_bus as bus;
 pub use drcf_core as core;
 pub use drcf_dse as dse;
 pub use drcf_kernel as kernel;
+pub use drcf_serve as serve;
 pub use drcf_soc as soc;
 pub use drcf_transform as transform;
 
@@ -32,6 +33,7 @@ pub mod prelude {
     pub use drcf_core::prelude::*;
     pub use drcf_dse::prelude::*;
     pub use drcf_kernel::prelude::*;
+    pub use drcf_serve::prelude::*;
     pub use drcf_soc::prelude::*;
     pub use drcf_transform::prelude::{
         elaborate, emit_design, emit_hier_module, example_design, select_candidates,
